@@ -1,0 +1,132 @@
+// Package bluedove is a scalable and elastic attribute-based
+// publish/subscribe service — a from-scratch Go implementation of the
+// system described in "A Scalable and Elastic Publish/Subscribe Service"
+// (Li, Ye, Kim, Chen, Lei — IPDPS 2011).
+//
+// BlueDove organizes servers into a two-tier, gossip-based one-hop overlay:
+// Internet-facing dispatchers accept subscriptions and publications, and
+// back-end matchers store subscriptions and perform matching. Its core
+// techniques are:
+//
+//   - mPartition: each searchable dimension's value range is split into one
+//     segment per matcher; a subscription is stored on every matcher whose
+//     segment overlaps its predicate, once along each dimension. Every
+//     publication therefore has k candidate matchers, any one of which can
+//     match it completely after a single forwarding hop.
+//   - Performance-aware forwarding: matchers report per-dimension load
+//     (subscription counts, queue lengths, arrival and matching rates);
+//     dispatchers pick each message's cheapest candidate, extrapolating
+//     queue lengths between reports.
+//   - Elasticity and fault tolerance: joining matchers take half of the
+//     most loaded matcher's segment per dimension; failed matchers are
+//     detected by gossip and their subscriptions re-installed on the
+//     survivors.
+//
+// # Quick start
+//
+//	space := bluedove.MustSpace(
+//	    bluedove.Dimension{Name: "price", Min: 0, Max: 1000},
+//	    bluedove.Dimension{Name: "volume", Min: 0, Max: 1e6},
+//	)
+//	c, err := bluedove.StartCluster(bluedove.ClusterOptions{Space: space})
+//	defer c.Close()
+//	sub, _ := c.NewClient(0, func(m *bluedove.Message, _ []bluedove.SubscriptionID) {
+//	    fmt.Println("matched:", m.Attrs)
+//	})
+//	sub.Subscribe([]bluedove.Range{{Low: 100, High: 200}, {Low: 0, High: 1e6}})
+//	pub, _ := c.NewClient(0, nil)
+//	pub.Publish([]float64{150, 5000}, []byte("tick"))
+//
+// The internal packages hold the implementation: internal/partition
+// (mPartition), internal/forward (forwarding policies), internal/gossip
+// (the overlay), internal/matcher and internal/dispatcher (the two tiers),
+// internal/sim (the discrete-event evaluation harness), and
+// internal/experiment (reproductions of every figure in the paper's
+// evaluation).
+package bluedove
+
+import (
+	"bluedove/internal/client"
+	"bluedove/internal/cluster"
+	"bluedove/internal/core"
+	"bluedove/internal/forward"
+	"bluedove/internal/placement"
+	"bluedove/internal/tenant"
+)
+
+// Core data model.
+type (
+	// Dimension is one attribute axis of the space.
+	Dimension = core.Dimension
+	// Space is a k-dimensional attribute space.
+	Space = core.Space
+	// Range is a half-open predicate interval [Low, High).
+	Range = core.Range
+	// Message is a publication: a point in the attribute space.
+	Message = core.Message
+	// Subscription is a conjunction of per-dimension range predicates.
+	Subscription = core.Subscription
+	// SubscriptionID identifies a registered subscription.
+	SubscriptionID = core.SubscriptionID
+	// SubscriberID identifies a client.
+	SubscriberID = core.SubscriberID
+	// NodeID identifies a server.
+	NodeID = core.NodeID
+)
+
+// NewSpace constructs a Space, validating every dimension.
+var NewSpace = core.NewSpace
+
+// MustSpace is NewSpace but panics on error.
+var MustSpace = core.MustSpace
+
+// UniformSpace returns k dimensions of equal extent (the paper's evaluation
+// space is UniformSpace(4, 1000)).
+var UniformSpace = core.UniformSpace
+
+// Cluster deployment.
+type (
+	// ClusterOptions configures StartCluster.
+	ClusterOptions = cluster.Options
+	// Cluster is a running BlueDove deployment.
+	Cluster = cluster.Cluster
+	// Client publishes and subscribes through a dispatcher.
+	Client = client.Client
+)
+
+// StartCluster boots a BlueDove deployment (in-process mesh by default; set
+// Options.TCP for loopback TCP).
+var StartCluster = cluster.Start
+
+// Forwarding policies (paper Section III-B).
+type (
+	// Adaptive is the default queue-extrapolating policy.
+	Adaptive = forward.Adaptive
+	// ResponseTime ranks on the last report without extrapolation.
+	ResponseTime = forward.ResponseTime
+	// SubscriptionAmount ranks on stored subscription counts.
+	SubscriptionAmount = forward.SubscriptionAmount
+)
+
+// Placement strategies (the paper's three compared systems).
+type (
+	// BlueDovePlacement is mPartition.
+	BlueDovePlacement = placement.BlueDove
+	// P2PPlacement is the single-dimension DHT baseline.
+	P2PPlacement = placement.P2P
+	// FullRepPlacement replicates every subscription everywhere.
+	FullRepPlacement = placement.FullRep
+)
+
+// Multi-tenancy (paper Section VI: separate server subsets per application).
+type (
+	// TenantManager hosts independent per-application deployments.
+	TenantManager = tenant.Manager
+	// TenantOptions configures NewTenantManager.
+	TenantOptions = tenant.Options
+	// TenantSpec describes one tenant deployment.
+	TenantSpec = tenant.Spec
+)
+
+// NewTenantManager builds an empty multi-tenant manager.
+var NewTenantManager = tenant.NewManager

@@ -1,0 +1,81 @@
+package bluedove_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bluedove"
+)
+
+// The public facade must support the full subscribe/publish/deliver loop
+// documented in the package comment.
+func TestFacadeEndToEnd(t *testing.T) {
+	space := bluedove.MustSpace(
+		bluedove.Dimension{Name: "price", Min: 0, Max: 1000},
+		bluedove.Dimension{Name: "volume", Min: 0, Max: 1e6},
+	)
+	c, err := bluedove.StartCluster(bluedove.ClusterOptions{
+		Space:          space,
+		Matchers:       3,
+		GossipInterval: 50 * time.Millisecond,
+		ReportInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var hits atomic.Int64
+	sub, err := c.NewClient(0, func(m *bluedove.Message, ids []bluedove.SubscriptionID) {
+		hits.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe([]bluedove.Range{
+		{Low: 100, High: 200}, {Low: 0, High: 1e6},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	pub, err := c.NewClient(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish([]float64{150, 5000}, []byte("tick")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish([]float64{500, 5000}, nil); err != nil { // no match
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && hits.Load() == 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("deliveries = %d, want 1", got)
+	}
+}
+
+// The re-exported spaces and strategies must be usable directly.
+func TestFacadeTypes(t *testing.T) {
+	s := bluedove.UniformSpace(4, 1000)
+	if s.K() != 4 {
+		t.Fatal("UniformSpace")
+	}
+	if (bluedove.BlueDovePlacement{}).Name() != "bluedove" {
+		t.Error("placement alias")
+	}
+	if (bluedove.Adaptive{}).Name() != "adaptive" {
+		t.Error("policy alias")
+	}
+	if _, err := bluedove.NewSpace(); err == nil {
+		t.Error("NewSpace alias should validate")
+	}
+}

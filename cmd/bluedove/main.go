@@ -1,0 +1,183 @@
+// Command bluedove runs one BlueDove server node — a matcher or a
+// dispatcher — over TCP, forming a cluster with its peers through the
+// gossip overlay.
+//
+// A minimal three-node cluster on one host:
+//
+//	bluedove -role matcher    -addr 127.0.0.1:7001 -id 1
+//	bluedove -role matcher    -addr 127.0.0.1:7002 -id 2 -seeds 127.0.0.1:7001
+//	bluedove -role dispatcher -addr 127.0.0.1:7000 -id 100 -seeds 127.0.0.1:7001 -bootstrap 2
+//
+// The dispatcher waits until it sees two matchers in gossip, then publishes
+// the initial segment table. Additional matchers join elastically:
+//
+//	bluedove -role matcher -addr 127.0.0.1:7003 -id 3 -seeds 127.0.0.1:7001 -join
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/dispatcher"
+	"bluedove/internal/gossip"
+	"bluedove/internal/matcher"
+	"bluedove/internal/partition"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+func main() {
+	var (
+		role      = flag.String("role", "", "node role: matcher or dispatcher (required)")
+		id        = flag.Uint64("id", 0, "unique node ID (required)")
+		addr      = flag.String("addr", "127.0.0.1:0", "listen address")
+		seeds     = flag.String("seeds", "", "comma-separated gossip seed addresses")
+		dims      = flag.Int("dims", 4, "searchable dimensions")
+		extent    = flag.Float64("extent", 1000, "value range per dimension [0, extent)")
+		bootstrap = flag.Int("bootstrap", 0, "dispatcher: publish the initial table once this many matchers are visible")
+		join      = flag.Bool("join", false, "matcher: join an existing cluster via a dispatcher (elastic split)")
+		policy    = flag.String("policy", "adaptive", "dispatcher forwarding policy: adaptive|resptime|subamount|random")
+	)
+	flag.Parse()
+	if *role == "" || *id == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	space := core.UniformSpace(*dims, *extent)
+	var seedList []string
+	if *seeds != "" {
+		seedList = strings.Split(*seeds, ",")
+	}
+	tr := transport.NewTCP()
+	defer tr.Close()
+
+	switch *role {
+	case "matcher":
+		runMatcher(tr, space, core.NodeID(*id), *addr, seedList, *join)
+	case "dispatcher":
+		runDispatcher(tr, space, core.NodeID(*id), *addr, seedList, *bootstrap, *policy)
+	default:
+		log.Fatalf("unknown role %q", *role)
+	}
+}
+
+func runMatcher(tr transport.Transport, space *core.Space, id core.NodeID,
+	addr string, seeds []string, join bool) {
+	m, err := matcher.New(matcher.Config{
+		ID: id, Addr: addr, Space: space, Transport: tr, Seeds: seeds,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer m.Stop()
+	log.Printf("matcher %v listening on %s", id, m.Addr())
+
+	if join {
+		go joinViaDispatcher(tr, m.Gossiper(), id, m.Addr())
+	}
+	waitForSignal()
+}
+
+// joinViaDispatcher waits for a dispatcher to appear in gossip, then runs
+// the paper's join protocol against it.
+func joinViaDispatcher(tr transport.Transport, g *gossip.Gossiper, id core.NodeID, addr string) {
+	for i := 0; i < 60; i++ {
+		for _, p := range g.Peers() {
+			if p.Role != core.RoleDispatcher || !p.Alive {
+				continue
+			}
+			body := (&wire.JoinBody{ID: id, Addr: addr}).Encode()
+			resp, err := tr.Request(p.Addr, &wire.Envelope{Kind: wire.KindJoin, From: id, Body: body}, 5*time.Second)
+			if err != nil {
+				log.Printf("join via %s failed: %v", p.Addr, err)
+				continue
+			}
+			ack, err := wire.DecodeJoinAck(resp.Body)
+			if err != nil || ack.Err != "" {
+				log.Printf("join rejected: %v %s", err, ack.Err)
+				continue
+			}
+			t, err := partition.Decode(ack.Table)
+			if err == nil {
+				log.Printf("joined: now %d matchers in table v%d", t.N(), t.Version())
+			}
+			return
+		}
+		time.Sleep(time.Second)
+	}
+	log.Print("join: no dispatcher discovered within 60s")
+}
+
+func runDispatcher(tr transport.Transport, space *core.Space, id core.NodeID,
+	addr string, seeds []string, bootstrap int, policyName string) {
+	pol := policyByName(policyName, int64(id))
+	d, err := dispatcher.New(dispatcher.Config{
+		ID: id, Addr: addr, Space: space, Transport: tr, Seeds: seeds, Policy: pol,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer d.Stop()
+	log.Printf("dispatcher %v listening on %s (policy %s)", id, d.Addr(), pol.Name())
+
+	if bootstrap > 0 {
+		go bootstrapTable(d, space, bootstrap)
+	}
+	waitForSignal()
+}
+
+// bootstrapTable publishes the initial uniform table once enough matchers
+// are visible and no table circulates yet.
+func bootstrapTable(d *dispatcher.Dispatcher, space *core.Space, want int) {
+	for {
+		time.Sleep(500 * time.Millisecond)
+		if d.Table() != nil {
+			return // someone already bootstrapped
+		}
+		var ids []core.NodeID
+		for _, p := range d.Gossiper().Peers() {
+			if p.Role == core.RoleMatcher && p.Alive {
+				ids = append(ids, p.ID)
+			}
+		}
+		if len(ids) < want {
+			continue
+		}
+		t, err := partition.NewUniform(space, ids[:want])
+		if err != nil {
+			log.Printf("bootstrap: %v", err)
+			return
+		}
+		d.SetTable(t)
+		log.Printf("bootstrapped table v%d over %d matchers", t.Version(), want)
+		return
+	}
+}
+
+func policyByName(name string, seed int64) forwardPolicy {
+	if p := forwardByName(name, seed); p != nil {
+		return p
+	}
+	log.Fatalf("unknown policy %q", name)
+	return nil
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-ch
+	fmt.Fprintf(os.Stderr, "shutting down on %v\n", sig)
+}

@@ -1,0 +1,11 @@
+package main
+
+import "bluedove/internal/forward"
+
+// forwardPolicy aliases the forwarding-policy interface for main.
+type forwardPolicy = forward.Policy
+
+// forwardByName resolves a policy flag value.
+func forwardByName(name string, seed int64) forwardPolicy {
+	return forward.ByName(name, seed)
+}

@@ -1,0 +1,113 @@
+// Elasticity and fault tolerance, live: a cluster grows by splitting the
+// most loaded matcher's segments when a new matcher joins (paper Section
+// III-C), and survives a matcher crash — after failure detection the
+// survivors take over and no further messages are lost (Section IV-E).
+// Run with:
+//
+//	go run ./examples/elastic
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"bluedove"
+)
+
+func main() {
+	space := bluedove.UniformSpace(4, 1000)
+	c, err := bluedove.StartCluster(bluedove.ClusterOptions{
+		Space:          space,
+		Matchers:       3,
+		Dispatchers:    2,
+		GossipInterval: 100 * time.Millisecond,
+		ReportInterval: 100 * time.Millisecond,
+		FailAfter:      time.Second,
+		RecoveryDelay:  500 * time.Millisecond,
+		PruneGrace:     500 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster up: %d matchers, table v%d\n", c.Table().N(), c.Table().Version())
+
+	var delivered atomic.Int64
+	subscriber, err := c.NewClient(0, func(*bluedove.Message, []bluedove.SubscriptionID) {
+		delivered.Add(1)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A catch-all subscription: every publication must be delivered, so
+	// delivery counts expose any loss across membership changes.
+	if _, err := subscriber.Subscribe([]bluedove.Range{
+		{Low: 0, High: 1000}, {Low: 0, High: 1000}, {Low: 0, High: 1000}, {Low: 0, High: 1000},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	publisher, err := c.NewClient(1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	publish := func(n int) {
+		for i := 0; i < n; i++ {
+			v := float64((i * 37) % 1000)
+			if err := publisher.Publish([]float64{v, 999 - v, v / 2, 500}, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	waitDelivered := func(want int64, within time.Duration) {
+		deadline := time.Now().Add(within)
+		for time.Now().Before(deadline) && delivered.Load() < want {
+			time.Sleep(20 * time.Millisecond)
+		}
+		fmt.Printf("  delivered %d/%d\n", delivered.Load(), want)
+	}
+
+	fmt.Println("phase 1: steady state, 3 matchers")
+	publish(100)
+	waitDelivered(100, 5*time.Second)
+
+	fmt.Println("phase 2: elastic growth — a new matcher joins and takes half of the most loaded segments")
+	id, err := c.AddMatcher()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.WaitForTable(2, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  matcher %v joined: table v%d now has %d matchers\n", id, c.Table().Version(), c.Table().N())
+	publish(100)
+	waitDelivered(200, 5*time.Second)
+
+	fmt.Println("phase 3: crash — kill a matcher without warning")
+	victim := c.MatcherIDs()[0]
+	if err := c.CrashMatcher(victim); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  crashed %v; waiting for failure detection and recovery...\n", victim)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if t := c.Table(); t != nil && !t.HasMatcher(victim) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("  recovered: table v%d, %d matchers\n", c.Table().Version(), c.Table().N())
+
+	publish(100)
+	waitDelivered(300, 8*time.Second)
+	if delivered.Load() < 300 {
+		log.Fatal("messages lost after recovery")
+	}
+	fmt.Println("all publications after recovery were delivered — no steady-state loss")
+}

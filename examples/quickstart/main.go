@@ -1,0 +1,82 @@
+// Quickstart: boot an in-process BlueDove cluster, subscribe, publish,
+// receive. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bluedove"
+)
+
+func main() {
+	// A two-dimensional attribute space: temperature and humidity.
+	space := bluedove.MustSpace(
+		bluedove.Dimension{Name: "temperature", Min: -40, Max: 60},
+		bluedove.Dimension{Name: "humidity", Min: 0, Max: 100},
+	)
+
+	// Four matchers and two dispatchers wired over an in-process mesh with
+	// snappy control loops for the demo.
+	c, err := bluedove.StartCluster(bluedove.ClusterOptions{
+		Space:          space,
+		Matchers:       4,
+		Dispatchers:    2,
+		GossipInterval: 100 * time.Millisecond,
+		ReportInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// A subscriber interested in heat warnings: temperature in [30, 60),
+	// any humidity above 40%.
+	done := make(chan struct{})
+	subscriber, err := c.NewClient(0, func(m *bluedove.Message, ids []bluedove.SubscriptionID) {
+		fmt.Printf("ALERT %v: temperature=%.1f°C humidity=%.0f%% payload=%q\n",
+			ids, m.Attrs[0], m.Attrs[1], m.Payload)
+		close(done)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	subID, err := subscriber.Subscribe([]bluedove.Range{
+		{Low: 30, High: 60},
+		{Low: 40, High: 100},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered subscription %v\n", subID)
+	time.Sleep(300 * time.Millisecond) // let the stores land on matchers
+
+	// A publisher (different client, different dispatcher) emits readings.
+	publisher, err := c.NewClient(1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	readings := [][]float64{
+		{22.5, 55}, // comfortable: no match
+		{35.0, 20}, // hot but dry: no match
+		{38.5, 70}, // hot and humid: match!
+	}
+	for _, r := range readings {
+		if err := publisher.Publish(r, []byte("sensor-17")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	select {
+	case <-done:
+		fmt.Println("delivered exactly the matching reading — done")
+	case <-time.After(5 * time.Second):
+		log.Fatal("no delivery arrived")
+	}
+}

@@ -1,0 +1,108 @@
+// Stock-quote distribution with indirect (polled) delivery — the paper's
+// model for subscribers "such as mobile phones that may not be able to
+// listen on an IP/port waiting for incoming messages" (Section II-B): the
+// dispatcher hosts a per-subscriber queue that the client polls. Run with:
+//
+//	go run ./examples/stockticker
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"bluedove"
+)
+
+// Symbols are mapped onto a numeric dimension: each symbol owns one unit
+// interval [i, i+1).
+var symbols = []string{"ACME", "GLOBEX", "INITECH", "UMBRELLA", "WAYNE"}
+
+func symbolRange(sym string) bluedove.Range {
+	for i, s := range symbols {
+		if s == sym {
+			return bluedove.Range{Low: float64(i), High: float64(i + 1)}
+		}
+	}
+	panic("unknown symbol " + sym)
+}
+
+func main() {
+	// Dimensions: symbol (categorical), price, volume.
+	space := bluedove.MustSpace(
+		bluedove.Dimension{Name: "symbol", Min: 0, Max: float64(len(symbols))},
+		bluedove.Dimension{Name: "price", Min: 0, Max: 10000},
+		bluedove.Dimension{Name: "volume", Min: 0, Max: 1e6},
+	)
+	c, err := bluedove.StartCluster(bluedove.ClusterOptions{
+		Space:          space,
+		Matchers:       5,
+		Dispatchers:    2,
+		GossipInterval: 100 * time.Millisecond,
+		ReportInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// A mobile client that cannot accept inbound connections: it registers
+	// with no delivery handler and polls the dispatcher-hosted queue.
+	mobile, err := c.NewClient(0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Interested in large ACME trades above $50.
+	if _, err := mobile.Subscribe([]bluedove.Range{
+		symbolRange("ACME"),
+		{Low: 50, High: 10000},
+		{Low: 10000, High: 1e6},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	// The exchange feed publishes a burst of trades.
+	feed, err := c.NewClient(1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	want := 0
+	for i := 0; i < 200; i++ {
+		sym := symbols[rng.Intn(len(symbols))]
+		price := rng.Float64() * 200
+		volume := float64(rng.Intn(100000))
+		if sym == "ACME" && price >= 50 && volume >= 10000 {
+			want++
+		}
+		symVal := symbolRange(sym).Low + 0.5
+		if err := feed.Publish([]float64{symVal, price, volume},
+			[]byte(fmt.Sprintf("%s %.2f x%0.f", sym, price, volume))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The mobile client wakes up periodically and drains its queue.
+	got := 0
+	deadline := time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) && got < want {
+		time.Sleep(200 * time.Millisecond)
+		ticks, err := mobile.Poll(64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tk := range ticks {
+			fmt.Printf("tick: %s\n", tk.Msg.Payload)
+			got++
+		}
+	}
+	fmt.Printf("received %d large ACME trades (expected %d) via polling\n", got, want)
+	if got != want {
+		log.Fatal("delivery mismatch")
+	}
+}

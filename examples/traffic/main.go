@@ -1,0 +1,114 @@
+// Traffic monitoring — the scenario that motivates the paper's
+// introduction: road sensors publish messages with longitude, latitude,
+// speed and timestamp attributes; drivers subscribe to congestion in the
+// rectangles covering their routes ("the driver wants messages where the
+// vehicle speed is in [0, 25) mph and the location is in a rectangular
+// area"). Run with:
+//
+//	go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"bluedove"
+)
+
+func main() {
+	// The paper's example space (Section II-A): longitude, latitude, speed,
+	// plus a time-of-day dimension.
+	space := bluedove.MustSpace(
+		bluedove.Dimension{Name: "longitude", Min: -180, Max: 180},
+		bluedove.Dimension{Name: "latitude", Min: -90, Max: 90},
+		bluedove.Dimension{Name: "speed", Min: 0, Max: 120},
+		bluedove.Dimension{Name: "hour", Min: 0, Max: 24},
+	)
+	c, err := bluedove.StartCluster(bluedove.ClusterOptions{
+		Space:          space,
+		Matchers:       6,
+		Dispatchers:    2,
+		GossipInterval: 100 * time.Millisecond,
+		ReportInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// Drivers subscribe to congestion (speed < 25 mph) in their commute
+	// rectangles — the paper's running example is the [-42,-41)×[70,74)
+	// corridor.
+	type driver struct {
+		name string
+		rect [2]bluedove.Range // longitude, latitude
+	}
+	drivers := []driver{
+		{"alice", [2]bluedove.Range{{Low: -42, High: -41}, {Low: 70, High: 74}}},
+		{"bob", [2]bluedove.Range{{Low: -74.5, High: -73.5}, {Low: 40.4, High: 41}}},
+		{"carol", [2]bluedove.Range{{Low: -0.5, High: 0.5}, {Low: 51, High: 52}}},
+	}
+	var alerts atomic.Int64
+	for _, d := range drivers {
+		d := d
+		cl, err := c.NewClient(0, func(m *bluedove.Message, _ []bluedove.SubscriptionID) {
+			alerts.Add(1)
+			fmt.Printf("  -> %s: congestion at (%.2f, %.2f), %.0f mph\n",
+				d.name, m.Attrs[0], m.Attrs[1], m.Attrs[2])
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := cl.Subscribe([]bluedove.Range{
+			d.rect[0], d.rect[1],
+			{Low: 0, High: 25}, // congestion: slow traffic only
+			{Low: 0, High: 24}, // any time of day
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	// Road sensors publish readings: some in the drivers' areas (congested
+	// and free-flowing), most elsewhere.
+	sensors, err := c.NewClient(1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	published, expect := 0, 0
+	emit := func(lon, lat, speed, hour float64) {
+		if err := sensors.Publish([]float64{lon, lat, speed, hour}, nil); err != nil {
+			log.Fatal(err)
+		}
+		published++
+		for _, d := range drivers {
+			if d.rect[0].Contains(lon) && d.rect[1].Contains(lat) && speed < 25 {
+				expect++
+			}
+		}
+	}
+	emit(-41.5, 72, 12, 8.5)  // alice's corridor, crawling: alert
+	emit(-41.5, 72, 55, 9)    // alice's corridor, free flow: no alert
+	emit(-74.1, 40.7, 8, 18)  // bob's bridge, jammed: alert
+	emit(0.1, 51.5, 3, 17.5)  // carol's junction, gridlock: alert
+	for i := 0; i < 50; i++ { // background traffic across the world
+		emit(rng.Float64()*360-180, rng.Float64()*180-90, rng.Float64()*120, rng.Float64()*24)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && int(alerts.Load()) < expect {
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("%d sensor readings published, %d congestion alerts delivered (expected %d)\n",
+		published, alerts.Load(), expect)
+	if int(alerts.Load()) != expect {
+		log.Fatal("delivery mismatch")
+	}
+}

@@ -1,0 +1,3 @@
+module bluedove
+
+go 1.24

@@ -1,0 +1,147 @@
+// Package client is the BlueDove client library: publishers and subscribers
+// connect to any dispatcher (the paper's Internet-facing front end) to
+// register subscriptions, publish messages, and receive notifications —
+// either pushed directly to a listening client or fetched by polling the
+// dispatcher-hosted queue (paper Section II-B).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// Transport carries client traffic; required.
+	Transport transport.Transport
+	// DispatcherAddr is the front-end endpoint to talk to; required.
+	DispatcherAddr string
+	// Subscriber identifies this client; required for subscribing.
+	Subscriber core.SubscriberID
+	// ListenAddr, when set together with OnDeliver, enables direct
+	// delivery: the client listens here for pushed notifications.
+	ListenAddr string
+	// OnDeliver receives pushed notifications in direct mode. It is called
+	// from transport goroutines; implementations must be concurrency-safe.
+	OnDeliver func(msg *core.Message, subIDs []core.SubscriptionID)
+	// RequestTimeout bounds subscribe/poll round-trips (default 5s).
+	RequestTimeout time.Duration
+}
+
+// Client is a connected BlueDove client.
+type Client struct {
+	cfg        Config
+	listenAddr string
+}
+
+// New builds a client; in direct mode (ListenAddr + OnDeliver set) it binds
+// the delivery listener immediately.
+func New(cfg Config) (*Client, error) {
+	if cfg.Transport == nil || cfg.DispatcherAddr == "" {
+		return nil, errors.New("client: Transport and DispatcherAddr are required")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	c := &Client{cfg: cfg}
+	if cfg.OnDeliver != nil {
+		if cfg.ListenAddr == "" {
+			return nil, errors.New("client: OnDeliver requires ListenAddr")
+		}
+		addr, err := cfg.Transport.Listen(cfg.ListenAddr, c.handle)
+		if err != nil {
+			return nil, err
+		}
+		c.listenAddr = addr
+	}
+	return c, nil
+}
+
+// handle receives pushed deliveries in direct mode.
+func (c *Client) handle(env *wire.Envelope) *wire.Envelope {
+	if env.Kind != wire.KindDeliver {
+		return nil
+	}
+	b, err := wire.DecodeDeliver(env.Body)
+	if err != nil {
+		return nil
+	}
+	c.cfg.OnDeliver(b.Msg, b.SubIDs)
+	return nil
+}
+
+// DeliverAddr returns the address matchers push to (empty in indirect
+// mode).
+func (c *Client) DeliverAddr() string { return c.listenAddr }
+
+// Subscribe registers interest as a conjunction of per-dimension ranges and
+// returns the assigned subscription ID.
+func (c *Client) Subscribe(preds []core.Range) (core.SubscriptionID, error) {
+	sub := core.NewSubscription(c.cfg.Subscriber, preds)
+	body := (&wire.SubscribeBody{Sub: sub, DeliverAddr: c.listenAddr}).Encode()
+	resp, err := c.cfg.Transport.Request(c.cfg.DispatcherAddr,
+		&wire.Envelope{Kind: wire.KindSubscribe, Body: body}, c.cfg.RequestTimeout)
+	if err != nil {
+		return 0, err
+	}
+	switch resp.Kind {
+	case wire.KindSubscribeAck:
+		ack, err := wire.DecodeSubscribeAck(resp.Body)
+		if err != nil {
+			return 0, err
+		}
+		return ack.ID, nil
+	case wire.KindError:
+		if e, err := wire.DecodeError(resp.Body); err == nil {
+			return 0, fmt.Errorf("client: subscribe rejected: %s", e.Text)
+		}
+	}
+	return 0, fmt.Errorf("client: unexpected response %v", resp.Kind)
+}
+
+// Unsubscribe removes a subscription.
+func (c *Client) Unsubscribe(id core.SubscriptionID) error {
+	body := (&wire.UnsubscribeBody{ID: id}).Encode()
+	return c.cfg.Transport.Send(c.cfg.DispatcherAddr,
+		&wire.Envelope{Kind: wire.KindUnsubscribe, Body: body})
+}
+
+// Publish sends one publication (a point in the attribute space plus an
+// opaque payload).
+func (c *Client) Publish(attrs []float64, payload []byte) error {
+	msg := core.NewMessage(attrs, payload)
+	body := (&wire.PublishBody{Msg: msg}).Encode()
+	return c.cfg.Transport.Send(c.cfg.DispatcherAddr,
+		&wire.Envelope{Kind: wire.KindPublish, Body: body})
+}
+
+// Poll fetches up to max queued notifications (indirect mode); max <= 0
+// uses the server default batch.
+func (c *Client) Poll(max int) ([]wire.DeliverBody, error) {
+	body := (&wire.PollBody{Subscriber: c.cfg.Subscriber, Max: uint32(maxNonNeg(max))}).Encode()
+	resp, err := c.cfg.Transport.Request(c.cfg.DispatcherAddr,
+		&wire.Envelope{Kind: wire.KindPoll, Body: body}, c.cfg.RequestTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind != wire.KindPollResponse {
+		return nil, fmt.Errorf("client: unexpected response %v", resp.Kind)
+	}
+	b, err := wire.DecodePollResponse(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return b.Deliveries, nil
+}
+
+func maxNonNeg(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

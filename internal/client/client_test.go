@@ -1,0 +1,216 @@
+package client
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// fakeDispatcher scripts dispatcher responses on a mesh.
+type fakeDispatcher struct {
+	mu     sync.Mutex
+	subs   []*wire.SubscribeBody
+	pubs   []*wire.PublishBody
+	unsubs []*wire.UnsubscribeBody
+	queued []wire.DeliverBody
+}
+
+func startFake(t *testing.T, mesh *transport.Mesh) *fakeDispatcher {
+	t.Helper()
+	f := &fakeDispatcher{}
+	ep := mesh.Endpoint("disp")
+	_, err := ep.Listen("disp", func(env *wire.Envelope) *wire.Envelope {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		switch env.Kind {
+		case wire.KindSubscribe:
+			b, err := wire.DecodeSubscribe(env.Body)
+			if err != nil {
+				return nil
+			}
+			f.subs = append(f.subs, b)
+			if b.Sub.Predicates[0].Low < 0 {
+				return &wire.Envelope{Kind: wire.KindError,
+					Body: (&wire.ErrorBody{Text: "bad predicate"}).Encode()}
+			}
+			return &wire.Envelope{Kind: wire.KindSubscribeAck,
+				Body: (&wire.SubscribeAckBody{ID: 42, QueueHandle: uint64(b.Sub.Subscriber)}).Encode()}
+		case wire.KindPublish:
+			b, err := wire.DecodePublish(env.Body)
+			if err == nil {
+				f.pubs = append(f.pubs, b)
+			}
+			return nil
+		case wire.KindUnsubscribe:
+			b, err := wire.DecodeUnsubscribe(env.Body)
+			if err == nil {
+				f.unsubs = append(f.unsubs, b)
+			}
+			return nil
+		case wire.KindPoll:
+			out := f.queued
+			f.queued = nil
+			return &wire.Envelope{Kind: wire.KindPollResponse,
+				Body: (&wire.PollResponseBody{Deliveries: out}).Encode()}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	if _, err := New(Config{
+		Transport:      mesh.Endpoint("c"),
+		DispatcherAddr: "disp",
+		OnDeliver:      func(*core.Message, []core.SubscriptionID) {},
+	}); err == nil {
+		t.Error("OnDeliver without ListenAddr accepted")
+	}
+}
+
+func TestSubscribePublishUnsubscribe(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	f := startFake(t, mesh)
+	cl, err := New(Config{
+		Transport:      mesh.Endpoint("c"),
+		DispatcherAddr: "disp",
+		Subscriber:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := cl.Subscribe([]core.Range{{Low: 1, High: 2}})
+	if err != nil || id != 42 {
+		t.Fatalf("Subscribe = %v, %v", id, err)
+	}
+	if cl.DeliverAddr() != "" {
+		t.Error("indirect client has a deliver address")
+	}
+	if err := cl.Publish([]float64{5}, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Unsubscribe(42); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		f.mu.Lock()
+		done := len(f.pubs) == 1 && len(f.unsubs) == 1
+		f.mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.subs) != 1 || f.subs[0].Sub.Subscriber != 7 || f.subs[0].DeliverAddr != "" {
+		t.Fatalf("subs: %+v", f.subs)
+	}
+	if len(f.pubs) != 1 || string(f.pubs[0].Msg.Payload) != "p" {
+		t.Fatalf("pubs: %+v", f.pubs)
+	}
+	if f.unsubs[0].ID != 42 {
+		t.Fatalf("unsubs: %+v", f.unsubs)
+	}
+}
+
+func TestSubscribeErrorSurfaced(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	startFake(t, mesh)
+	cl, err := New(Config{Transport: mesh.Endpoint("c"), DispatcherAddr: "disp", Subscriber: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Subscribe([]core.Range{{Low: -1, High: 2}}); err == nil {
+		t.Error("rejected subscription did not error")
+	}
+}
+
+func TestDirectDelivery(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	f := startFake(t, mesh)
+	_ = f
+	var mu sync.Mutex
+	var got []*core.Message
+	cl, err := New(Config{
+		Transport:      mesh.Endpoint("c"),
+		DispatcherAddr: "disp",
+		Subscriber:     7,
+		ListenAddr:     "c",
+		OnDeliver: func(m *core.Message, ids []core.SubscriptionID) {
+			mu.Lock()
+			got = append(got, m)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.DeliverAddr() != "c" {
+		t.Fatalf("DeliverAddr = %q", cl.DeliverAddr())
+	}
+	// A matcher pushes a delivery directly.
+	m := core.NewMessage([]float64{1}, []byte("hello"))
+	m.ID = 3
+	body := (&wire.DeliverBody{Subscriber: 7, Msg: m, SubIDs: []core.SubscriptionID{42}}).Encode()
+	matcherEp := mesh.Endpoint("matcher")
+	if _, err := matcherEp.Listen("matcher", func(*wire.Envelope) *wire.Envelope { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := matcherEp.Send("c", &wire.Envelope{Kind: wire.KindDeliver, From: 1, Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 1 {
+			if got[0].ID != 3 || string(got[0].Payload) != "hello" {
+				t.Fatalf("delivery: %+v", got[0])
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("delivery never arrived")
+}
+
+func TestPoll(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	f := startFake(t, mesh)
+	m := core.NewMessage([]float64{1}, nil)
+	m.ID = 9
+	f.mu.Lock()
+	f.queued = []wire.DeliverBody{{Subscriber: 7, Msg: m}}
+	f.mu.Unlock()
+	cl, err := New(Config{Transport: mesh.Endpoint("c"), DispatcherAddr: "disp", Subscriber: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := cl.Poll(-5) // negative clamps to default
+	if err != nil || len(ds) != 1 || ds[0].Msg.ID != 9 {
+		t.Fatalf("Poll = %+v, %v", ds, err)
+	}
+	ds, err = cl.Poll(10)
+	if err != nil || len(ds) != 0 {
+		t.Fatalf("second Poll = %+v, %v", ds, err)
+	}
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/workload"
+)
+
+// BenchmarkEndToEndPublish measures the real runtime (not the simulator):
+// publish → dispatch → match → direct delivery across an in-process mesh.
+func BenchmarkEndToEndPublish(b *testing.B) {
+	opts := fastOptions(4)
+	c, err := Start(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	var delivered atomic.Int64
+	sub, err := c.NewClient(0, func(*core.Message, []core.SubscriptionID) {
+		delivered.Add(1)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.New(workload.Default(opts.Space))
+	for i := 0; i < 500; i++ {
+		s := gen.Subscription()
+		if _, err := sub.Subscribe(s.Predicates); err != nil {
+			b.Fatal(err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+	pub, err := c.NewClient(1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := gen.Messages(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := msgs[i%len(msgs)]
+		if err := pub.Publish(m.Attrs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Drain so the delivery rate is meaningful.
+	deadline := time.Now().Add(10 * time.Second)
+	var last int64 = -1
+	for time.Now().Before(deadline) {
+		cur := delivered.Load()
+		if cur == last {
+			break
+		}
+		last = cur
+		time.Sleep(50 * time.Millisecond)
+	}
+	b.ReportMetric(float64(delivered.Load())/float64(b.N), "deliveries/publish")
+}

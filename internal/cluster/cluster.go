@@ -1,0 +1,405 @@
+// Package cluster assembles complete BlueDove deployments: N matchers and D
+// dispatchers wired over an in-process mesh (tests, examples) or real TCP
+// (production, the cmd/ binaries), bootstrapped with a uniform mPartition
+// table, with elasticity (joining matchers via the paper's dispatcher-driven
+// split protocol) and failure injection.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bluedove/internal/client"
+	"bluedove/internal/core"
+	"bluedove/internal/dispatcher"
+	"bluedove/internal/forward"
+	"bluedove/internal/index"
+	"bluedove/internal/matcher"
+	"bluedove/internal/partition"
+	"bluedove/internal/placement"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Space is the attribute space; required.
+	Space *core.Space
+	// Matchers is the initial matcher count (default 4).
+	Matchers int
+	// Dispatchers is the dispatcher count (default 2, as in the paper).
+	Dispatchers int
+	// Strategy is the placement strategy (default placement.BlueDove{}).
+	Strategy placement.Strategy
+	// Policy is the forwarding policy (default forward.Adaptive{}).
+	Policy forward.Policy
+	// IndexKind selects matcher indexes (default bucket).
+	IndexKind index.Kind
+	// TCP selects real TCP on loopback instead of the in-process mesh.
+	TCP bool
+	// GossipInterval, FailAfter, ReportInterval, RecoveryDelay, PruneGrace
+	// tune the control loops; defaults follow the paper (1s, 10s, 1s, 5s,
+	// 3s). Tests shrink them.
+	GossipInterval time.Duration
+	FailAfter      time.Duration
+	ReportInterval time.Duration
+	RecoveryDelay  time.Duration
+	PruneGrace     time.Duration
+	// WorkersPerDim sizes matcher stages (default 1).
+	WorkersPerDim int
+	// Persistent enables at-least-once forwarding: dispatchers retain each
+	// publication until a matcher acks it, so crashes lose no accepted
+	// messages (paper Section VI future work; duplicates possible).
+	Persistent bool
+	// RetryInterval is the persistence retransmit timeout (default 2s).
+	RetryInterval time.Duration
+}
+
+func (o *Options) defaults() error {
+	if o.Space == nil {
+		return errors.New("cluster: Space is required")
+	}
+	if o.Matchers <= 0 {
+		o.Matchers = 4
+	}
+	if o.Dispatchers <= 0 {
+		o.Dispatchers = 2
+	}
+	if o.Strategy == nil {
+		o.Strategy = placement.BlueDove{}
+	}
+	if o.Policy == nil {
+		o.Policy = forward.Adaptive{}
+	}
+	if o.GossipInterval <= 0 {
+		o.GossipInterval = time.Second
+	}
+	if o.FailAfter <= 0 {
+		o.FailAfter = 10 * time.Second
+	}
+	if o.ReportInterval <= 0 {
+		o.ReportInterval = time.Second
+	}
+	if o.RecoveryDelay <= 0 {
+		o.RecoveryDelay = 5 * time.Second
+	}
+	if o.PruneGrace <= 0 {
+		o.PruneGrace = 3 * time.Second
+	}
+	return nil
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	opts Options
+	mesh *transport.Mesh // nil when TCP
+
+	dispatchers []*dispatcher.Dispatcher
+	matchers    map[core.NodeID]*matcher.Matcher
+	matcherTr   map[core.NodeID]transport.Transport
+	order       []core.NodeID
+
+	nextNode       core.NodeID
+	nextSubscriber core.SubscriberID
+	seeds          []string
+}
+
+// Start boots a cluster and blocks until the initial segment table has been
+// published.
+func Start(opts Options) (*Cluster, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		opts:      opts,
+		matchers:  make(map[core.NodeID]*matcher.Matcher),
+		matcherTr: make(map[core.NodeID]transport.Transport),
+		nextNode:  1,
+	}
+	if !opts.TCP {
+		c.mesh = transport.NewMesh(0)
+	}
+
+	// Matchers first: their addresses seed the gossip overlay.
+	ids := make([]core.NodeID, opts.Matchers)
+	for i := 0; i < opts.Matchers; i++ {
+		id := c.nextNode
+		c.nextNode++
+		m, err := c.startMatcher(id)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		ids[i] = id
+		c.matchers[id] = m
+		c.order = append(c.order, id)
+		if i == 0 {
+			c.seeds = []string{m.Addr()}
+		}
+	}
+	for i := 0; i < opts.Dispatchers; i++ {
+		id := c.nextNode
+		c.nextNode++
+		d, err := c.startDispatcher(id)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.dispatchers = append(c.dispatchers, d)
+	}
+	tab, err := partition.NewUniform(opts.Space, ids)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.dispatchers[0].SetTable(tab)
+	return c, nil
+}
+
+// newTransport creates the per-node transport.
+func (c *Cluster) newTransport(label string) transport.Transport {
+	if c.opts.TCP {
+		return transport.NewTCP()
+	}
+	return c.mesh.Endpoint(label)
+}
+
+// nodeAddr returns the listen address for a node label.
+func (c *Cluster) nodeAddr(label string) string {
+	if c.opts.TCP {
+		return "127.0.0.1:0"
+	}
+	return label
+}
+
+func (c *Cluster) startMatcher(id core.NodeID) (*matcher.Matcher, error) {
+	label := fmt.Sprintf("matcher-%d", id)
+	tr := c.newTransport(label)
+	m, err := matcher.New(matcher.Config{
+		ID:             id,
+		Addr:           c.nodeAddr(label),
+		Space:          c.opts.Space,
+		Transport:      tr,
+		Seeds:          c.seeds,
+		IndexKind:      c.opts.IndexKind,
+		WorkersPerDim:  c.opts.WorkersPerDim,
+		ReportInterval: c.opts.ReportInterval,
+		GossipInterval: c.opts.GossipInterval,
+		FailAfter:      c.opts.FailAfter,
+		PruneGrace:     c.opts.PruneGrace,
+		Generation:     1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Start(); err != nil {
+		return nil, err
+	}
+	c.matcherTr[id] = tr
+	return m, nil
+}
+
+func (c *Cluster) startDispatcher(id core.NodeID) (*dispatcher.Dispatcher, error) {
+	label := fmt.Sprintf("dispatcher-%d", id)
+	d, err := dispatcher.New(dispatcher.Config{
+		ID:             id,
+		Addr:           c.nodeAddr(label),
+		Space:          c.opts.Space,
+		Transport:      c.newTransport(label),
+		Seeds:          c.seeds,
+		Strategy:       c.opts.Strategy,
+		Policy:         c.opts.Policy,
+		GossipInterval: c.opts.GossipInterval,
+		FailAfter:      c.opts.FailAfter,
+		RecoveryDelay:  c.opts.RecoveryDelay,
+		Persistent:     c.opts.Persistent,
+		RetryInterval:  c.opts.RetryInterval,
+		Generation:     1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Start(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// DispatcherAddrs returns the front-end addresses clients connect to.
+func (c *Cluster) DispatcherAddrs() []string {
+	out := make([]string, len(c.dispatchers))
+	for i, d := range c.dispatchers {
+		out[i] = d.Addr()
+	}
+	return out
+}
+
+// Dispatchers returns the running dispatcher nodes.
+func (c *Cluster) Dispatchers() []*dispatcher.Dispatcher { return c.dispatchers }
+
+// Matcher returns the running matcher with the given ID, or nil.
+func (c *Cluster) Matcher(id core.NodeID) *matcher.Matcher { return c.matchers[id] }
+
+// MatcherIDs returns all started matcher IDs in start order (including any
+// later stopped ones).
+func (c *Cluster) MatcherIDs() []core.NodeID {
+	out := make([]core.NodeID, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// AddMatcher starts a new matcher and runs the paper's join protocol: the
+// matcher contacts a dispatcher, which splits the most loaded matcher's
+// segment on every dimension and hands the halves over. Returns the new
+// matcher's ID.
+func (c *Cluster) AddMatcher() (core.NodeID, error) {
+	id := c.nextNode
+	c.nextNode++
+	m, err := c.startMatcher(id)
+	if err != nil {
+		return 0, err
+	}
+	c.matchers[id] = m
+	c.order = append(c.order, id)
+	body := (&wire.JoinBody{ID: id, Addr: m.Addr()}).Encode()
+	resp, err := c.matcherTr[id].Request(c.dispatchers[0].Addr(),
+		&wire.Envelope{Kind: wire.KindJoin, From: id, Body: body}, 5*time.Second)
+	if err != nil {
+		return id, fmt.Errorf("cluster: join request: %w", err)
+	}
+	ack, err := wire.DecodeJoinAck(resp.Body)
+	if err != nil {
+		return id, err
+	}
+	if ack.Err != "" {
+		return id, fmt.Errorf("cluster: join rejected: %s", ack.Err)
+	}
+	return id, nil
+}
+
+// CrashMatcher kills a matcher without any goodbye: its traffic is dropped
+// from the instant of the crash, and the cluster relies on failure
+// detection and recovery (paper Section IV-E).
+func (c *Cluster) CrashMatcher(id core.NodeID) error {
+	m, ok := c.matchers[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown matcher %v", id)
+	}
+	if c.mesh != nil {
+		c.mesh.SetDown(m.Addr(), true)
+	}
+	m.Stop()
+	if c.opts.TCP {
+		c.matcherTr[id].Close()
+	}
+	return nil
+}
+
+// IsolateMatcherOutbound cuts (or heals) every outbound link of a matcher
+// on the in-process mesh: it still receives traffic but its deliveries,
+// acks, reports and gossip responses are lost — a one-way network failure.
+// Only available on mesh clusters.
+func (c *Cluster) IsolateMatcherOutbound(id core.NodeID, cut bool) error {
+	if c.mesh == nil {
+		return errors.New("cluster: outbound isolation requires the in-process mesh")
+	}
+	m, ok := c.matchers[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown matcher %v", id)
+	}
+	for _, d := range c.dispatchers {
+		c.mesh.Partition(m.Addr(), d.Addr(), cut)
+	}
+	for _, other := range c.matchers {
+		if other.ID() != id {
+			c.mesh.Partition(m.Addr(), other.Addr(), cut)
+		}
+	}
+	return nil
+}
+
+// PartitionLink cuts (or heals) the directed mesh link from one address to
+// another (mesh clusters only); exposed for fault-injection tests.
+func (c *Cluster) PartitionLink(from, to string, cut bool) error {
+	if c.mesh == nil {
+		return errors.New("cluster: partitions require the in-process mesh")
+	}
+	c.mesh.Partition(from, to, cut)
+	return nil
+}
+
+// NewSubscriberID allocates a unique subscriber identity.
+func (c *Cluster) NewSubscriberID() core.SubscriberID {
+	c.nextSubscriber++
+	return c.nextSubscriber
+}
+
+// NewClient connects a client to dispatcher dispIdx. When onDeliver is
+// non-nil the client uses direct delivery; otherwise indirect (polled).
+func (c *Cluster) NewClient(dispIdx int, onDeliver func(*core.Message, []core.SubscriptionID)) (*client.Client, error) {
+	if dispIdx < 0 || dispIdx >= len(c.dispatchers) {
+		return nil, fmt.Errorf("cluster: dispatcher index %d out of range", dispIdx)
+	}
+	sub := c.NewSubscriberID()
+	label := fmt.Sprintf("client-%d", sub)
+	cfg := client.Config{
+		Transport:      c.newTransport(label),
+		DispatcherAddr: c.dispatchers[dispIdx].Addr(),
+		Subscriber:     sub,
+	}
+	if onDeliver != nil {
+		cfg.ListenAddr = c.nodeAddr(label)
+		cfg.OnDeliver = onDeliver
+	}
+	return client.New(cfg)
+}
+
+// Table returns the current authoritative table as seen by dispatcher 0.
+func (c *Cluster) Table() *partition.Table { return c.dispatchers[0].Table() }
+
+// WaitForTable blocks until every matcher and dispatcher has adopted a
+// table with at least the given version (or the timeout elapses).
+func (c *Cluster) WaitForTable(version uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ready := true
+		for _, d := range c.dispatchers {
+			if t := d.Table(); t == nil || t.Version() < version {
+				ready = false
+			}
+		}
+		for _, id := range c.order {
+			m := c.matchers[id]
+			if m == nil {
+				continue
+			}
+			if t := m.Table(); t == nil || t.Version() < version {
+				ready = false
+			}
+		}
+		if ready {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return errors.New("cluster: table propagation timed out")
+}
+
+// Close stops every node.
+func (c *Cluster) Close() {
+	for _, d := range c.dispatchers {
+		d.Stop()
+	}
+	for _, m := range c.matchers {
+		m.Stop()
+	}
+	if c.mesh != nil {
+		c.mesh.Close()
+	}
+	if c.opts.TCP {
+		for _, tr := range c.matcherTr {
+			tr.Close()
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// MessageID uniquely identifies a publication within a cluster. IDs are
+// assigned by the dispatcher that first receives the publication.
+type MessageID uint64
+
+// String renders the ID in decimal.
+func (id MessageID) String() string { return "msg-" + strconv.FormatUint(uint64(id), 10) }
+
+// Message is a publication: a point in the attribute space plus an opaque
+// payload. Attrs[i] is the value on dimension i of the owning Space.
+type Message struct {
+	// ID is assigned on entry to the system; zero until then.
+	ID MessageID
+	// Attrs holds one value per dimension of the space, in dimension order.
+	Attrs []float64
+	// Payload is the application data carried by the publication. BlueDove
+	// never interprets it.
+	Payload []byte
+	// PublishedAt is the cluster-clock timestamp (nanoseconds) when the
+	// message entered a dispatcher. Used for response-time accounting.
+	PublishedAt int64
+}
+
+// NewMessage builds a message with the given attribute values and payload.
+func NewMessage(attrs []float64, payload []byte) *Message {
+	a := make([]float64, len(attrs))
+	copy(a, attrs)
+	return &Message{Attrs: a, Payload: payload}
+}
+
+// Validate checks that the message is a point inside the given space.
+func (m *Message) Validate(s *Space) error {
+	if len(m.Attrs) != s.K() {
+		return fmt.Errorf("core: message has %d attributes, space has %d dimensions", len(m.Attrs), s.K())
+	}
+	for i, v := range m.Attrs {
+		if math.IsNaN(v) {
+			return fmt.Errorf("core: message attribute %d (%s) is NaN", i, s.Dim(i).Name)
+		}
+		if !s.Dim(i).Contains(v) {
+			return fmt.Errorf("core: message attribute %d (%s) value %g outside [%g,%g)",
+				i, s.Dim(i).Name, v, s.Dim(i).Min, s.Dim(i).Max)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the message. The payload bytes are shared
+// (payloads are immutable by convention).
+func (m *Message) Clone() *Message {
+	c := *m
+	c.Attrs = make([]float64, len(m.Attrs))
+	copy(c.Attrs, m.Attrs)
+	return &c
+}
+
+// String renders a compact human-readable form.
+func (m *Message) String() string {
+	return fmt.Sprintf("%s%v", m.ID, m.Attrs)
+}

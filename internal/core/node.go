@@ -1,0 +1,37 @@
+package core
+
+import "strconv"
+
+// NodeID identifies a server (dispatcher or matcher) in the cluster. IDs are
+// stable for the life of a process incarnation; a restarted server rejoins
+// with a fresh generation number in the gossip layer but keeps its NodeID.
+type NodeID uint64
+
+// String renders the ID in decimal.
+func (id NodeID) String() string { return "node-" + strconv.FormatUint(uint64(id), 10) }
+
+// NodeRole distinguishes the two tiers of the BlueDove architecture
+// (Section II-B): front-end dispatchers and back-end matchers.
+type NodeRole uint8
+
+// Node roles.
+const (
+	// RoleDispatcher marks a front-end server that receives subscriptions
+	// and publications from clients and forwards them to matchers.
+	RoleDispatcher NodeRole = iota + 1
+	// RoleMatcher marks a back-end server that stores subscriptions and
+	// performs matching.
+	RoleMatcher
+)
+
+// String returns "dispatcher", "matcher", or "unknown".
+func (r NodeRole) String() string {
+	switch r {
+	case RoleDispatcher:
+		return "dispatcher"
+	case RoleMatcher:
+		return "matcher"
+	default:
+		return "unknown"
+	}
+}

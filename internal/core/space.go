@@ -1,0 +1,164 @@
+// Package core defines the attribute-based publish/subscribe data model used
+// throughout BlueDove: a k-dimensional attribute space, messages as points in
+// that space, and subscriptions as hyper-cuboids (conjunctions of one range
+// predicate per dimension).
+//
+// The model follows Section II-A of the paper: given k attributes
+// {L1,...,Lk} with ordered value sets V^i, a message is a point
+// m = (v1,...,vk) and a subscription is S = S^1 x ... x S^k with
+// S^i = [l^i, u^i). A message matches a subscription iff m ∈ S.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dimension describes one attribute (one axis of the attribute space).
+// Values along a dimension are float64 drawn from the half-open interval
+// [Min, Max). Integer- or enum-valued attributes are represented by mapping
+// them onto this continuum.
+type Dimension struct {
+	// Name identifies the attribute, e.g. "longitude" or "speed".
+	Name string
+	// Min is the inclusive lower bound of the attribute's value set.
+	Min float64
+	// Max is the exclusive upper bound of the attribute's value set.
+	Max float64
+}
+
+// Extent returns the length of the dimension's value range.
+func (d Dimension) Extent() float64 { return d.Max - d.Min }
+
+// Contains reports whether v lies within the dimension's value set [Min, Max).
+func (d Dimension) Contains(v float64) bool { return v >= d.Min && v < d.Max }
+
+// Clamp returns v restricted to [Min, Max). Values at or above Max are
+// mapped to the largest representable value below Max.
+func (d Dimension) Clamp(v float64) float64 {
+	if v < d.Min {
+		return d.Min
+	}
+	if v >= d.Max {
+		return math.Nextafter(d.Max, d.Min)
+	}
+	return v
+}
+
+func (d Dimension) validate() error {
+	if d.Name == "" {
+		return errors.New("core: dimension has empty name")
+	}
+	if !(d.Min < d.Max) {
+		return fmt.Errorf("core: dimension %q has empty value range [%g, %g)", d.Name, d.Min, d.Max)
+	}
+	if math.IsNaN(d.Min) || math.IsNaN(d.Max) || math.IsInf(d.Min, 0) || math.IsInf(d.Max, 0) {
+		return fmt.Errorf("core: dimension %q has non-finite bounds", d.Name)
+	}
+	return nil
+}
+
+// Space is a k-dimensional attribute space V = V^1 x ... x V^k. It is
+// immutable after construction and safe for concurrent use.
+type Space struct {
+	dims   []Dimension
+	byName map[string]int
+}
+
+// NewSpace constructs a Space from the given dimensions. It returns an error
+// if there are no dimensions, a dimension is invalid, or two dimensions share
+// a name.
+func NewSpace(dims ...Dimension) (*Space, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("core: space needs at least one dimension")
+	}
+	s := &Space{
+		dims:   make([]Dimension, len(dims)),
+		byName: make(map[string]int, len(dims)),
+	}
+	copy(s.dims, dims)
+	for i, d := range s.dims {
+		if err := d.validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := s.byName[d.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate dimension name %q", d.Name)
+		}
+		s.byName[d.Name] = i
+	}
+	return s, nil
+}
+
+// MustSpace is like NewSpace but panics on error. It is intended for
+// package-level defaults and tests.
+func MustSpace(dims ...Dimension) *Space {
+	s, err := NewSpace(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// UniformSpace returns a Space with k dimensions named "d0".."d(k-1)", each
+// with the value set [0, extent). This matches the paper's evaluation setup
+// (four dimensions, each of length 1000).
+func UniformSpace(k int, extent float64) *Space {
+	dims := make([]Dimension, k)
+	for i := range dims {
+		dims[i] = Dimension{Name: fmt.Sprintf("d%d", i), Min: 0, Max: extent}
+	}
+	return MustSpace(dims...)
+}
+
+// K returns the number of dimensions.
+func (s *Space) K() int { return len(s.dims) }
+
+// Dim returns the i-th dimension. It panics if i is out of range.
+func (s *Space) Dim(i int) Dimension { return s.dims[i] }
+
+// Dims returns a copy of all dimensions in order.
+func (s *Space) Dims() []Dimension {
+	out := make([]Dimension, len(s.dims))
+	copy(out, s.dims)
+	return out
+}
+
+// IndexOf returns the index of the dimension with the given name, or -1 if
+// no such dimension exists.
+func (s *Space) IndexOf(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Equal reports whether two spaces have identical dimensions in identical
+// order.
+func (s *Space) Equal(o *Space) bool {
+	if s == o {
+		return true
+	}
+	if o == nil || len(s.dims) != len(o.dims) {
+		return false
+	}
+	for i, d := range s.dims {
+		if d != o.dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the space as "name[min,max) x ...".
+func (s *Space) String() string {
+	var b strings.Builder
+	for i, d := range s.dims {
+		if i > 0 {
+			b.WriteString(" x ")
+		}
+		fmt.Fprintf(&b, "%s[%g,%g)", d.Name, d.Min, d.Max)
+	}
+	return b.String()
+}

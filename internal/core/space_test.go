@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewSpaceValid(t *testing.T) {
+	s, err := NewSpace(
+		Dimension{Name: "longitude", Min: -180, Max: 180},
+		Dimension{Name: "latitude", Min: -90, Max: 90},
+		Dimension{Name: "speed", Min: 0, Max: 200},
+	)
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	if got := s.K(); got != 3 {
+		t.Fatalf("K() = %d, want 3", got)
+	}
+	if got := s.Dim(1).Name; got != "latitude" {
+		t.Fatalf("Dim(1).Name = %q, want latitude", got)
+	}
+}
+
+func TestNewSpaceErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		dims []Dimension
+	}{
+		{"empty", nil},
+		{"unnamed", []Dimension{{Min: 0, Max: 1}}},
+		{"empty range", []Dimension{{Name: "x", Min: 1, Max: 1}}},
+		{"inverted range", []Dimension{{Name: "x", Min: 2, Max: 1}}},
+		{"nan bound", []Dimension{{Name: "x", Min: math.NaN(), Max: 1}}},
+		{"inf bound", []Dimension{{Name: "x", Min: 0, Max: math.Inf(1)}}},
+		{"duplicate name", []Dimension{{Name: "x", Min: 0, Max: 1}, {Name: "x", Min: 0, Max: 2}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewSpace(tc.dims...); err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+		}
+	}
+}
+
+func TestMustSpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSpace did not panic on invalid input")
+		}
+	}()
+	MustSpace()
+}
+
+func TestUniformSpace(t *testing.T) {
+	s := UniformSpace(4, 1000)
+	if s.K() != 4 {
+		t.Fatalf("K() = %d, want 4", s.K())
+	}
+	for i := 0; i < 4; i++ {
+		d := s.Dim(i)
+		if d.Min != 0 || d.Max != 1000 {
+			t.Fatalf("dim %d = [%g,%g), want [0,1000)", i, d.Min, d.Max)
+		}
+	}
+	if s.IndexOf("d2") != 2 {
+		t.Fatalf("IndexOf(d2) = %d, want 2", s.IndexOf("d2"))
+	}
+	if s.IndexOf("nope") != -1 {
+		t.Fatalf("IndexOf(nope) = %d, want -1", s.IndexOf("nope"))
+	}
+}
+
+func TestDimensionContainsClamp(t *testing.T) {
+	d := Dimension{Name: "x", Min: 0, Max: 10}
+	if !d.Contains(0) {
+		t.Error("Contains(0) = false, want true (lower bound inclusive)")
+	}
+	if d.Contains(10) {
+		t.Error("Contains(10) = true, want false (upper bound exclusive)")
+	}
+	if d.Contains(-0.001) || d.Contains(10.5) {
+		t.Error("Contains out-of-range value")
+	}
+	if got := d.Clamp(-5); got != 0 {
+		t.Errorf("Clamp(-5) = %g, want 0", got)
+	}
+	if got := d.Clamp(15); !(got < 10) || got < 9.999 {
+		t.Errorf("Clamp(15) = %g, want just below 10", got)
+	}
+	if got := d.Clamp(5); got != 5 {
+		t.Errorf("Clamp(5) = %g, want 5", got)
+	}
+	if !d.Contains(d.Clamp(10)) {
+		t.Error("Clamp(Max) must land inside the dimension")
+	}
+	if got := d.Extent(); got != 10 {
+		t.Errorf("Extent() = %g, want 10", got)
+	}
+}
+
+func TestSpaceEqual(t *testing.T) {
+	a := UniformSpace(3, 100)
+	b := UniformSpace(3, 100)
+	c := UniformSpace(3, 200)
+	d := UniformSpace(2, 100)
+	if !a.Equal(a) || !a.Equal(b) {
+		t.Error("equal spaces reported unequal")
+	}
+	if a.Equal(c) || a.Equal(d) || a.Equal(nil) {
+		t.Error("unequal spaces reported equal")
+	}
+}
+
+func TestSpaceDimsIsCopy(t *testing.T) {
+	s := UniformSpace(2, 10)
+	dims := s.Dims()
+	dims[0].Max = 999
+	if s.Dim(0).Max != 10 {
+		t.Error("mutating Dims() result changed the space")
+	}
+}
+
+func TestSpaceString(t *testing.T) {
+	s := MustSpace(Dimension{Name: "x", Min: 0, Max: 1}, Dimension{Name: "y", Min: -1, Max: 1})
+	got := s.String()
+	if !strings.Contains(got, "x[0,1)") || !strings.Contains(got, "y[-1,1)") {
+		t.Errorf("String() = %q", got)
+	}
+}

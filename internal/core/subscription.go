@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// SubscriptionID uniquely identifies a subscription within a cluster.
+type SubscriptionID uint64
+
+// String renders the ID in decimal.
+func (id SubscriptionID) String() string { return "sub-" + strconv.FormatUint(uint64(id), 10) }
+
+// SubscriberID identifies the client that registered a subscription; the
+// delivery substrate uses it to route notifications.
+type SubscriberID uint64
+
+// String renders the ID in decimal.
+func (id SubscriberID) String() string { return "client-" + strconv.FormatUint(uint64(id), 10) }
+
+// Range is a half-open interval [Low, High) — one range predicate along one
+// dimension.
+type Range struct {
+	Low  float64
+	High float64
+}
+
+// Contains reports whether v ∈ [Low, High).
+func (r Range) Contains(v float64) bool { return v >= r.Low && v < r.High }
+
+// Overlaps reports whether two half-open intervals intersect.
+func (r Range) Overlaps(o Range) bool { return r.Low < o.High && o.Low < r.High }
+
+// Empty reports whether the interval contains no values.
+func (r Range) Empty() bool { return !(r.Low < r.High) }
+
+// Length returns High - Low.
+func (r Range) Length() float64 { return r.High - r.Low }
+
+// Intersect returns the intersection of two ranges; the result may be empty.
+func (r Range) Intersect(o Range) Range {
+	return Range{Low: math.Max(r.Low, o.Low), High: math.Min(r.High, o.High)}
+}
+
+// String renders the range as "[low,high)".
+func (r Range) String() string { return fmt.Sprintf("[%g,%g)", r.Low, r.High) }
+
+// Subscription is a registered interest: the logical conjunction of one range
+// predicate per dimension, equivalently a k-dimensional hyper-cuboid
+// S = S^1 x ... x S^k. A message matches iff every attribute value falls in
+// the corresponding predicate.
+type Subscription struct {
+	// ID is assigned on entry to the system; zero until then.
+	ID SubscriptionID
+	// Subscriber is the registering client.
+	Subscriber SubscriberID
+	// Predicates holds one Range per dimension, in dimension order.
+	Predicates []Range
+}
+
+// NewSubscription builds a subscription for the given subscriber with the
+// given predicates (copied).
+func NewSubscription(sub SubscriberID, preds []Range) *Subscription {
+	p := make([]Range, len(preds))
+	copy(p, preds)
+	return &Subscription{Subscriber: sub, Predicates: p}
+}
+
+// Validate checks that the subscription is a non-empty cuboid within the
+// given space. Predicates are allowed to extend beyond a dimension's bounds
+// (e.g. "any speed"); only emptiness and NaN are rejected, and each predicate
+// must intersect the dimension's value set so the subscription is satisfiable.
+func (s *Subscription) Validate(sp *Space) error {
+	if len(s.Predicates) != sp.K() {
+		return fmt.Errorf("core: subscription has %d predicates, space has %d dimensions", len(s.Predicates), sp.K())
+	}
+	for i, r := range s.Predicates {
+		d := sp.Dim(i)
+		if math.IsNaN(r.Low) || math.IsNaN(r.High) {
+			return fmt.Errorf("core: subscription predicate %d (%s) has NaN bound", i, d.Name)
+		}
+		if r.Empty() {
+			return fmt.Errorf("core: subscription predicate %d (%s) is empty: %v", i, d.Name, r)
+		}
+		if !r.Overlaps(Range{Low: d.Min, High: d.Max}) {
+			return fmt.Errorf("core: subscription predicate %d (%s) %v does not intersect dimension range [%g,%g)",
+				i, d.Name, r, d.Min, d.Max)
+		}
+	}
+	return nil
+}
+
+// Matches reports whether the message point lies inside the subscription
+// cuboid. Both must belong to the same space; lengths must agree.
+func (s *Subscription) Matches(m *Message) bool {
+	if len(s.Predicates) != len(m.Attrs) {
+		return false
+	}
+	for i, r := range s.Predicates {
+		if !r.Contains(m.Attrs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesExcept reports whether the message satisfies every predicate except
+// possibly the one on dimension skip. Matchers use it to verify the remaining
+// dimensions after an index has already filtered on dimension skip.
+func (s *Subscription) MatchesExcept(m *Message, skip int) bool {
+	for i, r := range s.Predicates {
+		if i == skip {
+			continue
+		}
+		if !r.Contains(m.Attrs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the subscription.
+func (s *Subscription) Clone() *Subscription {
+	c := *s
+	c.Predicates = make([]Range, len(s.Predicates))
+	copy(c.Predicates, s.Predicates)
+	return &c
+}
+
+// String renders a compact human-readable form.
+func (s *Subscription) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s{", s.ID, s.Subscriber)
+	for i, r := range s.Predicates {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteString(r.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeContains(t *testing.T) {
+	r := Range{Low: 10, High: 20}
+	cases := []struct {
+		v    float64
+		want bool
+	}{
+		{10, true}, {15, true}, {19.999, true},
+		{20, false}, {9.999, false}, {-10, false}, {100, false},
+	}
+	for _, tc := range cases {
+		if got := r.Contains(tc.v); got != tc.want {
+			t.Errorf("Contains(%g) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestRangeOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Range
+		want bool
+	}{
+		{Range{0, 10}, Range{5, 15}, true},
+		{Range{0, 10}, Range{10, 20}, false}, // touching half-open intervals do not overlap
+		{Range{10, 20}, Range{0, 10}, false},
+		{Range{0, 10}, Range{2, 3}, true},
+		{Range{2, 3}, Range{0, 10}, true},
+		{Range{0, 1}, Range{5, 6}, false},
+		{Range{0, 10}, Range{0, 10}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Overlaps(tc.b); got != tc.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Overlaps(tc.a); got != tc.want {
+			t.Errorf("Overlaps not symmetric for %v, %v", tc.a, tc.b)
+		}
+	}
+}
+
+func TestRangeIntersect(t *testing.T) {
+	got := Range{0, 10}.Intersect(Range{5, 15})
+	if got != (Range{5, 10}) {
+		t.Errorf("Intersect = %v, want [5,10)", got)
+	}
+	if !(Range{0, 5}).Intersect(Range{7, 9}).Empty() {
+		t.Error("disjoint intersection should be empty")
+	}
+	if (Range{0, 5}).Length() != 5 {
+		t.Error("Length")
+	}
+}
+
+func TestSubscriptionValidate(t *testing.T) {
+	sp := UniformSpace(2, 100)
+	ok := NewSubscription(1, []Range{{10, 20}, {0, 100}})
+	if err := ok.Validate(sp); err != nil {
+		t.Fatalf("valid subscription rejected: %v", err)
+	}
+	// Predicates wider than the dimension are allowed.
+	wide := NewSubscription(1, []Range{{-1e9, 1e9}, {-1e9, 1e9}})
+	if err := wide.Validate(sp); err != nil {
+		t.Fatalf("wide subscription rejected: %v", err)
+	}
+	bad := []*Subscription{
+		NewSubscription(1, []Range{{10, 20}}),                   // wrong arity
+		NewSubscription(1, []Range{{20, 10}, {0, 100}}),         // inverted
+		NewSubscription(1, []Range{{10, 10}, {0, 100}}),         // empty
+		NewSubscription(1, []Range{{math.NaN(), 20}, {0, 100}}), // NaN
+		NewSubscription(1, []Range{{200, 300}, {0, 100}}),       // unsatisfiable
+		NewSubscription(1, []Range{{0, 100}, {-50, -10}}),       // unsatisfiable dim 1
+		NewSubscription(1, []Range{{0, 1}, {0, 1}, {0, 1}}),     // too many
+	}
+	for i, s := range bad {
+		if err := s.Validate(sp); err == nil {
+			t.Errorf("bad subscription %d accepted: %v", i, s)
+		}
+	}
+}
+
+func TestMessageValidate(t *testing.T) {
+	sp := UniformSpace(3, 1000)
+	if err := NewMessage([]float64{0, 500, 999.9}, nil).Validate(sp); err != nil {
+		t.Fatalf("valid message rejected: %v", err)
+	}
+	bad := []*Message{
+		NewMessage([]float64{0, 500}, nil),           // wrong arity
+		NewMessage([]float64{0, 500, 1000}, nil),     // at exclusive max
+		NewMessage([]float64{-1, 0, 0}, nil),         // below min
+		NewMessage([]float64{0, math.NaN(), 0}, nil), // NaN
+	}
+	for i, m := range bad {
+		if err := m.Validate(sp); err == nil {
+			t.Errorf("bad message %d accepted: %v", i, m)
+		}
+	}
+}
+
+func TestMatchesBasic(t *testing.T) {
+	s := NewSubscription(7, []Range{{0, 25}, {-42, -41}, {70, 74}})
+	match := NewMessage([]float64{10, -41.5, 72}, nil)
+	if !s.Matches(match) {
+		t.Error("expected match")
+	}
+	for i, m := range []*Message{
+		NewMessage([]float64{25, -41.5, 72}, nil), // speed at exclusive bound
+		NewMessage([]float64{10, -40, 72}, nil),   // longitude outside
+		NewMessage([]float64{10, -41.5, 74}, nil), // latitude at exclusive bound
+		NewMessage([]float64{10, -41.5}, nil),     // arity mismatch
+	} {
+		if s.Matches(m) {
+			t.Errorf("case %d: expected no match for %v", i, m)
+		}
+	}
+}
+
+func TestMatchesExcept(t *testing.T) {
+	s := NewSubscription(1, []Range{{0, 10}, {0, 10}, {0, 10}})
+	m := NewMessage([]float64{50, 5, 5}, nil) // fails only dim 0
+	if s.Matches(m) {
+		t.Fatal("should not fully match")
+	}
+	if !s.MatchesExcept(m, 0) {
+		t.Error("MatchesExcept(m, 0) = false, want true")
+	}
+	if s.MatchesExcept(m, 1) {
+		t.Error("MatchesExcept(m, 1) = true, want false")
+	}
+}
+
+func TestClones(t *testing.T) {
+	s := NewSubscription(3, []Range{{1, 2}})
+	s.ID = 9
+	c := s.Clone()
+	c.Predicates[0].Low = 99
+	if s.Predicates[0].Low != 1 {
+		t.Error("subscription clone shares predicate storage")
+	}
+	if c.ID != 9 || c.Subscriber != 3 {
+		t.Error("subscription clone lost fields")
+	}
+
+	m := NewMessage([]float64{1, 2}, []byte("p"))
+	m.ID = 4
+	cm := m.Clone()
+	cm.Attrs[0] = 99
+	if m.Attrs[0] != 1 {
+		t.Error("message clone shares attr storage")
+	}
+	if cm.ID != 4 || string(cm.Payload) != "p" {
+		t.Error("message clone lost fields")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	s := NewSubscription(3, []Range{{1, 2}, {3, 4}})
+	s.ID = 5
+	got := s.String()
+	for _, want := range []string{"sub-5", "client-3", "[1,2)", "[3,4)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Subscription.String() = %q, missing %q", got, want)
+		}
+	}
+	m := NewMessage([]float64{1}, nil)
+	m.ID = 2
+	if !strings.Contains(m.String(), "msg-2") {
+		t.Errorf("Message.String() = %q", m.String())
+	}
+	if MessageID(1).String() != "msg-1" || SubscriberID(2).String() != "client-2" ||
+		NodeID(3).String() != "node-3" {
+		t.Error("ID String forms")
+	}
+	if RoleDispatcher.String() != "dispatcher" || RoleMatcher.String() != "matcher" ||
+		NodeRole(0).String() != "unknown" {
+		t.Error("NodeRole String forms")
+	}
+}
+
+// Property: Matches is exactly per-dimension containment.
+func TestMatchesEquivalenceProperty(t *testing.T) {
+	const k = 4
+	f := func(lows, lens [k]float64, point [k]float64) bool {
+		preds := make([]Range, k)
+		attrs := make([]float64, k)
+		for i := 0; i < k; i++ {
+			lo := math.Mod(math.Abs(lows[i]), 1000)
+			ln := math.Mod(math.Abs(lens[i]), 500) + 0.001
+			preds[i] = Range{Low: lo, High: lo + ln}
+			attrs[i] = math.Mod(math.Abs(point[i]), 1500)
+		}
+		s := NewSubscription(1, preds)
+		m := NewMessage(attrs, nil)
+		want := true
+		for i := 0; i < k; i++ {
+			if !(attrs[i] >= preds[i].Low && attrs[i] < preds[i].High) {
+				want = false
+			}
+		}
+		return s.Matches(m) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatchesExcept(skip) ∧ Contains(skip) ⇔ Matches.
+func TestMatchesExceptConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sp := UniformSpace(4, 1000)
+	for iter := 0; iter < 2000; iter++ {
+		preds := make([]Range, 4)
+		attrs := make([]float64, 4)
+		for i := range preds {
+			lo := rng.Float64() * 900
+			preds[i] = Range{Low: lo, High: lo + rng.Float64()*300 + 1}
+			attrs[i] = rng.Float64() * 1000
+		}
+		s := NewSubscription(1, preds)
+		m := NewMessage(attrs, nil)
+		if err := m.Validate(sp); err != nil {
+			t.Fatal(err)
+		}
+		for skip := 0; skip < 4; skip++ {
+			lhs := s.MatchesExcept(m, skip) && preds[skip].Contains(attrs[skip])
+			if lhs != s.Matches(m) {
+				t.Fatalf("inconsistent: sub=%v msg=%v skip=%d", s, m, skip)
+			}
+		}
+	}
+}

@@ -1,0 +1,780 @@
+// Package dispatcher implements a BlueDove front-end dispatching server
+// (paper Section II-B): it accepts subscriptions and publications from
+// clients, assigns subscriptions to matchers via the placement strategy
+// (mPartition for BlueDove), forwards each publication one hop to the best
+// candidate matcher chosen by the performance-aware forwarding policy
+// (Section III-B), maintains the global segment-table view and per-matcher
+// load reports, hosts polled delivery queues for indirect subscribers, and
+// coordinates elasticity (matcher joins) and failure recovery.
+package dispatcher
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/delivery"
+	"bluedove/internal/forward"
+	"bluedove/internal/gossip"
+	"bluedove/internal/metrics"
+	"bluedove/internal/partition"
+	"bluedove/internal/placement"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// TableKey is the gossip state key carrying the encoded segment table; it
+// matches the matcher package's key.
+const TableKey = "table"
+
+// Config parameterizes a Dispatcher.
+type Config struct {
+	// ID is the node's cluster identifier; required.
+	ID core.NodeID
+	// Addr is the listen address; required.
+	Addr string
+	// Space is the attribute space; required.
+	Space *core.Space
+	// Transport carries all node traffic; required.
+	Transport transport.Transport
+	// Seeds are gossip bootstrap addresses.
+	Seeds []string
+	// Strategy is the placement strategy (default placement.BlueDove{}).
+	Strategy placement.Strategy
+	// Policy is the forwarding policy (default forward.Adaptive{}).
+	Policy forward.Policy
+	// TablePullInterval is the periodic table pull cadence (default 10s).
+	TablePullInterval time.Duration
+	// RecoveryDelay is the wait after failure detection before the leader
+	// removes a dead matcher from the table (default 5s).
+	RecoveryDelay time.Duration
+	// GossipInterval is the gossip round period (default 1s).
+	GossipInterval time.Duration
+	// FailAfter is the gossip liveness timeout (default 10s).
+	FailAfter time.Duration
+	// QueueCap bounds each indirect-delivery subscriber queue.
+	QueueCap int
+	// Persistent enables at-least-once forwarding (the paper's Section VI
+	// persistence future work): the dispatcher retains each forwarded
+	// publication until a matcher acknowledges matching it, retransmitting
+	// to other candidates on timeout — so matcher crashes lose no accepted
+	// messages (duplicate deliveries are possible when an ack is lost).
+	Persistent bool
+	// RetryInterval is the retransmit timeout for unacked forwards
+	// (default 2s).
+	RetryInterval time.Duration
+	// MaxInflight bounds retained unacked messages; beyond it new messages
+	// fall back to best-effort forwarding (default 65536).
+	MaxInflight int
+	// Generation is the gossip incarnation (default: boot time).
+	Generation uint64
+	// Now supplies the clock (default time.Now).
+	Now func() int64
+	// Seed drives randomized choices (default derived from ID).
+	Seed int64
+}
+
+func (c *Config) defaults() error {
+	if c.ID == 0 || c.Addr == "" || c.Space == nil || c.Transport == nil {
+		return errors.New("dispatcher: ID, Addr, Space and Transport are required")
+	}
+	if c.Strategy == nil {
+		c.Strategy = placement.BlueDove{}
+	}
+	if c.Policy == nil {
+		c.Policy = forward.Adaptive{}
+	}
+	if c.TablePullInterval <= 0 {
+		c.TablePullInterval = 10 * time.Second
+	}
+	if c.RecoveryDelay <= 0 {
+		c.RecoveryDelay = 5 * time.Second
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 10 * time.Second
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 2 * time.Second
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 65536
+	}
+	if c.Seed == 0 {
+		c.Seed = int64(c.ID) * 40503
+	}
+	if c.Now == nil {
+		c.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	return nil
+}
+
+// regEntry is one registered subscription plus its delivery address.
+type regEntry struct {
+	sub  *core.Subscription
+	addr string
+}
+
+// Dispatcher is a running front-end server.
+type Dispatcher struct {
+	cfg  Config
+	gsp  *gossip.Gossiper
+	addr string
+
+	mu       sync.Mutex
+	table    *partition.Table
+	loads    map[core.NodeID][]forward.DimLoad
+	pending  map[core.NodeID][]int
+	registry map[core.SubscriptionID]regEntry
+	nextSub  uint64
+	nextMsg  uint64
+	rng      *rand.Rand
+
+	queues *delivery.QueueStore
+
+	// inflight retains unacked forwards for retransmission (persistence).
+	inflight map[core.MessageID]*inflightMsg
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// Published counts accepted publications.
+	Published metrics.Counter
+	// Forwarded counts publications sent to a matcher.
+	Forwarded metrics.Counter
+	// DroppedNoCandidate counts publications with no alive candidate.
+	DroppedNoCandidate metrics.Counter
+	// PullBytes counts table-pull response traffic.
+	PullBytes metrics.Counter
+	// Retransmits counts persistence re-forwards of unacked messages.
+	Retransmits metrics.Counter
+}
+
+// inflightMsg is one retained unacked publication.
+type inflightMsg struct {
+	msg      *core.Message
+	tried    map[core.NodeID]bool
+	deadline int64 // next retransmit time (ns)
+	attempts int
+}
+
+// New builds a dispatcher (not yet started).
+func New(cfg Config) (*Dispatcher, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	return &Dispatcher{
+		cfg:      cfg,
+		loads:    make(map[core.NodeID][]forward.DimLoad),
+		pending:  make(map[core.NodeID][]int),
+		registry: make(map[core.SubscriptionID]regEntry),
+		inflight: make(map[core.MessageID]*inflightMsg),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		queues:   delivery.NewQueueStore(cfg.QueueCap),
+		stop:     make(chan struct{}),
+	}, nil
+}
+
+// ID returns the dispatcher's node ID.
+func (d *Dispatcher) ID() core.NodeID { return d.cfg.ID }
+
+// Addr returns the bound listen address (valid after Start).
+func (d *Dispatcher) Addr() string { return d.addr }
+
+// Gossiper exposes the overlay view.
+func (d *Dispatcher) Gossiper() *gossip.Gossiper { return d.gsp }
+
+// Queues exposes the indirect-delivery queue store.
+func (d *Dispatcher) Queues() *delivery.QueueStore { return d.queues }
+
+// Start binds the listener, joins the gossip overlay and starts the table
+// maintenance loops.
+func (d *Dispatcher) Start() error {
+	addr, err := d.cfg.Transport.Listen(d.cfg.Addr, d.handle)
+	if err != nil {
+		return err
+	}
+	d.addr = addr
+	g, err := gossip.New(gossip.Config{
+		ID:         d.cfg.ID,
+		Addr:       addr,
+		Role:       core.RoleDispatcher,
+		Transport:  d.cfg.Transport,
+		Seeds:      d.cfg.Seeds,
+		Interval:   d.cfg.GossipInterval,
+		FailAfter:  d.cfg.FailAfter,
+		Generation: d.cfg.Generation,
+		Now:        d.cfg.Now,
+	})
+	if err != nil {
+		return err
+	}
+	d.gsp = g
+	g.OnLivenessChange(d.onLiveness)
+	g.Start()
+	d.wg.Add(2)
+	go d.tableWatchLoop()
+	go d.tablePullLoop()
+	if d.cfg.Persistent {
+		d.wg.Add(1)
+		go d.retransmitLoop()
+	}
+	return nil
+}
+
+// Stop halts the dispatcher.
+func (d *Dispatcher) Stop() {
+	select {
+	case <-d.stop:
+		return
+	default:
+		close(d.stop)
+	}
+	d.gsp.Stop()
+	d.wg.Wait()
+}
+
+// SetTable installs (and publishes via gossip) a segment table. Used at
+// bootstrap and by join/recovery.
+func (d *Dispatcher) SetTable(t *partition.Table) {
+	d.mu.Lock()
+	if d.table != nil && t.Version() <= d.table.Version() {
+		d.mu.Unlock()
+		return
+	}
+	d.table = t
+	d.mu.Unlock()
+	d.gsp.SetState(TableKey, t.Encode(), t.Version())
+	d.reconcile(t)
+}
+
+// Table returns the dispatcher's current table view (nil before bootstrap).
+func (d *Dispatcher) Table() *partition.Table {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.table
+}
+
+// --- forward.LoadView ----------------------------------------------------
+
+// Load implements forward.LoadView: the last report plus this dispatcher's
+// own not-yet-reported forwards, scaled by the dispatcher count (see
+// forward.DimLoad.PendingLocal).
+func (d *Dispatcher) Load(node core.NodeID, dim int) (forward.DimLoad, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ls, ok := d.loads[node]
+	if !ok || dim >= len(ls) {
+		return forward.DimLoad{}, false
+	}
+	l := ls[dim]
+	if p := d.pending[node]; dim < len(p) {
+		l.PendingLocal = float64(p[dim]) * float64(d.dispatcherCountLocked())
+	}
+	return l, true
+}
+
+// Alive implements forward.LoadView via gossip liveness.
+func (d *Dispatcher) Alive(node core.NodeID) bool { return d.gsp.Alive(node) }
+
+func (d *Dispatcher) dispatcherCountLocked() int {
+	n := 0
+	for _, p := range d.gsp.Peers() {
+		if p.Role == core.RoleDispatcher && p.Alive {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// --- transport handler ----------------------------------------------------
+
+func (d *Dispatcher) handle(env *wire.Envelope) *wire.Envelope {
+	switch env.Kind {
+	case wire.KindGossip:
+		return d.gsp.HandleGossip(env)
+	case wire.KindSubscribe:
+		return d.handleSubscribe(env)
+	case wire.KindUnsubscribe:
+		if b, err := wire.DecodeUnsubscribe(env.Body); err == nil {
+			d.handleUnsubscribe(b.ID)
+		}
+		return nil
+	case wire.KindPublish:
+		if b, err := wire.DecodePublish(env.Body); err == nil {
+			d.handlePublish(b.Msg)
+		}
+		return nil
+	case wire.KindLoadReport:
+		if b, err := wire.DecodeLoadReport(env.Body); err == nil {
+			d.mu.Lock()
+			d.loads[env.From] = b.Loads
+			d.pending[env.From] = make([]int, len(b.Loads))
+			d.mu.Unlock()
+		}
+		return nil
+	case wire.KindDeliver:
+		if b, err := wire.DecodeDeliver(env.Body); err == nil {
+			d.queues.Push(b.Subscriber, *b)
+		}
+		return nil
+	case wire.KindPoll:
+		b, err := wire.DecodePoll(env.Body)
+		if err != nil {
+			return errEnv(d.cfg.ID, err)
+		}
+		ds := d.queues.Poll(b.Subscriber, int(b.Max))
+		return &wire.Envelope{Kind: wire.KindPollResponse, From: d.cfg.ID,
+			Body: (&wire.PollResponseBody{Deliveries: ds}).Encode()}
+	case wire.KindForwardAck:
+		if b, err := wire.DecodeForwardAck(env.Body); err == nil {
+			d.mu.Lock()
+			delete(d.inflight, b.ID)
+			d.mu.Unlock()
+		}
+		return nil
+	case wire.KindJoin:
+		return d.handleJoin(env)
+	case wire.KindTableRequest:
+		d.mu.Lock()
+		t := d.table
+		d.mu.Unlock()
+		if t == nil {
+			return errEnv(d.cfg.ID, errors.New("dispatcher: no table yet"))
+		}
+		return &wire.Envelope{Kind: wire.KindTableResponse, From: d.cfg.ID,
+			Body: (&wire.TableResponseBody{Table: t.Encode()}).Encode()}
+	default:
+		return nil
+	}
+}
+
+func errEnv(from core.NodeID, err error) *wire.Envelope {
+	return &wire.Envelope{Kind: wire.KindError, From: from,
+		Body: (&wire.ErrorBody{Text: err.Error()}).Encode()}
+}
+
+// handleSubscribe registers a subscription and installs it on matchers.
+func (d *Dispatcher) handleSubscribe(env *wire.Envelope) *wire.Envelope {
+	b, err := wire.DecodeSubscribe(env.Body)
+	if err != nil {
+		return errEnv(d.cfg.ID, err)
+	}
+	sub := b.Sub
+	if err := sub.Validate(d.cfg.Space); err != nil {
+		return errEnv(d.cfg.ID, err)
+	}
+	deliverAddr := b.DeliverAddr
+	if deliverAddr == "" {
+		// Indirect mode: matches land in this dispatcher's queue store.
+		deliverAddr = d.addr
+	}
+	d.mu.Lock()
+	if sub.ID == 0 {
+		d.nextSub++
+		// Node-unique ID space: high bits carry the dispatcher ID so
+		// concurrent dispatchers never collide.
+		sub.ID = core.SubscriptionID(uint64(d.cfg.ID)<<40 | d.nextSub)
+	}
+	d.registry[sub.ID] = regEntry{sub: sub, addr: deliverAddr}
+	t := d.table
+	d.mu.Unlock()
+	if t == nil {
+		return errEnv(d.cfg.ID, errors.New("dispatcher: cluster not bootstrapped"))
+	}
+	d.installSub(t, sub, deliverAddr)
+	ack := &wire.SubscribeAckBody{ID: sub.ID, QueueHandle: uint64(sub.Subscriber)}
+	return &wire.Envelope{Kind: wire.KindSubscribeAck, From: d.cfg.ID, Body: ack.Encode()}
+}
+
+// installSub sends one Store per (matcher, dimension) placement.
+func (d *Dispatcher) installSub(t *partition.Table, sub *core.Subscription, deliverAddr string) {
+	for _, a := range d.cfg.Strategy.Assign(t, sub) {
+		addr, ok := d.gsp.AddrOf(a.Node)
+		if !ok {
+			continue
+		}
+		body := (&wire.StoreBody{Dim: a.Dim, Sub: sub, DeliverAddr: deliverAddr}).Encode()
+		_ = d.cfg.Transport.Send(addr, &wire.Envelope{Kind: wire.KindStore, From: d.cfg.ID, Body: body})
+	}
+}
+
+// handleUnsubscribe removes the subscription from every matcher that might
+// hold it.
+func (d *Dispatcher) handleUnsubscribe(id core.SubscriptionID) {
+	d.mu.Lock()
+	delete(d.registry, id)
+	d.mu.Unlock()
+	body := (&wire.UnsubscribeBody{ID: id}).Encode()
+	for _, p := range d.gsp.Peers() {
+		if p.Role == core.RoleMatcher {
+			_ = d.cfg.Transport.Send(p.Addr, &wire.Envelope{Kind: wire.KindUnsubscribe, From: d.cfg.ID, Body: body})
+		}
+	}
+}
+
+// handlePublish stamps the message and forwards it one hop to the best
+// candidate matcher (paper Section III-B).
+func (d *Dispatcher) handlePublish(msg *core.Message) {
+	now := d.cfg.Now()
+	msg.PublishedAt = now
+	d.Published.Add(1)
+	d.mu.Lock()
+	if msg.ID == 0 {
+		d.nextMsg++
+		// Node-unique ID space, mirroring subscription IDs.
+		msg.ID = core.MessageID(uint64(d.cfg.ID)<<40 | d.nextMsg)
+	}
+	t := d.table
+	d.mu.Unlock()
+	if t == nil {
+		d.DroppedNoCandidate.Add(1)
+		return
+	}
+	if sent, to := d.forwardOnce(t, msg, nil); sent {
+		if d.cfg.Persistent {
+			d.track(msg, to)
+		}
+		return
+	}
+	d.DroppedNoCandidate.Add(1)
+}
+
+// forwardOnce sends msg to its best candidate not in skip, reporting
+// success and the chosen matcher.
+func (d *Dispatcher) forwardOnce(t *partition.Table, msg *core.Message,
+	skip map[core.NodeID]bool) (bool, core.NodeID) {
+	cands := d.cfg.Strategy.Candidates(t, msg)
+	ranked := d.cfg.Policy.Rank(d.cfg.Now(), cands, d)
+	for _, c := range ranked {
+		if skip[c.Node] {
+			continue
+		}
+		addr, ok := d.gsp.AddrOf(c.Node)
+		if !ok {
+			continue
+		}
+		body := (&wire.ForwardBody{Dim: c.Dim, Msg: msg}).Encode()
+		if d.cfg.Transport.Send(addr, &wire.Envelope{Kind: wire.KindForward, From: d.cfg.ID, Body: body}) == nil {
+			d.mu.Lock()
+			p, ok := d.pending[c.Node]
+			if !ok || len(p) != d.cfg.Space.K() {
+				p = make([]int, d.cfg.Space.K())
+				d.pending[c.Node] = p
+			}
+			if c.Dim < len(p) {
+				p[c.Dim]++
+			}
+			d.mu.Unlock()
+			d.Forwarded.Add(1)
+			return true, c.Node
+		}
+	}
+	return false, 0
+}
+
+// track retains an unacked forward for retransmission.
+func (d *Dispatcher) track(msg *core.Message, to core.NodeID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.inflight) >= d.cfg.MaxInflight {
+		return // best effort beyond the cap
+	}
+	d.inflight[msg.ID] = &inflightMsg{
+		msg:      msg,
+		tried:    map[core.NodeID]bool{to: true},
+		deadline: d.cfg.Now() + int64(d.cfg.RetryInterval),
+	}
+}
+
+// retransmitLoop re-forwards unacked messages past their deadline.
+func (d *Dispatcher) retransmitLoop() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.cfg.RetryInterval / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+			d.retransmitDue()
+		}
+	}
+}
+
+// maxRetransmitAttempts bounds per-message retransmissions.
+const maxRetransmitAttempts = 20
+
+func (d *Dispatcher) retransmitDue() {
+	now := d.cfg.Now()
+	d.mu.Lock()
+	t := d.table
+	var due []*inflightMsg
+	for id, inf := range d.inflight {
+		if inf.deadline > now {
+			continue
+		}
+		inf.attempts++
+		if inf.attempts > maxRetransmitAttempts {
+			delete(d.inflight, id)
+			continue
+		}
+		inf.deadline = now + int64(d.cfg.RetryInterval)
+		due = append(due, inf)
+	}
+	d.mu.Unlock()
+	if t == nil {
+		return
+	}
+	for _, inf := range due {
+		sent, to := d.forwardOnce(t, inf.msg, inf.tried)
+		if !sent {
+			// Every candidate tried or unreachable: widen the net next
+			// round (membership may have changed).
+			d.mu.Lock()
+			inf.tried = map[core.NodeID]bool{}
+			d.mu.Unlock()
+			continue
+		}
+		d.Retransmits.Add(1)
+		d.mu.Lock()
+		inf.tried[to] = true
+		d.mu.Unlock()
+	}
+}
+
+// InflightLen returns the number of retained unacked messages.
+func (d *Dispatcher) InflightLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.inflight)
+}
+
+// handleJoin runs the paper's join protocol: split the most loaded
+// matcher's segment on every dimension, hand the halves to the new matcher,
+// and publish the new table.
+func (d *Dispatcher) handleJoin(env *wire.Envelope) *wire.Envelope {
+	b, err := wire.DecodeJoin(env.Body)
+	if err != nil {
+		return errEnv(d.cfg.ID, err)
+	}
+	d.mu.Lock()
+	t := d.table
+	if t == nil {
+		d.mu.Unlock()
+		return &wire.Envelope{Kind: wire.KindJoinAck, From: d.cfg.ID,
+			Body: (&wire.JoinAckBody{Err: "dispatcher: cluster not bootstrapped"}).Encode()}
+	}
+	victims := d.victimsLocked(t)
+	d.mu.Unlock()
+
+	newTab, handovers, err := t.Join(b.ID, victims)
+	if err != nil {
+		return &wire.Envelope{Kind: wire.KindJoinAck, From: d.cfg.ID,
+			Body: (&wire.JoinAckBody{Err: err.Error()}).Encode()}
+	}
+	for _, h := range handovers {
+		addr, ok := d.gsp.AddrOf(h.From)
+		if !ok {
+			continue
+		}
+		ho := (&wire.HandoverBody{Dim: h.Dim, Low: h.Range.Low, High: h.Range.High, TargetAddr: b.Addr}).Encode()
+		_ = d.cfg.Transport.Send(addr, &wire.Envelope{Kind: wire.KindHandover, From: d.cfg.ID, Body: ho})
+	}
+	d.SetTable(newTab)
+	return &wire.Envelope{Kind: wire.KindJoinAck, From: d.cfg.ID,
+		Body: (&wire.JoinAckBody{Table: newTab.Encode()}).Encode()}
+}
+
+// victimsLocked picks, per dimension, the matcher with the deepest reported
+// queue (ties broken by stored subscriptions) — the paper's "most loaded
+// matcher in each dimension".
+func (d *Dispatcher) victimsLocked(t *partition.Table) []core.NodeID {
+	k := t.K()
+	victims := make([]core.NodeID, k)
+	for dim := 0; dim < k; dim++ {
+		bestQ, bestSubs := -1, -1
+		for _, id := range t.Matchers() {
+			q, subs := 0, 0
+			if ls, ok := d.loads[id]; ok && dim < len(ls) {
+				q, subs = ls[dim].QueueLen, ls[dim].Subs
+			}
+			if q > bestQ || (q == bestQ && subs > bestSubs) {
+				bestQ, bestSubs = q, subs
+				victims[dim] = id
+			}
+		}
+	}
+	return victims
+}
+
+// onLiveness reacts to matcher failures: after the recovery delay, the
+// lowest-ID alive dispatcher removes the dead matcher from the table and
+// every dispatcher re-installs its registry (paper Section IV-E).
+func (d *Dispatcher) onLiveness(id core.NodeID, alive bool) {
+	if alive {
+		return
+	}
+	d.mu.Lock()
+	t := d.table
+	d.mu.Unlock()
+	if t == nil || !t.HasMatcher(id) {
+		return
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		select {
+		case <-d.stop:
+			return
+		case <-time.After(d.cfg.RecoveryDelay):
+		}
+		if d.gsp.Alive(id) {
+			return // transient: it came back
+		}
+		if !d.isLeader() {
+			return // another dispatcher owns table surgery
+		}
+		d.mu.Lock()
+		t := d.table
+		d.mu.Unlock()
+		if t == nil || !t.HasMatcher(id) {
+			return
+		}
+		newTab, _, err := t.Leave(id)
+		if err != nil {
+			return
+		}
+		d.SetTable(newTab)
+	}()
+}
+
+// isLeader reports whether this dispatcher has the lowest ID among alive
+// dispatchers (the recovery coordinator).
+func (d *Dispatcher) isLeader() bool {
+	for _, p := range d.gsp.Peers() {
+		if p.Role == core.RoleDispatcher && p.Alive && p.ID < d.cfg.ID {
+			return false
+		}
+	}
+	return true
+}
+
+// reconcile re-installs every registered subscription under table t —
+// placements on new or takeover matchers get their copies, including the
+// Section III-A1 neighbor-replication ones. Store is idempotent on
+// matchers.
+func (d *Dispatcher) reconcile(t *partition.Table) {
+	d.mu.Lock()
+	entries := make([]regEntry, 0, len(d.registry))
+	for _, e := range d.registry {
+		entries = append(entries, e)
+	}
+	d.mu.Unlock()
+	for _, e := range entries {
+		d.installSub(t, e.sub, e.addr)
+	}
+}
+
+// tableWatchLoop adopts fresher tables seen in gossip.
+func (d *Dispatcher) tableWatchLoop() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.cfg.GossipInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+			raw, _, ok := d.gsp.HighestState(TableKey)
+			if !ok {
+				continue
+			}
+			t, err := partition.Decode(raw)
+			if err != nil {
+				continue
+			}
+			d.adoptIfNewer(t)
+		}
+	}
+}
+
+// tablePullLoop pulls the table from a random matcher periodically (the
+// paper's 60·N-byte pull every 10 seconds), a safety net on top of gossip.
+func (d *Dispatcher) tablePullLoop() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.cfg.TablePullInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+			d.pullTable()
+		}
+	}
+}
+
+func (d *Dispatcher) pullTable() {
+	var matchers []gossip.Peer
+	for _, p := range d.gsp.Peers() {
+		if p.Role == core.RoleMatcher && p.Alive {
+			matchers = append(matchers, p)
+		}
+	}
+	if len(matchers) == 0 {
+		return
+	}
+	d.mu.Lock()
+	target := matchers[d.rng.Intn(len(matchers))]
+	d.mu.Unlock()
+	resp, err := d.cfg.Transport.Request(target.Addr,
+		&wire.Envelope{Kind: wire.KindTableRequest, From: d.cfg.ID}, 2*time.Second)
+	if err != nil || resp.Kind != wire.KindTableResponse {
+		return
+	}
+	d.PullBytes.Add(int64(len(resp.Body)))
+	b, err := wire.DecodeTableResponse(resp.Body)
+	if err != nil {
+		return
+	}
+	t, err := partition.Decode(b.Table)
+	if err != nil {
+		return
+	}
+	d.adoptIfNewer(t)
+}
+
+// adoptIfNewer installs t when it supersedes the current view and
+// reconciles the registry onto it.
+func (d *Dispatcher) adoptIfNewer(t *partition.Table) {
+	d.mu.Lock()
+	if d.table != nil && t.Version() <= d.table.Version() {
+		d.mu.Unlock()
+		return
+	}
+	d.table = t
+	d.mu.Unlock()
+	d.reconcile(t)
+}
+
+// RegistrySize returns the number of subscriptions registered through this
+// dispatcher.
+func (d *Dispatcher) RegistrySize() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.registry)
+}
+
+// String renders a diagnostic label.
+func (d *Dispatcher) String() string {
+	return fmt.Sprintf("dispatcher{%v@%s}", d.cfg.ID, d.addr)
+}

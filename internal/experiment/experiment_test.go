@@ -1,0 +1,284 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"bluedove/internal/workload"
+)
+
+// The experiment drivers run at ScaleTiny here: these tests check that each
+// figure driver produces structurally sound results and the paper's
+// qualitative orderings, not absolute numbers (bench targets regenerate the
+// full figures at ScaleSmall/ScalePaper).
+
+func TestScales(t *testing.T) {
+	for _, sc := range []Scale{ScaleTiny(), ScaleSmall(), ScalePaper()} {
+		if sc.Space == nil || sc.Subs <= 0 || len(sc.MatcherCounts) == 0 {
+			t.Errorf("%s: incomplete scale", sc.Name)
+		}
+		if sc.PerScanCost <= 0 || sc.BaseMatchCost <= 0 {
+			t.Errorf("%s: missing cost model", sc.Name)
+		}
+		w := sc.Workload()
+		if w.Space != sc.Space {
+			t.Errorf("%s: workload space mismatch", sc.Name)
+		}
+	}
+}
+
+func TestEstimateCapacityOrdering(t *testing.T) {
+	sc := ScaleTiny()
+	wcfg := sc.Workload()
+	subs := workload.New(wcfg).Subscriptions(sc.Subs)
+	probes := workload.New(wcfg).Messages(200)
+	bd4 := EstimateCapacity(sc, 4, BlueDoveVariant(), subs, probes)
+	bd8 := EstimateCapacity(sc, 8, BlueDoveVariant(), subs, probes)
+	fr8 := EstimateCapacity(sc, 8, FullRepVariant(1), subs, probes)
+	if bd4 <= 0 || bd8 <= 0 || fr8 <= 0 {
+		t.Fatalf("estimates: %g %g %g", bd4, bd8, fr8)
+	}
+	if bd8 <= bd4 {
+		t.Errorf("estimate should grow with matchers: %g -> %g", bd4, bd8)
+	}
+	if fr8 >= bd8 {
+		t.Errorf("full replication should estimate below BlueDove: %g vs %g", fr8, bd8)
+	}
+}
+
+func TestSaturationRateOrdering(t *testing.T) {
+	sc := ScaleTiny()
+	wcfg := sc.Workload()
+	subs := workload.New(wcfg).Subscriptions(sc.Subs)
+	bd := SaturationRate(sc, 8, BlueDoveVariant(), wcfg, subs)
+	p2p := SaturationRate(sc, 8, P2PVariant(), wcfg, subs)
+	fr := SaturationRate(sc, 8, FullRepVariant(sc.Seed), wcfg, subs)
+	if bd <= p2p {
+		t.Errorf("BlueDove (%g) should beat P2P (%g)", bd, p2p)
+	}
+	if bd <= fr {
+		t.Errorf("BlueDove (%g) should beat Full-Rep (%g)", bd, fr)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r := Fig5(ScaleTiny())
+	if r.SatRate <= 0 || len(r.Below) < 10 || len(r.Above) < 10 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	// Below saturation: the steady-state response stays flat (compare the
+	// middle and the end of the run).
+	nb := len(r.Below)
+	midB, endB := r.Below[nb/2].V, r.Below[nb-2].V
+	if endB > 20*midB && endB > 0.5 {
+		t.Errorf("below-saturation response grew: mid=%g end=%g", midB, endB)
+	}
+	// Above saturation: the response at the end must greatly exceed the
+	// below-saturation response.
+	na := len(r.Above)
+	endA := r.Above[na-2].V
+	if endA < 5*endB {
+		t.Errorf("above-saturation response did not grow: %g vs below %g", endA, endB)
+	}
+	tbl := r.Table().String()
+	if !strings.Contains(tbl, "Figure 5") {
+		t.Error("table title")
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	sc := ScaleTiny()
+	r := Fig6a(sc)
+	if len(r.Labels) != 3 {
+		t.Fatalf("labels: %v", r.Labels)
+	}
+	for _, l := range r.Labels {
+		if len(r.Rates[l]) != len(sc.MatcherCounts) {
+			t.Fatalf("%s: wrong sweep length", l)
+		}
+	}
+	last := len(sc.MatcherCounts) - 1
+	// BlueDove must scale up with matchers and beat both baselines at the
+	// largest size.
+	bd := r.Rates["BlueDove"]
+	if bd[last] <= bd[0] {
+		t.Errorf("BlueDove did not scale: %v", bd)
+	}
+	if r.Gain("P2P", last) <= 1 || r.Gain("Full-Rep", last) <= 1 {
+		t.Errorf("gains: p2p=%.2f fullrep=%.2f", r.Gain("P2P", last), r.Gain("Full-Rep", last))
+	}
+	if !strings.Contains(r.Table().String(), "Figure 6(a)") {
+		t.Error("table title")
+	}
+}
+
+func TestFig6bShape(t *testing.T) {
+	sc := ScaleTiny()
+	r := Fig6b(sc)
+	last := len(sc.MatcherCounts) - 1
+	bd := r.MaxSubs["BlueDove"]
+	if bd[last] <= 0 {
+		t.Fatalf("BlueDove max subs: %v", bd)
+	}
+	if bd[last] < bd[0] {
+		t.Errorf("max subscriptions should grow with matchers: %v", bd)
+	}
+	if r.Gain("Full-Rep", last) <= 1 {
+		t.Errorf("full-rep gain = %.2f, want > 1", r.Gain("Full-Rep", last))
+	}
+	if !strings.Contains(r.Table().String(), "Figure 6(b)") {
+		t.Error("table title")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	r := Fig7(ScaleTiny())
+	if len(r.Policies) != 4 || len(r.Rates) != 4 {
+		t.Fatalf("policies: %v", r.Policies)
+	}
+	if g := r.GainOverRandom(); g <= 1 {
+		t.Errorf("adaptive should beat random: gain %.2f", g)
+	}
+	if !strings.Contains(r.Table().String(), "Figure 7") {
+		t.Error("table title")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r := Fig8(ScaleTiny())
+	if len(r.BlueDove) == 0 || len(r.P2P) == 0 {
+		t.Fatal("missing utilizations")
+	}
+	if r.NormStdBlueDove >= r.NormStdP2P {
+		t.Errorf("BlueDove should balance better: %.3f vs %.3f", r.NormStdBlueDove, r.NormStdP2P)
+	}
+	if !strings.Contains(r.Table().String(), "Figure 8") {
+		t.Error("table title")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r := Fig9(ScaleTiny())
+	if len(r.JoinTimesSec) == 0 {
+		t.Fatal("elasticity never added a matcher")
+	}
+	if r.FinalMatchers <= r.StartMatchers {
+		t.Errorf("final %d <= start %d", r.FinalMatchers, r.StartMatchers)
+	}
+	if len(r.Resp) < 30 {
+		t.Errorf("response series too short: %d", len(r.Resp))
+	}
+	if !strings.Contains(r.Table().String(), "Figure 9") {
+		t.Error("table title")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r := Fig10(ScaleTiny())
+	if len(r.KillTimesSec) == 0 {
+		t.Fatal("no failures injected")
+	}
+	if r.PeakLoss <= 0 {
+		t.Error("expected loss spikes after crashes")
+	}
+	if r.PeakLoss > 0.6 {
+		t.Errorf("peak loss %.2f implausibly high", r.PeakLoss)
+	}
+	if r.MeanRecoverySec <= 0 || r.MeanRecoverySec > 60 {
+		t.Errorf("recovery = %.1fs, want within a minute", r.MeanRecoverySec)
+	}
+	if !strings.Contains(r.Table().String(), "Figure 10") {
+		t.Error("table title")
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	sc := ScaleTiny()
+	a := Fig11a(sc)
+	if len(a.Dims) != sc.Space.K() {
+		t.Fatalf("fig11a dims: %v", a.Dims)
+	}
+	if a.Rates[len(a.Rates)-1] <= a.Rates[0] {
+		t.Errorf("more dimensions should raise the rate: %v", a.Rates)
+	}
+	b := Fig11b(sc)
+	if len(b.StdDevs) != 4 {
+		t.Fatalf("fig11b sweep: %v", b.StdDevs)
+	}
+	if b.Rates[len(b.Rates)-1] >= b.Rates[0] {
+		t.Errorf("flatter subscriptions should lower the rate: %v", b.Rates)
+	}
+	c := Fig11c(sc)
+	if len(c.SkewedDims) != sc.Space.K()+1 {
+		t.Fatalf("fig11c sweep: %v", c.SkewedDims)
+	}
+	if c.Rates[len(c.Rates)-1] >= c.Rates[0] {
+		t.Errorf("adverse skew should lower the rate: %v", c.Rates)
+	}
+	for _, tb := range []string{a.Table().String(), b.Table().String(), c.Table().String()} {
+		if !strings.Contains(tb, "Figure 11") {
+			t.Error("table title")
+		}
+	}
+}
+
+func TestOverheadShape(t *testing.T) {
+	r := Overhead(ScaleTiny())
+	if r.GossipBpsPerMatcher <= 0 || r.PullBpsPerDispatcher <= 0 || r.PushBpsPerMatcher <= 0 {
+		t.Fatalf("zero overhead components: %+v", r)
+	}
+	// Sanity: maintenance traffic is small (well under 100 KB/s/matcher).
+	if r.TotalBpsPerMatcher > 100_000 {
+		t.Errorf("total overhead %.0f B/s implausibly high", r.TotalBpsPerMatcher)
+	}
+	if r.TableBytes <= 0 {
+		t.Error("table size")
+	}
+	if !strings.Contains(r.Table().String(), "overhead") {
+		t.Error("table title")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Note: "n", Header: []string{"a", "bb"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", 10000.0)
+	out := tb.String()
+	for _, want := range []string{"== T ==", "n", "a", "bb", "2.500", "10000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestPersistenceExtension(t *testing.T) {
+	r := Persistence(ScaleTiny())
+	if r.LossBase <= 0 {
+		t.Fatal("baseline lost nothing; crash window not exercised")
+	}
+	if r.LossPersist != 0 {
+		t.Fatalf("persistence lost %.4f%%", 100*r.LossPersist)
+	}
+	if r.Retries == 0 {
+		t.Fatal("no retries recorded")
+	}
+	if !strings.Contains(r.Table().String(), "persistence") {
+		t.Error("table title")
+	}
+}
+
+func TestDimSelectExtension(t *testing.T) {
+	r := DimSelect(ScaleTiny())
+	if len(r.Selected) != 2 {
+		t.Fatalf("selected = %v", r.Selected)
+	}
+	if r.CopiesSelected >= r.CopiesAll {
+		t.Errorf("selection should store fewer copies: %d vs %d", r.CopiesSelected, r.CopiesAll)
+	}
+	if r.RateSelected <= 0 || r.RateAll <= 0 {
+		t.Fatalf("rates: %g %g", r.RateAll, r.RateSelected)
+	}
+	if !strings.Contains(r.Table().String(), "attribute selection") {
+		t.Error("table title")
+	}
+}

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"bluedove/internal/metrics"
+	"bluedove/internal/sim"
+	"bluedove/internal/workload"
+)
+
+// Fig10Result reproduces Figure 10 (fault tolerance): matchers are killed
+// one at a time under steady load; the loss rate spikes (to roughly one
+// matcher's traffic share) until failure detection, then returns to zero,
+// while response time blips but the system never saturates.
+type Fig10Result struct {
+	// Scale names the run scale.
+	Scale string
+	// StartMatchers is the initial size (paper: 20).
+	StartMatchers int
+	// Rate is the steady offered load.
+	Rate float64
+	// KillTimesSec lists the crash injection times (seconds).
+	KillTimesSec []float64
+	// Resp is the 1-second-averaged response time (seconds).
+	Resp []metrics.Point
+	// Loss is the per-second loss fraction.
+	Loss []metrics.Point
+	// PeakLoss is the maximum 1-second loss fraction observed.
+	PeakLoss float64
+	// MeanRecoverySec is the average time from a crash until the loss rate
+	// returns to zero (paper: 17.5 s).
+	MeanRecoverySec float64
+}
+
+// Fig10 regenerates Figure 10 at the given scale.
+func Fig10(sc Scale) *Fig10Result {
+	wcfg := sc.Workload()
+	subs := workload.New(wcfg).Subscriptions(sc.Subs)
+	n := sc.MatcherCounts[len(sc.MatcherCounts)-1]
+	sat := SaturationRate(sc, n, BlueDoveVariant(), wcfg, subs)
+
+	cfg := sc.SimConfig(n, BlueDoveVariant().Strategy, BlueDoveVariant().Policy)
+	cfg.FailureDetectDelay = 10 * time.Second
+	cfg.RecoveryDelay = 5 * time.Second
+	cl := sim.NewCluster(cfg)
+	cl.SubscribeAll(subs)
+
+	rate := 0.4 * sat
+	const killEvery, kills = 60 * time.Second, 3
+	dur := killEvery * (kills + 1)
+	gen := workload.New(wcfg)
+	cl.Drive(gen, workload.ConstantRate(rate), int64(dur))
+	r := &Fig10Result{Scale: sc.Name, StartMatchers: n, Rate: rate}
+	for i := 1; i <= kills; i++ {
+		at := int64(killEvery) * int64(i)
+		cl.Engine().At(at, func() {
+			if _, err := cl.FailRandomMatcher(); err == nil {
+				r.KillTimesSec = append(r.KillTimesSec, float64(cl.Now())/1e9)
+			}
+		})
+	}
+	cl.RunUntil(int64(dur))
+
+	r.Resp = cl.Stats().RespSeries.Downsample(int64(time.Second))
+	r.Loss = cl.Stats().LossSeries.Points()
+	for _, p := range r.Loss {
+		if p.V > r.PeakLoss {
+			r.PeakLoss = p.V
+		}
+	}
+	// Recovery time: from each kill to the first subsequent second with
+	// zero loss.
+	var total float64
+	var counted int
+	for _, k := range r.KillTimesSec {
+		for _, p := range r.Loss {
+			ts := float64(p.T) / 1e9
+			if ts > k && p.V == 0 {
+				total += ts - k
+				counted++
+				break
+			}
+		}
+	}
+	if counted > 0 {
+		r.MeanRecoverySec = total / float64(counted)
+	}
+	return r
+}
+
+// Table renders the loss and response series with kill markers.
+func (r *Fig10Result) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure 10: fault tolerance, %d matchers at %.0f msg/s (%s scale)", r.StartMatchers, r.Rate, r.Scale),
+		Note: fmt.Sprintf("paper: ~5%% loss spikes, recovery within ~17.5s; measured peak %.1f%%, mean recovery %.1fs",
+			100*r.PeakLoss, r.MeanRecoverySec),
+		Header: []string{"t(s)", "response (s)", "loss", "event"},
+	}
+	kills := map[int64]bool{}
+	for _, k := range r.KillTimesSec {
+		kills[int64(k)] = true
+	}
+	loss := map[int64]float64{}
+	for _, p := range r.Loss {
+		loss[p.T/1e9] = p.V
+	}
+	for _, p := range r.Resp {
+		sec := p.T / 1e9
+		ev := ""
+		if kills[sec] {
+			ev = "crash"
+		}
+		t.AddRow(sec, p.V, fmt.Sprintf("%.3f", loss[sec]), ev)
+	}
+	return t
+}

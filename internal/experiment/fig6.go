@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bluedove/internal/sim"
+	"bluedove/internal/workload"
+)
+
+// Fig6aResult reproduces Figure 6(a): saturation message rate versus the
+// number of matchers, for BlueDove, P2P and full replication.
+type Fig6aResult struct {
+	// Scale names the run scale.
+	Scale string
+	// Matchers is the system-size sweep.
+	Matchers []int
+	// Rates maps variant label to the saturation rate per system size.
+	Rates map[string][]float64
+	// Labels preserves variant order.
+	Labels []string
+}
+
+// Fig6a regenerates Figure 6(a) at the given scale.
+func Fig6a(sc Scale) *Fig6aResult {
+	wcfg := sc.Workload()
+	subs := workload.New(wcfg).Subscriptions(sc.Subs)
+	variants := []Variant{BlueDoveVariant(), P2PVariant(), FullRepVariant(sc.Seed)}
+	r := &Fig6aResult{Scale: sc.Name, Matchers: sc.MatcherCounts, Rates: map[string][]float64{}}
+	for _, v := range variants {
+		r.Labels = append(r.Labels, v.Label)
+		for _, n := range sc.MatcherCounts {
+			r.Rates[v.Label] = append(r.Rates[v.Label], SaturationRate(sc, n, v, wcfg, subs))
+		}
+	}
+	return r
+}
+
+// Gain returns BlueDove's saturation-rate multiple over the named variant at
+// sweep index i.
+func (r *Fig6aResult) Gain(label string, i int) float64 {
+	base := r.Rates[label][i]
+	if base == 0 {
+		return 0
+	}
+	return r.Rates["BlueDove"][i] / base
+}
+
+// Table renders the sweep with the paper's gain columns.
+func (r *Fig6aResult) Table() *Table {
+	t := &Table{
+		Title:  "Figure 6(a): saturation rate vs matchers (" + r.Scale + " scale)",
+		Note:   "paper: BlueDove gains 3.5x->4.2x over P2P and 14x->67x over Full-Rep from 5 to 20 matchers",
+		Header: []string{"matchers", "BlueDove (msg/s)", "P2P (msg/s)", "Full-Rep (msg/s)", "gain vs P2P", "gain vs Full-Rep"},
+	}
+	for i, n := range r.Matchers {
+		t.AddRow(n, r.Rates["BlueDove"][i], r.Rates["P2P"][i], r.Rates["Full-Rep"][i],
+			fmt.Sprintf("%.1fx", r.Gain("P2P", i)), fmt.Sprintf("%.1fx", r.Gain("Full-Rep", i)))
+	}
+	return t
+}
+
+// Fig6bResult reproduces Figure 6(b): the maximum number of subscriptions
+// each system sustains at a fixed message rate, versus the number of
+// matchers.
+type Fig6bResult struct {
+	// Scale names the run scale.
+	Scale string
+	// Rate is the fixed message rate.
+	Rate float64
+	// Matchers is the system-size sweep.
+	Matchers []int
+	// MaxSubs maps variant label to the maximum sustainable subscription
+	// count per system size.
+	MaxSubs map[string][]int
+	// Labels preserves variant order.
+	Labels []string
+}
+
+// Fig6b regenerates Figure 6(b) at the given scale.
+func Fig6b(sc Scale) *Fig6bResult {
+	wcfg := sc.Workload()
+	variants := []Variant{BlueDoveVariant(), P2PVariant(), FullRepVariant(sc.Seed)}
+	r := &Fig6bResult{Scale: sc.Name, Rate: sc.Fig6bRate, Matchers: sc.MatcherCounts, MaxSubs: map[string][]int{}}
+	for _, v := range variants {
+		r.Labels = append(r.Labels, v.Label)
+		for _, n := range sc.MatcherCounts {
+			r.MaxSubs[v.Label] = append(r.MaxSubs[v.Label], maxSubscriptions(sc, n, v, wcfg))
+		}
+	}
+	return r
+}
+
+// maxSubscriptions binary-searches the largest subscription count the
+// variant sustains at the scale's Fig6bRate.
+func maxSubscriptions(sc Scale, matchers int, v Variant, wcfg workload.Config) int {
+	saturated := func(nsubs int) bool {
+		subs := workload.New(wcfg).Subscriptions(nsubs)
+		search := &sim.SaturationSearch{
+			Build: func() *sim.Cluster {
+				return sim.NewCluster(sc.VariantConfig(matchers, v))
+			},
+			Subscriptions: subs,
+			Workload:      wcfg,
+			Warmup:        sc.SatWarmup,
+			Measure:       sc.SatMeasure,
+			Tolerance:     sc.SatTolerance,
+		}
+		return search.Saturated(sc.Fig6bRate)
+	}
+	lo, hi := 0, 200
+	if saturated(hi) {
+		return 0 // cannot hold even the floor at this rate
+	}
+	lo = hi
+	const expansionCap = 1 << 24
+	for hi < expansionCap && !saturated(hi*2) {
+		hi *= 2
+		lo = hi
+	}
+	hi *= 2
+	// Invariant: lo sustainable, hi saturated (or the expansion cap hit).
+	for hi-lo > maxOf(50, lo/20) {
+		mid := (lo + hi) / 2
+		if saturated(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Gain returns BlueDove's max-subscription multiple over the named variant.
+func (r *Fig6bResult) Gain(label string, i int) float64 {
+	base := r.MaxSubs[label][i]
+	if base == 0 {
+		return 0
+	}
+	return float64(r.MaxSubs["BlueDove"][i]) / float64(base)
+}
+
+// Table renders the sweep with the paper's gain columns.
+func (r *Fig6bResult) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 6(b): max subscriptions at %.0f msg/s vs matchers (%s scale)", r.Rate, r.Scale),
+		Note:   "paper: at 20 matchers BlueDove holds 4x the subscriptions of P2P and 30x of Full-Rep",
+		Header: []string{"matchers", "BlueDove", "P2P", "Full-Rep", "gain vs P2P", "gain vs Full-Rep"},
+	}
+	for i, n := range r.Matchers {
+		t.AddRow(n, r.MaxSubs["BlueDove"][i], r.MaxSubs["P2P"][i], r.MaxSubs["Full-Rep"][i],
+			fmt.Sprintf("%.1fx", r.Gain("P2P", i)), fmt.Sprintf("%.1fx", r.Gain("Full-Rep", i)))
+	}
+	return t
+}

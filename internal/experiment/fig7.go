@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bluedove/internal/forward"
+	"bluedove/internal/placement"
+	"bluedove/internal/workload"
+)
+
+// Fig7Result reproduces Figure 7: the saturation message rate of the
+// 20-matcher BlueDove system under the four forwarding policies.
+type Fig7Result struct {
+	// Scale names the run scale.
+	Scale string
+	// Matchers is the system size used (paper: 20).
+	Matchers int
+	// Policies lists the policy names in evaluation order.
+	Policies []string
+	// Rates holds the saturation rate per policy.
+	Rates []float64
+}
+
+// Fig7 regenerates Figure 7 at the given scale.
+func Fig7(sc Scale) *Fig7Result {
+	wcfg := sc.Workload()
+	subs := workload.New(wcfg).Subscriptions(sc.Subs)
+	n := sc.MatcherCounts[len(sc.MatcherCounts)-1]
+	policies := []forward.Policy{
+		forward.Adaptive{},
+		forward.ResponseTime{},
+		forward.SubscriptionAmount{},
+		forward.NewRandom(sc.Seed),
+	}
+	r := &Fig7Result{Scale: sc.Name, Matchers: n}
+	for _, pol := range policies {
+		v := Variant{Label: pol.Name(), Strategy: placement.BlueDove{}, Policy: pol, Index: sc.IndexKind}
+		r.Policies = append(r.Policies, pol.Name())
+		r.Rates = append(r.Rates, SaturationRate(sc, n, v, wcfg, subs))
+	}
+	return r
+}
+
+// GainOverRandom returns the adaptive policy's multiple over the random
+// policy.
+func (r *Fig7Result) GainOverRandom() float64 {
+	var adaptive, random float64
+	for i, p := range r.Policies {
+		switch p {
+		case "adaptive":
+			adaptive = r.Rates[i]
+		case "random":
+			random = r.Rates[i]
+		}
+	}
+	if random == 0 {
+		return 0
+	}
+	return adaptive / random
+}
+
+// Table renders the policy comparison.
+func (r *Fig7Result) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 7: forwarding policies, %d matchers (%s scale)", r.Matchers, r.Scale),
+		Note:   "paper: adaptive = 1.1x resptime = 1.2x subamount = 3.5x random",
+		Header: []string{"policy", "saturation rate (msg/s)", "vs random"},
+	}
+	var random float64
+	for i, p := range r.Policies {
+		if p == "random" {
+			random = r.Rates[i]
+		}
+	}
+	for i, p := range r.Policies {
+		rel := "-"
+		if random > 0 {
+			rel = fmt.Sprintf("%.1fx", r.Rates[i]/random)
+		}
+		t.AddRow(p, r.Rates[i], rel)
+	}
+	return t
+}

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"bluedove/internal/metrics"
+	"bluedove/internal/sim"
+	"bluedove/internal/workload"
+)
+
+// Fig8Result reproduces Figure 8: per-matcher CPU load for BlueDove and the
+// P2P baseline, each driven just below its own saturation rate. The paper's
+// headline numbers are the normalized standard deviations (0.14 for
+// BlueDove, 0.82 for P2P).
+type Fig8Result struct {
+	// Scale names the run scale.
+	Scale string
+	// Matchers is the system size (paper: 20).
+	Matchers int
+	// BlueDove and P2P hold each matcher's busy fraction.
+	BlueDove, P2P []float64
+	// NormStdBlueDove and NormStdP2P are stddev/mean across matchers.
+	NormStdBlueDove, NormStdP2P float64
+}
+
+// Fig8 regenerates Figure 8 at the given scale.
+func Fig8(sc Scale) *Fig8Result {
+	wcfg := sc.Workload()
+	subs := workload.New(wcfg).Subscriptions(sc.Subs)
+	n := sc.MatcherCounts[len(sc.MatcherCounts)-1]
+
+	measure := func(v Variant) []float64 {
+		sat := SaturationRate(sc, n, v, wcfg, subs)
+		cl := sim.NewCluster(sc.VariantConfig(n, v))
+		cl.SubscribeAll(subs)
+		gen := workload.New(wcfg)
+		const warm, window = 5 * time.Second, 15 * time.Second
+		cl.Drive(gen, workload.ConstantRate(0.85*sat), int64(warm+window))
+		cl.RunUntil(int64(warm))
+		cl.MarkUtilization()
+		cl.RunUntil(int64(warm + window))
+		return cl.Utilizations(window)
+	}
+
+	r := &Fig8Result{Scale: sc.Name, Matchers: n}
+	r.BlueDove = measure(BlueDoveVariant())
+	r.P2P = measure(P2PVariant())
+	r.NormStdBlueDove = metrics.NormStdDevOf(r.BlueDove)
+	r.NormStdP2P = metrics.NormStdDevOf(r.P2P)
+	return r
+}
+
+// Table renders per-matcher loads and the balance summary.
+func (r *Fig8Result) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure 8: per-matcher CPU load near saturation, %d matchers (%s scale)", r.Matchers, r.Scale),
+		Note: fmt.Sprintf("paper: normalized stddev 0.14 (BlueDove) vs 0.82 (P2P); measured %.2f vs %.2f",
+			r.NormStdBlueDove, r.NormStdP2P),
+		Header: []string{"matcher", "BlueDove load", "P2P load"},
+	}
+	for i := range r.BlueDove {
+		p2p := "-"
+		if i < len(r.P2P) {
+			p2p = fmt.Sprintf("%.3f", r.P2P[i])
+		}
+		t.AddRow(i+1, fmt.Sprintf("%.3f", r.BlueDove[i]), p2p)
+	}
+	t.AddRow("norm-stddev", fmt.Sprintf("%.3f", r.NormStdBlueDove), fmt.Sprintf("%.3f", r.NormStdP2P))
+	return t
+}

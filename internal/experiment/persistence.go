@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"bluedove/internal/sim"
+	"bluedove/internal/workload"
+)
+
+// PersistenceResult evaluates the message-persistence extension (paper
+// Section VI future work: "add message persistence mechanism to support
+// applications that do not tolerate message loss") under the Figure 10
+// crash workload: matchers are killed under steady load, with and without
+// persistence.
+type PersistenceResult struct {
+	// Scale names the run scale.
+	Scale string
+	// Matchers is the starting system size.
+	Matchers int
+	// Rate is the steady offered load.
+	Rate float64
+	// LossBase and LossPersist are whole-run loss fractions.
+	LossBase, LossPersist float64
+	// Retries counts persistence re-forwards.
+	Retries int64
+	// MeanRespBaseMs and MeanRespPersistMs compare mean response times.
+	MeanRespBaseMs, MeanRespPersistMs float64
+}
+
+// Persistence runs the crash workload twice and compares.
+func Persistence(sc Scale) *PersistenceResult {
+	wcfg := sc.Workload()
+	subs := workload.New(wcfg).Subscriptions(sc.Subs)
+	n := sc.MatcherCounts[len(sc.MatcherCounts)-1]
+	sat := SaturationRate(sc, n, BlueDoveVariant(), wcfg, subs)
+	rate := 0.4 * sat
+
+	run := func(persistent bool) (loss float64, retries int64, meanMs float64) {
+		v := BlueDoveVariant()
+		cfg := sc.VariantConfig(n, v)
+		cfg.Persistent = persistent
+		cfg.FailureDetectDelay = 10 * time.Second
+		cfg.RecoveryDelay = 5 * time.Second
+		cl := sim.NewCluster(cfg)
+		cl.SubscribeAll(subs)
+		gen := workload.New(wcfg)
+		const killEvery, kills = 60 * time.Second, 2
+		dur := killEvery * (kills + 1)
+		cl.Drive(gen, workload.ConstantRate(rate), int64(dur))
+		for i := 1; i <= kills; i++ {
+			at := int64(killEvery) * int64(i)
+			cl.Engine().At(at, func() { _, _ = cl.FailRandomMatcher() })
+		}
+		cl.RunUntil(int64(dur))
+		cl.RunFor(30 * time.Second) // drain retries
+		st := cl.Stats()
+		return st.LossFraction(), st.PersistRetries.Value(), st.RespHist.Mean() / 1e6
+	}
+	r := &PersistenceResult{Scale: sc.Name, Matchers: n, Rate: rate}
+	r.LossBase, _, r.MeanRespBaseMs = run(false)
+	r.LossPersist, r.Retries, r.MeanRespPersistMs = run(true)
+	return r
+}
+
+// Table renders the comparison.
+func (r *PersistenceResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Extension (paper §VI): message persistence under crashes, %d matchers at %.0f msg/s (%s scale)",
+			r.Matchers, r.Rate, r.Scale),
+		Note:   "paper future work: 'BlueDove may lose a few messages after a server failure... we will add message persistence'",
+		Header: []string{"variant", "loss", "retries", "mean response (ms)"},
+	}
+	t.AddRow("baseline", fmt.Sprintf("%.3f%%", 100*r.LossBase), 0, r.MeanRespBaseMs)
+	t.AddRow("persistent", fmt.Sprintf("%.3f%%", 100*r.LossPersist), r.Retries, r.MeanRespPersistMs)
+	return t
+}

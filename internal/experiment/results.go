@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"bluedove/internal/metrics"
+)
+
+// Table is a simple aligned-text table for experiment reports.
+type Table struct {
+	// Title heads the rendered table.
+	Title string
+	// Note is an optional paper-comparison remark rendered under the title.
+	Note string
+	// Header holds the column names.
+	Header []string
+	// Rows holds the cell text.
+	Rows [][]string
+}
+
+// AddRow appends one row of cells (fmt.Sprint applied to each value).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmtFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func fmtFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "   %s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SeriesTable renders a downsampled time series as "t(s)  value" rows.
+func SeriesTable(title string, s *metrics.Series, interval int64) *Table {
+	t := &Table{Title: title, Header: []string{"t(s)", s.Name()}}
+	for _, p := range s.Downsample(interval) {
+		t.AddRow(fmt.Sprintf("%.1f", float64(p.T)/1e9), p.V)
+	}
+	return t
+}

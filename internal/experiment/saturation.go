@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/forward"
+	"bluedove/internal/index"
+	"bluedove/internal/placement"
+	"bluedove/internal/sim"
+	"bluedove/internal/workload"
+)
+
+// Variant names one system configuration under test.
+type Variant struct {
+	// Label identifies the variant in tables ("BlueDove", "P2P", ...).
+	Label string
+	// Strategy is the placement strategy.
+	Strategy placement.Strategy
+	// Policy is the forwarding policy.
+	Policy forward.Policy
+	// Index is the matcher index kind, which defines the matching cost
+	// model (KindScan: cost proportional to the whole stored set).
+	Index index.Kind
+}
+
+// BlueDoveVariant is the paper's system: mPartition + adaptive forwarding +
+// a per-dimension-set index ("builds a separate index for each subset" —
+// the paper credits grouped subscriptions and reduced index search time as
+// a key factor for throughput).
+func BlueDoveVariant() Variant {
+	return Variant{Label: "BlueDove", Strategy: placement.BlueDove{},
+		Policy: forward.Adaptive{}, Index: index.KindBucket}
+}
+
+// P2PVariant is the single-dimension DHT baseline. It shares BlueDove's
+// matcher code (and index), as in the paper's comparison setup.
+func P2PVariant() Variant {
+	return Variant{Label: "P2P", Strategy: placement.P2P{},
+		Policy: forward.Adaptive{}, Index: index.KindBucket}
+}
+
+// FullRepVariant is the full-replication baseline with random dispatch.
+// Its matchers search the entire subscription set linearly — the paper:
+// "the matching time is not reduced because each matcher needs to search
+// all subscriptions".
+func FullRepVariant(seed int64) Variant {
+	return Variant{Label: "Full-Rep", Strategy: placement.FullRep{},
+		Policy: forward.NewRandom(seed), Index: index.KindScan}
+}
+
+// SaturationRate finds the saturation message rate of a variant at the
+// given system size, bracketing the search with the static capacity
+// estimate.
+func SaturationRate(sc Scale, matchers int, v Variant,
+	wcfg workload.Config, subs []*core.Subscription) float64 {
+	probes := workload.New(wcfg).Messages(400)
+	est := EstimateCapacity(sc, matchers, v, subs, probes)
+	search := &sim.SaturationSearch{
+		Build: func() *sim.Cluster {
+			return sim.NewCluster(sc.VariantConfig(matchers, v))
+		},
+		Subscriptions: subs,
+		Workload:      wcfg,
+		Warmup:        sc.SatWarmup,
+		Measure:       sc.SatMeasure,
+		Tolerance:     sc.SatTolerance,
+		LoRate:        est * 0.25,
+		HiRate:        est * 2.5,
+	}
+	return search.Find()
+}
+
+// SaturationRateWithReportInterval is SaturationRate with the matcher
+// load-report interval stretched to the given number of seconds — the
+// report-staleness ablation for the adaptive policy's extrapolation.
+func SaturationRateWithReportInterval(sc Scale, matchers int, v Variant,
+	wcfg workload.Config, subs []*core.Subscription, seconds int) float64 {
+	probes := workload.New(wcfg).Messages(400)
+	est := EstimateCapacity(sc, matchers, v, subs, probes)
+	search := &sim.SaturationSearch{
+		Build: func() *sim.Cluster {
+			cfg := sc.VariantConfig(matchers, v)
+			cfg.ReportInterval = time.Duration(seconds) * time.Second
+			return sim.NewCluster(cfg)
+		},
+		Subscriptions: subs,
+		Workload:      wcfg,
+		Warmup:        sc.SatWarmup,
+		Measure:       sc.SatMeasure,
+		Tolerance:     sc.SatTolerance,
+		LoRate:        est * 0.25,
+		HiRate:        est * 2.5,
+	}
+	return search.Find()
+}

@@ -1,0 +1,53 @@
+package forward
+
+import (
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/partition"
+)
+
+// benchView is a fixed-load view for policy benchmarks.
+type benchView struct{ loads map[core.NodeID][]DimLoad }
+
+func (v *benchView) Load(node core.NodeID, dim int) (DimLoad, bool) {
+	ls, ok := v.loads[node]
+	if !ok || dim >= len(ls) {
+		return DimLoad{}, false
+	}
+	return ls[dim], true
+}
+
+func (v *benchView) Alive(core.NodeID) bool { return true }
+
+func benchSetup() ([]partition.Candidate, *benchView) {
+	cands := make([]partition.Candidate, 4)
+	view := &benchView{loads: make(map[core.NodeID][]DimLoad)}
+	for i := range cands {
+		id := core.NodeID(i + 1)
+		cands[i] = partition.Candidate{Node: id, Dim: i}
+		loads := make([]DimLoad, 4)
+		for d := range loads {
+			loads[d] = DimLoad{
+				Subs: 100 * (i + d + 1), QueueLen: 3 * i,
+				ArrivalRate: 500, MatchRate: 400 + float64(100*d),
+				ReportedAt: int64(time.Second),
+			}
+		}
+		view.loads[id] = loads
+	}
+	return cands, view
+}
+
+func BenchmarkRank(b *testing.B) {
+	cands, view := benchSetup()
+	now := int64(2 * time.Second)
+	for _, p := range []Policy{Adaptive{}, ResponseTime{}, SubscriptionAmount{}, NewRandom(1)} {
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = p.Rank(now, cands, view)
+			}
+		})
+	}
+}

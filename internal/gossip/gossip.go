@@ -1,0 +1,384 @@
+package gossip
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/metrics"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// Config parameterizes a Gossiper.
+type Config struct {
+	// ID is this node's cluster identifier; required.
+	ID core.NodeID
+	// Addr is this node's transport address (as peers should dial it);
+	// required.
+	Addr string
+	// Role is this node's tier.
+	Role core.NodeRole
+	// Transport sends gossip exchanges; required.
+	Transport transport.Transport
+	// Seeds are addresses contacted when no live peers are known.
+	Seeds []string
+	// Interval is the gossip round period (default 1s, as in the paper).
+	Interval time.Duration
+	// Fanout is the number of peers contacted per round (default
+	// ~log2(N)+1, recomputed each round; explicit values override).
+	Fanout int
+	// FailAfter marks an endpoint dead when its heartbeat has not advanced
+	// for this long (default 10s).
+	FailAfter time.Duration
+	// Generation is this incarnation's number; pass a value greater than
+	// any previous incarnation's (e.g. boot time). Default: current time.
+	Generation uint64
+	// Now supplies the local clock in nanoseconds (default time.Now); tests
+	// inject virtual clocks.
+	Now func() int64
+	// Seed drives peer selection (default: derived from ID).
+	Seed int64
+}
+
+// Gossiper maintains the cluster view for one node.
+type Gossiper struct {
+	cfg  Config
+	mu   sync.Mutex
+	self *Endpoint
+	eps  map[core.NodeID]*Endpoint
+	rng  *rand.Rand
+	stop chan struct{}
+	wg   sync.WaitGroup
+	// Bytes counts gossip payload traffic for overhead accounting.
+	Bytes metrics.Counter
+	// onAlive, onDead are invoked (outside the lock) on liveness changes.
+	onChange func(id core.NodeID, alive bool)
+	lastLive map[core.NodeID]bool
+}
+
+// New builds a Gossiper. It does not start gossiping; call Start.
+func New(cfg Config) (*Gossiper, error) {
+	if cfg.ID == 0 || cfg.Addr == "" || cfg.Transport == nil {
+		return nil, errors.New("gossip: ID, Addr and Transport are required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 10 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	if cfg.Generation == 0 {
+		cfg.Generation = uint64(cfg.Now())
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = int64(cfg.ID) * 2654435761
+	}
+	g := &Gossiper{
+		cfg:      cfg,
+		eps:      make(map[core.NodeID]*Endpoint),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		stop:     make(chan struct{}),
+		lastLive: make(map[core.NodeID]bool),
+	}
+	g.self = &Endpoint{
+		ID:         cfg.ID,
+		Addr:       cfg.Addr,
+		Role:       cfg.Role,
+		Generation: cfg.Generation,
+		Heartbeat:  1,
+		States:     make(map[string]Versioned),
+		lastSeen:   cfg.Now(),
+	}
+	g.eps[cfg.ID] = g.self
+	return g, nil
+}
+
+// OnLivenessChange registers a callback invoked when a peer's liveness flips
+// (called from the gossip goroutine, outside the internal lock). Must be set
+// before Start.
+func (g *Gossiper) OnLivenessChange(fn func(id core.NodeID, alive bool)) {
+	g.onChange = fn
+}
+
+// Start begins periodic gossip rounds.
+func (g *Gossiper) Start() {
+	g.wg.Add(1)
+	go g.loop()
+}
+
+// Stop halts gossip rounds.
+func (g *Gossiper) Stop() {
+	select {
+	case <-g.stop:
+	default:
+		close(g.stop)
+	}
+	g.wg.Wait()
+}
+
+func (g *Gossiper) loop() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+			g.Round()
+		}
+	}
+}
+
+// SetState publishes (or updates) one of this node's application states;
+// the version must increase for peers to adopt it.
+func (g *Gossiper) SetState(key string, value []byte, version uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cur, ok := g.self.States[key]
+	if ok && version <= cur.Version {
+		return
+	}
+	val := make([]byte, len(value))
+	copy(val, value)
+	g.self.States[key] = Versioned{Value: val, Version: version}
+}
+
+// StateOf returns endpoint id's value for key.
+func (g *Gossiper) StateOf(id core.NodeID, key string) (value []byte, version uint64, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, found := g.eps[id]
+	if !found {
+		return nil, 0, false
+	}
+	v, found := e.States[key]
+	if !found {
+		return nil, 0, false
+	}
+	out := make([]byte, len(v.Value))
+	copy(out, v.Value)
+	return out, v.Version, true
+}
+
+// HighestState returns the freshest value of key across all endpoints
+// (highest version wins; dead endpoints included — state outlives its
+// publisher). ok is false when no endpoint publishes the key.
+func (g *Gossiper) HighestState(key string) (value []byte, version uint64, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, e := range g.eps {
+		if v, found := e.States[key]; found && (!ok || v.Version > version) {
+			version = v.Version
+			value = v.Value
+			ok = true
+		}
+	}
+	if ok {
+		out := make([]byte, len(value))
+		copy(out, value)
+		value = out
+	}
+	return value, version, ok
+}
+
+// Peer is a read-only snapshot of one endpoint.
+type Peer struct {
+	ID    core.NodeID
+	Addr  string
+	Role  core.NodeRole
+	Alive bool
+}
+
+// Peers returns a snapshot of all known endpoints (including self).
+func (g *Gossiper) Peers() []Peer {
+	now := g.cfg.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Peer, 0, len(g.eps))
+	for _, e := range g.eps {
+		out = append(out, Peer{ID: e.ID, Addr: e.Addr, Role: e.Role, Alive: g.aliveLocked(e, now)})
+	}
+	return out
+}
+
+// Alive reports whether endpoint id is currently believed live.
+func (g *Gossiper) Alive(id core.NodeID) bool {
+	now := g.cfg.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.eps[id]
+	return ok && g.aliveLocked(e, now)
+}
+
+// AddrOf returns endpoint id's transport address.
+func (g *Gossiper) AddrOf(id core.NodeID) (string, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.eps[id]
+	if !ok {
+		return "", false
+	}
+	return e.Addr, true
+}
+
+func (g *Gossiper) aliveLocked(e *Endpoint, now int64) bool {
+	if e.ID == g.cfg.ID {
+		return true
+	}
+	return now-e.lastSeen < int64(g.cfg.FailAfter)
+}
+
+// Round performs one gossip round synchronously: bump the heartbeat, pick
+// peers, push-pull full state with each. Exposed for tests and for
+// virtual-time harnesses; production uses Start's ticker.
+func (g *Gossiper) Round() {
+	now := g.cfg.Now()
+	g.mu.Lock()
+	g.self.Heartbeat++
+	g.self.lastSeen = now
+	payload := encodeEndpoints(g.snapshotLocked())
+	targets := g.pickTargetsLocked(now)
+	g.mu.Unlock()
+
+	for _, addr := range targets {
+		g.exchange(addr, payload)
+	}
+	g.notifyLiveness()
+}
+
+// exchange performs one push-pull with a peer address.
+func (g *Gossiper) exchange(addr string, payload []byte) {
+	env := &wire.Envelope{Kind: wire.KindGossip, From: g.cfg.ID, Body: payload}
+	g.Bytes.Add(int64(len(payload)))
+	resp, err := g.cfg.Transport.Request(addr, env, g.cfg.Interval)
+	if err != nil {
+		return // unreachable peers age out via heartbeat timeouts
+	}
+	if resp.Kind != wire.KindGossip {
+		return
+	}
+	g.Bytes.Add(int64(len(resp.Body)))
+	remote, err := decodeEndpoints(resp.Body)
+	if err != nil {
+		return
+	}
+	g.mergeRemote(remote)
+}
+
+// HandleGossip is the inbound handler: merge the sender's view and answer
+// with ours (the pull half of push-pull). Nodes route wire.KindGossip
+// envelopes here.
+func (g *Gossiper) HandleGossip(env *wire.Envelope) *wire.Envelope {
+	remote, err := decodeEndpoints(env.Body)
+	if err != nil {
+		return &wire.Envelope{Kind: wire.KindError, From: g.cfg.ID, Body: (&wire.ErrorBody{Text: err.Error()}).Encode()}
+	}
+	g.mergeRemote(remote)
+	g.mu.Lock()
+	payload := encodeEndpoints(g.snapshotLocked())
+	g.mu.Unlock()
+	// Count inbound + response traffic so per-node overhead accounting
+	// covers both sides of every exchange.
+	g.Bytes.Add(int64(len(env.Body) + len(payload)))
+	g.notifyLiveness()
+	return &wire.Envelope{Kind: wire.KindGossip, From: g.cfg.ID, Body: payload}
+}
+
+// mergeRemote folds a remote view into ours.
+func (g *Gossiper) mergeRemote(remote []*Endpoint) {
+	now := g.cfg.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, re := range remote {
+		if re.ID == g.cfg.ID {
+			// Never let peers roll back our own state; a higher remote
+			// generation for our own ID would mean an ID collision.
+			continue
+		}
+		local, ok := g.eps[re.ID]
+		if !ok {
+			ne := re.clone()
+			ne.lastSeen = now
+			g.eps[re.ID] = ne
+			continue
+		}
+		local.merge(re, now)
+	}
+}
+
+// snapshotLocked clones all endpoints for encoding.
+func (g *Gossiper) snapshotLocked() []*Endpoint {
+	out := make([]*Endpoint, 0, len(g.eps))
+	for _, e := range g.eps {
+		out = append(out, e)
+	}
+	return out
+}
+
+// pickTargetsLocked chooses this round's gossip targets: ~log2(N)+1 random
+// live peers, falling back to seeds when nobody is known.
+func (g *Gossiper) pickTargetsLocked(now int64) []string {
+	var live []string
+	for _, e := range g.eps {
+		if e.ID != g.cfg.ID && g.aliveLocked(e, now) {
+			live = append(live, e.Addr)
+		}
+	}
+	if len(live) == 0 {
+		seeds := make([]string, 0, len(g.cfg.Seeds))
+		for _, s := range g.cfg.Seeds {
+			if s != g.cfg.Addr {
+				seeds = append(seeds, s)
+			}
+		}
+		return seeds
+	}
+	fanout := g.cfg.Fanout
+	if fanout <= 0 {
+		fanout = 1
+		for n := len(live); n > 1; n >>= 1 {
+			fanout++
+		}
+	}
+	if fanout > len(live) {
+		fanout = len(live)
+	}
+	g.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	return live[:fanout]
+}
+
+// notifyLiveness fires the liveness-change callback for peers whose alive
+// state flipped since the last notification.
+func (g *Gossiper) notifyLiveness() {
+	if g.onChange == nil {
+		return
+	}
+	now := g.cfg.Now()
+	type change struct {
+		id    core.NodeID
+		alive bool
+	}
+	var changes []change
+	g.mu.Lock()
+	for id, e := range g.eps {
+		if id == g.cfg.ID {
+			continue
+		}
+		alive := g.aliveLocked(e, now)
+		if prev, seen := g.lastLive[id]; !seen || prev != alive {
+			g.lastLive[id] = alive
+			changes = append(changes, change{id: id, alive: alive})
+		}
+	}
+	g.mu.Unlock()
+	for _, c := range changes {
+		g.onChange(c.id, c.alive)
+	}
+}

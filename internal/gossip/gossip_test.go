@@ -1,0 +1,353 @@
+package gossip
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// testClock is a manually advanced clock shared by a test cluster.
+type testClock struct {
+	mu  sync.Mutex
+	now int64
+}
+
+func (c *testClock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += int64(d)
+}
+
+// testNode bundles a gossiper with its mesh endpoint.
+type testNode struct {
+	g    *Gossiper
+	addr string
+}
+
+// newCluster builds n gossipers on one mesh, with node 1 as the seed.
+// Gossip rounds are driven manually via Round() for determinism.
+func newCluster(t *testing.T, mesh *transport.Mesh, clock *testClock, n int) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	seed := "node-1"
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("node-%d", i+1)
+		ep := mesh.Endpoint(addr)
+		g, err := New(Config{
+			ID:         core.NodeID(i + 1),
+			Addr:       addr,
+			Role:       core.RoleMatcher,
+			Transport:  ep,
+			Seeds:      []string{seed},
+			Interval:   time.Second,
+			FailAfter:  5 * time.Second,
+			Generation: 1,
+			Now:        clock.Now,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := &testNode{g: g, addr: addr}
+		if _, err := ep.Listen(addr, func(env *wire.Envelope) *wire.Envelope {
+			if env.Kind == wire.KindGossip {
+				return g.HandleGossip(env)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	return nodes
+}
+
+// rounds drives r synchronized gossip rounds, advancing the clock 1s per
+// round.
+func rounds(clock *testClock, nodes []*testNode, r int) {
+	for i := 0; i < r; i++ {
+		clock.Advance(time.Second)
+		for _, n := range nodes {
+			n.g.Round()
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	g, err := New(Config{ID: 1, Addr: "a", Transport: mesh.Endpoint("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.cfg.Interval != time.Second || g.cfg.FailAfter != 10*time.Second {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestMembershipConverges(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	clock := &testClock{}
+	nodes := newCluster(t, mesh, clock, 10)
+	rounds(clock, nodes, 8) // > log2(10) rounds
+	for _, n := range nodes {
+		peers := n.g.Peers()
+		if len(peers) != 10 {
+			t.Fatalf("%s sees %d peers, want 10", n.addr, len(peers))
+		}
+		for _, p := range peers {
+			if !p.Alive {
+				t.Fatalf("%s sees %v dead", n.addr, p.ID)
+			}
+		}
+	}
+}
+
+func TestStateDissemination(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	clock := &testClock{}
+	nodes := newCluster(t, mesh, clock, 8)
+	rounds(clock, nodes, 6)
+	nodes[3].g.SetState("table", []byte("v1-table"), 1)
+	rounds(clock, nodes, 6)
+	for _, n := range nodes {
+		val, ver, ok := n.g.StateOf(4, "table")
+		if !ok || string(val) != "v1-table" || ver != 1 {
+			t.Fatalf("%s: table state = %q v%d ok=%v", n.addr, val, ver, ok)
+		}
+	}
+	// Update must supersede.
+	nodes[3].g.SetState("table", []byte("v2-table"), 2)
+	rounds(clock, nodes, 6)
+	for _, n := range nodes {
+		val, _, _ := n.g.StateOf(4, "table")
+		if string(val) != "v2-table" {
+			t.Fatalf("%s: stale table state %q", n.addr, val)
+		}
+	}
+	// Stale version must be ignored at the source.
+	nodes[3].g.SetState("table", []byte("old"), 1)
+	if val, _, _ := nodes[3].g.StateOf(4, "table"); string(val) != "v2-table" {
+		t.Error("stale SetState overwrote newer value")
+	}
+}
+
+func TestHighestState(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	clock := &testClock{}
+	nodes := newCluster(t, mesh, clock, 4)
+	rounds(clock, nodes, 5)
+	nodes[0].g.SetState("table", []byte("t3"), 3)
+	nodes[1].g.SetState("table", []byte("t7"), 7)
+	rounds(clock, nodes, 5)
+	for _, n := range nodes {
+		val, ver, ok := n.g.HighestState("table")
+		if !ok || ver != 7 || string(val) != "t7" {
+			t.Fatalf("%s: highest = %q v%d ok=%v", n.addr, val, ver, ok)
+		}
+	}
+	if _, _, ok := nodes[0].g.HighestState("nope"); ok {
+		t.Error("unknown key reported")
+	}
+}
+
+func TestFailureDetection(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	clock := &testClock{}
+	nodes := newCluster(t, mesh, clock, 6)
+	rounds(clock, nodes, 6)
+
+	var mu sync.Mutex
+	flips := map[core.NodeID][]bool{}
+	nodes[0].g.OnLivenessChange(func(id core.NodeID, alive bool) {
+		mu.Lock()
+		flips[id] = append(flips[id], alive)
+		mu.Unlock()
+	})
+
+	// Crash node 6: stop gossiping it and cut its links.
+	mesh.SetDown("node-6", true)
+	live := nodes[:5]
+	rounds(clock, live, 7) // FailAfter is 5s; 7 rounds push it past
+
+	for _, n := range live {
+		if n.g.Alive(6) {
+			t.Fatalf("%s still believes node 6 alive", n.addr)
+		}
+	}
+	mu.Lock()
+	seq := flips[6]
+	mu.Unlock()
+	if len(seq) == 0 || seq[len(seq)-1] != false {
+		t.Fatalf("liveness callback sequence for node 6: %v", seq)
+	}
+
+	// Node 6 restarts with a higher generation and rejoins.
+	mesh.SetDown("node-6", false)
+	ep := mesh.Endpoint("node-6b")
+	g6, err := New(Config{
+		ID: 6, Addr: "node-6", Transport: ep, Seeds: []string{"node-1"},
+		FailAfter: 5 * time.Second, Generation: 2, Now: clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebind the handler address by reusing the original listener's queue:
+	// the mesh still routes node-6; point its handler at the new gossiper
+	// by re-listening under a fresh label is not possible, so drive the
+	// exchange from node 6's side only.
+	all := append(append([]*testNode{}, live...), &testNode{g: g6, addr: "node-6"})
+	rounds(clock, all, 7)
+	for _, n := range live {
+		if !n.g.Alive(6) {
+			t.Fatalf("%s did not revive node 6", n.addr)
+		}
+	}
+	mu.Lock()
+	seq = flips[6]
+	mu.Unlock()
+	if seq[len(seq)-1] != true {
+		t.Fatalf("liveness callback did not report revival: %v", seq)
+	}
+}
+
+func TestAddrOfAndAlive(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	clock := &testClock{}
+	nodes := newCluster(t, mesh, clock, 3)
+	rounds(clock, nodes, 4)
+	addr, ok := nodes[0].g.AddrOf(3)
+	if !ok || addr != "node-3" {
+		t.Fatalf("AddrOf(3) = %q, %v", addr, ok)
+	}
+	if _, ok := nodes[0].g.AddrOf(99); ok {
+		t.Error("unknown node resolved")
+	}
+	if nodes[0].g.Alive(99) {
+		t.Error("unknown node alive")
+	}
+	if !nodes[0].g.Alive(1) {
+		t.Error("self not alive")
+	}
+}
+
+func TestOwnStateNeverRolledBack(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	clock := &testClock{}
+	nodes := newCluster(t, mesh, clock, 2)
+	nodes[0].g.SetState("k", []byte("mine"), 5)
+	rounds(clock, nodes, 4)
+	// Forge a gossip message claiming node 1 has different state.
+	forged := &Endpoint{
+		ID: 1, Addr: "node-1", Role: core.RoleMatcher,
+		Generation: 99, Heartbeat: 99,
+		States: map[string]Versioned{"k": {Value: []byte("forged"), Version: 100}},
+	}
+	env := &wire.Envelope{Kind: wire.KindGossip, From: 2, Body: encodeEndpoints([]*Endpoint{forged})}
+	nodes[0].g.HandleGossip(env)
+	if val, _, _ := nodes[0].g.StateOf(1, "k"); string(val) != "mine" {
+		t.Fatalf("own state rolled back to %q", val)
+	}
+}
+
+func TestHandleGossipRejectsGarbage(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	g, err := New(Config{ID: 1, Addr: "a", Transport: mesh.Endpoint("a"), Now: (&testClock{}).Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := g.HandleGossip(&wire.Envelope{Kind: wire.KindGossip, Body: []byte{1, 2, 3}})
+	if resp.Kind != wire.KindError {
+		t.Fatalf("garbage accepted: %v", resp.Kind)
+	}
+}
+
+func TestEncodeDecodeEndpointsRoundtrip(t *testing.T) {
+	eps := []*Endpoint{
+		{ID: 1, Addr: "a:1", Role: core.RoleMatcher, Generation: 3, Heartbeat: 9,
+			States: map[string]Versioned{"x": {Value: []byte("v"), Version: 4}}},
+		{ID: 2, Addr: "b:2", Role: core.RoleDispatcher, Generation: 1, Heartbeat: 2,
+			States: map[string]Versioned{}},
+	}
+	data := encodeEndpoints(eps)
+	got, err := decodeEndpoints(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != 1 || got[0].Addr != "a:1" || got[1].Role != core.RoleDispatcher {
+		t.Fatalf("%+v", got)
+	}
+	if string(got[0].States["x"].Value) != "v" || got[0].States["x"].Version != 4 {
+		t.Fatalf("states: %+v", got[0].States)
+	}
+	// Truncations must error, never panic.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := decodeEndpoints(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := decodeEndpoints(append(data, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestStartStopRealTime(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	mk := func(id core.NodeID, addr string) *Gossiper {
+		ep := mesh.Endpoint(addr)
+		g, err := New(Config{
+			ID: id, Addr: addr, Transport: ep, Seeds: []string{"ga"},
+			Interval: 10 * time.Millisecond, FailAfter: time.Second, Generation: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ep.Listen(addr, func(env *wire.Envelope) *wire.Envelope {
+			if env.Kind == wire.KindGossip {
+				return g.HandleGossip(env)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a := mk(1, "ga")
+	b := mk(2, "gb")
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if a.Alive(2) && b.Alive(1) {
+			if a.Bytes.Value() == 0 {
+				t.Error("gossip byte accounting is zero")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("real-time gossip did not converge")
+}

@@ -1,0 +1,108 @@
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bluedove/internal/core"
+)
+
+// randomEndpointViews builds v independently mutated views of the same n
+// endpoints.
+func randomEndpointViews(rng *rand.Rand, n, v int) [][]*Endpoint {
+	views := make([][]*Endpoint, v)
+	for vi := 0; vi < v; vi++ {
+		eps := make([]*Endpoint, 0, n)
+		for id := 1; id <= n; id++ {
+			e := &Endpoint{
+				ID:         core.NodeID(id),
+				Addr:       fmt.Sprintf("n%d", id),
+				Role:       core.RoleMatcher,
+				Generation: uint64(1 + rng.Intn(3)),
+				Heartbeat:  uint64(rng.Intn(100)),
+				States:     map[string]Versioned{},
+			}
+			for _, key := range []string{"a", "b"} {
+				if rng.Intn(2) == 0 {
+					ver := uint64(rng.Intn(10))
+					e.States[key] = Versioned{Value: []byte(fmt.Sprintf("%s-g%d-v%d", key, e.Generation, ver)), Version: ver}
+				}
+			}
+			eps = append(eps, e)
+		}
+		views[vi] = eps
+	}
+	return views
+}
+
+// mergeAll folds views into a fresh map in the given order.
+func mergeAll(views [][]*Endpoint, order []int) map[core.NodeID]*Endpoint {
+	out := make(map[core.NodeID]*Endpoint)
+	for _, vi := range order {
+		for _, re := range views[vi] {
+			local, ok := out[re.ID]
+			if !ok {
+				out[re.ID] = re.clone()
+				continue
+			}
+			local.merge(re, 0)
+		}
+	}
+	return out
+}
+
+// Property: merging the same set of views in any order converges to the
+// same (generation, heartbeat) and per-key versions — the anti-entropy
+// convergence the overlay depends on.
+func TestMergeOrderIndependenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 300; iter++ {
+		views := randomEndpointViews(rng, 5, 4)
+		base := mergeAll(views, []int{0, 1, 2, 3})
+		perm := rng.Perm(4)
+		other := mergeAll(views, perm)
+		for id, be := range base {
+			oe, ok := other[id]
+			if !ok {
+				t.Fatalf("iter %d: endpoint %v missing under order %v", iter, id, perm)
+			}
+			if be.Generation != oe.Generation || be.Heartbeat != oe.Heartbeat {
+				t.Fatalf("iter %d: endpoint %v diverged: (g%d,h%d) vs (g%d,h%d) order %v",
+					iter, id, be.Generation, be.Heartbeat, oe.Generation, oe.Heartbeat, perm)
+			}
+			for k, bv := range be.States {
+				ov, ok := oe.States[k]
+				if !ok || bv.Version != ov.Version {
+					t.Fatalf("iter %d: endpoint %v state %q diverged: v%d vs v%d (present=%v)",
+						iter, id, k, bv.Version, ov.Version, ok)
+				}
+			}
+		}
+	}
+}
+
+// Property: merge never regresses — folding any remote view into a local
+// one never lowers generation, heartbeat, or any state version.
+func TestMergeMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 500; iter++ {
+		views := randomEndpointViews(rng, 1, 2)
+		local := views[0][0].clone()
+		before := local.clone()
+		local.merge(views[1][0], 0)
+		if local.Generation < before.Generation {
+			t.Fatal("generation regressed")
+		}
+		if local.Generation == before.Generation && local.Heartbeat < before.Heartbeat {
+			t.Fatal("heartbeat regressed")
+		}
+		if local.Generation == before.Generation {
+			for k, bv := range before.States {
+				if lv, ok := local.States[k]; !ok || lv.Version < bv.Version {
+					t.Fatalf("state %q regressed", k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package gossip implements the Cassandra-style gossip protocol BlueDove
+// uses to organize its one-hop overlay (paper Sections II-B and III-C):
+// every node maintains versioned state for every endpoint — generation
+// (incarnation), heartbeat, and application key/value states such as the
+// encoded segment table — and periodically exchanges it with a few random
+// peers. Any state change reaches the whole cluster in O(log N) rounds.
+// Liveness is inferred from heartbeat progress: an endpoint whose heartbeat
+// has not advanced within the failure timeout is marked dead (and revived
+// by a newer generation or fresh heartbeats).
+package gossip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"bluedove/internal/core"
+)
+
+// Versioned is one application state value with its per-endpoint version.
+type Versioned struct {
+	// Value is the opaque state payload.
+	Value []byte
+	// Version orders updates of the same key from the same endpoint.
+	Version uint64
+}
+
+// Endpoint is the gossip view of one node.
+type Endpoint struct {
+	// ID is the node's cluster-wide identifier.
+	ID core.NodeID
+	// Addr is the node's transport address.
+	Addr string
+	// Role distinguishes dispatchers from matchers.
+	Role core.NodeRole
+	// Generation is the node's incarnation number; a restarted node comes
+	// back with a higher generation, which supersedes all older state.
+	Generation uint64
+	// Heartbeat increases every gossip round the node is alive.
+	Heartbeat uint64
+	// States holds the application key/value states.
+	States map[string]Versioned
+
+	// lastSeen is the local receive time (ns) of the last heartbeat
+	// advance; it is not gossiped.
+	lastSeen int64
+}
+
+// clone deep-copies the endpoint.
+func (e *Endpoint) clone() *Endpoint {
+	c := *e
+	c.States = make(map[string]Versioned, len(e.States))
+	for k, v := range e.States {
+		val := make([]byte, len(v.Value))
+		copy(val, v.Value)
+		c.States[k] = Versioned{Value: val, Version: v.Version}
+	}
+	return &c
+}
+
+// newer reports whether remote strictly supersedes local by (generation,
+// heartbeat) order.
+func newer(remoteGen, remoteHb, localGen, localHb uint64) bool {
+	if remoteGen != localGen {
+		return remoteGen > localGen
+	}
+	return remoteHb > localHb
+}
+
+// merge folds the remote endpoint view into local, returning whether
+// anything changed and whether the endpoint's liveness signal advanced.
+func (e *Endpoint) merge(remote *Endpoint, now int64) (changed, beat bool) {
+	if remote.Generation > e.Generation {
+		// New incarnation replaces everything.
+		addr, id := remote.Addr, remote.ID
+		*e = *remote.clone()
+		e.Addr, e.ID = addr, id
+		e.lastSeen = now
+		return true, true
+	}
+	if remote.Generation < e.Generation {
+		return false, false
+	}
+	if remote.Heartbeat > e.Heartbeat {
+		e.Heartbeat = remote.Heartbeat
+		e.lastSeen = now
+		changed, beat = true, true
+	}
+	for k, rv := range remote.States {
+		lv, ok := e.States[k]
+		if !ok || rv.Version > lv.Version {
+			val := make([]byte, len(rv.Value))
+			copy(val, rv.Value)
+			e.States[k] = Versioned{Value: val, Version: rv.Version}
+			changed = true
+		}
+	}
+	if remote.Addr != "" && remote.Addr != e.Addr {
+		e.Addr = remote.Addr
+		changed = true
+	}
+	return changed, beat
+}
+
+// --- state map wire encoding -------------------------------------------
+
+// maxEndpoints bounds decoded endpoint counts against corrupt frames.
+const maxEndpoints = 1 << 20
+
+// maxStates bounds decoded per-endpoint state counts.
+const maxStates = 1 << 10
+
+// encodeEndpoints serializes a set of endpoints for a gossip exchange.
+func encodeEndpoints(eps []*Endpoint) []byte {
+	var buf []byte
+	put64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	put32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	put16 := func(v uint16) { buf = binary.LittleEndian.AppendUint16(buf, v) }
+	putStr := func(s string) {
+		put16(uint16(len(s)))
+		buf = append(buf, s...)
+	}
+	put32(uint32(len(eps)))
+	for _, e := range eps {
+		put64(uint64(e.ID))
+		putStr(e.Addr)
+		buf = append(buf, byte(e.Role))
+		put64(e.Generation)
+		put64(e.Heartbeat)
+		put16(uint16(len(e.States)))
+		for k, v := range e.States {
+			putStr(k)
+			put64(v.Version)
+			put32(uint32(len(v.Value)))
+			buf = append(buf, v.Value...)
+		}
+	}
+	return buf
+}
+
+// errTruncated reports a short gossip payload.
+var errTruncated = errors.New("gossip: truncated state")
+
+// decodeEndpoints parses a gossip exchange payload.
+func decodeEndpoints(data []byte) ([]*Endpoint, error) {
+	off := 0
+	need := func(n int) ([]byte, error) {
+		if off+n > len(data) {
+			return nil, errTruncated
+		}
+		b := data[off : off+n]
+		off += n
+		return b, nil
+	}
+	get64 := func() (uint64, error) {
+		b, err := need(8)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b), nil
+	}
+	get32 := func() (uint32, error) {
+		b, err := need(4)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b), nil
+	}
+	get16 := func() (uint16, error) {
+		b, err := need(2)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint16(b), nil
+	}
+	getStr := func() (string, error) {
+		n, err := get16()
+		if err != nil {
+			return "", err
+		}
+		b, err := need(int(n))
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	count, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if count > maxEndpoints {
+		return nil, fmt.Errorf("gossip: implausible endpoint count %d", count)
+	}
+	out := make([]*Endpoint, 0, count)
+	for i := uint32(0); i < count; i++ {
+		e := &Endpoint{States: make(map[string]Versioned)}
+		id, err := get64()
+		if err != nil {
+			return nil, err
+		}
+		e.ID = core.NodeID(id)
+		if e.Addr, err = getStr(); err != nil {
+			return nil, err
+		}
+		roleB, err := need(1)
+		if err != nil {
+			return nil, err
+		}
+		e.Role = core.NodeRole(roleB[0])
+		if e.Generation, err = get64(); err != nil {
+			return nil, err
+		}
+		if e.Heartbeat, err = get64(); err != nil {
+			return nil, err
+		}
+		nStates, err := get16()
+		if err != nil {
+			return nil, err
+		}
+		if nStates > maxStates {
+			return nil, fmt.Errorf("gossip: implausible state count %d", nStates)
+		}
+		for j := uint16(0); j < nStates; j++ {
+			key, err := getStr()
+			if err != nil {
+				return nil, err
+			}
+			ver, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			vlen, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			if vlen > math.MaxInt32 || int(vlen) > len(data)-off {
+				return nil, errTruncated
+			}
+			raw, err := need(int(vlen))
+			if err != nil {
+				return nil, err
+			}
+			val := make([]byte, len(raw))
+			copy(val, raw)
+			e.States[key] = Versioned{Value: val, Version: ver}
+		}
+		out = append(out, e)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("gossip: %d trailing bytes", len(data)-off)
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package index
+
+import (
+	"math"
+
+	"bluedove/internal/core"
+)
+
+// DefaultBuckets is the bucket count used by New for KindBucket.
+const DefaultBuckets = 256
+
+// wideThreshold is the fraction of the dimension extent above which an
+// interval is stored in the overflow list rather than registered in every
+// bucket it spans. This bounds per-subscription memory to O(threshold *
+// buckets) entries.
+const wideThreshold = 0.25
+
+// Bucket divides the dimension's value set into fixed-width buckets; each
+// stored interval is registered in every bucket it overlaps. Intervals wider
+// than a quarter of the dimension extent live in an overflow list that every
+// query scans. Stabbing cost is the size of one bucket plus the overflow
+// list — far below Len() when predicate ranges are narrow, as in the paper's
+// workload (range 250 of 1000).
+type Bucket struct {
+	dim     int
+	d       core.Dimension
+	width   float64
+	buckets [][]*core.Subscription
+	wide    []*core.Subscription
+	entries map[core.SubscriptionID]*core.Subscription
+}
+
+var _ Index = (*Bucket)(nil)
+
+// NewBucket returns an empty bucket index over dimension d (dimension index
+// dim) with n buckets. n must be >= 1.
+func NewBucket(d core.Dimension, dim, n int) *Bucket {
+	if n < 1 {
+		n = 1
+	}
+	return &Bucket{
+		dim:     dim,
+		d:       d,
+		width:   d.Extent() / float64(n),
+		buckets: make([][]*core.Subscription, n),
+		entries: make(map[core.SubscriptionID]*core.Subscription),
+	}
+}
+
+// Dim returns the dimension this index searches on.
+func (x *Bucket) Dim() int { return x.dim }
+
+// Len returns the number of stored subscriptions.
+func (x *Bucket) Len() int { return len(x.entries) }
+
+// bucketOf maps a value (clamped to the dimension) to a bucket number.
+func (x *Bucket) bucketOf(v float64) int {
+	v = x.d.Clamp(v)
+	b := int((v - x.d.Min) / x.width)
+	if b >= len(x.buckets) {
+		b = len(x.buckets) - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// span returns the inclusive bucket range covered by interval r clipped to
+// the dimension, plus whether the interval counts as wide.
+func (x *Bucket) span(r core.Range) (lo, hi int, wide bool) {
+	clipped := r.Intersect(core.Range{Low: x.d.Min, High: x.d.Max})
+	if clipped.Empty() {
+		return 0, -1, false // registers nowhere; unreachable for validated subscriptions
+	}
+	if clipped.Length() > wideThreshold*x.d.Extent() {
+		return 0, -1, true
+	}
+	lo = x.bucketOf(clipped.Low)
+	// High is exclusive; nextafter below keeps an interval ending exactly on
+	// a bucket boundary out of the next bucket.
+	hi = x.bucketOf(math.Nextafter(clipped.High, clipped.Low))
+	return lo, hi, false
+}
+
+// Add inserts or replaces a subscription.
+func (x *Bucket) Add(s *core.Subscription) {
+	if _, ok := x.entries[s.ID]; ok {
+		x.Remove(s.ID)
+	}
+	x.entries[s.ID] = s
+	lo, hi, wide := x.span(s.Predicates[x.dim])
+	if wide {
+		x.wide = append(x.wide, s)
+		return
+	}
+	for b := lo; b <= hi; b++ {
+		x.buckets[b] = append(x.buckets[b], s)
+	}
+}
+
+func removeFrom(list []*core.Subscription, id core.SubscriptionID) []*core.Subscription {
+	for i, s := range list {
+		if s.ID == id {
+			last := len(list) - 1
+			list[i] = list[last]
+			list[last] = nil
+			return list[:last]
+		}
+	}
+	return list
+}
+
+// Remove deletes the subscription with the given ID.
+func (x *Bucket) Remove(id core.SubscriptionID) bool {
+	s, ok := x.entries[id]
+	if !ok {
+		return false
+	}
+	delete(x.entries, id)
+	lo, hi, wide := x.span(s.Predicates[x.dim])
+	if wide {
+		x.wide = removeFrom(x.wide, id)
+		return true
+	}
+	for b := lo; b <= hi; b++ {
+		x.buckets[b] = removeFrom(x.buckets[b], id)
+	}
+	return true
+}
+
+// Stab returns the subscriptions containing v on Dim. Cost is the bucket of
+// v plus the wide-interval overflow list.
+func (x *Bucket) Stab(v float64, dst []*core.Subscription) ([]*core.Subscription, int) {
+	if !x.d.Contains(v) {
+		// Out-of-dimension values can still hit wide (unclipped) predicates.
+		for _, s := range x.wide {
+			if s.Predicates[x.dim].Contains(v) {
+				dst = append(dst, s)
+			}
+		}
+		return dst, len(x.wide)
+	}
+	b := x.buckets[x.bucketOf(v)]
+	for _, s := range b {
+		if s.Predicates[x.dim].Contains(v) {
+			dst = append(dst, s)
+		}
+	}
+	for _, s := range x.wide {
+		if s.Predicates[x.dim].Contains(v) {
+			dst = append(dst, s)
+		}
+	}
+	return dst, len(b) + len(x.wide)
+}
+
+// Overlapping returns subscriptions whose predicate on Dim overlaps r.
+func (x *Bucket) Overlapping(r core.Range, dst []*core.Subscription) []*core.Subscription {
+	seen := make(map[core.SubscriptionID]bool)
+	emit := func(s *core.Subscription) {
+		if !seen[s.ID] && s.Predicates[x.dim].Overlaps(r) {
+			seen[s.ID] = true
+			dst = append(dst, s)
+		}
+	}
+	clipped := r.Intersect(core.Range{Low: x.d.Min, High: x.d.Max})
+	if !clipped.Empty() {
+		lo := x.bucketOf(clipped.Low)
+		hi := x.bucketOf(math.Nextafter(clipped.High, clipped.Low))
+		for b := lo; b <= hi; b++ {
+			for _, s := range x.buckets[b] {
+				emit(s)
+			}
+		}
+	}
+	for _, s := range x.wide {
+		emit(s)
+	}
+	return dst
+}
+
+// All appends every stored subscription to dst.
+func (x *Bucket) All(dst []*core.Subscription) []*core.Subscription {
+	for _, s := range x.entries {
+		dst = append(dst, s)
+	}
+	return dst
+}
+
+// Contains reports whether a subscription with the given ID is stored.
+func (x *Bucket) Contains(id core.SubscriptionID) bool {
+	_, ok := x.entries[id]
+	return ok
+}

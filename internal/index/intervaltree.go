@@ -1,0 +1,232 @@
+package index
+
+import (
+	"sort"
+
+	"bluedove/internal/core"
+)
+
+// IntervalTree is a centered (Edelsbrunner-style) interval tree over the
+// predicates on one dimension. Each node holds a center value; intervals
+// containing the center are stored at the node in two orderings (ascending
+// low, descending high), intervals entirely left/right of the center go to
+// the subtrees. A stabbing query for v walks one root-to-leaf path and scans
+// node lists only up to the first non-containing entry, giving
+// O(log n + answer) typical cost.
+//
+// Mutations are buffered: Add appends to a pending list and Remove records a
+// tombstone; queries scan the pending list linearly and consult the
+// tombstone set, and the tree is rebuilt once the buffered-change count
+// exceeds a fraction of the tree size. This batches the O(n log n) build
+// across many updates — the matcher workload is bursty loads of
+// subscriptions followed by long runs of queries.
+type IntervalTree struct {
+	dim     int
+	root    *itNode
+	size    int // live subscriptions inside the tree (excludes tombstoned)
+	pending []*core.Subscription
+	dead    map[core.SubscriptionID]bool
+	present map[core.SubscriptionID]*core.Subscription
+}
+
+type itNode struct {
+	center      float64
+	byLow       []*core.Subscription // intervals containing center, ascending Low
+	byHigh      []*core.Subscription // same intervals, descending High
+	left, right *itNode
+}
+
+var _ Index = (*IntervalTree)(nil)
+
+// NewIntervalTree returns an empty interval tree for the given dimension.
+func NewIntervalTree(dim int) *IntervalTree {
+	return &IntervalTree{
+		dim:     dim,
+		dead:    make(map[core.SubscriptionID]bool),
+		present: make(map[core.SubscriptionID]*core.Subscription),
+	}
+}
+
+// Dim returns the dimension this index searches on.
+func (x *IntervalTree) Dim() int { return x.dim }
+
+// Len returns the number of stored subscriptions.
+func (x *IntervalTree) Len() int { return len(x.present) }
+
+// rebuildThreshold reports whether buffered changes justify a rebuild.
+func (x *IntervalTree) rebuildThreshold() bool {
+	buffered := len(x.pending) + len(x.dead)
+	return buffered > 64 && buffered*4 > x.size
+}
+
+// Add inserts or replaces a subscription.
+func (x *IntervalTree) Add(s *core.Subscription) {
+	if _, ok := x.present[s.ID]; ok {
+		x.Remove(s.ID)
+	}
+	x.present[s.ID] = s
+	x.pending = append(x.pending, s)
+	if x.rebuildThreshold() {
+		x.rebuild()
+	}
+}
+
+// Remove deletes the subscription with the given ID.
+func (x *IntervalTree) Remove(id core.SubscriptionID) bool {
+	if _, ok := x.present[id]; !ok {
+		return false
+	}
+	delete(x.present, id)
+	// If it is still in the pending buffer, drop it there; otherwise tombstone.
+	for i, s := range x.pending {
+		if s.ID == id {
+			last := len(x.pending) - 1
+			x.pending[i] = x.pending[last]
+			x.pending[last] = nil
+			x.pending = x.pending[:last]
+			return true
+		}
+	}
+	x.dead[id] = true
+	if x.rebuildThreshold() {
+		x.rebuild()
+	}
+	return true
+}
+
+// rebuild folds pending inserts and tombstones into a fresh tree.
+func (x *IntervalTree) rebuild() {
+	live := make([]*core.Subscription, 0, len(x.present))
+	for _, s := range x.present {
+		live = append(live, s)
+	}
+	// Deterministic build order (map iteration is random).
+	sort.Slice(live, func(i, j int) bool { return live[i].ID < live[j].ID })
+	x.root = buildIT(live, x.dim)
+	x.size = len(live)
+	x.pending = x.pending[:0]
+	x.dead = make(map[core.SubscriptionID]bool)
+}
+
+func buildIT(subs []*core.Subscription, dim int) *itNode {
+	if len(subs) == 0 {
+		return nil
+	}
+	// Center: median of interval midpoints.
+	mids := make([]float64, len(subs))
+	for i, s := range subs {
+		r := s.Predicates[dim]
+		mids[i] = (r.Low + r.High) / 2
+	}
+	sort.Float64s(mids)
+	center := mids[len(mids)/2]
+
+	var here, left, right []*core.Subscription
+	for _, s := range subs {
+		r := s.Predicates[dim]
+		switch {
+		case r.High <= center: // entirely left (High exclusive)
+			left = append(left, s)
+		case r.Low > center: // entirely right
+			right = append(right, s)
+		default:
+			here = append(here, s)
+		}
+	}
+	// Degenerate split guard: if everything landed on one side, store it here
+	// to guarantee termination.
+	if len(here) == 0 && (len(left) == 0 || len(right) == 0) {
+		here = append(here, left...)
+		here = append(here, right...)
+		left, right = nil, nil
+	}
+	n := &itNode{center: center}
+	n.byLow = append(n.byLow, here...)
+	sort.Slice(n.byLow, func(i, j int) bool {
+		return n.byLow[i].Predicates[dim].Low < n.byLow[j].Predicates[dim].Low
+	})
+	n.byHigh = append(n.byHigh, here...)
+	sort.Slice(n.byHigh, func(i, j int) bool {
+		return n.byHigh[i].Predicates[dim].High > n.byHigh[j].Predicates[dim].High
+	})
+	n.left = buildIT(left, dim)
+	n.right = buildIT(right, dim)
+	return n
+}
+
+// Stab returns the subscriptions containing v on Dim.
+func (x *IntervalTree) Stab(v float64, dst []*core.Subscription) ([]*core.Subscription, int) {
+	scanned := 0
+	emit := func(s *core.Subscription) {
+		if !x.dead[s.ID] {
+			dst = append(dst, s)
+		}
+	}
+	for n := x.root; n != nil; {
+		switch {
+		case v < n.center:
+			for _, s := range n.byLow {
+				scanned++
+				if s.Predicates[x.dim].Low > v {
+					break
+				}
+				// Low <= v < center <= High-... : containment on the left walk
+				// still needs the explicit check because High is exclusive.
+				if s.Predicates[x.dim].Contains(v) {
+					emit(s)
+				}
+			}
+			n = n.left
+		case v > n.center:
+			for _, s := range n.byHigh {
+				scanned++
+				if s.Predicates[x.dim].High <= v {
+					break
+				}
+				if s.Predicates[x.dim].Contains(v) {
+					emit(s)
+				}
+			}
+			n = n.right
+		default: // v == center: every interval at the node contains v (half-open check still applies)
+			for _, s := range n.byLow {
+				scanned++
+				if s.Predicates[x.dim].Contains(v) {
+					emit(s)
+				}
+			}
+			n = nil
+		}
+	}
+	for _, s := range x.pending {
+		scanned++
+		if s.Predicates[x.dim].Contains(v) {
+			dst = append(dst, s)
+		}
+	}
+	return dst, scanned
+}
+
+// Overlapping returns subscriptions whose predicate on Dim overlaps r.
+func (x *IntervalTree) Overlapping(r core.Range, dst []*core.Subscription) []*core.Subscription {
+	for _, s := range x.present {
+		if s.Predicates[x.dim].Overlaps(r) {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// All appends every stored subscription to dst.
+func (x *IntervalTree) All(dst []*core.Subscription) []*core.Subscription {
+	for _, s := range x.present {
+		dst = append(dst, s)
+	}
+	return dst
+}
+
+// Contains reports whether a subscription with the given ID is stored.
+func (x *IntervalTree) Contains(id core.SubscriptionID) bool {
+	_, ok := x.present[id]
+	return ok
+}

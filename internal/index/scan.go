@@ -1,0 +1,84 @@
+package index
+
+import "bluedove/internal/core"
+
+// Scan is the brute-force reference index: every query examines every stored
+// subscription. Its cost model — scanned == Len() — is exactly the per-message
+// search cost of the full-replication baseline in the paper.
+type Scan struct {
+	dim  int
+	subs []*core.Subscription
+	pos  map[core.SubscriptionID]int
+}
+
+var _ Index = (*Scan)(nil)
+
+// NewScan returns an empty brute-force index for the given dimension.
+func NewScan(dim int) *Scan {
+	return &Scan{dim: dim, pos: make(map[core.SubscriptionID]int)}
+}
+
+// Dim returns the dimension this index searches on.
+func (x *Scan) Dim() int { return x.dim }
+
+// Len returns the number of stored subscriptions.
+func (x *Scan) Len() int { return len(x.subs) }
+
+// Add inserts or replaces a subscription.
+func (x *Scan) Add(s *core.Subscription) {
+	if i, ok := x.pos[s.ID]; ok {
+		x.subs[i] = s
+		return
+	}
+	x.pos[s.ID] = len(x.subs)
+	x.subs = append(x.subs, s)
+}
+
+// Remove deletes the subscription with the given ID.
+func (x *Scan) Remove(id core.SubscriptionID) bool {
+	i, ok := x.pos[id]
+	if !ok {
+		return false
+	}
+	last := len(x.subs) - 1
+	if i != last {
+		x.subs[i] = x.subs[last]
+		x.pos[x.subs[i].ID] = i
+	}
+	x.subs[last] = nil
+	x.subs = x.subs[:last]
+	delete(x.pos, id)
+	return true
+}
+
+// Stab scans all subscriptions, returning those containing v on Dim.
+func (x *Scan) Stab(v float64, dst []*core.Subscription) ([]*core.Subscription, int) {
+	for _, s := range x.subs {
+		if s.Predicates[x.dim].Contains(v) {
+			dst = append(dst, s)
+		}
+	}
+	return dst, len(x.subs)
+}
+
+// Overlapping scans all subscriptions, returning those whose predicate on
+// Dim overlaps r.
+func (x *Scan) Overlapping(r core.Range, dst []*core.Subscription) []*core.Subscription {
+	for _, s := range x.subs {
+		if s.Predicates[x.dim].Overlaps(r) {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// All appends every stored subscription to dst.
+func (x *Scan) All(dst []*core.Subscription) []*core.Subscription {
+	return append(dst, x.subs...)
+}
+
+// Contains reports whether a subscription with the given ID is stored.
+func (x *Scan) Contains(id core.SubscriptionID) bool {
+	_, ok := x.pos[id]
+	return ok
+}

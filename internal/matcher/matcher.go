@@ -1,0 +1,557 @@
+// Package matcher implements a BlueDove back-end matching server: it stores
+// the subscriptions assigned to it along each searchable dimension in
+// separate indexed sets (paper Section III-A), matches forwarded
+// publications on per-dimension SEDA stages (Section III-B), delivers
+// matches to subscribers (directly or via their dispatcher's queue), pushes
+// per-dimension load reports to dispatchers, participates in the gossip
+// overlay, and hands segments over during elasticity events (Section III-C).
+package matcher
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/delivery"
+	"bluedove/internal/forward"
+	"bluedove/internal/gossip"
+	"bluedove/internal/index"
+	"bluedove/internal/metrics"
+	"bluedove/internal/partition"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// Config parameterizes a Matcher.
+type Config struct {
+	// ID is the node's cluster identifier; required.
+	ID core.NodeID
+	// Addr is the listen address; required (":0"-style addresses allowed).
+	Addr string
+	// Space is the attribute space; required.
+	Space *core.Space
+	// Transport carries all node traffic; required.
+	Transport transport.Transport
+	// Seeds are gossip bootstrap addresses.
+	Seeds []string
+	// IndexKind selects the per-dimension index (default bucket).
+	IndexKind index.Kind
+	// WorkersPerDim sizes each dimension stage's worker pool (default 1 —
+	// the paper's one-core-per-dimension layout).
+	WorkersPerDim int
+	// QueueDepth bounds each dimension stage's queue (default 65536).
+	QueueDepth int
+	// ReportInterval is the load-report cadence (default 1s).
+	ReportInterval time.Duration
+	// ReportDeltaFrac suppresses reports below this relative change
+	// (default 0.1).
+	ReportDeltaFrac float64
+	// GossipInterval is the gossip round period (default 1s).
+	GossipInterval time.Duration
+	// FailAfter is the gossip liveness timeout (default 10s).
+	FailAfter time.Duration
+	// PruneGrace delays post-table-change pruning so stale-routed messages
+	// still match (default 3s).
+	PruneGrace time.Duration
+	// Generation is the gossip incarnation (default: boot time).
+	Generation uint64
+	// Now supplies the clock (default time.Now).
+	Now func() int64
+}
+
+func (c *Config) defaults() error {
+	if c.ID == 0 || c.Addr == "" || c.Space == nil || c.Transport == nil {
+		return errors.New("matcher: ID, Addr, Space and Transport are required")
+	}
+	if c.WorkersPerDim <= 0 {
+		c.WorkersPerDim = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 65536
+	}
+	if c.ReportInterval <= 0 {
+		c.ReportInterval = time.Second
+	}
+	if c.ReportDeltaFrac <= 0 {
+		c.ReportDeltaFrac = 0.1
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 10 * time.Second
+	}
+	if c.PruneGrace <= 0 {
+		c.PruneGrace = 3 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	return nil
+}
+
+// dimSet is one per-dimension subscription set: the index, each stored
+// subscription's delivery address, and the SEDA stage matching messages
+// forwarded along this dimension.
+type dimSet struct {
+	mu    sync.RWMutex
+	idx   index.Index
+	addrs map[core.SubscriptionID]string
+	stage *sedaStage
+}
+
+// Matcher is a running matching server.
+type Matcher struct {
+	cfg  Config
+	gsp  *gossip.Gossiper
+	addr string
+	dims []*dimSet
+
+	tableMu sync.Mutex
+	table   *partition.Table
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	lastReport []forward.DimLoad
+	reported   bool
+
+	// Matched counts subscriptions matched (deliveries attempted).
+	Matched metrics.Counter
+	// Processed counts messages matched (stage completions).
+	Processed metrics.Counter
+	// Dropped counts forwarded messages rejected by stage backpressure.
+	Dropped metrics.Counter
+	// ReportBytes counts load-report traffic for overhead accounting.
+	ReportBytes metrics.Counter
+}
+
+// New builds a matcher (not yet started).
+func New(cfg Config) (*Matcher, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	m := &Matcher{cfg: cfg, stop: make(chan struct{})}
+	k := cfg.Space.K()
+	m.dims = make([]*dimSet, k)
+	for i := 0; i < k; i++ {
+		m.dims[i] = &dimSet{
+			idx:   index.New(cfg.IndexKind, cfg.Space, i),
+			addrs: make(map[core.SubscriptionID]string),
+		}
+	}
+	return m, nil
+}
+
+// ID returns the matcher's node ID.
+func (m *Matcher) ID() core.NodeID { return m.cfg.ID }
+
+// Addr returns the bound listen address (valid after Start).
+func (m *Matcher) Addr() string { return m.addr }
+
+// Gossiper exposes the overlay view (for tests and tooling).
+func (m *Matcher) Gossiper() *gossip.Gossiper { return m.gsp }
+
+// Start binds the listener, joins the gossip overlay, and starts the
+// matching stages and report loop.
+func (m *Matcher) Start() error {
+	addr, err := m.cfg.Transport.Listen(m.cfg.Addr, m.handle)
+	if err != nil {
+		return err
+	}
+	m.addr = addr
+	g, err := gossip.New(gossip.Config{
+		ID:         m.cfg.ID,
+		Addr:       addr,
+		Role:       core.RoleMatcher,
+		Transport:  m.cfg.Transport,
+		Seeds:      m.cfg.Seeds,
+		Interval:   m.cfg.GossipInterval,
+		FailAfter:  m.cfg.FailAfter,
+		Generation: m.cfg.Generation,
+		Now:        m.cfg.Now,
+	})
+	if err != nil {
+		return err
+	}
+	m.gsp = g
+	for i, ds := range m.dims {
+		dim := i
+		set := ds
+		set.stage = newSedaStage(fmt.Sprintf("%v-dim%d", m.cfg.ID, dim),
+			m.cfg.QueueDepth, m.cfg.WorkersPerDim, m.cfg.Now,
+			func(it forwardItem) { m.matchOne(set, dim, it) })
+	}
+	g.Start()
+	m.wg.Add(2)
+	go m.reportLoop()
+	go m.tableLoop()
+	return nil
+}
+
+// Stop halts the matcher.
+func (m *Matcher) Stop() {
+	select {
+	case <-m.stop:
+		return
+	default:
+		close(m.stop)
+	}
+	m.gsp.Stop()
+	for _, ds := range m.dims {
+		if ds.stage != nil {
+			ds.stage.Stop()
+		}
+	}
+	m.wg.Wait()
+}
+
+// handle is the transport handler, dispatching by message kind.
+func (m *Matcher) handle(env *wire.Envelope) *wire.Envelope {
+	switch env.Kind {
+	case wire.KindGossip:
+		return m.gsp.HandleGossip(env)
+	case wire.KindStore:
+		b, err := wire.DecodeStore(env.Body)
+		if err == nil && b.Dim >= 0 && b.Dim < len(m.dims) {
+			m.store(b.Dim, b.Sub, b.DeliverAddr)
+		}
+		return nil
+	case wire.KindUnsubscribe:
+		if b, err := wire.DecodeUnsubscribe(env.Body); err == nil {
+			m.unsubscribe(b.ID)
+		}
+		return nil
+	case wire.KindForward:
+		b, err := wire.DecodeForward(env.Body)
+		if err != nil || b.Dim < 0 || b.Dim >= len(m.dims) {
+			return nil
+		}
+		if m.dims[b.Dim].stage.Enqueue(forwardItem{msg: b.Msg, from: env.From}) != nil {
+			m.Dropped.Add(1)
+		}
+		return nil
+	case wire.KindTransfer:
+		b, err := wire.DecodeTransfer(env.Body)
+		if err != nil || b.Dim < 0 || b.Dim >= len(m.dims) {
+			return nil
+		}
+		for i, s := range b.Subs {
+			addr := ""
+			if i < len(b.DeliverAddrs) {
+				addr = b.DeliverAddrs[i]
+			}
+			m.store(b.Dim, s, addr)
+		}
+		return nil
+	case wire.KindHandover:
+		if b, err := wire.DecodeHandover(env.Body); err == nil {
+			m.handover(b)
+		}
+		return nil
+	case wire.KindTableRequest:
+		m.tableMu.Lock()
+		t := m.table
+		m.tableMu.Unlock()
+		if t == nil {
+			return &wire.Envelope{Kind: wire.KindError, From: m.cfg.ID,
+				Body: (&wire.ErrorBody{Text: "matcher: no table yet"}).Encode()}
+		}
+		return &wire.Envelope{Kind: wire.KindTableResponse, From: m.cfg.ID,
+			Body: (&wire.TableResponseBody{Table: t.Encode()}).Encode()}
+	default:
+		return nil
+	}
+}
+
+// store installs one subscription copy.
+func (m *Matcher) store(dim int, s *core.Subscription, deliverAddr string) {
+	ds := m.dims[dim]
+	ds.mu.Lock()
+	ds.idx.Add(s)
+	ds.addrs[s.ID] = deliverAddr
+	ds.mu.Unlock()
+}
+
+// unsubscribe removes a subscription from every dimension set.
+func (m *Matcher) unsubscribe(id core.SubscriptionID) {
+	for _, ds := range m.dims {
+		ds.mu.Lock()
+		if ds.idx.Remove(id) {
+			delete(ds.addrs, id)
+		}
+		ds.mu.Unlock()
+	}
+}
+
+// SubsOnDim returns the subscription count of one dimension set.
+func (m *Matcher) SubsOnDim(dim int) int {
+	ds := m.dims[dim]
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.idx.Len()
+}
+
+// matchOne matches one forwarded message against the dimension's set,
+// delivers to each matched subscriber, and acknowledges the forwarding
+// dispatcher (which retransmits unacked messages when persistence is on).
+func (m *Matcher) matchOne(ds *dimSet, dim int, it forwardItem) {
+	msg := it.msg
+	type target struct {
+		addr string
+		subs []core.SubscriptionID
+	}
+	perSubscriber := make(map[core.SubscriberID]*target)
+	ds.mu.RLock()
+	matched, _ := index.Match(ds.idx, msg, nil)
+	for _, s := range matched {
+		tg := perSubscriber[s.Subscriber]
+		if tg == nil {
+			tg = &target{addr: ds.addrs[s.ID]}
+			perSubscriber[s.Subscriber] = tg
+		}
+		tg.subs = append(tg.subs, s.ID)
+	}
+	ds.mu.RUnlock()
+	m.Processed.Add(1)
+	for sub, tg := range perSubscriber {
+		m.Matched.Add(int64(len(tg.subs)))
+		if tg.addr == "" {
+			continue // nowhere to deliver (registered without an address)
+		}
+		body := (&wire.DeliverBody{Subscriber: sub, Msg: msg, SubIDs: tg.subs}).Encode()
+		_ = m.cfg.Transport.Send(tg.addr, &wire.Envelope{Kind: wire.KindDeliver, From: m.cfg.ID, Body: body})
+	}
+	if it.from != 0 {
+		if addr, ok := m.gsp.AddrOf(it.from); ok {
+			ack := (&wire.ForwardAckBody{ID: msg.ID}).Encode()
+			_ = m.cfg.Transport.Send(addr, &wire.Envelope{Kind: wire.KindForwardAck, From: m.cfg.ID, Body: ack})
+		}
+	}
+}
+
+// handover ships every subscription overlapping the handed-over range to
+// the target matcher (join protocol).
+func (m *Matcher) handover(b *wire.HandoverBody) {
+	ds := m.dims[b.Dim]
+	r := core.Range{Low: b.Low, High: b.High}
+	ds.mu.RLock()
+	subs := ds.idx.Overlapping(r, nil)
+	addrs := make([]string, len(subs))
+	for i, s := range subs {
+		addrs[i] = ds.addrs[s.ID]
+	}
+	ds.mu.RUnlock()
+	body := (&wire.TransferBody{Dim: b.Dim, Subs: subs, DeliverAddrs: addrs}).Encode()
+	_ = m.cfg.Transport.Send(b.TargetAddr, &wire.Envelope{Kind: wire.KindTransfer, From: m.cfg.ID, Body: body})
+}
+
+// reportLoop pushes per-dimension load reports to every dispatcher.
+func (m *Matcher) reportLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.ReportInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+			m.report()
+		}
+	}
+}
+
+// LoadSnapshot builds the current per-dimension load report.
+func (m *Matcher) LoadSnapshot() []forward.DimLoad {
+	now := m.cfg.Now()
+	out := make([]forward.DimLoad, len(m.dims))
+	for i, ds := range m.dims {
+		ds.mu.RLock()
+		subs := ds.idx.Len()
+		ds.mu.RUnlock()
+		if ds.stage.ServiceCapacity() == 0 {
+			m.seedStage(i)
+		}
+		out[i] = forward.DimLoad{
+			Subs:        subs,
+			QueueLen:    ds.stage.Len(),
+			ArrivalRate: ds.stage.ArrivalRate(),
+			MatchRate:   ds.stage.ServiceCapacity(),
+			ReportedAt:  now,
+		}
+	}
+	return out
+}
+
+// seedStage primes a cold stage's service estimate by timing one synthetic
+// match against the stored set, so the first reports carry realistic costs.
+func (m *Matcher) seedStage(dim int) {
+	ds := m.dims[dim]
+	ds.mu.RLock()
+	all := ds.idx.All(nil)
+	var probe *core.Subscription
+	if len(all) > 0 {
+		probe = all[0]
+	}
+	ds.mu.RUnlock()
+	if probe == nil {
+		return
+	}
+	attrs := make([]float64, m.cfg.Space.K())
+	for i, p := range probe.Predicates {
+		attrs[i] = (p.Low + p.High) / 2
+	}
+	msg := core.NewMessage(attrs, nil)
+	start := time.Now()
+	ds.mu.RLock()
+	_, _ = index.Match(ds.idx, msg, nil)
+	ds.mu.RUnlock()
+	ns := float64(time.Since(start))
+	if ns < 1 {
+		ns = 1
+	}
+	ds.stage.SeedServiceTime(ns)
+}
+
+// report pushes the snapshot to all alive dispatchers when it changed more
+// than the configured fraction (paper Section IV-C: 64-byte pushes on >10%
+// change).
+func (m *Matcher) report() {
+	snap := m.LoadSnapshot()
+	if !m.shouldReport(snap) {
+		return
+	}
+	m.lastReport = snap
+	m.reported = true
+	body := (&wire.LoadReportBody{Loads: snap}).Encode()
+	env := &wire.Envelope{Kind: wire.KindLoadReport, From: m.cfg.ID, Body: body}
+	for _, p := range m.gsp.Peers() {
+		if p.Role == core.RoleDispatcher && p.Alive {
+			if m.cfg.Transport.Send(p.Addr, env) == nil {
+				m.ReportBytes.Add(int64(len(body)))
+			}
+		}
+	}
+}
+
+func (m *Matcher) shouldReport(snap []forward.DimLoad) bool {
+	if !m.reported || len(m.lastReport) != len(snap) {
+		return true
+	}
+	changed := func(old, new float64) bool {
+		if old == 0 {
+			return new != 0
+		}
+		d := (new - old) / old
+		if d < 0 {
+			d = -d
+		}
+		return d > m.cfg.ReportDeltaFrac
+	}
+	for i, l := range snap {
+		p := m.lastReport[i]
+		if changed(float64(p.QueueLen), float64(l.QueueLen)) ||
+			changed(p.ArrivalRate, l.ArrivalRate) ||
+			changed(p.MatchRate, l.MatchRate) ||
+			p.Subs != l.Subs {
+			return true
+		}
+	}
+	return false
+}
+
+// tableLoop adopts the freshest segment table seen in gossip and prunes
+// no-longer-owned subscriptions after the grace period.
+func (m *Matcher) tableLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.GossipInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+			m.adoptTable()
+		}
+	}
+}
+
+// TableKey is the gossip state key carrying the encoded segment table.
+const TableKey = "table"
+
+func (m *Matcher) adoptTable() {
+	raw, _, ok := m.gsp.HighestState(TableKey)
+	if !ok {
+		return
+	}
+	t, err := partition.Decode(raw)
+	if err != nil {
+		return
+	}
+	m.tableMu.Lock()
+	cur := m.table
+	if cur != nil && t.Version() <= cur.Version() {
+		m.tableMu.Unlock()
+		return
+	}
+	m.table = t
+	m.tableMu.Unlock()
+	// Prune after the grace period so messages routed by stale dispatcher
+	// tables still find their subscriptions.
+	grace := m.cfg.PruneGrace
+	tab := t
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		select {
+		case <-m.stop:
+			return
+		case <-time.After(grace):
+		}
+		m.pruneTo(tab)
+	}()
+}
+
+// pruneTo removes subscriptions whose predicate no longer overlaps this
+// matcher's segment on each dimension under table t. (Replication-safeguard
+// copies placed on neighbors are re-installed by dispatchers' reconcile
+// pass; see the dispatcher package.)
+func (m *Matcher) pruneTo(t *partition.Table) {
+	m.tableMu.Lock()
+	if m.table == nil || t.Version() < m.table.Version() {
+		m.tableMu.Unlock()
+		return // superseded
+	}
+	m.tableMu.Unlock()
+	if !t.HasMatcher(m.cfg.ID) {
+		return // removed from the table: keep serving until shut down
+	}
+	for dim, ds := range m.dims {
+		seg, err := t.SegmentOf(m.cfg.ID, dim)
+		if err != nil {
+			continue
+		}
+		ds.mu.Lock()
+		for _, s := range ds.idx.All(nil) {
+			if !s.Predicates[dim].Overlaps(seg) {
+				ds.idx.Remove(s.ID)
+				delete(ds.addrs, s.ID)
+			}
+		}
+		ds.mu.Unlock()
+	}
+}
+
+// Table returns the matcher's current segment table (nil before the first
+// gossip adoption).
+func (m *Matcher) Table() *partition.Table {
+	m.tableMu.Lock()
+	defer m.tableMu.Unlock()
+	return m.table
+}
+
+// QueueStore returns nil: matchers deliver to queue hosts, they do not host
+// queues. Defined so tooling can treat nodes uniformly.
+func (m *Matcher) QueueStore() *delivery.QueueStore { return nil }

@@ -1,0 +1,22 @@
+package matcher
+
+import (
+	"bluedove/internal/core"
+	"bluedove/internal/seda"
+)
+
+// forwardItem is one forwarded publication plus its forwarding dispatcher
+// (acked back to it by the persistence extension).
+type forwardItem struct {
+	msg  *core.Message
+	from core.NodeID
+}
+
+// sedaStage is the per-dimension matching stage: a bounded SEDA queue of
+// forwarded publications.
+type sedaStage = seda.Stage[forwardItem]
+
+// newSedaStage builds and starts one dimension stage.
+func newSedaStage(name string, depth, workers int, now func() int64, fn func(forwardItem)) *sedaStage {
+	return seda.New(seda.Config{Name: name, Depth: depth, Workers: workers, Now: now}, fn)
+}

@@ -1,0 +1,306 @@
+// Package metrics provides the measurement primitives used across BlueDove:
+// sliding-window rate meters (the λ and μ estimates of the adaptive policy),
+// latency histograms with quantiles (response-time reporting), running
+// summaries (mean/stddev for load-balance comparisons), and byte counters
+// (overlay maintenance overhead).
+//
+// Every primitive takes explicit timestamps (nanoseconds) instead of calling
+// time.Now, so the same code serves the real-time runtime and the
+// discrete-event simulator. All types are safe for concurrent use unless
+// noted otherwise.
+package metrics
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateMeter estimates an event rate (events/second) over a sliding window,
+// matching the paper's "average message arrival rate λ and matching rate μ
+// of the past w seconds" (Section III-B2). It keeps per-slot counts in a
+// ring of fixed-width slots covering the window.
+type RateMeter struct {
+	mu       sync.Mutex
+	slotW    int64 // slot width, ns
+	slots    []int64
+	times    []int64 // start time of the slot's period
+	window   int64   // total window, ns
+	lastMark int64
+}
+
+// NewRateMeter creates a meter with the given window, divided into nslots
+// ring slots. Window must be positive; nslots >= 1.
+func NewRateMeter(window time.Duration, nslots int) *RateMeter {
+	if window <= 0 {
+		panic("metrics: non-positive rate meter window")
+	}
+	if nslots < 1 {
+		nslots = 1
+	}
+	return &RateMeter{
+		slotW:  int64(window) / int64(nslots),
+		slots:  make([]int64, nslots),
+		times:  make([]int64, nslots),
+		window: int64(window),
+	}
+}
+
+func (r *RateMeter) slotFor(now int64) int {
+	period := now / r.slotW
+	i := int(period % int64(len(r.slots)))
+	if i < 0 {
+		i += len(r.slots)
+	}
+	start := period * r.slotW
+	if r.times[i] != start {
+		r.slots[i] = 0
+		r.times[i] = start
+	}
+	return i
+}
+
+// Mark records n events at time now (nanoseconds).
+func (r *RateMeter) Mark(now int64, n int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.slots[r.slotFor(now)] += n
+	if now > r.lastMark {
+		r.lastMark = now
+	}
+}
+
+// Rate returns the events/second over the window ending at now.
+func (r *RateMeter) Rate(now int64) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	oldest := now - r.window
+	for i := range r.slots {
+		if r.times[i] > oldest && r.times[i] <= now {
+			total += r.slots[i]
+		}
+	}
+	return float64(total) / (float64(r.window) / float64(time.Second))
+}
+
+// Histogram records durations (or any non-negative int64 samples) into
+// logarithmically spaced buckets and answers quantile queries. Bucket i
+// covers [2^i, 2^(i+1)) nanoseconds, with bucket 0 covering [0, 2).
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [64]int64
+	count   int64
+	sum     int64
+	max     int64
+	min     int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{min: math.MaxInt64} }
+
+func bucketOf(v int64) int {
+	if v < 1 {
+		return 0
+	}
+	b := 63 - leadingZeros64(uint64(v))
+	if b > 63 {
+		b = 63
+	}
+	return b
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if v < h.min {
+		h.min = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean of the samples, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest recorded sample, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the smallest recorded sample, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using the
+// bucket upper edges, or 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			// Upper edge of bucket i, capped by observed max.
+			edge := int64(1) << uint(i+1)
+			if i >= 62 || edge > h.max {
+				return h.max
+			}
+			return edge
+		}
+	}
+	return h.max
+}
+
+// Reset clears all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets = [64]int64{}
+	h.count, h.sum, h.max = 0, 0, 0
+	h.min = math.MaxInt64
+}
+
+// Summary accumulates a running mean and variance (Welford's algorithm).
+// Used for the per-matcher load-balance comparison (Figure 8), which reports
+// the normalized standard deviation across matchers.
+type Summary struct {
+	mu    sync.Mutex
+	n     int64
+	mean  float64
+	m2    float64
+	total float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+	s.total += v
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Mean returns the mean of the observations, or 0 when empty.
+func (s *Summary) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mean
+}
+
+// Sum returns the sum of the observations.
+func (s *Summary) Sum() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// StdDev returns the population standard deviation, or 0 for fewer than two
+// observations.
+func (s *Summary) StdDev() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n))
+}
+
+// NormStdDev returns StdDev/Mean — the load-imbalance measure of Figure 8 —
+// or 0 when the mean is 0.
+func (s *Summary) NormStdDev() float64 {
+	sd := s.StdDev()
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return sd / m
+}
+
+// NormStdDevOf computes stddev/mean over a sample slice (population stddev).
+// It returns 0 for empty input or zero mean.
+func NormStdDevOf(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	if mean == 0 {
+		return 0
+	}
+	var m2 float64
+	for _, v := range vals {
+		d := v - mean
+		m2 += d * d
+	}
+	return math.Sqrt(m2/float64(len(vals))) / mean
+}

@@ -1,0 +1,265 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRateMeterSteadyRate(t *testing.T) {
+	m := NewRateMeter(time.Second, 10)
+	// 1000 events spread over 1 second => 1000/s.
+	for i := 0; i < 1000; i++ {
+		m.Mark(int64(i)*int64(time.Millisecond), 1)
+	}
+	got := m.Rate(int64(time.Second))
+	if math.Abs(got-1000) > 150 {
+		t.Errorf("Rate = %g, want ~1000", got)
+	}
+}
+
+func TestRateMeterWindowExpiry(t *testing.T) {
+	m := NewRateMeter(time.Second, 10)
+	m.Mark(0, 500)
+	if r := m.Rate(int64(500 * time.Millisecond)); r < 400 {
+		t.Errorf("rate before expiry = %g, want ~500", r)
+	}
+	// 3 seconds later the burst left the window entirely.
+	if r := m.Rate(int64(3 * time.Second)); r != 0 {
+		t.Errorf("rate after expiry = %g, want 0", r)
+	}
+}
+
+func TestRateMeterSlotReuse(t *testing.T) {
+	m := NewRateMeter(time.Second, 4)
+	m.Mark(0, 100)
+	// Same ring slot, much later period: old count must not leak.
+	m.Mark(int64(10*time.Second), 1)
+	r := m.Rate(int64(10*time.Second) + 1)
+	if r > 10 {
+		t.Errorf("stale slot leaked: rate = %g", r)
+	}
+}
+
+func TestRateMeterPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRateMeter(0, 4)
+}
+
+func TestRateMeterConcurrent(t *testing.T) {
+	m := NewRateMeter(time.Second, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Mark(int64(i)*int64(time.Millisecond), 1)
+				_ = m.Rate(int64(i) * int64(time.Millisecond))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r := m.Rate(int64(time.Second)); r <= 0 {
+		t.Errorf("rate after concurrent marks = %g", r)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []int64{1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-22) > 0.01 {
+		t.Errorf("Mean = %g, want 22", got)
+	}
+	if h.Max() != 100 || h.Min() != 1 {
+		t.Errorf("Max/Min = %d/%d", h.Max(), h.Min())
+	}
+	if q := h.Quantile(1.0); q != 100 {
+		t.Errorf("p100 = %d, want 100 (capped at max)", q)
+	}
+	if q := h.Quantile(0.5); q < 3 || q > 8 {
+		t.Errorf("p50 = %d, want within [3,8]", q)
+	}
+	h.Observe(-5) // clamped
+	if h.Min() != 0 {
+		t.Errorf("negative sample should clamp to 0, Min = %d", h.Min())
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		h.Observe(rng.Int63n(1e9))
+	}
+	prev := int64(-1)
+	for _, q := range []float64{-0.1, 0, 0.1, 0.25, 0.5, 0.9, 0.99, 1, 1.5} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotonic at q=%g: %d < %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// Property: Quantile(q) is an upper bound on the exact q-quantile.
+func TestHistogramQuantileUpperBoundProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		vals := make([]int64, len(raw))
+		for i, r := range raw {
+			vals[i] = int64(r)
+			h.Observe(vals[i])
+		}
+		// exact median
+		sorted := append([]int64(nil), vals...)
+		for i := range sorted {
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j] < sorted[i] {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		exact := sorted[(len(sorted)-1)/2]
+		return h.Quantile(0.5) >= exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-9 {
+		t.Errorf("Mean = %g, want 5", s.Mean())
+	}
+	if math.Abs(s.StdDev()-2) > 1e-9 {
+		t.Errorf("StdDev = %g, want 2", s.StdDev())
+	}
+	if math.Abs(s.NormStdDev()-0.4) > 1e-9 {
+		t.Errorf("NormStdDev = %g, want 0.4", s.NormStdDev())
+	}
+	if math.Abs(s.Sum()-40) > 1e-9 {
+		t.Errorf("Sum = %g, want 40", s.Sum())
+	}
+	var empty Summary
+	if empty.StdDev() != 0 || empty.NormStdDev() != 0 || empty.Mean() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+}
+
+func TestNormStdDevOf(t *testing.T) {
+	if got := NormStdDevOf([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("NormStdDevOf = %g, want 0.4", got)
+	}
+	if NormStdDevOf(nil) != 0 {
+		t.Error("empty input should return 0")
+	}
+	if NormStdDevOf([]float64{0, 0}) != 0 {
+		t.Error("zero mean should return 0")
+	}
+	if NormStdDevOf([]float64{5, 5, 5}) != 0 {
+		t.Error("constant input should return 0")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Add(4)
+	if c.Value() != 7 {
+		t.Errorf("Counter = %d", c.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("Gauge = %d", g.Value())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("resp")
+	if s.Name() != "resp" {
+		t.Error("Name")
+	}
+	s.Append(3e9, 30)
+	s.Append(1e9, 10)
+	s.Append(2e9, 20)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	pts := s.Points()
+	if pts[0].T != 1e9 || pts[2].T != 3e9 {
+		t.Errorf("Points not sorted: %v", pts)
+	}
+	var b strings.Builder
+	if err := s.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "1.000\t10") {
+		t.Errorf("TSV = %q", b.String())
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 100; i++ {
+		s.Append(int64(i)*1e8, float64(i)) // 10 samples/second for 10s
+	}
+	ds := s.Downsample(1e9)
+	if len(ds) != 10 {
+		t.Fatalf("Downsample buckets = %d, want 10", len(ds))
+	}
+	if math.Abs(ds[0].V-4.5) > 1e-9 {
+		t.Errorf("bucket 0 mean = %g, want 4.5", ds[0].V)
+	}
+	if got := s.Downsample(0); len(got) != 100 {
+		t.Error("non-positive interval should return raw points")
+	}
+	empty := NewSeries("e")
+	if len(empty.Downsample(10)) != 0 {
+		t.Error("empty series downsample")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9}, {1024, 10}}
+	for _, tc := range cases {
+		if got := bucketOf(tc.v); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter (bytes sent, messages
+// lost, and similar overhead accounting).
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically updated instantaneous value (queue length,
+// utilization).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Point is one (time, value) sample of a Series.
+type Point struct {
+	// T is the sample timestamp in nanoseconds.
+	T int64
+	// V is the sampled value.
+	V float64
+}
+
+// Series collects timestamped samples for the time-series figures
+// (response time over time, loss rate over time). Samples need not arrive in
+// time order; Points sorts before returning.
+type Series struct {
+	mu   sync.Mutex
+	name string
+	pts  []Point
+}
+
+// NewSeries creates an empty named series.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Append records a sample.
+func (s *Series) Append(t int64, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pts = append(s.pts, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pts)
+}
+
+// Points returns the samples sorted by time.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.pts))
+	copy(out, s.pts)
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// WriteTSV writes "time_seconds\tvalue" rows to w, suitable for plotting.
+func (s *Series) WriteTSV(w io.Writer) error {
+	for _, p := range s.Points() {
+		if _, err := fmt.Fprintf(w, "%.3f\t%g\n", float64(p.T)/1e9, p.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Downsample buckets the series into fixed intervals and returns one
+// averaged point per non-empty bucket. Useful for rendering long runs.
+func (s *Series) Downsample(interval int64) []Point {
+	pts := s.Points()
+	if len(pts) == 0 || interval <= 0 {
+		return pts
+	}
+	var out []Point
+	start := pts[0].T - pts[0].T%interval
+	var sum float64
+	var n int
+	cur := start
+	flush := func() {
+		if n > 0 {
+			out = append(out, Point{T: cur + interval/2, V: sum / float64(n)})
+		}
+		sum, n = 0, 0
+	}
+	for _, p := range pts {
+		b := p.T - p.T%interval
+		if b != cur {
+			flush()
+			cur = b
+		}
+		sum += p.V
+		n++
+	}
+	flush()
+	return out
+}

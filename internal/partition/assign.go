@@ -1,0 +1,85 @@
+package partition
+
+import (
+	"bluedove/internal/core"
+)
+
+// Assignments computes every (matcher, dimension) placement for a
+// subscription: along each dimension i, every matcher whose segment overlaps
+// the predicate range S^i receives a copy tagged with dimension i (paper
+// Section III-A). Predicates are clipped to the dimension's value set; a
+// predicate covering the whole dimension assigns the subscription to every
+// matcher on that dimension.
+func (t *Table) Assignments(s *core.Subscription) []Assignment {
+	out := make([]Assignment, 0, t.K()+2)
+	for i, dp := range t.dims {
+		d := t.space.Dim(i)
+		pred := s.Predicates[i].Intersect(core.Range{Low: d.Min, High: d.Max})
+		if pred.Empty() {
+			continue // unsatisfiable predicate; Validate rejects these upstream
+		}
+		lo := dp.segmentOf(pred.Low)
+		for j := lo; j < len(dp.Owners); j++ {
+			if !dp.segRange(j).Overlaps(pred) {
+				break
+			}
+			out = append(out, Assignment{Node: dp.Owners[j], Dim: i})
+		}
+	}
+	return out
+}
+
+// DistinctNodes returns the set of distinct matcher IDs in assignments.
+func DistinctNodes(assignments []Assignment) []core.NodeID {
+	seen := make(map[core.NodeID]bool, len(assignments))
+	out := make([]core.NodeID, 0, len(assignments))
+	for _, a := range assignments {
+		if !seen[a.Node] {
+			seen[a.Node] = true
+			out = append(out, a.Node)
+		}
+	}
+	return out
+}
+
+// AssignmentsReplicated is Assignments plus the paper's safeguard for the
+// rare case where all k copies land on the same matcher: the subscription is
+// additionally replicated to the clockwise neighbor of that matcher on each
+// dimension, yielding (k-1) extra distinct matchers with high probability
+// (Section III-A1).
+func (t *Table) AssignmentsReplicated(s *core.Subscription) []Assignment {
+	base := t.Assignments(s)
+	if len(DistinctNodes(base)) > 1 || t.N() == 1 {
+		return base
+	}
+	only := base[0].Node
+	for i, dp := range t.dims {
+		j := dp.ownerSegment(only)
+		if j < 0 {
+			continue
+		}
+		next := (j + 1) % len(dp.Owners)
+		base = append(base, Assignment{Node: dp.Owners[next], Dim: i})
+	}
+	return base
+}
+
+// CandidatesFor returns the k candidate matchers for a message: on each
+// dimension, the owner of the segment the message's value falls into.
+// Values outside the dimension clamp to the boundary segments. The result
+// always has length k; entries may name the same node more than once when
+// candidates coincide.
+func (t *Table) CandidatesFor(m *core.Message) []Candidate {
+	out := make([]Candidate, t.K())
+	for i, dp := range t.dims {
+		j := dp.segmentOf(m.Attrs[i])
+		out[i] = Candidate{Node: dp.Owners[j], Dim: i}
+	}
+	return out
+}
+
+// CandidateOn returns the candidate matcher for m along one dimension.
+func (t *Table) CandidateOn(m *core.Message, dim int) Candidate {
+	dp := t.dims[dim]
+	return Candidate{Node: dp.Owners[dp.segmentOf(m.Attrs[dim])], Dim: dim}
+}

@@ -1,0 +1,63 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"bluedove/internal/core"
+)
+
+func benchTable(b *testing.B, n int) (*Table, *rand.Rand) {
+	b.Helper()
+	ids := make([]core.NodeID, n)
+	for i := range ids {
+		ids[i] = core.NodeID(i + 1)
+	}
+	tab, err := NewUniform(core.UniformSpace(4, 1000), ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tab, rand.New(rand.NewSource(1))
+}
+
+func BenchmarkCandidatesFor(b *testing.B) {
+	tab, rng := benchTable(b, 20)
+	msgs := make([]*core.Message, 256)
+	for i := range msgs {
+		msgs[i] = core.NewMessage([]float64{rng.Float64() * 1000, rng.Float64() * 1000,
+			rng.Float64() * 1000, rng.Float64() * 1000}, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tab.CandidatesFor(msgs[i%len(msgs)])
+	}
+}
+
+func BenchmarkAssignments(b *testing.B) {
+	tab, rng := benchTable(b, 20)
+	subs := make([]*core.Subscription, 256)
+	for i := range subs {
+		preds := make([]core.Range, 4)
+		for d := range preds {
+			lo := rng.Float64() * 750
+			preds[d] = core.Range{Low: lo, High: lo + 250}
+		}
+		subs[i] = core.NewSubscription(1, preds)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tab.Assignments(subs[i%len(subs)])
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	tab, _ := benchTable(b, 20)
+	data := tab.Encode()
+	b.ReportMetric(float64(len(data)), "table-bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(tab.Encode()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

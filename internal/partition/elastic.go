@@ -1,0 +1,102 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+
+	"bluedove/internal/core"
+)
+
+// Handover describes one subscription transfer implied by a membership
+// change: subscriptions stored in From's dimension-Dim set whose predicate
+// overlaps Range must move to To's dimension-Dim set.
+type Handover struct {
+	Dim  int
+	From core.NodeID
+	To   core.NodeID
+	// Range is the value range changing ownership on dimension Dim.
+	Range core.Range
+}
+
+// String renders a compact description.
+func (h Handover) String() string {
+	return fmt.Sprintf("handover{dim%d %v->%v %v}", h.Dim, h.From, h.To, h.Range)
+}
+
+// Join produces a new table in which matcher newNode has joined by taking
+// the upper half of victims[i]'s segment on each dimension i (paper Section
+// III-C: "the dispatcher chooses a heavily loaded matcher, and for each
+// segment on that matcher splits half of the segment to the new matcher";
+// the elasticity experiment picks the most loaded matcher per dimension).
+// It returns the table, the implied subscription handovers, and an error if
+// newNode is already present or a victim is unknown.
+func (t *Table) Join(newNode core.NodeID, victims []core.NodeID) (*Table, []Handover, error) {
+	if t.HasMatcher(newNode) {
+		return nil, nil, fmt.Errorf("partition: %v already in table", newNode)
+	}
+	if len(victims) != t.K() {
+		return nil, nil, fmt.Errorf("partition: need %d victims, got %d", t.K(), len(victims))
+	}
+	c := t.clone()
+	handovers := make([]Handover, 0, t.K())
+	for i := range c.dims {
+		dp := &c.dims[i]
+		j := dp.ownerSegment(victims[i])
+		if j < 0 {
+			return nil, nil, fmt.Errorf("partition: victim %v on dim %d: %w", victims[i], i, ErrUnknownNode)
+		}
+		lo, hi := dp.Boundaries[j], dp.Boundaries[j+1]
+		mid := lo + (hi-lo)/2
+		if !(lo < mid && mid < hi) {
+			return nil, nil, fmt.Errorf("partition: dim %d segment %d too narrow to split", i, j)
+		}
+		// Victim keeps [lo, mid); new node takes [mid, hi).
+		dp.Boundaries = append(dp.Boundaries, 0)
+		copy(dp.Boundaries[j+2:], dp.Boundaries[j+1:])
+		dp.Boundaries[j+1] = mid
+		dp.Owners = append(dp.Owners, 0)
+		copy(dp.Owners[j+2:], dp.Owners[j+1:])
+		dp.Owners[j+1] = newNode
+		handovers = append(handovers, Handover{
+			Dim: i, From: victims[i], To: newNode,
+			Range: core.Range{Low: mid, High: hi},
+		})
+	}
+	c.version = t.version + 1
+	return c, handovers, nil
+}
+
+// Leave produces a new table in which matcher node has left; on each
+// dimension its segment is absorbed by the adjacent (preceding, else
+// following) segment's owner — the reverse of the joining process. It
+// returns the table and the implied handovers. Leaving the last matcher is
+// an error.
+func (t *Table) Leave(node core.NodeID) (*Table, []Handover, error) {
+	if !t.HasMatcher(node) {
+		return nil, nil, ErrUnknownNode
+	}
+	if t.N() <= 1 {
+		return nil, nil, errors.New("partition: cannot remove the last matcher")
+	}
+	c := t.clone()
+	handovers := make([]Handover, 0, t.K())
+	for i := range c.dims {
+		dp := &c.dims[i]
+		j := dp.ownerSegment(node)
+		seg := dp.segRange(j)
+		var to core.NodeID
+		if j > 0 {
+			to = dp.Owners[j-1] // left neighbor extends its upper boundary
+			// remove boundary j and owner j
+			dp.Boundaries = append(dp.Boundaries[:j], dp.Boundaries[j+1:]...)
+			dp.Owners = append(dp.Owners[:j], dp.Owners[j+1:]...)
+		} else {
+			to = dp.Owners[1] // right neighbor extends its lower boundary
+			dp.Boundaries = append(dp.Boundaries[:1], dp.Boundaries[2:]...)
+			dp.Owners = dp.Owners[1:]
+		}
+		handovers = append(handovers, Handover{Dim: i, From: node, To: to, Range: seg})
+	}
+	c.version = t.version + 1
+	return c, handovers, nil
+}

@@ -1,0 +1,178 @@
+package partition
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"bluedove/internal/core"
+)
+
+// Wire format (all little-endian):
+//
+//	uint64  version
+//	uint16  k (dimension count)
+//	k ×   { uint16 nameLen, name bytes, float64 min, float64 max }
+//	uint32  n (matcher count)
+//	k ×   { (n+1) × float64 boundary, n × uint64 owner }
+//
+// The table is small — 8 bytes per boundary and owner — matching the paper's
+// measured ~60·N bytes per dispatcher pull.
+
+// maxWireDims bounds decoded dimension counts to reject corrupt input.
+const maxWireDims = 1 << 12
+
+// maxWireMatchers bounds decoded matcher counts to reject corrupt input.
+const maxWireMatchers = 1 << 20
+
+// Encode serializes the table.
+func (t *Table) Encode() []byte {
+	var b bytes.Buffer
+	var scratch [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		b.Write(scratch[:])
+	}
+	putF := func(v float64) { put64(math.Float64bits(v)) }
+	put16 := func(v uint16) {
+		binary.LittleEndian.PutUint16(scratch[:2], v)
+		b.Write(scratch[:2])
+	}
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		b.Write(scratch[:4])
+	}
+
+	put64(t.version)
+	put16(uint16(t.K()))
+	for i := 0; i < t.K(); i++ {
+		d := t.space.Dim(i)
+		put16(uint16(len(d.Name)))
+		b.WriteString(d.Name)
+		putF(d.Min)
+		putF(d.Max)
+	}
+	put32(uint32(t.N()))
+	for _, dp := range t.dims {
+		for _, bd := range dp.Boundaries {
+			putF(bd)
+		}
+		for _, o := range dp.Owners {
+			put64(uint64(o))
+		}
+	}
+	return b.Bytes()
+}
+
+// Decode parses a table previously produced by Encode. It validates all
+// structural invariants before returning.
+func Decode(data []byte) (*Table, error) {
+	r := bytes.NewReader(data)
+	var scratch [8]byte
+	get := func(n int) ([]byte, error) {
+		if _, err := readFull(r, scratch[:n]); err != nil {
+			return nil, err
+		}
+		return scratch[:n], nil
+	}
+	get64 := func() (uint64, error) {
+		bs, err := get(8)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(bs), nil
+	}
+	getF := func() (float64, error) {
+		v, err := get64()
+		return math.Float64frombits(v), err
+	}
+	get16 := func() (uint16, error) {
+		bs, err := get(2)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint16(bs), nil
+	}
+	get32 := func() (uint32, error) {
+		bs, err := get(4)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(bs), nil
+	}
+
+	version, err := get64()
+	if err != nil {
+		return nil, fmt.Errorf("partition: decode version: %w", err)
+	}
+	k, err := get16()
+	if err != nil {
+		return nil, fmt.Errorf("partition: decode k: %w", err)
+	}
+	if k == 0 || k > maxWireDims {
+		return nil, fmt.Errorf("partition: implausible dimension count %d", k)
+	}
+	dims := make([]core.Dimension, k)
+	for i := range dims {
+		nameLen, err := get16()
+		if err != nil {
+			return nil, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := readFull(r, name); err != nil {
+			return nil, err
+		}
+		min, err := getF()
+		if err != nil {
+			return nil, err
+		}
+		max, err := getF()
+		if err != nil {
+			return nil, err
+		}
+		dims[i] = core.Dimension{Name: string(name), Min: min, Max: max}
+	}
+	space, err := core.NewSpace(dims...)
+	if err != nil {
+		return nil, fmt.Errorf("partition: decode space: %w", err)
+	}
+	n, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxWireMatchers {
+		return nil, fmt.Errorf("partition: implausible matcher count %d", n)
+	}
+	t := &Table{version: version, space: space, dims: make([]DimPartition, k)}
+	for i := range t.dims {
+		bounds := make([]float64, n+1)
+		for j := range bounds {
+			if bounds[j], err = getF(); err != nil {
+				return nil, err
+			}
+		}
+		owners := make([]core.NodeID, n)
+		for j := range owners {
+			v, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			owners[j] = core.NodeID(v)
+		}
+		t.dims[i] = DimPartition{Boundaries: bounds, Owners: owners}
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func readFull(r *bytes.Reader, p []byte) (int, error) {
+	n, err := r.Read(p)
+	if n < len(p) {
+		return n, errors.New("partition: truncated input")
+	}
+	return n, err
+}

@@ -1,0 +1,230 @@
+// Package partition implements mPartition, BlueDove's multi-dimensional
+// subscription-space partitioning (paper Section III-A).
+//
+// For each of the k searchable dimensions, the dimension's value set V^i is
+// split into N contiguous, non-overlapping segments — one per matcher — so
+// every matcher owns exactly one segment per dimension. A subscription is
+// assigned k times, once along each dimension, to every matcher whose segment
+// overlaps the subscription's predicate range on that dimension. A message
+// therefore has (at least) k candidate matchers — the owner of the segment
+// its value falls into, per dimension — and any single candidate can find
+// all matching subscriptions alone.
+//
+// The Table also implements the elasticity operations of Section III-C:
+// a joining matcher takes half of a loaded matcher's segment on each
+// dimension, and a leaving matcher's segments are merged into an adjacent
+// matcher's.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bluedove/internal/core"
+)
+
+// Candidate names one candidate matcher for a message: the owner of the
+// segment the message's value falls into on dimension Dim. The dispatcher
+// marks Dim in the forwarded message so the matcher searches only its
+// dimension-Dim subscription set.
+type Candidate struct {
+	Node core.NodeID
+	Dim  int
+}
+
+// Assignment names one placement of a subscription: node Node must store the
+// subscription in its dimension-Dim set.
+type Assignment struct {
+	Node core.NodeID
+	Dim  int
+}
+
+// DimPartition is the segmentation of a single dimension: N segments where
+// segment j spans [Boundaries[j], Boundaries[j+1]) and is owned by Owners[j].
+type DimPartition struct {
+	// Boundaries has length N+1, strictly ascending, spanning the full
+	// dimension: Boundaries[0] == Dim.Min and Boundaries[N] == Dim.Max.
+	Boundaries []float64
+	// Owners has length N; Owners[j] owns segment j. Each matcher appears
+	// exactly once.
+	Owners []core.NodeID
+}
+
+// clone deep-copies the dimension partition.
+func (dp DimPartition) clone() DimPartition {
+	b := make([]float64, len(dp.Boundaries))
+	copy(b, dp.Boundaries)
+	o := make([]core.NodeID, len(dp.Owners))
+	copy(o, dp.Owners)
+	return DimPartition{Boundaries: b, Owners: o}
+}
+
+// segmentOf returns the index of the segment containing v, clamping values
+// outside the dimension to the first/last segment.
+func (dp DimPartition) segmentOf(v float64) int {
+	// First boundary strictly greater than v, minus one.
+	j := sort.SearchFloat64s(dp.Boundaries, v)
+	if j < len(dp.Boundaries) && dp.Boundaries[j] == v {
+		// v sits exactly on boundary j: it belongs to segment j (half-open).
+		if j >= len(dp.Owners) {
+			return len(dp.Owners) - 1
+		}
+		return j
+	}
+	j--
+	if j < 0 {
+		return 0
+	}
+	if j >= len(dp.Owners) {
+		return len(dp.Owners) - 1
+	}
+	return j
+}
+
+// segRange returns segment j's interval.
+func (dp DimPartition) segRange(j int) core.Range {
+	return core.Range{Low: dp.Boundaries[j], High: dp.Boundaries[j+1]}
+}
+
+// ownerSegment returns the segment index owned by node, or -1.
+func (dp DimPartition) ownerSegment(node core.NodeID) int {
+	for j, o := range dp.Owners {
+		if o == node {
+			return j
+		}
+	}
+	return -1
+}
+
+// Table is the global segment-assignment view that every dispatcher
+// maintains (pulled from matchers via gossip). It is an immutable value:
+// mutating operations return a new *Table with Version+1. Safe to share
+// across goroutines once published.
+type Table struct {
+	version uint64
+	space   *core.Space
+	dims    []DimPartition
+}
+
+// ErrUnknownNode is returned by operations that name a matcher not present
+// in the table.
+var ErrUnknownNode = errors.New("partition: matcher not in table")
+
+// NewUniform builds a table over space where each dimension is split into
+// len(matchers) equal-width segments. Segment ownership is rotated by one
+// position per dimension so a matcher's segments sit at different positions
+// of different dimensions — this decorrelates hot spots across dimensions,
+// the situation the paper's Figure 3 illustrates (matcher A hot on Y, cold
+// on X). At least one matcher is required, and matcher IDs must be unique.
+func NewUniform(space *core.Space, matchers []core.NodeID) (*Table, error) {
+	n := len(matchers)
+	if n == 0 {
+		return nil, errors.New("partition: need at least one matcher")
+	}
+	seen := make(map[core.NodeID]bool, n)
+	for _, m := range matchers {
+		if seen[m] {
+			return nil, fmt.Errorf("partition: duplicate matcher %v", m)
+		}
+		seen[m] = true
+	}
+	t := &Table{version: 1, space: space, dims: make([]DimPartition, space.K())}
+	for i := 0; i < space.K(); i++ {
+		d := space.Dim(i)
+		bounds := make([]float64, n+1)
+		for j := 0; j <= n; j++ {
+			bounds[j] = d.Min + d.Extent()*float64(j)/float64(n)
+		}
+		bounds[n] = d.Max // exact, avoids float drift
+		owners := make([]core.NodeID, n)
+		for j := 0; j < n; j++ {
+			owners[j] = matchers[(j+i)%n]
+		}
+		t.dims[i] = DimPartition{Boundaries: bounds, Owners: owners}
+	}
+	return t, nil
+}
+
+// Version returns the table's monotonically increasing version.
+func (t *Table) Version() uint64 { return t.version }
+
+// Space returns the attribute space the table partitions.
+func (t *Table) Space() *core.Space { return t.space }
+
+// K returns the number of searchable dimensions.
+func (t *Table) K() int { return len(t.dims) }
+
+// N returns the number of matchers (segments per dimension).
+func (t *Table) N() int { return len(t.dims[0].Owners) }
+
+// Dim returns the partition of dimension i (shared storage; treat as
+// read-only).
+func (t *Table) Dim(i int) DimPartition { return t.dims[i] }
+
+// Matchers returns the set of matcher IDs in the table, sorted.
+func (t *Table) Matchers() []core.NodeID {
+	out := make([]core.NodeID, len(t.dims[0].Owners))
+	copy(out, t.dims[0].Owners)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasMatcher reports whether node owns segments in the table.
+func (t *Table) HasMatcher(node core.NodeID) bool {
+	return t.dims[0].ownerSegment(node) >= 0
+}
+
+// SegmentOf returns the segment range owned by node on dimension dim.
+func (t *Table) SegmentOf(node core.NodeID, dim int) (core.Range, error) {
+	j := t.dims[dim].ownerSegment(node)
+	if j < 0 {
+		return core.Range{}, ErrUnknownNode
+	}
+	return t.dims[dim].segRange(j), nil
+}
+
+// clone returns a deep copy with the same version (callers bump it).
+func (t *Table) clone() *Table {
+	c := &Table{version: t.version, space: t.space, dims: make([]DimPartition, len(t.dims))}
+	for i, dp := range t.dims {
+		c.dims[i] = dp.clone()
+	}
+	return c
+}
+
+// validate checks structural invariants; used by tests and decoding.
+func (t *Table) validate() error {
+	if t.space == nil || len(t.dims) != t.space.K() {
+		return errors.New("partition: dimension count mismatch")
+	}
+	n := len(t.dims[0].Owners)
+	for i, dp := range t.dims {
+		if len(dp.Owners) != n {
+			return fmt.Errorf("partition: dim %d has %d owners, dim 0 has %d", i, len(dp.Owners), n)
+		}
+		if len(dp.Boundaries) != n+1 {
+			return fmt.Errorf("partition: dim %d has %d boundaries, want %d", i, len(dp.Boundaries), n+1)
+		}
+		d := t.space.Dim(i)
+		if dp.Boundaries[0] != d.Min || dp.Boundaries[n] != d.Max {
+			return fmt.Errorf("partition: dim %d boundaries do not span [%g,%g)", i, d.Min, d.Max)
+		}
+		seen := make(map[core.NodeID]bool, n)
+		for j := 0; j < n; j++ {
+			if dp.Boundaries[j] >= dp.Boundaries[j+1] {
+				return fmt.Errorf("partition: dim %d segment %d empty or inverted", i, j)
+			}
+			if seen[dp.Owners[j]] {
+				return fmt.Errorf("partition: dim %d owner %v appears twice", i, dp.Owners[j])
+			}
+			seen[dp.Owners[j]] = true
+		}
+	}
+	return nil
+}
+
+// String renders a compact description.
+func (t *Table) String() string {
+	return fmt.Sprintf("table{v%d, k=%d, n=%d}", t.version, t.K(), t.N())
+}

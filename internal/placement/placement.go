@@ -1,0 +1,248 @@
+// Package placement defines how a pub/sub system maps subscriptions onto
+// matchers and messages onto candidate matchers, given a partition table.
+// It factors out the difference between the three systems compared in the
+// paper's evaluation (Section IV-B):
+//
+//   - BlueDove: mPartition — subscriptions assigned along every searchable
+//     dimension, k candidate matchers per message.
+//   - P2P: a DHT-style single-dimension partitioning (as in PastryStrings /
+//     Sub-2-Sub): subscriptions assigned along one fixed dimension only, so
+//     each message has exactly one matcher that can match it.
+//   - Full replication: every matcher stores every subscription; any matcher
+//     can match any message (the enterprise-cluster approach).
+//
+// All three share the same one-hop overlay, matcher and dispatcher code;
+// only Assign/Candidates differ — exactly the framing in the paper.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"bluedove/internal/core"
+	"bluedove/internal/partition"
+)
+
+// Strategy maps subscriptions and messages onto matchers.
+type Strategy interface {
+	// Name identifies the strategy ("bluedove", "p2p", "fullrep").
+	Name() string
+	// Assign returns every (matcher, dimension) placement for s under table t.
+	Assign(t *partition.Table, s *core.Subscription) []partition.Assignment
+	// Candidates returns the candidate matchers able to fully match m under
+	// table t. The dispatcher's forwarding policy picks among them.
+	Candidates(t *partition.Table, m *core.Message) []partition.Candidate
+}
+
+// BlueDove is the paper's system: mPartition assignment with the
+// coincident-candidate neighbor replication safeguard, and k candidates per
+// message.
+type BlueDove struct {
+	// DisableReplication turns off the Section III-A1 neighbor replication
+	// for the rare all-candidates-coincide case (ablation).
+	DisableReplication bool
+	// Dims restricts mPartition to the first Dims searchable dimensions
+	// (0 or >K means all). Used by the Figure 11a dimensionality sweep.
+	Dims int
+	// DimSet, when non-empty, restricts mPartition to exactly these
+	// dimensions (overrides Dims) — the paper's Section VI future-work item
+	// of partitioning only on the commonly used attributes. Use SelectDims
+	// to derive a good set from a subscription sample.
+	DimSet []int
+}
+
+// Name returns "bluedove".
+func (BlueDove) Name() string { return "bluedove" }
+
+// searchable reports whether dimension d participates in partitioning.
+func (b BlueDove) searchable(t *partition.Table, d int) bool {
+	if len(b.DimSet) > 0 {
+		for _, sd := range b.DimSet {
+			if sd == d {
+				return true
+			}
+		}
+		return false
+	}
+	if b.Dims <= 0 || b.Dims > t.K() {
+		return true
+	}
+	return d < b.Dims
+}
+
+// restricted reports whether any dimension is excluded.
+func (b BlueDove) restricted(t *partition.Table) bool {
+	if len(b.DimSet) > 0 {
+		return len(b.DimSet) < t.K()
+	}
+	return b.Dims > 0 && b.Dims < t.K()
+}
+
+// Assign implements Strategy.
+func (b BlueDove) Assign(t *partition.Table, s *core.Subscription) []partition.Assignment {
+	var asg []partition.Assignment
+	if b.DisableReplication {
+		asg = t.Assignments(s)
+	} else {
+		asg = t.AssignmentsReplicated(s)
+	}
+	if b.restricted(t) {
+		kept := asg[:0]
+		for _, a := range asg {
+			if b.searchable(t, a.Dim) {
+				kept = append(kept, a)
+			}
+		}
+		asg = kept
+	}
+	return asg
+}
+
+// Candidates implements Strategy.
+func (b BlueDove) Candidates(t *partition.Table, m *core.Message) []partition.Candidate {
+	cands := t.CandidatesFor(m)
+	if b.restricted(t) {
+		kept := cands[:0]
+		for _, c := range cands {
+			if b.searchable(t, c.Dim) {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
+	return cands
+}
+
+// SelectDims picks the k most selective dimensions from a subscription
+// sample — the dimensions where predicates are narrowest relative to the
+// dimension extent. Attributes applications rarely constrain carry
+// full-range predicates; partitioning on them stores every subscription on
+// every matcher along that dimension for no discrimination (the overhead
+// the paper's Section VI flags). Returns dimension indexes sorted ascending.
+func SelectDims(space *core.Space, sample []*core.Subscription, k int) []int {
+	kAll := space.K()
+	if k <= 0 || k >= kAll {
+		out := make([]int, kAll)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	type dimScore struct {
+		dim   int
+		score float64 // mean predicate width / extent; lower = more selective
+	}
+	scores := make([]dimScore, kAll)
+	for d := 0; d < kAll; d++ {
+		scores[d].dim = d
+		ext := space.Dim(d).Extent()
+		if len(sample) == 0 {
+			scores[d].score = 1
+			continue
+		}
+		sum := 0.0
+		for _, s := range sample {
+			dimRange := core.Range{Low: space.Dim(d).Min, High: space.Dim(d).Max}
+			w := s.Predicates[d].Intersect(dimRange).Length() / ext
+			if w > 1 {
+				w = 1
+			}
+			sum += w
+		}
+		scores[d].score = sum / float64(len(sample))
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].score != scores[j].score {
+			return scores[i].score < scores[j].score
+		}
+		return scores[i].dim < scores[j].dim
+	})
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = scores[i].dim
+	}
+	sort.Ints(out)
+	return out
+}
+
+// P2P is the single-dimension DHT baseline: subscriptions are partitioned by
+// their predicate on dimension Dim only; each message has exactly one
+// candidate matcher.
+type P2P struct {
+	// Dim is the partitioned dimension (0 in the paper's comparison).
+	Dim int
+}
+
+// Name returns "p2p".
+func (P2P) Name() string { return "p2p" }
+
+// Assign implements Strategy: only dimension-Dim placements are kept.
+func (p P2P) Assign(t *partition.Table, s *core.Subscription) []partition.Assignment {
+	all := t.Assignments(s)
+	out := all[:0:0]
+	for _, a := range all {
+		if a.Dim == p.Dim {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Candidates implements Strategy: the single owner of the message's segment
+// on dimension Dim.
+func (p P2P) Candidates(t *partition.Table, m *core.Message) []partition.Candidate {
+	return []partition.Candidate{t.CandidateOn(m, p.Dim)}
+}
+
+// FullRep replicates every subscription to every matcher (stored in each
+// matcher's dimension-0 set); every matcher is a candidate for every
+// message. Dispatchers pair it with the Random forwarding policy, as in the
+// paper.
+type FullRep struct{}
+
+// Name returns "fullrep".
+func (FullRep) Name() string { return "fullrep" }
+
+// Assign implements Strategy: one placement per matcher, all on dimension 0.
+func (FullRep) Assign(t *partition.Table, s *core.Subscription) []partition.Assignment {
+	ms := t.Matchers()
+	out := make([]partition.Assignment, len(ms))
+	for i, n := range ms {
+		out[i] = partition.Assignment{Node: n, Dim: 0}
+	}
+	return out
+}
+
+// Candidates implements Strategy: every matcher, on dimension 0.
+func (FullRep) Candidates(t *partition.Table, m *core.Message) []partition.Candidate {
+	ms := t.Matchers()
+	out := make([]partition.Candidate, len(ms))
+	for i, n := range ms {
+		out[i] = partition.Candidate{Node: n, Dim: 0}
+	}
+	return out
+}
+
+// ByName returns the strategy with the given name ("bluedove", "p2p",
+// "fullrep"), or nil for unknown names.
+func ByName(name string) Strategy {
+	switch name {
+	case "bluedove":
+		return BlueDove{}
+	case "p2p":
+		return P2P{}
+	case "fullrep":
+		return FullRep{}
+	default:
+		return nil
+	}
+}
+
+// MustByName is ByName but panics on unknown names.
+func MustByName(name string) Strategy {
+	s := ByName(name)
+	if s == nil {
+		panic(fmt.Sprintf("placement: unknown strategy %q", name))
+	}
+	return s
+}

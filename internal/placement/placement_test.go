@@ -1,0 +1,231 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"bluedove/internal/core"
+	"bluedove/internal/partition"
+)
+
+func table(t *testing.T, k, n int) *partition.Table {
+	t.Helper()
+	ids := make([]core.NodeID, n)
+	for i := range ids {
+		ids[i] = core.NodeID(i + 1)
+	}
+	tab, err := partition.NewUniform(core.UniformSpace(k, 1000), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNames(t *testing.T) {
+	if (BlueDove{}).Name() != "bluedove" || (P2P{}).Name() != "p2p" || (FullRep{}).Name() != "fullrep" {
+		t.Error("names")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"bluedove", "p2p", "fullrep"} {
+		if s := ByName(n); s == nil || s.Name() != n {
+			t.Errorf("ByName(%q) = %v", n, s)
+		}
+	}
+	if ByName("x") != nil {
+		t.Error("unknown name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName should panic")
+		}
+	}()
+	MustByName("x")
+}
+
+func TestBlueDoveCandidatesPerDim(t *testing.T) {
+	tab := table(t, 4, 10)
+	m := core.NewMessage([]float64{10, 500, 900, 250}, nil)
+	cands := BlueDove{}.Candidates(tab, m)
+	if len(cands) != 4 {
+		t.Fatalf("candidates = %d, want 4", len(cands))
+	}
+	dims := map[int]bool{}
+	for _, c := range cands {
+		dims[c.Dim] = true
+	}
+	if len(dims) != 4 {
+		t.Errorf("candidates missing dimensions: %v", cands)
+	}
+}
+
+func TestBlueDoveDimsRestriction(t *testing.T) {
+	tab := table(t, 4, 10)
+	m := core.NewMessage([]float64{10, 500, 900, 250}, nil)
+	for _, k := range []int{1, 2, 3} {
+		b := BlueDove{Dims: k}
+		cands := b.Candidates(tab, m)
+		if len(cands) != k {
+			t.Fatalf("Dims=%d: candidates = %d", k, len(cands))
+		}
+		s := core.NewSubscription(1, []core.Range{{Low: 0, High: 50}, {Low: 0, High: 50}, {Low: 0, High: 50}, {Low: 0, High: 50}})
+		for _, a := range b.Assign(tab, s) {
+			if a.Dim >= k {
+				t.Fatalf("Dims=%d: assignment on dim %d", k, a.Dim)
+			}
+		}
+	}
+	// Dims=0 and Dims>K mean all dimensions.
+	if got := (BlueDove{Dims: 0}).Candidates(tab, m); len(got) != 4 {
+		t.Error("Dims=0 should use all dims")
+	}
+	if got := (BlueDove{Dims: 99}).Candidates(tab, m); len(got) != 4 {
+		t.Error("Dims>K should use all dims")
+	}
+}
+
+func TestP2PSingleCandidate(t *testing.T) {
+	tab := table(t, 3, 5)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		attrs := []float64{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}
+		m := core.NewMessage(attrs, nil)
+		cands := P2P{Dim: 0}.Candidates(tab, m)
+		if len(cands) != 1 || cands[0].Dim != 0 {
+			t.Fatalf("p2p candidates = %v", cands)
+		}
+	}
+	s := core.NewSubscription(1, []core.Range{{Low: 100, High: 300}, {Low: 0, High: 1000}, {Low: 0, High: 1000}})
+	for _, a := range (P2P{Dim: 0}).Assign(tab, s) {
+		if a.Dim != 0 {
+			t.Fatalf("p2p assignment on dim %d", a.Dim)
+		}
+	}
+	// Different partition dimension.
+	cands := P2P{Dim: 2}.Candidates(tab, core.NewMessage([]float64{1, 2, 3}, nil))
+	if len(cands) != 1 || cands[0].Dim != 2 {
+		t.Fatalf("p2p dim 2 candidates = %v", cands)
+	}
+}
+
+func TestFullRepEverywhere(t *testing.T) {
+	tab := table(t, 2, 6)
+	s := core.NewSubscription(1, []core.Range{{Low: 0, High: 1}, {Low: 0, High: 1}})
+	asg := FullRep{}.Assign(tab, s)
+	if len(asg) != 6 {
+		t.Fatalf("fullrep assignments = %d, want 6", len(asg))
+	}
+	m := core.NewMessage([]float64{500, 500}, nil)
+	cands := FullRep{}.Candidates(tab, m)
+	if len(cands) != 6 {
+		t.Fatalf("fullrep candidates = %d, want 6", len(cands))
+	}
+}
+
+// Completeness must hold for every strategy: if message m matches
+// subscription s, then every candidate for m holds an assignment of s on the
+// candidate's dimension.
+func TestStrategyCompletenessProperty(t *testing.T) {
+	tab := table(t, 3, 8)
+	rng := rand.New(rand.NewSource(9))
+	strategies := []Strategy{BlueDove{}, BlueDove{DisableReplication: true}, BlueDove{Dims: 2}, P2P{}, P2P{Dim: 1}, FullRep{}}
+	for iter := 0; iter < 800; iter++ {
+		preds := make([]core.Range, 3)
+		attrs := make([]float64, 3)
+		for i := range preds {
+			lo := rng.Float64() * 900
+			preds[i] = core.Range{Low: lo, High: lo + rng.Float64()*200 + 0.1}
+			attrs[i] = preds[i].Low + rng.Float64()*(preds[i].High-preds[i].Low)*0.99
+			if attrs[i] >= 1000 {
+				attrs[i] = 999.9
+			}
+		}
+		s := core.NewSubscription(1, preds)
+		s.ID = core.SubscriptionID(iter + 1)
+		m := core.NewMessage(attrs, nil)
+		if !s.Matches(m) {
+			continue
+		}
+		for _, st := range strategies {
+			has := map[partition.Assignment]bool{}
+			for _, a := range st.Assign(tab, s) {
+				has[a] = true
+			}
+			for _, c := range st.Candidates(tab, m) {
+				if !has[partition.Assignment{Node: c.Node, Dim: c.Dim}] {
+					t.Fatalf("%s: candidate %v lacks subscription on dim %d", st.Name(), c.Node, c.Dim)
+				}
+			}
+		}
+	}
+}
+
+func TestDimSetRestriction(t *testing.T) {
+	tab := table(t, 4, 10)
+	m := core.NewMessage([]float64{10, 500, 900, 250}, nil)
+	b := BlueDove{DimSet: []int{1, 3}}
+	cands := b.Candidates(tab, m)
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	for _, c := range cands {
+		if c.Dim != 1 && c.Dim != 3 {
+			t.Fatalf("candidate on excluded dim %d", c.Dim)
+		}
+	}
+	s := core.NewSubscription(1, []core.Range{
+		{Low: 0, High: 50}, {Low: 0, High: 50}, {Low: 0, High: 50}, {Low: 0, High: 50}})
+	for _, a := range b.Assign(tab, s) {
+		if a.Dim != 1 && a.Dim != 3 {
+			t.Fatalf("assignment on excluded dim %d", a.Dim)
+		}
+	}
+	// A full DimSet is unrestricted.
+	full := BlueDove{DimSet: []int{0, 1, 2, 3}}
+	if got := full.Candidates(tab, m); len(got) != 4 {
+		t.Fatalf("full DimSet candidates = %d", len(got))
+	}
+	// Completeness still holds on the restricted dims.
+	match := core.NewMessage([]float64{25, 25, 25, 25}, nil)
+	has := map[partition.Assignment]bool{}
+	for _, a := range b.Assign(tab, s) {
+		has[a] = true
+	}
+	for _, c := range b.Candidates(tab, match) {
+		if !has[partition.Assignment{Node: c.Node, Dim: c.Dim}] {
+			t.Fatalf("completeness violated on dim %d", c.Dim)
+		}
+	}
+}
+
+func TestSelectDims(t *testing.T) {
+	space := core.UniformSpace(4, 1000)
+	// Dimensions 1 and 2 carry narrow predicates; 0 and 3 are unconstrained
+	// (full-range) — the "rarely used attributes" of the paper's Section VI.
+	var sample []*core.Subscription
+	for i := 0; i < 50; i++ {
+		lo := float64(i * 10)
+		sample = append(sample, core.NewSubscription(1, []core.Range{
+			{Low: 0, High: 1000},
+			{Low: lo, High: lo + 100},
+			{Low: lo, High: lo + 250},
+			{Low: -1e6, High: 1e6},
+		}))
+	}
+	got := SelectDims(space, sample, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("SelectDims = %v, want [1 2]", got)
+	}
+	// k >= K returns everything.
+	if got := SelectDims(space, sample, 9); len(got) != 4 {
+		t.Fatalf("SelectDims(k>=K) = %v", got)
+	}
+	if got := SelectDims(space, sample, 0); len(got) != 4 {
+		t.Fatalf("SelectDims(0) = %v", got)
+	}
+	// Empty sample: stable fallback.
+	if got := SelectDims(space, nil, 2); len(got) != 2 {
+		t.Fatalf("SelectDims(empty) = %v", got)
+	}
+}

@@ -1,0 +1,159 @@
+package seda
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestProcessesAllItems(t *testing.T) {
+	var sum atomic.Int64
+	s := New(Config{Name: "t", Workers: 4}, func(v int) { sum.Add(int64(v)) })
+	want := int64(0)
+	for i := 1; i <= 1000; i++ {
+		if err := s.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+		want += int64(i)
+	}
+	s.Stop()
+	if got := sum.Load(); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if s.Processed() != 1000 {
+		t.Fatalf("Processed = %d", s.Processed())
+	}
+	if s.Name() != "t" {
+		t.Error("Name")
+	}
+}
+
+func TestSingleWorkerPreservesOrder(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	s := New(Config{Workers: 1}, func(v int) {
+		mu.Lock()
+		got = append(got, v)
+		mu.Unlock()
+	})
+	for i := 0; i < 500; i++ {
+		if err := s.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Stop()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken at %d: %d", i, v)
+		}
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	block := make(chan struct{})
+	s := New(Config{Depth: 4, Workers: 1}, func(int) { <-block })
+	defer func() { close(block); s.Stop() }()
+	// 1 in service + 4 queued fit; the next overflows.
+	overflowed := false
+	for i := 0; i < 10; i++ {
+		if err := s.Enqueue(i); err != nil {
+			if !errors.Is(err, ErrOverflow) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			overflowed = true
+			break
+		}
+		time.Sleep(time.Millisecond) // let the worker pick up the first item
+	}
+	if !overflowed {
+		t.Fatal("queue never overflowed")
+	}
+	if s.Dropped() == 0 {
+		t.Error("Dropped not counted")
+	}
+}
+
+func TestEnqueueAfterStop(t *testing.T) {
+	s := New(Config{}, func(int) {})
+	s.Stop()
+	if err := s.Enqueue(1); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	s.Stop() // idempotent
+}
+
+func TestMeters(t *testing.T) {
+	now := int64(0)
+	clock := func() int64 { return atomic.LoadInt64(&now) }
+	s := New(Config{Workers: 2, Now: clock}, func(int) {
+		atomic.AddInt64(&now, int64(10*time.Millisecond)) // simulated work
+	})
+	if s.ServiceCapacity() != 0 {
+		t.Error("capacity before first item should be 0")
+	}
+	s.SeedServiceTime(float64(5 * time.Millisecond))
+	if got := s.ServiceCapacity(); got < 390 || got > 410 {
+		t.Errorf("seeded capacity = %g, want ~400", got)
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Stop()
+	// EWMA converges toward 10ms/item → capacity ≈ 2 workers / 10ms = 200.
+	if got := s.ServiceCapacity(); got < 150 || got > 450 {
+		t.Errorf("capacity = %g, want ~200", got)
+	}
+	if s.ArrivalRate() <= 0 {
+		t.Error("arrival rate not measured")
+	}
+	// Seeding after observations must not overwrite.
+	before := s.ServiceCapacity()
+	s.SeedServiceTime(1)
+	if s.ServiceCapacity() != before {
+		t.Error("SeedServiceTime overwrote a live estimate")
+	}
+	s.SeedServiceTime(-5) // ignored
+}
+
+func TestLen(t *testing.T) {
+	block := make(chan struct{})
+	s := New(Config{Depth: 100, Workers: 1}, func(int) { <-block })
+	for i := 0; i < 10; i++ {
+		s.Enqueue(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if l := s.Len(); l < 8 || l > 10 {
+		t.Errorf("Len = %d, want ~9 (one in service)", l)
+	}
+	close(block)
+	s.Stop()
+	if s.Len() != 0 {
+		t.Errorf("Len after Stop = %d", s.Len())
+	}
+}
+
+func TestConcurrentEnqueue(t *testing.T) {
+	var count atomic.Int64
+	s := New(Config{Depth: 100000, Workers: 4}, func(int) { count.Add(1) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				for s.Enqueue(i) != nil {
+					time.Sleep(time.Microsecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s.Stop()
+	if count.Load() != 16000 {
+		t.Fatalf("processed %d, want 16000", count.Load())
+	}
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/forward"
+	"bluedove/internal/index"
+	"bluedove/internal/placement"
+)
+
+// Config parameterizes a simulated cluster. Zero fields take the defaults
+// documented per field (applied by withDefaults), which model the paper's
+// testbed: Gigabit-LAN latencies, 1 s load reports pushed on >10% change,
+// 10 s table pulls, and a matching cost dominated by the number of
+// subscriptions scanned.
+type Config struct {
+	// Space is the attribute space; required.
+	Space *core.Space
+	// Matchers is the initial matcher count; required (>0).
+	Matchers int
+	// Dispatchers is the dispatcher count (default 2, as in the paper).
+	Dispatchers int
+	// Strategy is the placement strategy (default placement.BlueDove{}).
+	Strategy placement.Strategy
+	// Policy is the forwarding policy (default forward.Adaptive{}).
+	Policy forward.Policy
+	// IndexKind selects the per-dimension matcher index (default bucket).
+	IndexKind index.Kind
+
+	// BaseMatchCost is the fixed per-message matching overhead
+	// (default 20µs).
+	BaseMatchCost time.Duration
+	// PerScanCost is the service time per subscription scanned
+	// (default 300ns — calibrated so a 40k-subscription full scan costs
+	// ~12ms, matching the paper's full-replication throughput).
+	PerScanCost time.Duration
+	// PerDeliverCost is the service time per matched subscription delivered
+	// (default 1µs).
+	PerDeliverCost time.Duration
+	// NetDelay is the one-hop network latency (default 500µs).
+	NetDelay time.Duration
+	// DispatchCost is the dispatcher's per-message processing time, modeled
+	// as added latency without queueing — the paper measured dispatching to
+	// be two orders of magnitude cheaper than matching (default 5µs).
+	DispatchCost time.Duration
+
+	// ReportInterval is the matcher load-report cadence (default 1s).
+	ReportInterval time.Duration
+	// ReportDeltaFrac suppresses reports when no per-dimension queue or
+	// rate changed by more than this fraction (default 0.1).
+	ReportDeltaFrac float64
+	// RateWindow is the λ/μ measurement window w (default 2s).
+	RateWindow time.Duration
+	// TablePullInterval is the dispatcher segment-table pull cadence
+	// (default 10s).
+	TablePullInterval time.Duration
+	// TablePropagateDelay is the time for a new segment table to reach all
+	// dispatchers after a join/leave (gossip rounds; default 2s).
+	TablePropagateDelay time.Duration
+	// FailureDetectDelay is the time between a matcher crash and all
+	// dispatchers marking it dead (gossip heartbeat timeout; default 10s).
+	FailureDetectDelay time.Duration
+	// RecoveryDelay is the additional time after failure detection before
+	// subscriptions are re-installed onto surviving matchers (default 5s).
+	RecoveryDelay time.Duration
+
+	// Elastic enables the auto-scaling controller: when saturation is
+	// detected a new matcher joins, as in the Figure 9 experiment.
+	Elastic bool
+	// ElasticCheckInterval is the controller's saturation check cadence
+	// (default 5s).
+	ElasticCheckInterval time.Duration
+	// ElasticCooldown is the minimum time between matcher additions
+	// (default 20s).
+	ElasticCooldown time.Duration
+	// ElasticBacklogSecs: the controller treats the system as saturated
+	// when the aggregate backlog exceeds this many seconds of the current
+	// arrival rate and is still growing (default 0.15).
+	ElasticBacklogSecs float64
+
+	// Persistent enables the message-persistence extension (paper Section
+	// VI future work: "add message persistence mechanism to support
+	// applications that do not tolerate message loss"): dispatchers retain
+	// forwarded messages until matched, and messages caught on a crashed
+	// matcher — queued, in service, or sent before failure detection — are
+	// re-forwarded to surviving candidates instead of being lost.
+	Persistent bool
+	// PersistMaxAttempts caps re-forwards per message (default 20).
+	PersistMaxAttempts int
+	// PersistRetryDelay is the wait before retrying when no alive
+	// candidate exists (default 500ms).
+	PersistRetryDelay time.Duration
+	// SampleEvery records one response-time point per this many completions
+	// into the time series (default 20; histograms record every sample).
+	SampleEvery int
+	// Seed drives all randomized decisions (default 1).
+	Seed int64
+	// OnDeliver, when set, is invoked at each message completion with the
+	// message and the subscriptions it matched (delivery to subscribers).
+	OnDeliver func(m *core.Message, matched []*core.Subscription)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Space == nil {
+		panic("sim: Config.Space is required")
+	}
+	if c.Matchers <= 0 {
+		panic("sim: Config.Matchers must be positive")
+	}
+	if c.Dispatchers <= 0 {
+		c.Dispatchers = 2
+	}
+	if c.Strategy == nil {
+		c.Strategy = placement.BlueDove{}
+	}
+	if c.Policy == nil {
+		c.Policy = forward.Adaptive{}
+	}
+	if c.BaseMatchCost <= 0 {
+		c.BaseMatchCost = 20 * time.Microsecond
+	}
+	if c.PerScanCost <= 0 {
+		c.PerScanCost = 300 * time.Nanosecond
+	}
+	if c.PerDeliverCost <= 0 {
+		c.PerDeliverCost = time.Microsecond
+	}
+	if c.NetDelay <= 0 {
+		c.NetDelay = 500 * time.Microsecond
+	}
+	if c.DispatchCost <= 0 {
+		c.DispatchCost = 5 * time.Microsecond
+	}
+	if c.ReportInterval <= 0 {
+		c.ReportInterval = time.Second
+	}
+	if c.ReportDeltaFrac <= 0 {
+		c.ReportDeltaFrac = 0.1
+	}
+	if c.RateWindow <= 0 {
+		c.RateWindow = 2 * time.Second
+	}
+	if c.TablePullInterval <= 0 {
+		c.TablePullInterval = 10 * time.Second
+	}
+	if c.TablePropagateDelay <= 0 {
+		c.TablePropagateDelay = 2 * time.Second
+	}
+	if c.FailureDetectDelay <= 0 {
+		c.FailureDetectDelay = 10 * time.Second
+	}
+	if c.RecoveryDelay <= 0 {
+		c.RecoveryDelay = 5 * time.Second
+	}
+	if c.ElasticCheckInterval <= 0 {
+		c.ElasticCheckInterval = 5 * time.Second
+	}
+	if c.ElasticCooldown <= 0 {
+		c.ElasticCooldown = 20 * time.Second
+	}
+	if c.ElasticBacklogSecs <= 0 {
+		c.ElasticBacklogSecs = 0.15
+	}
+	if c.PersistMaxAttempts <= 0 {
+		c.PersistMaxAttempts = 20
+	}
+	if c.PersistRetryDelay <= 0 {
+		c.PersistRetryDelay = 500 * time.Millisecond
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}

@@ -1,0 +1,107 @@
+// Package sim is a deterministic discrete-event simulator for BlueDove
+// clusters. It substitutes for the paper's 24-VM testbed (see DESIGN.md):
+// dispatchers run the real placement and forwarding-policy code, matchers
+// run the real per-dimension indexes, and the simulator models the
+// quantities that shape the paper's results — per-dimension FIFO queues,
+// matching service time proportional to subscriptions scanned, one-hop
+// network latency, and the periodic (λ, μ, q) load reports with the paper's
+// update intervals. Experiments are seeded and run on a virtual clock, so
+// every figure regenerates bit-identically.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a discrete-event executor with a virtual clock. Events scheduled
+// for the same instant run in scheduling order (stable FIFO tie-break), so
+// runs are fully deterministic. Engine is not safe for concurrent use; the
+// whole simulation runs on one goroutine.
+type Engine struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+}
+
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn to run at virtual time t. Times in the past run at the
+// current instant (never before already-executed events).
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) { e.At(e.now+int64(d), fn) }
+
+// Every schedules fn at t, then every interval thereafter, until fn returns
+// false.
+func (e *Engine) Every(t int64, interval time.Duration, fn func() bool) {
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.At(e.now+int64(interval), tick)
+		}
+	}
+	e.At(t, tick)
+}
+
+// Step runs the next event, if any, advancing the clock to its time. It
+// reports whether an event ran.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events in order until the clock would pass t or no
+// events remain. The clock finishes at exactly t when it was reached.
+func (e *Engine) RunUntil(t int64) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }

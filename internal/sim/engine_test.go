@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.RunUntil(100)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now = %d, want 100", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.RunUntil(5)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestEnginePastEventRunsNow(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(100)
+	ran := false
+	e.At(50, func() { ran = true }) // in the past
+	e.RunUntil(100)
+	if !ran {
+		t.Error("past event did not run")
+	}
+	if e.Now() != 100 {
+		t.Errorf("clock moved backwards: %d", e.Now())
+	}
+}
+
+func TestEngineAfterAndStep(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.After(time.Second, func() { ran++ })
+	if !e.Step() {
+		t.Fatal("Step returned false with pending event")
+	}
+	if ran != 1 || e.Now() != int64(time.Second) {
+		t.Fatalf("ran=%d now=%d", ran, e.Now())
+	}
+	if e.Step() {
+		t.Error("Step returned true with empty queue")
+	}
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Every(0, time.Second, func() bool {
+		count++
+		return count < 5
+	})
+	e.RunUntil(int64(100 * time.Second))
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d after Every stopped", e.Pending())
+	}
+}
+
+func TestEngineRunUntilBoundary(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(100, func() { ran = true })
+	e.RunUntil(99)
+	if ran {
+		t.Error("event at 100 ran during RunUntil(99)")
+	}
+	e.RunUntil(100)
+	if !ran {
+		t.Error("event at 100 did not run during RunUntil(100)")
+	}
+}
+
+func TestEngineEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	var got []int64
+	e.At(10, func() {
+		e.After(5, func() { got = append(got, e.Now()) })
+	})
+	e.RunUntil(20)
+	if len(got) != 1 || got[0] != 15 {
+		t.Fatalf("nested event = %v", got)
+	}
+}

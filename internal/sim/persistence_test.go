@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/workload"
+)
+
+// The persistence extension (paper Section VI future work) must eliminate
+// the crash-window message loss of Figure 10: every accepted message is
+// eventually matched, at the cost of re-forwards.
+func TestPersistenceEliminatesCrashLoss(t *testing.T) {
+	run := func(persistent bool) (lost, completed, retries int64) {
+		cfg := testConfig(8)
+		cfg.Persistent = persistent
+		cfg.FailureDetectDelay = 2 * time.Second
+		cfg.RecoveryDelay = 2 * time.Second
+		cl := NewCluster(cfg)
+		gen := workload.New(workload.Default(cfg.Space))
+		cl.SubscribeAll(gen.Subscriptions(1000))
+		cl.Drive(gen, workload.ConstantRate(500), int64(30*time.Second))
+		cl.RunUntil(int64(10 * time.Second))
+		if _, err := cl.FailRandomMatcher(); err != nil {
+			t.Fatal(err)
+		}
+		cl.RunUntil(int64(30 * time.Second))
+		cl.RunFor(20 * time.Second) // drain + retries
+		st := cl.Stats()
+		return st.Lost.Value(), st.Completed.Value(), st.PersistRetries.Value()
+	}
+
+	lostBase, _, _ := run(false)
+	if lostBase == 0 {
+		t.Fatal("baseline run lost nothing; crash window not exercised")
+	}
+	lostP, completedP, retries := run(true)
+	if lostP != 0 {
+		t.Fatalf("persistent run lost %d messages", lostP)
+	}
+	if retries == 0 {
+		t.Fatal("persistence never retried despite a crash")
+	}
+	if completedP == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+// With persistence on and no failures, behaviour must be unchanged: no
+// retries, no losses, same completions as the baseline.
+func TestPersistenceNoopWithoutFailures(t *testing.T) {
+	run := func(persistent bool) (completed, retries, lost int64) {
+		cfg := testConfig(5)
+		cfg.Persistent = persistent
+		cl := NewCluster(cfg)
+		gen := workload.New(workload.Default(cfg.Space))
+		cl.SubscribeAll(gen.Subscriptions(800))
+		cl.Drive(gen, workload.ConstantRate(400), int64(10*time.Second))
+		cl.RunUntil(int64(12 * time.Second))
+		st := cl.Stats()
+		return st.Completed.Value(), st.PersistRetries.Value(), st.Lost.Value()
+	}
+	c0, _, l0 := run(false)
+	c1, r1, l1 := run(true)
+	if c0 != c1 {
+		t.Errorf("completions differ: %d vs %d", c0, c1)
+	}
+	if r1 != 0 || l0 != 0 || l1 != 0 {
+		t.Errorf("unexpected retries/losses: r=%d l0=%d l1=%d", r1, l0, l1)
+	}
+}
+
+// Messages accepted when every candidate is dead must be retried until the
+// recovered table provides a live candidate.
+func TestPersistenceRetriesThroughRecovery(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Persistent = true
+	cfg.FailureDetectDelay = time.Second
+	cfg.RecoveryDelay = time.Second
+	cl := NewCluster(cfg)
+	gen := workload.New(workload.Default(cfg.Space))
+	cl.SubscribeAll(gen.Subscriptions(200))
+	cl.RunUntil(int64(2 * time.Second))
+	// Mark every matcher dead in dispatcher views: no candidate is alive,
+	// so a publish enters the retry-later loop.
+	for _, d := range cl.dispatchers {
+		for _, id := range cl.order {
+			d.dead[id] = true
+		}
+	}
+	cl.Publish(gen.Message())
+	cl.RunFor(time.Second)
+	if cl.Stats().Completed.Value() != 0 {
+		t.Fatal("message completed with all candidates dead")
+	}
+	// Heal the views: the pending retry must find a candidate and complete.
+	for _, d := range cl.dispatchers {
+		d.dead = map[core.NodeID]bool{}
+	}
+	cl.RunFor(5 * time.Second)
+	if cl.Stats().Completed.Value() != 1 {
+		t.Fatalf("completed = %d after healing, want 1", cl.Stats().Completed.Value())
+	}
+	if cl.Stats().Lost.Value() != 0 {
+		t.Fatal("message lost despite persistence")
+	}
+}

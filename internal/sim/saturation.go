@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/workload"
+)
+
+// SaturationSearch finds a system's saturation message rate — the highest
+// arrival rate it sustains without queues growing without bound (paper
+// Section IV-B). The paper detects saturation by feeding increasing rates
+// and watching for linear response-time growth; the simulator uses the
+// equivalent backlog-growth criterion over a measurement window, and binary
+// search instead of a linear ramp.
+type SaturationSearch struct {
+	// Build constructs a fresh cluster for each probe; required.
+	Build func() *Cluster
+	// Subscriptions are installed before driving; required non-empty for
+	// meaningful results.
+	Subscriptions []*core.Subscription
+	// Workload generates publications; a fresh generator (same seed) is
+	// created per probe. Required.
+	Workload workload.Config
+	// Warmup is the settling time before measurement (default 2s): load
+	// reports must flow before the policies see real rates.
+	Warmup time.Duration
+	// Measure is the measurement window (default 6s).
+	Measure time.Duration
+	// LoRate is a rate known (or assumed) sustainable (default 100/s).
+	LoRate float64
+	// HiRate is the initial upper probe; doubled until saturated
+	// (default 2×LoRate).
+	HiRate float64
+	// Tolerance is the relative precision of the returned rate
+	// (default 0.05).
+	Tolerance float64
+}
+
+func (s *SaturationSearch) defaults() {
+	if s.Warmup <= 0 {
+		s.Warmup = 2 * time.Second
+	}
+	if s.Measure <= 0 {
+		s.Measure = 6 * time.Second
+	}
+	if s.LoRate <= 0 {
+		s.LoRate = 100
+	}
+	if s.HiRate <= s.LoRate {
+		s.HiRate = 2 * s.LoRate
+	}
+	if s.Tolerance <= 0 {
+		s.Tolerance = 0.05
+	}
+}
+
+// Saturated probes one rate: a fresh cluster is driven at the rate, and the
+// system counts as saturated when the aggregate backlog keeps growing
+// through the second half of the measurement window by more than 2% of the
+// offered load (the linear-growth signature of Figure 5).
+func (s *SaturationSearch) Saturated(rate float64) bool {
+	cl := s.Build()
+	cl.SubscribeAll(s.Subscriptions)
+	gen := workload.New(s.Workload)
+	end := int64(s.Warmup) + int64(s.Measure)
+	cl.Drive(gen, workload.ConstantRate(rate), end)
+	mid := int64(s.Warmup) + int64(s.Measure)/2
+	// Half a second of offered load queued means unmistakable saturation;
+	// abort such probes early instead of simulating the full window.
+	hard := 0.5*rate + 100
+	step := int64(250 * time.Millisecond)
+	b1 := -1
+	for t := step; t < end; t += step {
+		cl.RunUntil(t)
+		if float64(cl.TotalBacklog()) > hard {
+			return true
+		}
+		if b1 < 0 && t >= mid {
+			b1 = cl.TotalBacklog()
+		}
+	}
+	cl.RunUntil(end)
+	b2 := cl.TotalBacklog()
+	if float64(b2) > hard {
+		return true
+	}
+	if b1 < 0 {
+		b1 = 0
+	}
+	halfSec := (float64(s.Measure) / 2) / float64(time.Second)
+	growth := float64(b2 - b1)
+	threshold := 0.02 * rate * halfSec
+	if threshold < 20 {
+		threshold = 20
+	}
+	return growth > threshold
+}
+
+// Find runs the search and returns the saturation rate (messages/second).
+// The result is the highest probed sustainable rate within Tolerance of the
+// lowest saturated rate.
+func (s *SaturationSearch) Find() float64 {
+	s.defaults()
+	lo, hi := s.LoRate, s.HiRate
+	// Lower the floor if even LoRate saturates.
+	for s.Saturated(lo) {
+		hi = lo
+		lo /= 4
+		if lo < 1 {
+			return 1
+		}
+	}
+	// Raise the ceiling until saturated (bounded expansion).
+	for i := 0; i < 24 && !s.Saturated(hi); i++ {
+		lo = hi
+		hi *= 2
+	}
+	for hi-lo > s.Tolerance*lo {
+		mid := (lo + hi) / 2
+		if s.Saturated(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,136 @@
+// Package tenant implements the paper's Section VI multi-application
+// direction: "One possibility is to divide dispatchers and matchers into
+// different subsets and let them handle different applications." A Manager
+// hosts several isolated BlueDove deployments — one per application/tenant,
+// each with its own attribute space, dispatcher and matcher subset — behind
+// a single administrative façade. Tenants scale, fail and recover
+// independently: one application's hot spot or crash never touches
+// another's matchers.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"bluedove/internal/cluster"
+	"bluedove/internal/core"
+)
+
+// ErrUnknownTenant is returned for operations on tenants that do not exist.
+var ErrUnknownTenant = errors.New("tenant: unknown tenant")
+
+// Options configures a Manager.
+type Options struct {
+	// Defaults seeds every tenant's cluster options; per-tenant Create
+	// calls override Space, Matchers and Dispatchers. Space may be nil
+	// here (it is required per tenant).
+	Defaults cluster.Options
+}
+
+// Spec describes one tenant deployment.
+type Spec struct {
+	// Name identifies the tenant; required and unique.
+	Name string
+	// Space is the tenant's attribute space; required.
+	Space *core.Space
+	// Matchers and Dispatchers size the tenant's server subset (0 uses the
+	// manager defaults).
+	Matchers, Dispatchers int
+}
+
+// Manager hosts independent per-tenant clusters.
+type Manager struct {
+	opts Options
+	mu   sync.Mutex
+	tens map[string]*cluster.Cluster
+}
+
+// NewManager builds an empty manager.
+func NewManager(opts Options) *Manager {
+	return &Manager{opts: opts, tens: make(map[string]*cluster.Cluster)}
+}
+
+// Create boots a new tenant deployment.
+func (m *Manager) Create(spec Spec) (*cluster.Cluster, error) {
+	if spec.Name == "" || spec.Space == nil {
+		return nil, errors.New("tenant: Name and Space are required")
+	}
+	m.mu.Lock()
+	if _, dup := m.tens[spec.Name]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("tenant: %q already exists", spec.Name)
+	}
+	m.mu.Unlock()
+
+	opts := m.opts.Defaults
+	opts.Space = spec.Space
+	if spec.Matchers > 0 {
+		opts.Matchers = spec.Matchers
+	}
+	if spec.Dispatchers > 0 {
+		opts.Dispatchers = spec.Dispatchers
+	}
+	c, err := cluster.Start(opts)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %q: %w", spec.Name, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.tens[spec.Name]; dup {
+		m.mu.Unlock()
+		c.Close()
+		m.mu.Lock()
+		return nil, fmt.Errorf("tenant: %q already exists", spec.Name)
+	}
+	m.tens[spec.Name] = c
+	return c, nil
+}
+
+// Get returns a tenant's cluster.
+func (m *Manager) Get(name string) (*cluster.Cluster, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.tens[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	return c, nil
+}
+
+// Drop stops and removes a tenant deployment.
+func (m *Manager) Drop(name string) error {
+	m.mu.Lock()
+	c, ok := m.tens[name]
+	delete(m.tens, name)
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	c.Close()
+	return nil
+}
+
+// Tenants lists tenant names, sorted.
+func (m *Manager) Tenants() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.tens))
+	for name := range m.tens {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close stops every tenant.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	tens := m.tens
+	m.tens = make(map[string]*cluster.Cluster)
+	m.mu.Unlock()
+	for _, c := range tens {
+		c.Close()
+	}
+}

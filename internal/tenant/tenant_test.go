@@ -1,0 +1,152 @@
+package tenant
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bluedove/internal/cluster"
+	"bluedove/internal/core"
+)
+
+func fastDefaults() Options {
+	return Options{Defaults: cluster.Options{
+		Matchers:       3,
+		Dispatchers:    1,
+		GossipInterval: 50 * time.Millisecond,
+		FailAfter:      500 * time.Millisecond,
+		ReportInterval: 50 * time.Millisecond,
+		RecoveryDelay:  200 * time.Millisecond,
+		PruneGrace:     300 * time.Millisecond,
+	}}
+}
+
+func TestCreateGetDrop(t *testing.T) {
+	m := NewManager(fastDefaults())
+	defer m.Close()
+	c, err := m.Create(Spec{Name: "traffic", Space: core.UniformSpace(4, 1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := m.Get("traffic"); err != nil || got != c {
+		t.Fatalf("Get: %v %v", got, err)
+	}
+	if _, err := m.Get("nope"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("Get unknown: %v", err)
+	}
+	if _, err := m.Create(Spec{Name: "traffic", Space: core.UniformSpace(2, 10)}); err == nil {
+		t.Error("duplicate tenant accepted")
+	}
+	if _, err := m.Create(Spec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if err := m.Drop("traffic"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drop("traffic"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("double drop: %v", err)
+	}
+}
+
+func TestTenantsAreIsolated(t *testing.T) {
+	m := NewManager(fastDefaults())
+	defer m.Close()
+
+	// Two applications with different attribute spaces and sizes.
+	traffic, err := m.Create(Spec{Name: "traffic", Space: core.UniformSpace(4, 1000), Matchers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stocks, err := m.Create(Spec{Name: "stocks", Space: core.UniformSpace(2, 100), Matchers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Tenants(); len(got) != 2 || got[0] != "stocks" || got[1] != "traffic" {
+		t.Fatalf("Tenants = %v", got)
+	}
+	for _, c := range []*cluster.Cluster{traffic, stocks} {
+		if err := c.WaitForTable(1, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if traffic.Table().N() != 4 || stocks.Table().N() != 2 {
+		t.Fatalf("sizes: %d %d", traffic.Table().N(), stocks.Table().N())
+	}
+
+	// Subscribe in both tenants; publications only reach their own tenant.
+	var trafficHits, stockHits atomic.Int64
+	tc, err := traffic.NewClient(0, func(*core.Message, []core.SubscriptionID) { trafficHits.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.Subscribe([]core.Range{
+		{Low: 0, High: 1000}, {Low: 0, High: 1000}, {Low: 0, High: 1000}, {Low: 0, High: 1000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := stocks.NewClient(0, func(*core.Message, []core.SubscriptionID) { stockHits.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Subscribe([]core.Range{{Low: 0, High: 100}, {Low: 0, High: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	if err := tc.Publish([]float64{1, 2, 3, 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Publish([]float64{50, 50}, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && (trafficHits.Load() == 0 || stockHits.Load() == 0) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if trafficHits.Load() != 1 || stockHits.Load() != 1 {
+		t.Fatalf("hits: traffic=%d stocks=%d", trafficHits.Load(), stockHits.Load())
+	}
+
+	// Crashing a matcher in one tenant never touches the other.
+	if err := traffic.CrashMatcher(traffic.MatcherIDs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) {
+		if tab := traffic.Table(); tab != nil && tab.N() == 3 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if stocks.Table().N() != 2 {
+		t.Fatal("crash in one tenant changed another tenant's table")
+	}
+	if err := sc.Publish([]float64{10, 10}, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && stockHits.Load() < 2 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if stockHits.Load() != 2 {
+		t.Fatal("other tenant disrupted by the crash")
+	}
+}
+
+func TestManagerClose(t *testing.T) {
+	m := NewManager(fastDefaults())
+	if _, err := m.Create(Spec{Name: "a", Space: core.UniformSpace(2, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if len(m.Tenants()) != 0 {
+		t.Error("tenants survive Close")
+	}
+	// Close is idempotent and the manager reusable.
+	m.Close()
+	if _, err := m.Create(Spec{Name: "b", Space: core.UniformSpace(2, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+}

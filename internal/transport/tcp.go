@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"bluedove/internal/wire"
+)
+
+// TCP is the production transport: length-framed envelopes over TCP.
+// One-way sends share a persistent, automatically redialed connection per
+// destination; requests use short-lived connections so responses need no
+// correlation IDs (table pulls and subscribes are rare compared to
+// forwarding traffic).
+type TCP struct {
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[string]*sendConn
+	accepted  map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+type sendConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+}
+
+// NewTCP returns an unconnected TCP transport.
+func NewTCP() *TCP {
+	return &TCP{
+		DialTimeout: 2 * time.Second,
+		conns:       make(map[string]*sendConn),
+		accepted:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen implements Transport: it serves h on addr ("host:port"; ":0"
+// chooses a free port) and returns the bound address.
+func (t *TCP) Listen(addr string, h Handler) (string, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return "", ErrClosed
+	}
+	t.mu.Unlock()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	t.mu.Lock()
+	t.listeners = append(t.listeners, ln)
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.acceptLoop(ln, h)
+	return ln.Addr().String(), nil
+}
+
+func (t *TCP) acceptLoop(ln net.Listener, h Handler) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.serveConn(conn, h)
+	}
+}
+
+// serveConn handles one inbound connection: frames are processed in order;
+// request kinds produce exactly one response frame each.
+func (t *TCP) serveConn(conn net.Conn, h Handler) {
+	defer t.wg.Done()
+	defer conn.Close()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.accepted[conn] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		env, err := wire.ReadFrame(br)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		if resp := h(env); resp != nil {
+			if err := wire.WriteFrame(bw, resp); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// getSendConn returns (dialing if necessary) the pooled connection to addr.
+func (t *TCP) getSendConn(addr string) (*sendConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	sc, ok := t.conns[addr]
+	if !ok {
+		sc = &sendConn{}
+		t.conns[addr] = sc
+	}
+	t.mu.Unlock()
+
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.conn == nil {
+		conn, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+		}
+		sc.conn = conn
+		sc.bw = bufio.NewWriter(conn)
+	}
+	return sc, nil
+}
+
+// Send implements Transport with one redial retry on a stale pooled
+// connection.
+func (t *TCP) Send(addr string, env *wire.Envelope) error {
+	for attempt := 0; attempt < 2; attempt++ {
+		sc, err := t.getSendConn(addr)
+		if err != nil {
+			return err
+		}
+		sc.mu.Lock()
+		if sc.conn == nil {
+			sc.mu.Unlock()
+			continue
+		}
+		err = wire.WriteFrame(sc.bw, env)
+		if err != nil {
+			sc.conn.Close()
+			sc.conn = nil
+			sc.mu.Unlock()
+			continue
+		}
+		sc.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("%w: send to %s failed after retry", ErrUnreachable, addr)
+}
+
+// Request implements Transport over a short-lived connection.
+func (t *TCP) Request(addr string, env *wire.Envelope, timeout time.Duration) (*wire.Envelope, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	t.mu.Unlock()
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, env); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadFrame(bufio.NewReader(conn))
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("transport: no response from %s for %v", addr, env.Kind)
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Close implements Transport: it stops all listeners and closes pooled
+// connections.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, ln := range t.listeners {
+		ln.Close()
+	}
+	for conn := range t.accepted {
+		conn.Close()
+	}
+	for _, sc := range t.conns {
+		sc.mu.Lock()
+		if sc.conn != nil {
+			sc.conn.Close()
+			sc.conn = nil
+		}
+		sc.mu.Unlock()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,41 @@
+package wire
+
+import (
+	"testing"
+
+	"bluedove/internal/core"
+)
+
+func BenchmarkForwardEncode(b *testing.B) {
+	m := core.NewMessage([]float64{1, 2, 3, 4}, make([]byte, 64))
+	m.ID = 1
+	body := &ForwardBody{Dim: 2, Msg: m}
+	b.ReportMetric(float64(len(body.Encode())), "bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = body.Encode()
+	}
+}
+
+func BenchmarkForwardDecode(b *testing.B) {
+	m := core.NewMessage([]float64{1, 2, 3, 4}, make([]byte, 64))
+	data := (&ForwardBody{Dim: 2, Msg: m}).Encode()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeForward(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeliverRoundtrip(b *testing.B) {
+	m := core.NewMessage([]float64{1, 2, 3, 4}, make([]byte, 64))
+	body := &DeliverBody{Subscriber: 7, Msg: m,
+		SubIDs: []core.SubscriptionID{1, 2, 3, 4, 5}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeDeliver(body.Encode()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

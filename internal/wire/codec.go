@@ -1,0 +1,139 @@
+// Package wire defines BlueDove's binary wire protocol: a length-prefixed
+// frame carrying one typed protocol message. Encoding is hand-rolled over
+// encoding/binary (little-endian, no reflection) so the hot paths — publish
+// forwarding and delivery — allocate minimally.
+//
+// Frame layout:
+//
+//	uint32  payload length (excluding this prefix), capped by MaxFrame
+//	uint8   message kind
+//	uint64  sender node ID
+//	...     kind-specific body
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated reports a body shorter than its fields demand.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// writer is an append-only little-endian encoder.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) str(s string) {
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// reader is a little-endian decoder with sticky error handling: after the
+// first short read every accessor returns zero values and err is set.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if int(n) > len(r.buf)-r.off {
+		r.err = fmt.Errorf("wire: declared %d bytes, %d remain: %w", n, len(r.buf)-r.off, ErrTruncated)
+		return nil
+	}
+	b := r.take(int(n))
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func (r *reader) str() string {
+	n := r.u16()
+	if r.err != nil {
+		return ""
+	}
+	if int(n) > len(r.buf)-r.off {
+		r.err = ErrTruncated
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+// finish returns the decoder error, also flagging unconsumed trailing bytes.
+func (r *reader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}

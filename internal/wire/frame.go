@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"bluedove/internal/core"
+)
+
+// MaxFrame bounds a frame's payload; larger declared lengths are rejected
+// as corruption before any allocation.
+const MaxFrame = 16 << 20
+
+// frameHeader is the fixed part after the length prefix: kind + sender.
+const frameHeader = 1 + 8
+
+// WriteFrame writes one envelope to w with a length prefix. It is not safe
+// for concurrent use on the same writer; connections serialize writes.
+func WriteFrame(w io.Writer, env *Envelope) error {
+	n := frameHeader + len(env.Body)
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	var hdr [4 + frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+	hdr[4] = byte(env.Kind)
+	binary.LittleEndian.PutUint64(hdr[5:13], uint64(env.From))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(env.Body) > 0 {
+		if _, err := w.Write(env.Body); err != nil {
+			return err
+		}
+	}
+	if bw, ok := w.(*bufio.Writer); ok {
+		return bw.Flush()
+	}
+	return nil
+}
+
+// ReadFrame reads one envelope from r.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < frameHeader || n > MaxFrame {
+		return nil, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	env := &Envelope{
+		Kind: Kind(buf[0]),
+		From: core.NodeID(binary.LittleEndian.Uint64(buf[1:9])),
+		Body: buf[9:],
+	}
+	return env, nil
+}
+
+// FrameSize returns the on-wire size of an envelope, for overhead
+// accounting.
+func FrameSize(env *Envelope) int { return 4 + frameHeader + len(env.Body) }

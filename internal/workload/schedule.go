@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"sort"
+	"time"
+)
+
+// Schedule gives a target publication rate (messages/second) as a function
+// of time. Schedules drive the simulator's open-loop workload generators.
+type Schedule interface {
+	// RateAt returns the messages/second rate at time t (nanoseconds).
+	RateAt(t int64) float64
+}
+
+// ConstantRate publishes at a fixed rate forever.
+type ConstantRate float64
+
+// RateAt implements Schedule.
+func (r ConstantRate) RateAt(int64) float64 { return float64(r) }
+
+// StepRamp increases the rate by Increment every Interval, starting from
+// Initial — the paper's elasticity workload ("increase the message rate by
+// 500 messages/second every five minutes").
+type StepRamp struct {
+	// Initial is the rate during the first interval.
+	Initial float64
+	// Increment is added at each interval boundary.
+	Increment float64
+	// Interval is the step duration.
+	Interval time.Duration
+}
+
+// RateAt implements Schedule.
+func (s StepRamp) RateAt(t int64) float64 {
+	if t < 0 || s.Interval <= 0 {
+		return s.Initial
+	}
+	steps := t / int64(s.Interval)
+	return s.Initial + float64(steps)*s.Increment
+}
+
+// Step is one (from-time, rate) pair of a Steps schedule.
+type Step struct {
+	// From is the time (ns) at which Rate takes effect.
+	From int64
+	// Rate is messages/second.
+	Rate float64
+}
+
+// Steps is a piecewise-constant schedule defined by explicit breakpoints.
+// Before the first breakpoint the rate is 0.
+type Steps []Step
+
+// RateAt implements Schedule.
+func (s Steps) RateAt(t int64) float64 {
+	// Last step with From <= t.
+	i := sort.Search(len(s), func(i int) bool { return s[i].From > t }) - 1
+	if i < 0 {
+		return 0
+	}
+	return s[i].Rate
+}

@@ -1,0 +1,202 @@
+// Package workload generates the synthetic subscription and publication
+// workloads used throughout the paper's evaluation (Section IV-B):
+//
+//   - Subscriptions are conjunctions of range predicates whose centers
+//     follow a cropped normal distribution per dimension (σ=250 of a range
+//     of 1000 in the default setup), with hot spots placed evenly along the
+//     range so different dimensions have different hot-spot positions.
+//   - Predicate ranges default to length 250.
+//   - Publication attribute values are uniform per dimension, or — for the
+//     adverse-skew study (Figure 11c) — follow the same cropped normal as
+//     the subscriptions on a configurable number of dimensions.
+//
+// Generators are deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bluedove/internal/core"
+)
+
+// Config parameterizes a Generator. The zero value is not valid; use
+// Default for the paper's setup.
+type Config struct {
+	// Space is the attribute space; required.
+	Space *core.Space
+	// SubStdDev is the standard deviation of the cropped normal
+	// distribution of predicate-range centers, in attribute units. The
+	// paper's default is 250 (of a dimension extent of 1000); larger values
+	// flatten the skew (Figure 11b).
+	SubStdDev float64
+	// PredLen is the length of each range predicate (250 in the paper).
+	PredLen float64
+	// HotspotFrac[i] places the hot spot (normal mean) of dimension i at
+	// Min + frac*Extent. If empty, hot spots are spread evenly:
+	// frac_i = (2i+1)/(2k) ("distributed evenly along the full range").
+	HotspotFrac []float64
+	// SkewedMsgDims is the number of leading dimensions on which message
+	// values follow the same cropped normal as subscriptions instead of the
+	// uniform distribution (Figure 11c's "adverse" skew).
+	SkewedMsgDims int
+	// UnusedDims is the number of trailing dimensions applications never
+	// constrain: subscriptions carry full-range predicates there (the
+	// "rarely used attributes" of the paper's Section VI future work).
+	UnusedDims int
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+// Default returns the paper's evaluation configuration over the given space:
+// σ=250 scaled to the dimension extent, predicate length 250 (scaled),
+// uniform messages.
+func Default(space *core.Space) Config {
+	return Config{
+		Space:     space,
+		SubStdDev: 250.0 / 1000.0 * space.Dim(0).Extent(),
+		PredLen:   250.0 / 1000.0 * space.Dim(0).Extent(),
+		Seed:      1,
+	}
+}
+
+// Generator produces subscriptions and messages. It is not safe for
+// concurrent use; create one per goroutine (cheap) with distinct seeds.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	centers []float64 // hot-spot center per dimension
+	nextSub core.SubscriptionID
+	nextMsg core.MessageID
+}
+
+// New creates a Generator. It panics if the config lacks a space or has
+// non-positive predicate length or stddev.
+func New(cfg Config) *Generator {
+	if cfg.Space == nil {
+		panic("workload: Config.Space is required")
+	}
+	if cfg.PredLen <= 0 {
+		panic("workload: Config.PredLen must be positive")
+	}
+	if cfg.SubStdDev <= 0 {
+		panic("workload: Config.SubStdDev must be positive")
+	}
+	k := cfg.Space.K()
+	if len(cfg.HotspotFrac) != 0 && len(cfg.HotspotFrac) != k {
+		panic(fmt.Sprintf("workload: HotspotFrac has %d entries, space has %d dims", len(cfg.HotspotFrac), k))
+	}
+	g := &Generator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		centers: make([]float64, k),
+		nextSub: 1,
+		nextMsg: 1,
+	}
+	for i := 0; i < k; i++ {
+		d := cfg.Space.Dim(i)
+		frac := (2*float64(i) + 1) / (2 * float64(k))
+		if len(cfg.HotspotFrac) == k {
+			frac = cfg.HotspotFrac[i]
+		}
+		g.centers[i] = d.Min + frac*d.Extent()
+	}
+	return g
+}
+
+// Space returns the generator's attribute space.
+func (g *Generator) Space() *core.Space { return g.cfg.Space }
+
+// croppedNormal samples a normal(center, σ) value truncated (by resampling,
+// then clamping) to [min, max).
+func (g *Generator) croppedNormal(center, sigma, min, max float64) float64 {
+	for i := 0; i < 16; i++ {
+		v := center + g.rng.NormFloat64()*sigma
+		if v >= min && v < max {
+			return v
+		}
+	}
+	// Extremely unlikely unless σ vastly exceeds the range; clamp.
+	d := core.Dimension{Name: "x", Min: min, Max: max}
+	return d.Clamp(center + g.rng.NormFloat64()*sigma)
+}
+
+// Subscription generates one subscription: per dimension, a predicate of
+// length PredLen whose center is drawn from the cropped normal around the
+// dimension's hot spot. Predicates are shifted to stay within the dimension.
+func (g *Generator) Subscription() *core.Subscription {
+	k := g.cfg.Space.K()
+	preds := make([]core.Range, k)
+	for i := 0; i < k; i++ {
+		d := g.cfg.Space.Dim(i)
+		if i >= k-g.cfg.UnusedDims {
+			// Unconstrained attribute: match anything.
+			preds[i] = core.Range{Low: d.Min, High: d.Max}
+			continue
+		}
+		length := g.cfg.PredLen
+		if length > d.Extent() {
+			length = d.Extent()
+		}
+		// The center is truncated to the feasible band so the whole
+		// predicate fits inside the dimension without piling probability
+		// mass onto the edges.
+		loBand, hiBand := d.Min+length/2, d.Max-length/2
+		var center float64
+		if loBand >= hiBand {
+			center = (d.Min + d.Max) / 2
+		} else {
+			center = g.croppedNormal(g.centers[i], g.cfg.SubStdDev, loBand, hiBand)
+		}
+		lo := center - length/2
+		if lo < d.Min {
+			lo = d.Min
+		}
+		if lo+length > d.Max {
+			lo = d.Max - length
+		}
+		preds[i] = core.Range{Low: lo, High: lo + length}
+	}
+	s := core.NewSubscription(core.SubscriberID(g.nextSub), preds)
+	s.ID = g.nextSub
+	g.nextSub++
+	return s
+}
+
+// Subscriptions generates n subscriptions.
+func (g *Generator) Subscriptions(n int) []*core.Subscription {
+	out := make([]*core.Subscription, n)
+	for i := range out {
+		out[i] = g.Subscription()
+	}
+	return out
+}
+
+// Message generates one publication. Values are uniform per dimension except
+// on the first SkewedMsgDims dimensions, where they follow the subscription
+// hot-spot distribution (adverse skew).
+func (g *Generator) Message() *core.Message {
+	k := g.cfg.Space.K()
+	attrs := make([]float64, k)
+	for i := 0; i < k; i++ {
+		d := g.cfg.Space.Dim(i)
+		if i < g.cfg.SkewedMsgDims {
+			attrs[i] = g.croppedNormal(g.centers[i], g.cfg.SubStdDev, d.Min, d.Max)
+		} else {
+			attrs[i] = d.Min + g.rng.Float64()*d.Extent()
+		}
+	}
+	m := core.NewMessage(attrs, nil)
+	m.ID = g.nextMsg
+	g.nextMsg++
+	return m
+}
+
+// Messages generates n publications.
+func (g *Generator) Messages(n int) []*core.Message {
+	out := make([]*core.Message, n)
+	for i := range out {
+		out[i] = g.Message()
+	}
+	return out
+}

@@ -1,0 +1,322 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	sp := core.UniformSpace(4, 1000)
+	cfg := Default(sp)
+	if cfg.SubStdDev != 250 || cfg.PredLen != 250 {
+		t.Errorf("Default = %+v, want σ=250 len=250", cfg)
+	}
+	// Scaled spaces scale the parameters.
+	sp2 := core.UniformSpace(2, 100)
+	cfg2 := Default(sp2)
+	if cfg2.SubStdDev != 25 || cfg2.PredLen != 25 {
+		t.Errorf("scaled Default = %+v", cfg2)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	sp := core.UniformSpace(2, 1000)
+	cases := []Config{
+		{},
+		{Space: sp, SubStdDev: 250}, // no PredLen
+		{Space: sp, PredLen: 250},   // no SubStdDev
+		{Space: sp, SubStdDev: 1, PredLen: 1, HotspotFrac: []float64{0.5}}, // wrong len
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestSubscriptionsValidAndSized(t *testing.T) {
+	sp := core.UniformSpace(4, 1000)
+	g := New(Default(sp))
+	subs := g.Subscriptions(2000)
+	if len(subs) != 2000 {
+		t.Fatal("count")
+	}
+	seen := map[core.SubscriptionID]bool{}
+	for _, s := range subs {
+		if err := s.Validate(sp); err != nil {
+			t.Fatalf("invalid subscription: %v", err)
+		}
+		for i, p := range s.Predicates {
+			if math.Abs(p.Length()-250) > 1e-9 {
+				t.Fatalf("predicate %d length %g, want 250", i, p.Length())
+			}
+			if p.Low < 0 || p.High > 1000 {
+				t.Fatalf("predicate outside dimension: %v", p)
+			}
+		}
+		if seen[s.ID] {
+			t.Fatal("duplicate subscription ID")
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestMessagesValid(t *testing.T) {
+	sp := core.UniformSpace(3, 1000)
+	g := New(Default(sp))
+	for _, m := range g.Messages(2000) {
+		if err := m.Validate(sp); err != nil {
+			t.Fatalf("invalid message: %v", err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	sp := core.UniformSpace(4, 1000)
+	g1 := New(Default(sp))
+	g2 := New(Default(sp))
+	for i := 0; i < 100; i++ {
+		a, b := g1.Subscription(), g2.Subscription()
+		for d := range a.Predicates {
+			if a.Predicates[d] != b.Predicates[d] {
+				t.Fatal("same seed produced different subscriptions")
+			}
+		}
+		ma, mb := g1.Message(), g2.Message()
+		for d := range ma.Attrs {
+			if ma.Attrs[d] != mb.Attrs[d] {
+				t.Fatal("same seed produced different messages")
+			}
+		}
+	}
+	cfg := Default(sp)
+	cfg.Seed = 99
+	g3 := New(cfg)
+	diff := false
+	for i := 0; i < 20 && !diff; i++ {
+		if g3.Subscription().Predicates[0] != New(Default(sp)).Subscription().Predicates[0] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+// The paper reports that at σ=250 the hot-spot density is ~2.7x the average
+// density. Verify strong skew at σ=250 and near-flat at σ=1000 (Fig 11b:
+// highest/average ≈ 1.17 at σ=1000).
+func TestSkewConcentration(t *testing.T) {
+	sp := core.UniformSpace(1, 1000)
+	ratio := func(sigma float64) float64 {
+		cfg := Default(sp)
+		cfg.SubStdDev = sigma
+		cfg.Seed = 5
+		g := New(cfg)
+		buckets := make([]int, 20)
+		n := 20000
+		for i := 0; i < n; i++ {
+			s := g.Subscription()
+			center := (s.Predicates[0].Low + s.Predicates[0].High) / 2
+			b := int(center / 50)
+			if b > 19 {
+				b = 19
+			}
+			buckets[b]++
+		}
+		max := 0
+		for _, c := range buckets {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / (float64(n) / 20)
+	}
+	r250 := ratio(250)
+	r1000 := ratio(1000)
+	if r250 < 1.6 {
+		t.Errorf("σ=250 peak/avg = %.2f, want strong skew (>1.6)", r250)
+	}
+	if r1000 > 1.55 {
+		t.Errorf("σ=1000 peak/avg = %.2f, want near flat (<1.55)", r1000)
+	}
+	if r1000 >= r250 {
+		t.Errorf("skew should decrease with σ: %.2f vs %.2f", r250, r1000)
+	}
+}
+
+func TestHotspotsSpreadAcrossDims(t *testing.T) {
+	sp := core.UniformSpace(4, 1000)
+	g := New(Default(sp))
+	n := 20000
+	const bw = 50.0
+	hist := make([][]int, 4)
+	for d := range hist {
+		hist[d] = make([]int, 20)
+	}
+	for i := 0; i < n; i++ {
+		s := g.Subscription()
+		for d, p := range s.Predicates {
+			b := int(((p.Low + p.High) / 2) / bw)
+			if b > 19 {
+				b = 19
+			}
+			hist[d][b]++
+		}
+	}
+	// Expected hot spots at 125, 375, 625, 875: the histogram mode per
+	// dimension must be near its own hot spot (truncation shifts the mean
+	// but not the mode).
+	want := []float64{125, 375, 625, 875}
+	for d := range hist {
+		mode, best := 0, -1
+		for b, c := range hist[d] {
+			if c > best {
+				best, mode = c, b
+			}
+		}
+		modeCenter := float64(mode)*bw + bw/2
+		if math.Abs(modeCenter-want[d]) > 100 {
+			t.Errorf("dim %d mode = %g, want ~%g", d, modeCenter, want[d])
+		}
+	}
+}
+
+func TestCustomHotspots(t *testing.T) {
+	sp := core.UniformSpace(2, 1000)
+	cfg := Default(sp)
+	cfg.HotspotFrac = []float64{0.1, 0.9}
+	cfg.SubStdDev = 50
+	g := New(cfg)
+	var s0, s1 float64
+	n := 3000
+	for i := 0; i < n; i++ {
+		s := g.Subscription()
+		s0 += (s.Predicates[0].Low + s.Predicates[0].High) / 2
+		s1 += (s.Predicates[1].Low + s.Predicates[1].High) / 2
+	}
+	if m := s0 / float64(n); math.Abs(m-125) > 60 { // center 100, clipped predicates push up slightly
+		t.Errorf("dim0 mean = %g, want near 100-150", m)
+	}
+	if m := s1 / float64(n); math.Abs(m-875) > 60 {
+		t.Errorf("dim1 mean = %g, want near 850-900", m)
+	}
+}
+
+func TestSkewedMessageDims(t *testing.T) {
+	sp := core.UniformSpace(4, 1000)
+	cfg := Default(sp)
+	cfg.SkewedMsgDims = 2
+	g := New(cfg)
+	n := 10000
+	var inHot [4]int
+	for i := 0; i < n; i++ {
+		m := g.Message()
+		// Hot spot of dim d is at (2d+1)/8*1000 ± σ.
+		for d := 0; d < 4; d++ {
+			center := (2*float64(d) + 1) / 8 * 1000
+			if math.Abs(m.Attrs[d]-center) < 250 {
+				inHot[d]++
+			}
+		}
+	}
+	// Skewed dims should concentrate near the hot spot far more than uniform
+	// dims (uniform puts ~50% within ±250 of any center).
+	for d := 0; d < 2; d++ {
+		if frac := float64(inHot[d]) / float64(n); frac < 0.62 {
+			t.Errorf("skewed dim %d concentration = %.2f, want > 0.62", d, frac)
+		}
+	}
+	for d := 2; d < 4; d++ {
+		if frac := float64(inHot[d]) / float64(n); frac > 0.58 {
+			t.Errorf("uniform dim %d concentration = %.2f, want ~0.5", d, frac)
+		}
+	}
+}
+
+func TestPredLenWiderThanDimension(t *testing.T) {
+	sp := core.MustSpace(core.Dimension{Name: "tiny", Min: 0, Max: 10})
+	cfg := Config{Space: sp, SubStdDev: 5, PredLen: 100, Seed: 1}
+	g := New(cfg)
+	s := g.Subscription()
+	if s.Predicates[0].Low != 0 || s.Predicates[0].High != 10 {
+		t.Errorf("oversized predicate should cover dimension: %v", s.Predicates[0])
+	}
+	if err := s.Validate(sp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantRate(t *testing.T) {
+	if ConstantRate(500).RateAt(12345) != 500 {
+		t.Error("ConstantRate")
+	}
+}
+
+func TestStepRamp(t *testing.T) {
+	s := StepRamp{Initial: 500, Increment: 500, Interval: 5 * time.Minute}
+	if got := s.RateAt(0); got != 500 {
+		t.Errorf("t=0: %g", got)
+	}
+	if got := s.RateAt(int64(4 * time.Minute)); got != 500 {
+		t.Errorf("t=4m: %g", got)
+	}
+	if got := s.RateAt(int64(5 * time.Minute)); got != 1000 {
+		t.Errorf("t=5m: %g", got)
+	}
+	if got := s.RateAt(int64(26 * time.Minute)); got != 3000 {
+		t.Errorf("t=26m: %g", got)
+	}
+	if got := s.RateAt(-5); got != 500 {
+		t.Errorf("t<0: %g", got)
+	}
+	if got := (StepRamp{Initial: 7}).RateAt(100); got != 7 {
+		t.Errorf("zero interval: %g", got)
+	}
+}
+
+func TestSteps(t *testing.T) {
+	s := Steps{{From: 10, Rate: 100}, {From: 20, Rate: 200}}
+	cases := []struct {
+		t    int64
+		want float64
+	}{{0, 0}, {9, 0}, {10, 100}, {15, 100}, {20, 200}, {1000, 200}}
+	for _, tc := range cases {
+		if got := s.RateAt(tc.t); got != tc.want {
+			t.Errorf("RateAt(%d) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	if (Steps{}).RateAt(5) != 0 {
+		t.Error("empty Steps")
+	}
+}
+
+func TestUnusedDims(t *testing.T) {
+	sp := core.UniformSpace(4, 1000)
+	cfg := Default(sp)
+	cfg.UnusedDims = 2
+	g := New(cfg)
+	for _, s := range g.Subscriptions(200) {
+		for d := 0; d < 2; d++ {
+			if math.Abs(s.Predicates[d].Length()-250) > 1e-9 {
+				t.Fatalf("used dim %d width %g", d, s.Predicates[d].Length())
+			}
+		}
+		for d := 2; d < 4; d++ {
+			if s.Predicates[d].Low != 0 || s.Predicates[d].High != 1000 {
+				t.Fatalf("unused dim %d predicate %v, want full range", d, s.Predicates[d])
+			}
+		}
+		if err := s.Validate(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
