@@ -227,6 +227,25 @@ func BenchmarkExtensionPersistence(b *testing.B) {
 	}
 }
 
+// BenchmarkForwardBatched compares end-to-end throughput of the real
+// in-process cluster stack with forward-path publication batching off and on
+// (dispatcher.Config.ForwardLinger). Unlike the figure benchmarks this does
+// not use the simulator: the quantity under test is the per-frame overhead of
+// the actual dispatcher → wire → transport → matcher → delivery hot path.
+func BenchmarkForwardBatched(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Batching(experiment.BatchingOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Println(r.Table())
+		b.ReportMetric(r.UnbatchedMsgsPerSec, "unbatched-msgs/s")
+		b.ReportMetric(r.BatchedMsgsPerSec, "batched-msgs/s")
+		b.ReportMetric(r.Speedup, "speedup-x")
+		b.ReportMetric(r.Amortization, "msgs/frame")
+	}
+}
+
 // BenchmarkExtensionDimSelection evaluates the paper's Section VI
 // attribute-selection item implemented here: when applications constrain
 // only some attributes, partitioning on just those dimensions avoids

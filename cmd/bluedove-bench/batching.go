@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/experiment"
+	"bluedove/internal/wire"
+)
+
+func goVersion() string { return runtime.Version() }
+
+// batchingReport is the schema of BENCH_batching.json: the end-to-end
+// cluster throughput comparison plus the wire-level allocation comparison
+// for the forward hop.
+type batchingReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+
+	// In-process cluster, batched (ForwardLinger=1ms) vs unbatched.
+	Cluster struct {
+		Messages            int     `json:"messages"`
+		Subscribers         int     `json:"subscribers"`
+		UnbatchedMsgsPerSec float64 `json:"unbatched_msgs_per_sec"`
+		BatchedMsgsPerSec   float64 `json:"batched_msgs_per_sec"`
+		Speedup             float64 `json:"speedup"`
+		MsgsPerFrame        float64 `json:"msgs_per_frame"`
+	} `json:"cluster"`
+
+	// Wire encode path: one ForwardBody frame per message vs one pooled
+	// 64-entry ForwardBatchBody frame, normalized per message.
+	Wire struct {
+		Batch                int     `json:"batch"`
+		UnbatchedAllocsPerOp float64 `json:"unbatched_allocs_per_msg"`
+		BatchedAllocsPerOp   float64 `json:"batched_allocs_per_msg"`
+		AllocReduction       float64 `json:"alloc_reduction"`
+		UnbatchedNsPerOp     float64 `json:"unbatched_ns_per_msg"`
+		BatchedNsPerOp       float64 `json:"batched_ns_per_msg"`
+	} `json:"wire"`
+}
+
+// runBatching runs the batching comparison and, when out is non-empty,
+// writes the JSON report there.
+func runBatching(out string) {
+	start := time.Now()
+	r, err := experiment.Batching(experiment.BatchingOpts{})
+	if err != nil {
+		log.Fatalf("batching experiment: %v", err)
+	}
+	fmt.Println(r.Table())
+	fmt.Fprintf(os.Stderr, "[batching cluster runs: %v]\n", time.Since(start).Round(time.Millisecond))
+
+	rep := &batchingReport{GoVersion: goVersion()}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Cluster.Messages = r.Messages
+	rep.Cluster.Subscribers = r.Subscribers
+	rep.Cluster.UnbatchedMsgsPerSec = r.UnbatchedMsgsPerSec
+	rep.Cluster.BatchedMsgsPerSec = r.BatchedMsgsPerSec
+	rep.Cluster.Speedup = r.Speedup
+	rep.Cluster.MsgsPerFrame = r.Amortization
+
+	measureWireAllocs(rep)
+	t := &experiment.Table{
+		Title:  fmt.Sprintf("Forward-hop encode cost (wire level, batch=%d)", rep.Wire.Batch),
+		Header: []string{"mode", "allocs/msg", "ns/msg"},
+	}
+	t.AddRow("ForwardBody per message", rep.Wire.UnbatchedAllocsPerOp, rep.Wire.UnbatchedNsPerOp)
+	t.AddRow("pooled ForwardBatchBody", rep.Wire.BatchedAllocsPerOp, rep.Wire.BatchedNsPerOp)
+	fmt.Println(t)
+
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
+}
+
+// measureWireAllocs benchmarks the forward-hop encode paths in-process via
+// testing.Benchmark and fills in the wire section of the report.
+func measureWireAllocs(rep *batchingReport) {
+	const batch = 64
+	msgs := make([]*core.Message, batch)
+	for i := range msgs {
+		msgs[i] = &core.Message{
+			ID:          core.MessageID(i + 1),
+			Attrs:       []float64{float64(i), 500, 500, 500},
+			Payload:     []byte("0123456789abcdef"),
+			PublishedAt: int64(i),
+		}
+	}
+
+	// Unbatched: one frame per message, fresh buffer each (the pre-batching
+	// dispatcher forward path).
+	un := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			body := wire.ForwardBody{Dim: 0, Msg: msgs[i%batch]}
+			buf := body.Encode()
+			_ = buf
+		}
+	})
+
+	// Batched: one pooled frame per 64 messages; per-op loop body covers one
+	// message so ns/op and allocs/op stay per-message.
+	var entries []wire.ForwardEntry
+	ba := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			entries = append(entries, wire.ForwardEntry{Dim: 0, Msg: msgs[i%batch]})
+			if len(entries) == batch {
+				body := wire.ForwardBatchBody{Entries: entries}
+				buf := wire.GetBuf()
+				buf.B = body.AppendTo(buf.B)
+				wire.PutBuf(buf)
+				entries = entries[:0]
+			}
+		}
+	})
+
+	rep.Wire.Batch = batch
+	rep.Wire.UnbatchedAllocsPerOp = float64(un.AllocsPerOp())
+	rep.Wire.BatchedAllocsPerOp = float64(ba.AllocsPerOp())
+	if ba.AllocsPerOp() > 0 {
+		rep.Wire.AllocReduction = float64(un.AllocsPerOp()) / float64(ba.AllocsPerOp())
+	} else {
+		rep.Wire.AllocReduction = float64(un.AllocsPerOp()) // batched path is allocation-free
+	}
+	rep.Wire.UnbatchedNsPerOp = float64(un.NsPerOp())
+	rep.Wire.BatchedNsPerOp = float64(ba.NsPerOp())
+}

@@ -19,10 +19,18 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 5|6a|6b|7|8|9|10|11a|11b|11c|overhead|all")
-		scale = flag.String("scale", "small", "workload scale: tiny|small|paper")
+		fig      = flag.String("fig", "all", "figure to regenerate: 5|6a|6b|7|8|9|10|11a|11b|11c|overhead|all")
+		scale    = flag.String("scale", "small", "workload scale: tiny|small|paper")
+		batching = flag.Bool("batching", false,
+			"run the forward-path batching comparison on the real in-process cluster instead of a figure")
+		out = flag.String("out", "", "with -batching: write the JSON report to this file (e.g. BENCH_batching.json)")
 	)
 	flag.Parse()
+
+	if *batching {
+		runBatching(*out)
+		return
+	}
 
 	var sc experiment.Scale
 	switch *scale {

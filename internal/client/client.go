@@ -62,16 +62,21 @@ func New(cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// handle receives pushed deliveries in direct mode.
+// handle receives pushed deliveries in direct mode (single frames and the
+// coalesced DeliverBatch frames batching matchers emit).
 func (c *Client) handle(env *wire.Envelope) *wire.Envelope {
-	if env.Kind != wire.KindDeliver {
-		return nil
+	switch env.Kind {
+	case wire.KindDeliver:
+		if b, err := wire.DecodeDeliver(env.Body); err == nil {
+			c.cfg.OnDeliver(b.Msg, b.SubIDs)
+		}
+	case wire.KindDeliverBatch:
+		if b, err := wire.DecodeDeliverBatch(env.Body); err == nil {
+			for i := range b.Deliveries {
+				c.cfg.OnDeliver(b.Deliveries[i].Msg, b.Deliveries[i].SubIDs)
+			}
+		}
 	}
-	b, err := wire.DecodeDeliver(env.Body)
-	if err != nil {
-		return nil
-	}
-	c.cfg.OnDeliver(b.Msg, b.SubIDs)
 	return nil
 }
 
@@ -112,8 +117,12 @@ func (c *Client) Unsubscribe(id core.SubscriptionID) error {
 }
 
 // Publish sends one publication (a point in the attribute space plus an
-// opaque payload).
+// opaque payload). Payloads too large for a wire frame are rejected here so
+// applications get an error rather than the codec's panic.
 func (c *Client) Publish(attrs []float64, payload []byte) error {
+	if len(payload)+64+8*len(attrs) > wire.MaxFrame {
+		return fmt.Errorf("%w: %d-byte payload", wire.ErrBodyTooLarge, len(payload))
+	}
 	msg := core.NewMessage(attrs, payload)
 	body := (&wire.PublishBody{Msg: msg}).Encode()
 	return c.cfg.Transport.Send(c.cfg.DispatcherAddr,

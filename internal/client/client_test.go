@@ -1,6 +1,7 @@
 package client
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -212,5 +213,23 @@ func TestPoll(t *testing.T) {
 	ds, err = cl.Poll(10)
 	if err != nil || len(ds) != 0 {
 		t.Fatalf("second Poll = %+v, %v", ds, err)
+	}
+}
+
+func TestPublishOversizePayloadRejected(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	startFake(t, mesh)
+	cl, err := New(Config{Transport: mesh.Endpoint("c"), DispatcherAddr: "disp", Subscriber: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.Publish([]float64{1}, make([]byte, wire.MaxFrame))
+	if !errors.Is(err, wire.ErrBodyTooLarge) {
+		t.Fatalf("oversize publish error = %v, want ErrBodyTooLarge", err)
+	}
+	// The client remains usable.
+	if err := cl.Publish([]float64{1}, []byte("ok")); err != nil {
+		t.Fatalf("publish after oversize rejection: %v", err)
 	}
 }

@@ -54,6 +54,18 @@ type Options struct {
 	Persistent bool
 	// RetryInterval is the persistence retransmit timeout (default 2s).
 	RetryInterval time.Duration
+	// ForwardLinger, when positive, enables publication batching on every
+	// dispatcher's forward path (see dispatcher.Config.ForwardLinger). Zero
+	// keeps the unbatched message-per-frame behavior.
+	ForwardLinger time.Duration
+	// ForwardBatchCount and ForwardBatchBytes tune the batch flush
+	// thresholds (defaults 64 messages / 256 KiB; meaningful only with
+	// ForwardLinger > 0).
+	ForwardBatchCount int
+	ForwardBatchBytes int
+	// TCPFlushInterval, when positive on a TCP cluster, enables transport
+	// write coalescing on every node (see transport.TCP.FlushInterval).
+	TCPFlushInterval time.Duration
 }
 
 func (o *Options) defaults() error {
@@ -160,7 +172,9 @@ func Start(opts Options) (*Cluster, error) {
 // newTransport creates the per-node transport.
 func (c *Cluster) newTransport(label string) transport.Transport {
 	if c.opts.TCP {
-		return transport.NewTCP()
+		t := transport.NewTCP()
+		t.FlushInterval = c.opts.TCPFlushInterval
+		return t
 	}
 	return c.mesh.Endpoint(label)
 }
@@ -203,19 +217,22 @@ func (c *Cluster) startMatcher(id core.NodeID) (*matcher.Matcher, error) {
 func (c *Cluster) startDispatcher(id core.NodeID) (*dispatcher.Dispatcher, error) {
 	label := fmt.Sprintf("dispatcher-%d", id)
 	d, err := dispatcher.New(dispatcher.Config{
-		ID:             id,
-		Addr:           c.nodeAddr(label),
-		Space:          c.opts.Space,
-		Transport:      c.newTransport(label),
-		Seeds:          c.seeds,
-		Strategy:       c.opts.Strategy,
-		Policy:         c.opts.Policy,
-		GossipInterval: c.opts.GossipInterval,
-		FailAfter:      c.opts.FailAfter,
-		RecoveryDelay:  c.opts.RecoveryDelay,
-		Persistent:     c.opts.Persistent,
-		RetryInterval:  c.opts.RetryInterval,
-		Generation:     1,
+		ID:                id,
+		Addr:              c.nodeAddr(label),
+		Space:             c.opts.Space,
+		Transport:         c.newTransport(label),
+		Seeds:             c.seeds,
+		Strategy:          c.opts.Strategy,
+		Policy:            c.opts.Policy,
+		GossipInterval:    c.opts.GossipInterval,
+		FailAfter:         c.opts.FailAfter,
+		RecoveryDelay:     c.opts.RecoveryDelay,
+		Persistent:        c.opts.Persistent,
+		RetryInterval:     c.opts.RetryInterval,
+		ForwardLinger:     c.opts.ForwardLinger,
+		ForwardBatchCount: c.opts.ForwardBatchCount,
+		ForwardBatchBytes: c.opts.ForwardBatchBytes,
+		Generation:        1,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,151 @@
+package dispatcher
+
+import (
+	"sync"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// forwardBatcher coalesces forwarded publications per destination matcher
+// into ForwardBatch frames (the publish-path batching of the perf work): a
+// destination's buffer is flushed when it reaches the count or byte
+// threshold, or at the latest after the linger interval, amortizing the
+// per-frame header, syscall and handler costs across the batch.
+type forwardBatcher struct {
+	d          *Dispatcher
+	maxCount   int
+	maxBytes   int
+	sendCopies bool
+
+	mu      sync.Mutex
+	pending map[core.NodeID]*destBatch
+	free    [][]wire.ForwardEntry // recycled entry slices (bounded)
+}
+
+// destBatch is the open batch for one destination matcher.
+type destBatch struct {
+	addr    string
+	entries []wire.ForwardEntry
+	bytes   int // encoded-size estimate of entries
+}
+
+func newForwardBatcher(d *Dispatcher) *forwardBatcher {
+	return &forwardBatcher{
+		d:          d,
+		maxCount:   d.cfg.ForwardBatchCount,
+		maxBytes:   d.cfg.ForwardBatchBytes,
+		sendCopies: transport.SendCopies(d.cfg.Transport),
+		pending:    make(map[core.NodeID]*destBatch),
+	}
+}
+
+// add buffers one publication for node (listening at addr). The message is
+// either flushed inline (threshold reached) or by the linger loop.
+func (b *forwardBatcher) add(node core.NodeID, addr string, dim int, msg *core.Message) {
+	e := wire.ForwardEntry{Dim: dim, Msg: msg}
+	sz := e.EncodedSize()
+	b.mu.Lock()
+	db := b.pending[node]
+	if db == nil {
+		db = &destBatch{}
+		b.pending[node] = db
+	}
+	db.addr = addr // track the freshest known address
+	if db.entries == nil {
+		db.entries = b.takeEntriesLocked()
+	}
+	db.entries = append(db.entries, e)
+	db.bytes += sz
+	var flush []wire.ForwardEntry
+	if len(db.entries) >= b.maxCount || db.bytes+4 >= b.maxBytes {
+		flush = db.entries
+		db.entries = nil
+		db.bytes = 0
+	}
+	b.mu.Unlock()
+	if flush != nil {
+		b.send(addr, flush)
+	}
+}
+
+// flushAll ships every open batch (linger expiry and shutdown).
+func (b *forwardBatcher) flushAll() {
+	type out struct {
+		addr    string
+		entries []wire.ForwardEntry
+	}
+	b.mu.Lock()
+	var outs []out
+	for _, db := range b.pending {
+		if len(db.entries) == 0 {
+			continue
+		}
+		outs = append(outs, out{addr: db.addr, entries: db.entries})
+		db.entries = nil
+		db.bytes = 0
+	}
+	b.mu.Unlock()
+	for _, o := range outs {
+		b.send(o.addr, o.entries)
+	}
+}
+
+// send encodes one ForwardBatch frame and ships it, recycling the encode
+// buffer on copying transports and the entry slice always.
+func (b *forwardBatcher) send(addr string, entries []wire.ForwardEntry) {
+	body := wire.ForwardBatchBody{Entries: entries}
+	env := &wire.Envelope{Kind: wire.KindForwardBatch, From: b.d.cfg.ID}
+	if b.sendCopies {
+		buf := wire.GetBuf()
+		buf.B = body.AppendTo(buf.B)
+		env.Body = buf.B
+		_ = b.d.cfg.Transport.Send(addr, env)
+		wire.PutBuf(buf)
+	} else {
+		env.Body = body.Encode()
+		_ = b.d.cfg.Transport.Send(addr, env)
+	}
+	b.d.ForwardBatches.Add(1)
+	b.mu.Lock()
+	b.putEntriesLocked(entries)
+	b.mu.Unlock()
+}
+
+// takeEntriesLocked reuses a recycled entry slice when one is available.
+func (b *forwardBatcher) takeEntriesLocked() []wire.ForwardEntry {
+	if n := len(b.free); n > 0 {
+		es := b.free[n-1]
+		b.free = b.free[:n-1]
+		return es
+	}
+	return make([]wire.ForwardEntry, 0, b.maxCount)
+}
+
+// putEntriesLocked clears message references and keeps the slice for reuse.
+func (b *forwardBatcher) putEntriesLocked(entries []wire.ForwardEntry) {
+	if len(b.free) >= 8 {
+		return
+	}
+	clear(entries)
+	b.free = append(b.free, entries[:0])
+}
+
+// lingerLoop flushes open batches every linger interval until the dispatcher
+// stops, then performs a final flush so buffered publications are not lost.
+func (d *Dispatcher) lingerLoop(linger time.Duration) {
+	defer d.wg.Done()
+	ticker := time.NewTicker(linger)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			d.batcher.flushAll()
+			return
+		case <-ticker.C:
+			d.batcher.flushAll()
+		}
+	}
+}

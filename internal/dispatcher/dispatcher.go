@@ -69,6 +69,22 @@ type Config struct {
 	// MaxInflight bounds retained unacked messages; beyond it new messages
 	// fall back to best-effort forwarding (default 65536).
 	MaxInflight int
+	// ForwardLinger, when positive, enables publication batching on the
+	// forward path: publications headed to the same matcher are coalesced
+	// into ForwardBatch frames, flushed when a batch reaches
+	// ForwardBatchCount messages or ForwardBatchBytes encoded bytes, or at
+	// the latest after this interval (~1ms is a good starting point). Zero
+	// (the default) forwards every publication in its own frame immediately,
+	// preserving the unbatched latency profile. With batching on, transport
+	// errors surface at flush time, after forwardOnce has reported success;
+	// enable Persistent when that delivery gap matters.
+	ForwardLinger time.Duration
+	// ForwardBatchCount flushes a destination's batch at this many messages
+	// (default 64; only meaningful with ForwardLinger > 0).
+	ForwardBatchCount int
+	// ForwardBatchBytes flushes a destination's batch at this encoded size
+	// (default 256 KiB; only meaningful with ForwardLinger > 0).
+	ForwardBatchBytes int
 	// Generation is the gossip incarnation (default: boot time).
 	Generation uint64
 	// Now supplies the clock (default time.Now).
@@ -105,6 +121,12 @@ func (c *Config) defaults() error {
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 65536
 	}
+	if c.ForwardBatchCount <= 0 {
+		c.ForwardBatchCount = 64
+	}
+	if c.ForwardBatchBytes <= 0 {
+		c.ForwardBatchBytes = 256 << 10
+	}
 	if c.Seed == 0 {
 		c.Seed = int64(c.ID) * 40503
 	}
@@ -140,6 +162,10 @@ type Dispatcher struct {
 	// inflight retains unacked forwards for retransmission (persistence).
 	inflight map[core.MessageID]*inflightMsg
 
+	// batcher coalesces forwards per destination (nil when ForwardLinger
+	// is zero — the unbatched default).
+	batcher *forwardBatcher
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 
@@ -153,6 +179,9 @@ type Dispatcher struct {
 	PullBytes metrics.Counter
 	// Retransmits counts persistence re-forwards of unacked messages.
 	Retransmits metrics.Counter
+	// ForwardBatches counts ForwardBatch frames sent (batching enabled);
+	// Forwarded / ForwardBatches is the achieved amortization factor.
+	ForwardBatches metrics.Counter
 }
 
 // inflightMsg is one retained unacked publication.
@@ -223,6 +252,11 @@ func (d *Dispatcher) Start() error {
 	if d.cfg.Persistent {
 		d.wg.Add(1)
 		go d.retransmitLoop()
+	}
+	if d.cfg.ForwardLinger > 0 {
+		d.batcher = newForwardBatcher(d)
+		d.wg.Add(1)
+		go d.lingerLoop(d.cfg.ForwardLinger)
 	}
 	return nil
 }
@@ -326,6 +360,13 @@ func (d *Dispatcher) handle(env *wire.Envelope) *wire.Envelope {
 			d.queues.Push(b.Subscriber, *b)
 		}
 		return nil
+	case wire.KindDeliverBatch:
+		if b, err := wire.DecodeDeliverBatch(env.Body); err == nil {
+			for i := range b.Deliveries {
+				d.queues.Push(b.Deliveries[i].Subscriber, b.Deliveries[i])
+			}
+		}
+		return nil
 	case wire.KindPoll:
 		b, err := wire.DecodePoll(env.Body)
 		if err != nil {
@@ -338,6 +379,15 @@ func (d *Dispatcher) handle(env *wire.Envelope) *wire.Envelope {
 		if b, err := wire.DecodeForwardAck(env.Body); err == nil {
 			d.mu.Lock()
 			delete(d.inflight, b.ID)
+			d.mu.Unlock()
+		}
+		return nil
+	case wire.KindForwardAckBatch:
+		if b, err := wire.DecodeForwardAckBatch(env.Body); err == nil {
+			d.mu.Lock()
+			for _, id := range b.IDs {
+				delete(d.inflight, id)
+			}
 			d.mu.Unlock()
 		}
 		return nil
@@ -462,21 +512,26 @@ func (d *Dispatcher) forwardOnce(t *partition.Table, msg *core.Message,
 		if !ok {
 			continue
 		}
-		body := (&wire.ForwardBody{Dim: c.Dim, Msg: msg}).Encode()
-		if d.cfg.Transport.Send(addr, &wire.Envelope{Kind: wire.KindForward, From: d.cfg.ID, Body: body}) == nil {
-			d.mu.Lock()
-			p, ok := d.pending[c.Node]
-			if !ok || len(p) != d.cfg.Space.K() {
-				p = make([]int, d.cfg.Space.K())
-				d.pending[c.Node] = p
+		if d.batcher != nil {
+			d.batcher.add(c.Node, addr, c.Dim, msg)
+		} else {
+			body := (&wire.ForwardBody{Dim: c.Dim, Msg: msg}).Encode()
+			if d.cfg.Transport.Send(addr, &wire.Envelope{Kind: wire.KindForward, From: d.cfg.ID, Body: body}) != nil {
+				continue
 			}
-			if c.Dim < len(p) {
-				p[c.Dim]++
-			}
-			d.mu.Unlock()
-			d.Forwarded.Add(1)
-			return true, c.Node
 		}
+		d.mu.Lock()
+		p, ok := d.pending[c.Node]
+		if !ok || len(p) != d.cfg.Space.K() {
+			p = make([]int, d.cfg.Space.K())
+			d.pending[c.Node] = p
+		}
+		if c.Dim < len(p) {
+			p[c.Dim]++
+		}
+		d.mu.Unlock()
+		d.Forwarded.Add(1)
+		return true, c.Node
 	}
 	return false, 0
 }

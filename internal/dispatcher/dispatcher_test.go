@@ -29,6 +29,12 @@ type harness struct {
 
 func newHarness(t *testing.T, matcherAddrs ...string) *harness {
 	t.Helper()
+	return newHarnessWith(t, nil, matcherAddrs...)
+}
+
+// newHarnessWith is newHarness with a config hook applied before New.
+func newHarnessWith(t *testing.T, mutate func(*Config), matcherAddrs ...string) *harness {
+	t.Helper()
 	h := &harness{mesh: transport.NewMesh(0), recv: make(map[string][]*wire.Envelope)}
 	for i, addr := range matcherAddrs {
 		addr := addr
@@ -59,7 +65,7 @@ func newHarness(t *testing.T, matcherAddrs ...string) *harness {
 			t.Fatal(err)
 		}
 	}
-	d, err := New(Config{
+	cfg := Config{
 		ID:             100,
 		Addr:           "d1",
 		Space:          testSpace,
@@ -68,7 +74,11 @@ func newHarness(t *testing.T, matcherAddrs ...string) *harness {
 		RecoveryDelay:  100 * time.Millisecond,
 		FailAfter:      300 * time.Millisecond,
 		Generation:     1,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,189 @@
+package matcher
+
+import (
+	"sync"
+
+	"bluedove/internal/core"
+	"bluedove/internal/index"
+	"bluedove/internal/wire"
+)
+
+// maxDeliverBatchBytes caps one DeliverBatch frame's encoded size; a chain of
+// deliveries to one address larger than this is split across frames (well
+// under wire.MaxFrame so decode never rejects what we produce).
+const maxDeliverBatchBytes = 1 << 20
+
+// delEntry is one pending delivery being assembled: the destination address
+// and the body, chained (via next) to the other deliveries for the same
+// address so batch flushing needs no per-address slices.
+type delEntry struct {
+	addr string
+	next int // index of the next delEntry with the same addr; -1 at the tail
+	body wire.DeliverBody
+}
+
+// addrChain is the head/tail of one address's delEntry chain.
+type addrChain struct{ head, tail int }
+
+// matchScratch holds the per-call working state of the matching hot path.
+// Pooled so steady-state matching allocates nothing: the Match destination
+// slice, the per-subscriber grouping map, the delivery list (with SubIDs
+// backing arrays), and the batch assembly buffers are all reused.
+type matchScratch struct {
+	dst    []*core.Subscription
+	perSub map[core.SubscriberID]int // subscriber → index into dels, per message
+	dels   []delEntry
+	chains map[string]addrChain
+	batch  wire.DeliverBatchBody
+	ackIDs []core.MessageID
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &matchScratch{
+		perSub: make(map[core.SubscriberID]int, 16),
+		chains: make(map[string]addrChain, 8),
+	}
+}}
+
+func getScratch() *matchScratch { return scratchPool.Get().(*matchScratch) }
+
+// putScratch drops all object references (so pooling does not pin messages
+// or subscriptions past their useful life) and returns sc to the pool.
+func putScratch(sc *matchScratch) {
+	clear(sc.dst)
+	sc.dst = sc.dst[:0]
+	clear(sc.perSub)
+	for i := range sc.dels {
+		d := &sc.dels[i]
+		d.addr = ""
+		d.body.Msg = nil
+		d.body.SubIDs = d.body.SubIDs[:0]
+	}
+	sc.dels = sc.dels[:0]
+	clear(sc.chains)
+	clear(sc.batch.Deliveries)
+	sc.batch.Deliveries = sc.batch.Deliveries[:0]
+	sc.ackIDs = sc.ackIDs[:0]
+	scratchPool.Put(sc)
+}
+
+// addDelivery starts a new delivery for (addr, sub, msg), reusing a previous
+// entry's SubIDs capacity when available, and records it in perSub.
+func (sc *matchScratch) addDelivery(addr string, sub core.SubscriberID, msg *core.Message) int {
+	i := len(sc.dels)
+	if i < cap(sc.dels) {
+		sc.dels = sc.dels[:i+1]
+		d := &sc.dels[i]
+		d.addr = addr
+		d.body.Subscriber = sub
+		d.body.Msg = msg
+		d.body.SubIDs = d.body.SubIDs[:0]
+	} else {
+		sc.dels = append(sc.dels, delEntry{
+			addr: addr,
+			body: wire.DeliverBody{Subscriber: sub, Msg: msg},
+		})
+	}
+	sc.perSub[sub] = i
+	return i
+}
+
+// deliverEncodedSize returns the encoded size of one DeliverBody inside a
+// DeliverBatch frame (subscriber + message + id list).
+func deliverEncodedSize(d *wire.DeliverBody) int {
+	return 8 + 8 + 8 + 2 + 8*len(d.Msg.Attrs) + 4 + len(d.Msg.Payload) + 4 + 8*len(d.SubIDs)
+}
+
+// enqueueBatch fans a decoded ForwardBatch out to the dimension stages: one
+// forwardItem per dimension carrying that dimension's share of the batch.
+func (m *Matcher) enqueueBatch(b *wire.ForwardBatchBody, from core.NodeID) {
+	perDim := make([][]*core.Message, len(m.dims))
+	for _, e := range b.Entries {
+		if e.Dim < 0 || e.Dim >= len(m.dims) || e.Msg == nil {
+			continue
+		}
+		perDim[e.Dim] = append(perDim[e.Dim], e.Msg)
+	}
+	for d, msgs := range perDim {
+		if len(msgs) == 0 {
+			continue
+		}
+		if m.dims[d].stage.Enqueue(forwardItem{msgs: msgs, from: from}) != nil {
+			m.Dropped.Add(int64(len(msgs)))
+		}
+	}
+}
+
+// matchBatch matches a batch of forwarded messages against the dimension's
+// set under one index lock acquisition, coalesces the resulting deliveries
+// per destination address into DeliverBatch frames, and acknowledges the
+// whole batch with one ForwardAckBatch.
+func (m *Matcher) matchBatch(ds *dimSet, dim int, it forwardItem) {
+	sc := getScratch()
+	ds.mu.RLock()
+	for _, msg := range it.msgs {
+		matched, _ := index.Match(ds.idx, msg, sc.dst[:0])
+		sc.dst = matched
+		for _, s := range matched {
+			i, ok := sc.perSub[s.Subscriber]
+			if !ok {
+				i = sc.addDelivery(ds.addrs[s.ID], s.Subscriber, msg)
+			}
+			sc.dels[i].body.SubIDs = append(sc.dels[i].body.SubIDs, s.ID)
+		}
+		clear(sc.perSub) // per-subscriber grouping is per message
+	}
+	ds.mu.RUnlock()
+	m.Processed.Add(int64(len(it.msgs)))
+
+	// Chain deliveries by destination address.
+	for i := range sc.dels {
+		d := &sc.dels[i]
+		d.next = -1
+		if c, ok := sc.chains[d.addr]; ok {
+			sc.dels[c.tail].next = i
+			c.tail = i
+			sc.chains[d.addr] = c
+		} else {
+			sc.chains[d.addr] = addrChain{head: i, tail: i}
+		}
+	}
+
+	// Flush one DeliverBatch frame per address (split if oversized).
+	for addr, c := range sc.chains {
+		sc.batch.Deliveries = sc.batch.Deliveries[:0]
+		size := 4
+		for i := c.head; i != -1; i = sc.dels[i].next {
+			d := &sc.dels[i]
+			n := int64(len(d.body.SubIDs))
+			m.Matched.Add(n)
+			if addr == "" {
+				continue // nowhere to deliver (registered without an address)
+			}
+			m.Delivered.Add(n)
+			esz := deliverEncodedSize(&d.body)
+			if size+esz > maxDeliverBatchBytes && len(sc.batch.Deliveries) > 0 {
+				m.send(addr, wire.KindDeliverBatch, &sc.batch)
+				sc.batch.Deliveries = sc.batch.Deliveries[:0]
+				size = 4
+			}
+			sc.batch.Deliveries = append(sc.batch.Deliveries, d.body)
+			size += esz
+		}
+		if len(sc.batch.Deliveries) > 0 {
+			m.send(addr, wire.KindDeliverBatch, &sc.batch)
+		}
+	}
+
+	if it.from != 0 {
+		if addr, ok := m.gsp.AddrOf(it.from); ok {
+			sc.ackIDs = sc.ackIDs[:0]
+			for _, msg := range it.msgs {
+				sc.ackIDs = append(sc.ackIDs, msg.ID)
+			}
+			ack := wire.ForwardAckBatchBody{IDs: sc.ackIDs}
+			m.send(addr, wire.KindForwardAckBatch, &ack)
+		}
+	}
+	putScratch(sc)
+}

@@ -1,0 +1,85 @@
+package matcher
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// nullTransport discards sends; it reports SendCopies so the matching hot
+// path exercises its pooled-buffer branch, as it would over TCP.
+type nullTransport struct{}
+
+func (nullTransport) Listen(addr string, h transport.Handler) (string, error) {
+	return addr, nil
+}
+func (nullTransport) Send(string, *wire.Envelope) error { return nil }
+func (nullTransport) Request(string, *wire.Envelope, time.Duration) (*wire.Envelope, error) {
+	return nil, fmt.Errorf("null transport")
+}
+func (nullTransport) Close() error     { return nil }
+func (nullTransport) SendCopies() bool { return true }
+
+// benchMatcher builds an unstarted matcher with subs stored subscriptions on
+// dimension 0, each covering a distinct 10-wide band of subscriber space so a
+// given message matches a handful of them.
+func benchMatcher(b *testing.B, subs int) *Matcher {
+	b.Helper()
+	m, err := New(Config{
+		ID: 1, Addr: "bench", Space: testSpace, Transport: nullTransport{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < subs; i++ {
+		lo := float64(i % 90)
+		s := core.NewSubscription(core.SubscriberID(i+1),
+			[]core.Range{{Low: lo, High: lo + 10}, {Low: 0, High: 100}})
+		s.ID = core.SubscriptionID(i + 1)
+		m.store(0, s, "sink")
+		_ = s
+	}
+	return m
+}
+
+func benchMessages(n int) []*core.Message {
+	msgs := make([]*core.Message, n)
+	for i := range msgs {
+		msgs[i] = core.NewMessage([]float64{float64(i % 100), 50}, []byte("payload"))
+		msgs[i].ID = core.MessageID(i + 1)
+	}
+	return msgs
+}
+
+// BenchmarkMatchOne is the unbatched hot path: one stage item per message,
+// one Deliver frame per matched subscriber.
+func BenchmarkMatchOne(b *testing.B) {
+	m := benchMatcher(b, 1000)
+	ds := m.dims[0]
+	msgs := benchMessages(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.matchOne(ds, 0, forwardItem{msg: msgs[i%len(msgs)]})
+	}
+}
+
+// BenchmarkMatchBatch64 is the batched hot path: 64 messages per stage item,
+// one lock acquisition and coalesced DeliverBatch frames. Reported per
+// message for direct comparison with BenchmarkMatchOne.
+func BenchmarkMatchBatch64(b *testing.B) {
+	m := benchMatcher(b, 1000)
+	ds := m.dims[0]
+	msgs := benchMessages(256)
+	const batch = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		lo := i % (len(msgs) - batch)
+		m.matchBatch(ds, 0, forwardItem{msgs: msgs[lo : lo+batch]})
+	}
+}

@@ -118,8 +118,19 @@ type Matcher struct {
 	lastReport []forward.DimLoad
 	reported   bool
 
-	// Matched counts subscriptions matched (deliveries attempted).
+	// sendCopies reports whether the transport copies bodies on Send, so
+	// pooled encode buffers may be recycled immediately (see
+	// transport.Copying).
+	sendCopies bool
+
+	// Matched counts subscriptions matched (deliveries attempted, whether or
+	// not a delivery address was known).
 	Matched metrics.Counter
+	// Delivered counts matched subscriptions actually sent a delivery.
+	// Matched - Delivered is the undeliverable residue (subscriptions
+	// registered without an address); throughput numbers must use Delivered
+	// so they are not inflated by matches that never left the matcher.
+	Delivered metrics.Counter
 	// Processed counts messages matched (stage completions).
 	Processed metrics.Counter
 	// Dropped counts forwarded messages rejected by stage backpressure.
@@ -133,7 +144,8 @@ func New(cfg Config) (*Matcher, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	m := &Matcher{cfg: cfg, stop: make(chan struct{})}
+	m := &Matcher{cfg: cfg, stop: make(chan struct{}),
+		sendCopies: transport.SendCopies(cfg.Transport)}
 	k := cfg.Space.K()
 	m.dims = make([]*dimSet, k)
 	for i := 0; i < k; i++ {
@@ -182,7 +194,7 @@ func (m *Matcher) Start() error {
 		set := ds
 		set.stage = newSedaStage(fmt.Sprintf("%v-dim%d", m.cfg.ID, dim),
 			m.cfg.QueueDepth, m.cfg.WorkersPerDim, m.cfg.Now,
-			func(it forwardItem) { m.matchOne(set, dim, it) })
+			func(it forwardItem) { m.matchItem(set, dim, it) })
 	}
 	g.Start()
 	m.wg.Add(2)
@@ -232,6 +244,13 @@ func (m *Matcher) handle(env *wire.Envelope) *wire.Envelope {
 		if m.dims[b.Dim].stage.Enqueue(forwardItem{msg: b.Msg, from: env.From}) != nil {
 			m.Dropped.Add(1)
 		}
+		return nil
+	case wire.KindForwardBatch:
+		b, err := wire.DecodeForwardBatch(env.Body)
+		if err != nil {
+			return nil
+		}
+		m.enqueueBatch(b, env.From)
 		return nil
 	case wire.KindTransfer:
 		b, err := wire.DecodeTransfer(env.Body)
@@ -294,42 +313,72 @@ func (m *Matcher) SubsOnDim(dim int) int {
 	return ds.idx.Len()
 }
 
+// matchItem is the dimension stage handler, dispatching to the single or
+// batched matching path.
+func (m *Matcher) matchItem(ds *dimSet, dim int, it forwardItem) {
+	if it.msgs != nil {
+		m.matchBatch(ds, dim, it)
+		return
+	}
+	m.matchOne(ds, dim, it)
+}
+
 // matchOne matches one forwarded message against the dimension's set,
-// delivers to each matched subscriber, and acknowledges the forwarding
-// dispatcher (which retransmits unacked messages when persistence is on).
+// delivers to each matched subscriber (one Deliver frame per subscriber —
+// the message-per-frame semantics of the unbatched path), and acknowledges
+// the forwarding dispatcher (which retransmits unacked messages when
+// persistence is on).
 func (m *Matcher) matchOne(ds *dimSet, dim int, it forwardItem) {
 	msg := it.msg
-	type target struct {
-		addr string
-		subs []core.SubscriptionID
-	}
-	perSubscriber := make(map[core.SubscriberID]*target)
+	sc := getScratch()
 	ds.mu.RLock()
-	matched, _ := index.Match(ds.idx, msg, nil)
+	matched, _ := index.Match(ds.idx, msg, sc.dst[:0])
+	sc.dst = matched
 	for _, s := range matched {
-		tg := perSubscriber[s.Subscriber]
-		if tg == nil {
-			tg = &target{addr: ds.addrs[s.ID]}
-			perSubscriber[s.Subscriber] = tg
+		i, ok := sc.perSub[s.Subscriber]
+		if !ok {
+			i = sc.addDelivery(ds.addrs[s.ID], s.Subscriber, msg)
 		}
-		tg.subs = append(tg.subs, s.ID)
+		sc.dels[i].body.SubIDs = append(sc.dels[i].body.SubIDs, s.ID)
 	}
 	ds.mu.RUnlock()
 	m.Processed.Add(1)
-	for sub, tg := range perSubscriber {
-		m.Matched.Add(int64(len(tg.subs)))
-		if tg.addr == "" {
+	for i := range sc.dels {
+		d := &sc.dels[i]
+		m.Matched.Add(int64(len(d.body.SubIDs)))
+		if d.addr == "" {
 			continue // nowhere to deliver (registered without an address)
 		}
-		body := (&wire.DeliverBody{Subscriber: sub, Msg: msg, SubIDs: tg.subs}).Encode()
-		_ = m.cfg.Transport.Send(tg.addr, &wire.Envelope{Kind: wire.KindDeliver, From: m.cfg.ID, Body: body})
+		m.Delivered.Add(int64(len(d.body.SubIDs)))
+		m.send(d.addr, wire.KindDeliver, &d.body)
 	}
+	putScratch(sc)
 	if it.from != 0 {
 		if addr, ok := m.gsp.AddrOf(it.from); ok {
-			ack := (&wire.ForwardAckBody{ID: msg.ID}).Encode()
-			_ = m.cfg.Transport.Send(addr, &wire.Envelope{Kind: wire.KindForwardAck, From: m.cfg.ID, Body: ack})
+			m.send(addr, wire.KindForwardAck, &wire.ForwardAckBody{ID: msg.ID})
 		}
 	}
+}
+
+// appendBody is any wire body that can encode itself into a scratch buffer.
+type appendBody interface {
+	AppendTo(buf []byte) []byte
+	Encode() []byte
+}
+
+// send encodes body and ships it, recycling the encode buffer when the
+// transport copies on Send (TCP); on retaining transports (the in-process
+// mesh) the body is encoded into a fresh allocation instead so pooled bytes
+// never escape into a delivered message.
+func (m *Matcher) send(addr string, kind wire.Kind, body appendBody) {
+	if m.sendCopies {
+		buf := wire.GetBuf()
+		buf.B = body.AppendTo(buf.B)
+		_ = m.cfg.Transport.Send(addr, &wire.Envelope{Kind: kind, From: m.cfg.ID, Body: buf.B})
+		wire.PutBuf(buf)
+		return
+	}
+	_ = m.cfg.Transport.Send(addr, &wire.Envelope{Kind: kind, From: m.cfg.ID, Body: body.Encode()})
 }
 
 // handover ships every subscription overlapping the handed-over range to
@@ -376,7 +425,7 @@ func (m *Matcher) LoadSnapshot() []forward.DimLoad {
 		}
 		out[i] = forward.DimLoad{
 			Subs:        subs,
-			QueueLen:    ds.stage.Len(),
+			QueueLen:    ds.stage.EventLen(),
 			ArrivalRate: ds.stage.ArrivalRate(),
 			MatchRate:   ds.stage.ServiceCapacity(),
 			ReportedAt:  now,

@@ -5,18 +5,34 @@ import (
 	"bluedove/internal/seda"
 )
 
-// forwardItem is one forwarded publication plus its forwarding dispatcher
+// forwardItem is one unit of work for a dimension stage: either a single
+// forwarded publication (message-per-frame path) or a batch of publications
+// that arrived in one ForwardBatch frame, plus the forwarding dispatcher
 // (acked back to it by the persistence extension).
 type forwardItem struct {
-	msg  *core.Message
+	msg  *core.Message   // single publication; nil on the batched path
+	msgs []*core.Message // batched publications; nil on the single path
 	from core.NodeID
 }
 
+// count returns the number of publications the item carries.
+func (it forwardItem) count() int64 {
+	if it.msgs != nil {
+		return int64(len(it.msgs))
+	}
+	return 1
+}
+
 // sedaStage is the per-dimension matching stage: a bounded SEDA queue of
-// forwarded publications.
+// forwarded publications (single or batched).
 type sedaStage = seda.Stage[forwardItem]
 
-// newSedaStage builds and starts one dimension stage.
+// newSedaStage builds and starts one dimension stage. Items are weighted by
+// the number of publications they carry so λ, μ and queue lengths stay in
+// per-message units under batching.
 func newSedaStage(name string, depth, workers int, now func() int64, fn func(forwardItem)) *sedaStage {
-	return seda.New(seda.Config{Name: name, Depth: depth, Workers: workers, Now: now}, fn)
+	return seda.New(seda.Config[forwardItem]{
+		Name: name, Depth: depth, Workers: workers, Now: now,
+		Weight: forwardItem.count,
+	}, fn)
 }

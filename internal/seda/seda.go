@@ -32,6 +32,7 @@ type Stage[T any] struct {
 	queue   chan T
 	workers int
 	handler func(T)
+	weight  func(T) int64
 
 	mu      sync.Mutex
 	stopped bool
@@ -41,11 +42,12 @@ type Stage[T any] struct {
 	serviceEWMA atomic.Uint64 // float64 bits, smoothed ns/item
 	processed   metrics.Counter
 	dropped     metrics.Counter
+	backlog     atomic.Int64 // weighted events enqueued but not yet completed
 	now         func() int64
 }
 
 // Config parameterizes a stage.
-type Config struct {
+type Config[T any] struct {
 	// Name labels the stage in diagnostics.
 	Name string
 	// Depth is the queue capacity (default 65536).
@@ -56,10 +58,17 @@ type Config struct {
 	RateWindow time.Duration
 	// Now supplies the clock (default time.Now).
 	Now func() int64
+	// Weight, when set, reports how many logical events one item carries
+	// (a batch of n messages weighs n). λ, μ and the processed counter are
+	// then kept in per-event units — a stage draining 100-message batches
+	// reports the same rates as one draining 100 single messages — so the
+	// adaptive forwarding policy's extrapolation stays correct under
+	// batching. Default: every item weighs 1.
+	Weight func(T) int64
 }
 
 // New builds and starts a stage processing items with fn.
-func New[T any](cfg Config, fn func(T)) *Stage[T] {
+func New[T any](cfg Config[T], fn func(T)) *Stage[T] {
 	if cfg.Depth <= 0 {
 		cfg.Depth = 65536
 	}
@@ -77,6 +86,7 @@ func New[T any](cfg Config, fn func(T)) *Stage[T] {
 		queue:    make(chan T, cfg.Depth),
 		workers:  cfg.Workers,
 		handler:  fn,
+		weight:   cfg.Weight,
 		arrivals: metrics.NewRateMeter(cfg.RateWindow, 8),
 		now:      cfg.Now,
 	}
@@ -90,11 +100,25 @@ func New[T any](cfg Config, fn func(T)) *Stage[T] {
 func (s *Stage[T]) work() {
 	defer s.wg.Done()
 	for item := range s.queue {
+		w := s.weightOf(item)
 		start := s.now()
 		s.handler(item)
-		s.observeService(float64(s.now() - start))
-		s.processed.Add(1)
+		// Per-event service time: a batch's wall time divided by its weight,
+		// so μ stays in events/second.
+		s.observeService(float64(s.now()-start) / float64(w))
+		s.processed.Add(w)
+		s.backlog.Add(-w)
 	}
+}
+
+func (s *Stage[T]) weightOf(item T) int64 {
+	if s.weight == nil {
+		return 1
+	}
+	if w := s.weight(item); w > 0 {
+		return w
+	}
+	return 1
 }
 
 // observeService folds one service time into the EWMA.
@@ -128,11 +152,13 @@ func (s *Stage[T]) Enqueue(item T) error {
 	}
 	select {
 	case s.queue <- item:
-		s.arrivals.Mark(s.now(), 1)
+		w := s.weightOf(item)
+		s.arrivals.Mark(s.now(), w)
+		s.backlog.Add(w)
 		s.mu.Unlock()
 		return nil
 	default:
-		s.dropped.Add(1)
+		s.dropped.Add(s.weightOf(item))
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrOverflow, s.name)
 	}
@@ -152,8 +178,20 @@ func (s *Stage[T]) Stop() {
 	s.wg.Wait()
 }
 
-// Len returns the current queue length.
+// Len returns the current queue length in items (a batch counts as one).
 func (s *Stage[T]) Len() int { return len(s.queue) }
+
+// EventLen returns the weighted backlog: logical events enqueued but not
+// yet completed. With batching this is the queue length the adaptive
+// forwarding policy must see (a queue of 2 batches × 64 messages is a
+// backlog of 128, not 2).
+func (s *Stage[T]) EventLen() int {
+	n := s.backlog.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
 
 // Processed returns the number of items completed.
 func (s *Stage[T]) Processed() int64 { return s.processed.Value() }

@@ -10,7 +10,7 @@ import (
 
 func TestProcessesAllItems(t *testing.T) {
 	var sum atomic.Int64
-	s := New(Config{Name: "t", Workers: 4}, func(v int) { sum.Add(int64(v)) })
+	s := New(Config[int]{Name: "t", Workers: 4}, func(v int) { sum.Add(int64(v)) })
 	want := int64(0)
 	for i := 1; i <= 1000; i++ {
 		if err := s.Enqueue(i); err != nil {
@@ -33,7 +33,7 @@ func TestProcessesAllItems(t *testing.T) {
 func TestSingleWorkerPreservesOrder(t *testing.T) {
 	var mu sync.Mutex
 	var got []int
-	s := New(Config{Workers: 1}, func(v int) {
+	s := New(Config[int]{Workers: 1}, func(v int) {
 		mu.Lock()
 		got = append(got, v)
 		mu.Unlock()
@@ -53,7 +53,7 @@ func TestSingleWorkerPreservesOrder(t *testing.T) {
 
 func TestBackpressure(t *testing.T) {
 	block := make(chan struct{})
-	s := New(Config{Depth: 4, Workers: 1}, func(int) { <-block })
+	s := New(Config[int]{Depth: 4, Workers: 1}, func(int) { <-block })
 	defer func() { close(block); s.Stop() }()
 	// 1 in service + 4 queued fit; the next overflows.
 	overflowed := false
@@ -76,7 +76,7 @@ func TestBackpressure(t *testing.T) {
 }
 
 func TestEnqueueAfterStop(t *testing.T) {
-	s := New(Config{}, func(int) {})
+	s := New(Config[int]{}, func(int) {})
 	s.Stop()
 	if err := s.Enqueue(1); !errors.Is(err, ErrStopped) {
 		t.Fatalf("err = %v, want ErrStopped", err)
@@ -87,7 +87,7 @@ func TestEnqueueAfterStop(t *testing.T) {
 func TestMeters(t *testing.T) {
 	now := int64(0)
 	clock := func() int64 { return atomic.LoadInt64(&now) }
-	s := New(Config{Workers: 2, Now: clock}, func(int) {
+	s := New(Config[int]{Workers: 2, Now: clock}, func(int) {
 		atomic.AddInt64(&now, int64(10*time.Millisecond)) // simulated work
 	})
 	if s.ServiceCapacity() != 0 {
@@ -121,7 +121,7 @@ func TestMeters(t *testing.T) {
 
 func TestLen(t *testing.T) {
 	block := make(chan struct{})
-	s := New(Config{Depth: 100, Workers: 1}, func(int) { <-block })
+	s := New(Config[int]{Depth: 100, Workers: 1}, func(int) { <-block })
 	for i := 0; i < 10; i++ {
 		s.Enqueue(i)
 	}
@@ -138,7 +138,7 @@ func TestLen(t *testing.T) {
 
 func TestConcurrentEnqueue(t *testing.T) {
 	var count atomic.Int64
-	s := New(Config{Depth: 100000, Workers: 4}, func(int) { count.Add(1) })
+	s := New(Config[int]{Depth: 100000, Workers: 4}, func(int) { count.Add(1) })
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -155,5 +155,63 @@ func TestConcurrentEnqueue(t *testing.T) {
 	s.Stop()
 	if count.Load() != 16000 {
 		t.Fatalf("processed %d, want 16000", count.Load())
+	}
+}
+
+func TestWeightedItems(t *testing.T) {
+	var sum atomic.Int64
+	s := New(Config[int]{Workers: 1, Weight: func(v int) int64 { return int64(v) }},
+		func(v int) { sum.Add(int64(v)) })
+	for i := 0; i < 4; i++ {
+		if err := s.Enqueue(8); err != nil { // four "batches" of 8 events each
+			t.Fatal(err)
+		}
+	}
+	s.Stop()
+	if sum.Load() != 32 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	if got := s.Processed(); got != 32 {
+		t.Errorf("Processed() = %d, want 32 (weighted)", got)
+	}
+	if got := s.EventLen(); got != 0 {
+		t.Errorf("EventLen() = %d after drain", got)
+	}
+	if got := s.Dropped(); got != 0 {
+		t.Errorf("Dropped() = %d", got)
+	}
+}
+
+func TestWeightedBacklogAndDrops(t *testing.T) {
+	block := make(chan struct{})
+	s := New(Config[int]{Depth: 2, Workers: 1, Weight: func(v int) int64 { return int64(v) }},
+		func(int) { <-block })
+	// First item is picked up by the worker (and blocks in the handler);
+	// two more fill the queue.
+	if err := s.Enqueue(10); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Len() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond) // let the worker pick up the first item
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Enqueue(10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 || s.EventLen() != 30 {
+		t.Fatalf("Len=%d EventLen=%d, want 2/30", s.Len(), s.EventLen())
+	}
+	if err := s.Enqueue(10); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	if got := s.Dropped(); got != 10 {
+		t.Errorf("Dropped() = %d, want weighted 10", got)
+	}
+	close(block)
+	s.Stop()
+	if got := s.EventLen(); got != 0 {
+		t.Errorf("EventLen() = %d after drain", got)
 	}
 }

@@ -38,6 +38,13 @@ type Config struct {
 	// PerDeliverCost is the service time per matched subscription delivered
 	// (default 1µs).
 	PerDeliverCost time.Duration
+	// BatchSize models publication batching on the forward path (the real
+	// stack's dispatcher.Config.ForwardLinger pipeline): the fixed
+	// per-message overhead BaseMatchCost is amortized across BatchSize
+	// messages arriving in one frame, so effective service time per message
+	// is BaseMatchCost/BatchSize + the per-scan and per-deliver terms.
+	// Default 1 — no batching, today's cost model.
+	BatchSize int
 	// NetDelay is the one-hop network latency (default 500µs).
 	NetDelay time.Duration
 	// DispatchCost is the dispatcher's per-message processing time, modeled
@@ -125,6 +132,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PerDeliverCost <= 0 {
 		c.PerDeliverCost = time.Microsecond
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
 	}
 	if c.NetDelay <= 0 {
 		c.NetDelay = 500 * time.Microsecond

@@ -135,7 +135,8 @@ func (m *simMatcher) serveOne(dim int) {
 	m.busyDim[dim]++
 
 	matchedSubs, scanned := index.Match(m.indexes[dim], qm.m, nil)
-	service := int64(m.cl.cfg.BaseMatchCost) +
+	// Batching amortizes the fixed per-message overhead across the frame.
+	service := int64(m.cl.cfg.BaseMatchCost)/int64(m.cl.cfg.BatchSize) +
 		int64(m.cl.cfg.PerScanCost)*int64(scanned) +
 		int64(m.cl.cfg.PerDeliverCost)*int64(len(matchedSubs))
 	const ewmaAlpha = 0.1
@@ -202,7 +203,7 @@ func (m *simMatcher) loadSnapshot(now int64) []forward.DimLoad {
 // dimension stage by stabbing the index at a few stored predicate centers.
 func (m *simMatcher) probeService(dim int) float64 {
 	idx := m.indexes[dim]
-	base := float64(m.cl.cfg.BaseMatchCost)
+	base := float64(m.cl.cfg.BaseMatchCost) / float64(m.cl.cfg.BatchSize)
 	if idx.Len() == 0 {
 		return base
 	}

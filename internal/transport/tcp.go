@@ -20,6 +20,12 @@ import (
 type TCP struct {
 	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
+	// FlushInterval, when positive, enables write coalescing: Send buffers
+	// frames in each connection's bufio.Writer and a background flusher
+	// flushes dirty connections every FlushInterval, so a burst of sends to
+	// one destination costs one syscall instead of one per frame. Zero (the
+	// default) flushes every frame immediately. Set before the first Send.
+	FlushInterval time.Duration
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -27,12 +33,16 @@ type TCP struct {
 	accepted  map[net.Conn]struct{}
 	closed    bool
 	wg        sync.WaitGroup
+
+	flusherOnce sync.Once
+	flusherStop chan struct{}
 }
 
 type sendConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	bw   *bufio.Writer
+	mu    sync.Mutex
+	conn  net.Conn
+	bw    *bufio.Writer
+	dirty bool // buffered frames awaiting a flush
 }
 
 // NewTCP returns an unconnected TCP transport.
@@ -41,8 +51,13 @@ func NewTCP() *TCP {
 		DialTimeout: 2 * time.Second,
 		conns:       make(map[string]*sendConn),
 		accepted:    make(map[net.Conn]struct{}),
+		flusherStop: make(chan struct{}),
 	}
 }
+
+// SendCopies implements Copying: Send writes env.Body into the connection's
+// buffered writer before returning, so callers may recycle the body.
+func (t *TCP) SendCopies() bool { return true }
 
 // Listen implements Transport: it serves h on addr ("host:port"; ":0"
 // chooses a free port) and returns the bound address.
@@ -137,8 +152,20 @@ func (t *TCP) getSendConn(addr string) (*sendConn, error) {
 }
 
 // Send implements Transport with one redial retry on a stale pooled
-// connection.
+// connection. With FlushInterval > 0 the frame is left in the connection's
+// write buffer for the background flusher; otherwise it is flushed inline.
 func (t *TCP) Send(addr string, env *wire.Envelope) error {
+	coalesce := t.FlushInterval > 0
+	if coalesce {
+		t.flusherOnce.Do(func() {
+			t.mu.Lock()
+			if !t.closed {
+				t.wg.Add(1)
+				go t.flushLoop(t.FlushInterval)
+			}
+			t.mu.Unlock()
+		})
+	}
 	for attempt := 0; attempt < 2; attempt++ {
 		sc, err := t.getSendConn(addr)
 		if err != nil {
@@ -149,10 +176,18 @@ func (t *TCP) Send(addr string, env *wire.Envelope) error {
 			sc.mu.Unlock()
 			continue
 		}
-		err = wire.WriteFrame(sc.bw, env)
+		if coalesce {
+			err = wire.WriteFrameBuffered(sc.bw, env)
+			if err == nil {
+				sc.dirty = true
+			}
+		} else {
+			err = wire.WriteFrame(sc.bw, env)
+		}
 		if err != nil {
 			sc.conn.Close()
 			sc.conn = nil
+			sc.dirty = false
 			sc.mu.Unlock()
 			continue
 		}
@@ -160,6 +195,44 @@ func (t *TCP) Send(addr string, env *wire.Envelope) error {
 		return nil
 	}
 	return fmt.Errorf("%w: send to %s failed after retry", ErrUnreachable, addr)
+}
+
+// flushLoop flushes every dirty pooled connection each interval — the write
+// coalescer that turns N frames per interval into one syscall per
+// destination.
+func (t *TCP) flushLoop(interval time.Duration) {
+	defer t.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.flusherStop:
+			t.flushAll()
+			return
+		case <-ticker.C:
+			t.flushAll()
+		}
+	}
+}
+
+func (t *TCP) flushAll() {
+	t.mu.Lock()
+	scs := make([]*sendConn, 0, len(t.conns))
+	for _, sc := range t.conns {
+		scs = append(scs, sc)
+	}
+	t.mu.Unlock()
+	for _, sc := range scs {
+		sc.mu.Lock()
+		if sc.dirty && sc.conn != nil {
+			if err := sc.bw.Flush(); err != nil {
+				sc.conn.Close()
+				sc.conn = nil
+			}
+			sc.dirty = false
+		}
+		sc.mu.Unlock()
+	}
 }
 
 // Request implements Transport over a short-lived connection.
@@ -195,8 +268,8 @@ func (t *TCP) Request(addr string, env *wire.Envelope, timeout time.Duration) (*
 	return resp, nil
 }
 
-// Close implements Transport: it stops all listeners and closes pooled
-// connections.
+// Close implements Transport: it flushes coalesced writes, stops all
+// listeners and closes pooled connections.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -204,6 +277,12 @@ func (t *TCP) Close() error {
 		return nil
 	}
 	t.closed = true
+	t.mu.Unlock()
+	// Push out buffered frames before tearing connections down, then stop
+	// the flusher (its shutdown flush finds nothing dirty).
+	t.flushAll()
+	close(t.flusherStop)
+	t.mu.Lock()
 	for _, ln := range t.listeners {
 		ln.Close()
 	}

@@ -27,6 +27,22 @@ var ErrClosed = errors.New("transport: closed")
 // ErrUnreachable is returned when the destination cannot be contacted.
 var ErrUnreachable = errors.New("transport: unreachable")
 
+// Copying is an optional capability: transports whose Send has fully copied
+// env.Body before returning implement it and report true. Hot-path senders
+// use it to recycle pooled encode buffers immediately after Send; on
+// transports that retain the body (the in-process mesh queues the envelope
+// by reference) the buffer must be left to the garbage collector instead.
+type Copying interface {
+	SendCopies() bool
+}
+
+// SendCopies reports whether t's Send copies envelope bodies before
+// returning (false when t does not implement Copying).
+func SendCopies(t Transport) bool {
+	c, ok := t.(Copying)
+	return ok && c.SendCopies()
+}
+
 // Transport moves envelopes between named endpoints.
 type Transport interface {
 	// Listen serves handler h at addr and returns the bound address

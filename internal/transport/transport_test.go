@@ -379,3 +379,55 @@ func BenchmarkMeshSend(b *testing.B) {
 	}
 	_ = fmt.Sprint(count.Load())
 }
+
+// TestTCPWriteCoalescing verifies that with FlushInterval set frames are
+// still all delivered (by the background flusher), and that a Close pushes
+// out any frames still buffered.
+func TestTCPWriteCoalescing(t *testing.T) {
+	server := NewTCP()
+	defer server.Close()
+	var got atomic.Int64
+	addr, err := server.Listen("127.0.0.1:0", func(env *wire.Envelope) *wire.Envelope {
+		if env.Kind == wire.KindForward {
+			got.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewTCP()
+	client.FlushInterval = 2 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		if err := client.Send(addr, &wire.Envelope{Kind: wire.KindForward, From: 1, Body: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return got.Load() == 200 })
+
+	// A final burst immediately followed by Close must not lose frames:
+	// Close flushes before tearing down.
+	for i := 0; i < 50; i++ {
+		if err := client.Send(addr, &wire.Envelope{Kind: wire.KindForward, From: 1, Body: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client.Close()
+	waitFor(t, func() bool { return got.Load() == 250 })
+}
+
+// TestSendCopies pins the Copying capability: TCP copies bodies on Send (so
+// pooled buffers may be recycled), the mesh does not (it queues envelopes by
+// reference).
+func TestSendCopies(t *testing.T) {
+	tcp := NewTCP()
+	defer tcp.Close()
+	if !SendCopies(tcp) {
+		t.Error("TCP transport should report SendCopies")
+	}
+	mesh := NewMesh(0)
+	defer mesh.Close()
+	if SendCopies(mesh.Endpoint("a")) {
+		t.Error("mesh endpoint must not report SendCopies: it retains bodies")
+	}
+}

@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+
+	"bluedove/internal/core"
+)
+
+// Batch frame kinds (publication batching along the publish path): many
+// publications, deliveries or acks travel in one frame, amortizing the
+// per-frame header, syscall and handler costs that dominate the forwarding
+// hop at high message rates.
+const (
+	// KindForwardBatch carries several publications dispatcher → matcher,
+	// each marked with the dimension set to search.
+	KindForwardBatch Kind = 68 + iota
+	// KindDeliverBatch carries several matched publications to one delivery
+	// endpoint (a subscriber or a queue-hosting dispatcher).
+	KindDeliverBatch
+	// KindForwardAckBatch acknowledges several matched publications
+	// matcher → dispatcher in one frame.
+	KindForwardAckBatch
+)
+
+// ForwardEntry is one publication inside a ForwardBatchBody.
+type ForwardEntry struct {
+	Dim int
+	Msg *core.Message
+}
+
+// EncodedSize returns an upper bound for the entry's encoded size, used by
+// batchers to stay under MaxFrame without encoding twice.
+func (e ForwardEntry) EncodedSize() int {
+	// dim + id + publishedAt + attr count + attrs + payload length prefix.
+	return 2 + 8 + 8 + 2 + 8*len(e.Msg.Attrs) + 4 + len(e.Msg.Payload)
+}
+
+// ForwardBatchBody carries a batch of publications one hop to a matcher
+// (dispatcher → matcher). Entries may target different dimensions: the
+// dispatcher coalesces per destination matcher, not per dimension.
+type ForwardBatchBody struct {
+	Entries []ForwardEntry
+}
+
+// AppendTo serializes the body into buf (which may be a pooled scratch
+// buffer) and returns the extended slice.
+func (b *ForwardBatchBody) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
+	w.u32(uint32(len(b.Entries)))
+	for _, e := range b.Entries {
+		w.u16(uint16(e.Dim))
+		encodeMessage(&w, e.Msg)
+	}
+	return w.buf
+}
+
+// Encode serializes the body.
+func (b *ForwardBatchBody) Encode() []byte { return b.AppendTo(nil) }
+
+// DecodeForwardBatch parses a ForwardBatchBody.
+func DecodeForwardBatch(data []byte) (*ForwardBatchBody, error) {
+	r := reader{buf: data}
+	n := int(r.u32())
+	if n > maxListLen {
+		return nil, fmt.Errorf("wire: implausible batch length %d", n)
+	}
+	b := &ForwardBatchBody{}
+	if r.err == nil && n > 0 {
+		b.Entries = make([]ForwardEntry, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			e := ForwardEntry{Dim: int(r.u16())}
+			e.Msg = decodeMessage(&r)
+			b.Entries = append(b.Entries, e)
+		}
+	}
+	return b, r.finish()
+}
+
+// DeliverBatchBody carries several matched publications to one delivery
+// endpoint. Deliveries for different subscribers may share a frame when the
+// endpoint is a queue-hosting dispatcher.
+type DeliverBatchBody struct {
+	Deliveries []DeliverBody
+}
+
+// AppendTo serializes the body into buf and returns the extended slice.
+func (b *DeliverBatchBody) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
+	w.u32(uint32(len(b.Deliveries)))
+	for i := range b.Deliveries {
+		d := &b.Deliveries[i]
+		w.u64(uint64(d.Subscriber))
+		encodeMessage(&w, d.Msg)
+		w.u32(uint32(len(d.SubIDs)))
+		for _, id := range d.SubIDs {
+			w.u64(uint64(id))
+		}
+	}
+	return w.buf
+}
+
+// Encode serializes the body.
+func (b *DeliverBatchBody) Encode() []byte { return b.AppendTo(nil) }
+
+// DecodeDeliverBatch parses a DeliverBatchBody.
+func DecodeDeliverBatch(data []byte) (*DeliverBatchBody, error) {
+	r := reader{buf: data}
+	n := int(r.u32())
+	if n > maxListLen {
+		return nil, fmt.Errorf("wire: implausible batch length %d", n)
+	}
+	b := &DeliverBatchBody{}
+	if r.err == nil && n > 0 {
+		b.Deliveries = make([]DeliverBody, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			d := DeliverBody{Subscriber: core.SubscriberID(r.u64())}
+			d.Msg = decodeMessage(&r)
+			k := int(r.u32())
+			if k > maxListLen {
+				return nil, fmt.Errorf("wire: implausible id list length %d", k)
+			}
+			if r.err == nil && k > 0 {
+				d.SubIDs = make([]core.SubscriptionID, 0, k)
+				for j := 0; j < k; j++ {
+					d.SubIDs = append(d.SubIDs, core.SubscriptionID(r.u64()))
+				}
+			}
+			b.Deliveries = append(b.Deliveries, d)
+		}
+	}
+	return b, r.finish()
+}
+
+// ForwardAckBatchBody acknowledges several forwarded messages at once.
+type ForwardAckBatchBody struct {
+	IDs []core.MessageID
+}
+
+// AppendTo serializes the body into buf and returns the extended slice.
+func (b *ForwardAckBatchBody) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
+	w.u32(uint32(len(b.IDs)))
+	for _, id := range b.IDs {
+		w.u64(uint64(id))
+	}
+	return w.buf
+}
+
+// Encode serializes the body.
+func (b *ForwardAckBatchBody) Encode() []byte { return b.AppendTo(nil) }
+
+// DecodeForwardAckBatch parses a ForwardAckBatchBody.
+func DecodeForwardAckBatch(data []byte) (*ForwardAckBatchBody, error) {
+	r := reader{buf: data}
+	n := int(r.u32())
+	if n > maxListLen {
+		return nil, fmt.Errorf("wire: implausible ack batch %d", n)
+	}
+	b := &ForwardAckBatchBody{}
+	if r.err == nil && n > 0 {
+		b.IDs = make([]core.MessageID, 0, n)
+		for i := 0; i < n; i++ {
+			b.IDs = append(b.IDs, core.MessageID(r.u64()))
+		}
+	}
+	return b, r.finish()
+}
+
+// Buf is a reusable encode scratch buffer. Hot-path senders encode bodies
+// into pooled Bufs and return them after the transport has copied the bytes
+// (see transport.Copying), eliminating the per-message body allocation.
+type Buf struct {
+	B []byte
+}
+
+var bufPool = sync.Pool{New: func() any { return &Buf{B: make([]byte, 0, 4096)} }}
+
+// GetBuf fetches a scratch buffer with zero length from the pool.
+func GetBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuf returns a scratch buffer to the pool. The caller must not retain
+// any slice of b.B afterwards.
+func PutBuf(b *Buf) {
+	if cap(b.B) > MaxFrame {
+		return // don't pool pathological growth
+	}
+	bufPool.Put(b)
+}

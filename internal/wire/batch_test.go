@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"bluedove/internal/core"
+)
+
+func testMsg(id uint64) *core.Message {
+	m := core.NewMessage([]float64{1.5, 2.5, 3.5, 4.5}, []byte("payload"))
+	m.ID = core.MessageID(id)
+	m.PublishedAt = int64(id) * 1000
+	return m
+}
+
+func TestForwardBatchRoundtrip(t *testing.T) {
+	b := &ForwardBatchBody{}
+	for i := 0; i < 5; i++ {
+		b.Entries = append(b.Entries, ForwardEntry{Dim: i % 3, Msg: testMsg(uint64(i + 1))})
+	}
+	got, err := DecodeForwardBatch(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(b.Entries) {
+		t.Fatalf("entries: got %d want %d", len(got.Entries), len(b.Entries))
+	}
+	for i, e := range got.Entries {
+		want := b.Entries[i]
+		if e.Dim != want.Dim || e.Msg.ID != want.Msg.ID ||
+			e.Msg.PublishedAt != want.Msg.PublishedAt ||
+			len(e.Msg.Attrs) != len(want.Msg.Attrs) ||
+			string(e.Msg.Payload) != string(want.Msg.Payload) {
+			t.Fatalf("entry %d mismatch: got %+v want %+v", i, e, want)
+		}
+	}
+}
+
+func TestForwardBatchEmpty(t *testing.T) {
+	got, err := DecodeForwardBatch((&ForwardBatchBody{}).Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 0 {
+		t.Fatalf("want empty batch, got %d entries", len(got.Entries))
+	}
+}
+
+func TestDeliverBatchRoundtrip(t *testing.T) {
+	b := &DeliverBatchBody{}
+	for i := 0; i < 4; i++ {
+		b.Deliveries = append(b.Deliveries, DeliverBody{
+			Subscriber: core.SubscriberID(i + 10),
+			Msg:        testMsg(uint64(i + 1)),
+			SubIDs:     []core.SubscriptionID{core.SubscriptionID(i), core.SubscriptionID(i + 100)},
+		})
+	}
+	got, err := DecodeDeliverBatch(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Deliveries) != len(b.Deliveries) {
+		t.Fatalf("deliveries: got %d want %d", len(got.Deliveries), len(b.Deliveries))
+	}
+	for i := range got.Deliveries {
+		g, w := got.Deliveries[i], b.Deliveries[i]
+		if g.Subscriber != w.Subscriber || g.Msg.ID != w.Msg.ID || len(g.SubIDs) != len(w.SubIDs) {
+			t.Fatalf("delivery %d mismatch: got %+v want %+v", i, g, w)
+		}
+		for j := range g.SubIDs {
+			if g.SubIDs[j] != w.SubIDs[j] {
+				t.Fatalf("delivery %d sub id %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+// TestDeliverBatchMatchesSingleEncoding pins the batch entry layout to the
+// standalone DeliverBody layout so the two never drift apart.
+func TestDeliverBatchMatchesSingleEncoding(t *testing.T) {
+	d := DeliverBody{Subscriber: 7, Msg: testMsg(42), SubIDs: []core.SubscriptionID{1, 2}}
+	batch := (&DeliverBatchBody{Deliveries: []DeliverBody{d}}).Encode()
+	single := d.Encode()
+	// Batch layout: u32 count, then the DeliverBody encoding verbatim.
+	if len(batch) != 4+len(single) {
+		t.Fatalf("batch entry layout diverged: %d vs 4+%d", len(batch), len(single))
+	}
+	if string(batch[4:]) != string(single) {
+		t.Fatal("batch entry bytes differ from standalone DeliverBody encoding")
+	}
+}
+
+func TestForwardAckBatchRoundtrip(t *testing.T) {
+	b := &ForwardAckBatchBody{IDs: []core.MessageID{1, 2, 3, 1 << 50}}
+	got, err := DecodeForwardAckBatch(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.IDs) != len(b.IDs) {
+		t.Fatalf("ids: got %d want %d", len(got.IDs), len(b.IDs))
+	}
+	for i := range got.IDs {
+		if got.IDs[i] != b.IDs[i] {
+			t.Fatalf("id %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeBatchTruncated(t *testing.T) {
+	b := &ForwardBatchBody{Entries: []ForwardEntry{{Dim: 1, Msg: testMsg(1)}}}
+	data := b.Encode()
+	for cut := 1; cut < len(data); cut += 3 {
+		if _, err := DecodeForwardBatch(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestForwardEntryEncodedSizeIsUpperBound(t *testing.T) {
+	e := ForwardEntry{Dim: 3, Msg: testMsg(9)}
+	enc := (&ForwardBatchBody{Entries: []ForwardEntry{e}}).Encode()
+	// Per-entry bytes: total minus the u32 count prefix.
+	if got := len(enc) - 4; got > e.EncodedSize() {
+		t.Fatalf("EncodedSize %d underestimates actual %d", e.EncodedSize(), got)
+	}
+}
+
+// TestWriterRejectsOversizeString is the regression test for the silent
+// uint16 truncation in writer.str: over-long strings must panic with
+// ErrStringTooLong instead of corrupting the frame.
+func TestWriterRejectsOversizeString(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("oversize string encoded without panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrStringTooLong) {
+			t.Fatalf("panic %v is not ErrStringTooLong", r)
+		}
+	}()
+	long := make([]byte, 65536)
+	(&ErrorBody{Text: string(long)}).Encode()
+}
+
+// TestWriterRejectsOversizeBytes: payloads that could never fit a frame must
+// panic with ErrBodyTooLarge instead of encoding a length the reader side
+// rejects (or a transport without frame checks silently corrupts).
+func TestWriterRejectsOversizeBytes(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("oversize payload encoded without panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrBodyTooLarge) {
+			t.Fatalf("panic %v is not ErrBodyTooLarge", r)
+		}
+	}()
+	m := core.NewMessage([]float64{1}, make([]byte, MaxFrame+1))
+	(&PublishBody{Msg: m}).Encode()
+}
+
+func TestBufPoolRoundtrip(t *testing.T) {
+	b := GetBuf()
+	if len(b.B) != 0 {
+		t.Fatalf("pooled buf not reset: len %d", len(b.B))
+	}
+	b.B = append(b.B, 1, 2, 3)
+	PutBuf(b)
+	b2 := GetBuf()
+	if len(b2.B) != 0 {
+		t.Fatalf("reused buf not reset: len %d", len(b2.B))
+	}
+	PutBuf(b2)
+}

@@ -11,9 +11,66 @@ func BenchmarkForwardEncode(b *testing.B) {
 	m.ID = 1
 	body := &ForwardBody{Dim: 2, Msg: m}
 	b.ReportMetric(float64(len(body.Encode())), "bytes")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = body.Encode()
+	}
+}
+
+// benchBatch builds a batch of n distinct messages.
+func benchBatch(n int) *ForwardBatchBody {
+	body := &ForwardBatchBody{Entries: make([]ForwardEntry, 0, n)}
+	for i := 0; i < n; i++ {
+		m := core.NewMessage([]float64{1, 2, 3, 4}, make([]byte, 64))
+		m.ID = core.MessageID(i + 1)
+		body.Entries = append(body.Entries, ForwardEntry{Dim: i % 4, Msg: m})
+	}
+	return body
+}
+
+// BenchmarkForwardBatchEncode64 encodes 64 publications into one pooled
+// frame body; each iteration is one *batch*, so per-message allocations are
+// allocs/op ÷ 64 — the amortization the dispatcher's coalescing sender buys.
+func BenchmarkForwardBatchEncode64(b *testing.B) {
+	body := benchBatch(64)
+	b.ReportMetric(float64(len(body.Encode()))/64, "bytes/msg")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := GetBuf()
+		buf.B = body.AppendTo(buf.B)
+		PutBuf(buf)
+	}
+}
+
+func BenchmarkForwardBatchDecode64(b *testing.B) {
+	data := benchBatch(64).Encode()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeForwardBatch(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeliverBatchEncode64(b *testing.B) {
+	body := &DeliverBatchBody{Deliveries: make([]DeliverBody, 0, 64)}
+	for i := 0; i < 64; i++ {
+		m := core.NewMessage([]float64{1, 2, 3, 4}, make([]byte, 64))
+		m.ID = core.MessageID(i + 1)
+		body.Deliveries = append(body.Deliveries, DeliverBody{
+			Subscriber: core.SubscriberID(i % 8), Msg: m,
+			SubIDs: []core.SubscriptionID{1, 2, 3},
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := GetBuf()
+		buf.B = body.AppendTo(buf.B)
+		PutBuf(buf)
 	}
 }
 

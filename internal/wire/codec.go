@@ -21,6 +21,17 @@ import (
 // ErrTruncated reports a body shorter than its fields demand.
 var ErrTruncated = errors.New("wire: truncated message")
 
+// ErrStringTooLong reports an encode of a string longer than the uint16
+// length prefix can carry. Encoding panics with this error instead of
+// silently truncating the length and corrupting the frame.
+var ErrStringTooLong = errors.New("wire: string exceeds 65535 bytes")
+
+// ErrBodyTooLarge reports an encode of a byte payload that could never fit
+// in a frame. Encoding panics with this error instead of producing a frame
+// WriteFrame would reject (or, worse, a silently corrupt length on a
+// transport that skips the frame check).
+var ErrBodyTooLarge = errors.New("wire: payload exceeds MaxFrame")
+
 // writer is an append-only little-endian encoder.
 type writer struct {
 	buf []byte
@@ -35,10 +46,16 @@ func (w *writer) f64(v float64) {
 	w.u64(math.Float64bits(v))
 }
 func (w *writer) bytes(b []byte) {
+	if len(b) > MaxFrame {
+		panic(fmt.Errorf("%w: %d bytes", ErrBodyTooLarge, len(b)))
+	}
 	w.u32(uint32(len(b)))
 	w.buf = append(w.buf, b...)
 }
 func (w *writer) str(s string) {
+	if len(s) > math.MaxUint16 {
+		panic(fmt.Errorf("%w: %d bytes", ErrStringTooLong, len(s)))
+	}
 	w.u16(uint16(len(s)))
 	w.buf = append(w.buf, s...)
 }

@@ -16,9 +16,24 @@ const MaxFrame = 16 << 20
 // frameHeader is the fixed part after the length prefix: kind + sender.
 const frameHeader = 1 + 8
 
-// WriteFrame writes one envelope to w with a length prefix. It is not safe
-// for concurrent use on the same writer; connections serialize writes.
+// WriteFrame writes one envelope to w with a length prefix, flushing if w
+// is a bufio.Writer. It is not safe for concurrent use on the same writer;
+// connections serialize writes.
 func WriteFrame(w io.Writer, env *Envelope) error {
+	if err := WriteFrameBuffered(w, env); err != nil {
+		return err
+	}
+	if bw, ok := w.(*bufio.Writer); ok {
+		return bw.Flush()
+	}
+	return nil
+}
+
+// WriteFrameBuffered writes one envelope to w without flushing, so a
+// transport flusher can coalesce several frames into one flush (and, for
+// TCP, fewer syscalls). Callers owning a bufio.Writer must flush it
+// themselves.
+func WriteFrameBuffered(w io.Writer, env *Envelope) error {
 	n := frameHeader + len(env.Body)
 	if n > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
@@ -34,9 +49,6 @@ func WriteFrame(w io.Writer, env *Envelope) error {
 		if _, err := w.Write(env.Body); err != nil {
 			return err
 		}
-	}
-	if bw, ok := w.(*bufio.Writer); ok {
-		return bw.Flush()
 	}
 	return nil
 }

@@ -100,12 +100,16 @@ type ForwardAckBody struct {
 	ID core.MessageID
 }
 
-// Encode serializes the body.
-func (b *ForwardAckBody) Encode() []byte {
-	var w writer
+// AppendTo serializes the body into buf (which may be a pooled scratch
+// buffer) and returns the extended slice.
+func (b *ForwardAckBody) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
 	w.u64(uint64(b.ID))
 	return w.buf
 }
+
+// Encode serializes the body.
+func (b *ForwardAckBody) Encode() []byte { return b.AppendTo(nil) }
 
 // DecodeForwardAck parses a ForwardAckBody.
 func DecodeForwardAck(data []byte) (*ForwardAckBody, error) {

@@ -55,6 +55,8 @@ func (k Kind) String() string {
 		KindTableResponse: "table-response", KindGossip: "gossip",
 		KindTransfer: "transfer", KindPoll: "poll",
 		KindPollResponse: "poll-response", KindError: "error",
+		KindForwardBatch: "forward-batch", KindDeliverBatch: "deliver-batch",
+		KindForwardAckBatch: "forward-ack-batch",
 	}
 	if s, ok := names[k]; ok {
 		return s
@@ -252,13 +254,17 @@ type ForwardBody struct {
 	Msg *core.Message
 }
 
-// Encode serializes the body.
-func (b *ForwardBody) Encode() []byte {
-	var w writer
+// AppendTo serializes the body into buf (which may be a pooled scratch
+// buffer) and returns the extended slice.
+func (b *ForwardBody) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
 	w.u16(uint16(b.Dim))
 	encodeMessage(&w, b.Msg)
 	return w.buf
 }
+
+// Encode serializes the body.
+func (b *ForwardBody) Encode() []byte { return b.AppendTo(nil) }
 
 // DecodeForward parses a ForwardBody.
 func DecodeForward(data []byte) (*ForwardBody, error) {
@@ -278,9 +284,10 @@ type DeliverBody struct {
 	SubIDs     []core.SubscriptionID
 }
 
-// Encode serializes the body.
-func (b *DeliverBody) Encode() []byte {
-	var w writer
+// AppendTo serializes the body into buf (which may be a pooled scratch
+// buffer) and returns the extended slice.
+func (b *DeliverBody) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
 	w.u64(uint64(b.Subscriber))
 	encodeMessage(&w, b.Msg)
 	w.u32(uint32(len(b.SubIDs)))
@@ -289,6 +296,9 @@ func (b *DeliverBody) Encode() []byte {
 	}
 	return w.buf
 }
+
+// Encode serializes the body.
+func (b *DeliverBody) Encode() []byte { return b.AppendTo(nil) }
 
 // DecodeDeliver parses a DeliverBody.
 func DecodeDeliver(data []byte) (*DeliverBody, error) {
