@@ -46,6 +46,7 @@
 package bluedove
 
 import (
+	"bluedove/internal/chaos"
 	"bluedove/internal/client"
 	"bluedove/internal/cluster"
 	"bluedove/internal/core"
@@ -117,6 +118,31 @@ type (
 	// FullRepPlacement replicates every subscription everywhere.
 	FullRepPlacement = placement.FullRep
 )
+
+// Fault injection (deterministic chaos testing; see internal/chaos).
+type (
+	// ChaosController applies seeded fault rules — drops, delays,
+	// duplicates, partitions, kills — to every transport wrapped in it
+	// (set ClusterOptions.Chaos).
+	ChaosController = chaos.Controller
+	// ChaosScenario sequences timed fault steps against a controller.
+	ChaosScenario = chaos.Scenario
+	// ChaosAuditor checks delivery accounting under faults: every acked
+	// publication delivered to every matching subscriber, none spurious.
+	ChaosAuditor = chaos.Auditor
+	// ChaosLinkFaults are per-link drop/duplicate/delay probabilities.
+	ChaosLinkFaults = chaos.LinkFaults
+)
+
+// NewChaosController creates a fault controller; the seed fully determines
+// the fault schedule.
+var NewChaosController = chaos.NewController
+
+// NewChaosScenario starts an empty timed fault schedule.
+var NewChaosScenario = chaos.NewScenario
+
+// NewChaosAuditor creates an empty delivery-accounting auditor.
+var NewChaosAuditor = chaos.NewAuditor
 
 // Multi-tenancy (paper Section VI: separate server subsets per application).
 type (

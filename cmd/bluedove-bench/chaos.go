@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bluedove/internal/experiment"
+)
+
+// chaosReport is the schema of BENCH_chaos.json: one chaos failover run —
+// a steady publication load with a matcher killed mid-run — reported as a
+// delivery-rate timeline plus the dip/recovery/zero-loss summary.
+type chaosReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+
+	Seed        int64 `json:"seed"`
+	Matchers    int   `json:"matchers"`
+	Dispatchers int   `json:"dispatchers"`
+	Published   int   `json:"published"`
+	KillAtMs    int64 `json:"kill_at_ms"`
+	BucketMs    int64 `json:"bucket_ms"`
+
+	Timeline []chaosBucket `json:"timeline"`
+
+	PreKillRate float64 `json:"pre_kill_rate_msgs_per_sec"`
+	DipRate     float64 `json:"dip_rate_msgs_per_sec"`
+	RecoveryMs  int64   `json:"recovery_ms"`
+	Retransmits int64   `json:"retransmits"`
+	Duplicates  int     `json:"duplicate_deliveries"`
+	ZeroLoss    bool    `json:"zero_acked_loss"`
+	LossDetail  string  `json:"loss_detail,omitempty"`
+}
+
+type chaosBucket struct {
+	TMs        int64   `json:"t_ms"`
+	Deliveries int64   `json:"deliveries"`
+	Rate       float64 `json:"rate_msgs_per_sec"`
+}
+
+// runChaos runs the chaos failover experiment and, when out is non-empty,
+// writes the JSON report there.
+func runChaos(seed int64, out string) {
+	start := time.Now()
+	r, err := experiment.Chaos(experiment.ChaosOpts{Seed: seed})
+	if err != nil {
+		log.Fatalf("chaos experiment: %v", err)
+	}
+	fmt.Println(r.Table())
+	if !r.ZeroLoss {
+		fmt.Fprintf(os.Stderr, "[acked-loss detail]\n%s\n", r.LossDetail)
+	}
+	fmt.Fprintf(os.Stderr, "[chaos run: %v]\n", time.Since(start).Round(time.Millisecond))
+
+	rep := &chaosReport{
+		GoVersion:   goVersion(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        r.Seed,
+		Matchers:    r.Matchers,
+		Dispatchers: r.Dispatchers,
+		Published:   r.Published,
+		KillAtMs:    r.KillAtMs,
+		BucketMs:    r.BucketMs,
+		PreKillRate: r.PreKillRate,
+		DipRate:     r.DipRate,
+		RecoveryMs:  r.RecoveryMs,
+		Retransmits: r.Retransmits,
+		Duplicates:  r.Duplicates,
+		ZeroLoss:    r.ZeroLoss,
+		LossDetail:  r.LossDetail,
+	}
+	for _, b := range r.Timeline {
+		rep.Timeline = append(rep.Timeline, chaosBucket{TMs: b.StartMs, Deliveries: b.Deliveries, Rate: b.Rate})
+	}
+
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
+}

@@ -23,12 +23,19 @@ func main() {
 		scale    = flag.String("scale", "small", "workload scale: tiny|small|paper")
 		batching = flag.Bool("batching", false,
 			"run the forward-path batching comparison on the real in-process cluster instead of a figure")
-		out = flag.String("out", "", "with -batching: write the JSON report to this file (e.g. BENCH_batching.json)")
+		chaosRun = flag.Bool("chaos", false,
+			"run the chaos failover experiment (matcher killed mid-burst) on the real in-process cluster")
+		chaosSeed = flag.Int64("chaos-seed", 1, "with -chaos: fault-injection seed")
+		out       = flag.String("out", "", "with -batching/-chaos: write the JSON report to this file (e.g. BENCH_chaos.json)")
 	)
 	flag.Parse()
 
 	if *batching {
 		runBatching(*out)
+		return
+	}
+	if *chaosRun {
+		runChaos(*chaosSeed, *out)
 		return
 	}
 

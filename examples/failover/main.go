@@ -1,0 +1,101 @@
+// Failover: boot a persistent BlueDove cluster under a chaos controller,
+// stream publications, crash a matcher mid-stream, and show that every
+// acked publication is still delivered after the survivors take over the
+// dead matcher's segments. Run with:
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bluedove"
+)
+
+func main() {
+	space := bluedove.MustSpace(
+		bluedove.Dimension{Name: "price", Min: 0, Max: 1000},
+		bluedove.Dimension{Name: "volume", Min: 0, Max: 1000},
+	)
+
+	// The chaos controller wraps every transport in the cluster; seed 1
+	// makes the fault schedule reproducible.
+	ctrl := bluedove.NewChaosController(1)
+	defer ctrl.Close()
+
+	// Persistent mode retains each publication until a matcher acks it, so
+	// messages in flight when the matcher dies are retransmitted to the
+	// survivors once recovery reassigns the dead matcher's segments.
+	c, err := bluedove.StartCluster(bluedove.ClusterOptions{
+		Space:          space,
+		Matchers:       4,
+		Dispatchers:    2,
+		GossipInterval: 50 * time.Millisecond,
+		FailAfter:      500 * time.Millisecond,
+		ReportInterval: 50 * time.Millisecond,
+		RecoveryDelay:  200 * time.Millisecond,
+		Persistent:     true,
+		RetryInterval:  100 * time.Millisecond,
+		Chaos:          ctrl,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// A full-space subscriber, audited: the auditor knows every publication
+	// and flags any that never arrive.
+	full := []bluedove.Range{{Low: 0, High: 1000}, {Low: 0, High: 1000}}
+	aud := bluedove.NewChaosAuditor()
+	aud.Subscribed(1, full)
+	subscriber, err := c.NewClient(0, func(m *bluedove.Message, _ []bluedove.SubscriptionID) {
+		aud.Delivered(1, m)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := subscriber.Subscribe(full); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let the stores land on matchers
+
+	publisher, err := c.NewClient(1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Publish a paced stream; a third of the way in, crash one matcher.
+	const total = 300
+	victim := c.MatcherIDs()[0]
+	for i := 0; i < total; i++ {
+		if i == total/3 {
+			fmt.Printf("crashing matcher %v at publication %d/%d\n", victim, i, total)
+			if err := c.CrashMatcher(victim); err != nil {
+				log.Fatal(err)
+			}
+		}
+		token := fmt.Sprintf("tick-%03d", i)
+		attrs := []float64{float64((i * 37) % 1000), float64((i * 59) % 1000)}
+		if err := publisher.Publish(attrs, []byte(token)); err != nil {
+			log.Fatal(err)
+		}
+		aud.Published(token, attrs)
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Wait until every acked publication has been delivered at least once.
+	if err := aud.WaitComplete(20 * time.Second); err != nil {
+		log.Fatalf("delivery accounting failed: %v", err)
+	}
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		log.Fatalf("survivors did not converge: %v", err)
+	}
+	fmt.Printf("all %d acked publications delivered (%d duplicate deliveries from retransmission)\n",
+		total, aud.Duplicates())
+	fmt.Println("survivors converged on a table without the dead matcher — done")
+}

@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bluedove/internal/core"
+)
+
+// Auditor checks BlueDove's delivery-accounting invariants under fault
+// injection:
+//
+//  1. At-least-once: every acked (accepted) publication is delivered to
+//     every subscriber holding a matching subscription at least once.
+//  2. No spurious delivery: no subscriber receives a publication that none
+//     of its subscriptions match.
+//
+// Publications are identified by an opaque token carried in the message
+// payload (message IDs are assigned dispatcher-side, so the publisher cannot
+// know them). Tests register subscriptions and publications, route every
+// delivery callback through Delivered, then call WaitComplete/Check.
+// All methods are safe for concurrent use.
+type Auditor struct {
+	mu sync.Mutex
+	// subs holds each subscriber's registered predicate sets.
+	subs map[int][][]core.Range
+	// pubs maps publication token → attribute point.
+	pubs map[string][]float64
+	// got maps subscriber → token → delivery count.
+	got map[int]map[string]int
+	// firstAt maps subscriber → token → first delivery time.
+	firstAt map[int]map[string]time.Time
+	// spurious collects invariant-2 violations as they arrive.
+	spurious []string
+}
+
+// NewAuditor creates an empty auditor.
+func NewAuditor() *Auditor {
+	return &Auditor{
+		subs:    make(map[int][][]core.Range),
+		pubs:    make(map[string][]float64),
+		got:     make(map[int]map[string]int),
+		firstAt: make(map[int]map[string]time.Time),
+	}
+}
+
+// Subscribed registers one subscription of subscriber sub (an arbitrary
+// test-chosen key). Call before the subscription becomes active.
+func (a *Auditor) Subscribed(sub int, preds []core.Range) {
+	cp := make([]core.Range, len(preds))
+	copy(cp, preds)
+	a.mu.Lock()
+	a.subs[sub] = append(a.subs[sub], cp)
+	a.mu.Unlock()
+}
+
+// Published records one accepted publication: a unique token (which the test
+// must carry as the message payload) and its attribute point. Call only for
+// publications the system accepted (Publish returned nil).
+func (a *Auditor) Published(token string, attrs []float64) {
+	cp := make([]float64, len(attrs))
+	copy(cp, attrs)
+	a.mu.Lock()
+	a.pubs[token] = cp
+	a.mu.Unlock()
+}
+
+// Delivered records one delivery to subscriber sub. Duplicate deliveries are
+// counted, not flagged: at-least-once semantics permit them.
+func (a *Auditor) Delivered(sub int, msg *core.Message) {
+	token := string(msg.Payload)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.got[sub] == nil {
+		a.got[sub] = make(map[string]int)
+		a.firstAt[sub] = make(map[string]time.Time)
+	}
+	a.got[sub][token]++
+	if _, seen := a.firstAt[sub][token]; !seen {
+		a.firstAt[sub][token] = time.Now()
+	}
+	if !a.matchesLocked(sub, msg.Attrs) {
+		a.spurious = append(a.spurious,
+			fmt.Sprintf("subscriber %d received %q (attrs %v) matching none of its %d subscriptions",
+				sub, token, msg.Attrs, len(a.subs[sub])))
+	}
+}
+
+// matchesLocked reports whether any of sub's subscriptions matches attrs.
+func (a *Auditor) matchesLocked(sub int, attrs []float64) bool {
+	for _, preds := range a.subs[sub] {
+		if len(preds) > len(attrs) {
+			continue
+		}
+		match := true
+		for d, p := range preds {
+			if !p.Contains(attrs[d]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// Expected returns the number of (publication, subscriber) pairs the
+// at-least-once invariant requires a delivery for.
+func (a *Auditor) Expected() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, attrs := range a.pubs {
+		for sub := range a.subs {
+			if a.matchesLocked(sub, attrs) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Missing returns one line per (publication, subscriber) pair still awaiting
+// its first delivery.
+func (a *Auditor) Missing() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for token, attrs := range a.pubs {
+		for sub := range a.subs {
+			if a.matchesLocked(sub, attrs) && a.got[sub][token] == 0 {
+				out = append(out, fmt.Sprintf("subscriber %d never received %q (attrs %v)", sub, token, attrs))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Duplicates returns the number of deliveries beyond the first per
+// (publication, subscriber) pair — the at-least-once redundancy cost.
+func (a *Auditor) Duplicates() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, byToken := range a.got {
+		for _, count := range byToken {
+			if count > 1 {
+				n += count - 1
+			}
+		}
+	}
+	return n
+}
+
+// Spurious returns the recorded invariant-2 violations.
+func (a *Auditor) Spurious() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, len(a.spurious))
+	copy(out, a.spurious)
+	return out
+}
+
+// Check returns nil when both invariants hold, or an error naming every
+// missing and spurious delivery.
+func (a *Auditor) Check() error {
+	missing := a.Missing()
+	spurious := a.Spurious()
+	if len(missing) == 0 && len(spurious) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: delivery accounting violated (%d missing, %d spurious)",
+		len(missing), len(spurious))
+	for _, m := range missing {
+		b.WriteString("\n  missing: " + m)
+	}
+	for _, s := range spurious {
+		b.WriteString("\n  spurious: " + s)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// WaitComplete polls until every expected delivery has been observed, then
+// runs Check (catching spurious deliveries too). It fails with the full
+// violation list when the timeout elapses first.
+func (a *Auditor) WaitComplete(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if len(a.Missing()) == 0 {
+			return a.Check()
+		}
+		if time.Now().After(deadline) {
+			return a.Check()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// FirstDeliveryGap returns the longest interval between consecutive first
+// deliveries observed after t — the stall a fault caused — and the time the
+// stall ended (delivery resumed). Zero gap means deliveries never paused.
+func (a *Auditor) FirstDeliveryGap(t time.Time) (gap time.Duration, resumedAt time.Time) {
+	a.mu.Lock()
+	var times []time.Time
+	for _, byToken := range a.firstAt {
+		for _, at := range byToken {
+			if at.After(t) {
+				times = append(times, at)
+			}
+		}
+	}
+	a.mu.Unlock()
+	if len(times) == 0 {
+		return 0, time.Time{}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	prev := t
+	for _, at := range times {
+		if d := at.Sub(prev); d > gap {
+			gap, resumedAt = d, at
+		}
+		prev = at
+	}
+	return gap, resumedAt
+}

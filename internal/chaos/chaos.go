@@ -1,0 +1,380 @@
+// Package chaos is BlueDove's deterministic fault-injection subsystem: a
+// seeded Controller applies scheduled fault rules — per-link drop, delay and
+// duplicate probabilities, symmetric and asymmetric partitions, node
+// blackhole (crash), crash-restart, and slow nodes — to any
+// transport.Transport via a wrapping endpoint (see Wrap). A small Scenario
+// type sequences timed fault steps (At(2s).Partition(a, b), At(5s).Heal()),
+// and an Auditor checks the delivery-accounting invariants end-to-end: every
+// acked publication reaches every matching subscriber at least once, and no
+// subscriber receives a publication it did not match.
+//
+// Determinism: every probabilistic verdict (drop / duplicate / delay pick)
+// on a link is drawn from a per-link RNG seeded from (Controller seed, from,
+// to), so the verdict for the nth message on a link is a pure function of
+// the seed — independent of goroutine interleaving across links. Re-running
+// a scenario with the same seed reproduces the same fault schedule, which
+// every verdict trace (Verdicts) makes checkable.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Wildcard matches any address in fault-rule and partition keys.
+const Wildcard = "*"
+
+// LinkFaults are the probabilistic fault rules of one directed link.
+type LinkFaults struct {
+	// Drop is the probability a one-way frame is silently lost (requests
+	// fail with transport.ErrUnreachable instead — a lost request is
+	// indistinguishable from an unreachable peer to the caller).
+	Drop float64
+	// Duplicate is the probability a one-way frame is delivered twice.
+	Duplicate float64
+	// DelayMin/DelayMax bound the added per-frame latency, picked uniformly
+	// (both zero: no added delay).
+	DelayMin, DelayMax time.Duration
+}
+
+func (f LinkFaults) active() bool {
+	return f.Drop > 0 || f.Duplicate > 0 || f.DelayMax > 0
+}
+
+// Action is one verdict kind in a link's fault schedule.
+type Action uint8
+
+const (
+	// Pass delivers the frame unmodified (possibly delayed).
+	Pass Action = iota
+	// Drop loses the frame.
+	Drop
+	// Duplicate delivers the frame twice.
+	Duplicate
+)
+
+// String renders the action.
+func (a Action) String() string {
+	switch a {
+	case Pass:
+		return "pass"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "dup"
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// Verdict is one recorded fault decision: the Seq-th frame on a link under
+// active fault rules.
+type Verdict struct {
+	Seq    int
+	Action Action
+	Delay  time.Duration
+}
+
+// linkKey is a directed (from, to) address pair.
+type linkKey struct{ from, to string }
+
+// linkState is the deterministic per-link fault stream.
+type linkState struct {
+	rng   *rand.Rand
+	seq   int
+	trace []Verdict
+}
+
+// Controller holds the shared fault state for a set of wrapped endpoints.
+// All methods are safe for concurrent use.
+type Controller struct {
+	seed int64
+
+	mu     sync.Mutex
+	faults map[linkKey]LinkFaults
+	cut    map[linkKey]bool
+	killed map[string]bool
+	slow   map[string]time.Duration
+	links  map[linkKey]*linkState
+	events []string
+	closed bool
+	wg     sync.WaitGroup // deferred (delayed/duplicated) deliveries in flight
+}
+
+// NewController creates a fault controller. The seed fully determines every
+// probabilistic verdict; use a fixed seed to reproduce a fault schedule.
+func NewController(seed int64) *Controller {
+	return &Controller{
+		seed:   seed,
+		faults: make(map[linkKey]LinkFaults),
+		cut:    make(map[linkKey]bool),
+		killed: make(map[string]bool),
+		slow:   make(map[string]time.Duration),
+		links:  make(map[linkKey]*linkState),
+	}
+}
+
+// Seed returns the controller's seed (printed by soak tests for reproduction).
+func (c *Controller) Seed() int64 { return c.seed }
+
+// linkSeed derives the per-link RNG seed from the controller seed and the
+// link addresses, so each link's verdict stream is independent of traffic on
+// every other link.
+func (c *Controller) linkSeed(k linkKey) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(k.from))
+	h.Write([]byte{0})
+	h.Write([]byte(k.to))
+	return c.seed ^ int64(h.Sum64())
+}
+
+// SetFaults installs (or, with a zero LinkFaults, clears) the probabilistic
+// fault rules of the directed link from→to. Wildcard ("*") matches any
+// address; exact keys take precedence over (from, *), then (*, to), then
+// (*, *).
+func (c *Controller) SetFaults(from, to string, f LinkFaults) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := linkKey{from, to}
+	if f.active() {
+		c.faults[k] = f
+		c.eventLocked(fmt.Sprintf("faults %s->%s drop=%.2f dup=%.2f delay=[%v,%v]",
+			from, to, f.Drop, f.Duplicate, f.DelayMin, f.DelayMax))
+	} else {
+		delete(c.faults, k)
+		c.eventLocked(fmt.Sprintf("clear-faults %s->%s", from, to))
+	}
+}
+
+// faultsForLocked resolves the active fault rule for a link.
+func (c *Controller) faultsForLocked(from, to string) (LinkFaults, bool) {
+	for _, k := range []linkKey{{from, to}, {from, Wildcard}, {Wildcard, to}, {Wildcard, Wildcard}} {
+		if f, ok := c.faults[k]; ok {
+			return f, true
+		}
+	}
+	return LinkFaults{}, false
+}
+
+// Partition cuts (or heals, with cut=false) the directed link from→to.
+// Either side may be the Wildcard.
+func (c *Controller) Partition(from, to string, cut bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cut {
+		c.cut[linkKey{from, to}] = true
+		c.eventLocked(fmt.Sprintf("cut %s->%s", from, to))
+	} else {
+		delete(c.cut, linkKey{from, to})
+		c.eventLocked(fmt.Sprintf("heal %s->%s", from, to))
+	}
+}
+
+// PartitionBoth cuts (or heals) both directions between a and b — a
+// symmetric network partition.
+func (c *Controller) PartitionBoth(a, b string, cut bool) {
+	c.Partition(a, b, cut)
+	c.Partition(b, a, cut)
+}
+
+// Isolate cuts (or heals) every link to and from addr: the node stays up
+// but is unreachable in both directions — a full network partition of one
+// node.
+func (c *Controller) Isolate(addr string, cut bool) {
+	c.Partition(addr, Wildcard, cut)
+	c.Partition(Wildcard, addr, cut)
+}
+
+// Heal clears every partition (cut and isolation). Kills, slow nodes and
+// probabilistic fault rules are untouched; use Restart/SetSlow/SetFaults.
+func (c *Controller) Heal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cut = make(map[linkKey]bool)
+	c.eventLocked("heal-all")
+}
+
+// Kill blackholes addr: every frame to or from it is dropped and inbound
+// handling stops — indistinguishable from a crash to the rest of the
+// cluster.
+func (c *Controller) Kill(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.killed[addr] = true
+	c.eventLocked("kill " + addr)
+}
+
+// Restart revives a killed addr (crash-restart: the node never lost its
+// in-memory state; pair with a real process restart for amnesia crashes).
+func (c *Controller) Restart(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.killed, addr)
+	c.eventLocked("restart " + addr)
+}
+
+// Killed reports whether addr is currently blackholed (always false after
+// Close: a closed controller injects no faults).
+func (c *Controller) Killed(addr string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.closed && c.killed[addr]
+}
+
+// SetSlow adds extra latency to every frame sent or received by addr (zero
+// clears it).
+func (c *Controller) SetSlow(addr string, extra time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if extra > 0 {
+		c.slow[addr] = extra
+		c.eventLocked(fmt.Sprintf("slow %s +%v", addr, extra))
+	} else {
+		delete(c.slow, addr)
+		c.eventLocked("unslow " + addr)
+	}
+}
+
+// reachableLocked reports whether from can currently reach to under the
+// kill and partition state.
+func (c *Controller) reachableLocked(from, to string) bool {
+	if c.killed[from] || c.killed[to] {
+		return false
+	}
+	for _, k := range []linkKey{{from, to}, {from, Wildcard}, {Wildcard, to}} {
+		if c.cut[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// plan is one send/request decision.
+type plan struct {
+	unreachable bool
+	action      Action
+	delay       time.Duration
+}
+
+// plan computes the fault verdict for one frame from→to, consuming the
+// link's deterministic verdict stream when fault rules are active.
+func (c *Controller) plan(from, to string) plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return plan{}
+	}
+	if !c.reachableLocked(from, to) {
+		return plan{unreachable: true}
+	}
+	p := plan{delay: c.slow[from] + c.slow[to]}
+	f, ok := c.faultsForLocked(from, to)
+	if !ok {
+		return p
+	}
+	k := linkKey{from, to}
+	ls := c.links[k]
+	if ls == nil {
+		ls = &linkState{rng: rand.New(rand.NewSource(c.linkSeed(k)))}
+		c.links[k] = ls
+	}
+	// Fixed draw order (drop, duplicate, delay) keeps the stream stable
+	// across rule changes that only tweak probabilities.
+	pDrop := ls.rng.Float64()
+	pDup := ls.rng.Float64()
+	pDelay := ls.rng.Float64()
+	switch {
+	case pDrop < f.Drop:
+		p.action = Drop
+	case pDup < f.Duplicate:
+		p.action = Duplicate
+	}
+	if f.DelayMax > f.DelayMin {
+		p.delay += f.DelayMin + time.Duration(pDelay*float64(f.DelayMax-f.DelayMin))
+	} else {
+		p.delay += f.DelayMin
+	}
+	ls.trace = append(ls.trace, Verdict{Seq: ls.seq, Action: p.action, Delay: p.delay})
+	ls.seq++
+	return p
+}
+
+// Verdicts returns the recorded fault schedule of the directed link from→to:
+// one verdict per frame sent while fault rules were active. Two runs with
+// the same seed produce pairwise-equal prefixes.
+func (c *Controller) Verdicts(from, to string) []Verdict {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ls := c.links[linkKey{from, to}]
+	if ls == nil {
+		return nil
+	}
+	out := make([]Verdict, len(ls.trace))
+	copy(out, ls.trace)
+	return out
+}
+
+// TracedLinks lists every link with a recorded fault schedule.
+func (c *Controller) TracedLinks() [][2]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][2]string, 0, len(c.links))
+	for k := range c.links {
+		out = append(out, [2]string{k.from, k.to})
+	}
+	return out
+}
+
+// Events returns the ordered log of state changes (kills, partitions, rule
+// installs) applied to the controller.
+func (c *Controller) Events() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+func (c *Controller) eventLocked(s string) { c.events = append(c.events, s) }
+
+// after schedules fn on a deferred delivery (delay d, or immediately on a
+// fresh goroutine for d<=0), tracked so Close can wait for in-flight frames.
+func (c *Controller) after(d time.Duration, fn func()) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+	run := func() {
+		defer c.wg.Done()
+		c.mu.Lock()
+		dead := c.closed
+		c.mu.Unlock()
+		if !dead {
+			fn()
+		}
+	}
+	if d <= 0 {
+		go run()
+		return
+	}
+	time.AfterFunc(d, run)
+}
+
+// Close stops the controller: pending deferred deliveries are drained (or
+// discarded once their timers fire) and all future faults become no-ops.
+// Wrapped endpoints keep forwarding to their inner transports unmodified.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.wg.Wait()
+}

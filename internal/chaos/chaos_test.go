@@ -1,0 +1,415 @@
+package chaos
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// pair builds two wrapped mesh endpoints a→b with a counting handler on b.
+func pair(t *testing.T, ctrl *Controller) (a transport.Transport, received *atomic.Int64, mesh *transport.Mesh) {
+	t.Helper()
+	mesh = transport.NewMesh(0)
+	t.Cleanup(func() { mesh.Close() })
+	received = &atomic.Int64{}
+	b := Wrap(ctrl, mesh.Endpoint("b"), "b")
+	if _, err := b.Listen("b", func(env *wire.Envelope) *wire.Envelope {
+		received.Add(1)
+		if env.Kind == wire.KindTableRequest {
+			return &wire.Envelope{Kind: wire.KindTableResponse, From: 2}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a = Wrap(ctrl, mesh.Endpoint("a"), "a")
+	return a, received, mesh
+}
+
+func env() *wire.Envelope {
+	return &wire.Envelope{Kind: wire.KindForward, From: 1, Body: []byte("x")}
+}
+
+// waitCount polls until received reaches want or the deadline passes.
+func waitCount(t *testing.T, received *atomic.Int64, want int64, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if received.Load() >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("received %d, want >= %d", received.Load(), want)
+}
+
+func TestPassThroughNoFaults(t *testing.T) {
+	ctrl := NewController(1)
+	defer ctrl.Close()
+	a, received, _ := pair(t, ctrl)
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", env()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCount(t, received, 10, 2*time.Second)
+	if resp, err := a.Request("b", &wire.Envelope{Kind: wire.KindTableRequest}, time.Second); err != nil || resp.Kind != wire.KindTableResponse {
+		t.Fatalf("request: %v %v", resp, err)
+	}
+	if got := ctrl.Verdicts("a", "b"); got != nil {
+		t.Fatalf("fault-free link recorded verdicts: %v", got)
+	}
+}
+
+func TestDropAllLosesSendsSilently(t *testing.T) {
+	ctrl := NewController(7)
+	defer ctrl.Close()
+	a, received, _ := pair(t, ctrl)
+	ctrl.SetFaults("a", "b", LinkFaults{Drop: 1})
+	for i := 0; i < 20; i++ {
+		if err := a.Send("b", env()); err != nil {
+			t.Fatalf("dropped send must look successful: %v", err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := received.Load(); got != 0 {
+		t.Fatalf("%d frames leaked through Drop=1", got)
+	}
+	if _, err := a.Request("b", &wire.Envelope{Kind: wire.KindTableRequest}, time.Second); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("dropped request error = %v, want ErrUnreachable", err)
+	}
+	if len(ctrl.Verdicts("a", "b")) != 21 {
+		t.Fatalf("verdict trace: %v", ctrl.Verdicts("a", "b"))
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	ctrl := NewController(7)
+	defer ctrl.Close()
+	a, received, _ := pair(t, ctrl)
+	ctrl.SetFaults("a", "b", LinkFaults{Duplicate: 1})
+	const n = 15
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", env()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCount(t, received, 2*n, 2*time.Second)
+	time.Sleep(30 * time.Millisecond)
+	if got := received.Load(); got != 2*n {
+		t.Fatalf("received %d, want exactly %d", got, 2*n)
+	}
+}
+
+func TestDelayDefersDelivery(t *testing.T) {
+	ctrl := NewController(7)
+	defer ctrl.Close()
+	a, received, _ := pair(t, ctrl)
+	ctrl.SetFaults("a", "b", LinkFaults{DelayMin: 60 * time.Millisecond, DelayMax: 80 * time.Millisecond})
+	start := time.Now()
+	if err := a.Send("b", env()); err != nil {
+		t.Fatal(err)
+	}
+	if received.Load() != 0 {
+		t.Fatal("frame arrived before its delay")
+	}
+	waitCount(t, received, 1, 2*time.Second)
+	if since := time.Since(start); since < 55*time.Millisecond {
+		t.Fatalf("frame arrived after %v, want >= ~60ms", since)
+	}
+}
+
+// TestDelayedSendCopiesBody: a deferred frame must not alias the caller's
+// buffer (pooled encode buffers are recycled right after Send).
+func TestDelayedSendCopiesBody(t *testing.T) {
+	ctrl := NewController(7)
+	defer ctrl.Close()
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	var got atomic.Value
+	b := Wrap(ctrl, mesh.Endpoint("b"), "b")
+	if _, err := b.Listen("b", func(e *wire.Envelope) *wire.Envelope {
+		got.Store(string(e.Body))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a := Wrap(ctrl, mesh.Endpoint("a"), "a")
+	ctrl.SetFaults("a", "b", LinkFaults{DelayMin: 30 * time.Millisecond, DelayMax: 40 * time.Millisecond})
+	body := []byte("payload")
+	if err := a.Send("b", &wire.Envelope{Kind: wire.KindForward, Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	copy(body, "XXXXXXX") // recycle the buffer while the frame is in flight
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() == nil && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if v, _ := got.Load().(string); v != "payload" {
+		t.Fatalf("delivered body %q, want %q", v, "payload")
+	}
+}
+
+func TestKillRestartBlackhole(t *testing.T) {
+	ctrl := NewController(7)
+	defer ctrl.Close()
+	a, received, mesh := pair(t, ctrl)
+	ctrl.Kill("b")
+	if err := a.Send("b", env()); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("send to killed node: %v, want ErrUnreachable", err)
+	}
+	// Inbound traffic from an unwrapped sender is blackholed at the handler.
+	raw := mesh.Endpoint("c")
+	if err := raw.Send("b", env()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if received.Load() != 0 {
+		t.Fatal("killed node handled inbound traffic")
+	}
+	// Outbound from the killed node is blackholed too.
+	bOut := Wrap(ctrl, mesh.Endpoint("b-out"), "b")
+	if err := bOut.Send("a", env()); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("send from killed node: %v, want ErrUnreachable", err)
+	}
+	ctrl.Restart("b")
+	if err := a.Send("b", env()); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, received, 1, 2*time.Second)
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	ctrl := NewController(7)
+	defer ctrl.Close()
+	a, received, _ := pair(t, ctrl)
+	ctrl.PartitionBoth("a", "b", true)
+	if err := a.Send("b", env()); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("partitioned send: %v", err)
+	}
+	ctrl.Heal()
+	if err := a.Send("b", env()); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, received, 1, 2*time.Second)
+
+	// Asymmetric: a→b cut, b→a open.
+	ctrl.Partition("a", "b", true)
+	if err := a.Send("b", env()); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("one-way cut: %v", err)
+	}
+	ctrl.Partition("a", "b", false)
+
+	// Isolation cuts wildcard links in both directions.
+	ctrl.Isolate("b", true)
+	if err := a.Send("b", env()); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("isolated send: %v", err)
+	}
+	ctrl.Isolate("b", false)
+	if err := a.Send("b", env()); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, received, 2, 2*time.Second)
+}
+
+func TestSlowNodeAddsLatency(t *testing.T) {
+	ctrl := NewController(7)
+	defer ctrl.Close()
+	a, received, _ := pair(t, ctrl)
+	ctrl.SetSlow("b", 70*time.Millisecond)
+	start := time.Now()
+	if _, err := a.Request("b", &wire.Envelope{Kind: wire.KindTableRequest}, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if since := time.Since(start); since < 65*time.Millisecond {
+		t.Fatalf("request took %v, want >= ~70ms", since)
+	}
+	before := received.Load()
+	if err := a.Send("b", env()); err != nil {
+		t.Fatal(err)
+	}
+	if received.Load() != before {
+		t.Fatal("slow-node frame arrived immediately")
+	}
+	waitCount(t, received, before+1, 2*time.Second)
+	ctrl.SetSlow("b", 0)
+}
+
+// TestDeterministicVerdicts drives the same single-threaded frame sequence
+// under two controllers with the same seed: the verdict traces must be
+// identical. A third controller with another seed must diverge.
+func TestDeterministicVerdicts(t *testing.T) {
+	run := func(seed int64) []Verdict {
+		ctrl := NewController(seed)
+		defer ctrl.Close()
+		a, _, _ := pair(t, ctrl)
+		ctrl.SetFaults("a", "b", LinkFaults{
+			Drop: 0.3, Duplicate: 0.2,
+			DelayMin: time.Millisecond, DelayMax: 5 * time.Millisecond,
+		})
+		for i := 0; i < 200; i++ {
+			_ = a.Send("b", env())
+		}
+		return ctrl.Verdicts("a", "b")
+	}
+	t1, t2, t3 := run(42), run(42), run(43)
+	if len(t1) != 200 || len(t2) != 200 {
+		t.Fatalf("trace lengths %d, %d, want 200", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("same-seed traces diverge at %d: %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+	same := 0
+	for i := range t1 {
+		if t1[i] == t3[i] {
+			same++
+		}
+	}
+	if same == len(t1) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+// TestPerLinkIsolation: traffic on one link must not perturb another link's
+// verdict stream (each has its own seeded RNG).
+func TestPerLinkIsolation(t *testing.T) {
+	trace := func(interleave bool) []Verdict {
+		ctrl := NewController(11)
+		defer ctrl.Close()
+		mesh := transport.NewMesh(0)
+		defer mesh.Close()
+		sink := func(*wire.Envelope) *wire.Envelope { return nil }
+		for _, addr := range []string{"x", "y"} {
+			ep := Wrap(ctrl, mesh.Endpoint(addr), addr)
+			if _, err := ep.Listen(addr, sink); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a := Wrap(ctrl, mesh.Endpoint("a"), "a")
+		ctrl.SetFaults("a", "x", LinkFaults{Drop: 0.5})
+		ctrl.SetFaults("a", "y", LinkFaults{Drop: 0.5})
+		for i := 0; i < 100; i++ {
+			_ = a.Send("x", env())
+			if interleave {
+				_ = a.Send("y", env())
+			}
+		}
+		return ctrl.Verdicts("a", "x")
+	}
+	with, without := trace(true), trace(false)
+	for i := range with {
+		if with[i] != without[i] {
+			t.Fatalf("cross-link traffic perturbed link a->x at %d", i)
+		}
+	}
+}
+
+func TestScenarioRunsStepsInOrder(t *testing.T) {
+	ctrl := NewController(1)
+	defer ctrl.Close()
+	var order []string // appended only from the scenario goroutine, read after Wait
+	mark := func(s string) func() {
+		return func() { order = append(order, s) }
+	}
+	sc := NewScenario().
+		At(60 * time.Millisecond).Do(mark("second")).
+		At(20 * time.Millisecond).Do(mark("first")).Kill("m").
+		At(100 * time.Millisecond).Restart("m").Do(mark("third"))
+	run := sc.Run(ctrl)
+	time.Sleep(40 * time.Millisecond)
+	if !ctrl.Killed("m") {
+		t.Fatal("kill step not applied by 40ms")
+	}
+	run.Wait()
+	if ctrl.Killed("m") {
+		t.Fatal("restart step not applied")
+	}
+	if len(order) != 3 || order[0] != "first" || order[1] != "second" || order[2] != "third" {
+		t.Fatalf("step order: %v", order)
+	}
+}
+
+func TestScenarioStopAborts(t *testing.T) {
+	ctrl := NewController(1)
+	defer ctrl.Close()
+	sc := NewScenario().At(10 * time.Hour).Kill("m")
+	run := sc.Run(ctrl)
+	run.Stop()
+	run.Wait()
+	if ctrl.Killed("m") {
+		t.Fatal("aborted step still applied")
+	}
+}
+
+func TestAuditorInvariants(t *testing.T) {
+	a := NewAuditor()
+	a.Subscribed(1, []core.Range{{Low: 0, High: 10}})
+	a.Subscribed(2, []core.Range{{Low: 90, High: 100}})
+	a.Published("m1", []float64{5})  // matches sub 1 only
+	a.Published("m2", []float64{95}) // matches sub 2 only
+	if got := a.Expected(); got != 2 {
+		t.Fatalf("expected pairs = %d, want 2", got)
+	}
+	if err := a.Check(); err == nil {
+		t.Fatal("missing deliveries not reported")
+	}
+	a.Delivered(1, &core.Message{Attrs: []float64{5}, Payload: []byte("m1")})
+	a.Delivered(2, &core.Message{Attrs: []float64{95}, Payload: []byte("m2")})
+	if err := a.Check(); err != nil {
+		t.Fatalf("complete accounting rejected: %v", err)
+	}
+	// Duplicates are tolerated and counted.
+	a.Delivered(1, &core.Message{Attrs: []float64{5}, Payload: []byte("m1")})
+	if err := a.Check(); err != nil {
+		t.Fatalf("duplicate delivery flagged: %v", err)
+	}
+	if a.Duplicates() != 1 {
+		t.Fatalf("duplicates = %d, want 1", a.Duplicates())
+	}
+	// Spurious: subscriber 1 must never see m2.
+	a.Delivered(1, &core.Message{Attrs: []float64{95}, Payload: []byte("m2")})
+	if err := a.Check(); err == nil {
+		t.Fatal("spurious delivery not reported")
+	}
+	if len(a.Spurious()) != 1 {
+		t.Fatalf("spurious: %v", a.Spurious())
+	}
+}
+
+func TestAuditorWaitComplete(t *testing.T) {
+	a := NewAuditor()
+	a.Subscribed(1, []core.Range{{Low: 0, High: 10}})
+	a.Published("m", []float64{3})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		a.Delivered(1, &core.Message{Attrs: []float64{3}, Payload: []byte("m")})
+	}()
+	if err := a.WaitComplete(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	b := NewAuditor()
+	b.Subscribed(1, []core.Range{{Low: 0, High: 10}})
+	b.Published("never", []float64{3})
+	if err := b.WaitComplete(50 * time.Millisecond); err == nil {
+		t.Fatal("timeout with missing deliveries returned nil")
+	}
+}
+
+func TestControllerCloseStopsFaults(t *testing.T) {
+	ctrl := NewController(1)
+	a, received, _ := pair(t, ctrl)
+	ctrl.Kill("b")
+	ctrl.Close()
+	// After close the wrapper is transparent: faults no longer apply.
+	if err := a.Send("b", env()); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, received, 1, 2*time.Second)
+}

@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Scenario is an ordered schedule of timed fault steps, built with the
+// At(...) DSL and executed against a Controller by Run:
+//
+//	sc := chaos.NewScenario().
+//		At(2*time.Second).Partition(a, b).
+//		At(3*time.Second).Kill(matcher2).
+//		At(5*time.Second).Heal()
+//	run := sc.Run(ctrl)
+//	defer run.Stop()
+//
+// Step offsets are relative to the Run call. Steps sharing an offset apply
+// in the order they were declared.
+type Scenario struct {
+	steps []timedStep
+}
+
+type timedStep struct {
+	at    time.Duration
+	idx   int // declaration order, for stable sorting
+	apply func(*Controller)
+}
+
+// NewScenario creates an empty scenario.
+func NewScenario() *Scenario { return &Scenario{} }
+
+// At starts a step at the given offset from scenario start.
+func (s *Scenario) At(d time.Duration) *Step { return &Step{s: s, at: d} }
+
+// Step builds one or more fault actions at a fixed offset. Every action
+// method returns the Step so same-time actions chain; At starts the next
+// offset.
+type Step struct {
+	s  *Scenario
+	at time.Duration
+}
+
+// At starts a new step at another offset (chaining convenience).
+func (st *Step) At(d time.Duration) *Step { return st.s.At(d) }
+
+// Run executes the whole scenario this step belongs to (chaining
+// convenience, so a fluent build ends directly in Run).
+func (st *Step) Run(ctrl *Controller) *Run { return st.s.Run(ctrl) }
+
+func (st *Step) add(apply func(*Controller)) *Step {
+	st.s.steps = append(st.s.steps, timedStep{at: st.at, idx: len(st.s.steps), apply: apply})
+	return st
+}
+
+// Partition cuts both directions between a and b.
+func (st *Step) Partition(a, b string) *Step {
+	return st.add(func(c *Controller) { c.PartitionBoth(a, b, true) })
+}
+
+// PartitionOneWay cuts only the directed link from→to (an asymmetric
+// failure: from's frames are lost, to's still arrive).
+func (st *Step) PartitionOneWay(from, to string) *Step {
+	return st.add(func(c *Controller) { c.Partition(from, to, true) })
+}
+
+// Isolate cuts every link to and from addr.
+func (st *Step) Isolate(addr string) *Step {
+	return st.add(func(c *Controller) { c.Isolate(addr, true) })
+}
+
+// Heal clears every partition and isolation.
+func (st *Step) Heal() *Step {
+	return st.add(func(c *Controller) { c.Heal() })
+}
+
+// Kill blackholes addr (crash).
+func (st *Step) Kill(addr string) *Step {
+	return st.add(func(c *Controller) { c.Kill(addr) })
+}
+
+// Restart revives a killed addr.
+func (st *Step) Restart(addr string) *Step {
+	return st.add(func(c *Controller) { c.Restart(addr) })
+}
+
+// Slow adds extra latency to every frame to or from addr.
+func (st *Step) Slow(addr string, extra time.Duration) *Step {
+	return st.add(func(c *Controller) { c.SetSlow(addr, extra) })
+}
+
+// Faults installs probabilistic fault rules on the directed link from→to.
+func (st *Step) Faults(from, to string, f LinkFaults) *Step {
+	return st.add(func(c *Controller) { c.SetFaults(from, to, f) })
+}
+
+// Do runs an arbitrary callback (e.g. a real process kill through the
+// cluster API) at the step's offset.
+func (st *Step) Do(fn func()) *Step {
+	return st.add(func(*Controller) { fn() })
+}
+
+// Run executes the scenario against ctrl on a background goroutine and
+// returns a handle to wait for completion or abort early.
+func (s *Scenario) Run(ctrl *Controller) *Run {
+	steps := make([]timedStep, len(s.steps))
+	copy(steps, s.steps)
+	sort.SliceStable(steps, func(i, j int) bool {
+		if steps[i].at != steps[j].at {
+			return steps[i].at < steps[j].at
+		}
+		return steps[i].idx < steps[j].idx
+	})
+	r := &Run{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		start := time.Now()
+		for _, st := range steps {
+			wait := st.at - time.Since(start)
+			if wait > 0 {
+				select {
+				case <-r.stop:
+					return
+				case <-time.After(wait):
+				}
+			} else {
+				select {
+				case <-r.stop:
+					return
+				default:
+				}
+			}
+			st.apply(ctrl)
+		}
+	}()
+	return r
+}
+
+// Run is a handle on one executing scenario.
+type Run struct {
+	stop chan struct{}
+	once sync.Once
+	done chan struct{}
+}
+
+// Wait blocks until every step has been applied (or Stop was called).
+func (r *Run) Wait() { <-r.done }
+
+// Stop aborts any steps not yet applied.
+func (r *Run) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}

@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// Wrap returns a Transport view of inner with ctrl's faults applied to every
+// frame sent or served by this endpoint. self is the endpoint's address for
+// fault bookkeeping: on the in-process mesh it is the mesh label; when the
+// endpoint Listens, self is replaced by the bound address, so ":0"-style TCP
+// listeners are addressed by their real port in fault rules.
+//
+// Fault application:
+//   - Send: kill/partition → transport.ErrUnreachable; drop → silently lost
+//     (the caller sees success, as on a real lossy network); delay/duplicate
+//     → the frame (body copied) is re-sent on deferred goroutines.
+//   - Request: kill/partition and drop → transport.ErrUnreachable (a lost
+//     request is indistinguishable from an unreachable peer); delay → the
+//     round-trip is slowed inline.
+//   - Listen: inbound frames to a killed endpoint are discarded before the
+//     handler runs.
+func Wrap(ctrl *Controller, inner transport.Transport, self string) transport.Transport {
+	return &endpoint{ctrl: ctrl, inner: inner, self: self}
+}
+
+// endpoint applies a Controller's faults to one node's transport.
+type endpoint struct {
+	ctrl  *Controller
+	inner transport.Transport
+
+	mu   sync.Mutex
+	self string
+}
+
+func (e *endpoint) selfAddr() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.self
+}
+
+// Listen implements transport.Transport: inbound traffic to a killed
+// endpoint is blackholed before the handler runs.
+func (e *endpoint) Listen(addr string, h Handler) (string, error) {
+	wrapped := func(env *wire.Envelope) *wire.Envelope {
+		if e.ctrl.Killed(e.selfAddr()) {
+			return nil
+		}
+		return h(env)
+	}
+	bound, err := e.inner.Listen(addr, wrapped)
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	e.self = bound
+	e.mu.Unlock()
+	return bound, nil
+}
+
+// Handler aliases transport.Handler for readability.
+type Handler = transport.Handler
+
+// Send implements transport.Transport with the controller's faults applied.
+func (e *endpoint) Send(addr string, env *wire.Envelope) error {
+	self := e.selfAddr()
+	p := e.ctrl.plan(self, addr)
+	if p.unreachable {
+		return fmt.Errorf("%w: chaos: %s -> %s", transport.ErrUnreachable, self, addr)
+	}
+	if p.action == Drop {
+		return nil // lost on the wire; the sender cannot tell
+	}
+	copies := 1
+	if p.action == Duplicate {
+		copies = 2
+	}
+	if p.delay <= 0 && copies == 1 {
+		return e.inner.Send(addr, env)
+	}
+	// Deferred delivery: the caller may recycle env.Body as soon as we
+	// return, so ship copies.
+	for i := 0; i < copies; i++ {
+		clone := cloneEnvelope(env)
+		e.ctrl.after(p.delay, func() { _ = e.inner.Send(addr, clone) })
+	}
+	return nil
+}
+
+// Request implements transport.Transport with the controller's faults
+// applied to the request leg.
+func (e *endpoint) Request(addr string, env *wire.Envelope, timeout time.Duration) (*wire.Envelope, error) {
+	self := e.selfAddr()
+	p := e.ctrl.plan(self, addr)
+	if p.unreachable || p.action == Drop {
+		return nil, fmt.Errorf("%w: chaos: %s -> %s", transport.ErrUnreachable, self, addr)
+	}
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	resp, err := e.inner.Request(addr, env, timeout)
+	if err != nil {
+		return nil, err
+	}
+	// The response leg crosses the reverse link: a partition or kill raised
+	// after the request went out loses the response.
+	if rp := e.ctrl.plan(addr, self); rp.unreachable || rp.action == Drop {
+		return nil, fmt.Errorf("%w: chaos: response %s -> %s lost", transport.ErrUnreachable, addr, self)
+	}
+	return resp, nil
+}
+
+// Close implements transport.Transport.
+func (e *endpoint) Close() error { return e.inner.Close() }
+
+// SendCopies implements transport.Copying: the immediate path forwards
+// straight to the inner transport (its guarantee applies); the deferred
+// path always copies before returning.
+func (e *endpoint) SendCopies() bool { return transport.SendCopies(e.inner) }
+
+// cloneEnvelope deep-copies env so deferred deliveries never alias pooled
+// sender buffers.
+func cloneEnvelope(env *wire.Envelope) *wire.Envelope {
+	body := make([]byte, len(env.Body))
+	copy(body, env.Body)
+	return &wire.Envelope{Kind: env.Kind, From: env.From, Body: body}
+}

@@ -118,15 +118,25 @@ func (c *Client) Unsubscribe(id core.SubscriptionID) error {
 
 // Publish sends one publication (a point in the attribute space plus an
 // opaque payload). Payloads too large for a wire frame are rejected here so
-// applications get an error rather than the codec's panic.
+// applications get an error rather than the codec's panic. A transient
+// unreachable dispatcher (stale pooled connection, brief blip) is retried
+// once; when the dispatcher is really gone the caller gets a clean error
+// naming it rather than an indefinite hang.
 func (c *Client) Publish(attrs []float64, payload []byte) error {
 	if len(payload)+64+8*len(attrs) > wire.MaxFrame {
 		return fmt.Errorf("%w: %d-byte payload", wire.ErrBodyTooLarge, len(payload))
 	}
 	msg := core.NewMessage(attrs, payload)
 	body := (&wire.PublishBody{Msg: msg}).Encode()
-	return c.cfg.Transport.Send(c.cfg.DispatcherAddr,
-		&wire.Envelope{Kind: wire.KindPublish, Body: body})
+	env := &wire.Envelope{Kind: wire.KindPublish, Body: body}
+	err := c.cfg.Transport.Send(c.cfg.DispatcherAddr, env)
+	if errors.Is(err, transport.ErrUnreachable) {
+		err = c.cfg.Transport.Send(c.cfg.DispatcherAddr, env)
+		if errors.Is(err, transport.ErrUnreachable) {
+			return fmt.Errorf("client: dispatcher %s unreachable: %w", c.cfg.DispatcherAddr, err)
+		}
+	}
+	return err
 }
 
 // Poll fetches up to max queued notifications (indirect mode); max <= 0

@@ -2,6 +2,7 @@ package client
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -232,4 +233,101 @@ func TestPublishOversizePayloadRejected(t *testing.T) {
 	if err := cl.Publish([]float64{1}, []byte("ok")); err != nil {
 		t.Fatalf("publish after oversize rejection: %v", err)
 	}
+}
+
+// TestPublishCleanErrorWhenDispatcherDies: a dispatcher that dies between
+// subscribe and publish must surface as a prompt, classifiable error naming
+// the dispatcher — never an indefinite block.
+func TestPublishCleanErrorWhenDispatcherDies(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	startFake(t, mesh)
+	cl, err := New(Config{Transport: mesh.Endpoint("c"), DispatcherAddr: "disp", Subscriber: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Subscribe([]core.Range{{Low: 1, High: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	mesh.SetDown("disp", true)
+	start := time.Now()
+	err = cl.Publish([]float64{1}, []byte("orphan"))
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("publish against a dead dispatcher blocked for %v", elapsed)
+	}
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("publish error = %v, want ErrUnreachable", err)
+	}
+	if !strings.Contains(err.Error(), "dispatcher disp unreachable") {
+		t.Fatalf("publish error %q does not name the dispatcher", err)
+	}
+}
+
+// flakySend wraps a transport, failing the first n Sends with
+// ErrUnreachable.
+type flakySend struct {
+	transport.Transport
+	mu    sync.Mutex
+	fails int
+	sends int
+}
+
+func (f *flakySend) Send(addr string, env *wire.Envelope) error {
+	f.mu.Lock()
+	f.sends++
+	fail := f.fails > 0
+	if fail {
+		f.fails--
+	}
+	f.mu.Unlock()
+	if fail {
+		return transport.ErrUnreachable
+	}
+	return f.Transport.Send(addr, env)
+}
+
+// TestPublishRetriesOnceOnUnreachable: one transient unreachable error is
+// absorbed by a single retry; two in a row fail.
+func TestPublishRetriesOnceOnUnreachable(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	fake := startFake(t, mesh)
+	fl := &flakySend{Transport: mesh.Endpoint("c"), fails: 1}
+	cl, err := New(Config{Transport: fl, DispatcherAddr: "disp", Subscriber: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Publish([]float64{5}, []byte("retried")); err != nil {
+		t.Fatalf("publish with one transient failure: %v", err)
+	}
+	waitForCond(t, func() bool {
+		fake.mu.Lock()
+		defer fake.mu.Unlock()
+		return len(fake.pubs) == 1
+	})
+	fl.mu.Lock()
+	sends := fl.sends
+	fl.mu.Unlock()
+	if sends != 2 {
+		t.Fatalf("sends = %d, want 2 (original + one retry)", sends)
+	}
+
+	fl.mu.Lock()
+	fl.fails = 2
+	fl.mu.Unlock()
+	if err := cl.Publish([]float64{5}, nil); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("publish with persistent failure: err = %v, want ErrUnreachable", err)
+	}
+}
+
+func waitForCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
 }

@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"time"
 
+	"bluedove/internal/chaos"
 	"bluedove/internal/client"
 	"bluedove/internal/core"
 	"bluedove/internal/dispatcher"
 	"bluedove/internal/forward"
+	"bluedove/internal/gossip"
 	"bluedove/internal/index"
 	"bluedove/internal/matcher"
 	"bluedove/internal/partition"
@@ -66,6 +68,11 @@ type Options struct {
 	// TCPFlushInterval, when positive on a TCP cluster, enables transport
 	// write coalescing on every node (see transport.TCP.FlushInterval).
 	TCPFlushInterval time.Duration
+	// Chaos, when non-nil, wraps every node's transport in the
+	// fault-injection controller: scheduled drops, delays, duplicates,
+	// partitions and kills apply to all cluster traffic, keyed by node
+	// address (mesh labels like "matcher-1", or the bound TCP address).
+	Chaos *chaos.Controller
 }
 
 func (o *Options) defaults() error {
@@ -111,6 +118,7 @@ type Cluster struct {
 	matchers    map[core.NodeID]*matcher.Matcher
 	matcherTr   map[core.NodeID]transport.Transport
 	order       []core.NodeID
+	stopped     map[core.NodeID]bool // matchers crashed via CrashMatcher
 
 	nextNode       core.NodeID
 	nextSubscriber core.SubscriberID
@@ -127,6 +135,7 @@ func Start(opts Options) (*Cluster, error) {
 		opts:      opts,
 		matchers:  make(map[core.NodeID]*matcher.Matcher),
 		matcherTr: make(map[core.NodeID]transport.Transport),
+		stopped:   make(map[core.NodeID]bool),
 		nextNode:  1,
 	}
 	if !opts.TCP {
@@ -169,14 +178,21 @@ func Start(opts Options) (*Cluster, error) {
 	return c, nil
 }
 
-// newTransport creates the per-node transport.
+// newTransport creates the per-node transport, wrapped in the chaos
+// controller when one is configured.
 func (c *Cluster) newTransport(label string) transport.Transport {
+	var tr transport.Transport
 	if c.opts.TCP {
 		t := transport.NewTCP()
 		t.FlushInterval = c.opts.TCPFlushInterval
-		return t
+		tr = t
+	} else {
+		tr = c.mesh.Endpoint(label)
 	}
-	return c.mesh.Endpoint(label)
+	if c.opts.Chaos != nil {
+		tr = chaos.Wrap(c.opts.Chaos, tr, label)
+	}
+	return tr
 }
 
 // nodeAddr returns the listen address for a node label.
@@ -306,11 +322,25 @@ func (c *Cluster) CrashMatcher(id core.NodeID) error {
 	if c.mesh != nil {
 		c.mesh.SetDown(m.Addr(), true)
 	}
+	if c.opts.Chaos != nil {
+		c.opts.Chaos.Kill(m.Addr())
+	}
 	m.Stop()
+	c.stopped[id] = true
 	if c.opts.TCP {
 		c.matcherTr[id].Close()
 	}
 	return nil
+}
+
+// MatcherAddr returns the transport address of a started matcher (crashed
+// ones included), for addressing chaos scenarios at cluster nodes.
+func (c *Cluster) MatcherAddr(id core.NodeID) (string, bool) {
+	m, ok := c.matchers[id]
+	if !ok {
+		return "", false
+	}
+	return m.Addr(), true
 }
 
 // IsolateMatcherOutbound cuts (or heals) every outbound link of a matcher
@@ -401,6 +431,83 @@ func (c *Cluster) WaitForTable(version uint64, timeout time.Duration) error {
 		time.Sleep(10 * time.Millisecond)
 	}
 	return errors.New("cluster: table propagation timed out")
+}
+
+// CheckConvergence audits post-fault agreement across the surviving nodes:
+// every live dispatcher and matcher must (a) agree on one segment-table
+// version, (b) consider every other survivor alive, and (c) consider every
+// crashed matcher not alive. A nil return means the control plane has
+// re-converged after faults healed.
+func (c *Cluster) CheckConvergence() error {
+	type node struct {
+		name string
+		gsp  *gossip.Gossiper
+		tab  *partition.Table
+	}
+	var live []node
+	for _, d := range c.dispatchers {
+		live = append(live, node{fmt.Sprintf("dispatcher-%d", d.ID()), d.Gossiper(), d.Table()})
+	}
+	for _, id := range c.order {
+		if c.stopped[id] {
+			continue
+		}
+		m := c.matchers[id]
+		live = append(live, node{fmt.Sprintf("matcher-%d", id), m.Gossiper(), m.Table()})
+	}
+	if len(live) == 0 {
+		return errors.New("cluster: no survivors to converge")
+	}
+	var version uint64
+	for i, n := range live {
+		if n.tab == nil {
+			return fmt.Errorf("cluster: %s has no segment table", n.name)
+		}
+		if i == 0 {
+			version = n.tab.Version()
+		} else if v := n.tab.Version(); v != version {
+			return fmt.Errorf("cluster: segment tables diverge: %s at v%d, %s at v%d",
+				live[0].name, version, n.name, v)
+		}
+	}
+	liveIDs := make(map[core.NodeID]string)
+	for _, d := range c.dispatchers {
+		liveIDs[d.ID()] = fmt.Sprintf("dispatcher-%d", d.ID())
+	}
+	for _, id := range c.order {
+		if !c.stopped[id] {
+			liveIDs[id] = fmt.Sprintf("matcher-%d", id)
+		}
+	}
+	for _, n := range live {
+		for id, name := range liveIDs {
+			if !n.gsp.Alive(id) {
+				return fmt.Errorf("cluster: %s believes survivor %s dead", n.name, name)
+			}
+		}
+		for id := range c.stopped {
+			if n.gsp.Alive(id) {
+				return fmt.Errorf("cluster: %s believes crashed matcher-%d alive", n.name, id)
+			}
+		}
+	}
+	return nil
+}
+
+// WaitConverged polls CheckConvergence until it passes or the timeout
+// elapses (returning the last failure).
+func (c *Cluster) WaitConverged(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var err error
+	for {
+		if err = c.CheckConvergence(); err == nil {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("cluster: convergence timed out: %w", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 // Close stops every node.

@@ -495,6 +495,14 @@ func (d *Dispatcher) handlePublish(msg *core.Message) {
 		}
 		return
 	}
+	if d.cfg.Persistent {
+		// No candidate reachable right now — e.g. every owner of this point
+		// just crashed. The publication is already accepted, so retain it:
+		// recovery reassigns the dead matcher's segments and the retransmit
+		// loop re-forwards to the new owners.
+		d.track(msg, 0)
+		return
+	}
 	d.DroppedNoCandidate.Add(1)
 }
 
@@ -536,8 +544,13 @@ func (d *Dispatcher) forwardOnce(t *partition.Table, msg *core.Message,
 	return false, 0
 }
 
-// track retains an unacked forward for retransmission.
+// track retains an unacked forward for retransmission; to == 0 records a
+// publication that could not be forwarded at all (no candidate tried yet).
 func (d *Dispatcher) track(msg *core.Message, to core.NodeID) {
+	tried := map[core.NodeID]bool{}
+	if to != 0 {
+		tried[to] = true
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.inflight) >= d.cfg.MaxInflight {
@@ -545,7 +558,7 @@ func (d *Dispatcher) track(msg *core.Message, to core.NodeID) {
 	}
 	d.inflight[msg.ID] = &inflightMsg{
 		msg:      msg,
-		tried:    map[core.NodeID]bool{to: true},
+		tried:    tried,
 		deadline: d.cfg.Now() + int64(d.cfg.RetryInterval),
 	}
 }

@@ -1,0 +1,212 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bluedove/internal/chaos"
+	"bluedove/internal/core"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// newChaosCluster builds n gossipers whose mesh endpoints are wrapped by the
+// chaos controller, with explicit suspect/fail timeouts. Rounds are driven
+// manually via the shared virtual clock.
+func newChaosCluster(t *testing.T, ctrl *chaos.Controller, mesh *transport.Mesh,
+	clock *testClock, n int) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("node-%d", i+1)
+		ep := chaos.Wrap(ctrl, mesh.Endpoint(addr), addr)
+		g, err := New(Config{
+			ID:           core.NodeID(i + 1),
+			Addr:         addr,
+			Role:         core.RoleMatcher,
+			Transport:    ep,
+			Seeds:        []string{"node-1"},
+			Interval:     time.Second,
+			SuspectAfter: 3 * time.Second,
+			FailAfter:    6 * time.Second,
+			Generation:   1,
+			Now:          clock.Now,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ep.Listen(addr, func(env *wire.Envelope) *wire.Envelope {
+			if env.Kind == wire.KindGossip {
+				return g.HandleGossip(env)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = &testNode{g: g, addr: addr}
+	}
+	return nodes
+}
+
+// settle lets wall-clock-delayed chaos frames land between virtual rounds.
+func settle() { time.Sleep(10 * time.Millisecond) }
+
+// TestSuspectDeadRejoinUnderIsolation walks one node through the full
+// liveness lifecycle: alive → suspect (heartbeat stalled past SuspectAfter)
+// → dead (past FailAfter) → alive again after the partition heals.
+func TestSuspectDeadRejoinUnderIsolation(t *testing.T) {
+	ctrl := chaos.NewController(42)
+	defer ctrl.Close()
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	clock := &testClock{}
+	nodes := newChaosCluster(t, ctrl, mesh, clock, 4)
+	rounds(clock, nodes, 6)
+	observers := nodes[:3]
+	for _, n := range observers {
+		if got := n.g.Status(4); got != StatusAlive {
+			t.Fatalf("%s: node 4 status %v before any fault", n.addr, got)
+		}
+	}
+
+	// Full network partition of node 4 (it keeps running — not a crash).
+	ctrl.Isolate("node-4", true)
+
+	// 4 rounds = 4s of stall: past SuspectAfter (3s), before FailAfter (6s).
+	rounds(clock, observers, 4)
+	for _, n := range observers {
+		if got := n.g.Status(4); got != StatusSuspect {
+			t.Fatalf("%s: node 4 status %v after 4s stall, want suspect", n.addr, got)
+		}
+		if !n.g.Alive(4) {
+			t.Fatalf("%s: suspect node 4 must still count as alive for routing", n.addr)
+		}
+	}
+
+	// 3 more rounds: past FailAfter — dead.
+	rounds(clock, observers, 3)
+	for _, n := range observers {
+		if got := n.g.Status(4); got != StatusDead {
+			t.Fatalf("%s: node 4 status %v after 7s stall, want dead", n.addr, got)
+		}
+		if n.g.Alive(4) {
+			t.Fatalf("%s: dead node 4 still alive", n.addr)
+		}
+	}
+
+	// Heal: the isolated node rejoins with fresh heartbeats (it was never
+	// down, so no new generation is needed).
+	ctrl.Heal()
+	rounds(clock, nodes, 4)
+	for _, n := range observers {
+		if got := n.g.Status(4); got != StatusAlive {
+			t.Fatalf("%s: node 4 status %v after heal, want alive", n.addr, got)
+		}
+	}
+	if nodes[3].g.Status(1) != StatusAlive {
+		t.Fatal("rejoined node does not see the cluster alive")
+	}
+}
+
+// TestSuspectRecoversWithoutDeath: a stall shorter than FailAfter must pass
+// through suspect and return to alive without ever being declared dead (no
+// liveness-change callback fires).
+func TestSuspectRecoversWithoutDeath(t *testing.T) {
+	ctrl := chaos.NewController(7)
+	defer ctrl.Close()
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	clock := &testClock{}
+	nodes := newChaosCluster(t, ctrl, mesh, clock, 3)
+	rounds(clock, nodes, 6)
+	died := false
+	nodes[0].g.OnLivenessChange(func(id core.NodeID, alive bool) {
+		if id == 3 && !alive {
+			died = true
+		}
+	})
+
+	ctrl.Isolate("node-3", true)
+	rounds(clock, nodes[:2], 4) // 4s: suspect
+	if got := nodes[0].g.Status(3); got != StatusSuspect {
+		t.Fatalf("status %v, want suspect", got)
+	}
+	ctrl.Heal()
+	rounds(clock, nodes, 3)
+	if got := nodes[0].g.Status(3); got != StatusAlive {
+		t.Fatalf("status %v after recovery, want alive", got)
+	}
+	if died {
+		t.Fatal("transient stall below FailAfter was declared dead")
+	}
+}
+
+// TestLivenessStableUnderLossAndDelay: with every link degraded (30% loss,
+// 1–3ms added delay), no node may be falsely suspected dead — gossip's
+// redundancy must absorb the noise.
+func TestLivenessStableUnderLossAndDelay(t *testing.T) {
+	ctrl := chaos.NewController(42)
+	defer ctrl.Close()
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	clock := &testClock{}
+	nodes := newChaosCluster(t, ctrl, mesh, clock, 4)
+	rounds(clock, nodes, 6) // converge on a clean network first
+	ctrl.SetFaults(chaos.Wildcard, chaos.Wildcard, chaos.LinkFaults{
+		Drop:     0.3,
+		DelayMin: time.Millisecond,
+		DelayMax: 3 * time.Millisecond,
+	})
+	for r := 0; r < 24; r++ {
+		clock.Advance(time.Second)
+		for _, n := range nodes {
+			n.g.Round()
+		}
+		settle()
+		for _, n := range nodes {
+			for _, m := range nodes {
+				if n == m {
+					continue
+				}
+				if got := n.g.Status(m.g.cfg.ID); got == StatusDead {
+					t.Fatalf("round %d: %s declared %s dead under 30%% loss", r, n.addr, m.addr)
+				}
+			}
+		}
+	}
+	// The fault schedule must have actually exercised the links.
+	dropped := 0
+	for _, link := range ctrl.TracedLinks() {
+		for _, v := range ctrl.Verdicts(link[0], link[1]) {
+			if v.Action == chaos.Drop {
+				dropped++
+			}
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("loss rule injected no drops — the test exercised nothing")
+	}
+}
+
+// TestSuspectAfterDefault: SuspectAfter defaults to half of FailAfter and is
+// clamped below it.
+func TestSuspectAfterDefault(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	g, err := New(Config{ID: 1, Addr: "a", Transport: mesh.Endpoint("a"), FailAfter: 8 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.cfg.SuspectAfter != 4*time.Second {
+		t.Fatalf("SuspectAfter default = %v, want 4s", g.cfg.SuspectAfter)
+	}
+	g2, err := New(Config{ID: 1, Addr: "a", Transport: mesh.Endpoint("b"),
+		FailAfter: 4 * time.Second, SuspectAfter: 9 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.cfg.SuspectAfter >= g2.cfg.FailAfter {
+		t.Fatalf("SuspectAfter %v not clamped below FailAfter %v", g2.cfg.SuspectAfter, g2.cfg.FailAfter)
+	}
+}

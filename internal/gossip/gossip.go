@@ -2,6 +2,7 @@ package gossip
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -33,6 +34,10 @@ type Config struct {
 	// FailAfter marks an endpoint dead when its heartbeat has not advanced
 	// for this long (default 10s).
 	FailAfter time.Duration
+	// SuspectAfter marks an endpoint suspect — still routed to, but under
+	// watch — when its heartbeat has stalled this long (default FailAfter/2).
+	// Must be less than FailAfter.
+	SuspectAfter time.Duration
 	// Generation is this incarnation's number; pass a value greater than
 	// any previous incarnation's (e.g. boot time). Default: current time.
 	Generation uint64
@@ -69,6 +74,9 @@ func New(cfg Config) (*Gossiper, error) {
 	}
 	if cfg.FailAfter <= 0 {
 		cfg.FailAfter = 10 * time.Second
+	}
+	if cfg.SuspectAfter <= 0 || cfg.SuspectAfter >= cfg.FailAfter {
+		cfg.SuspectAfter = cfg.FailAfter / 2
 	}
 	if cfg.Now == nil {
 		cfg.Now = func() int64 { return time.Now().UnixNano() }
@@ -229,10 +237,64 @@ func (g *Gossiper) AddrOf(id core.NodeID) (string, bool) {
 }
 
 func (g *Gossiper) aliveLocked(e *Endpoint, now int64) bool {
-	if e.ID == g.cfg.ID {
-		return true
+	return g.statusLocked(e, now) != StatusDead
+}
+
+// Status classifies one endpoint's liveness: alive (fresh heartbeats),
+// suspect (heartbeat stalled past SuspectAfter but not yet FailAfter — the
+// node is still routed to), or dead (stalled past FailAfter).
+type Status int
+
+const (
+	// StatusAlive endpoints have recent heartbeat progress.
+	StatusAlive Status = iota
+	// StatusSuspect endpoints have a stalled heartbeat but are not yet
+	// declared dead; they still count as alive for routing.
+	StatusSuspect
+	// StatusDead endpoints have exceeded the failure timeout (or are
+	// unknown).
+	StatusDead
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusAlive:
+		return "alive"
+	case StatusSuspect:
+		return "suspect"
+	case StatusDead:
+		return "dead"
 	}
-	return now-e.lastSeen < int64(g.cfg.FailAfter)
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Status returns the current liveness classification of endpoint id
+// (StatusDead for unknown endpoints; self is always alive).
+func (g *Gossiper) Status(id core.NodeID) Status {
+	now := g.cfg.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.eps[id]
+	if !ok {
+		return StatusDead
+	}
+	return g.statusLocked(e, now)
+}
+
+func (g *Gossiper) statusLocked(e *Endpoint, now int64) Status {
+	if e.ID == g.cfg.ID {
+		return StatusAlive
+	}
+	stall := now - e.lastSeen
+	switch {
+	case stall < int64(g.cfg.SuspectAfter):
+		return StatusAlive
+	case stall < int64(g.cfg.FailAfter):
+		return StatusSuspect
+	default:
+		return StatusDead
+	}
 }
 
 // Round performs one gossip round synchronously: bump the heartbeat, pick

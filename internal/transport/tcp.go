@@ -256,16 +256,31 @@ func (t *TCP) Request(addr string, env *wire.Envelope, timeout time.Duration) (*
 		return nil, err
 	}
 	if err := wire.WriteFrame(conn, env); err != nil {
-		return nil, err
+		if isTimeout(err) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: write to %s: %v", ErrUnreachable, addr, err)
 	}
 	resp, err := wire.ReadFrame(bufio.NewReader(conn))
 	if err != nil {
 		if errors.Is(err, io.EOF) {
-			return nil, fmt.Errorf("transport: no response from %s for %v", addr, env.Kind)
+			// The peer closed without answering: to the caller that is the
+			// same as never having reached it.
+			return nil, fmt.Errorf("%w: no response from %s for %v", ErrUnreachable, addr, env.Kind)
 		}
-		return nil, err
+		if isTimeout(err) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: read from %s: %v", ErrUnreachable, addr, err)
 	}
 	return resp, nil
+}
+
+// isTimeout reports whether err is a network timeout (deadline exceeded).
+// Timeouts stay unwrapped so callers can tell a slow peer from a dead one.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // Close implements Transport: it flushes coalesced writes, stops all

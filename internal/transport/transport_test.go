@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -120,11 +122,11 @@ func TestRequestUnreachable(t *testing.T) {
 			if f.name == "inproc" {
 				dest = "nowhere"
 			}
-			if _, err := client.Request(dest, &wire.Envelope{Kind: wire.KindPoll}, 200*time.Millisecond); err == nil {
-				t.Error("request to unreachable destination succeeded")
+			if _, err := client.Request(dest, &wire.Envelope{Kind: wire.KindPoll}, 200*time.Millisecond); !errors.Is(err, ErrUnreachable) {
+				t.Errorf("request to unreachable destination: err = %v, want ErrUnreachable", err)
 			}
-			if err := client.Send(dest, &wire.Envelope{Kind: wire.KindForward}); err == nil {
-				t.Error("send to unreachable destination succeeded")
+			if err := client.Send(dest, &wire.Envelope{Kind: wire.KindForward}); !errors.Is(err, ErrUnreachable) {
+				t.Errorf("send to unreachable destination: err = %v, want ErrUnreachable", err)
 			}
 		})
 	}
@@ -339,6 +341,81 @@ func TestTCPNoResponseHandler(t *testing.T) {
 	defer client.Close()
 	if _, err := client.Request(addr, &wire.Envelope{Kind: wire.KindPoll}, 150*time.Millisecond); err == nil {
 		t.Error("request with no response should fail")
+	}
+}
+
+// TestTCPErrUnreachableClassification pins down which failures callers can
+// classify with errors.Is(err, ErrUnreachable): dial failures and peers that
+// hang up without answering are unreachable; a slow peer is a timeout, not
+// unreachable.
+func TestTCPErrUnreachableClassification(t *testing.T) {
+	client := NewTCP()
+	defer client.Close()
+
+	// Nothing listening: dial failure.
+	if _, err := client.Request("127.0.0.1:1", &wire.Envelope{Kind: wire.KindPoll}, 200*time.Millisecond); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("dial failure: err = %v, want ErrUnreachable", err)
+	}
+
+	// Peer accepts, then hangs up without a response frame: EOF.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	if _, err := client.Request(ln.Addr().String(), &wire.Envelope{Kind: wire.KindPoll}, time.Second); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("hangup without response: err = %v, want ErrUnreachable", err)
+	}
+
+	// Peer is reachable but slow: a timeout, deliberately NOT unreachable.
+	server := NewTCP()
+	defer server.Close()
+	slow, err := server.Listen("127.0.0.1:0", func(*wire.Envelope) *wire.Envelope {
+		time.Sleep(500 * time.Millisecond)
+		return &wire.Envelope{Kind: wire.KindError}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Request(slow, &wire.Envelope{Kind: wire.KindPoll}, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("slow peer did not time out")
+	}
+	if errors.Is(err, ErrUnreachable) {
+		t.Errorf("timeout misclassified as unreachable: %v", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("timeout not surfaced as net.Error: %v", err)
+	}
+}
+
+// TestMeshErrUnreachableClassification: the in-process mesh reports downed
+// nodes and cut links through the same sentinel.
+func TestMeshErrUnreachableClassification(t *testing.T) {
+	mesh := NewMesh(0)
+	defer mesh.Close()
+	a, b := mesh.Endpoint("a"), mesh.Endpoint("b")
+	if _, err := b.Listen("b", func(*wire.Envelope) *wire.Envelope { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	mesh.SetDown("b", true)
+	if err := a.Send("b", &wire.Envelope{Kind: wire.KindForward}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("send to downed node: err = %v, want ErrUnreachable", err)
+	}
+	mesh.SetDown("b", false)
+	mesh.Partition("a", "b", true)
+	if _, err := a.Request("b", &wire.Envelope{Kind: wire.KindPoll}, 100*time.Millisecond); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("request across cut link: err = %v, want ErrUnreachable", err)
 	}
 }
 
