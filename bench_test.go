@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"testing"
 
+	"bluedove/internal/core"
 	"bluedove/internal/experiment"
 	"bluedove/internal/forward"
 	"bluedove/internal/index"
 	"bluedove/internal/placement"
+	"bluedove/internal/wire"
 	"bluedove/internal/workload"
 )
 
@@ -243,6 +245,35 @@ func BenchmarkForwardBatched(b *testing.B) {
 		b.ReportMetric(r.BatchedMsgsPerSec, "batched-msgs/s")
 		b.ReportMetric(r.Speedup, "speedup-x")
 		b.ReportMetric(r.Amortization, "msgs/frame")
+	}
+	// The trace-capable codec must not cost the zero-allocation forward path
+	// anything while tracing is off: pooled batch encode of untraced messages
+	// (Trace == nil, the telemetry-disabled configuration) stays at 0
+	// allocs/msg, the PR-1 baseline.
+	const batch = 64
+	msgs := make([]*core.Message, batch)
+	for i := range msgs {
+		msgs[i] = &core.Message{
+			ID:          core.MessageID(i + 1),
+			Attrs:       []float64{float64(i), 500, 500, 500},
+			Payload:     []byte("0123456789abcdef"),
+			PublishedAt: int64(i),
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		entries := make([]wire.ForwardEntry, 0, batch) // amortized away by the 64-msg frame
+		for _, m := range msgs {
+			entries = append(entries, wire.ForwardEntry{Dim: 0, Msg: m})
+		}
+		body := wire.ForwardBatchBody{Entries: entries}
+		buf := wire.GetBuf()
+		buf.B = body.AppendTo(buf.B)
+		wire.PutBuf(buf)
+	})
+	b.ReportMetric(allocs/batch, "untraced-allocs/msg")
+	// One slice header per 64-message frame is the only allowance.
+	if allocs > 1 {
+		b.Fatalf("untraced batch encode allocates %.0f times per %d-msg frame; forward path regressed", allocs, batch)
 	}
 }
 

@@ -52,6 +52,7 @@ import (
 	"bluedove/internal/core"
 	"bluedove/internal/forward"
 	"bluedove/internal/placement"
+	"bluedove/internal/telemetry"
 	"bluedove/internal/tenant"
 )
 
@@ -143,6 +144,32 @@ var NewChaosScenario = chaos.NewScenario
 
 // NewChaosAuditor creates an empty delivery-accounting auditor.
 var NewChaosAuditor = chaos.NewAuditor
+
+// Observability (hop-level tracing, node metrics registry, admin surface;
+// see internal/telemetry). Enable on a cluster with
+// ClusterOptions{Telemetry: true, TraceSampleRate: r, Admin: true}.
+type (
+	// Telemetry bundles one node's metrics registry, trace store and
+	// sampler.
+	Telemetry = telemetry.Telemetry
+	// TelemetryOptions configures NewTelemetry.
+	TelemetryOptions = telemetry.Options
+	// TraceCtx is the per-publication hop-level trace context carried in
+	// wire frames for sampled publications.
+	TraceCtx = core.TraceCtx
+)
+
+// NewTelemetry builds a standalone node telemetry bundle (clusters build
+// per-node bundles themselves when ClusterOptions enables telemetry).
+var NewTelemetry = telemetry.New
+
+// ServeAdmin starts the admin HTTP surface (/metrics, /debug/vars,
+// /debug/traces, pprof) for a telemetry bundle.
+var ServeAdmin = telemetry.Serve
+
+// CheckPrometheusText structurally validates a /metrics exposition and
+// checks the required series are present.
+var CheckPrometheusText = telemetry.CheckPrometheusText
 
 // Multi-tenancy (paper Section VI: separate server subsets per application).
 type (

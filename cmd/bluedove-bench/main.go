@@ -26,7 +26,9 @@ func main() {
 		chaosRun = flag.Bool("chaos", false,
 			"run the chaos failover experiment (matcher killed mid-burst) on the real in-process cluster")
 		chaosSeed = flag.Int64("chaos-seed", 1, "with -chaos: fault-injection seed")
-		out       = flag.String("out", "", "with -batching/-chaos: write the JSON report to this file (e.g. BENCH_chaos.json)")
+		telem     = flag.Bool("telemetry", false,
+			"run the tracing-overhead comparison (telemetry off / sampled 0 / 0.01 / 1.0) on the real in-process cluster")
+		out = flag.String("out", "", "with -batching/-chaos/-telemetry: write the JSON report to this file (e.g. BENCH_chaos.json)")
 	)
 	flag.Parse()
 
@@ -36,6 +38,10 @@ func main() {
 	}
 	if *chaosRun {
 		runChaos(*chaosSeed, *out)
+		return
+	}
+	if *telem {
+		runTelemetry(*out)
 		return
 	}
 

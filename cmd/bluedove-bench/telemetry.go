@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/experiment"
+	"bluedove/internal/telemetry"
+	"bluedove/internal/wire"
+)
+
+// telemetryReport is the schema of BENCH_telemetry.json: tracing overhead on
+// the batched forward path, from the cluster level (delivered throughput at
+// increasing sample rates) down to the wire encode and the sampler check.
+type telemetryReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+
+	// In-process cluster, ForwardLinger=1ms, telemetry off vs on at
+	// sampling 0 / 0.01 / 1.0.
+	Cluster struct {
+		Messages    int                        `json:"messages"`
+		Subscribers int                        `json:"subscribers"`
+		Trials      int                        `json:"trials"`
+		Modes       []experiment.TelemetryMode `json:"modes"`
+	} `json:"cluster"`
+
+	// Wire encode path: one pooled 64-entry ForwardBatchBody frame,
+	// normalized per message, with no trace context vs every message
+	// carrying a fully stamped one.
+	Wire struct {
+		Batch               int     `json:"batch"`
+		TraceOverheadBytes  int     `json:"trace_overhead_bytes"`
+		UntracedAllocsPerOp float64 `json:"untraced_allocs_per_msg"`
+		TracedAllocsPerOp   float64 `json:"traced_allocs_per_msg"`
+		UntracedNsPerOp     float64 `json:"untraced_ns_per_msg"`
+		TracedNsPerOp       float64 `json:"traced_ns_per_msg"`
+	} `json:"wire"`
+
+	// Sampler decision cost per publication. Disabled (rate 0) is the cost
+	// telemetry adds to every publish when tracing is off.
+	Sampler struct {
+		DisabledNsPerOp float64 `json:"disabled_ns_per_op"`
+		EnabledNsPerOp  float64 `json:"enabled_ns_per_op"`
+	} `json:"sampler"`
+}
+
+// runTelemetry runs the tracing-overhead comparison and, when out is
+// non-empty, writes the JSON report there.
+func runTelemetry(out string) {
+	start := time.Now()
+	r, err := experiment.TelemetryOverhead(experiment.BatchingOpts{})
+	if err != nil {
+		log.Fatalf("telemetry experiment: %v", err)
+	}
+	fmt.Println(r.Table())
+	fmt.Fprintf(os.Stderr, "[telemetry cluster runs: %v]\n", time.Since(start).Round(time.Millisecond))
+
+	rep := &telemetryReport{GoVersion: goVersion()}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Cluster.Messages = r.Messages
+	rep.Cluster.Subscribers = r.Subscribers
+	rep.Cluster.Trials = r.Trials
+	rep.Cluster.Modes = r.Modes
+
+	measureTraceWireCost(rep)
+	t := &experiment.Table{
+		Title:  fmt.Sprintf("Forward-hop encode cost with tracing (wire level, batch=%d)", rep.Wire.Batch),
+		Header: []string{"mode", "allocs/msg", "ns/msg"},
+	}
+	t.AddRow("untraced", rep.Wire.UntracedAllocsPerOp, rep.Wire.UntracedNsPerOp)
+	t.AddRow("traced", rep.Wire.TracedAllocsPerOp, rep.Wire.TracedNsPerOp)
+	fmt.Println(t)
+
+	measureSamplerCost(rep)
+	st := &experiment.Table{
+		Title:  "Sampler decision cost",
+		Header: []string{"mode", "ns/op"},
+	}
+	st.AddRow("rate 0 (disabled)", rep.Sampler.DisabledNsPerOp)
+	st.AddRow("rate 1 (enabled)", rep.Sampler.EnabledNsPerOp)
+	fmt.Println(st)
+
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
+}
+
+// measureTraceWireCost benchmarks the pooled batch-encode path per message
+// with and without trace contexts attached.
+func measureTraceWireCost(rep *telemetryReport) {
+	const batch = 64
+	makeMsgs := func(traced bool) []*core.Message {
+		msgs := make([]*core.Message, batch)
+		for i := range msgs {
+			msgs[i] = &core.Message{
+				ID:          core.MessageID(i + 1),
+				Attrs:       []float64{float64(i), 500, 500, 500},
+				Payload:     []byte("0123456789abcdef"),
+				PublishedAt: int64(i),
+			}
+			if traced {
+				tr := &core.TraceCtx{ID: core.TraceID(i + 1), Dispatcher: 1, Matcher: 2, Dim: i % 4}
+				base := int64(i + 1)
+				for h := core.HopPublish; h <= core.HopForward; h++ {
+					tr.Stamp(h, base+int64(h))
+				}
+				msgs[i].Trace = tr
+			}
+		}
+		return msgs
+	}
+	bench := func(msgs []*core.Message) testing.BenchmarkResult {
+		var entries []wire.ForwardEntry
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				entries = append(entries, wire.ForwardEntry{Dim: 0, Msg: msgs[i%batch]})
+				if len(entries) == batch {
+					body := wire.ForwardBatchBody{Entries: entries}
+					buf := wire.GetBuf()
+					buf.B = body.AppendTo(buf.B)
+					wire.PutBuf(buf)
+					entries = entries[:0]
+				}
+			}
+		})
+	}
+	un := bench(makeMsgs(false))
+	tr := bench(makeMsgs(true))
+	rep.Wire.Batch = batch
+	rep.Wire.TraceOverheadBytes = wire.TraceOverhead
+	rep.Wire.UntracedAllocsPerOp = float64(un.AllocsPerOp())
+	rep.Wire.TracedAllocsPerOp = float64(tr.AllocsPerOp())
+	rep.Wire.UntracedNsPerOp = float64(un.NsPerOp())
+	rep.Wire.TracedNsPerOp = float64(tr.NsPerOp())
+}
+
+// measureSamplerCost benchmarks the per-publication sampling decision.
+func measureSamplerCost(rep *telemetryReport) {
+	bench := func(rate float64) testing.BenchmarkResult {
+		s := telemetry.NewSampler(rate)
+		return testing.Benchmark(func(b *testing.B) {
+			n := 0
+			for i := 0; i < b.N; i++ {
+				if s.Sample() {
+					n++
+				}
+			}
+			_ = n
+		})
+	}
+	rep.Sampler.DisabledNsPerOp = float64(bench(0).NsPerOp())
+	rep.Sampler.EnabledNsPerOp = float64(bench(1).NsPerOp())
+}

@@ -15,6 +15,7 @@ import (
 	"bluedove/internal/client"
 	"bluedove/internal/core"
 	"bluedove/internal/metrics"
+	"bluedove/internal/telemetry"
 	"bluedove/internal/transport"
 	"bluedove/internal/workload"
 )
@@ -30,6 +31,8 @@ func main() {
 		sigma    = flag.Float64("sigma", 250, "subscription skew stddev (of extent 1000)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		direct   = flag.Bool("direct", true, "direct delivery (false: polled)")
+		admin    = flag.String("admin", "", "serve the client's admin surface (/metrics, /debug/vars, /debug/traces, pprof) on this address; empty disables")
+		trRate   = flag.Float64("trace-sample", 0, "fraction of publications traced hop-by-hop from the client edge (0 disables)")
 	)
 	flag.Parse()
 
@@ -49,6 +52,26 @@ func main() {
 		Transport:      tr,
 		DispatcherAddr: *dispAddr,
 		Subscriber:     core.SubscriberID(*seed),
+	}
+	if *admin != "" || *trRate > 0 {
+		tel := telemetry.New(telemetry.Options{
+			SampleRate: *trRate,
+			Base: []telemetry.Label{
+				telemetry.L("node", fmt.Sprintf("%d", *seed)),
+				telemetry.L("role", "client"),
+			},
+		})
+		tel.Registry.Counter("transport.frames_sent", "one-way frames written", &tr.FramesSent)
+		tel.Registry.Counter("transport.bytes_sent", "frame body bytes written", &tr.BytesSent)
+		cfg.Telemetry = tel
+		if *admin != "" {
+			adm, err := telemetry.Serve(*admin, tel)
+			if err != nil {
+				log.Fatalf("admin endpoint: %v", err)
+			}
+			defer adm.Close()
+			log.Printf("admin surface on http://%s/metrics", adm.Addr())
+		}
 	}
 	if *direct {
 		cfg.ListenAddr = "127.0.0.1:0"

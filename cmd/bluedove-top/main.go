@@ -1,0 +1,248 @@
+// Command bluedove-top snapshots the admin surfaces of a running cluster
+// and prints one row per node — the operator's one-shot "what is the cluster
+// doing right now" view, in the spirit of top(1).
+//
+//	bluedove-top -nodes 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002
+//
+// With -validate it instead scrapes /metrics from every node, checks the
+// exposition is well-formed and carries the series required for the node's
+// role, and exits non-zero otherwise (the CI cluster-scrape job runs this).
+// -out writes each node's raw scrape to <dir>/<role>-<node>.prom.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"bluedove/internal/telemetry"
+)
+
+func main() {
+	var (
+		nodes    = flag.String("nodes", "", "comma-separated admin addresses (required)")
+		validate = flag.Bool("validate", false, "scrape /metrics from every node and fail on malformed or missing series")
+		outDir   = flag.String("out", "", "with -validate: write each node's raw scrape into this directory")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+	if *nodes == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	addrs := strings.Split(*nodes, ",")
+	client := &http.Client{Timeout: *timeout}
+
+	if *validate {
+		os.Exit(runValidate(client, addrs, *outDir))
+	}
+	runTop(client, addrs)
+}
+
+// nodeVars is the subset of /debug/vars bluedove-top reads.
+type nodeVars struct {
+	Labels  map[string]string `json:"labels"`
+	Metrics []struct {
+		Name  string  `json:"name"`
+		Value float64 `json:"value"`
+		Dist  *struct {
+			Count     int64     `json:"count"`
+			Quantiles []float64 `json:"quantiles"`
+		} `json:"dist"`
+	} `json:"metrics"`
+}
+
+// value sums every sample of one dotted metric (per-dim gauges collapse into
+// the node total); ok reports whether the metric exists at all.
+func (v *nodeVars) value(name string) (float64, bool) {
+	sum, ok := 0.0, false
+	for _, m := range v.Metrics {
+		if m.Name == name {
+			sum, ok = sum+m.Value, true
+		}
+	}
+	return sum, ok
+}
+
+// p99ms returns the p99 of a seconds-scaled latency histogram in
+// milliseconds (histogram quantiles align with telemetry.HistogramQuantiles).
+func (v *nodeVars) p99ms(name string) (float64, bool) {
+	for _, m := range v.Metrics {
+		if m.Name == name && m.Dist != nil && m.Dist.Count > 0 && len(m.Dist.Quantiles) >= 3 {
+			return m.Dist.Quantiles[2] * 1e3, true
+		}
+	}
+	return 0, false
+}
+
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func fetchVars(client *http.Client, addr string) (*nodeVars, error) {
+	data, err := fetch(client, "http://"+addr+"/debug/vars")
+	if err != nil {
+		return nil, err
+	}
+	v := &nodeVars{}
+	if err := json.Unmarshal(data, v); err != nil {
+		return nil, fmt.Errorf("%s: bad /debug/vars: %w", addr, err)
+	}
+	return v, nil
+}
+
+// runTop prints the one-row-per-node snapshot table.
+func runTop(client *http.Client, addrs []string) {
+	type row struct {
+		addr string
+		v    *nodeVars
+		err  error
+	}
+	rows := make([]row, len(addrs))
+	for i, a := range addrs {
+		v, err := fetchVars(client, a)
+		rows[i] = row{addr: a, v: v, err: err}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		ri, rj := "", ""
+		if rows[i].v != nil {
+			ri = rows[i].v.Labels["role"]
+		}
+		if rows[j].v != nil {
+			rj = rows[j].v.Labels["role"]
+		}
+		return ri < rj
+	})
+
+	num := func(v *nodeVars, names ...string) string {
+		for _, n := range names {
+			if x, ok := v.value(n); ok {
+				return fmt.Sprintf("%.0f", x)
+			}
+		}
+		return "-"
+	}
+	lat := func(v *nodeVars, names ...string) string {
+		for _, n := range names {
+			if ms, ok := v.p99ms(n); ok {
+				return fmt.Sprintf("%.2f", ms)
+			}
+		}
+		return "-"
+	}
+	w := os.Stdout
+	fmt.Fprintf(w, "%-22s %-10s %-6s %10s %10s %10s %8s %10s %12s\n",
+		"NODE", "ROLE", "ID", "IN", "OUT", "QUEUE", "TRACES", "P99(ms)", "TX-BYTES")
+	for _, r := range rows {
+		if r.err != nil {
+			fmt.Fprintf(w, "%-22s %s\n", r.addr, r.err)
+			continue
+		}
+		v := r.v
+		fmt.Fprintf(w, "%-22s %-10s %-6s %10s %10s %10s %8s %10s %12s\n",
+			r.addr,
+			v.Labels["role"], v.Labels["node"],
+			// IN: work accepted; OUT: work completed downstream.
+			num(v, "dispatcher.published", "matcher.processed", "client.published"),
+			num(v, "dispatcher.forwarded", "matcher.delivered", "client.delivered"),
+			num(v, "dispatcher.inflight", "matcher.stage.queue_depth"),
+			num(v, "trace.completed"),
+			lat(v, "dispatcher.deliver_latency_seconds", "matcher.match_latency_seconds",
+				"client.deliver_latency_seconds"),
+			num(v, "transport.bytes_sent"),
+		)
+	}
+}
+
+// requiredSeries is the per-role contract the CI scrape job enforces: a
+// node missing any of these is misconfigured, not merely idle.
+func requiredSeries(role string) []string {
+	common := []string{"bluedove_transport_frames_sent", "bluedove_transport_bytes_sent"}
+	switch role {
+	case "dispatcher":
+		return append(common,
+			"bluedove_node_info",
+			"bluedove_dispatcher_published",
+			"bluedove_dispatcher_forwarded",
+			"bluedove_dispatcher_forward_latency_seconds",
+			"bluedove_dispatcher_deliver_latency_seconds",
+			"bluedove_gossip_bytes",
+		)
+	case "matcher":
+		return append(common,
+			"bluedove_node_info",
+			"bluedove_matcher_processed",
+			"bluedove_matcher_delivered",
+			"bluedove_matcher_stage_queue_depth",
+			"bluedove_matcher_stage_arrival_rate",
+			"bluedove_matcher_stage_service_capacity",
+			"bluedove_matcher_match_latency_seconds",
+			"bluedove_gossip_bytes",
+		)
+	case "client":
+		return append(common, "bluedove_client_published", "bluedove_client_delivered")
+	default:
+		return nil // unknown role: structural check only
+	}
+}
+
+// runValidate scrapes and lints every node, returning the process exit code.
+func runValidate(client *http.Client, addrs []string, outDir string) int {
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	failed := 0
+	for _, a := range addrs {
+		v, err := fetchVars(client, a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", a, err)
+			failed++
+			continue
+		}
+		role, node := v.Labels["role"], v.Labels["node"]
+		scrape, err := fetch(client, "http://"+a+"/metrics")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s (%s/%s): %v\n", a, role, node, err)
+			failed++
+			continue
+		}
+		if outDir != "" {
+			name := fmt.Sprintf("%s-%s.prom", role, node)
+			if role == "" || node == "" {
+				name = strings.ReplaceAll(a, ":", "_") + ".prom"
+			}
+			if err := os.WriteFile(filepath.Join(outDir, name), scrape, 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := telemetry.CheckPrometheusText(scrape, requiredSeries(role)); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s (%s/%s): %v\n", a, role, node, err)
+			failed++
+			continue
+		}
+		fmt.Printf("OK   %s (%s/%s): %d bytes, exposition valid\n", a, role, node, len(scrape))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d/%d nodes failed validation\n", failed, len(addrs))
+		return 1
+	}
+	return 0
+}

@@ -29,6 +29,7 @@ import (
 	"bluedove/internal/gossip"
 	"bluedove/internal/matcher"
 	"bluedove/internal/partition"
+	"bluedove/internal/telemetry"
 	"bluedove/internal/transport"
 	"bluedove/internal/wire"
 )
@@ -44,6 +45,8 @@ func main() {
 		bootstrap = flag.Int("bootstrap", 0, "dispatcher: publish the initial table once this many matchers are visible")
 		join      = flag.Bool("join", false, "matcher: join an existing cluster via a dispatcher (elastic split)")
 		policy    = flag.String("policy", "adaptive", "dispatcher forwarding policy: adaptive|resptime|subamount|random")
+		admin     = flag.String("admin", "", "serve the admin surface (/metrics, /debug/vars, /debug/traces, pprof) on this address; empty disables")
+		traceRate = flag.Float64("trace-sample", 0, "fraction of publications traced hop-by-hop (0 disables, 1 traces all)")
 	)
 	flag.Parse()
 	if *role == "" || *id == 0 {
@@ -59,19 +62,53 @@ func main() {
 	defer tr.Close()
 
 	switch *role {
-	case "matcher":
-		runMatcher(tr, space, core.NodeID(*id), *addr, seedList, *join)
-	case "dispatcher":
-		runDispatcher(tr, space, core.NodeID(*id), *addr, seedList, *bootstrap, *policy)
+	case "matcher", "dispatcher":
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}
+	tel := nodeTelemetry(tr, core.NodeID(*id), *role, *admin, *traceRate)
+
+	switch *role {
+	case "matcher":
+		runMatcher(tr, space, core.NodeID(*id), *addr, seedList, *join, tel)
+	case "dispatcher":
+		runDispatcher(tr, space, core.NodeID(*id), *addr, seedList, *bootstrap, *policy, tel)
+	}
+}
+
+// nodeTelemetry builds this node's telemetry bundle (identity labels,
+// transport counters, admin surface) when observability is requested.
+func nodeTelemetry(tr *transport.TCP, id core.NodeID, role, adminAddr string, sampleRate float64) *telemetry.Telemetry {
+	if adminAddr == "" && sampleRate <= 0 {
+		return nil
+	}
+	tel := telemetry.New(telemetry.Options{
+		SampleRate: sampleRate,
+		Base: []telemetry.Label{
+			telemetry.L("node", fmt.Sprintf("%d", id)),
+			telemetry.L("role", role),
+		},
+	})
+	r := tel.Registry
+	r.Counter("transport.frames_sent", "one-way frames written", &tr.FramesSent)
+	r.Counter("transport.bytes_sent", "frame body bytes written", &tr.BytesSent)
+	r.Counter("transport.frames_received", "inbound frames handled", &tr.FramesReceived)
+	r.Counter("transport.bytes_received", "inbound frame body bytes", &tr.BytesReceived)
+	if adminAddr != "" {
+		adm, err := telemetry.Serve(adminAddr, tel)
+		if err != nil {
+			log.Fatalf("admin endpoint: %v", err)
+		}
+		log.Printf("admin surface on http://%s/metrics", adm.Addr())
+	}
+	return tel
 }
 
 func runMatcher(tr transport.Transport, space *core.Space, id core.NodeID,
-	addr string, seeds []string, join bool) {
+	addr string, seeds []string, join bool, tel *telemetry.Telemetry) {
 	m, err := matcher.New(matcher.Config{
 		ID: id, Addr: addr, Space: space, Transport: tr, Seeds: seeds,
+		Telemetry: tel,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -119,10 +156,11 @@ func joinViaDispatcher(tr transport.Transport, g *gossip.Gossiper, id core.NodeI
 }
 
 func runDispatcher(tr transport.Transport, space *core.Space, id core.NodeID,
-	addr string, seeds []string, bootstrap int, policyName string) {
+	addr string, seeds []string, bootstrap int, policyName string, tel *telemetry.Telemetry) {
 	pol := policyByName(policyName, int64(id))
 	d, err := dispatcher.New(dispatcher.Config{
 		ID: id, Addr: addr, Space: space, Transport: tr, Seeds: seeds, Policy: pol,
+		Telemetry: tel,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"bluedove/internal/core"
+	"bluedove/internal/metrics"
+	"bluedove/internal/telemetry"
 	"bluedove/internal/transport"
 	"bluedove/internal/wire"
 )
@@ -31,12 +33,25 @@ type Config struct {
 	OnDeliver func(msg *core.Message, subIDs []core.SubscriptionID)
 	// RequestTimeout bounds subscribe/poll round-trips (default 5s).
 	RequestTimeout time.Duration
+	// Telemetry, when non-nil, samples publications at the bundle's rate
+	// (stamping the client-side publish hop, so traces start at the true
+	// origin rather than at dispatcher ingest), records traced deliveries,
+	// and registers the client's counters and end-to-end latency histogram.
+	Telemetry *telemetry.Telemetry
+	// Now supplies the clock for trace stamps (default time.Now).
+	Now func() int64
 }
 
 // Client is a connected BlueDove client.
 type Client struct {
 	cfg        Config
 	listenAddr string
+
+	// e2eLatency observes client publish to client delivery per traced
+	// publication (ns); only traced messages this client receives feed it.
+	e2eLatency *metrics.Histogram
+	published  metrics.Counter
+	delivered  metrics.Counter
 }
 
 // New builds a client; in direct mode (ListenAddr + OnDeliver set) it binds
@@ -48,7 +63,17 @@ func New(cfg Config) (*Client, error) {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 5 * time.Second
 	}
-	c := &Client{cfg: cfg}
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	c := &Client{cfg: cfg, e2eLatency: metrics.NewHistogram()}
+	if tel := cfg.Telemetry; tel != nil {
+		r := tel.Registry
+		r.Counter("client.published", "publications sent by this client", &c.published)
+		r.Counter("client.delivered", "notifications received by this client", &c.delivered)
+		r.Histogram("client.deliver_latency_seconds",
+			"client publish to client delivery per traced publication", c.e2eLatency, 1e-9)
+	}
 	if cfg.OnDeliver != nil {
 		if cfg.ListenAddr == "" {
 			return nil, errors.New("client: OnDeliver requires ListenAddr")
@@ -68,16 +93,32 @@ func (c *Client) handle(env *wire.Envelope) *wire.Envelope {
 	switch env.Kind {
 	case wire.KindDeliver:
 		if b, err := wire.DecodeDeliver(env.Body); err == nil {
+			c.observeDelivery(b.Msg)
 			c.cfg.OnDeliver(b.Msg, b.SubIDs)
 		}
 	case wire.KindDeliverBatch:
 		if b, err := wire.DecodeDeliverBatch(env.Body); err == nil {
 			for i := range b.Deliveries {
+				c.observeDelivery(b.Deliveries[i].Msg)
 				c.cfg.OnDeliver(b.Deliveries[i].Msg, b.Deliveries[i].SubIDs)
 			}
 		}
 	}
 	return nil
+}
+
+// observeDelivery counts the notification and, for traced messages, records
+// the trace on the client side and feeds the end-to-end latency histogram.
+func (c *Client) observeDelivery(msg *core.Message) {
+	c.delivered.Add(1)
+	tel := c.cfg.Telemetry
+	if tel == nil || msg == nil || msg.Trace == nil {
+		return
+	}
+	tel.Tracer.Record(msg.ID, msg.Trace)
+	if pub := msg.Trace.Hops[core.HopPublish]; pub != 0 {
+		c.e2eLatency.Observe(c.cfg.Now() - pub)
+	}
 }
 
 // DeliverAddr returns the address matchers push to (empty in indirect
@@ -123,10 +164,17 @@ func (c *Client) Unsubscribe(id core.SubscriptionID) error {
 // once; when the dispatcher is really gone the caller gets a clean error
 // naming it rather than an indefinite hang.
 func (c *Client) Publish(attrs []float64, payload []byte) error {
-	if len(payload)+64+8*len(attrs) > wire.MaxFrame {
+	// Slack covers the frame header, IDs and the trace context a sampled
+	// message carries.
+	if len(payload)+64+wire.TraceOverhead+8*len(attrs) > wire.MaxFrame {
 		return fmt.Errorf("%w: %d-byte payload", wire.ErrBodyTooLarge, len(payload))
 	}
 	msg := core.NewMessage(attrs, payload)
+	c.published.Add(1)
+	if tel := c.cfg.Telemetry; tel != nil && tel.Sampler.Sample() {
+		msg.Trace = &core.TraceCtx{}
+		msg.Trace.Stamp(core.HopPublish, c.cfg.Now())
+	}
 	body := (&wire.PublishBody{Msg: msg}).Encode()
 	env := &wire.Envelope{Kind: wire.KindPublish, Body: body}
 	err := c.cfg.Transport.Send(c.cfg.DispatcherAddr, env)

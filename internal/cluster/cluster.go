@@ -20,6 +20,7 @@ import (
 	"bluedove/internal/matcher"
 	"bluedove/internal/partition"
 	"bluedove/internal/placement"
+	"bluedove/internal/telemetry"
 	"bluedove/internal/transport"
 	"bluedove/internal/wire"
 )
@@ -73,6 +74,22 @@ type Options struct {
 	// partitions and kills apply to all cluster traffic, keyed by node
 	// address (mesh labels like "matcher-1", or the bound TCP address).
 	Chaos *chaos.Controller
+	// Telemetry enables the observability subsystem on every node: a
+	// metrics registry labeled with the node's identity and a hop-level
+	// tracer. Implied by TraceSampleRate > 0 or Admin.
+	Telemetry bool
+	// TraceSampleRate is the fraction of publications traced end to end
+	// (0 disables tracing; 1 traces everything).
+	TraceSampleRate float64
+	// Admin serves each node's admin endpoint (Prometheus /metrics, JSON
+	// /debug/vars, /debug/traces, pprof) on a loopback port; see
+	// Cluster.AdminAddrs.
+	Admin bool
+}
+
+// telemetryOn reports whether nodes get a telemetry bundle.
+func (o *Options) telemetryOn() bool {
+	return o.Telemetry || o.TraceSampleRate > 0 || o.Admin
 }
 
 func (o *Options) defaults() error {
@@ -123,6 +140,9 @@ type Cluster struct {
 	nextNode       core.NodeID
 	nextSubscriber core.SubscriberID
 	seeds          []string
+
+	telemetries map[core.NodeID]*telemetry.Telemetry
+	admins      map[core.NodeID]*telemetry.Admin
 }
 
 // Start boots a cluster and blocks until the initial segment table has been
@@ -132,11 +152,13 @@ func Start(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		opts:      opts,
-		matchers:  make(map[core.NodeID]*matcher.Matcher),
-		matcherTr: make(map[core.NodeID]transport.Transport),
-		stopped:   make(map[core.NodeID]bool),
-		nextNode:  1,
+		opts:        opts,
+		matchers:    make(map[core.NodeID]*matcher.Matcher),
+		matcherTr:   make(map[core.NodeID]transport.Transport),
+		stopped:     make(map[core.NodeID]bool),
+		nextNode:    1,
+		telemetries: make(map[core.NodeID]*telemetry.Telemetry),
+		admins:      make(map[core.NodeID]*telemetry.Admin),
 	}
 	if !opts.TCP {
 		c.mesh = transport.NewMesh(0)
@@ -179,20 +201,54 @@ func Start(opts Options) (*Cluster, error) {
 }
 
 // newTransport creates the per-node transport, wrapped in the chaos
-// controller when one is configured.
-func (c *Cluster) newTransport(label string) transport.Transport {
+// controller when one is configured. The raw TCP transport (nil on mesh
+// clusters) is returned alongside so telemetry can register its counters.
+func (c *Cluster) newTransport(label string) (transport.Transport, *transport.TCP) {
 	var tr transport.Transport
+	var tcp *transport.TCP
 	if c.opts.TCP {
 		t := transport.NewTCP()
 		t.FlushInterval = c.opts.TCPFlushInterval
-		tr = t
+		tr, tcp = t, t
 	} else {
 		tr = c.mesh.Endpoint(label)
 	}
 	if c.opts.Chaos != nil {
 		tr = chaos.Wrap(c.opts.Chaos, tr, label)
 	}
-	return tr
+	return tr, tcp
+}
+
+// nodeTelemetry builds one node's telemetry bundle (nil when the subsystem
+// is off), registers transport counters, and starts the admin endpoint when
+// requested.
+func (c *Cluster) nodeTelemetry(id core.NodeID, role string, tcp *transport.TCP) (*telemetry.Telemetry, error) {
+	if !c.opts.telemetryOn() {
+		return nil, nil
+	}
+	tel := telemetry.New(telemetry.Options{
+		SampleRate: c.opts.TraceSampleRate,
+		Base: []telemetry.Label{
+			telemetry.L("node", fmt.Sprintf("%d", id)),
+			telemetry.L("role", role),
+		},
+	})
+	if tcp != nil {
+		r := tel.Registry
+		r.Counter("transport.frames_sent", "one-way frames written", &tcp.FramesSent)
+		r.Counter("transport.bytes_sent", "frame body bytes written", &tcp.BytesSent)
+		r.Counter("transport.frames_received", "inbound frames handled", &tcp.FramesReceived)
+		r.Counter("transport.bytes_received", "inbound frame body bytes", &tcp.BytesReceived)
+	}
+	c.telemetries[id] = tel
+	if c.opts.Admin {
+		adm, err := telemetry.Serve("127.0.0.1:0", tel)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: admin endpoint for node %d: %w", id, err)
+		}
+		c.admins[id] = adm
+	}
+	return tel, nil
 }
 
 // nodeAddr returns the listen address for a node label.
@@ -205,7 +261,11 @@ func (c *Cluster) nodeAddr(label string) string {
 
 func (c *Cluster) startMatcher(id core.NodeID) (*matcher.Matcher, error) {
 	label := fmt.Sprintf("matcher-%d", id)
-	tr := c.newTransport(label)
+	tr, tcp := c.newTransport(label)
+	tel, err := c.nodeTelemetry(id, "matcher", tcp)
+	if err != nil {
+		return nil, err
+	}
 	m, err := matcher.New(matcher.Config{
 		ID:             id,
 		Addr:           c.nodeAddr(label),
@@ -219,6 +279,7 @@ func (c *Cluster) startMatcher(id core.NodeID) (*matcher.Matcher, error) {
 		FailAfter:      c.opts.FailAfter,
 		PruneGrace:     c.opts.PruneGrace,
 		Generation:     1,
+		Telemetry:      tel,
 	})
 	if err != nil {
 		return nil, err
@@ -232,11 +293,16 @@ func (c *Cluster) startMatcher(id core.NodeID) (*matcher.Matcher, error) {
 
 func (c *Cluster) startDispatcher(id core.NodeID) (*dispatcher.Dispatcher, error) {
 	label := fmt.Sprintf("dispatcher-%d", id)
+	tr, tcp := c.newTransport(label)
+	tel, err := c.nodeTelemetry(id, "dispatcher", tcp)
+	if err != nil {
+		return nil, err
+	}
 	d, err := dispatcher.New(dispatcher.Config{
 		ID:                id,
 		Addr:              c.nodeAddr(label),
 		Space:             c.opts.Space,
-		Transport:         c.newTransport(label),
+		Transport:         tr,
 		Seeds:             c.seeds,
 		Strategy:          c.opts.Strategy,
 		Policy:            c.opts.Policy,
@@ -249,6 +315,7 @@ func (c *Cluster) startDispatcher(id core.NodeID) (*dispatcher.Dispatcher, error
 		ForwardBatchCount: c.opts.ForwardBatchCount,
 		ForwardBatchBytes: c.opts.ForwardBatchBytes,
 		Generation:        1,
+		Telemetry:         tel,
 	})
 	if err != nil {
 		return nil, err
@@ -390,8 +457,9 @@ func (c *Cluster) NewClient(dispIdx int, onDeliver func(*core.Message, []core.Su
 	}
 	sub := c.NewSubscriberID()
 	label := fmt.Sprintf("client-%d", sub)
+	tr, _ := c.newTransport(label)
 	cfg := client.Config{
-		Transport:      c.newTransport(label),
+		Transport:      tr,
 		DispatcherAddr: c.dispatchers[dispIdx].Addr(),
 		Subscriber:     sub,
 	}
@@ -400,6 +468,31 @@ func (c *Cluster) NewClient(dispIdx int, onDeliver func(*core.Message, []core.Su
 		cfg.OnDeliver = onDeliver
 	}
 	return client.New(cfg)
+}
+
+// Telemetry returns a node's telemetry bundle (nil when the subsystem is
+// off or the ID is unknown).
+func (c *Cluster) Telemetry(id core.NodeID) *telemetry.Telemetry {
+	return c.telemetries[id]
+}
+
+// AdminAddr returns the bound admin endpoint of one node (Options.Admin).
+func (c *Cluster) AdminAddr(id core.NodeID) (string, bool) {
+	adm, ok := c.admins[id]
+	if !ok {
+		return "", false
+	}
+	return adm.Addr(), true
+}
+
+// AdminAddrs returns every node's bound admin endpoint, keyed by node ID
+// (empty unless Options.Admin was set).
+func (c *Cluster) AdminAddrs() map[core.NodeID]string {
+	out := make(map[core.NodeID]string, len(c.admins))
+	for id, adm := range c.admins {
+		out[id] = adm.Addr()
+	}
+	return out
 }
 
 // Table returns the current authoritative table as seen by dispatcher 0.
@@ -512,6 +605,9 @@ func (c *Cluster) WaitConverged(timeout time.Duration) error {
 
 // Close stops every node.
 func (c *Cluster) Close() {
+	for _, adm := range c.admins {
+		adm.Close()
+	}
 	for _, d := range c.dispatchers {
 		d.Stop()
 	}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/telemetry"
+)
+
+// httpGet fetches one admin endpoint, failing the test on any error.
+func httpGet(t *testing.T, addr, path string) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s%s: %v", addr, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s%s: status %d", addr, path, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s%s: %v", addr, path, err)
+	}
+	return b
+}
+
+// TestTelemetryEndToEndTCP is the observability acceptance test: on a real
+// 3-node TCP cluster (2 matchers + 1 dispatcher) with full sampling, a
+// published message must yield a complete hop-level trace visible at
+// /debug/traces, and every node's /metrics scrape must be well-formed
+// Prometheus text exposing the paper's load model series (λ, μ, queue
+// depth) and the latency summaries.
+func TestTelemetryEndToEndTCP(t *testing.T) {
+	opts := fastOptions(2)
+	opts.Dispatchers = 1
+	opts.TCP = true
+	opts.TraceSampleRate = 1
+	opts.Admin = true
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := newRecorder()
+	subCl, err := c.NewClient(0, rec.onDeliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := subCl.Subscribe([]core.Range{
+		{Low: 0, High: 1000}, {Low: 0, High: 1000}, {Low: 0, High: 1000}, {Low: 0, High: 1000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pubCl, err := c.NewClient(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish until a delivery lands (the subscription must reach a matcher
+	// first), then keep publishing until the trace round-trips.
+	waitFor(t, 10*time.Second, func() bool {
+		if err := pubCl.Publish([]float64{500, 500, 500, 500}, []byte("traced")); err != nil {
+			t.Fatal(err)
+		}
+		return rec.count() > 0
+	})
+
+	dispID := c.Dispatchers()[0].ID()
+	dispAdmin, ok := c.AdminAddr(dispID)
+	if !ok {
+		t.Fatal("dispatcher has no admin endpoint")
+	}
+
+	// A complete trace (publish → ingest → forward → dequeue → match →
+	// deliver, plus the ack hop) must become visible on the dispatcher.
+	type traceJSON struct {
+		Traces []struct {
+			Msg      string           `json:"msg"`
+			Complete bool             `json:"complete"`
+			Hops     map[string]int64 `json:"hops_ns"`
+		} `json:"traces"`
+	}
+	var complete *struct {
+		Msg      string           `json:"msg"`
+		Complete bool             `json:"complete"`
+		Hops     map[string]int64 `json:"hops_ns"`
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		var tj traceJSON
+		if err := json.Unmarshal(httpGet(t, dispAdmin, "/debug/traces?n=64"), &tj); err != nil {
+			t.Fatalf("/debug/traces: %v", err)
+		}
+		for i := range tj.Traces {
+			if tj.Traces[i].Complete {
+				complete = &tj.Traces[i]
+				return true
+			}
+		}
+		return false
+	})
+	if len(complete.Hops) != int(core.HopCount) {
+		t.Fatalf("trace hop map = %v, want %d entries", complete.Hops, core.HopCount)
+	}
+	// Every hop through delivery must be stamped, in causal order.
+	order := []string{"publish", "ingest", "forward", "dequeue", "match", "deliver"}
+	prev := int64(0)
+	for _, h := range order {
+		ts, ok := complete.Hops[h]
+		if !ok || ts == 0 {
+			t.Fatalf("hop %s missing from complete trace: %v", h, complete.Hops)
+		}
+		if ts < prev {
+			t.Fatalf("hop %s at %d precedes previous hop at %d", h, ts, prev)
+		}
+		prev = ts
+	}
+	if complete.Hops["ack"] == 0 {
+		t.Fatalf("ack hop not stamped on dispatcher-side trace: %v", complete.Hops)
+	}
+
+	// Every node's scrape must be structurally valid and expose its role's
+	// required series.
+	addrs := c.AdminAddrs()
+	if len(addrs) != 3 {
+		t.Fatalf("admin endpoints = %d, want 3", len(addrs))
+	}
+	dispRequired := []string{
+		"bluedove_node_info",
+		"bluedove_dispatcher_published",
+		"bluedove_dispatcher_forwarded",
+		"bluedove_dispatcher_forward_latency_seconds",
+		"bluedove_dispatcher_deliver_latency_seconds",
+		"bluedove_transport_frames_sent",
+		"bluedove_gossip_bytes",
+	}
+	matchRequired := []string{
+		"bluedove_node_info",
+		"bluedove_matcher_processed",
+		"bluedove_matcher_delivered",
+		"bluedove_matcher_stage_arrival_rate",     // λ
+		"bluedove_matcher_stage_service_capacity", // μ
+		"bluedove_matcher_stage_queue_depth",
+		"bluedove_matcher_match_latency_seconds",
+		"bluedove_transport_frames_sent",
+		"bluedove_gossip_bytes",
+	}
+	for id, addr := range addrs {
+		required := matchRequired
+		if id == dispID {
+			required = dispRequired
+		}
+		scrape := httpGet(t, addr, "/metrics")
+		if err := telemetry.CheckPrometheusText(scrape, required); err != nil {
+			t.Fatalf("node %d scrape invalid: %v\n%s", id, err, scrape)
+		}
+	}
+
+	// The latency summaries must carry quantile samples once traces flowed.
+	scrape := string(httpGet(t, dispAdmin, "/metrics"))
+	for _, want := range []string{
+		`bluedove_dispatcher_deliver_latency_seconds{`,
+		`quantile="0.99"`,
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Fatalf("dispatcher scrape missing %q:\n%s", want, scrape)
+		}
+	}
+}
+
+// TestTelemetryDisabledByDefault pins the zero-config behavior: no bundle,
+// no admin endpoints, publications untraced.
+func TestTelemetryDisabledByDefault(t *testing.T) {
+	c, err := Start(fastOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(c.AdminAddrs()) != 0 {
+		t.Fatal("admin endpoints served without Options.Admin")
+	}
+	for _, d := range c.Dispatchers() {
+		if d.Telemetry() != nil {
+			t.Fatalf("dispatcher %d has telemetry without opting in", d.ID())
+		}
+	}
+}

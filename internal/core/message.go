@@ -26,6 +26,9 @@ type Message struct {
 	// PublishedAt is the cluster-clock timestamp (nanoseconds) when the
 	// message entered a dispatcher. Used for response-time accounting.
 	PublishedAt int64
+	// Trace is the hop-level trace context for sampled publications; nil
+	// (the overwhelmingly common case) means the publication is untraced.
+	Trace *TraceCtx
 }
 
 // NewMessage builds a message with the given attribute values and payload.
@@ -58,6 +61,10 @@ func (m *Message) Clone() *Message {
 	c := *m
 	c.Attrs = make([]float64, len(m.Attrs))
 	copy(c.Attrs, m.Attrs)
+	if m.Trace != nil {
+		tc := *m.Trace
+		c.Trace = &tc
+	}
 	return &c
 }
 

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TraceID identifies one sampled publication trace. Traces are sampled at
+// the edge (client or dispatcher ingest); the ID defaults to the message ID
+// so a trace can be joined back to delivery accounting.
+type TraceID uint64
+
+// String renders the ID in hex.
+func (id TraceID) String() string { return "trace-" + strconv.FormatUint(uint64(id), 16) }
+
+// Hop indexes one stage of a publication's path through the system. The
+// hops are stamped in order; a timestamp of zero means "not reached" (or
+// not visible to the node that recorded the trace).
+type Hop int
+
+// The per-publication hops, in path order (paper §IV measures the
+// dispatcher→matcher→subscriber path; HopPublish/HopAck add the client and
+// acknowledgement edges around it).
+const (
+	// HopPublish is when the client handed the publication to its transport.
+	HopPublish Hop = iota
+	// HopIngest is when a dispatcher accepted the publication and assigned
+	// its message ID.
+	HopIngest
+	// HopForward is when the dispatcher picked a candidate matcher and
+	// queued the publication for forwarding.
+	HopForward
+	// HopDequeue is when the matcher's per-dimension SEDA stage dequeued
+	// the publication for matching.
+	HopDequeue
+	// HopMatch is when the matcher finished searching its subscription
+	// index for the publication.
+	HopMatch
+	// HopDeliver is when the matcher queued the first delivery (zero when
+	// the publication matched no subscriber).
+	HopDeliver
+	// HopAck is when the dispatcher processed the matcher's forward ack.
+	HopAck
+	// HopCount is the number of hops in a trace.
+	HopCount
+)
+
+// hopNames aligns with the Hop constants.
+var hopNames = [HopCount]string{
+	"publish", "ingest", "forward", "dequeue", "match", "deliver", "ack",
+}
+
+// String names the hop.
+func (h Hop) String() string {
+	if h >= 0 && h < HopCount {
+		return hopNames[h]
+	}
+	return fmt.Sprintf("hop(%d)", int(h))
+}
+
+// TraceCtx is the per-publication trace context carried in wire frames for
+// sampled publications. Timestamps are nanoseconds on whatever clock the
+// deployment runs (wall clock for the runtime, virtual time for the
+// simulator); hops stamped by different nodes therefore mix clocks, which
+// is fine on one host (tests, loopback clusters, the simulator) and
+// approximate across hosts.
+type TraceCtx struct {
+	// ID identifies the trace (defaults to the message ID at ingest).
+	ID TraceID
+	// Dispatcher is the node that ingested and forwarded the publication.
+	Dispatcher NodeID
+	// Matcher is the candidate matcher the publication was forwarded to.
+	Matcher NodeID
+	// Dim is the mPartition dimension the matcher searched.
+	Dim int
+	// Hops holds one timestamp per Hop constant; zero = not reached.
+	Hops [HopCount]int64
+}
+
+// Stamp records now for the hop if it has not been stamped yet, so
+// retransmissions keep the first attempt's timestamps.
+func (t *TraceCtx) Stamp(h Hop, now int64) {
+	if t.Hops[h] == 0 {
+		t.Hops[h] = now
+	}
+}
+
+// Merge copies every hop (and node/dim assignment) stamped in other but not
+// in t. Used when a trace context returns to the dispatcher on an ack and
+// must be joined with the locally retained copy.
+func (t *TraceCtx) Merge(other *TraceCtx) {
+	if other == nil {
+		return
+	}
+	if t.ID == 0 {
+		t.ID = other.ID
+	}
+	if t.Dispatcher == 0 {
+		t.Dispatcher = other.Dispatcher
+	}
+	if t.Matcher == 0 {
+		t.Matcher = other.Matcher
+	}
+	if t.Dim == 0 {
+		t.Dim = other.Dim
+	}
+	for h := range t.Hops {
+		if t.Hops[h] == 0 {
+			t.Hops[h] = other.Hops[h]
+		}
+	}
+}
+
+// Complete reports whether every hop through deliver has been stamped.
+// (HopAck is excluded: a matcher-side trace is complete before the ack, and
+// HopDeliver is the last hop a matcher can see.)
+func (t *TraceCtx) Complete() bool {
+	for h := HopPublish; h < HopAck; h++ {
+		if t.Hops[h] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the trace as "trace-id hop=+Δ …" with deltas from the
+// first stamped hop, for logs and the admin surface.
+func (t *TraceCtx) String() string {
+	var sb strings.Builder
+	sb.WriteString(t.ID.String())
+	base := int64(0)
+	for h := Hop(0); h < HopCount; h++ {
+		if t.Hops[h] != 0 {
+			base = t.Hops[h]
+			break
+		}
+	}
+	for h := Hop(0); h < HopCount; h++ {
+		if t.Hops[h] == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, " %s=+%dus", h, (t.Hops[h]-base)/1000)
+	}
+	return sb.String()
+}

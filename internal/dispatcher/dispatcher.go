@@ -22,6 +22,7 @@ import (
 	"bluedove/internal/metrics"
 	"bluedove/internal/partition"
 	"bluedove/internal/placement"
+	"bluedove/internal/telemetry"
 	"bluedove/internal/transport"
 	"bluedove/internal/wire"
 )
@@ -91,6 +92,13 @@ type Config struct {
 	Now func() int64
 	// Seed drives randomized choices (default derived from ID).
 	Seed int64
+	// Telemetry, when non-nil, enables the observability subsystem on this
+	// node: publications are trace-sampled at ingest (per the bundle's
+	// sampler), completed traces are retained, and every counter and
+	// latency histogram is registered under the node's registry. Nil (the
+	// default) keeps the forward path free of telemetry work beyond one
+	// nil check.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c *Config) defaults() error {
@@ -182,6 +190,11 @@ type Dispatcher struct {
 	// ForwardBatches counts ForwardBatch frames sent (batching enabled);
 	// Forwarded / ForwardBatches is the achieved amortization factor.
 	ForwardBatches metrics.Counter
+
+	// fwdLatency observes ingest→ack per traced publication (ns).
+	fwdLatency *metrics.Histogram
+	// e2eLatency observes publish→deliver per traced publication (ns).
+	e2eLatency *metrics.Histogram
 }
 
 // inflightMsg is one retained unacked publication.
@@ -198,14 +211,16 @@ func New(cfg Config) (*Dispatcher, error) {
 		return nil, err
 	}
 	return &Dispatcher{
-		cfg:      cfg,
-		loads:    make(map[core.NodeID][]forward.DimLoad),
-		pending:  make(map[core.NodeID][]int),
-		registry: make(map[core.SubscriptionID]regEntry),
-		inflight: make(map[core.MessageID]*inflightMsg),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		queues:   delivery.NewQueueStore(cfg.QueueCap),
-		stop:     make(chan struct{}),
+		cfg:        cfg,
+		loads:      make(map[core.NodeID][]forward.DimLoad),
+		pending:    make(map[core.NodeID][]int),
+		registry:   make(map[core.SubscriptionID]regEntry),
+		inflight:   make(map[core.MessageID]*inflightMsg),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		queues:     delivery.NewQueueStore(cfg.QueueCap),
+		stop:       make(chan struct{}),
+		fwdLatency: metrics.NewHistogram(),
+		e2eLatency: metrics.NewHistogram(),
 	}, nil
 }
 
@@ -246,6 +261,9 @@ func (d *Dispatcher) Start() error {
 	d.gsp = g
 	g.OnLivenessChange(d.onLiveness)
 	g.Start()
+	if d.cfg.Telemetry != nil {
+		d.registerTelemetry()
+	}
 	d.wg.Add(2)
 	go d.tableWatchLoop()
 	go d.tablePullLoop()
@@ -380,6 +398,9 @@ func (d *Dispatcher) handle(env *wire.Envelope) *wire.Envelope {
 			d.mu.Lock()
 			delete(d.inflight, b.ID)
 			d.mu.Unlock()
+			if d.cfg.Telemetry != nil && b.Trace != nil {
+				d.completeTrace(b.ID, b.Trace)
+			}
 		}
 		return nil
 	case wire.KindForwardAckBatch:
@@ -389,6 +410,11 @@ func (d *Dispatcher) handle(env *wire.Envelope) *wire.Envelope {
 				delete(d.inflight, id)
 			}
 			d.mu.Unlock()
+			if d.cfg.Telemetry != nil {
+				for i := range b.Traces {
+					d.completeTrace(b.Traces[i].Msg, &b.Traces[i].Ctx)
+				}
+			}
 		}
 		return nil
 	case wire.KindJoin:
@@ -485,6 +511,21 @@ func (d *Dispatcher) handlePublish(msg *core.Message) {
 	}
 	t := d.table
 	d.mu.Unlock()
+	if tel := d.cfg.Telemetry; tel != nil {
+		if msg.Trace == nil && tel.Sampler.Sample() {
+			msg.Trace = &core.TraceCtx{}
+		}
+		if msg.Trace != nil {
+			if msg.Trace.ID == 0 {
+				msg.Trace.ID = core.TraceID(msg.ID)
+			}
+			msg.Trace.Dispatcher = d.cfg.ID
+			// A client that pre-sampled already stamped HopPublish on its
+			// own clock; otherwise publish and ingest coincide here.
+			msg.Trace.Stamp(core.HopPublish, now)
+			msg.Trace.Stamp(core.HopIngest, now)
+		}
+	}
 	if t == nil {
 		d.DroppedNoCandidate.Add(1)
 		return
@@ -510,8 +551,9 @@ func (d *Dispatcher) handlePublish(msg *core.Message) {
 // success and the chosen matcher.
 func (d *Dispatcher) forwardOnce(t *partition.Table, msg *core.Message,
 	skip map[core.NodeID]bool) (bool, core.NodeID) {
+	now := d.cfg.Now()
 	cands := d.cfg.Strategy.Candidates(t, msg)
-	ranked := d.cfg.Policy.Rank(d.cfg.Now(), cands, d)
+	ranked := d.cfg.Policy.Rank(now, cands, d)
 	for _, c := range ranked {
 		if skip[c.Node] {
 			continue
@@ -519,6 +561,15 @@ func (d *Dispatcher) forwardOnce(t *partition.Table, msg *core.Message,
 		addr, ok := d.gsp.AddrOf(c.Node)
 		if !ok {
 			continue
+		}
+		if msg.Trace != nil && skip == nil {
+			// First forward of a traced publication: record the chosen hop
+			// before encoding so the frame carries it. Retransmissions
+			// (skip != nil) leave the original stamps in place — the context
+			// may already be shared with a concurrent batch encoder.
+			msg.Trace.Matcher = c.Node
+			msg.Trace.Dim = c.Dim
+			msg.Trace.Stamp(core.HopForward, now)
 		}
 		if d.batcher != nil {
 			d.batcher.add(c.Node, addr, c.Dim, msg)
@@ -539,6 +590,11 @@ func (d *Dispatcher) forwardOnce(t *partition.Table, msg *core.Message,
 		}
 		d.mu.Unlock()
 		d.Forwarded.Add(1)
+		if msg.Trace != nil && skip == nil {
+			if tel := d.cfg.Telemetry; tel != nil {
+				tel.Tracer.Await(msg.ID, msg.Trace, now)
+			}
+		}
 		return true, c.Node
 	}
 	return false, 0

@@ -67,7 +67,7 @@ func Batching(opts BatchingOpts) (*BatchingResult, error) {
 	var un, ba float64
 	var frames, forwarded int64
 	for tr := 0; tr < opts.Trials; tr++ {
-		rate, _, _, err := batchingRun(opts, 0)
+		rate, _, _, err := batchingRun(opts, 0, false, 0)
 		if err != nil {
 			return nil, fmt.Errorf("unbatched run: %w", err)
 		}
@@ -76,7 +76,7 @@ func Batching(opts BatchingOpts) (*BatchingResult, error) {
 		}
 	}
 	for tr := 0; tr < opts.Trials; tr++ {
-		rate, fr, fw, err := batchingRun(opts, opts.Linger)
+		rate, fr, fw, err := batchingRun(opts, opts.Linger, false, 0)
 		if err != nil {
 			return nil, fmt.Errorf("batched run: %w", err)
 		}
@@ -96,16 +96,20 @@ func Batching(opts BatchingOpts) (*BatchingResult, error) {
 }
 
 // batchingRun boots one cluster, drives the workload, and returns delivered
-// messages per second plus the forward-path frame counters.
-func batchingRun(opts BatchingOpts, linger time.Duration) (rate float64, frames, forwarded int64, err error) {
+// messages per second plus the forward-path frame counters. With telemetry
+// set the observability subsystem runs on every node at the given trace
+// sample rate (the telemetry-overhead experiment's knob).
+func batchingRun(opts BatchingOpts, linger time.Duration, telemetry bool, sampleRate float64) (rate float64, frames, forwarded int64, err error) {
 	c, err := cluster.Start(cluster.Options{
-		Space:          core.UniformSpace(4, 1000),
-		Matchers:       4,
-		Dispatchers:    2,
-		GossipInterval: 50 * time.Millisecond,
-		FailAfter:      5 * time.Second,
-		ReportInterval: 50 * time.Millisecond,
-		ForwardLinger:  linger,
+		Space:           core.UniformSpace(4, 1000),
+		Matchers:        4,
+		Dispatchers:     2,
+		GossipInterval:  50 * time.Millisecond,
+		FailAfter:       5 * time.Second,
+		ReportInterval:  50 * time.Millisecond,
+		ForwardLinger:   linger,
+		Telemetry:       telemetry,
+		TraceSampleRate: sampleRate,
 	})
 	if err != nil {
 		return 0, 0, 0, err

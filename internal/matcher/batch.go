@@ -30,12 +30,13 @@ type addrChain struct{ head, tail int }
 // slice, the per-subscriber grouping map, the delivery list (with SubIDs
 // backing arrays), and the batch assembly buffers are all reused.
 type matchScratch struct {
-	dst    []*core.Subscription
-	perSub map[core.SubscriberID]int // subscriber → index into dels, per message
-	dels   []delEntry
-	chains map[string]addrChain
-	batch  wire.DeliverBatchBody
-	ackIDs []core.MessageID
+	dst       []*core.Subscription
+	perSub    map[core.SubscriberID]int // subscriber → index into dels, per message
+	dels      []delEntry
+	chains    map[string]addrChain
+	batch     wire.DeliverBatchBody
+	ackIDs    []core.MessageID
+	ackTraces []wire.AckTrace
 }
 
 var scratchPool = sync.Pool{New: func() any {
@@ -64,6 +65,7 @@ func putScratch(sc *matchScratch) {
 	clear(sc.batch.Deliveries)
 	sc.batch.Deliveries = sc.batch.Deliveries[:0]
 	sc.ackIDs = sc.ackIDs[:0]
+	sc.ackTraces = sc.ackTraces[:0]
 	scratchPool.Put(sc)
 }
 
@@ -89,9 +91,13 @@ func (sc *matchScratch) addDelivery(addr string, sub core.SubscriberID, msg *cor
 }
 
 // deliverEncodedSize returns the encoded size of one DeliverBody inside a
-// DeliverBatch frame (subscriber + message + id list).
+// DeliverBatch frame (subscriber + message + trace + id list).
 func deliverEncodedSize(d *wire.DeliverBody) int {
-	return 8 + 8 + 8 + 2 + 8*len(d.Msg.Attrs) + 4 + len(d.Msg.Payload) + 4 + 8*len(d.SubIDs)
+	sz := 8 + 8 + 8 + 2 + 8*len(d.Msg.Attrs) + 4 + len(d.Msg.Payload) + 4 + 8*len(d.SubIDs) + 1
+	if d.Msg.Trace != nil {
+		sz += wire.TraceOverhead - 1
+	}
+	return sz
 }
 
 // enqueueBatch fans a decoded ForwardBatch out to the dimension stages: one
@@ -120,6 +126,16 @@ func (m *Matcher) enqueueBatch(b *wire.ForwardBatchBody, from core.NodeID) {
 // whole batch with one ForwardAckBatch.
 func (m *Matcher) matchBatch(ds *dimSet, dim int, it forwardItem) {
 	sc := getScratch()
+	var tnow int64
+	traced := false
+	for _, msg := range it.msgs {
+		if msg.Trace != nil {
+			if !traced {
+				traced, tnow = true, m.cfg.Now()
+			}
+			msg.Trace.Stamp(core.HopDequeue, tnow)
+		}
+	}
 	ds.mu.RLock()
 	for _, msg := range it.msgs {
 		matched, _ := index.Match(ds.idx, msg, sc.dst[:0])
@@ -135,6 +151,16 @@ func (m *Matcher) matchBatch(ds *dimSet, dim int, it forwardItem) {
 	}
 	ds.mu.RUnlock()
 	m.Processed.Add(int64(len(it.msgs)))
+	var matchDone int64
+	if traced {
+		matchDone = m.cfg.Now()
+		for _, msg := range it.msgs {
+			if msg.Trace != nil {
+				msg.Trace.Stamp(core.HopMatch, matchDone)
+				m.matchLatency.Observe(matchDone - msg.Trace.Hops[core.HopDequeue])
+			}
+		}
+	}
 
 	// Chain deliveries by destination address.
 	for i := range sc.dels {
@@ -161,6 +187,10 @@ func (m *Matcher) matchBatch(ds *dimSet, dim int, it forwardItem) {
 				continue // nowhere to deliver (registered without an address)
 			}
 			m.Delivered.Add(n)
+			// Stamp before the body is encoded so the frame carries the hop.
+			if d.body.Msg.Trace != nil {
+				d.body.Msg.Trace.Stamp(core.HopDeliver, matchDone)
+			}
 			esz := deliverEncodedSize(&d.body)
 			if size+esz > maxDeliverBatchBytes && len(sc.batch.Deliveries) > 0 {
 				m.send(addr, wire.KindDeliverBatch, &sc.batch)
@@ -175,13 +205,26 @@ func (m *Matcher) matchBatch(ds *dimSet, dim int, it forwardItem) {
 		}
 	}
 
+	if traced {
+		if tel := m.cfg.Telemetry; tel != nil {
+			for _, msg := range it.msgs {
+				if msg.Trace != nil {
+					tel.Tracer.Record(msg.ID, msg.Trace)
+				}
+			}
+		}
+	}
 	if it.from != 0 {
 		if addr, ok := m.gsp.AddrOf(it.from); ok {
 			sc.ackIDs = sc.ackIDs[:0]
+			sc.ackTraces = sc.ackTraces[:0]
 			for _, msg := range it.msgs {
 				sc.ackIDs = append(sc.ackIDs, msg.ID)
+				if msg.Trace != nil {
+					sc.ackTraces = append(sc.ackTraces, wire.AckTrace{Msg: msg.ID, Ctx: *msg.Trace})
+				}
 			}
-			ack := wire.ForwardAckBatchBody{IDs: sc.ackIDs}
+			ack := wire.ForwardAckBatchBody{IDs: sc.ackIDs, Traces: sc.ackTraces}
 			m.send(addr, wire.KindForwardAckBatch, &ack)
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"bluedove/internal/index"
 	"bluedove/internal/metrics"
 	"bluedove/internal/partition"
+	"bluedove/internal/telemetry"
 	"bluedove/internal/transport"
 	"bluedove/internal/wire"
 )
@@ -59,6 +60,11 @@ type Config struct {
 	Generation uint64
 	// Now supplies the clock (default time.Now).
 	Now func() int64
+	// Telemetry, when non-nil, enables the observability subsystem on this
+	// node: traced publications get their dequeue/match/deliver hops
+	// stamped and returned on acks, and every counter, per-stage λ/μ/queue
+	// gauge and latency histogram is registered under the node's registry.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c *Config) defaults() error {
@@ -137,6 +143,9 @@ type Matcher struct {
 	Dropped metrics.Counter
 	// ReportBytes counts load-report traffic for overhead accounting.
 	ReportBytes metrics.Counter
+
+	// matchLatency observes dequeue→match-done per traced publication (ns).
+	matchLatency *metrics.Histogram
 }
 
 // New builds a matcher (not yet started).
@@ -145,7 +154,8 @@ func New(cfg Config) (*Matcher, error) {
 		return nil, err
 	}
 	m := &Matcher{cfg: cfg, stop: make(chan struct{}),
-		sendCopies: transport.SendCopies(cfg.Transport)}
+		sendCopies:   transport.SendCopies(cfg.Transport),
+		matchLatency: metrics.NewHistogram()}
 	k := cfg.Space.K()
 	m.dims = make([]*dimSet, k)
 	for i := 0; i < k; i++ {
@@ -195,6 +205,9 @@ func (m *Matcher) Start() error {
 		set.stage = newSedaStage(fmt.Sprintf("%v-dim%d", m.cfg.ID, dim),
 			m.cfg.QueueDepth, m.cfg.WorkersPerDim, m.cfg.Now,
 			func(it forwardItem) { m.matchItem(set, dim, it) })
+	}
+	if m.cfg.Telemetry != nil {
+		m.registerTelemetry()
 	}
 	g.Start()
 	m.wg.Add(2)
@@ -330,6 +343,11 @@ func (m *Matcher) matchItem(ds *dimSet, dim int, it forwardItem) {
 // persistence is on).
 func (m *Matcher) matchOne(ds *dimSet, dim int, it forwardItem) {
 	msg := it.msg
+	var tnow int64
+	if msg.Trace != nil {
+		tnow = m.cfg.Now()
+		msg.Trace.Stamp(core.HopDequeue, tnow)
+	}
 	sc := getScratch()
 	ds.mu.RLock()
 	matched, _ := index.Match(ds.idx, msg, sc.dst[:0])
@@ -343,19 +361,33 @@ func (m *Matcher) matchOne(ds *dimSet, dim int, it forwardItem) {
 	}
 	ds.mu.RUnlock()
 	m.Processed.Add(1)
+	if msg.Trace != nil {
+		done := m.cfg.Now()
+		msg.Trace.Stamp(core.HopMatch, done)
+		m.matchLatency.Observe(done - msg.Trace.Hops[core.HopDequeue])
+	}
 	for i := range sc.dels {
 		d := &sc.dels[i]
 		m.Matched.Add(int64(len(d.body.SubIDs)))
 		if d.addr == "" {
 			continue // nowhere to deliver (registered without an address)
 		}
+		// Stamp before encode so the deliver frame carries the hop.
+		if msg.Trace != nil {
+			msg.Trace.Stamp(core.HopDeliver, m.cfg.Now())
+		}
 		m.Delivered.Add(int64(len(d.body.SubIDs)))
 		m.send(d.addr, wire.KindDeliver, &d.body)
 	}
 	putScratch(sc)
+	if msg.Trace != nil {
+		if tel := m.cfg.Telemetry; tel != nil {
+			tel.Tracer.Record(msg.ID, msg.Trace)
+		}
+	}
 	if it.from != 0 {
 		if addr, ok := m.gsp.AddrOf(it.from); ok {
-			m.send(addr, wire.KindForwardAck, &wire.ForwardAckBody{ID: msg.ID})
+			m.send(addr, wire.KindForwardAck, &wire.ForwardAckBody{ID: msg.ID, Trace: msg.Trace})
 		}
 	}
 }

@@ -1,0 +1,49 @@
+package matcher
+
+import (
+	"strconv"
+
+	"bluedove/internal/telemetry"
+)
+
+// registerTelemetry publishes the matcher's counters, per-dimension stage
+// gauges (the same λ/μ/queue figures the load reports carry) and latency
+// histograms under the node's registry. Called once from Start, after the
+// dimension stages exist.
+func (m *Matcher) registerTelemetry() {
+	r := m.cfg.Telemetry.Registry
+	r.Gauge("node.info", "constant 1; labels identify the node", func(int64) float64 { return 1 })
+	r.Counter("matcher.matched", "subscriptions matched (deliveries attempted)", &m.Matched)
+	r.Counter("matcher.delivered", "matched subscriptions actually sent a delivery", &m.Delivered)
+	r.Counter("matcher.processed", "forwarded messages matched (stage completions)", &m.Processed)
+	r.Counter("matcher.dropped", "forwarded messages rejected by stage backpressure", &m.Dropped)
+	r.Counter("matcher.report_bytes", "load-report traffic", &m.ReportBytes)
+	r.Histogram("matcher.match_latency_seconds",
+		"stage dequeue to match done per traced publication", m.matchLatency, 1e-9)
+	for i, ds := range m.dims {
+		dim := telemetry.L("dim", strconv.Itoa(i))
+		set := ds
+		r.Gauge("matcher.stage.queue_depth", "stage backlog (messages)", func(int64) float64 {
+			return float64(set.stage.EventLen())
+		}, dim)
+		r.Gauge("matcher.stage.arrival_rate", "stage arrival rate lambda (msg/s)", func(int64) float64 {
+			return set.stage.ArrivalRate()
+		}, dim)
+		r.Gauge("matcher.stage.service_capacity", "stage service capacity mu (msg/s)", func(int64) float64 {
+			return set.stage.ServiceCapacity()
+		}, dim)
+		r.Gauge("matcher.stage.subs", "subscriptions stored on this dimension", func(int64) float64 {
+			set.mu.RLock()
+			defer set.mu.RUnlock()
+			return float64(set.idx.Len())
+		}, dim)
+	}
+	tr := m.cfg.Telemetry.Tracer
+	r.Gauge("trace.completed", "traces recorded on this node", func(int64) float64 {
+		return float64(tr.Total())
+	})
+	r.Counter("gossip.bytes", "gossip payload traffic", &m.gsp.Bytes)
+}
+
+// Telemetry returns the node's telemetry bundle (nil when disabled).
+func (m *Matcher) Telemetry() *telemetry.Telemetry { return m.cfg.Telemetry }

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzRateMeterTimestamps drives a RateMeter with arbitrary (including
+// out-of-order and negative) timestamps and asserts the explicit-timestamp
+// invariant: no panic, a finite non-negative rate, and no events lost when
+// the reader's clock trails the writer's.
+func FuzzRateMeterTimestamps(f *testing.F) {
+	f.Add(int64(0), int64(1e9), int64(5e8))
+	f.Add(int64(1e9), int64(0), int64(-3))
+	f.Add(int64(-7e9), int64(7e9), int64(42))
+	f.Fuzz(func(t *testing.T, t1, t2, readAt int64) {
+		r := NewRateMeter(time.Second, 10)
+		r.Mark(t1, 3)
+		r.Mark(t2, 5)
+		rate := r.Rate(readAt)
+		if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+			t.Fatalf("rate(%d) after marks at %d,%d = %v", readAt, t1, t2, rate)
+		}
+		// A reader at or before the last mark must see at least the newest
+		// mark's events (the window is clamped to end at the last mark).
+		if readAt <= r.lastMark && rate < 5 {
+			t.Fatalf("stale reader lost events: rate=%v, want >= 5 ev/s", rate)
+		}
+	})
+}
+
+// FuzzHistogramQuantile asserts Quantile never panics and always answers
+// within [0, max] for arbitrary samples and quantile arguments.
+func FuzzHistogramQuantile(f *testing.F) {
+	f.Add(int64(5), int64(-1), 0.5)
+	f.Add(int64(1<<40), int64(1), 2.0)
+	f.Add(int64(0), int64(math.MaxInt64), -0.5)
+	f.Fuzz(func(t *testing.T, v1, v2 int64, q float64) {
+		h := NewHistogram()
+		h.Observe(v1)
+		h.Observe(v2)
+		got := h.Quantile(q)
+		if got < 0 || got > h.Max() {
+			t.Fatalf("quantile(%v) = %d outside [0, %d]", q, got, h.Max())
+		}
+	})
+}
+
+// TestRateMeterStaleReaderClamp pins the satellite fix: a snapshot taken
+// with a timestamp earlier than the last Mark sees the window ending at the
+// mark instead of an empty (or partially drained) window.
+func TestRateMeterStaleReaderClamp(t *testing.T) {
+	r := NewRateMeter(time.Second, 10)
+	r.Mark(100*int64(time.Second), 10)
+	for _, readAt := range []int64{0, -5, 99 * int64(time.Second), 100 * int64(time.Second)} {
+		if rate := r.Rate(readAt); rate != 10 {
+			t.Fatalf("Rate(%d) = %v, want 10 ev/s", readAt, rate)
+		}
+	}
+}
+
+// TestRateMeterBackwardMarkKeepsCounts pins that an out-of-order Mark
+// cannot clobber the newest slot.
+func TestRateMeterBackwardMarkKeepsCounts(t *testing.T) {
+	r := NewRateMeter(time.Second, 10)
+	now := 50 * int64(time.Second)
+	r.Mark(now, 4)
+	r.Mark(now-30*int64(time.Second), 2) // stale writer
+	if rate := r.Rate(now); rate != 6 {
+		t.Fatalf("Rate = %v, want 6 ev/s (stale mark folded into window)", rate)
+	}
+}
+
+// TestHistogramQuantileNaN pins NaN handling.
+func TestHistogramQuantileNaN(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(100)
+	if got := h.Quantile(math.NaN()); got < 0 || got > h.Max() {
+		t.Fatalf("Quantile(NaN) = %d", got)
+	}
+}

@@ -60,20 +60,33 @@ func (r *RateMeter) slotFor(now int64) int {
 	return i
 }
 
-// Mark records n events at time now (nanoseconds).
+// Mark records n events at time now (nanoseconds). Marks never move the
+// meter backwards: a now earlier than the latest Mark is clamped up to it,
+// so an out-of-order timestamp cannot reset a live slot to a past period
+// and drop its counts.
 func (r *RateMeter) Mark(now int64, n int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if now < r.lastMark {
+		now = r.lastMark
+	}
 	r.slots[r.slotFor(now)] += n
 	if now > r.lastMark {
 		r.lastMark = now
 	}
 }
 
-// Rate returns the events/second over the window ending at now.
+// Rate returns the events/second over the window ending at now. A now
+// earlier than the last Mark is clamped up to it, so snapshot readers with
+// a slightly stale clock (telemetry scrapes racing instrumented threads)
+// see the window ending at the newest mark instead of silently dropping
+// the most recent slots.
 func (r *RateMeter) Rate(now int64) float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if now < r.lastMark {
+		now = r.lastMark
+	}
 	var total int64
 	oldest := now - r.window
 	for i := range r.slots {
@@ -184,7 +197,7 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if h.count == 0 {
 		return 0
 	}
-	if q < 0 {
+	if math.IsNaN(q) || q < 0 {
 		q = 0
 	}
 	if q > 1 {

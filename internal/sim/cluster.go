@@ -10,6 +10,7 @@ import (
 	"bluedove/internal/forward"
 	"bluedove/internal/metrics"
 	"bluedove/internal/partition"
+	"bluedove/internal/telemetry"
 	"bluedove/internal/workload"
 )
 
@@ -39,6 +40,9 @@ type Cluster struct {
 	arrMeter   *metrics.RateMeter
 	joinTimes  []int64
 	failTimes  []int64
+
+	tel        *telemetry.Telemetry // nil unless TraceSampleRate > 0
+	e2eLatency *metrics.Histogram   // publish → deliver, virtual ns, traced only
 }
 
 // simDispatcher is a dispatcher's local state: a possibly stale table view,
@@ -113,6 +117,9 @@ func NewCluster(cfg Config) *Cluster {
 		panic(err) // unreachable: ids are unique and non-empty
 	}
 	cl.table = tab
+	if cfg.TraceSampleRate > 0 {
+		cl.initTelemetry()
+	}
 	for i := 0; i < cfg.Dispatchers; i++ {
 		cl.dispatchers = append(cl.dispatchers, &simDispatcher{
 			id:      cl.nextNode,
@@ -127,6 +134,35 @@ func NewCluster(cfg Config) *Cluster {
 	cl.startControlLoops()
 	return cl
 }
+
+// initTelemetry builds the simulated cluster's telemetry bundle over the
+// virtual clock: the same registry/tracer code the real nodes run, with
+// every timestamp drawn from the event engine.
+func (cl *Cluster) initTelemetry() {
+	cl.e2eLatency = metrics.NewHistogram()
+	cl.tel = telemetry.New(telemetry.Options{
+		SampleRate: cl.cfg.TraceSampleRate,
+		Now:        cl.eng.Now,
+		Base:       []telemetry.Label{telemetry.L("role", "sim")},
+	})
+	r := cl.tel.Registry
+	r.Counter("sim.arrived", "publications injected", &cl.stats.Arrived)
+	r.Counter("sim.subscriptions", "subscriptions registered", &cl.stats.Subscriptions)
+	r.Counter("sim.gossip_bytes", "modeled gossip traffic", &cl.stats.GossipBytes)
+	r.Counter("sim.load_push_bytes", "modeled load-report traffic", &cl.stats.LoadPushBytes)
+	r.Gauge("sim.backlog", "messages queued across all matchers", func(int64) float64 {
+		return float64(cl.TotalBacklog())
+	})
+	r.Gauge("sim.arrival_rate", "cluster arrival rate lambda (msg/s)", func(now int64) float64 {
+		return cl.arrMeter.Rate(now)
+	})
+	r.Histogram("sim.deliver_latency_seconds",
+		"publish to delivery per traced publication (virtual time)", cl.e2eLatency, 1e-9)
+}
+
+// Telemetry returns the simulated cluster's telemetry bundle (nil unless
+// Config.TraceSampleRate > 0).
+func (cl *Cluster) Telemetry() *telemetry.Telemetry { return cl.tel }
 
 // Engine returns the cluster's event engine (for scheduling custom events in
 // tests and experiments).
@@ -289,6 +325,10 @@ func (cl *Cluster) Publish(m *core.Message) {
 	m.PublishedAt = now
 	cl.stats.Arrived.Add(1)
 	cl.arrMeter.Mark(now, 1)
+	if cl.tel != nil && cl.tel.Sampler.Sample() {
+		m.Trace = &core.TraceCtx{ID: core.TraceID(m.ID)}
+		m.Trace.Stamp(core.HopPublish, now)
+	}
 	d := cl.dispatchers[cl.rrDisp]
 	cl.rrDisp = (cl.rrDisp + 1) % len(cl.dispatchers)
 	cl.eng.After(cl.cfg.DispatchCost, func() { cl.forward(d, m) })
@@ -321,6 +361,13 @@ func (cl *Cluster) forwardMsg(qm queuedMsg) {
 			qm.tried[c.Node] = true
 		}
 		qm.dim = c.Dim
+		if t := qm.m.Trace; t != nil {
+			t.Dispatcher = d.id
+			t.Matcher = c.Node
+			t.Dim = c.Dim
+			t.Stamp(core.HopIngest, now)
+			t.Stamp(core.HopForward, now)
+		}
 		d.sent(c.Node, c.Dim, cl.cfg.Space.K())
 		cl.eng.After(cl.cfg.NetDelay, func() { target.enqueue(qm) })
 		return

@@ -101,6 +101,12 @@ type Config struct {
 	// SampleEvery records one response-time point per this many completions
 	// into the time series (default 20; histograms record every sample).
 	SampleEvery int
+	// TraceSampleRate, when > 0, enables the observability subsystem on the
+	// simulated cluster: this fraction of publications carries a hop-level
+	// trace context stamped with virtual-clock times (the same TraceCtx the
+	// real stack puts on the wire), and the cluster exposes a telemetry
+	// bundle whose registry and tracer read the virtual clock.
+	TraceSampleRate float64
 	// Seed drives all randomized decisions (default 1).
 	Seed int64
 	// OnDeliver, when set, is invoked at each message completion with the

@@ -133,6 +133,9 @@ func (m *simMatcher) serveOne(dim int) {
 	m.queues[dim] = m.queues[dim][1:]
 	m.queued--
 	m.busyDim[dim]++
+	if qm.m.Trace != nil {
+		qm.m.Trace.Stamp(core.HopDequeue, m.cl.eng.Now())
+	}
 
 	matchedSubs, scanned := index.Match(m.indexes[dim], qm.m, nil)
 	// Batching amortizes the fixed per-message overhead across the frame.
@@ -167,6 +170,21 @@ func (m *simMatcher) complete(qm queuedMsg, dim int, matchedSubs []*core.Subscri
 	m.deliveries += int64(len(matchedSubs))
 	m.matchedTotal += int64(len(matchedSubs))
 	m.cl.recordResponse(m.cl.eng.Now()+int64(m.cl.cfg.NetDelay), qm.m)
+	if t := qm.m.Trace; t != nil {
+		t.Stamp(core.HopMatch, now)
+		// The delivery and the ack both ride one network hop; the trace is
+		// recorded when the ack reaches the dispatcher, as in the real stack.
+		msg := qm.m
+		m.cl.eng.After(m.cl.cfg.NetDelay, func() {
+			at := m.cl.eng.Now()
+			t.Stamp(core.HopDeliver, at)
+			t.Stamp(core.HopAck, at)
+			m.cl.tel.Tracer.Record(msg.ID, t)
+			if pub := t.Hops[core.HopPublish]; pub != 0 {
+				m.cl.e2eLatency.Observe(at - pub)
+			}
+		})
+	}
 	if m.cl.cfg.OnDeliver != nil {
 		m.cl.cfg.OnDeliver(qm.m, matchedSubs)
 	}

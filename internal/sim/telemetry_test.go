@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/telemetry"
+	"bluedove/internal/workload"
+)
+
+// TestSimTelemetryVirtualClockTraces checks that the observability subsystem
+// runs unchanged over the simulator's virtual clock: traced publications
+// complete with hop timestamps drawn from virtual time (in causal order and
+// consistent with the configured delays), and the registry renders a valid
+// scrape at a virtual instant.
+func TestSimTelemetryVirtualClockTraces(t *testing.T) {
+	cfg := Config{
+		Space:           core.UniformSpace(3, 100),
+		Matchers:        4,
+		TraceSampleRate: 1,
+		Seed:            7,
+	}
+	cl := NewCluster(cfg)
+	wcfg := workload.Default(cfg.Space)
+	wcfg.Seed = 7
+	gen := workload.New(wcfg)
+	cl.SubscribeAll(gen.Subscriptions(500))
+
+	// Move off t=0 first: a hop stamped at virtual time zero is
+	// indistinguishable from unset.
+	cl.RunFor(time.Second)
+	start := cl.Now()
+	for i := 0; i < 50; i++ {
+		cl.Publish(gen.Message())
+	}
+	cl.RunFor(5 * time.Second)
+
+	tel := cl.Telemetry()
+	if tel == nil {
+		t.Fatal("telemetry bundle missing with TraceSampleRate > 0")
+	}
+	traces := tel.Tracer.Recent(0)
+	if len(traces) != 50 {
+		t.Fatalf("recorded %d traces, want 50", len(traces))
+	}
+	minHop := int64(cfg.withDefaults().DispatchCost) // publish → ingest lower bound
+	for _, tr := range traces {
+		ctx := tr.Ctx
+		if !ctx.Complete() {
+			t.Fatalf("incomplete virtual-time trace: %+v", ctx)
+		}
+		if ctx.Hops[core.HopPublish] < start {
+			t.Fatalf("publish hop %d before injection window %d", ctx.Hops[core.HopPublish], start)
+		}
+		prev := int64(0)
+		for h := core.Hop(0); h < core.HopCount; h++ {
+			if ts := ctx.Hops[h]; ts != 0 {
+				if ts < prev {
+					t.Fatalf("hop %s at %d precedes previous at %d: %+v", h, ts, prev, ctx)
+				}
+				prev = ts
+			}
+		}
+		if d := ctx.Hops[core.HopIngest] - ctx.Hops[core.HopPublish]; d < minHop {
+			t.Fatalf("ingest-publish delta %d below dispatch cost %d", d, minHop)
+		}
+		// Delivery rides one modeled network hop after match completion.
+		net := int64(cfg.withDefaults().NetDelay)
+		if d := ctx.Hops[core.HopDeliver] - ctx.Hops[core.HopMatch]; d != net {
+			t.Fatalf("deliver-match delta %d, want the %d net delay", d, net)
+		}
+		if ctx.Matcher == 0 || ctx.Dispatcher == 0 {
+			t.Fatalf("trace lost its route identity: %+v", ctx)
+		}
+	}
+
+	// The registry must render a valid exposition at the virtual instant.
+	var buf bytes.Buffer
+	tel.Registry.WritePrometheus(&buf, cl.Now())
+	if err := telemetry.CheckPrometheusText(buf.Bytes(), []string{
+		"bluedove_sim_arrived",
+		"bluedove_sim_arrival_rate",
+		"bluedove_sim_backlog",
+		"bluedove_sim_deliver_latency_seconds",
+	}); err != nil {
+		t.Fatalf("virtual-clock scrape invalid: %v\n%s", err, buf.String())
+	}
+}
+
+// TestSimTelemetrySampling checks partial sampling traces roughly the
+// configured fraction and leaves the rest untraced.
+func TestSimTelemetrySampling(t *testing.T) {
+	cfg := Config{
+		Space:           core.UniformSpace(3, 100),
+		Matchers:        2,
+		TraceSampleRate: 0.2,
+		Seed:            3,
+	}
+	cl := NewCluster(cfg)
+	wcfg := workload.Default(cfg.Space)
+	wcfg.Seed = 3
+	gen := workload.New(wcfg)
+	cl.SubscribeAll(gen.Subscriptions(100))
+	cl.RunFor(time.Second)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		cl.Publish(gen.Message())
+	}
+	cl.RunFor(10 * time.Second)
+	got := int(cl.Telemetry().Tracer.Total())
+	if f := float64(got) / n; f < 0.1 || f > 0.3 {
+		t.Fatalf("sampled fraction %.3f (%d/%d), want ≈0.2", f, got, n)
+	}
+}

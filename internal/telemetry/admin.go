@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"bluedove/internal/core"
+)
+
+// NewHandler builds the admin HTTP handler for one node:
+//
+//	/metrics       Prometheus text exposition
+//	/debug/vars    JSON metrics snapshot (expvar style)
+//	/debug/traces  recent completed traces (?n= bounds the count)
+//	/debug/pprof/  the standard runtime profiles
+func NewHandler(t *Telemetry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		t.Registry.WritePrometheus(w, t.Now())
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := t.Registry.WriteJSON(w, t.Now()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		fmt.Sscanf(r.URL.Query().Get("n"), "%d", &n)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		writeTraces(w, t, n)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// traceJSON is the /debug/traces wire form of one trace: absolute
+// timestamps plus per-hop deltas from the first stamped hop, which is what
+// a human reading a trace actually wants.
+type traceJSON struct {
+	Trace      string           `json:"trace"`
+	Msg        string           `json:"msg"`
+	Dispatcher core.NodeID      `json:"dispatcher"`
+	Matcher    core.NodeID      `json:"matcher"`
+	Dim        int              `json:"dim"`
+	Complete   bool             `json:"complete"`
+	Hops       map[string]int64 `json:"hops_ns"`
+	Deltas     map[string]int64 `json:"deltas_us"`
+}
+
+func writeTraces(w http.ResponseWriter, t *Telemetry, n int) {
+	recent := t.Tracer.Recent(n)
+	doc := struct {
+		Total     uint64      `json:"total"`
+		Pending   int         `json:"pending"`
+		Abandoned uint64      `json:"abandoned"`
+		Traces    []traceJSON `json:"traces"`
+	}{Total: t.Tracer.Total(), Pending: t.Tracer.PendingLen(),
+		Abandoned: t.Tracer.Abandoned(), Traces: []traceJSON{}}
+	for _, tr := range recent {
+		tj := traceJSON{
+			Trace:      tr.Ctx.ID.String(),
+			Msg:        tr.Msg.String(),
+			Dispatcher: tr.Ctx.Dispatcher,
+			Matcher:    tr.Ctx.Matcher,
+			Dim:        tr.Ctx.Dim,
+			Complete:   tr.Ctx.Complete(),
+			Hops:       map[string]int64{},
+			Deltas:     map[string]int64{},
+		}
+		base := int64(0)
+		for h := core.Hop(0); h < core.HopCount; h++ {
+			if ts := tr.Ctx.Hops[h]; ts != 0 && (base == 0 || ts < base) {
+				base = ts
+			}
+		}
+		for h := core.Hop(0); h < core.HopCount; h++ {
+			if ts := tr.Ctx.Hops[h]; ts != 0 {
+				tj.Hops[h.String()] = ts
+				tj.Deltas[h.String()] = (ts - base) / 1000
+			}
+		}
+		doc.Traces = append(doc.Traces, tj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// Admin is a running admin HTTP listener.
+type Admin struct {
+	srv  *http.Server
+	ln   net.Listener
+	addr string
+}
+
+// Serve starts the admin surface on addr ("host:0" picks a free port).
+func Serve(addr string, t *Telemetry) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: admin listen %s: %w", addr, err)
+	}
+	a := &Admin{
+		srv:  &http.Server{Handler: NewHandler(t), ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+		addr: ln.Addr().String(),
+	}
+	go a.srv.Serve(ln)
+	return a, nil
+}
+
+// Addr returns the bound listen address.
+func (a *Admin) Addr() string { return a.addr }
+
+// Close stops the listener.
+func (a *Admin) Close() error { return a.srv.Close() }

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckPrometheusText validates a /metrics scrape: every line must be a
+// well-formed comment or sample, sample names must be legal, TYPE lines
+// must not repeat, and every name in required must appear as a sample
+// (required names match ignoring labels and summary suffixes). It returns
+// the first problem found, or nil.
+//
+// This is a deliberately small structural lint — enough to fail CI on a
+// malformed exposition or a silently missing series, not a full parser.
+func CheckPrometheusText(data []byte, required []string) error {
+	seen := map[string]bool{}
+	typed := map[string]bool{}
+	lineNo := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment: %q", lineNo, line)
+				}
+				name := fields[2]
+				if typed[name] {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				typed[name] = true
+			}
+			continue
+		}
+		name, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v (%q)", lineNo, err, line)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: non-numeric sample value %q", lineNo, value)
+		}
+		seen[name] = true
+		// A summary's _sum/_count also witness the base name.
+		for _, suf := range []string{"_sum", "_count", "_bucket"} {
+			if base, ok := strings.CutSuffix(name, suf); ok {
+				seen[base] = true
+			}
+		}
+	}
+	for _, name := range required {
+		if !seen[name] {
+			return fmt.Errorf("required series %s missing from scrape", name)
+		}
+	}
+	return nil
+}
+
+// parseSampleLine splits "name{labels} value [timestamp]" and validates the
+// name and label syntax.
+func parseSampleLine(line string) (name, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", "", fmt.Errorf("unterminated label set")
+		}
+		if err := checkLabels(rest[i+1 : j]); err != nil {
+			return "", "", err
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", fmt.Errorf("sample without value")
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	return name, fields[0], nil
+}
+
+func checkLabels(s string) error {
+	// Label values may contain escaped quotes; walk instead of splitting.
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair in %q", s)
+		}
+		if !validLabelKey(s[:eq]) {
+			return fmt.Errorf("invalid label name %q", s[:eq])
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value")
+		}
+		s = s[1:]
+		for {
+			i := strings.IndexByte(s, '"')
+			if i < 0 {
+				return fmt.Errorf("unterminated label value")
+			}
+			if i > 0 && s[i-1] == '\\' {
+				// Count the backslash run: an even run means the quote is real.
+				bs := 0
+				for j := i - 1; j >= 0 && s[j] == '\\'; j-- {
+					bs++
+				}
+				if bs%2 == 1 {
+					s = s[i+1:]
+					continue
+				}
+			}
+			s = s[i+1:]
+			break
+		}
+		s = strings.TrimPrefix(s, ",")
+	}
+	return nil
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelKey(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

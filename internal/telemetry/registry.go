@@ -1,0 +1,287 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"bluedove/internal/metrics"
+)
+
+// Label is one name=value pair attached to a metric.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// MetricKind discriminates registry entries.
+type MetricKind int
+
+// Registry metric kinds.
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter MetricKind = iota
+	// KindGauge is an instantaneous value (possibly computed on read).
+	KindGauge
+	// KindHistogram is a latency/size distribution rendered as a
+	// Prometheus summary (quantiles + _sum + _count).
+	KindHistogram
+)
+
+// HistogramQuantiles are the quantiles every histogram renders.
+var HistogramQuantiles = []float64{0.5, 0.9, 0.99}
+
+// metricEntry is one registered metric.
+type metricEntry struct {
+	name   string
+	labels []Label
+	kind   MetricKind
+
+	counter *metrics.Counter
+	gauge   func(now int64) float64
+	hist    *metrics.Histogram
+	// scale multiplies values on read (1e-9 converts the nanosecond
+	// histograms to the seconds Prometheus conventions expect).
+	scale float64
+	help  string
+}
+
+// Sample is one read metric value in a registry snapshot.
+type Sample struct {
+	Name   string      `json:"name"`
+	Labels []Label     `json:"labels,omitempty"`
+	Kind   MetricKind  `json:"-"`
+	Value  float64     `json:"value"`
+	Dist   *DistSample `json:"dist,omitempty"`
+}
+
+// DistSample is the distribution part of a histogram sample.
+type DistSample struct {
+	Count     int64     `json:"count"`
+	Sum       float64   `json:"sum"`
+	Max       float64   `json:"max"`
+	Quantiles []float64 `json:"quantiles"` // aligned with HistogramQuantiles
+}
+
+// Registry holds a node's metrics under stable dotted names with labels and
+// renders snapshots as Prometheus text or JSON. Every read takes an
+// explicit timestamp so the same registry serves the wall-clock runtime and
+// the virtual-clock simulator.
+type Registry struct {
+	mu      sync.Mutex
+	base    []Label
+	entries []*metricEntry
+	index   map[string]int // name + rendered labels → entries index
+}
+
+// NewRegistry creates a registry; base labels (typically node and role) are
+// attached to every metric.
+func NewRegistry(base ...Label) *Registry {
+	return &Registry{base: base, index: map[string]int{}}
+}
+
+// Base returns the registry's base labels.
+func (r *Registry) Base() []Label {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Label(nil), r.base...)
+}
+
+// BaseLabel returns the value of one base label ("" if absent).
+func (r *Registry) BaseLabel(key string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, l := range r.base {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+func (r *Registry) add(e *metricEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := e.name + "{" + renderLabels(e.labels) + "}"
+	if i, ok := r.index[key]; ok {
+		r.entries[i] = e // re-registration replaces (restarted component)
+		return
+	}
+	r.index[key] = len(r.entries)
+	r.entries = append(r.entries, e)
+}
+
+// Counter registers a counter under a dotted name.
+func (r *Registry) Counter(name, help string, c *metrics.Counter, labels ...Label) {
+	r.add(&metricEntry{name: name, labels: labels, kind: KindCounter, counter: c, help: help})
+}
+
+// Gauge registers a computed gauge. f is called with the snapshot timestamp
+// on every read and must be safe for concurrent use.
+func (r *Registry) Gauge(name, help string, f func(now int64) float64, labels ...Label) {
+	r.add(&metricEntry{name: name, labels: labels, kind: KindGauge, gauge: f, help: help})
+}
+
+// Histogram registers a histogram. scale multiplies every rendered value
+// (pass 1e-9 for nanosecond histograms rendered as seconds, 1 for raw).
+func (r *Registry) Histogram(name, help string, h *metrics.Histogram, scale float64, labels ...Label) {
+	if scale == 0 {
+		scale = 1
+	}
+	r.add(&metricEntry{name: name, labels: labels, kind: KindHistogram, hist: h, scale: scale, help: help})
+}
+
+// Snapshot reads every metric at the given timestamp. Samples are sorted by
+// name then labels, so renders are deterministic.
+func (r *Registry) Snapshot(now int64) []Sample {
+	r.mu.Lock()
+	entries := append([]*metricEntry(nil), r.entries...)
+	base := append([]Label(nil), r.base...)
+	r.mu.Unlock()
+
+	out := make([]Sample, 0, len(entries))
+	for _, e := range entries {
+		s := Sample{Name: e.name, Kind: e.kind}
+		s.Labels = append(append([]Label(nil), base...), e.labels...)
+		switch e.kind {
+		case KindCounter:
+			s.Value = float64(e.counter.Value())
+		case KindGauge:
+			s.Value = e.gauge(now)
+		case KindHistogram:
+			d := &DistSample{
+				Count: e.hist.Count(),
+				Sum:   e.hist.Mean() * float64(e.hist.Count()) * e.scale,
+				Max:   float64(e.hist.Max()) * e.scale,
+			}
+			for _, q := range HistogramQuantiles {
+				d.Quantiles = append(d.Quantiles, float64(e.hist.Quantile(q))*e.scale)
+			}
+			s.Dist = d
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return renderLabels(out[i].Labels) < renderLabels(out[j].Labels)
+	})
+	return out
+}
+
+// promName converts a dotted metric name to Prometheus form, prefixed with
+// the system namespace: "dispatcher.forward_latency_seconds" →
+// "bluedove_dispatcher_forward_latency_seconds".
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("bluedove_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			sb.WriteRune(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(labels))
+	for _, l := range labels {
+		parts = append(parts, fmt.Sprintf("%s=%q", promLabelKey(l.Key), escapeLabelValue(l.Value)))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func promLabelKey(k string) string {
+	var sb strings.Builder
+	for i, c := range k {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			sb.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			sb.WriteRune(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func renderSeries(w io.Writer, name string, labels []Label, extra []Label, value float64) {
+	all := renderLabels(append(append([]Label(nil), labels...), extra...))
+	if all == "" {
+		fmt.Fprintf(w, "%s %g\n", name, value)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %g\n", name, all, value)
+}
+
+// WritePrometheus renders the snapshot at now in the Prometheus text
+// exposition format (counters, gauges, and summaries with quantile labels).
+func (r *Registry) WritePrometheus(w io.Writer, now int64) {
+	samples := r.Snapshot(now)
+	typed := map[string]bool{}
+	for _, s := range samples {
+		pn := promName(s.Name)
+		if !typed[pn] {
+			typed[pn] = true
+			switch s.Kind {
+			case KindCounter:
+				fmt.Fprintf(w, "# TYPE %s counter\n", pn)
+			case KindGauge:
+				fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
+			case KindHistogram:
+				fmt.Fprintf(w, "# TYPE %s summary\n", pn)
+			}
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			renderSeries(w, pn, s.Labels, nil, s.Value)
+		case KindHistogram:
+			for i, q := range HistogramQuantiles {
+				renderSeries(w, pn, s.Labels, []Label{L("quantile", fmt.Sprintf("%g", q))}, s.Dist.Quantiles[i])
+			}
+			renderSeries(w, pn+"_sum", s.Labels, nil, s.Dist.Sum)
+			renderSeries(w, pn+"_count", s.Labels, nil, float64(s.Dist.Count))
+		}
+	}
+}
+
+// WriteJSON renders the snapshot at now as one JSON object in expvar style:
+// {"metrics": [...], "labels": {...}}.
+func (r *Registry) WriteJSON(w io.Writer, now int64) error {
+	doc := struct {
+		Labels  map[string]string `json:"labels"`
+		Now     int64             `json:"now_ns"`
+		Metrics []Sample          `json:"metrics"`
+	}{Labels: map[string]string{}, Now: now, Metrics: r.Snapshot(now)}
+	for _, l := range r.Base() {
+		doc.Labels[l.Key] = l.Value
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// MarshalJSON renders a Label as {"key": "...", "value": "..."}.
+func (l Label) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]string{"key": l.Key, "value": l.Value})
+}

@@ -1,0 +1,55 @@
+// Package telemetry is BlueDove's end-to-end observability subsystem:
+// hop-level publication tracing, a per-node metrics registry with stable
+// dotted names, and an admin HTTP surface (Prometheus /metrics, JSON
+// /debug/vars, recent traces at /debug/traces, and pprof).
+//
+// Everything takes explicit timestamps, so the same instrumentation runs
+// under the wall clock in the real cluster and under virtual time in
+// internal/sim. Tracing is sampled: untraced publications (the common
+// case) cost one nil check per hop and one zero byte per frame, keeping
+// the zero-allocation forward path intact.
+package telemetry
+
+import "time"
+
+// Options configures a node's telemetry.
+type Options struct {
+	// SampleRate is the fraction of publications traced hop-by-hop
+	// (0 disables tracing, 1 traces everything).
+	SampleRate float64
+	// TraceCapacity bounds the retained completed traces (default 256).
+	TraceCapacity int
+	// Now supplies timestamps for snapshot reads and trace bookkeeping;
+	// defaults to the wall clock. The simulator passes its virtual clock.
+	Now func() int64
+	// Base labels (typically node and role) attach to every metric.
+	Base []Label
+}
+
+// Telemetry bundles one node's registry, tracer and sampler.
+type Telemetry struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Sampler  *Sampler
+
+	now func() int64
+}
+
+// New builds a node telemetry bundle.
+func New(opts Options) *Telemetry {
+	if opts.TraceCapacity <= 0 {
+		opts.TraceCapacity = 256
+	}
+	if opts.Now == nil {
+		opts.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	return &Telemetry{
+		Registry: NewRegistry(opts.Base...),
+		Tracer:   NewTracer(opts.TraceCapacity),
+		Sampler:  NewSampler(opts.SampleRate),
+		now:      opts.Now,
+	}
+}
+
+// Now returns the bundle's current timestamp.
+func (t *Telemetry) Now() int64 { return t.now() }

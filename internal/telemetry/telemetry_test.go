@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/metrics"
+)
+
+func TestRegistryPrometheusRender(t *testing.T) {
+	r := NewRegistry(L("node", "7"), L("role", "matcher"))
+	var c metrics.Counter
+	c.Add(42)
+	r.Counter("matcher.matched", "publications matched", &c)
+	r.Gauge("matcher.stage.queue_depth", "stage backlog", func(int64) float64 { return 3 }, L("dim", "0"))
+	h := metrics.NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * int64(time.Microsecond))
+	}
+	r.Histogram("matcher.match_latency_seconds", "dequeue to match done", h, 1e-9)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf, time.Now().UnixNano())
+	out := buf.String()
+
+	for _, want := range []string{
+		`bluedove_matcher_matched{node="7",role="matcher"} 42`,
+		`bluedove_matcher_stage_queue_depth{dim="0",node="7",role="matcher"} 3`,
+		`# TYPE bluedove_matcher_match_latency_seconds summary`,
+		`bluedove_matcher_match_latency_seconds_count{node="7",role="matcher"} 1000`,
+		`quantile="0.99"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in render:\n%s", want, out)
+		}
+	}
+	if err := CheckPrometheusText(buf.Bytes(), []string{
+		"bluedove_matcher_matched",
+		"bluedove_matcher_stage_queue_depth",
+		"bluedove_matcher_match_latency_seconds",
+	}); err != nil {
+		t.Fatalf("self-render fails lint: %v", err)
+	}
+	if err := CheckPrometheusText(buf.Bytes(), []string{"bluedove_nope"}); err == nil {
+		t.Fatal("missing required series not reported")
+	}
+}
+
+func TestCheckPrometheusTextRejectsMalformed(t *testing.T) {
+	bad := [][]byte{
+		[]byte("no_value_here\n"),
+		[]byte("1leading_digit 3\n"),
+		[]byte("ok{unterminated=\"x 3\n"),
+		[]byte("ok{a=\"b\"} notanumber\n"),
+		[]byte("# TYPE x counter\n# TYPE x counter\nx 1\n"),
+		[]byte("# TYPE x frobnitz\nx 1\n"),
+	}
+	for i, b := range bad {
+		if err := CheckPrometheusText(b, nil); err == nil {
+			t.Fatalf("case %d: malformed text passed lint: %q", i, b)
+		}
+	}
+	if err := CheckPrometheusText([]byte("ok{a=\"she said \\\"hi\\\"\"} 3.5 1700000000\n"), []string{"ok"}); err != nil {
+		t.Fatalf("escaped quotes rejected: %v", err)
+	}
+}
+
+func TestRegistryExplicitTimestamps(t *testing.T) {
+	// The registry must work on a virtual clock starting at 0 and pass the
+	// snapshot timestamp through to gauges.
+	r := NewRegistry()
+	meter := metrics.NewRateMeter(time.Second, 10)
+	meter.Mark(int64(100*time.Millisecond), 50)
+	r.Gauge("sim.lambda", "arrival rate", func(now int64) float64 { return meter.Rate(now) })
+	s := r.Snapshot(0) // reader clock behind the writer: clamp, not garbage
+	if s[0].Value != 50 {
+		t.Fatalf("Snapshot(0) gauge = %v, want 50", s[0].Value)
+	}
+}
+
+func TestSamplerRates(t *testing.T) {
+	s := NewSampler(0)
+	for i := 0; i < 1000; i++ {
+		if s.Sample() {
+			t.Fatal("rate 0 sampled")
+		}
+	}
+	s.SetRate(1)
+	for i := 0; i < 1000; i++ {
+		if !s.Sample() {
+			t.Fatal("rate 1 skipped")
+		}
+	}
+	s.SetRate(0.1)
+	n := 0
+	for i := 0; i < 100000; i++ {
+		if s.Sample() {
+			n++
+		}
+	}
+	if f := float64(n) / 100000; math.Abs(f-0.1) > 0.02 {
+		t.Fatalf("rate 0.1 sampled %.3f", f)
+	}
+	s.SetRate(math.NaN())
+	if s.Rate() != 0 {
+		t.Fatalf("NaN rate = %v, want 0", s.Rate())
+	}
+}
+
+func TestTracerPendingMergeAndRing(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := &core.TraceCtx{ID: 9, Dispatcher: 100}
+	ctx.Stamp(core.HopIngest, 10)
+	ctx.Stamp(core.HopForward, 20)
+	tr.Await(5, ctx, 20)
+	if tr.PendingLen() != 1 {
+		t.Fatalf("pending = %d", tr.PendingLen())
+	}
+	acked := &core.TraceCtx{ID: 9, Matcher: 2, Dim: 1}
+	acked.Stamp(core.HopDequeue, 30)
+	acked.Stamp(core.HopMatch, 35)
+	acked.Stamp(core.HopDeliver, 38)
+	got := tr.CompleteAck(5, acked, 40)
+	if tr.PendingLen() != 0 {
+		t.Fatal("pending entry not consumed")
+	}
+	for h, want := range map[core.Hop]int64{
+		core.HopIngest: 10, core.HopForward: 20, core.HopDequeue: 30,
+		core.HopMatch: 35, core.HopDeliver: 38, core.HopAck: 40,
+	} {
+		if got.Hops[h] != want {
+			t.Fatalf("hop %s = %d, want %d", h, got.Hops[h], want)
+		}
+	}
+	if got.Dispatcher != 100 || got.Matcher != 2 || got.Dim != 1 {
+		t.Fatalf("merge lost identity fields: %+v", got)
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 1 || recent[0].Msg != 5 {
+		t.Fatalf("recent = %+v", recent)
+	}
+
+	// Ring keeps the newest traces, newest first.
+	for i := 0; i < 40; i++ {
+		tr.Record(core.MessageID(100+i), &core.TraceCtx{ID: core.TraceID(100 + i)})
+	}
+	recent = tr.Recent(3)
+	if len(recent) != 3 || recent[0].Msg != 139 || recent[1].Msg != 138 {
+		t.Fatalf("recent after wrap = %+v", recent)
+	}
+	if tr.Total() != 41 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+}
+
+func TestTracerPendingBounded(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 3*maxPending; i++ {
+		tr.Await(core.MessageID(i), &core.TraceCtx{ID: core.TraceID(i)}, int64(i))
+	}
+	if tr.PendingLen() > maxPending {
+		t.Fatalf("pending grew to %d, cap %d", tr.PendingLen(), maxPending)
+	}
+	if tr.Abandoned() == 0 {
+		t.Fatal("no abandonment recorded despite overflow")
+	}
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	tel := New(Options{SampleRate: 1, Base: []Label{L("node", "1"), L("role", "dispatcher")}})
+	var c metrics.Counter
+	c.Add(7)
+	tel.Registry.Counter("dispatcher.published", "publications accepted", &c)
+	ctx := &core.TraceCtx{ID: 42, Dispatcher: 1, Matcher: 2, Dim: 0}
+	for h := core.Hop(0); h < core.HopCount; h++ {
+		ctx.Stamp(h, int64(h+1)*1000)
+	}
+	tel.Tracer.Record(7, ctx)
+
+	adm, err := Serve("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + adm.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return b
+	}
+
+	if err := CheckPrometheusText(get("/metrics"), []string{"bluedove_dispatcher_published"}); err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	var vars struct {
+		Labels  map[string]string `json:"labels"`
+		Metrics []json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars: %v", err)
+	}
+	if vars.Labels["role"] != "dispatcher" || len(vars.Metrics) == 0 {
+		t.Fatalf("/debug/vars content: %+v", vars)
+	}
+	var traces struct {
+		Total  uint64 `json:"total"`
+		Traces []struct {
+			Complete bool             `json:"complete"`
+			Hops     map[string]int64 `json:"hops_ns"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(get("/debug/traces"), &traces); err != nil {
+		t.Fatalf("/debug/traces: %v", err)
+	}
+	if traces.Total != 1 || len(traces.Traces) != 1 || !traces.Traces[0].Complete {
+		t.Fatalf("/debug/traces content: %+v", traces)
+	}
+	if len(traces.Traces[0].Hops) != int(core.HopCount) {
+		t.Fatalf("trace hops = %v", traces.Traces[0].Hops)
+	}
+	if b := get("/debug/pprof/cmdline"); len(b) == 0 {
+		t.Fatal("empty pprof cmdline")
+	}
+}
+
+func BenchmarkSamplerDisabled(b *testing.B) {
+	s := NewSampler(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s.Sample() {
+			b.Fatal("sampled at rate 0")
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"bluedove/internal/core"
+)
+
+// Sampler decides which publications get a trace context. The decision is
+// one atomic load plus a couple of integer ops — and at rate 0 it is a
+// single load-and-branch, so disabled tracing stays off the allocation and
+// contention profile of the zero-alloc forward path.
+type Sampler struct {
+	// threshold is rate scaled to [0, 2^32]; a publication is sampled when
+	// a 32-bit hash of the sequence counter falls below it.
+	threshold atomic.Uint64
+	seq       atomic.Uint64
+}
+
+// NewSampler creates a sampler at the given rate (clamped to [0, 1]).
+func NewSampler(rate float64) *Sampler {
+	s := &Sampler{}
+	s.SetRate(rate)
+	return s
+}
+
+// SetRate changes the sampling rate (clamped to [0, 1]). Safe concurrently
+// with Sample.
+func (s *Sampler) SetRate(rate float64) {
+	if rate < 0 || rate != rate { // NaN guards as 0
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	s.threshold.Store(uint64(rate * (1 << 32)))
+}
+
+// Rate returns the current sampling rate.
+func (s *Sampler) Rate() float64 {
+	return float64(s.threshold.Load()) / (1 << 32)
+}
+
+// Sample reports whether the next publication should carry a trace.
+func (s *Sampler) Sample() bool {
+	t := s.threshold.Load()
+	if t == 0 {
+		return false
+	}
+	if t >= 1<<32 {
+		return true
+	}
+	// splitmix64 finalizer over a Weyl sequence: cheap, lock-free, and
+	// well-distributed even for adversarial call patterns.
+	x := s.seq.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x&0xFFFFFFFF < t
+}
+
+// Trace is one recorded trace: the context plus the message it traces.
+type Trace struct {
+	Msg core.MessageID
+	Ctx core.TraceCtx
+}
+
+// maxPending bounds the dispatcher-side table of traces awaiting their ack.
+const maxPending = 1024
+
+// pendingSweepAge is how old (vs. the newest Await) a pending entry must be
+// before the lazy sweep abandons it, in nanoseconds.
+const pendingSweepAge = 30e9
+
+// Tracer retains completed traces in a bounded ring and holds
+// dispatcher-side trace contexts from forward until their ack returns. All
+// methods are safe for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Trace
+	next    int
+	total   uint64
+	pending map[core.MessageID]*pendingTrace
+
+	// Abandoned counts pending traces dropped by capacity or age.
+	abandoned uint64
+}
+
+type pendingTrace struct {
+	ctx     *core.TraceCtx
+	awaitAt int64
+}
+
+// NewTracer creates a tracer retaining up to capacity completed traces
+// (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{ring: make([]Trace, 0, capacity), pending: map[core.MessageID]*pendingTrace{}}
+}
+
+// Record retains a completed (or as-complete-as-this-node-sees) trace.
+func (t *Tracer) Record(msg core.MessageID, ctx *core.TraceCtx) {
+	if ctx == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.record(Trace{Msg: msg, Ctx: *ctx})
+}
+
+func (t *Tracer) record(tr Trace) {
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+		return
+	}
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % len(t.ring)
+}
+
+// Await parks a dispatcher-side trace context until its forward ack
+// returns. The table is bounded: at capacity, or when entries outlive the
+// sweep age, the oldest are recorded as-is (ack hop missing) rather than
+// leaking.
+func (t *Tracer) Await(msg core.MessageID, ctx *core.TraceCtx, now int64) {
+	if ctx == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.pending) >= maxPending {
+		t.sweep(now)
+	}
+	t.pending[msg] = &pendingTrace{ctx: ctx, awaitAt: now}
+}
+
+// sweep abandons expired entries; if none expired, it abandons arbitrary
+// entries down to 3/4 capacity so Await never blocks or grows unboundedly.
+func (t *Tracer) sweep(now int64) {
+	for id, p := range t.pending {
+		if now-p.awaitAt > pendingSweepAge {
+			t.record(Trace{Msg: id, Ctx: *p.ctx})
+			t.abandoned++
+			delete(t.pending, id)
+		}
+	}
+	for id, p := range t.pending {
+		if len(t.pending) < maxPending*3/4 {
+			break
+		}
+		t.record(Trace{Msg: id, Ctx: *p.ctx})
+		t.abandoned++
+		delete(t.pending, id)
+	}
+}
+
+// CompleteAck joins an acked trace context with the pending one (if any),
+// records the union, and returns it. acked may carry only the matcher-side
+// hops; the pending context contributes the dispatcher-side ones.
+func (t *Tracer) CompleteAck(msg core.MessageID, acked *core.TraceCtx, now int64) core.TraceCtx {
+	var ctx core.TraceCtx
+	if acked != nil {
+		ctx = *acked
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.pending[msg]; ok {
+		ctx.Merge(p.ctx)
+		delete(t.pending, msg)
+	}
+	ctx.Stamp(core.HopAck, now)
+	t.record(Trace{Msg: msg, Ctx: ctx})
+	return ctx
+}
+
+// Recent returns up to max completed traces, newest first.
+func (t *Tracer) Recent(max int) []Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.ring)
+	if max <= 0 || max > n {
+		max = n
+	}
+	out := make([]Trace, 0, max)
+	// Newest element is just before next (once the ring wrapped) or at the
+	// end (while still filling).
+	newest := len(t.ring) - 1
+	if len(t.ring) == cap(t.ring) && t.total > uint64(cap(t.ring)) {
+		newest = (t.next - 1 + len(t.ring)) % len(t.ring)
+	}
+	for i := 0; i < max; i++ {
+		out = append(out, t.ring[(newest-i+n)%n])
+	}
+	return out
+}
+
+// Total returns how many traces have been recorded (including overwritten
+// ring entries).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// PendingLen returns the number of traces awaiting their ack.
+func (t *Tracer) PendingLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pending)
+}
+
+// Abandoned returns how many pending traces were dropped unacked.
+func (t *Tracer) Abandoned() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.abandoned
+}

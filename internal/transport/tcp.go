@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"bluedove/internal/metrics"
 	"bluedove/internal/wire"
 )
 
@@ -36,6 +37,15 @@ type TCP struct {
 
 	flusherOnce sync.Once
 	flusherStop chan struct{}
+
+	// FramesSent / BytesSent count one-way frames written (including
+	// buffered frames awaiting a coalesced flush); FramesReceived /
+	// BytesReceived count inbound frames handled. Byte figures are frame
+	// bodies, the dominant term — headers are a fixed few bytes per frame.
+	FramesSent     metrics.Counter
+	BytesSent      metrics.Counter
+	FramesReceived metrics.Counter
+	BytesReceived  metrics.Counter
 }
 
 type sendConn struct {
@@ -116,6 +126,8 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
+		t.FramesReceived.Add(1)
+		t.BytesReceived.Add(int64(len(env.Body)))
 		if resp := h(env); resp != nil {
 			if err := wire.WriteFrame(bw, resp); err != nil {
 				return
@@ -192,6 +204,8 @@ func (t *TCP) Send(addr string, env *wire.Envelope) error {
 			continue
 		}
 		sc.mu.Unlock()
+		t.FramesSent.Add(1)
+		t.BytesSent.Add(int64(len(env.Body)))
 		return nil
 	}
 	return fmt.Errorf("%w: send to %s failed after retry", ErrUnreachable, addr)

@@ -32,8 +32,9 @@ type ForwardEntry struct {
 // EncodedSize returns an upper bound for the entry's encoded size, used by
 // batchers to stay under MaxFrame without encoding twice.
 func (e ForwardEntry) EncodedSize() int {
-	// dim + id + publishedAt + attr count + attrs + payload length prefix.
-	return 2 + 8 + 8 + 2 + 8*len(e.Msg.Attrs) + 4 + len(e.Msg.Payload)
+	// dim + id + publishedAt + trace + attr count + attrs + payload length
+	// prefix.
+	return 2 + 8 + 8 + traceSize(e.Msg.Trace) + 2 + 8*len(e.Msg.Attrs) + 4 + len(e.Msg.Payload)
 }
 
 // ForwardBatchBody carries a batch of publications one hop to a matcher
@@ -133,8 +134,11 @@ func DecodeDeliverBatch(data []byte) (*DeliverBatchBody, error) {
 }
 
 // ForwardAckBatchBody acknowledges several forwarded messages at once.
+// Traces carries back the stamped trace contexts of the (rare) sampled
+// messages in the batch; untraced batches pay four zero bytes.
 type ForwardAckBatchBody struct {
-	IDs []core.MessageID
+	IDs    []core.MessageID
+	Traces []AckTrace
 }
 
 // AppendTo serializes the body into buf and returns the extended slice.
@@ -143,6 +147,11 @@ func (b *ForwardAckBatchBody) AppendTo(buf []byte) []byte {
 	w.u32(uint32(len(b.IDs)))
 	for _, id := range b.IDs {
 		w.u64(uint64(id))
+	}
+	w.u32(uint32(len(b.Traces)))
+	for i := range b.Traces {
+		w.u64(uint64(b.Traces[i].Msg))
+		encodeTrace(&w, &b.Traces[i].Ctx)
 	}
 	return w.buf
 }
@@ -162,6 +171,22 @@ func DecodeForwardAckBatch(data []byte) (*ForwardAckBatchBody, error) {
 		b.IDs = make([]core.MessageID, 0, n)
 		for i := 0; i < n; i++ {
 			b.IDs = append(b.IDs, core.MessageID(r.u64()))
+		}
+	}
+	t := int(r.u32())
+	if t > maxListLen {
+		return nil, fmt.Errorf("wire: implausible ack trace count %d", t)
+	}
+	if r.err == nil && t > 0 {
+		b.Traces = make([]AckTrace, 0, t)
+		for i := 0; i < t && r.err == nil; i++ {
+			at := AckTrace{Msg: core.MessageID(r.u64())}
+			if ctx := decodeTrace(&r); ctx != nil {
+				at.Ctx = *ctx
+			} else if r.err == nil {
+				r.err = fmt.Errorf("wire: ack trace entry %d missing context", i)
+			}
+			b.Traces = append(b.Traces, at)
 		}
 	}
 	return b, r.finish()

@@ -19,8 +19,20 @@ func fuzzMsg() *core.Message {
 	return m
 }
 
+// fuzzTracedMsg is fuzzMsg carrying a fully stamped trace context, so the
+// fuzzers explore the trace-present decode path from the first iteration.
+func fuzzTracedMsg() *core.Message {
+	m := fuzzMsg()
+	m.Trace = &core.TraceCtx{ID: 7, Dispatcher: 100, Matcher: 2, Dim: 3}
+	for h := core.Hop(0); h < core.HopCount; h++ {
+		m.Trace.Stamp(h, 12345+int64(h))
+	}
+	return m
+}
+
 func FuzzDecodeForward(f *testing.F) {
 	f.Add((&ForwardBody{Dim: 2, Msg: fuzzMsg()}).Encode())
+	f.Add((&ForwardBody{Dim: 2, Msg: fuzzTracedMsg()}).Encode())
 	f.Add((&ForwardBody{Dim: 0, Msg: core.NewMessage(nil, nil)}).Encode())
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -34,6 +46,8 @@ func FuzzDecodeForward(f *testing.F) {
 func FuzzDecodeDeliver(f *testing.F) {
 	f.Add((&DeliverBody{Subscriber: 9, Msg: fuzzMsg(),
 		SubIDs: []core.SubscriptionID{1, 2, 3}}).Encode())
+	f.Add((&DeliverBody{Subscriber: 9, Msg: fuzzTracedMsg(),
+		SubIDs: []core.SubscriptionID{1}}).Encode())
 	f.Add((&DeliverBody{Msg: core.NewMessage(nil, nil)}).Encode())
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -47,6 +61,8 @@ func FuzzDecodeDeliver(f *testing.F) {
 func FuzzDecodeForwardBatch(f *testing.F) {
 	f.Add((&ForwardBatchBody{Entries: []ForwardEntry{
 		{Dim: 1, Msg: fuzzMsg()}, {Dim: 3, Msg: fuzzMsg()}}}).Encode())
+	f.Add((&ForwardBatchBody{Entries: []ForwardEntry{
+		{Dim: 1, Msg: fuzzTracedMsg()}, {Dim: 3, Msg: fuzzMsg()}}}).Encode())
 	f.Add((&ForwardBatchBody{}).Encode())
 	f.Add([]byte{0xff, 0xff, 0xff, 0x7f})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -64,6 +80,8 @@ func FuzzDecodeForwardBatch(f *testing.F) {
 func FuzzDecodeDeliverBatch(f *testing.F) {
 	f.Add((&DeliverBatchBody{Deliveries: []DeliverBody{
 		{Subscriber: 1, Msg: fuzzMsg(), SubIDs: []core.SubscriptionID{5}}}}).Encode())
+	f.Add((&DeliverBatchBody{Deliveries: []DeliverBody{
+		{Subscriber: 1, Msg: fuzzTracedMsg(), SubIDs: []core.SubscriptionID{5}}}}).Encode())
 	f.Add((&DeliverBatchBody{}).Encode())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, err := DecodeDeliverBatch(data)
@@ -73,6 +91,21 @@ func FuzzDecodeDeliverBatch(f *testing.F) {
 					t.Fatal("nil delivery message without error")
 				}
 			}
+		}
+	})
+}
+
+func FuzzDecodeForwardAckBatch(f *testing.F) {
+	f.Add((&ForwardAckBatchBody{IDs: []core.MessageID{1, 2, 3}}).Encode())
+	f.Add((&ForwardAckBatchBody{IDs: []core.MessageID{7},
+		Traces: []AckTrace{{Msg: 7, Ctx: *fuzzTracedMsg().Trace}}}).Encode())
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeForwardAckBatch(data)
+		if err == nil && len(b.IDs) == 0 && len(b.Traces) > 0 {
+			// Traces always accompany acked IDs in practice, but the decoder
+			// only guarantees structural validity; just exercise it.
+			_ = b
 		}
 	})
 }

@@ -95,9 +95,11 @@ func DecodeHandover(data []byte) (*HandoverBody, error) {
 // persistence extension): the dispatcher may drop its retransmit state.
 const KindForwardAck Kind = 67
 
-// ForwardAckBody acknowledges one forwarded message.
+// ForwardAckBody acknowledges one forwarded message. Trace, when non-nil,
+// carries the matcher's stamped trace context back to the dispatcher.
 type ForwardAckBody struct {
-	ID core.MessageID
+	ID    core.MessageID
+	Trace *core.TraceCtx
 }
 
 // AppendTo serializes the body into buf (which may be a pooled scratch
@@ -105,6 +107,7 @@ type ForwardAckBody struct {
 func (b *ForwardAckBody) AppendTo(buf []byte) []byte {
 	w := writer{buf: buf}
 	w.u64(uint64(b.ID))
+	encodeTrace(&w, b.Trace)
 	return w.buf
 }
 
@@ -115,5 +118,6 @@ func (b *ForwardAckBody) Encode() []byte { return b.AppendTo(nil) }
 func DecodeForwardAck(data []byte) (*ForwardAckBody, error) {
 	r := reader{buf: data}
 	b := &ForwardAckBody{ID: core.MessageID(r.u64())}
+	b.Trace = decodeTrace(&r)
 	return b, r.finish()
 }

@@ -80,6 +80,7 @@ type Envelope struct {
 func encodeMessage(w *writer, m *core.Message) {
 	w.u64(uint64(m.ID))
 	w.i64(m.PublishedAt)
+	encodeTrace(w, m.Trace)
 	w.u16(uint16(len(m.Attrs)))
 	for _, v := range m.Attrs {
 		w.f64(v)
@@ -91,6 +92,7 @@ func decodeMessage(r *reader) *core.Message {
 	m := &core.Message{}
 	m.ID = core.MessageID(r.u64())
 	m.PublishedAt = r.i64()
+	m.Trace = decodeTrace(r)
 	k := int(r.u16())
 	if k > maxDims {
 		r.err = fmt.Errorf("wire: implausible dimension count %d", k)

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"fmt"
+
+	"bluedove/internal/core"
+)
+
+// Trace contexts ride inside encoded messages (and forward acks) behind a
+// one-byte presence flag, so untraced traffic — the overwhelmingly common
+// case — pays exactly one zero byte and no allocation on either side.
+const (
+	traceAbsent  = 0
+	tracePresent = 1
+)
+
+// encodedTraceSize is the wire size of one TraceCtx, excluding the
+// presence flag: ID + dispatcher + matcher (u64 each), dim (u16), hop
+// count (u8), and HopCount i64 timestamps.
+const encodedTraceSize = 8 + 8 + 8 + 2 + 1 + 8*int(core.HopCount)
+
+// TraceOverhead is the worst-case extra bytes a trace context adds to an
+// encoded message (presence flag + context). Size estimators and client
+// frame-limit checks use it as an upper bound.
+const TraceOverhead = 1 + encodedTraceSize
+
+// traceSize returns the encoded size of a message's optional trace,
+// including the presence flag.
+func traceSize(t *core.TraceCtx) int {
+	if t == nil {
+		return 1
+	}
+	return TraceOverhead
+}
+
+// encodeTrace writes the presence flag and, when t is non-nil, the context.
+func encodeTrace(w *writer, t *core.TraceCtx) {
+	if t == nil {
+		w.u8(traceAbsent)
+		return
+	}
+	w.u8(tracePresent)
+	w.u64(uint64(t.ID))
+	w.u64(uint64(t.Dispatcher))
+	w.u64(uint64(t.Matcher))
+	w.u16(uint16(t.Dim))
+	w.u8(uint8(core.HopCount))
+	for _, h := range t.Hops {
+		w.i64(h)
+	}
+}
+
+// decodeTrace reads the presence flag and the context if one follows.
+// The hop count is encoded so frames survive HopCount growing or
+// shrinking across versions: unknown trailing hops are dropped, missing
+// ones stay zero.
+func decodeTrace(r *reader) *core.TraceCtx {
+	switch r.u8() {
+	case traceAbsent:
+		return nil
+	case tracePresent:
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("wire: invalid trace presence flag")
+		}
+		return nil
+	}
+	t := &core.TraceCtx{}
+	t.ID = core.TraceID(r.u64())
+	t.Dispatcher = core.NodeID(r.u64())
+	t.Matcher = core.NodeID(r.u64())
+	t.Dim = int(r.u16())
+	n := int(r.u8())
+	if n > 64 {
+		r.err = fmt.Errorf("wire: implausible trace hop count %d", n)
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		ts := r.i64()
+		if i < int(core.HopCount) {
+			t.Hops[i] = ts
+		}
+	}
+	if r.err != nil {
+		return nil
+	}
+	return t
+}
+
+// AckTrace is one completed trace context returned to the dispatcher in a
+// ForwardAckBatchBody, keyed by the message it traces.
+type AckTrace struct {
+	Msg core.MessageID
+	Ctx core.TraceCtx
+}

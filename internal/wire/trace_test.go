@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bluedove/internal/core"
+)
+
+// randTrace builds a trace context with each field independently present or
+// absent, mirroring the partially stamped contexts real hops produce.
+func randTrace(rng *rand.Rand) *core.TraceCtx {
+	t := &core.TraceCtx{
+		ID:         core.TraceID(rng.Uint64()),
+		Dispatcher: core.NodeID(rng.Uint64()),
+		Matcher:    core.NodeID(rng.Uint64()),
+		Dim:        rng.Intn(1 << 16),
+	}
+	for h := range t.Hops {
+		if rng.Intn(2) == 0 {
+			t.Hops[h] = rng.Int63() - rng.Int63()
+		}
+	}
+	return t
+}
+
+func randTracedMsg(rng *rand.Rand) *core.Message {
+	attrs := make([]float64, rng.Intn(5))
+	for i := range attrs {
+		attrs[i] = rng.NormFloat64() * 100
+	}
+	m := core.NewMessage(attrs, []byte("payload"))
+	m.ID = core.MessageID(rng.Uint64())
+	m.PublishedAt = rng.Int63()
+	if rng.Intn(3) > 0 {
+		m.Trace = randTrace(rng)
+	}
+	return m
+}
+
+// TestTraceRoundTripProperty drives randomly populated trace contexts
+// through every message-bearing body shape (single and batch frames) and
+// the ack bodies, asserting exact field recovery.
+func TestTraceRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 500; iter++ {
+		msg := randTracedMsg(rng)
+
+		fb, err := DecodeForward((&ForwardBody{Dim: 3, Msg: msg}).Encode())
+		if err != nil {
+			t.Fatalf("iter %d: forward: %v", iter, err)
+		}
+		if !reflect.DeepEqual(fb.Msg.Trace, msg.Trace) {
+			t.Fatalf("iter %d: forward trace mismatch:\n got %+v\nwant %+v", iter, fb.Msg.Trace, msg.Trace)
+		}
+
+		db, err := DecodeDeliver((&DeliverBody{Subscriber: 1, Msg: msg,
+			SubIDs: []core.SubscriptionID{9}}).Encode())
+		if err != nil {
+			t.Fatalf("iter %d: deliver: %v", iter, err)
+		}
+		if !reflect.DeepEqual(db.Msg.Trace, msg.Trace) {
+			t.Fatalf("iter %d: deliver trace mismatch", iter)
+		}
+
+		pb, err := DecodePublish((&PublishBody{Msg: msg}).Encode())
+		if err != nil {
+			t.Fatalf("iter %d: publish: %v", iter, err)
+		}
+		if !reflect.DeepEqual(pb.Msg.Trace, msg.Trace) {
+			t.Fatalf("iter %d: publish trace mismatch", iter)
+		}
+
+		ab, err := DecodeForwardAck((&ForwardAckBody{ID: msg.ID, Trace: msg.Trace}).Encode())
+		if err != nil {
+			t.Fatalf("iter %d: ack: %v", iter, err)
+		}
+		if ab.ID != msg.ID || !reflect.DeepEqual(ab.Trace, msg.Trace) {
+			t.Fatalf("iter %d: ack trace mismatch", iter)
+		}
+	}
+}
+
+// TestBatchTraceRoundTrip mixes traced and untraced entries in the batch
+// frames and asserts per-entry recovery.
+func TestBatchTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(8)
+		fwd := &ForwardBatchBody{}
+		del := &DeliverBatchBody{}
+		for i := 0; i < n; i++ {
+			msg := randTracedMsg(rng)
+			fwd.Entries = append(fwd.Entries, ForwardEntry{Dim: i, Msg: msg})
+			del.Deliveries = append(del.Deliveries, DeliverBody{
+				Subscriber: core.SubscriberID(i), Msg: msg})
+		}
+
+		gotF, err := DecodeForwardBatch(fwd.Encode())
+		if err != nil {
+			t.Fatalf("iter %d: forward batch: %v", iter, err)
+		}
+		for i := range fwd.Entries {
+			if !reflect.DeepEqual(gotF.Entries[i].Msg.Trace, fwd.Entries[i].Msg.Trace) {
+				t.Fatalf("iter %d entry %d: forward batch trace mismatch", iter, i)
+			}
+		}
+
+		gotD, err := DecodeDeliverBatch(del.Encode())
+		if err != nil {
+			t.Fatalf("iter %d: deliver batch: %v", iter, err)
+		}
+		for i := range del.Deliveries {
+			if !reflect.DeepEqual(gotD.Deliveries[i].Msg.Trace, del.Deliveries[i].Msg.Trace) {
+				t.Fatalf("iter %d entry %d: deliver batch trace mismatch", iter, i)
+			}
+		}
+	}
+}
+
+// TestAckBatchTraceRoundTrip round-trips batch acks carrying trace contexts
+// back to the dispatcher.
+func TestAckBatchTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 200; iter++ {
+		b := &ForwardAckBatchBody{}
+		for i := 0; i < 1+rng.Intn(16); i++ {
+			id := core.MessageID(rng.Uint64())
+			b.IDs = append(b.IDs, id)
+			if rng.Intn(4) == 0 {
+				b.Traces = append(b.Traces, AckTrace{Msg: id, Ctx: *randTrace(rng)})
+			}
+		}
+		got, err := DecodeForwardAckBatch(b.Encode())
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if !reflect.DeepEqual(got.IDs, b.IDs) {
+			t.Fatalf("iter %d: ID mismatch", iter)
+		}
+		if len(got.Traces) != len(b.Traces) {
+			t.Fatalf("iter %d: trace count %d != %d", iter, len(got.Traces), len(b.Traces))
+		}
+		for i := range b.Traces {
+			if got.Traces[i].Msg != b.Traces[i].Msg || !reflect.DeepEqual(got.Traces[i].Ctx, b.Traces[i].Ctx) {
+				t.Fatalf("iter %d trace %d: mismatch", iter, i)
+			}
+		}
+	}
+}
+
+// TestTraceOverheadIsUpperBound pins the size estimator: a fully stamped
+// trace must never encode to more than TraceOverhead bytes.
+func TestTraceOverheadIsUpperBound(t *testing.T) {
+	msg := core.NewMessage([]float64{1}, nil)
+	plain := len((&ForwardBody{Msg: msg}).Encode())
+	msg.Trace = randTrace(rand.New(rand.NewSource(1)))
+	traced := len((&ForwardBody{Msg: msg}).Encode())
+	if got := traced - plain; got > TraceOverhead-1 {
+		// plain already includes the 1-byte absent flag.
+		t.Fatalf("trace adds %d bytes, TraceOverhead-1 = %d", got, TraceOverhead-1)
+	}
+	e := ForwardEntry{Dim: 1, Msg: msg}
+	if enc := len((&ForwardBatchBody{Entries: []ForwardEntry{e}}).Encode()) - 4; enc > e.EncodedSize() {
+		t.Fatalf("EncodedSize %d underestimates traced entry %d", e.EncodedSize(), enc)
+	}
+}
+
+// TestDecodeTraceRejectsBadFlag pins the decoder's strictness: presence
+// flags other than 0/1 are corruption, not silently-untraced messages.
+func TestDecodeTraceRejectsBadFlag(t *testing.T) {
+	enc := (&ForwardBody{Dim: 1, Msg: fuzzMsg()}).Encode()
+	// The flag byte sits after dim (2) + id (8) + publishedAt (8).
+	enc[18] = 0xCC
+	if _, err := DecodeForward(enc); err == nil {
+		t.Fatal("corrupt trace flag decoded without error")
+	}
+}
