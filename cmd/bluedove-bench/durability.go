@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bluedove/internal/experiment"
+)
+
+// durabilityReport is the schema of BENCH_durability.json: cluster
+// throughput and delivery latency per fsync policy against the no-journal
+// baseline, plus the recovery-time-vs-journal-size curve.
+type durabilityReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+
+	Messages    int `json:"messages"`
+	Subscribers int `json:"subscribers"`
+
+	Configs []struct {
+		Name       string  `json:"name"`
+		MsgsPerSec float64 `json:"msgs_per_sec"`
+		Slowdown   float64 `json:"slowdown"`
+		MeanMs     float64 `json:"mean_latency_ms"`
+		P99Ms      float64 `json:"p99_latency_ms"`
+	} `json:"configs"`
+
+	Recovery []struct {
+		Records    int     `json:"records"`
+		Bytes      int64   `json:"journal_bytes"`
+		Seconds    float64 `json:"recovery_seconds"`
+		RecordsSec float64 `json:"records_per_sec"`
+	} `json:"recovery"`
+}
+
+// runDurability runs the durability experiment and, when out is non-empty,
+// writes the JSON report there.
+func runDurability(out string) {
+	start := time.Now()
+	r, err := experiment.Durability(experiment.DurabilityOpts{})
+	if err != nil {
+		log.Fatalf("durability experiment: %v", err)
+	}
+	fmt.Println(r.Table())
+	fmt.Println(r.RecoveryTable())
+	fmt.Fprintf(os.Stderr, "[durability cluster runs: %v]\n", time.Since(start).Round(time.Millisecond))
+
+	rep := &durabilityReport{GoVersion: goVersion()}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Messages = r.Messages
+	rep.Subscribers = r.Subscribers
+	for _, c := range r.Configs {
+		rep.Configs = append(rep.Configs, struct {
+			Name       string  `json:"name"`
+			MsgsPerSec float64 `json:"msgs_per_sec"`
+			Slowdown   float64 `json:"slowdown"`
+			MeanMs     float64 `json:"mean_latency_ms"`
+			P99Ms      float64 `json:"p99_latency_ms"`
+		}{c.Name, c.MsgsPerSec, c.Slowdown, c.MeanMs, c.P99Ms})
+	}
+	for _, p := range r.Recovery {
+		rep.Recovery = append(rep.Recovery, struct {
+			Records    int     `json:"records"`
+			Bytes      int64   `json:"journal_bytes"`
+			Seconds    float64 `json:"recovery_seconds"`
+			RecordsSec float64 `json:"records_per_sec"`
+		}{p.Records, p.Bytes, p.Seconds, float64(p.Records) / p.Seconds})
+	}
+
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
+}

@@ -28,7 +28,9 @@ func main() {
 		chaosSeed = flag.Int64("chaos-seed", 1, "with -chaos: fault-injection seed")
 		telem     = flag.Bool("telemetry", false,
 			"run the tracing-overhead comparison (telemetry off / sampled 0 / 0.01 / 1.0) on the real in-process cluster")
-		out = flag.String("out", "", "with -batching/-chaos/-telemetry: write the JSON report to this file (e.g. BENCH_chaos.json)")
+		durab = flag.Bool("durability", false,
+			"run the durability-cost comparison (journal off / fsync never / interval / always) plus the recovery-time curve on the real in-process cluster")
+		out = flag.String("out", "", "with -batching/-chaos/-telemetry/-durability: write the JSON report to this file (e.g. BENCH_durability.json)")
 	)
 	flag.Parse()
 
@@ -42,6 +44,10 @@ func main() {
 	}
 	if *telem {
 		runTelemetry(*out)
+		return
+	}
+	if *durab {
+		runDurability(*out)
 		return
 	}
 

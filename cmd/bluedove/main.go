@@ -29,6 +29,7 @@ import (
 	"bluedove/internal/gossip"
 	"bluedove/internal/matcher"
 	"bluedove/internal/partition"
+	"bluedove/internal/store"
 	"bluedove/internal/telemetry"
 	"bluedove/internal/transport"
 	"bluedove/internal/wire"
@@ -47,6 +48,8 @@ func main() {
 		policy    = flag.String("policy", "adaptive", "dispatcher forwarding policy: adaptive|resptime|subamount|random")
 		admin     = flag.String("admin", "", "serve the admin surface (/metrics, /debug/vars, /debug/traces, pprof) on this address; empty disables")
 		traceRate = flag.Float64("trace-sample", 0, "fraction of publications traced hop-by-hop (0 disables, 1 traces all)")
+		dataDir   = flag.String("data-dir", "", "journal this node's state under this directory and recover it on restart; empty keeps all state in memory")
+		fsyncPol  = flag.String("fsync", "always", "journal durability policy with -data-dir: always|interval|never")
 	)
 	flag.Parse()
 	if *role == "" || *id == 0 {
@@ -67,13 +70,28 @@ func main() {
 		log.Fatalf("unknown role %q", *role)
 	}
 	tel := nodeTelemetry(tr, core.NodeID(*id), *role, *admin, *traceRate)
+	fsync := fsyncByName(*fsyncPol)
 
 	switch *role {
 	case "matcher":
-		runMatcher(tr, space, core.NodeID(*id), *addr, seedList, *join, tel)
+		runMatcher(tr, space, core.NodeID(*id), *addr, seedList, *join, tel, *dataDir, fsync)
 	case "dispatcher":
-		runDispatcher(tr, space, core.NodeID(*id), *addr, seedList, *bootstrap, *policy, tel)
+		runDispatcher(tr, space, core.NodeID(*id), *addr, seedList, *bootstrap, *policy, tel, *dataDir, fsync)
 	}
+}
+
+// fsyncByName maps the -fsync flag to a journal policy.
+func fsyncByName(name string) store.Fsync {
+	switch name {
+	case "always":
+		return store.FsyncAlways
+	case "interval":
+		return store.FsyncInterval
+	case "never":
+		return store.FsyncNever
+	}
+	log.Fatalf("unknown fsync policy %q", name)
+	return store.FsyncAlways
 }
 
 // nodeTelemetry builds this node's telemetry bundle (identity labels,
@@ -105,10 +123,11 @@ func nodeTelemetry(tr *transport.TCP, id core.NodeID, role, adminAddr string, sa
 }
 
 func runMatcher(tr transport.Transport, space *core.Space, id core.NodeID,
-	addr string, seeds []string, join bool, tel *telemetry.Telemetry) {
+	addr string, seeds []string, join bool, tel *telemetry.Telemetry,
+	dataDir string, fsync store.Fsync) {
 	m, err := matcher.New(matcher.Config{
 		ID: id, Addr: addr, Space: space, Transport: tr, Seeds: seeds,
-		Telemetry: tel,
+		Telemetry: tel, DataDir: dataDir, Fsync: fsync,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -156,11 +175,12 @@ func joinViaDispatcher(tr transport.Transport, g *gossip.Gossiper, id core.NodeI
 }
 
 func runDispatcher(tr transport.Transport, space *core.Space, id core.NodeID,
-	addr string, seeds []string, bootstrap int, policyName string, tel *telemetry.Telemetry) {
+	addr string, seeds []string, bootstrap int, policyName string, tel *telemetry.Telemetry,
+	dataDir string, fsync store.Fsync) {
 	pol := policyByName(policyName, int64(id))
 	d, err := dispatcher.New(dispatcher.Config{
 		ID: id, Addr: addr, Space: space, Transport: tr, Seeds: seeds, Policy: pol,
-		Telemetry: tel,
+		Telemetry: tel, DataDir: dataDir, Fsync: fsync, Persistent: dataDir != "",
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -8,6 +8,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"bluedove/internal/core"
@@ -38,6 +39,15 @@ type Config struct {
 	// origin rather than at dispatcher ingest), records traced deliveries,
 	// and registers the client's counters and end-to-end latency histogram.
 	Telemetry *telemetry.Telemetry
+	// DedupWindow, when positive, suppresses duplicate pushed deliveries:
+	// the client remembers the last DedupWindow distinct publication IDs
+	// and drops redeliveries of them before the application callback.
+	// At-least-once clusters (dispatcher persistence) redeliver whenever a
+	// matcher ack is lost or a node restarts mid-flight; the window turns
+	// that into exactly-once for the application, for any duplicate arriving
+	// within the last DedupWindow distinct publications. Zero disables
+	// suppression (every delivery reaches OnDeliver).
+	DedupWindow int
 	// Now supplies the clock for trace stamps (default time.Now).
 	Now func() int64
 }
@@ -52,6 +62,15 @@ type Client struct {
 	e2eLatency *metrics.Histogram
 	published  metrics.Counter
 	delivered  metrics.Counter
+	suppressed metrics.Counter
+
+	// seen/ring implement the bounded duplicate-suppression window: ring is
+	// a FIFO of the last DedupWindow distinct message IDs, seen its lookup
+	// set. Guarded by dedupMu (deliveries arrive from transport goroutines).
+	dedupMu sync.Mutex
+	seen    map[core.MessageID]struct{}
+	ring    []core.MessageID
+	ringPos int
 }
 
 // New builds a client; in direct mode (ListenAddr + OnDeliver set) it binds
@@ -67,10 +86,16 @@ func New(cfg Config) (*Client, error) {
 		cfg.Now = func() int64 { return time.Now().UnixNano() }
 	}
 	c := &Client{cfg: cfg, e2eLatency: metrics.NewHistogram()}
+	if cfg.DedupWindow > 0 {
+		c.seen = make(map[core.MessageID]struct{}, cfg.DedupWindow)
+		c.ring = make([]core.MessageID, cfg.DedupWindow)
+	}
 	if tel := cfg.Telemetry; tel != nil {
 		r := tel.Registry
 		r.Counter("client.published", "publications sent by this client", &c.published)
 		r.Counter("client.delivered", "notifications received by this client", &c.delivered)
+		r.Counter("client.duplicates_suppressed",
+			"pushed deliveries dropped by the duplicate-suppression window", &c.suppressed)
 		r.Histogram("client.deliver_latency_seconds",
 			"client publish to client delivery per traced publication", c.e2eLatency, 1e-9)
 	}
@@ -93,12 +118,18 @@ func (c *Client) handle(env *wire.Envelope) *wire.Envelope {
 	switch env.Kind {
 	case wire.KindDeliver:
 		if b, err := wire.DecodeDeliver(env.Body); err == nil {
+			if c.duplicate(b.Msg) {
+				return nil
+			}
 			c.observeDelivery(b.Msg)
 			c.cfg.OnDeliver(b.Msg, b.SubIDs)
 		}
 	case wire.KindDeliverBatch:
 		if b, err := wire.DecodeDeliverBatch(env.Body); err == nil {
 			for i := range b.Deliveries {
+				if c.duplicate(b.Deliveries[i].Msg) {
+					continue
+				}
 				c.observeDelivery(b.Deliveries[i].Msg)
 				c.cfg.OnDeliver(b.Deliveries[i].Msg, b.Deliveries[i].SubIDs)
 			}
@@ -106,6 +137,32 @@ func (c *Client) handle(env *wire.Envelope) *wire.Envelope {
 	}
 	return nil
 }
+
+// duplicate reports (and records) whether msg was already delivered within
+// the suppression window. Messages without an ID are never suppressed —
+// there is nothing safe to key on.
+func (c *Client) duplicate(msg *core.Message) bool {
+	if c.seen == nil || msg == nil || msg.ID == 0 {
+		return false
+	}
+	c.dedupMu.Lock()
+	defer c.dedupMu.Unlock()
+	if _, dup := c.seen[msg.ID]; dup {
+		c.suppressed.Add(1)
+		return true
+	}
+	if old := c.ring[c.ringPos]; old != 0 {
+		delete(c.seen, old)
+	}
+	c.ring[c.ringPos] = msg.ID
+	c.ringPos = (c.ringPos + 1) % len(c.ring)
+	c.seen[msg.ID] = struct{}{}
+	return false
+}
+
+// SuppressedDuplicates returns the number of deliveries dropped by the
+// duplicate-suppression window.
+func (c *Client) SuppressedDuplicates() int64 { return c.suppressed.Value() }
 
 // observeDelivery counts the notification and, for traced messages, records
 // the trace on the client side and feeds the end-to-end latency histogram.

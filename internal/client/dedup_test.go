@@ -1,0 +1,124 @@
+package client
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// dedupClient builds a direct-mode client with the given window, recording
+// every application callback.
+func dedupClient(t *testing.T, mesh *transport.Mesh, window int) (*Client, func() []core.MessageID) {
+	t.Helper()
+	var mu sync.Mutex
+	var got []core.MessageID
+	c, err := New(Config{
+		Transport:      mesh.Endpoint("c1"),
+		DispatcherAddr: "d1",
+		Subscriber:     1,
+		ListenAddr:     "c1-deliver",
+		DedupWindow:    window,
+		OnDeliver: func(msg *core.Message, _ []core.SubscriptionID) {
+			mu.Lock()
+			got = append(got, msg.ID)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, func() []core.MessageID {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]core.MessageID(nil), got...)
+	}
+}
+
+func deliver(t *testing.T, mesh *transport.Mesh, id core.MessageID) {
+	t.Helper()
+	msg := &core.Message{ID: id, Attrs: []float64{1}, Payload: []byte("x")}
+	body := (&wire.DeliverBody{Msg: msg, SubIDs: []core.SubscriptionID{1}}).Encode()
+	if err := mesh.Endpoint("m1").Send("c1-deliver",
+		&wire.Envelope{Kind: wire.KindDeliver, Body: body}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitDeliveries(t *testing.T, fetch func() []core.MessageID, n int) []core.MessageID {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if got := fetch(); len(got) >= n {
+			return got
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d deliveries (have %d)", n, len(fetch()))
+	return nil
+}
+
+// TestDedupSuppressesDuplicateDeliver: an at-least-once cluster can push the
+// same publication twice (lost ack, restarted node); the window must hand it
+// to the application exactly once.
+func TestDedupSuppressesDuplicateDeliver(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	c, fetch := dedupClient(t, mesh, 8)
+
+	deliver(t, mesh, 42)
+	deliver(t, mesh, 42) // redelivery
+	deliver(t, mesh, 43)
+	got := waitDeliveries(t, fetch, 2)
+	// Give a straggling duplicate callback a moment to (wrongly) land.
+	time.Sleep(20 * time.Millisecond)
+	got = fetch()
+	if len(got) != 2 || got[0] != 42 || got[1] != 43 {
+		t.Fatalf("application saw %v, want [42 43]", got)
+	}
+	if n := c.SuppressedDuplicates(); n != 1 {
+		t.Fatalf("SuppressedDuplicates = %d, want 1", n)
+	}
+}
+
+// TestDedupWindowEviction: once DedupWindow distinct newer IDs pass, an old
+// ID falls out of the window and a late duplicate is (correctly, per the
+// bounded-memory contract) delivered again.
+func TestDedupWindowEviction(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	c, fetch := dedupClient(t, mesh, 2)
+
+	deliver(t, mesh, 1)
+	deliver(t, mesh, 2)
+	deliver(t, mesh, 3) // evicts 1 from the 2-slot window
+	deliver(t, mesh, 1) // no longer remembered: delivered again
+	got := waitDeliveries(t, fetch, 4)
+	want := []core.MessageID{1, 2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("application saw %v, want %v", got, want)
+		}
+	}
+	if n := c.SuppressedDuplicates(); n != 0 {
+		t.Fatalf("SuppressedDuplicates = %d, want 0", n)
+	}
+}
+
+// TestDedupDisabledByDefault: with DedupWindow zero every delivery reaches
+// the application, duplicates included.
+func TestDedupDisabledByDefault(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	_, fetch := dedupClient(t, mesh, 0)
+
+	deliver(t, mesh, 7)
+	deliver(t, mesh, 7)
+	got := waitDeliveries(t, fetch, 2)
+	if got[0] != 7 || got[1] != 7 {
+		t.Fatalf("application saw %v, want [7 7]", got)
+	}
+}

@@ -8,6 +8,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"bluedove/internal/chaos"
@@ -20,6 +21,7 @@ import (
 	"bluedove/internal/matcher"
 	"bluedove/internal/partition"
 	"bluedove/internal/placement"
+	"bluedove/internal/store"
 	"bluedove/internal/telemetry"
 	"bluedove/internal/transport"
 	"bluedove/internal/wire"
@@ -53,8 +55,19 @@ type Options struct {
 	WorkersPerDim int
 	// Persistent enables at-least-once forwarding: dispatchers retain each
 	// publication until a matcher acks it, so crashes lose no accepted
-	// messages (paper Section VI future work; duplicates possible).
+	// messages (paper Section VI future work; duplicates possible). Direct
+	// clients created through NewClient get a duplicate-suppression window
+	// so redeliveries never reach the application twice.
 	Persistent bool
+	// DataDir, when set, makes every node durable: each matcher and
+	// dispatcher journals its state to a write-ahead log under
+	// DataDir/<node-label>/ and recovers it on restart (RestartMatcher,
+	// RestartDispatcher). Empty keeps all state in memory — the pre-durable
+	// behavior, with zero filesystem traffic.
+	DataDir string
+	// Fsync is the journal durability policy when DataDir is set (default
+	// store.FsyncAlways: every append reaches the disk before it is acked).
+	Fsync store.Fsync
 	// RetryInterval is the persistence retransmit timeout (default 2s).
 	RetryInterval time.Duration
 	// ForwardLinger, when positive, enables publication batching on every
@@ -134,8 +147,11 @@ type Cluster struct {
 	dispatchers []*dispatcher.Dispatcher
 	matchers    map[core.NodeID]*matcher.Matcher
 	matcherTr   map[core.NodeID]transport.Transport
+	dispTr      map[core.NodeID]transport.Transport
 	order       []core.NodeID
 	stopped     map[core.NodeID]bool // matchers crashed via CrashMatcher
+	stoppedDisp map[int]bool         // dispatchers crashed via CrashDispatcher, by index
+	generations map[core.NodeID]uint64
 
 	nextNode       core.NodeID
 	nextSubscriber core.SubscriberID
@@ -155,7 +171,10 @@ func Start(opts Options) (*Cluster, error) {
 		opts:        opts,
 		matchers:    make(map[core.NodeID]*matcher.Matcher),
 		matcherTr:   make(map[core.NodeID]transport.Transport),
+		dispTr:      make(map[core.NodeID]transport.Transport),
 		stopped:     make(map[core.NodeID]bool),
+		stoppedDisp: make(map[int]bool),
+		generations: make(map[core.NodeID]uint64),
 		nextNode:    1,
 		telemetries: make(map[core.NodeID]*telemetry.Telemetry),
 		admins:      make(map[core.NodeID]*telemetry.Admin),
@@ -259,6 +278,25 @@ func (c *Cluster) nodeAddr(label string) string {
 	return label
 }
 
+// nodeDataDir returns a node's journal directory (empty when the cluster is
+// in-memory). Each node gets its own subdirectory so restarts recover only
+// their own state.
+func (c *Cluster) nodeDataDir(label string) string {
+	if c.opts.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.opts.DataDir, label)
+}
+
+// generation returns a node's current incarnation number (bumped on every
+// restart so peers prefer the newest gossip about it).
+func (c *Cluster) generation(id core.NodeID) uint64 {
+	if g := c.generations[id]; g > 0 {
+		return g
+	}
+	return 1
+}
+
 func (c *Cluster) startMatcher(id core.NodeID) (*matcher.Matcher, error) {
 	label := fmt.Sprintf("matcher-%d", id)
 	tr, tcp := c.newTransport(label)
@@ -278,7 +316,9 @@ func (c *Cluster) startMatcher(id core.NodeID) (*matcher.Matcher, error) {
 		GossipInterval: c.opts.GossipInterval,
 		FailAfter:      c.opts.FailAfter,
 		PruneGrace:     c.opts.PruneGrace,
-		Generation:     1,
+		Generation:     c.generation(id),
+		DataDir:        c.nodeDataDir(label),
+		Fsync:          c.opts.Fsync,
 		Telemetry:      tel,
 	})
 	if err != nil {
@@ -314,7 +354,9 @@ func (c *Cluster) startDispatcher(id core.NodeID) (*dispatcher.Dispatcher, error
 		ForwardLinger:     c.opts.ForwardLinger,
 		ForwardBatchCount: c.opts.ForwardBatchCount,
 		ForwardBatchBytes: c.opts.ForwardBatchBytes,
-		Generation:        1,
+		Generation:        c.generation(id),
+		DataDir:           c.nodeDataDir(label),
+		Fsync:             c.opts.Fsync,
 		Telemetry:         tel,
 	})
 	if err != nil {
@@ -323,6 +365,7 @@ func (c *Cluster) startDispatcher(id core.NodeID) (*dispatcher.Dispatcher, error
 	if err := d.Start(); err != nil {
 		return nil, err
 	}
+	c.dispTr[id] = tr
 	return d, nil
 }
 
@@ -400,6 +443,99 @@ func (c *Cluster) CrashMatcher(id core.NodeID) error {
 	return nil
 }
 
+// RestartMatcher boots a crashed matcher again under the same identity with
+// a bumped generation. On a durable cluster (Options.DataDir) the new
+// incarnation recovers its subscription set from its journal before serving;
+// on an in-memory cluster it comes back empty and relies on dispatcher
+// re-registration.
+func (c *Cluster) RestartMatcher(id core.NodeID) error {
+	m, ok := c.matchers[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown matcher %v", id)
+	}
+	if !c.stopped[id] {
+		return fmt.Errorf("cluster: matcher %v is not crashed", id)
+	}
+	if c.mesh != nil {
+		c.mesh.Unbind(m.Addr())
+		c.mesh.SetDown(m.Addr(), false)
+	}
+	if c.opts.Chaos != nil {
+		c.opts.Chaos.Restart(m.Addr())
+	}
+	if adm := c.admins[id]; adm != nil {
+		adm.Close()
+		delete(c.admins, id)
+	}
+	c.generations[id] = c.generation(id) + 1
+	m2, err := c.startMatcher(id)
+	if err != nil {
+		return fmt.Errorf("cluster: restart matcher %v: %w", id, err)
+	}
+	c.matchers[id] = m2
+	delete(c.stopped, id)
+	return nil
+}
+
+// CrashDispatcher kills a dispatcher (by index) without any goodbye —
+// in-flight client publishes fail and its pending-forward table freezes
+// where it was.
+func (c *Cluster) CrashDispatcher(idx int) error {
+	if idx < 0 || idx >= len(c.dispatchers) {
+		return fmt.Errorf("cluster: dispatcher index %d out of range", idx)
+	}
+	if c.stoppedDisp[idx] {
+		return fmt.Errorf("cluster: dispatcher %d already crashed", idx)
+	}
+	d := c.dispatchers[idx]
+	if c.mesh != nil {
+		c.mesh.SetDown(d.Addr(), true)
+	}
+	if c.opts.Chaos != nil {
+		c.opts.Chaos.Kill(d.Addr())
+	}
+	d.Stop()
+	c.stoppedDisp[idx] = true
+	if c.opts.TCP {
+		c.dispTr[d.ID()].Close()
+	}
+	return nil
+}
+
+// RestartDispatcher boots a crashed dispatcher again under the same identity
+// with a bumped generation. On a durable cluster it recovers its
+// subscription registry and unacked pending publications from its journal
+// and retransmits the latter once a segment table is re-adopted.
+func (c *Cluster) RestartDispatcher(idx int) error {
+	if idx < 0 || idx >= len(c.dispatchers) {
+		return fmt.Errorf("cluster: dispatcher index %d out of range", idx)
+	}
+	if !c.stoppedDisp[idx] {
+		return fmt.Errorf("cluster: dispatcher %d is not crashed", idx)
+	}
+	d := c.dispatchers[idx]
+	id := d.ID()
+	if c.mesh != nil {
+		c.mesh.Unbind(d.Addr())
+		c.mesh.SetDown(d.Addr(), false)
+	}
+	if c.opts.Chaos != nil {
+		c.opts.Chaos.Restart(d.Addr())
+	}
+	if adm := c.admins[id]; adm != nil {
+		adm.Close()
+		delete(c.admins, id)
+	}
+	c.generations[id] = c.generation(id) + 1
+	d2, err := c.startDispatcher(id)
+	if err != nil {
+		return fmt.Errorf("cluster: restart dispatcher %d: %w", idx, err)
+	}
+	c.dispatchers[idx] = d2
+	delete(c.stoppedDisp, idx)
+	return nil
+}
+
 // MatcherAddr returns the transport address of a started matcher (crashed
 // ones included), for addressing chaos scenarios at cluster nodes.
 func (c *Cluster) MatcherAddr(id core.NodeID) (string, bool) {
@@ -466,6 +602,12 @@ func (c *Cluster) NewClient(dispIdx int, onDeliver func(*core.Message, []core.Su
 	if onDeliver != nil {
 		cfg.ListenAddr = c.nodeAddr(label)
 		cfg.OnDeliver = onDeliver
+		if c.opts.Persistent {
+			// At-least-once forwarding can redeliver (lost acks, node
+			// restarts); the window keeps redeliveries away from the
+			// application callback.
+			cfg.DedupWindow = 4096
+		}
 	}
 	return client.New(cfg)
 }
@@ -538,7 +680,10 @@ func (c *Cluster) CheckConvergence() error {
 		tab  *partition.Table
 	}
 	var live []node
-	for _, d := range c.dispatchers {
+	for i, d := range c.dispatchers {
+		if c.stoppedDisp[i] {
+			continue
+		}
 		live = append(live, node{fmt.Sprintf("dispatcher-%d", d.ID()), d.Gossiper(), d.Table()})
 	}
 	for _, id := range c.order {
@@ -564,13 +709,21 @@ func (c *Cluster) CheckConvergence() error {
 		}
 	}
 	liveIDs := make(map[core.NodeID]string)
-	for _, d := range c.dispatchers {
-		liveIDs[d.ID()] = fmt.Sprintf("dispatcher-%d", d.ID())
+	deadIDs := make(map[core.NodeID]string)
+	for i, d := range c.dispatchers {
+		if c.stoppedDisp[i] {
+			deadIDs[d.ID()] = fmt.Sprintf("dispatcher-%d", d.ID())
+		} else {
+			liveIDs[d.ID()] = fmt.Sprintf("dispatcher-%d", d.ID())
+		}
 	}
 	for _, id := range c.order {
 		if !c.stopped[id] {
 			liveIDs[id] = fmt.Sprintf("matcher-%d", id)
 		}
+	}
+	for id := range c.stopped {
+		deadIDs[id] = fmt.Sprintf("matcher-%d", id)
 	}
 	for _, n := range live {
 		for id, name := range liveIDs {
@@ -578,9 +731,9 @@ func (c *Cluster) CheckConvergence() error {
 				return fmt.Errorf("cluster: %s believes survivor %s dead", n.name, name)
 			}
 		}
-		for id := range c.stopped {
+		for id, name := range deadIDs {
 			if n.gsp.Alive(id) {
-				return fmt.Errorf("cluster: %s believes crashed matcher-%d alive", n.name, id)
+				return fmt.Errorf("cluster: %s believes crashed %s alive", n.name, name)
 			}
 		}
 	}
@@ -619,6 +772,9 @@ func (c *Cluster) Close() {
 	}
 	if c.opts.TCP {
 		for _, tr := range c.matcherTr {
+			tr.Close()
+		}
+		for _, tr := range c.dispTr {
 			tr.Close()
 		}
 	}

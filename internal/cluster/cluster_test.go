@@ -542,13 +542,22 @@ func TestPersistentForwardingSurvivesCrash(t *testing.T) {
 	// detection can only be recovered by dispatcher retransmission.
 	const total = 60
 	victim := c.MatcherIDs()[1]
+	// Points the victim owns on every dimension: the forwarding policy has
+	// no other candidate, so sprinkling these into the isolated half
+	// guarantees unacked forwards (the plain points leave the victim as
+	// one candidate among several, and the adaptive policy may dodge it).
+	vp := victimPoint(t, c, victim)
 	for i := 0; i < total; i++ {
 		if i == total/2 {
 			if err := c.IsolateMatcherOutbound(victim, true); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := cl.Publish([]float64{float64(i*16 + 1), 500, 500, 500}, nil); err != nil {
+		attrs := []float64{float64(i*16 + 1), 500, 500, 500}
+		if i >= total/2 && i%5 == 0 {
+			attrs = vp
+		}
+		if err := cl.Publish(attrs, nil); err != nil {
 			t.Fatal(err)
 		}
 		time.Sleep(5 * time.Millisecond)

@@ -22,6 +22,7 @@ import (
 	"bluedove/internal/metrics"
 	"bluedove/internal/partition"
 	"bluedove/internal/placement"
+	"bluedove/internal/store"
 	"bluedove/internal/telemetry"
 	"bluedove/internal/transport"
 	"bluedove/internal/wire"
@@ -99,6 +100,19 @@ type Config struct {
 	// default) keeps the forward path free of telemetry work beyond one
 	// nil check.
 	Telemetry *telemetry.Telemetry
+	// DataDir, when non-empty, makes the dispatcher's state durable: the
+	// subscription registry, the pending-forward table (Persistent mode)
+	// and the ID counters are journaled to a write-ahead log in this
+	// directory (see internal/store) and replayed on Start — a restarted
+	// dispatcher re-installs its registry and retransmits every unacked
+	// publication. Empty (the default) keeps all state in memory.
+	DataDir string
+	// Fsync is the journal sync policy (default store.FsyncInterval); only
+	// meaningful with DataDir set.
+	Fsync store.Fsync
+	// SnapshotEvery folds the journal into a snapshot after this many
+	// appends (default: the store package default).
+	SnapshotEvery int
 }
 
 func (c *Config) defaults() error {
@@ -174,8 +188,15 @@ type Dispatcher struct {
 	// is zero — the unbatched default).
 	batcher *forwardBatcher
 
+	// jnl is the durable state journal (nil on in-memory nodes).
+	jnl *store.Store
+
 	stop chan struct{}
-	wg   sync.WaitGroup
+	// ready gates the transport handler until Start finishes initializing:
+	// a restarted node's address is already known to gossiping peers, so
+	// traffic can arrive between Listen and the end of Start.
+	ready chan struct{}
+	wg    sync.WaitGroup
 
 	// Published counts accepted publications.
 	Published metrics.Counter
@@ -219,6 +240,7 @@ func New(cfg Config) (*Dispatcher, error) {
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		queues:     delivery.NewQueueStore(cfg.QueueCap),
 		stop:       make(chan struct{}),
+		ready:      make(chan struct{}),
 		fwdLatency: metrics.NewHistogram(),
 		e2eLatency: metrics.NewHistogram(),
 	}, nil
@@ -239,7 +261,15 @@ func (d *Dispatcher) Queues() *delivery.QueueStore { return d.queues }
 // Start binds the listener, joins the gossip overlay and starts the table
 // maintenance loops.
 func (d *Dispatcher) Start() error {
-	addr, err := d.cfg.Transport.Listen(d.cfg.Addr, d.handle)
+	// Recover durable state before the listener binds, so replay never
+	// races live traffic.
+	if err := d.openJournal(); err != nil {
+		return err
+	}
+	addr, err := d.cfg.Transport.Listen(d.cfg.Addr, func(env *wire.Envelope) *wire.Envelope {
+		<-d.ready
+		return d.handle(env)
+	})
 	if err != nil {
 		return err
 	}
@@ -276,6 +306,7 @@ func (d *Dispatcher) Start() error {
 		d.wg.Add(1)
 		go d.lingerLoop(d.cfg.ForwardLinger)
 	}
+	close(d.ready)
 	return nil
 }
 
@@ -289,6 +320,7 @@ func (d *Dispatcher) Stop() {
 	}
 	d.gsp.Stop()
 	d.wg.Wait()
+	d.closeJournal()
 }
 
 // SetTable installs (and publishes via gossip) a segment table. Used at
@@ -396,8 +428,12 @@ func (d *Dispatcher) handle(env *wire.Envelope) *wire.Envelope {
 	case wire.KindForwardAck:
 		if b, err := wire.DecodeForwardAck(env.Body); err == nil {
 			d.mu.Lock()
+			_, was := d.inflight[b.ID]
 			delete(d.inflight, b.ID)
 			d.mu.Unlock()
+			if was {
+				d.journalID(recAck, uint64(b.ID))
+			}
 			if d.cfg.Telemetry != nil && b.Trace != nil {
 				d.completeTrace(b.ID, b.Trace)
 			}
@@ -405,11 +441,18 @@ func (d *Dispatcher) handle(env *wire.Envelope) *wire.Envelope {
 		return nil
 	case wire.KindForwardAckBatch:
 		if b, err := wire.DecodeForwardAckBatch(env.Body); err == nil {
+			var acked []core.MessageID
 			d.mu.Lock()
 			for _, id := range b.IDs {
-				delete(d.inflight, id)
+				if _, was := d.inflight[id]; was {
+					delete(d.inflight, id)
+					acked = append(acked, id)
+				}
 			}
 			d.mu.Unlock()
+			for _, id := range acked {
+				d.journalID(recAck, uint64(id))
+			}
 			if d.cfg.Telemetry != nil {
 				for i := range b.Traces {
 					d.completeTrace(b.Traces[i].Msg, &b.Traces[i].Ctx)
@@ -463,6 +506,11 @@ func (d *Dispatcher) handleSubscribe(env *wire.Envelope) *wire.Envelope {
 	d.registry[sub.ID] = regEntry{sub: sub, addr: deliverAddr}
 	t := d.table
 	d.mu.Unlock()
+	if d.jnl != nil {
+		// Re-encode rather than journaling env.Body: sub.ID may have just
+		// been assigned.
+		d.journal(recRegAdd, (&wire.SubscribeBody{Sub: sub, DeliverAddr: deliverAddr}).Encode())
+	}
 	if t == nil {
 		return errEnv(d.cfg.ID, errors.New("dispatcher: cluster not bootstrapped"))
 	}
@@ -489,6 +537,7 @@ func (d *Dispatcher) handleUnsubscribe(id core.SubscriptionID) {
 	d.mu.Lock()
 	delete(d.registry, id)
 	d.mu.Unlock()
+	d.journalID(recRegRemove, uint64(id))
 	body := (&wire.UnsubscribeBody{ID: id}).Encode()
 	for _, p := range d.gsp.Peers() {
 		if p.Role == core.RoleMatcher {
@@ -608,21 +657,34 @@ func (d *Dispatcher) track(msg *core.Message, to core.NodeID) {
 		tried[to] = true
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(d.inflight) >= d.cfg.MaxInflight {
-		return // best effort beyond the cap
+	capped := len(d.inflight) >= d.cfg.MaxInflight
+	if !capped {
+		d.inflight[msg.ID] = &inflightMsg{
+			msg:      msg,
+			tried:    tried,
+			deadline: d.cfg.Now() + int64(d.cfg.RetryInterval),
+		}
 	}
-	d.inflight[msg.ID] = &inflightMsg{
-		msg:      msg,
-		tried:    tried,
-		deadline: d.cfg.Now() + int64(d.cfg.RetryInterval),
+	d.mu.Unlock()
+	// Journaled even past the inflight cap so the message-ID watermark
+	// survives a restart (the replay applies the same cap to the rebuilt
+	// table; only the counter always advances).
+	if d.jnl != nil {
+		d.journal(recPending, (&wire.PublishBody{Msg: msg}).Encode())
 	}
 }
 
 // retransmitLoop re-forwards unacked messages past their deadline.
 func (d *Dispatcher) retransmitLoop() {
 	defer d.wg.Done()
-	ticker := time.NewTicker(d.cfg.RetryInterval / 2)
+	// Half the retry interval keeps deadline overshoot under 50%; the clamp
+	// keeps a sub-2ns RetryInterval (tests shrink it aggressively) from
+	// panicking time.NewTicker and a tiny one from busy-spinning.
+	tick := d.cfg.RetryInterval / 2
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
 	for {
 		select {

@@ -27,6 +27,9 @@ func (d *Dispatcher) registerTelemetry() {
 		"ingest to forward-ack per traced publication", d.fwdLatency, 1e-9)
 	r.Histogram("dispatcher.deliver_latency_seconds",
 		"publish to first delivery per traced publication", d.e2eLatency, 1e-9)
+	if d.jnl != nil {
+		d.jnl.Register(r)
+	}
 	tr := d.cfg.Telemetry.Tracer
 	r.Gauge("trace.pending", "traces awaiting their forward ack", func(int64) float64 {
 		return float64(tr.PendingLen())

@@ -1,0 +1,131 @@
+package matcher
+
+import (
+	"fmt"
+
+	"bluedove/internal/partition"
+	"bluedove/internal/store"
+	"bluedove/internal/wire"
+)
+
+// Journal record kinds. Payloads reuse the wire codec bodies the transport
+// handler already decodes, so replay is literally a second pass through the
+// same apply logic — the handler journals the raw body bytes it was handed
+// and recovery decodes them with the same wire functions. Snapshot payloads
+// are themselves record streams (store.AppendRecord framing), restored
+// through the same applyRecord as the WAL tail.
+const (
+	recSubStore  uint8 = 1 // wire.StoreBody: one subscription copy on one dimension
+	recSubRemove uint8 = 2 // wire.UnsubscribeBody: remove from every dimension
+	recTransfer  uint8 = 3 // wire.TransferBody: handover bulk install
+	recTable     uint8 = 4 // partition table encoding: adopted segment table
+)
+
+// openJournal opens (and recovers) the durable subscription journal when
+// Config.DataDir is set. Called from Start before the transport listener
+// binds, so replay never races live mutations. Pruning is intentionally NOT
+// journaled: after replay the restored table re-derives it, which keeps the
+// hot prune path free of WAL writes.
+func (m *Matcher) openJournal() error {
+	if m.cfg.DataDir == "" {
+		return nil
+	}
+	s, err := store.Open(store.Options{
+		Dir:           m.cfg.DataDir,
+		Fsync:         m.cfg.Fsync,
+		SnapshotEvery: m.cfg.SnapshotEvery,
+		Restore:       func(p []byte) error { return store.WalkRecords(p, m.applyRecord) },
+		Apply:         m.applyRecord,
+	})
+	if err != nil {
+		return fmt.Errorf("matcher: journal: %w", err)
+	}
+	m.jnl = s
+	if t := m.Table(); t != nil {
+		// Replay resurrects every add since the snapshot, including copies a
+		// later table change pruned; prune against the restored table now so
+		// the rebuilt sets match the pre-crash state.
+		m.pruneTo(t)
+	}
+	return nil
+}
+
+// applyRecord is the recovery apply function, for both snapshot payloads and
+// the WAL tail. Undecodable records are skipped, mirroring the transport
+// handler's tolerance of malformed frames.
+func (m *Matcher) applyRecord(kind uint8, payload []byte) error {
+	switch kind {
+	case recSubStore:
+		if b, err := wire.DecodeStore(payload); err == nil && b.Dim >= 0 && b.Dim < len(m.dims) {
+			m.store(b.Dim, b.Sub, b.DeliverAddr)
+		}
+	case recSubRemove:
+		if b, err := wire.DecodeUnsubscribe(payload); err == nil {
+			m.unsubscribe(b.ID)
+		}
+	case recTransfer:
+		if b, err := wire.DecodeTransfer(payload); err == nil && b.Dim >= 0 && b.Dim < len(m.dims) {
+			for i, s := range b.Subs {
+				addr := ""
+				if i < len(b.DeliverAddrs) {
+					addr = b.DeliverAddrs[i]
+				}
+				m.store(b.Dim, s, addr)
+			}
+		}
+	case recTable:
+		if t, err := partition.Decode(payload); err == nil {
+			m.tableMu.Lock()
+			if m.table == nil || t.Version() > m.table.Version() {
+				m.table = t
+			}
+			m.tableMu.Unlock()
+		}
+	}
+	return nil
+}
+
+// journal appends one already-encoded mutation to the WAL and folds the
+// journal into a snapshot when due. A nil journal (in-memory node) is a
+// no-op; append errors degrade durability, not service — in-memory state is
+// already mutated, and the failure shows up in the store metrics. Must not
+// be called with any dimension lock held (the snapshot pass takes them all).
+func (m *Matcher) journal(kind uint8, payload []byte) {
+	if m.jnl == nil {
+		return
+	}
+	_ = m.jnl.Append(kind, payload)
+	if m.jnl.SnapshotDue() {
+		m.snapshotJournal()
+	}
+}
+
+// snapshotJournal serializes the full subscription state (every dimension's
+// stored copies plus the current table) as a record stream and folds the
+// WAL into it.
+func (m *Matcher) snapshotJournal() {
+	var payload []byte
+	for dim, ds := range m.dims {
+		ds.mu.RLock()
+		for _, s := range ds.idx.All(nil) {
+			body := (&wire.StoreBody{Dim: dim, Sub: s, DeliverAddr: ds.addrs[s.ID]}).Encode()
+			payload = store.AppendRecord(payload, recSubStore, body)
+		}
+		ds.mu.RUnlock()
+	}
+	if t := m.Table(); t != nil {
+		payload = store.AppendRecord(payload, recTable, t.Encode())
+	}
+	_ = m.jnl.Snapshot(payload)
+}
+
+// closeJournal syncs and closes the journal at Stop.
+func (m *Matcher) closeJournal() {
+	if m.jnl != nil {
+		_ = m.jnl.Close()
+	}
+}
+
+// Journal exposes the durable store (nil on in-memory nodes), for tests and
+// tooling.
+func (m *Matcher) Journal() *store.Store { return m.jnl }

@@ -20,6 +20,7 @@ import (
 	"bluedove/internal/index"
 	"bluedove/internal/metrics"
 	"bluedove/internal/partition"
+	"bluedove/internal/store"
 	"bluedove/internal/telemetry"
 	"bluedove/internal/transport"
 	"bluedove/internal/wire"
@@ -65,6 +66,19 @@ type Config struct {
 	// stamped and returned on acks, and every counter, per-stage λ/μ/queue
 	// gauge and latency histogram is registered under the node's registry.
 	Telemetry *telemetry.Telemetry
+	// DataDir, when non-empty, makes the matcher's subscription state
+	// durable: every store, remove, transfer and table adoption is journaled
+	// to a write-ahead log in this directory (see internal/store), folded
+	// into periodic snapshots, and replayed on Start — a restarted matcher
+	// resumes with its exact pre-crash subscription sets. Empty (the
+	// default) keeps all state in memory.
+	DataDir string
+	// Fsync is the journal sync policy (default store.FsyncInterval); only
+	// meaningful with DataDir set.
+	Fsync store.Fsync
+	// SnapshotEvery folds the journal into a snapshot after this many
+	// appends (default: the store package default).
+	SnapshotEvery int
 }
 
 func (c *Config) defaults() error {
@@ -118,8 +132,15 @@ type Matcher struct {
 	tableMu sync.Mutex
 	table   *partition.Table
 
+	// jnl is the durable subscription journal (nil on in-memory nodes).
+	jnl *store.Store
+
 	stop chan struct{}
-	wg   sync.WaitGroup
+	// ready gates the transport handler until Start finishes initializing:
+	// a restarted node's address is already known to gossiping peers, so
+	// traffic can arrive between Listen and the end of Start.
+	ready chan struct{}
+	wg    sync.WaitGroup
 
 	lastReport []forward.DimLoad
 	reported   bool
@@ -153,7 +174,7 @@ func New(cfg Config) (*Matcher, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	m := &Matcher{cfg: cfg, stop: make(chan struct{}),
+	m := &Matcher{cfg: cfg, stop: make(chan struct{}), ready: make(chan struct{}),
 		sendCopies:   transport.SendCopies(cfg.Transport),
 		matchLatency: metrics.NewHistogram()}
 	k := cfg.Space.K()
@@ -179,7 +200,15 @@ func (m *Matcher) Gossiper() *gossip.Gossiper { return m.gsp }
 // Start binds the listener, joins the gossip overlay, and starts the
 // matching stages and report loop.
 func (m *Matcher) Start() error {
-	addr, err := m.cfg.Transport.Listen(m.cfg.Addr, m.handle)
+	// Recover durable state before the listener binds, so replay never
+	// races live mutations.
+	if err := m.openJournal(); err != nil {
+		return err
+	}
+	addr, err := m.cfg.Transport.Listen(m.cfg.Addr, func(env *wire.Envelope) *wire.Envelope {
+		<-m.ready
+		return m.handle(env)
+	})
 	if err != nil {
 		return err
 	}
@@ -213,6 +242,7 @@ func (m *Matcher) Start() error {
 	m.wg.Add(2)
 	go m.reportLoop()
 	go m.tableLoop()
+	close(m.ready)
 	return nil
 }
 
@@ -231,6 +261,7 @@ func (m *Matcher) Stop() {
 		}
 	}
 	m.wg.Wait()
+	m.closeJournal()
 }
 
 // handle is the transport handler, dispatching by message kind.
@@ -242,11 +273,13 @@ func (m *Matcher) handle(env *wire.Envelope) *wire.Envelope {
 		b, err := wire.DecodeStore(env.Body)
 		if err == nil && b.Dim >= 0 && b.Dim < len(m.dims) {
 			m.store(b.Dim, b.Sub, b.DeliverAddr)
+			m.journal(recSubStore, env.Body)
 		}
 		return nil
 	case wire.KindUnsubscribe:
 		if b, err := wire.DecodeUnsubscribe(env.Body); err == nil {
 			m.unsubscribe(b.ID)
+			m.journal(recSubRemove, env.Body)
 		}
 		return nil
 	case wire.KindForward:
@@ -277,6 +310,7 @@ func (m *Matcher) handle(env *wire.Envelope) *wire.Envelope {
 			}
 			m.store(b.Dim, s, addr)
 		}
+		m.journal(recTransfer, env.Body)
 		return nil
 	case wire.KindHandover:
 		if b, err := wire.DecodeHandover(env.Body); err == nil {
@@ -579,6 +613,7 @@ func (m *Matcher) adoptTable() {
 	}
 	m.table = t
 	m.tableMu.Unlock()
+	m.journal(recTable, raw)
 	// Prune after the grace period so messages routed by stale dispatcher
 	// tables still find their subscriptions.
 	grace := m.cfg.PruneGrace

@@ -38,6 +38,9 @@ func (m *Matcher) registerTelemetry() {
 			return float64(set.idx.Len())
 		}, dim)
 	}
+	if m.jnl != nil {
+		m.jnl.Register(r)
+	}
 	tr := m.cfg.Telemetry.Tracer
 	r.Gauge("trace.completed", "traces recorded on this node", func(int64) float64 {
 		return float64(tr.Total())

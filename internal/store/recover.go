@@ -1,0 +1,130 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// recoverResult is recoverDir's full outcome: the public stats plus the
+// writer-arming state Open needs.
+type recoverResult struct {
+	RecoveryStats
+	nextSeq     uint64
+	snapSeq     uint64
+	lastSegment string // active segment to continue appending to ("" = none)
+	lastBase    uint64
+	lastSize    int64
+}
+
+// Recover replays the journal in dir without opening it for writing: the
+// newest valid snapshot payload goes to restore, then every whole WAL
+// record goes to apply in append order. Replay stops cleanly at a torn
+// final-segment tail (reported in the stats); corruption anywhere else
+// returns ErrCorrupt. Tools and tests use this; Open uses the same pass and
+// then truncates the torn tail before appending.
+func Recover(dir string, restore func(snapshot []byte) error, apply func(kind uint8, payload []byte) error) (RecoveryStats, error) {
+	start := time.Now()
+	rec, err := recoverDir(dir, restore, apply, false)
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	rec.Duration = time.Since(start)
+	return rec.RecoveryStats, nil
+}
+
+// recoverDir is the shared recovery pass. With truncate set (Open), the
+// torn tail of the final segment is cut off so appends resume exactly after
+// the last whole record, and leftover snapshot temp files are removed.
+func recoverDir(dir string, restore func([]byte) error, apply func(uint8, []byte) error, truncate bool) (recoverResult, error) {
+	var rec recoverResult
+	snaps, segs, err := scanDir(dir)
+	if err != nil {
+		return rec, err
+	}
+	if truncate {
+		_ = os.Remove(filepath.Join(dir, "snapshot.tmp"))
+	}
+
+	// Newest readable snapshot wins; an unreadable one is skipped in favor
+	// of an older snapshot plus a longer replay.
+	for i := len(snaps) - 1; i >= 0; i-- {
+		payload, ok := readSnapshot(snapshotName(dir, snaps[i]))
+		if !ok {
+			continue
+		}
+		if restore != nil {
+			if err := restore(payload); err != nil {
+				return rec, err
+			}
+		}
+		rec.snapSeq = snaps[i]
+		rec.SnapshotLoaded = true
+		rec.SnapshotBytes = len(payload)
+		break
+	}
+
+	seq := rec.snapSeq
+	for i, base := range segs {
+		if base < rec.snapSeq {
+			continue // covered by the snapshot; compaction just hasn't caught up
+		}
+		if base != seq {
+			return rec, fmt.Errorf("%w: segment gap, have %016x want %016x", ErrCorrupt, base, seq)
+		}
+		path := segmentName(dir, base)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return rec, err
+		}
+		off, torn := 0, false
+		for off < len(data) {
+			kind, payload, next, ok := readRecord(data, off)
+			if !ok {
+				torn = true
+				break
+			}
+			if apply != nil {
+				if err := apply(kind, payload); err != nil {
+					return rec, err
+				}
+			}
+			rec.Records++
+			rec.Bytes += int64(next - off)
+			seq++
+			off = next
+		}
+		if torn {
+			if i != len(segs)-1 {
+				// A partial record can only be the final segment's tail: a
+				// crashed writer never opens a new segment past a torn one.
+				return rec, fmt.Errorf("%w: invalid record mid-chain in %s at offset %d",
+					ErrCorrupt, filepath.Base(path), off)
+			}
+			rec.TornTail = true
+			if truncate {
+				if err := os.Truncate(path, int64(off)); err != nil {
+					return rec, err
+				}
+			}
+		}
+		rec.lastSegment, rec.lastBase, rec.lastSize = path, base, int64(off)
+	}
+	rec.nextSeq = seq
+	return rec, nil
+}
+
+// readSnapshot loads one snapshot file, returning its payload and whether
+// the file holds exactly one checksum-valid record.
+func readSnapshot(path string) ([]byte, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	kind, payload, next, ok := readRecord(data, 0)
+	if !ok || kind != kindSnapshot || next != len(data) {
+		return nil, false
+	}
+	return payload, true
+}

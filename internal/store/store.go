@@ -1,0 +1,346 @@
+// Package store is BlueDove's durable-state engine (paper Section VI names
+// persistence as the key future work): a segmented, CRC32-C-framed
+// append-only write-ahead log with configurable fsync policy, plus
+// point-in-time snapshots with segment compaction and a generic recovery
+// replay. Stateful roles journal their mutations as typed records, restore
+// the newest snapshot and replay the tail on restart, and periodically fold
+// the journal into a fresh snapshot.
+//
+// On-disk layout (one directory per node role):
+//
+//	<base>.wal   WAL segment; <base> is the 16-hex-digit sequence number of
+//	             the segment's first record. Records are framed per record.go.
+//	<base>.snap  state snapshot covering every record with sequence < <base>;
+//	             one framed record holding the role-defined payload.
+//
+// Snapshots rotate the WAL first, so segment boundaries always align with
+// snapshot coverage: recovery restores the newest valid snapshot, then
+// replays every segment with base >= the snapshot's, stopping cleanly at a
+// torn tail (a crash mid-append leaves a partial record; the checksum
+// rejects it and Open truncates it away before appending again).
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bluedove/internal/metrics"
+)
+
+// Fsync selects when appended records are forced to stable storage.
+type Fsync uint8
+
+const (
+	// FsyncInterval (the default) syncs dirty segments on a background
+	// ticker (Options.Interval): bounded loss window, near-zero append cost.
+	FsyncInterval Fsync = iota
+	// FsyncAlways syncs after every append: no acknowledged record is ever
+	// lost to a crash, at one fsync per append.
+	FsyncAlways
+	// FsyncNever leaves syncing to the OS page cache: fastest, loses the
+	// cache on power failure (process crashes alone lose nothing — the
+	// kernel holds the writes).
+	FsyncNever
+)
+
+// String names the policy (the -fsync flag values).
+func (f Fsync) String() string {
+	switch f {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// ParseFsync parses a -fsync flag value.
+func ParseFsync(s string) (Fsync, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval", "":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always|interval|never)", s)
+}
+
+// Options parameterizes a Store.
+type Options struct {
+	// Dir is the journal directory (created if missing); required.
+	Dir string
+	// Fsync is the sync policy (default FsyncInterval).
+	Fsync Fsync
+	// Interval is the background sync cadence under FsyncInterval
+	// (default 100ms).
+	Interval time.Duration
+	// SegmentBytes rotates the active segment at this size (default 4 MiB).
+	SegmentBytes int
+	// SnapshotEvery arms SnapshotDue after this many appends since the last
+	// snapshot (default 8192). The store cannot serialize the caller's
+	// state, so the caller polls SnapshotDue and calls Snapshot itself.
+	SnapshotEvery int
+	// Restore, when non-nil, receives the newest valid snapshot payload
+	// before WAL replay during Open.
+	Restore func(snapshot []byte) error
+	// Apply, when non-nil, receives every replayed WAL record during Open,
+	// in append order.
+	Apply func(kind uint8, payload []byte) error
+}
+
+func (o *Options) defaults() error {
+	if o.Dir == "" {
+		return fmt.Errorf("store: Dir is required")
+	}
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 8192
+	}
+	return nil
+}
+
+// RecoveryStats describes what one recovery pass found and replayed.
+type RecoveryStats struct {
+	// SnapshotLoaded reports whether a snapshot was restored.
+	SnapshotLoaded bool
+	// SnapshotBytes is the restored snapshot payload size.
+	SnapshotBytes int
+	// Records is the number of WAL records replayed after the snapshot.
+	Records int
+	// Bytes is the framed size of the replayed records.
+	Bytes int64
+	// TornTail reports whether the final segment ended in a partial or
+	// checksum-invalid record (the normal signature of a mid-append crash).
+	TornTail bool
+	// Duration is the wall time of the recovery pass.
+	Duration time.Duration
+}
+
+// Store is an open durable-state journal. Append, Snapshot and Close are
+// safe for concurrent use.
+type Store struct {
+	opts Options
+
+	mu        sync.Mutex
+	f         *os.File // active segment
+	segBase   uint64   // sequence of the active segment's first record
+	segSize   int64
+	seq       uint64 // next record sequence
+	snapSeq   uint64 // base covered by the newest snapshot
+	dirty     bool
+	sinceSnap int
+	buf       []byte // reusable frame scratch
+	closed    bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	recovery RecoveryStats
+
+	// Appends counts records written to the WAL.
+	Appends metrics.Counter
+	// AppendBytes counts framed WAL bytes written.
+	AppendBytes metrics.Counter
+	// Fsyncs counts explicit syncs (per-append under FsyncAlways, per dirty
+	// tick under FsyncInterval, plus rotation and close syncs).
+	Fsyncs metrics.Counter
+	// Snapshots counts snapshots written.
+	Snapshots metrics.Counter
+}
+
+// Open recovers the journal in opts.Dir (restoring the newest snapshot into
+// opts.Restore and replaying the WAL tail into opts.Apply), truncates any
+// torn tail, and arms the store for appending.
+func Open(opts Options) (*Store, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{opts: opts, stop: make(chan struct{})}
+
+	start := time.Now()
+	rec, err := recoverDir(opts.Dir, opts.Restore, opts.Apply, true)
+	if err != nil {
+		return nil, err
+	}
+	s.recovery = rec.RecoveryStats
+	s.recovery.Duration = time.Since(start)
+	s.seq = rec.nextSeq
+	s.snapSeq = rec.snapSeq
+
+	// Continue the last segment when one survived recovery; otherwise start
+	// a fresh one at the current sequence.
+	if rec.lastSegment != "" {
+		f, err := os.OpenFile(rec.lastSegment, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		s.f, s.segBase, s.segSize = f, rec.lastBase, rec.lastSize
+	} else if err := s.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+
+	if s.opts.Fsync == FsyncInterval {
+		s.wg.Add(1)
+		go s.syncLoop()
+	}
+	return s, nil
+}
+
+// Recovery returns the stats of the Open-time recovery pass.
+func (s *Store) Recovery() RecoveryStats { return s.recovery }
+
+// Seq returns the next record sequence number.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// segmentName returns the path of the segment starting at base.
+func segmentName(dir string, base uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x.wal", base))
+}
+
+// snapshotName returns the path of the snapshot covering records < base.
+func snapshotName(dir string, base uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x.snap", base))
+}
+
+// openSegmentLocked creates the segment whose base is the current sequence.
+func (s *Store) openSegmentLocked() error {
+	f, err := os.OpenFile(segmentName(s.opts.Dir, s.seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f, s.segBase, s.segSize = f, s.seq, 0
+	return nil
+}
+
+// rotateLocked syncs and closes the active segment and opens a fresh one at
+// the current sequence. A still-empty segment is already aligned and kept.
+func (s *Store) rotateLocked() error {
+	if s.segSize == 0 {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.Fsyncs.Add(1)
+	s.dirty = false
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	return s.openSegmentLocked()
+}
+
+// Append journals one record. Under FsyncAlways it returns only after the
+// record is on stable storage.
+func (s *Store) Append(kind uint8, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: append on closed store")
+	}
+	if recHeader+1+len(payload) > MaxRecord {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	s.buf = AppendRecord(s.buf[:0], kind, payload)
+	if _, err := s.f.Write(s.buf); err != nil {
+		return err
+	}
+	s.segSize += int64(len(s.buf))
+	s.seq++
+	s.sinceSnap++
+	s.dirty = true
+	s.Appends.Add(1)
+	s.AppendBytes.Add(int64(len(s.buf)))
+	if s.opts.Fsync == FsyncAlways {
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+		s.Fsyncs.Add(1)
+		s.dirty = false
+	}
+	if s.segSize >= int64(s.opts.SegmentBytes) {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+// SnapshotDue reports whether enough appends have accumulated since the
+// last snapshot that the caller should fold its state into a new one.
+func (s *Store) SnapshotDue() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sinceSnap >= s.opts.SnapshotEvery
+}
+
+// Sync forces dirty appends to stable storage regardless of policy.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if s.closed || !s.dirty {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.Fsyncs.Add(1)
+	s.dirty = false
+	return nil
+}
+
+// syncLoop is the FsyncInterval background syncer.
+func (s *Store) syncLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			_ = s.syncLocked()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Close syncs and closes the journal. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	close(s.stop)
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.syncLocked()
+	s.closed = true
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

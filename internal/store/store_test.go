@@ -1,0 +1,322 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// replayed collects one recovery pass's observations.
+type replayed struct {
+	snapshot []byte
+	records  []string // "kind:payload"
+}
+
+func (r *replayed) restore(p []byte) error {
+	r.snapshot = append([]byte(nil), p...)
+	return nil
+}
+
+func (r *replayed) apply(kind uint8, payload []byte) error {
+	r.records = append(r.records, fmt.Sprintf("%d:%s", kind, payload))
+	return nil
+}
+
+func openFor(t *testing.T, dir string, r *replayed, mut func(*Options)) *Store {
+	t.Helper()
+	opts := Options{Dir: dir, Fsync: FsyncNever}
+	if r != nil {
+		opts.Restore = r.restore
+		opts.Apply = r.apply
+	}
+	if mut != nil {
+		mut(&opts)
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAppendRecoverRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openFor(t, dir, nil, nil)
+	for i := 0; i < 100; i++ {
+		if err := s.Append(uint8(1+i%3), []byte(fmt.Sprintf("rec-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Appends.Value(); got != 100 {
+		t.Fatalf("Appends = %d, want 100", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var r replayed
+	s2 := openFor(t, dir, &r, nil)
+	defer s2.Close()
+	if len(r.records) != 100 {
+		t.Fatalf("replayed %d records, want 100", len(r.records))
+	}
+	if r.records[0] != "1:rec-000" || r.records[99] != fmt.Sprintf("%d:rec-099", 1+99%3) {
+		t.Fatalf("replay order wrong: first %q last %q", r.records[0], r.records[99])
+	}
+	if r.snapshot != nil {
+		t.Fatalf("no snapshot written, yet one restored: %q", r.snapshot)
+	}
+	if rec := s2.Recovery(); rec.Records != 100 || rec.TornTail || rec.SnapshotLoaded {
+		t.Fatalf("recovery stats: %+v", rec)
+	}
+	// Appends continue after the replayed tail.
+	if err := s2.Append(9, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Seq(); got != 101 {
+		t.Fatalf("seq after recovery+append = %d, want 101", got)
+	}
+}
+
+func TestSnapshotCompactsAndRestores(t *testing.T) {
+	dir := t.TempDir()
+	s := openFor(t, dir, nil, func(o *Options) { o.SegmentBytes = 256 })
+	for i := 0; i < 50; i++ {
+		if err := s.Append(1, []byte(fmt.Sprintf("old-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Snapshot([]byte("state-at-50")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshots.Value(); got != 1 {
+		t.Fatalf("Snapshots = %d, want 1", got)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Append(2, []byte(fmt.Sprintf("new-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compaction must have removed the pre-snapshot segments (several, at
+	// 256-byte rotation) leaving only the post-snapshot tail.
+	snaps, segs, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots on disk: %v", snaps)
+	}
+	if len(segs) != 1 || segs[0] != snaps[0] {
+		t.Fatalf("segments on disk %v not compacted to the snapshot boundary %v", segs, snaps)
+	}
+
+	var r replayed
+	s2 := openFor(t, dir, &r, nil)
+	defer s2.Close()
+	if string(r.snapshot) != "state-at-50" {
+		t.Fatalf("restored snapshot %q", r.snapshot)
+	}
+	if len(r.records) != 5 || r.records[0] != "2:new-0" {
+		t.Fatalf("replayed tail: %v", r.records)
+	}
+	if rec := s2.Recovery(); !rec.SnapshotLoaded || rec.Records != 5 {
+		t.Fatalf("recovery stats: %+v", rec)
+	}
+}
+
+func TestSnapshotDueArmsAndResets(t *testing.T) {
+	dir := t.TempDir()
+	s := openFor(t, dir, nil, func(o *Options) { o.SnapshotEvery = 10 })
+	defer s.Close()
+	for i := 0; i < 9; i++ {
+		if err := s.Append(1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.SnapshotDue() {
+		t.Fatal("due after 9 of 10 appends")
+	}
+	if err := s.Append(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.SnapshotDue() {
+		t.Fatal("not due after 10 appends")
+	}
+	if err := s.Snapshot(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.SnapshotDue() {
+		t.Fatal("still due right after a snapshot")
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := openFor(t, dir, nil, func(o *Options) { o.SegmentBytes = 128 })
+	for i := 0; i < 40; i++ {
+		if err := s.Append(1, []byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, segs, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 4 {
+		t.Fatalf("rotation produced %d segments, want several", len(segs))
+	}
+	var r replayed
+	s2 := openFor(t, dir, &r, nil)
+	defer s2.Close()
+	if len(r.records) != 40 {
+		t.Fatalf("replayed %d across segments, want 40", len(r.records))
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, pol := range []Fsync{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			s := openFor(t, dir, nil, func(o *Options) {
+				o.Fsync = pol
+				o.Interval = 5 * time.Millisecond
+			})
+			for i := 0; i < 20; i++ {
+				if err := s.Append(1, []byte("x")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			switch pol {
+			case FsyncAlways:
+				if got := s.Fsyncs.Value(); got != 20 {
+					t.Fatalf("FsyncAlways synced %d times, want 20", got)
+				}
+			case FsyncInterval:
+				deadline := time.Now().Add(2 * time.Second)
+				for s.Fsyncs.Value() == 0 && time.Now().Before(deadline) {
+					time.Sleep(time.Millisecond)
+				}
+				if s.Fsyncs.Value() == 0 {
+					t.Fatal("interval syncer never fired")
+				}
+			case FsyncNever:
+				if got := s.Fsyncs.Value(); got != 0 {
+					t.Fatalf("FsyncNever synced %d times", got)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	for in, want := range map[string]Fsync{
+		"always": FsyncAlways, "interval": FsyncInterval, "": FsyncInterval, "never": FsyncNever,
+	} {
+		got, err := ParseFsync(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsync(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFsync("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestWalkRecordsRoundtrip(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 10; i++ {
+		buf = AppendRecord(buf, uint8(i), []byte(fmt.Sprintf("p%d", i)))
+	}
+	n := 0
+	if err := WalkRecords(buf, func(kind uint8, payload []byte) error {
+		if int(kind) != n || string(payload) != fmt.Sprintf("p%d", n) {
+			t.Fatalf("record %d decoded as kind=%d payload=%q", n, kind, payload)
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("walked %d records, want 10", n)
+	}
+	// A truncated stream is corruption for atomically-written buffers.
+	if err := WalkRecords(buf[:len(buf)-1], func(uint8, []byte) error { return nil }); err == nil {
+		t.Fatal("torn record stream accepted")
+	}
+}
+
+func TestCorruptMidChainRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openFor(t, dir, nil, func(o *Options) { o.SegmentBytes = 64 })
+	for i := 0; i < 20; i++ {
+		if err := s.Append(1, []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, segs, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("need 2+ segments, have %d", len(segs))
+	}
+	// Flip a payload byte in the FIRST segment: corruption away from the
+	// tail must fail recovery loudly, not silently drop the chain.
+	path := segmentName(dir, segs[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recHeader+3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(dir, nil, nil); err == nil {
+		t.Fatal("mid-chain corruption accepted")
+	}
+}
+
+func TestRecoverSkipsUnreadableNewestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := openFor(t, dir, nil, nil)
+	if err := s.Append(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a newer, unreadable snapshot; recovery must fall back to the
+	// good one and still replay the tail.
+	if err := os.WriteFile(filepath.Join(dir, "ffffffffffffff00.snap"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var r replayed
+	if _, err := Recover(dir, r.restore, r.apply); err != nil {
+		t.Fatal(err)
+	}
+	if string(r.snapshot) != "good" || len(r.records) != 1 || r.records[0] != "1:b" {
+		t.Fatalf("fallback recovery: snapshot=%q records=%v", r.snapshot, r.records)
+	}
+}

@@ -1,0 +1,18 @@
+package store
+
+import "bluedove/internal/telemetry"
+
+// Register publishes the store's counters and open-time recovery figures
+// under the node's registry, in the store.* dotted namespace.
+func (s *Store) Register(r *telemetry.Registry) {
+	r.Counter("store.wal_appends", "WAL records appended", &s.Appends)
+	r.Counter("store.wal_bytes", "framed WAL bytes written", &s.AppendBytes)
+	r.Counter("store.fsyncs", "explicit segment fsyncs", &s.Fsyncs)
+	r.Counter("store.snapshots", "snapshots written", &s.Snapshots)
+	r.Gauge("store.recovery_seconds", "wall time of the open-time recovery pass",
+		func(int64) float64 { return s.recovery.Duration.Seconds() })
+	r.Gauge("store.recovery_records", "WAL records replayed at open",
+		func(int64) float64 { return float64(s.recovery.Records) })
+	r.Gauge("store.recovery_snapshot_bytes", "snapshot payload bytes restored at open",
+		func(int64) float64 { return float64(s.recovery.SnapshotBytes) })
+}

@@ -59,6 +59,23 @@ func (m *Mesh) SetDown(addr string, down bool) {
 	m.down[addr] = down
 }
 
+// Unbind releases a bound address: its serving goroutine drains and exits,
+// and the address may be bound again (node restart). Safe against
+// concurrent sends — send holds the mesh read lock while enqueueing, so the
+// queue is only closed when no send is in flight.
+func (m *Mesh) Unbind(addr string) {
+	m.mu.Lock()
+	q, ok := m.queues[addr]
+	if ok {
+		delete(m.queues, addr)
+		delete(m.handlers, addr)
+	}
+	m.mu.Unlock()
+	if ok {
+		close(q)
+	}
+}
+
 // Partition cuts (or heals) the directional link a→b.
 func (m *Mesh) Partition(a, b string, cut bool) {
 	m.mu.Lock()
