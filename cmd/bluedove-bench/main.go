@@ -30,7 +30,9 @@ func main() {
 			"run the tracing-overhead comparison (telemetry off / sampled 0 / 0.01 / 1.0) on the real in-process cluster")
 		durab = flag.Bool("durability", false,
 			"run the durability-cost comparison (journal off / fsync never / interval / always) plus the recovery-time curve on the real in-process cluster")
-		out = flag.String("out", "", "with -batching/-chaos/-telemetry/-durability: write the JSON report to this file (e.g. BENCH_durability.json)")
+		overload = flag.Bool("overload", false,
+			"run the overload-control comparison (one matcher throttled, layer off vs busy-NACK re-routing on) on the real in-process cluster")
+		out = flag.String("out", "", "with -batching/-chaos/-telemetry/-durability/-overload: write the JSON report to this file (e.g. BENCH_overload.json)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,10 @@ func main() {
 	}
 	if *durab {
 		runDurability(*out)
+		return
+	}
+	if *overload {
+		runOverload(*chaosSeed, *out)
 		return
 	}
 

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bluedove/internal/experiment"
+)
+
+// overloadReport is the schema of BENCH_overload.json: one throttled-matcher
+// burst run twice — overload layer off (busy NACKs ignored, rejected
+// forwards lost) and on (busy-NACK re-routing + circuit breaking) — compared
+// on delivery rate and publish→deliver latency.
+type overloadReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+
+	Seed       int64 `json:"seed"`
+	Matchers   int   `json:"matchers"`
+	QueueDepth int   `json:"queue_depth"`
+	ThrottleMs int64 `json:"throttle_ms_per_msg"`
+
+	Off overloadVariant `json:"layer_off"`
+	On  overloadVariant `json:"layer_on"`
+}
+
+type overloadVariant struct {
+	Published    int64   `json:"published"`
+	Delivered    int64   `json:"delivered"`
+	DeliveryRate float64 `json:"delivery_rate"`
+	BusyNacks    int64   `json:"busy_nacks"`
+	Rerouted     int64   `json:"rerouted"`
+	BreakerTrips int64   `json:"breaker_trips"`
+	MatcherDrops int64   `json:"stage_drops"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MaxMs        float64 `json:"max_ms"`
+}
+
+func toVariant(v experiment.OverloadVariant) overloadVariant {
+	return overloadVariant{
+		Published:    v.Published,
+		Delivered:    v.Delivered,
+		DeliveryRate: v.DeliveryRate,
+		BusyNacks:    v.BusyNacks,
+		Rerouted:     v.Rerouted,
+		BreakerTrips: v.BreakerTrips,
+		MatcherDrops: v.MatcherDrops,
+		P50Ms:        v.P50Ms,
+		P99Ms:        v.P99Ms,
+		MaxMs:        v.MaxMs,
+	}
+}
+
+// runOverload runs the overload-control comparison and, when out is
+// non-empty, writes the JSON report there.
+func runOverload(seed int64, out string) {
+	start := time.Now()
+	r, err := experiment.Overload(experiment.OverloadOpts{Seed: seed})
+	if err != nil {
+		log.Fatalf("overload experiment: %v", err)
+	}
+	fmt.Println(r.Table())
+	fmt.Fprintf(os.Stderr, "[overload run: %v]\n", time.Since(start).Round(time.Millisecond))
+
+	rep := &overloadReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   goVersion(),
+		Seed:        r.Seed,
+		Matchers:    r.Matchers,
+		QueueDepth:  r.QueueDepth,
+		ThrottleMs:  r.ThrottleMs,
+		Off:         toVariant(r.Off),
+		On:          toVariant(r.On),
+	}
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
+}

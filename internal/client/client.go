@@ -8,6 +8,8 @@ package client
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -39,6 +41,23 @@ type Config struct {
 	// origin rather than at dispatcher ingest), records traced deliveries,
 	// and registers the client's counters and end-to-end latency histogram.
 	Telemetry *telemetry.Telemetry
+	// PublishRetries is the number of additional Publish attempts when the
+	// dispatcher is unreachable. Zero selects the default (one retry with
+	// no delay — the historical behavior); negative disables retries.
+	PublishRetries int
+	// PublishBackoff, when positive, spaces publish retries with a
+	// full-jitter exponential backoff: retry n waits a uniformly random
+	// duration in [0, PublishBackoff<<(n-1)]. Zero retries immediately.
+	PublishBackoff time.Duration
+	// PublishTTL stamps each publication with this time-to-live, so an
+	// overloaded matcher sheds it at dequeue once stale instead of
+	// matching it (0 = no TTL).
+	PublishTTL time.Duration
+	// AckPublish makes Publish a request/response round-trip: the
+	// dispatcher explicitly admits (PublishAck) or rejects the
+	// publication, and an overloaded dispatcher's rejection surfaces as
+	// ErrOverloaded. False (the default) keeps fire-and-forget publishes.
+	AckPublish bool
 	// DedupWindow, when positive, suppresses duplicate pushed deliveries:
 	// the client remembers the last DedupWindow distinct publication IDs
 	// and drops redeliveries of them before the application callback.
@@ -214,12 +233,21 @@ func (c *Client) Unsubscribe(id core.SubscriptionID) error {
 		&wire.Envelope{Kind: wire.KindUnsubscribe, Body: body})
 }
 
+// ErrOverloaded is returned by Publish (AckPublish mode) when the
+// dispatcher rejects the publication at admission control; the publication
+// was not accepted and the caller should back off before retrying.
+var ErrOverloaded = errors.New("client: dispatcher overloaded")
+
 // Publish sends one publication (a point in the attribute space plus an
 // opaque payload). Payloads too large for a wire frame are rejected here so
-// applications get an error rather than the codec's panic. A transient
-// unreachable dispatcher (stale pooled connection, brief blip) is retried
-// once; when the dispatcher is really gone the caller gets a clean error
-// naming it rather than an indefinite hang.
+// applications get an error rather than the codec's panic. An unreachable
+// dispatcher (stale pooled connection, brief blip) is retried
+// Config.PublishRetries times (default once, immediately — spaced by
+// full-jitter exponential backoff when PublishBackoff is set); when the
+// dispatcher stays gone the caller gets a clean error naming it rather
+// than an indefinite hang. With AckPublish set, Publish round-trips and an
+// overloaded dispatcher's rejection surfaces as ErrOverloaded (never
+// retried here: the caller owns that backoff decision).
 func (c *Client) Publish(attrs []float64, payload []byte) error {
 	// Slack covers the frame header, IDs and the trace context a sampled
 	// message carries.
@@ -227,21 +255,63 @@ func (c *Client) Publish(attrs []float64, payload []byte) error {
 		return fmt.Errorf("%w: %d-byte payload", wire.ErrBodyTooLarge, len(payload))
 	}
 	msg := core.NewMessage(attrs, payload)
+	if c.cfg.PublishTTL > 0 {
+		msg.TTL = int64(c.cfg.PublishTTL)
+	}
 	c.published.Add(1)
 	if tel := c.cfg.Telemetry; tel != nil && tel.Sampler.Sample() {
 		msg.Trace = &core.TraceCtx{}
 		msg.Trace.Stamp(core.HopPublish, c.cfg.Now())
 	}
 	body := (&wire.PublishBody{Msg: msg}).Encode()
-	env := &wire.Envelope{Kind: wire.KindPublish, Body: body}
-	err := c.cfg.Transport.Send(c.cfg.DispatcherAddr, env)
-	if errors.Is(err, transport.ErrUnreachable) {
-		err = c.cfg.Transport.Send(c.cfg.DispatcherAddr, env)
-		if errors.Is(err, transport.ErrUnreachable) {
-			return fmt.Errorf("client: dispatcher %s unreachable: %w", c.cfg.DispatcherAddr, err)
+	retries := c.cfg.PublishRetries
+	switch {
+	case retries == 0:
+		retries = 1
+	case retries < 0:
+		retries = 0
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.publishOnce(body)
+		if err == nil || !errors.Is(err, transport.ErrUnreachable) || attempt >= retries {
+			break
+		}
+		if b := c.cfg.PublishBackoff; b > 0 {
+			// Full jitter: uniform in [0, b<<attempt].
+			time.Sleep(time.Duration(rand.Int63n(int64(b<<attempt) + 1)))
 		}
 	}
+	if errors.Is(err, transport.ErrUnreachable) {
+		return fmt.Errorf("client: dispatcher %s unreachable: %w", c.cfg.DispatcherAddr, err)
+	}
 	return err
+}
+
+// publishOnce performs one publish attempt: fire-and-forget by default, a
+// request/response round-trip in AckPublish mode.
+func (c *Client) publishOnce(body []byte) error {
+	if !c.cfg.AckPublish {
+		return c.cfg.Transport.Send(c.cfg.DispatcherAddr,
+			&wire.Envelope{Kind: wire.KindPublish, Body: body})
+	}
+	resp, err := c.cfg.Transport.Request(c.cfg.DispatcherAddr,
+		&wire.Envelope{Kind: wire.KindPublishReq, Body: body}, c.cfg.RequestTimeout)
+	if err != nil {
+		return err
+	}
+	switch resp.Kind {
+	case wire.KindPublishAck:
+		return nil
+	case wire.KindError:
+		if e, derr := wire.DecodeError(resp.Body); derr == nil {
+			if strings.HasPrefix(e.Text, wire.OverloadedPrefix) {
+				return fmt.Errorf("%w: %s", ErrOverloaded, e.Text)
+			}
+			return fmt.Errorf("client: publish rejected: %s", e.Text)
+		}
+	}
+	return fmt.Errorf("client: unexpected response %v", resp.Kind)
 }
 
 // Poll fetches up to max queued notifications (indirect mode); max <= 0

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"bluedove/internal/chaos"
 	"bluedove/internal/core"
 	"bluedove/internal/transport"
 	"bluedove/internal/wire"
@@ -14,11 +15,12 @@ import (
 
 // fakeDispatcher scripts dispatcher responses on a mesh.
 type fakeDispatcher struct {
-	mu     sync.Mutex
-	subs   []*wire.SubscribeBody
-	pubs   []*wire.PublishBody
-	unsubs []*wire.UnsubscribeBody
-	queued []wire.DeliverBody
+	mu         sync.Mutex
+	subs       []*wire.SubscribeBody
+	pubs       []*wire.PublishBody
+	unsubs     []*wire.UnsubscribeBody
+	queued     []wire.DeliverBody
+	overloaded bool // reject acked publishes at admission control
 }
 
 func startFake(t *testing.T, mesh *transport.Mesh) *fakeDispatcher {
@@ -47,6 +49,18 @@ func startFake(t *testing.T, mesh *transport.Mesh) *fakeDispatcher {
 				f.pubs = append(f.pubs, b)
 			}
 			return nil
+		case wire.KindPublishReq:
+			b, err := wire.DecodePublish(env.Body)
+			if err != nil {
+				return nil
+			}
+			if f.overloaded {
+				return &wire.Envelope{Kind: wire.KindError,
+					Body: (&wire.ErrorBody{Text: wire.OverloadedPrefix + "dispatcher 1 has 64 unacked publications"}).Encode()}
+			}
+			f.pubs = append(f.pubs, b)
+			return &wire.Envelope{Kind: wire.KindPublishAck,
+				Body: (&wire.PublishAckBody{ID: b.Msg.ID}).Encode()}
 		case wire.KindUnsubscribe:
 			b, err := wire.DecodeUnsubscribe(env.Body)
 			if err == nil {
@@ -317,6 +331,122 @@ func TestPublishRetriesOnceOnUnreachable(t *testing.T) {
 	fl.mu.Unlock()
 	if err := cl.Publish([]float64{5}, nil); !errors.Is(err, transport.ErrUnreachable) {
 		t.Fatalf("publish with persistent failure: err = %v, want ErrUnreachable", err)
+	}
+}
+
+// countingTransport counts Send attempts passing through to the inner
+// transport (which may itself be a chaos-wrapped endpoint).
+type countingTransport struct {
+	transport.Transport
+	mu    sync.Mutex
+	sends int
+}
+
+func (c *countingTransport) Send(addr string, env *wire.Envelope) error {
+	c.mu.Lock()
+	c.sends++
+	c.mu.Unlock()
+	return c.Transport.Send(addr, env)
+}
+
+func (c *countingTransport) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sends
+}
+
+// TestPublishRetryBudgetConfigurable drives Publish through the chaos
+// transport with the client→dispatcher link cut and pins the attempt count
+// for a raised budget, a disabled one, and recovery after the link heals.
+func TestPublishRetryBudgetConfigurable(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	fake := startFake(t, mesh)
+	ctrl := chaos.NewController(1)
+	defer ctrl.Close()
+	ct := &countingTransport{Transport: chaos.Wrap(ctrl, mesh.Endpoint("c"), "c")}
+	ctrl.Partition("c", "disp", true)
+
+	cl, err := New(Config{
+		Transport:      ct,
+		DispatcherAddr: "disp",
+		Subscriber:     7,
+		PublishRetries: 3,
+		PublishBackoff: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Publish([]float64{1}, nil); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("publish across cut link: err = %v, want ErrUnreachable", err)
+	}
+	if got := ct.count(); got != 4 {
+		t.Fatalf("attempts = %d, want 4 (original + 3 retries)", got)
+	}
+
+	// A negative budget disables retries entirely.
+	noRetry, err := New(Config{
+		Transport:      ct,
+		DispatcherAddr: "disp",
+		Subscriber:     8,
+		PublishRetries: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ct.count()
+	if err := noRetry.Publish([]float64{1}, nil); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("no-retry publish: err = %v, want ErrUnreachable", err)
+	}
+	if got := ct.count() - before; got != 1 {
+		t.Fatalf("attempts = %d, want 1 (retries disabled)", got)
+	}
+
+	// Once the link heals, the same client publishes cleanly.
+	ctrl.Heal()
+	if err := cl.Publish([]float64{2}, []byte("after heal")); err != nil {
+		t.Fatalf("publish after heal: %v", err)
+	}
+	waitForCond(t, func() bool {
+		fake.mu.Lock()
+		defer fake.mu.Unlock()
+		return len(fake.pubs) == 1
+	})
+}
+
+// TestPublishAckOverloaded: in AckPublish mode an admission-control
+// rejection surfaces as ErrOverloaded and an admitted publish round-trips.
+func TestPublishAckOverloaded(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+	fake := startFake(t, mesh)
+	cl, err := New(Config{
+		Transport:      mesh.Endpoint("c"),
+		DispatcherAddr: "disp",
+		Subscriber:     7,
+		AckPublish:     true,
+		PublishTTL:     250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Publish([]float64{1}, []byte("admitted")); err != nil {
+		t.Fatalf("acked publish: %v", err)
+	}
+	fake.mu.Lock()
+	if len(fake.pubs) != 1 {
+		fake.mu.Unlock()
+		t.Fatal("acked publish did not reach the dispatcher")
+	}
+	ttl := fake.pubs[0].Msg.TTL
+	fake.overloaded = true
+	fake.mu.Unlock()
+	if want := int64(250 * time.Millisecond); ttl != want {
+		t.Fatalf("published TTL = %d, want %d", ttl, want)
+	}
+	err = cl.Publish([]float64{1}, []byte("rejected"))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overloaded publish: err = %v, want ErrOverloaded", err)
 	}
 }
 

@@ -79,6 +79,21 @@ type Options struct {
 	// ForwardLinger > 0).
 	ForwardBatchCount int
 	ForwardBatchBytes int
+	// MatcherQueueDepth bounds each matcher's per-dimension stage queue
+	// (matcher.Config.QueueDepth). Forwards arriving at a full stage are
+	// rejected with a busy NACK; 0 keeps the matcher's default depth.
+	MatcherQueueDepth int
+	// RetryBudget, RerouteBackoff, BreakerThreshold, BreakerCooldown,
+	// AdmissionLimit and MessageTTL pass through to every dispatcher's
+	// overload-control layer (see dispatcher.Config); zeros keep the
+	// dispatcher defaults (re-routing and circuit breaking ON; negative
+	// RetryBudget/BreakerThreshold disable them).
+	RetryBudget      int
+	RerouteBackoff   time.Duration
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	AdmissionLimit   int
+	MessageTTL       time.Duration
 	// TCPFlushInterval, when positive on a TCP cluster, enables transport
 	// write coalescing on every node (see transport.TCP.FlushInterval).
 	TCPFlushInterval time.Duration
@@ -312,6 +327,7 @@ func (c *Cluster) startMatcher(id core.NodeID) (*matcher.Matcher, error) {
 		Seeds:          c.seeds,
 		IndexKind:      c.opts.IndexKind,
 		WorkersPerDim:  c.opts.WorkersPerDim,
+		QueueDepth:     c.opts.MatcherQueueDepth,
 		ReportInterval: c.opts.ReportInterval,
 		GossipInterval: c.opts.GossipInterval,
 		FailAfter:      c.opts.FailAfter,
@@ -351,6 +367,12 @@ func (c *Cluster) startDispatcher(id core.NodeID) (*dispatcher.Dispatcher, error
 		RecoveryDelay:     c.opts.RecoveryDelay,
 		Persistent:        c.opts.Persistent,
 		RetryInterval:     c.opts.RetryInterval,
+		RetryBudget:       c.opts.RetryBudget,
+		RerouteBackoff:    c.opts.RerouteBackoff,
+		BreakerThreshold:  c.opts.BreakerThreshold,
+		BreakerCooldown:   c.opts.BreakerCooldown,
+		AdmissionLimit:    c.opts.AdmissionLimit,
+		MessageTTL:        c.opts.MessageTTL,
 		ForwardLinger:     c.opts.ForwardLinger,
 		ForwardBatchCount: c.opts.ForwardBatchCount,
 		ForwardBatchBytes: c.opts.ForwardBatchBytes,
@@ -536,6 +558,19 @@ func (c *Cluster) RestartDispatcher(idx int) error {
 	return nil
 }
 
+// ThrottleMatcher slows one matcher's service rate by adding d of work per
+// matched publication (0 restores full speed) — a CPU-starved or GC-bound
+// "slow node" whose stages back up and busy-NACK, unlike a chaos link delay
+// which only stretches latency. Returns false for unknown matchers.
+func (c *Cluster) ThrottleMatcher(id core.NodeID, d time.Duration) bool {
+	m, ok := c.matchers[id]
+	if !ok {
+		return false
+	}
+	m.SetServiceThrottle(d)
+	return true
+}
+
 // MatcherAddr returns the transport address of a started matcher (crashed
 // ones included), for addressing chaos scenarios at cluster nodes.
 func (c *Cluster) MatcherAddr(id core.NodeID) (string, bool) {
@@ -610,6 +645,24 @@ func (c *Cluster) NewClient(dispIdx int, onDeliver func(*core.Message, []core.Su
 		}
 	}
 	return client.New(cfg)
+}
+
+// NewAckClient connects a publish-only client to dispatcher dispIdx whose
+// publishes round-trip (client.Config.AckPublish): the dispatcher explicitly
+// admits or rejects each publication, and admission-control rejections
+// surface as client.ErrOverloaded.
+func (c *Cluster) NewAckClient(dispIdx int) (*client.Client, error) {
+	if dispIdx < 0 || dispIdx >= len(c.dispatchers) {
+		return nil, fmt.Errorf("cluster: dispatcher index %d out of range", dispIdx)
+	}
+	sub := c.NewSubscriberID()
+	tr, _ := c.newTransport(fmt.Sprintf("client-%d", sub))
+	return client.New(client.Config{
+		Transport:      tr,
+		DispatcherAddr: c.dispatchers[dispIdx].Addr(),
+		Subscriber:     sub,
+		AckPublish:     true,
+	})
 }
 
 // Telemetry returns a node's telemetry bundle (nil when the subsystem is

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"bluedove/internal/chaos"
+	"bluedove/internal/client"
+	"bluedove/internal/core"
+	"bluedove/internal/forward"
+)
+
+// chaosSeed resolves the run's chaos seed: randomized and printed for
+// reproduction, overridden by CHAOS_SEED to replay a failure.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := time.Now().UnixNano()
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("chaos seed %d (re-run with CHAOS_SEED=%d)", seed, seed)
+	return seed
+}
+
+// TestOverloadSlowMatcherZeroAckedLoss is the headline overload test: one
+// matcher is throttled to a small fraction of its service rate in the middle
+// of a publication burst, with per-dimension stage queues bounded tightly.
+// The throttled matcher's stages fill and busy-NACK further forwards, and
+// the dispatchers must absorb the hot spot by re-routing the NACKed
+// publications to sibling candidates — every acked publication still reaches
+// the subscriber, with forward.rerouted > 0 proving the re-route path (not
+// just the persistence retransmit timer) carried them.
+func TestOverloadSlowMatcherZeroAckedLoss(t *testing.T) {
+	seed := chaosSeed(t)
+	ctrl := chaos.NewController(seed)
+	defer ctrl.Close()
+	opts := fastOptions(4)
+	opts.Chaos = ctrl
+	opts.Persistent = true
+	opts.RetryInterval = 100 * time.Millisecond
+	opts.MatcherQueueDepth = 4
+	opts.RerouteBackoff = time.Millisecond
+	// The load-blind Random policy keeps forwarding to the throttled hot
+	// spot no matter what the load reports say — the overload layer (busy
+	// NACK + re-route + breaker) alone must absorb it. The adaptive policy
+	// would mask the mechanism under test by steering away early.
+	opts.Policy = forward.NewRandom(seed)
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	aud := chaos.NewAuditor()
+	aud.Subscribed(1, fullSpace())
+	subCl, err := c.NewClient(0, func(m *core.Message, _ []core.SubscriptionID) {
+		aud.Delivered(1, m)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := subCl.Subscribe(fullSpace()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let the stores land everywhere
+
+	pubCl, err := c.NewClient(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Throttle one matcher to well under 10% of its service rate mid-burst:
+	// 50ms of extra work per publication dwarfs the sub-millisecond normal
+	// matching cost, so its 4-deep stages back up within a handful of
+	// forwards while the burst is still arriving.
+	victim := c.MatcherIDs()[0]
+	throttledAt := time.Time{}
+	run := chaos.NewScenario().
+		At(10 * time.Millisecond).Do(func() {
+		throttledAt = time.Now()
+		if !c.ThrottleMatcher(victim, 50*time.Millisecond) {
+			t.Errorf("throttle matcher %v: unknown id", victim)
+		}
+	}).Run(ctrl)
+	defer run.Stop()
+
+	const burst = 300
+	for i := 0; i < burst; i++ {
+		token := fmt.Sprintf("slow-%03d", i)
+		attrs := []float64{float64((i * 37) % 1000), float64((i * 59) % 1000),
+			float64((i * 83) % 1000), float64((i * 101) % 1000)}
+		if err := pubCl.Publish(attrs, []byte(token)); err != nil {
+			t.Fatalf("publish %d rejected: %v", i, err)
+		}
+		aud.Published(token, attrs) // acked: the invariant now covers it
+		time.Sleep(100 * time.Microsecond)
+	}
+	run.Wait()
+	if throttledAt.IsZero() {
+		t.Fatal("scenario never throttled the victim")
+	}
+
+	if err := aud.WaitComplete(30 * time.Second); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if got, want := aud.Expected(), burst; got != want {
+		t.Fatalf("auditor expected %d deliveries, want %d", got, want)
+	}
+
+	var busy, rerouted int64
+	for _, d := range c.Dispatchers() {
+		busy += d.BusyReceived.Value()
+		rerouted += d.Rerouted.Value()
+	}
+	nacks := c.Matcher(victim).BusyNacks.Value()
+	if busy == 0 || nacks == 0 {
+		t.Fatalf("seed %d: throttled matcher never busy-NACKed (matcher nacks=%d, dispatcher busy=%d) — test lost its teeth",
+			seed, nacks, busy)
+	}
+	if rerouted == 0 {
+		t.Fatalf("seed %d: busy NACKs received (%d) but nothing re-routed", seed, busy)
+	}
+	gap, resumedAt := aud.FirstDeliveryGap(throttledAt)
+	t.Logf("seed %d: %d/%d acked publications delivered through overload "+
+		"(%d busy NACKs, %d rerouted, %d duplicates); longest stall after throttle %v (resumed %v after)",
+		seed, burst, burst, busy, rerouted, aud.Duplicates(), gap, resumedAt.Sub(throttledAt))
+}
+
+// TestOverloadAdmissionControl: a dispatcher over its unacked bound must
+// reject further acked publishes with a typed overload error instead of
+// accepting work it cannot track, and recover once the backlog drains.
+func TestOverloadAdmissionControl(t *testing.T) {
+	opts := fastOptions(2)
+	opts.Persistent = true
+	opts.RetryInterval = 50 * time.Millisecond
+	opts.AdmissionLimit = 8
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Black-hole every matcher so no forward is ever acked: the dispatcher's
+	// inflight table can only grow.
+	for _, id := range c.MatcherIDs() {
+		addr, _ := c.MatcherAddr(id)
+		for _, daddr := range c.DispatcherAddrs() {
+			if err := c.PartitionLink(daddr, addr, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pubCl, err := c.NewAckClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rejected error
+	for i := 0; i < opts.AdmissionLimit+4; i++ {
+		if err := pubCl.Publish([]float64{500, 500, 500, 500}, nil); err != nil {
+			rejected = err
+			break
+		}
+	}
+	if rejected == nil {
+		t.Fatal("dispatcher over its admission limit rejected nothing")
+	}
+	if !errors.Is(rejected, client.ErrOverloaded) {
+		t.Fatalf("rejection error = %v, want client.ErrOverloaded", rejected)
+	}
+	d := c.Dispatchers()[0]
+	if got := d.Overloaded.Value(); got == 0 {
+		t.Fatal("dispatcher.overloaded counter did not move")
+	}
+	if got := d.InflightLen(); got > opts.AdmissionLimit {
+		t.Fatalf("inflight table grew to %d, admission limit %d", got, opts.AdmissionLimit)
+	}
+}

@@ -26,6 +26,10 @@ type Message struct {
 	// PublishedAt is the cluster-clock timestamp (nanoseconds) when the
 	// message entered a dispatcher. Used for response-time accounting.
 	PublishedAt int64
+	// TTL is the optional time-to-live in nanoseconds from PublishedAt.
+	// Zero means the publication never expires. Expired publications are
+	// shed at matcher dequeue instead of being matched.
+	TTL int64
 	// Trace is the hop-level trace context for sampled publications; nil
 	// (the overwhelmingly common case) means the publication is untraced.
 	Trace *TraceCtx

@@ -67,46 +67,54 @@ func (b *forwardBatcher) add(node core.NodeID, addr string, dim int, msg *core.M
 	}
 	b.mu.Unlock()
 	if flush != nil {
-		b.send(addr, flush)
+		b.send(node, addr, flush)
 	}
 }
 
 // flushAll ships every open batch (linger expiry and shutdown).
 func (b *forwardBatcher) flushAll() {
 	type out struct {
+		node    core.NodeID
 		addr    string
 		entries []wire.ForwardEntry
 	}
 	b.mu.Lock()
 	var outs []out
-	for _, db := range b.pending {
+	for node, db := range b.pending {
 		if len(db.entries) == 0 {
 			continue
 		}
-		outs = append(outs, out{addr: db.addr, entries: db.entries})
+		outs = append(outs, out{node: node, addr: db.addr, entries: db.entries})
 		db.entries = nil
 		db.bytes = 0
 	}
 	b.mu.Unlock()
 	for _, o := range outs {
-		b.send(o.addr, o.entries)
+		b.send(o.node, o.addr, o.entries)
 	}
 }
 
 // send encodes one ForwardBatch frame and ships it, recycling the encode
-// buffer on copying transports and the entry slice always.
-func (b *forwardBatcher) send(addr string, entries []wire.ForwardEntry) {
+// buffer on copying transports and the entry slice always. On the batched
+// path transport errors surface here, after forwardOnce reported success;
+// they feed the destination's circuit breaker (persistence's retransmit
+// loop recovers the messages themselves).
+func (b *forwardBatcher) send(node core.NodeID, addr string, entries []wire.ForwardEntry) {
 	body := wire.ForwardBatchBody{Entries: entries}
 	env := &wire.Envelope{Kind: wire.KindForwardBatch, From: b.d.cfg.ID}
+	var err error
 	if b.sendCopies {
 		buf := wire.GetBuf()
 		buf.B = body.AppendTo(buf.B)
 		env.Body = buf.B
-		_ = b.d.cfg.Transport.Send(addr, env)
+		err = b.d.cfg.Transport.Send(addr, env)
 		wire.PutBuf(buf)
 	} else {
 		env.Body = body.Encode()
-		_ = b.d.cfg.Transport.Send(addr, env)
+		err = b.d.cfg.Transport.Send(addr, env)
+	}
+	if err != nil {
+		b.d.breaker.Failure(node)
 	}
 	b.d.ForwardBatches.Add(1)
 	b.mu.Lock()

@@ -87,6 +87,38 @@ type Config struct {
 	// ForwardBatchBytes flushes a destination's batch at this encoded size
 	// (default 256 KiB; only meaningful with ForwardLinger > 0).
 	ForwardBatchBytes int
+	// RetryBudget bounds busy/unreachable re-routes per publication: on a
+	// busy NACK the dispatcher immediately retries the message at the
+	// next-best candidate from the policy ranking (one extra hop, no timer
+	// wait), at most this many times. The first re-route is immediate;
+	// repeat offenders wait an exponential backoff with full jitter (see
+	// RerouteBackoff). Zero selects the default (2); negative disables
+	// busy re-routing entirely (NACKs are still counted).
+	RetryBudget int
+	// RerouteBackoff is the base backoff before the second and later
+	// re-routes of one publication: re-route n>1 sleeps a uniformly random
+	// duration in [0, RerouteBackoff<<(n-2)) (default 2ms).
+	RerouteBackoff time.Duration
+	// BreakerThreshold trips a destination's circuit breaker open after
+	// this many consecutive busy/unreachable events; while open the
+	// forwarding policies skip the destination during rank selection, and
+	// after BreakerCooldown it is probed half-open. Zero selects the
+	// default (5); negative disables circuit breaking.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped destination is skipped before
+	// the half-open probe (default 1s).
+	BreakerCooldown time.Duration
+	// AdmissionLimit bounds the dispatcher's tracked unacked publications
+	// (inflight + pending re-route state): beyond it, new publications are
+	// rejected at admission — publish-with-ack clients get a typed
+	// overloaded error, fire-and-forget publishes are shed and counted —
+	// instead of growing the tables without bound. Zero disables admission
+	// control.
+	AdmissionLimit int
+	// MessageTTL stamps publications that carry no TTL of their own with
+	// this time-to-live, so stale messages are shed at matcher dequeue
+	// instead of being matched (0 = no TTL).
+	MessageTTL time.Duration
 	// Generation is the gossip incarnation (default: boot time).
 	Generation uint64
 	// Now supplies the clock (default time.Now).
@@ -149,6 +181,18 @@ func (c *Config) defaults() error {
 	if c.ForwardBatchBytes <= 0 {
 		c.ForwardBatchBytes = 256 << 10
 	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 2
+	}
+	if c.RerouteBackoff <= 0 {
+		c.RerouteBackoff = 2 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
 	if c.Seed == 0 {
 		c.Seed = int64(c.ID) * 40503
 	}
@@ -184,6 +228,18 @@ type Dispatcher struct {
 	// inflight retains unacked forwards for retransmission (persistence).
 	inflight map[core.MessageID]*inflightMsg
 
+	// routes retains recent non-persistent forwards so a busy NACK can be
+	// re-routed to an alternate candidate (Persistent mode keeps the same
+	// state in inflight instead). Entries die on ack or expiry.
+	routes map[core.MessageID]*routeState
+
+	// breaker is the per-destination circuit breaker (nil when disabled; a
+	// nil breaker is always closed).
+	breaker *forward.Breaker
+
+	// stopping guards wg.Add from handler goroutines racing Stop's Wait.
+	stopping bool
+
 	// batcher coalesces forwards per destination (nil when ForwardLinger
 	// is zero — the unbatched default).
 	batcher *forwardBatcher
@@ -211,6 +267,13 @@ type Dispatcher struct {
 	// ForwardBatches counts ForwardBatch frames sent (batching enabled);
 	// Forwarded / ForwardBatches is the achieved amortization factor.
 	ForwardBatches metrics.Counter
+	// BusyReceived counts busy NACKs received from matchers.
+	BusyReceived metrics.Counter
+	// Rerouted counts publications re-forwarded to an alternate candidate
+	// after a busy NACK.
+	Rerouted metrics.Counter
+	// Overloaded counts publications rejected at admission control.
+	Overloaded metrics.Counter
 
 	// fwdLatency observes ingest→ack per traced publication (ns).
 	fwdLatency *metrics.Histogram
@@ -224,6 +287,17 @@ type inflightMsg struct {
 	tried    map[core.NodeID]bool
 	deadline int64 // next retransmit time (ns)
 	attempts int
+	reroutes int // busy re-routes consumed (bounded by RetryBudget)
+}
+
+// routeState is one recent non-persistent forward retained for busy
+// re-routing: the message, the candidates already tried, the re-routes
+// consumed, and when the entry may be swept.
+type routeState struct {
+	msg      *core.Message
+	tried    map[core.NodeID]bool
+	reroutes int
+	expires  int64
 }
 
 // New builds a dispatcher (not yet started).
@@ -231,19 +305,24 @@ func New(cfg Config) (*Dispatcher, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	return &Dispatcher{
+	d := &Dispatcher{
 		cfg:        cfg,
 		loads:      make(map[core.NodeID][]forward.DimLoad),
 		pending:    make(map[core.NodeID][]int),
 		registry:   make(map[core.SubscriptionID]regEntry),
 		inflight:   make(map[core.MessageID]*inflightMsg),
+		routes:     make(map[core.MessageID]*routeState),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		queues:     delivery.NewQueueStore(cfg.QueueCap),
 		stop:       make(chan struct{}),
 		ready:      make(chan struct{}),
 		fwdLatency: metrics.NewHistogram(),
 		e2eLatency: metrics.NewHistogram(),
-	}, nil
+	}
+	if cfg.BreakerThreshold > 0 {
+		d.breaker = forward.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now)
+	}
+	return d, nil
 }
 
 // ID returns the dispatcher's node ID.
@@ -306,6 +385,10 @@ func (d *Dispatcher) Start() error {
 		d.wg.Add(1)
 		go d.lingerLoop(d.cfg.ForwardLinger)
 	}
+	if !d.cfg.Persistent && d.cfg.RetryBudget > 0 {
+		d.wg.Add(1)
+		go d.sweepRoutesLoop()
+	}
 	close(d.ready)
 	return nil
 }
@@ -318,6 +401,9 @@ func (d *Dispatcher) Stop() {
 	default:
 		close(d.stop)
 	}
+	d.mu.Lock()
+	d.stopping = true
+	d.mu.Unlock()
 	d.gsp.Stop()
 	d.wg.Wait()
 	d.closeJournal()
@@ -366,6 +452,20 @@ func (d *Dispatcher) Load(node core.NodeID, dim int) (forward.DimLoad, bool) {
 // Alive implements forward.LoadView via gossip liveness.
 func (d *Dispatcher) Alive(node core.NodeID) bool { return d.gsp.Alive(node) }
 
+// Routable implements forward.RouteFilter: a destination whose circuit
+// breaker is open is skipped by every policy during rank selection. With
+// circuit breaking disabled this always reports true.
+func (d *Dispatcher) Routable(node core.NodeID) bool { return d.breaker.Routable(node) }
+
+// plainView is d's LoadView without the RouteFilter: the ranking fallback
+// when every candidate's breaker is open (sending somewhere beats dropping).
+type plainView struct{ d *Dispatcher }
+
+func (v plainView) Load(node core.NodeID, dim int) (forward.DimLoad, bool) {
+	return v.d.Load(node, dim)
+}
+func (v plainView) Alive(node core.NodeID) bool { return v.d.Alive(node) }
+
 func (d *Dispatcher) dispatcherCountLocked() int {
 	n := 0
 	for _, p := range d.gsp.Peers() {
@@ -394,7 +494,18 @@ func (d *Dispatcher) handle(env *wire.Envelope) *wire.Envelope {
 		return nil
 	case wire.KindPublish:
 		if b, err := wire.DecodePublish(env.Body); err == nil {
-			d.handlePublish(b.Msg)
+			d.handlePublish(b.Msg, false)
+		}
+		return nil
+	case wire.KindPublishReq:
+		b, err := wire.DecodePublish(env.Body)
+		if err != nil {
+			return errEnv(d.cfg.ID, err)
+		}
+		return d.handlePublish(b.Msg, true)
+	case wire.KindBusy:
+		if b, err := wire.DecodeBusy(env.Body); err == nil {
+			d.handleBusy(env.From, b.ID, b.Dim, b.QueueLen)
 		}
 		return nil
 	case wire.KindLoadReport:
@@ -427,9 +538,11 @@ func (d *Dispatcher) handle(env *wire.Envelope) *wire.Envelope {
 			Body: (&wire.PollResponseBody{Deliveries: ds}).Encode()}
 	case wire.KindForwardAck:
 		if b, err := wire.DecodeForwardAck(env.Body); err == nil {
+			d.breaker.Success(env.From)
 			d.mu.Lock()
 			_, was := d.inflight[b.ID]
 			delete(d.inflight, b.ID)
+			delete(d.routes, b.ID)
 			d.mu.Unlock()
 			if was {
 				d.journalID(recAck, uint64(b.ID))
@@ -441,9 +554,13 @@ func (d *Dispatcher) handle(env *wire.Envelope) *wire.Envelope {
 		return nil
 	case wire.KindForwardAckBatch:
 		if b, err := wire.DecodeForwardAckBatch(env.Body); err == nil {
+			if len(b.IDs) > 0 {
+				d.breaker.Success(env.From)
+			}
 			var acked []core.MessageID
 			d.mu.Lock()
 			for _, id := range b.IDs {
+				delete(d.routes, id)
 				if _, was := d.inflight[id]; was {
 					delete(d.inflight, id)
 					acked = append(acked, id)
@@ -457,6 +574,10 @@ func (d *Dispatcher) handle(env *wire.Envelope) *wire.Envelope {
 				for i := range b.Traces {
 					d.completeTrace(b.Traces[i].Msg, &b.Traces[i].Ctx)
 				}
+			}
+			// Per-item busy accounting: re-route exactly the rejected items.
+			for i := range b.Busy {
+				d.handleBusy(env.From, b.Busy[i].ID, b.Busy[i].Dim, b.Busy[i].QueueLen)
 			}
 		}
 		return nil
@@ -547,10 +668,33 @@ func (d *Dispatcher) handleUnsubscribe(id core.SubscriptionID) {
 }
 
 // handlePublish stamps the message and forwards it one hop to the best
-// candidate matcher (paper Section III-B).
-func (d *Dispatcher) handlePublish(msg *core.Message) {
+// candidate matcher (paper Section III-B). wantAck selects the
+// request/response publish path (KindPublishReq): the returned envelope is
+// a PublishAck on admission, or an Error whose text starts with
+// wire.OverloadedPrefix when admission control rejects the publication;
+// fire-and-forget publishes (wantAck false) always return nil.
+func (d *Dispatcher) handlePublish(msg *core.Message, wantAck bool) *wire.Envelope {
+	// Edge admission control: reject before accepting any state when the
+	// unacked-publication tables are at their bound, instead of growing
+	// them without limit under sustained overload.
+	if lim := d.cfg.AdmissionLimit; lim > 0 {
+		d.mu.Lock()
+		over := len(d.inflight)+len(d.routes) >= lim
+		d.mu.Unlock()
+		if over {
+			d.Overloaded.Add(1)
+			if wantAck {
+				return errEnv(d.cfg.ID, fmt.Errorf("%sdispatcher %v has %d unacked publications",
+					wire.OverloadedPrefix, d.cfg.ID, lim))
+			}
+			return nil
+		}
+	}
 	now := d.cfg.Now()
 	msg.PublishedAt = now
+	if msg.TTL == 0 && d.cfg.MessageTTL > 0 {
+		msg.TTL = int64(d.cfg.MessageTTL)
+	}
 	d.Published.Add(1)
 	d.mu.Lock()
 	if msg.ID == 0 {
@@ -577,13 +721,18 @@ func (d *Dispatcher) handlePublish(msg *core.Message) {
 	}
 	if t == nil {
 		d.DroppedNoCandidate.Add(1)
-		return
+		if wantAck {
+			return errEnv(d.cfg.ID, errors.New("dispatcher: cluster not bootstrapped"))
+		}
+		return nil
 	}
 	if sent, to := d.forwardOnce(t, msg, nil); sent {
 		if d.cfg.Persistent {
 			d.track(msg, to)
+		} else if d.cfg.RetryBudget > 0 {
+			d.trackRoute(msg, to)
 		}
-		return
+		return d.publishAck(msg, wantAck)
 	}
 	if d.cfg.Persistent {
 		// No candidate reachable right now — e.g. every owner of this point
@@ -591,9 +740,22 @@ func (d *Dispatcher) handlePublish(msg *core.Message) {
 		// recovery reassigns the dead matcher's segments and the retransmit
 		// loop re-forwards to the new owners.
 		d.track(msg, 0)
-		return
+		return d.publishAck(msg, wantAck)
 	}
 	d.DroppedNoCandidate.Add(1)
+	if wantAck {
+		return errEnv(d.cfg.ID, errors.New("dispatcher: no alive candidate matcher"))
+	}
+	return nil
+}
+
+// publishAck builds the PublishAck response for request/response publishes.
+func (d *Dispatcher) publishAck(msg *core.Message, wantAck bool) *wire.Envelope {
+	if !wantAck {
+		return nil
+	}
+	return &wire.Envelope{Kind: wire.KindPublishAck, From: d.cfg.ID,
+		Body: (&wire.PublishAckBody{ID: msg.ID}).Encode()}
 }
 
 // forwardOnce sends msg to its best candidate not in skip, reporting
@@ -603,6 +765,11 @@ func (d *Dispatcher) forwardOnce(t *partition.Table, msg *core.Message,
 	now := d.cfg.Now()
 	cands := d.cfg.Strategy.Candidates(t, msg)
 	ranked := d.cfg.Policy.Rank(now, cands, d)
+	if len(ranked) == 0 && d.breaker != nil {
+		// Every candidate's breaker is open: rank again without the filter —
+		// forwarding to an overloaded matcher still beats dropping.
+		ranked = d.cfg.Policy.Rank(now, cands, plainView{d})
+	}
 	for _, c := range ranked {
 		if skip[c.Node] {
 			continue
@@ -625,6 +792,9 @@ func (d *Dispatcher) forwardOnce(t *partition.Table, msg *core.Message,
 		} else {
 			body := (&wire.ForwardBody{Dim: c.Dim, Msg: msg}).Encode()
 			if d.cfg.Transport.Send(addr, &wire.Envelope{Kind: wire.KindForward, From: d.cfg.ID, Body: body}) != nil {
+				// Unreachable: feed the breaker and fall through to the
+				// next-best candidate immediately.
+				d.breaker.Failure(c.Node)
 				continue
 			}
 		}
@@ -701,9 +871,13 @@ const maxRetransmitAttempts = 20
 
 func (d *Dispatcher) retransmitDue() {
 	now := d.cfg.Now()
+	type dueMsg struct {
+		inf   *inflightMsg
+		tried map[core.NodeID]bool
+	}
 	d.mu.Lock()
 	t := d.table
-	var due []*inflightMsg
+	var due []dueMsg
 	for id, inf := range d.inflight {
 		if inf.deadline > now {
 			continue
@@ -714,25 +888,27 @@ func (d *Dispatcher) retransmitDue() {
 			continue
 		}
 		inf.deadline = now + int64(d.cfg.RetryInterval)
-		due = append(due, inf)
+		// Snapshot tried under the lock: the busy-NACK handler mutates the
+		// live map concurrently (also under the lock).
+		due = append(due, dueMsg{inf: inf, tried: copyTried(inf.tried)})
 	}
 	d.mu.Unlock()
 	if t == nil {
 		return
 	}
-	for _, inf := range due {
-		sent, to := d.forwardOnce(t, inf.msg, inf.tried)
+	for _, dm := range due {
+		sent, to := d.forwardOnce(t, dm.inf.msg, dm.tried)
 		if !sent {
 			// Every candidate tried or unreachable: widen the net next
 			// round (membership may have changed).
 			d.mu.Lock()
-			inf.tried = map[core.NodeID]bool{}
+			dm.inf.tried = map[core.NodeID]bool{}
 			d.mu.Unlock()
 			continue
 		}
 		d.Retransmits.Add(1)
 		d.mu.Lock()
-		inf.tried[to] = true
+		dm.inf.tried[to] = true
 		d.mu.Unlock()
 	}
 }
@@ -742,6 +918,15 @@ func (d *Dispatcher) InflightLen() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.inflight)
+}
+
+// BreakerTrips returns the circuit breaker's closed→open transition count
+// (0 when circuit breaking is disabled).
+func (d *Dispatcher) BreakerTrips() int64 {
+	if d.breaker == nil {
+		return 0
+	}
+	return d.breaker.Tripped.Value()
 }
 
 // handleJoin runs the paper's join protocol: split the most loaded

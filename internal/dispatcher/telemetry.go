@@ -17,9 +17,27 @@ func (d *Dispatcher) registerTelemetry() {
 	r.Counter("dispatcher.retransmits", "persistence re-forwards of unacked publications", &d.Retransmits)
 	r.Counter("dispatcher.forward_batches", "ForwardBatch frames sent", &d.ForwardBatches)
 	r.Counter("dispatcher.pull_bytes", "table-pull response traffic", &d.PullBytes)
+	r.Counter("dispatcher.busy_received", "busy NACKs received from matchers", &d.BusyReceived)
+	r.Counter("forward.rerouted", "publications re-routed to an alternate candidate after a busy NACK", &d.Rerouted)
+	r.Counter("dispatcher.overloaded", "publications rejected at admission control", &d.Overloaded)
 	r.Gauge("dispatcher.inflight", "retained unacked publications", func(int64) float64 {
 		return float64(d.InflightLen())
 	})
+	r.Gauge("dispatcher.routes", "tracked non-persistent forwards awaiting ack", func(int64) float64 {
+		return float64(d.RoutesLen())
+	})
+	if d.breaker != nil {
+		br := d.breaker
+		r.Counter("forward.breaker_tripped", "circuit breaker closed-to-open transitions", &br.Tripped)
+		r.Gauge("forward.breaker_open", "destinations with an open circuit breaker", func(int64) float64 {
+			open, _ := br.Counts()
+			return float64(open)
+		})
+		r.Gauge("forward.breaker_half_open", "destinations in the half-open probe window", func(int64) float64 {
+			_, half := br.Counts()
+			return float64(half)
+		})
+	}
 	r.Gauge("dispatcher.registry_size", "subscriptions registered through this node", func(int64) float64 {
 		return float64(d.RegistrySize())
 	})

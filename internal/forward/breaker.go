@@ -1,0 +1,164 @@
+package forward
+
+import (
+	"sync"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/metrics"
+)
+
+// Breaker is a per-destination circuit breaker driven by busy/unreachable
+// streaks. It has the classic three states, with half-open derived from
+// elapsed time rather than stored:
+//
+//	closed    — traffic flows; Threshold consecutive failures trip it open.
+//	open      — Routable is false for Cooldown, so every policy skips the
+//	            node during rank selection (see RouteFilter).
+//	half-open — once Cooldown has elapsed Routable turns true again and the
+//	            node is probed with live traffic; a failure during the probe
+//	            window re-opens it for another Cooldown, a success closes it.
+//
+// A nil *Breaker is valid and means "always closed": every method is a
+// no-op and Routable always returns true, so callers need no nil checks.
+type Breaker struct {
+	// Tripped counts closed→open transitions (exposed via telemetry).
+	Tripped metrics.Counter
+
+	threshold int
+	cooldown  int64 // ns
+	now       func() int64
+
+	mu    sync.Mutex
+	nodes map[core.NodeID]*breakerNode
+}
+
+// breakerNode is one destination's breaker state. open==false is closed;
+// open==true is open until openedAt+cooldown and half-open after.
+type breakerNode struct {
+	open     bool
+	failures int
+	openedAt int64
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive failures
+// and cooling down for cooldown before the half-open probe. now supplies
+// the clock (nil defaults to time.Now), so the same breaker runs under the
+// simulator's virtual clock.
+func NewBreaker(threshold int, cooldown time.Duration, now func() int64) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() }
+	}
+	return &Breaker{
+		threshold: threshold,
+		cooldown:  int64(cooldown),
+		now:       now,
+		nodes:     make(map[core.NodeID]*breakerNode),
+	}
+}
+
+// Failure records a busy NACK or unreachable send for node. Threshold
+// consecutive failures trip the breaker; a failure during the half-open
+// probe window re-opens it immediately.
+func (b *Breaker) Failure(node core.NodeID) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.nodes[node]
+	if n == nil {
+		n = &breakerNode{}
+		b.nodes[node] = n
+	}
+	t := b.now()
+	if n.open {
+		if t >= n.openedAt+b.cooldown {
+			// Half-open probe failed: re-open for another cooldown.
+			n.openedAt = t
+			b.Tripped.Add(1)
+		}
+		return
+	}
+	n.failures++
+	if n.failures >= b.threshold {
+		n.open = true
+		n.openedAt = t
+		b.Tripped.Add(1)
+	}
+}
+
+// Success records a successful interaction (an ack) with node, closing the
+// breaker and resetting the failure streak.
+func (b *Breaker) Success(node core.NodeID) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if n := b.nodes[node]; n != nil {
+		n.open = false
+		n.failures = 0
+	}
+	b.mu.Unlock()
+}
+
+// Routable reports whether node should receive new forwards: true when
+// closed or half-open (probe traffic), false while open and cooling down.
+func (b *Breaker) Routable(node core.NodeID) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.nodes[node]
+	if n == nil || !n.open {
+		return true
+	}
+	return b.now() >= n.openedAt+b.cooldown // half-open: allow the probe
+}
+
+// State returns node's current state name: "closed", "open" or "half-open".
+func (b *Breaker) State(node core.NodeID) string {
+	if b == nil {
+		return "closed"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.nodes[node]
+	switch {
+	case n == nil || !n.open:
+		return "closed"
+	case b.now() >= n.openedAt+b.cooldown:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Counts returns how many destinations are currently open and half-open
+// (for telemetry gauges).
+func (b *Breaker) Counts() (open, halfOpen int) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	for _, n := range b.nodes {
+		if !n.open {
+			continue
+		}
+		if t >= n.openedAt+b.cooldown {
+			halfOpen++
+		} else {
+			open++
+		}
+	}
+	return open, halfOpen
+}

@@ -87,19 +87,32 @@ type Policy interface {
 	Rank(now int64, cands []partition.Candidate, view LoadView) []partition.Candidate
 }
 
+// RouteFilter optionally augments a LoadView with routability vetoes beyond
+// liveness. A LoadView that also implements RouteFilter (e.g. a dispatcher
+// consulting its circuit breakers) has Routable checked by every policy at
+// rank time, so a tripped matcher is skipped during candidate selection.
+type RouteFilter interface {
+	// Routable reports whether the node should receive new forwards now.
+	Routable(node core.NodeID) bool
+}
+
 // scored pairs a candidate with its policy cost (lower is better).
 type scored struct {
 	c    partition.Candidate
 	cost float64
 }
 
-// rankByCost filters dead candidates, computes costs, and sorts ascending
-// with deterministic tie-breaking by (cost, node, dim).
+// rankByCost filters dead and unroutable candidates, computes costs, and
+// sorts ascending with deterministic tie-breaking by (cost, node, dim).
 func rankByCost(cands []partition.Candidate, view LoadView,
 	cost func(partition.Candidate) float64) []partition.Candidate {
+	filter, _ := view.(RouteFilter)
 	ss := make([]scored, 0, len(cands))
 	for _, c := range cands {
 		if !view.Alive(c.Node) {
+			continue
+		}
+		if filter != nil && !filter.Routable(c.Node) {
 			continue
 		}
 		ss = append(ss, scored{c: c, cost: cost(c)})
@@ -205,11 +218,16 @@ func (*Random) Name() string { return "random" }
 
 // Rank returns the alive candidates in uniformly random order.
 func (p *Random) Rank(now int64, cands []partition.Candidate, view LoadView) []partition.Candidate {
+	filter, _ := view.(RouteFilter)
 	alive := make([]partition.Candidate, 0, len(cands))
 	for _, c := range cands {
-		if view.Alive(c.Node) {
-			alive = append(alive, c)
+		if !view.Alive(c.Node) {
+			continue
 		}
+		if filter != nil && !filter.Routable(c.Node) {
+			continue
+		}
+		alive = append(alive, c)
 	}
 	p.mu.Lock()
 	p.rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })

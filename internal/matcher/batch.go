@@ -93,7 +93,7 @@ func (sc *matchScratch) addDelivery(addr string, sub core.SubscriberID, msg *cor
 // deliverEncodedSize returns the encoded size of one DeliverBody inside a
 // DeliverBatch frame (subscriber + message + trace + id list).
 func deliverEncodedSize(d *wire.DeliverBody) int {
-	sz := 8 + 8 + 8 + 2 + 8*len(d.Msg.Attrs) + 4 + len(d.Msg.Payload) + 4 + 8*len(d.SubIDs) + 1
+	sz := 8 + 8 + 8 + 8 + 2 + 8*len(d.Msg.Attrs) + 4 + len(d.Msg.Payload) + 4 + 8*len(d.SubIDs) + 1
 	if d.Msg.Trace != nil {
 		sz += wire.TraceOverhead - 1
 	}
@@ -102,6 +102,13 @@ func deliverEncodedSize(d *wire.DeliverBody) int {
 
 // enqueueBatch fans a decoded ForwardBatch out to the dimension stages: one
 // forwardItem per dimension carrying that dimension's share of the batch.
+//
+// The stage queue is bounded in items but weighted in messages — a batch
+// occupies one channel slot however many messages it carries — so admission
+// is bounded on the weighted backlog (EventLen vs QueueDepth). A batch that
+// straddles the bound is split: the accepted prefix is enqueued, and every
+// message of the rejected suffix is counted in Dropped and busy-NACKed back
+// to the sender inside one ForwardAckBatch frame, instead of vanishing.
 func (m *Matcher) enqueueBatch(b *wire.ForwardBatchBody, from core.NodeID) {
 	perDim := make([][]*core.Message, len(m.dims))
 	for _, e := range b.Entries {
@@ -110,12 +117,33 @@ func (m *Matcher) enqueueBatch(b *wire.ForwardBatchBody, from core.NodeID) {
 		}
 		perDim[e.Dim] = append(perDim[e.Dim], e.Msg)
 	}
+	var busy []wire.BusyEntry
 	for d, msgs := range perDim {
 		if len(msgs) == 0 {
 			continue
 		}
-		if m.dims[d].stage.Enqueue(forwardItem{msgs: msgs, from: from}) != nil {
-			m.Dropped.Add(int64(len(msgs)))
+		st := m.dims[d].stage
+		accept, reject := msgs, []*core.Message(nil)
+		if room := m.cfg.QueueDepth - st.EventLen(); room <= 0 {
+			accept, reject = nil, msgs
+		} else if room < len(msgs) {
+			accept, reject = msgs[:room], msgs[room:]
+		}
+		if len(accept) > 0 && st.Enqueue(forwardItem{msgs: accept, from: from}) != nil {
+			accept, reject = nil, msgs // channel full: nothing was admitted
+		}
+		if len(reject) > 0 {
+			m.Dropped.Add(int64(len(reject)))
+			m.BusyNacks.Add(int64(len(reject)))
+			qlen := st.EventLen()
+			for _, msg := range reject {
+				busy = append(busy, wire.BusyEntry{ID: msg.ID, Dim: d, QueueLen: qlen})
+			}
+		}
+	}
+	if len(busy) > 0 && from != 0 {
+		if addr, ok := m.gsp.AddrOf(from); ok {
+			m.send(addr, wire.KindForwardAckBatch, &wire.ForwardAckBatchBody{Busy: busy})
 		}
 	}
 }
@@ -136,8 +164,22 @@ func (m *Matcher) matchBatch(ds *dimSet, dim int, it forwardItem) {
 			msg.Trace.Stamp(core.HopDequeue, tnow)
 		}
 	}
+	// TTL shedding happens at dequeue: a publication that expired while
+	// queued is acked (processing is complete — deliberately shed) but
+	// never matched or delivered.
+	var shedNow int64
+	for _, msg := range it.msgs {
+		if msg.TTL > 0 {
+			shedNow = m.cfg.Now()
+			break
+		}
+	}
 	ds.mu.RLock()
 	for _, msg := range it.msgs {
+		if msg.TTL > 0 && shedNow > msg.PublishedAt+msg.TTL {
+			m.Shed.Add(1)
+			continue
+		}
 		matched, _ := index.Match(ds.idx, msg, sc.dst[:0])
 		sc.dst = matched
 		for _, s := range matched {

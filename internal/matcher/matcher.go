@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bluedove/internal/core"
@@ -162,8 +163,19 @@ type Matcher struct {
 	Processed metrics.Counter
 	// Dropped counts forwarded messages rejected by stage backpressure.
 	Dropped metrics.Counter
+	// BusyNacks counts busy NACKs sent back to dispatchers (one per
+	// rejected message, whether single or inside a batch).
+	BusyNacks metrics.Counter
+	// Shed counts publications whose TTL expired while queued; they are
+	// acked but never matched.
+	Shed metrics.Counter
 	// ReportBytes counts load-report traffic for overhead accounting.
 	ReportBytes metrics.Counter
+
+	// throttleNs, when positive, adds this many nanoseconds of synthetic
+	// service time per dequeued message — a chaos hook that slows the
+	// matcher's service rate (not its links) to drive stages into overload.
+	throttleNs atomic.Int64
 
 	// matchLatency observes dequeue→match-done per traced publication (ns).
 	matchLatency *metrics.Histogram
@@ -287,8 +299,19 @@ func (m *Matcher) handle(env *wire.Envelope) *wire.Envelope {
 		if err != nil || b.Dim < 0 || b.Dim >= len(m.dims) {
 			return nil
 		}
-		if m.dims[b.Dim].stage.Enqueue(forwardItem{msg: b.Msg, from: env.From}) != nil {
+		st := m.dims[b.Dim].stage
+		if st.EventLen() >= m.cfg.QueueDepth ||
+			st.Enqueue(forwardItem{msg: b.Msg, from: env.From}) != nil {
 			m.Dropped.Add(1)
+			m.BusyNacks.Add(1)
+			// Explicit pushback instead of a silent drop: tell the sender
+			// which message was rejected so it can re-route immediately.
+			if env.From != 0 {
+				if addr, ok := m.gsp.AddrOf(env.From); ok {
+					m.send(addr, wire.KindBusy,
+						&wire.BusyBody{ID: b.Msg.ID, Dim: b.Dim, QueueLen: st.EventLen()})
+				}
+			}
 		}
 		return nil
 	case wire.KindForwardBatch:
@@ -360,9 +383,18 @@ func (m *Matcher) SubsOnDim(dim int) int {
 	return ds.idx.Len()
 }
 
+// SetServiceThrottle adds d of synthetic service time per dequeued message
+// (0 restores full speed). Used by overload chaos scenarios to throttle one
+// matcher's service rate mid-burst — unlike a slow link, this backs messages
+// up in the dimension stages and exercises the busy-NACK path.
+func (m *Matcher) SetServiceThrottle(d time.Duration) { m.throttleNs.Store(int64(d)) }
+
 // matchItem is the dimension stage handler, dispatching to the single or
 // batched matching path.
 func (m *Matcher) matchItem(ds *dimSet, dim int, it forwardItem) {
+	if d := m.throttleNs.Load(); d > 0 {
+		time.Sleep(time.Duration(d) * time.Duration(it.count()))
+	}
 	if it.msgs != nil {
 		m.matchBatch(ds, dim, it)
 		return
@@ -381,6 +413,18 @@ func (m *Matcher) matchOne(ds *dimSet, dim int, it forwardItem) {
 	if msg.Trace != nil {
 		tnow = m.cfg.Now()
 		msg.Trace.Stamp(core.HopDequeue, tnow)
+	}
+	// TTL shedding at dequeue: an expired publication is acked (processing
+	// is complete — deliberately shed) but never matched or delivered.
+	if msg.TTL > 0 && m.cfg.Now() > msg.PublishedAt+msg.TTL {
+		m.Shed.Add(1)
+		m.Processed.Add(1)
+		if it.from != 0 {
+			if addr, ok := m.gsp.AddrOf(it.from); ok {
+				m.send(addr, wire.KindForwardAck, &wire.ForwardAckBody{ID: msg.ID, Trace: msg.Trace})
+			}
+		}
+		return
 	}
 	sc := getScratch()
 	ds.mu.RLock()

@@ -17,6 +17,8 @@ func (m *Matcher) registerTelemetry() {
 	r.Counter("matcher.delivered", "matched subscriptions actually sent a delivery", &m.Delivered)
 	r.Counter("matcher.processed", "forwarded messages matched (stage completions)", &m.Processed)
 	r.Counter("matcher.dropped", "forwarded messages rejected by stage backpressure", &m.Dropped)
+	r.Counter("matcher.busy_nacks", "busy NACKs sent back to dispatchers", &m.BusyNacks)
+	r.Counter("matcher.shed_expired", "publications shed at dequeue because their TTL expired", &m.Shed)
 	r.Counter("matcher.report_bytes", "load-report traffic", &m.ReportBytes)
 	r.Histogram("matcher.match_latency_seconds",
 		"stage dequeue to match done per traced publication", m.matchLatency, 1e-9)

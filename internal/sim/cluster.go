@@ -323,6 +323,9 @@ func (cl *Cluster) Publish(m *core.Message) {
 	m.ID = cl.nextMsg
 	cl.nextMsg++
 	m.PublishedAt = now
+	if m.TTL == 0 && cl.cfg.MessageTTL > 0 {
+		m.TTL = int64(cl.cfg.MessageTTL)
+	}
 	cl.stats.Arrived.Add(1)
 	cl.arrMeter.Mark(now, 1)
 	if cl.tel != nil && cl.tel.Sampler.Sample() {
@@ -340,8 +343,9 @@ func (cl *Cluster) forward(d *simDispatcher, m *core.Message) {
 }
 
 // forwardMsg routes one (possibly retried) message to its best candidate,
-// skipping matchers already attempted.
-func (cl *Cluster) forwardMsg(qm queuedMsg) {
+// skipping matchers already attempted. It reports whether a forward went
+// out (false: the message was lost or parked for a persistence retry).
+func (cl *Cluster) forwardMsg(qm queuedMsg) bool {
 	now := cl.eng.Now()
 	d := qm.from
 	cands := cl.cfg.Strategy.Candidates(d.table, qm.m)
@@ -354,7 +358,7 @@ func (cl *Cluster) forwardMsg(qm queuedMsg) {
 		if target == nil {
 			continue
 		}
-		if cl.cfg.Persistent {
+		if cl.cfg.Persistent || cl.cfg.BusyReroute {
 			if qm.tried == nil {
 				qm.tried = make(map[core.NodeID]bool)
 			}
@@ -370,15 +374,48 @@ func (cl *Cluster) forwardMsg(qm queuedMsg) {
 		}
 		d.sent(c.Node, c.Dim, cl.cfg.Space.K())
 		cl.eng.After(cl.cfg.NetDelay, func() { target.enqueue(qm) })
-		return
+		return true
 	}
 	if !cl.cfg.Persistent {
 		cl.recordLoss(now)
-		return
+		return false
 	}
 	// Persistence: no untried alive candidate right now — wait for failure
 	// detection / recovery to change the view, then retry afresh.
 	cl.retryLater(qm)
+	return false
+}
+
+// busyReject handles a forward bounced off a full matcher stage: the busy
+// NACK corrects the dispatcher's load view with the fresher queue depth,
+// and with BusyReroute the message rides one network hop back and is
+// re-forwarded to the next-best untried candidate (bounded by
+// PersistMaxAttempts). Without the re-route the rejected forward is lost —
+// the pre-overload-layer silent drop.
+func (cl *Cluster) busyReject(qm queuedMsg, at core.NodeID) {
+	cl.stats.BusyNacks.Add(1)
+	now := cl.eng.Now()
+	if d := qm.from; d != nil {
+		if ls := d.loads[at]; qm.dim < len(ls) {
+			ls[qm.dim].QueueLen = cl.cfg.MatcherQueueDepth
+			ls[qm.dim].ReportedAt = now
+		}
+	}
+	if !cl.cfg.BusyReroute || qm.from == nil {
+		cl.recordLoss(now)
+		return
+	}
+	qm.attempts++
+	if qm.attempts > cl.cfg.PersistMaxAttempts {
+		cl.recordLoss(now)
+		return
+	}
+	// The NACK travels back one hop before the dispatcher can re-forward.
+	cl.eng.After(cl.cfg.NetDelay, func() {
+		if cl.forwardMsg(qm) {
+			cl.stats.Rerouted.Add(1)
+		}
+	})
 }
 
 // lostOrRetry handles a message caught on a crashed matcher: with the

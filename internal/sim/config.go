@@ -98,6 +98,21 @@ type Config struct {
 	// PersistRetryDelay is the wait before retrying when no alive
 	// candidate exists (default 500ms).
 	PersistRetryDelay time.Duration
+	// MatcherQueueDepth bounds each matcher's per-dimension queue, modeling
+	// the real stack's matcher.Config.QueueDepth: a forward arriving at a
+	// full stage is rejected with a busy NACK instead of queued (0 =
+	// unbounded, today's behavior).
+	MatcherQueueDepth int
+	// BusyReroute enables the overload-control re-route: a busy-NACKed
+	// forward rides one network hop back to its dispatcher, which re-forwards
+	// it to the next-best untried candidate (bounded by PersistMaxAttempts).
+	// Without it a rejected forward is lost, modeling the pre-overload-layer
+	// silent drop.
+	BusyReroute bool
+	// MessageTTL stamps every publication with this time-to-live: a message
+	// still queued when it expires is shed at dequeue instead of matched
+	// (graceful shedding of stale work; 0 = no TTL).
+	MessageTTL time.Duration
 	// SampleEvery records one response-time point per this many completions
 	// into the time series (default 20; histograms record every sample).
 	SampleEvery int

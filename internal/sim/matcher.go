@@ -92,6 +92,10 @@ func (m *simMatcher) enqueue(qm queuedMsg) {
 		return
 	}
 	dim := qm.dim
+	if depth := m.cl.cfg.MatcherQueueDepth; depth > 0 && len(m.queues[dim]) >= depth {
+		m.cl.busyReject(qm, m.id)
+		return
+	}
 	qm.enqueuedAt = now
 	m.arrivals[dim].Mark(now, 1)
 	m.queues[dim] = append(m.queues[dim], qm)
@@ -128,10 +132,16 @@ func (m *simMatcher) serveNext(dim int) {
 }
 
 // serveOne pops one message from dimension dim's queue onto a worker.
+// Expired publications are shed here — the stale work is deliberately
+// abandoned without consuming a worker, as in the real matcher's dequeue.
 func (m *simMatcher) serveOne(dim int) {
 	qm := m.queues[dim][0]
 	m.queues[dim] = m.queues[dim][1:]
 	m.queued--
+	if qm.m.TTL > 0 && m.cl.eng.Now() > qm.m.PublishedAt+qm.m.TTL {
+		m.cl.stats.ShedExpired.Add(1)
+		return
+	}
 	m.busyDim[dim]++
 	if qm.m.Trace != nil {
 		qm.m.Trace.Stamp(core.HopDequeue, m.cl.eng.Now())

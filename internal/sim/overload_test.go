@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"bluedove/internal/workload"
+)
+
+// overloadConfig builds a cluster that a burst can saturate: few matchers,
+// tight per-dimension queues, and inflated matching costs.
+func overloadConfig() Config {
+	cfg := testConfig(3)
+	cfg.MatcherQueueDepth = 4
+	cfg.BaseMatchCost = 2 * time.Millisecond
+	cfg.PerScanCost = 10 * time.Microsecond
+	return cfg
+}
+
+// driveBurst saturates the cluster with a short high-rate burst and runs to
+// quiescence, returning the cluster for inspection.
+func driveBurst(cfg Config) *Cluster {
+	cl := NewCluster(cfg)
+	gen := workload.New(workload.Default(cfg.Space))
+	cl.SubscribeAll(gen.Subscriptions(800))
+	cl.Drive(gen, workload.ConstantRate(2000), int64(2*time.Second))
+	cl.RunUntil(int64(10 * time.Second))
+	return cl
+}
+
+// TestOverloadBusyRerouteRecoversLoss: with bounded queues and no overload
+// layer, a saturating burst silently loses rejected forwards; with busy-NACK
+// re-routing the same burst re-routes them to sibling candidates and loses
+// strictly less.
+func TestOverloadBusyRerouteRecoversLoss(t *testing.T) {
+	off := driveBurst(overloadConfig())
+	if off.Stats().BusyNacks.Value() == 0 {
+		t.Fatal("burst did not saturate the bounded queues (no busy NACKs)")
+	}
+	if off.Stats().Lost.Value() == 0 {
+		t.Fatal("without re-routing, rejected forwards should be lost")
+	}
+
+	cfgOn := overloadConfig()
+	cfgOn.BusyReroute = true
+	on := driveBurst(cfgOn)
+	if on.Stats().Rerouted.Value() == 0 {
+		t.Fatal("re-route enabled but nothing was re-routed")
+	}
+	if got, want := on.Stats().Lost.Value(), off.Stats().Lost.Value(); got >= want {
+		t.Fatalf("re-routing lost %d messages, want fewer than the %d lost without it", got, want)
+	}
+}
+
+// TestOverloadTTLSheds: stale publications queued behind a saturating burst
+// are shed at dequeue once their TTL expires, and shed work is conserved in
+// the arrival accounting.
+func TestOverloadTTLSheds(t *testing.T) {
+	cfg := overloadConfig()
+	cfg.BusyReroute = true
+	// Deep enough queues that waiting time at saturation far exceeds the TTL.
+	cfg.MatcherQueueDepth = 64
+	cfg.MessageTTL = 50 * time.Millisecond
+	cl := driveBurst(cfg)
+	st := cl.Stats()
+	if st.ShedExpired.Value() == 0 {
+		t.Fatal("saturating burst with a 50ms TTL shed nothing")
+	}
+	if back := st.Backlog(); back != 0 {
+		t.Fatalf("accounting leak: backlog = %d after quiescence (arrived=%d completed=%d lost=%d shed=%d)",
+			back, st.Arrived.Value(), st.Completed.Value(), st.Lost.Value(), st.ShedExpired.Value())
+	}
+}
+
+// TestOverloadDeterministic pins the overload path to the virtual clock and
+// seed: identical configs must produce identical busy/re-route/shed counts.
+func TestOverloadDeterministic(t *testing.T) {
+	run := func() [4]int64 {
+		cfg := overloadConfig()
+		cfg.BusyReroute = true
+		cfg.MessageTTL = 100 * time.Millisecond
+		st := driveBurst(cfg).Stats()
+		return [4]int64{st.BusyNacks.Value(), st.Rerouted.Value(),
+			st.ShedExpired.Value(), st.Completed.Value()}
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical overload configs diverged: %v vs %v", a, b)
+	}
+}

@@ -33,6 +33,12 @@ type Stats struct {
 	Joins metrics.Counter
 	// PersistRetries counts re-forwards by the persistence extension.
 	PersistRetries metrics.Counter
+	// BusyNacks counts forwards rejected by a full matcher stage.
+	BusyNacks metrics.Counter
+	// Rerouted counts busy-NACKed forwards re-routed to another candidate.
+	Rerouted metrics.Counter
+	// ShedExpired counts publications shed at dequeue with an expired TTL.
+	ShedExpired metrics.Counter
 
 	// GossipBytes counts matcher↔matcher gossip traffic.
 	GossipBytes metrics.Counter
@@ -80,10 +86,10 @@ func (s *Stats) sampleLoss(now int64) {
 	s.LossSeries.Append(now, float64(dl)/float64(da))
 }
 
-// Backlog returns arrived − completed − lost: messages still in flight or
-// queued.
+// Backlog returns arrived − completed − lost − shed: messages still in
+// flight or queued.
 func (s *Stats) Backlog() int64 {
-	return s.Arrived.Value() - s.Completed.Value() - s.Lost.Value()
+	return s.Arrived.Value() - s.Completed.Value() - s.Lost.Value() - s.ShedExpired.Value()
 }
 
 // LossFraction returns lost/arrived over the whole run (0 when nothing

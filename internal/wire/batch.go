@@ -32,9 +32,9 @@ type ForwardEntry struct {
 // EncodedSize returns an upper bound for the entry's encoded size, used by
 // batchers to stay under MaxFrame without encoding twice.
 func (e ForwardEntry) EncodedSize() int {
-	// dim + id + publishedAt + trace + attr count + attrs + payload length
-	// prefix.
-	return 2 + 8 + 8 + traceSize(e.Msg.Trace) + 2 + 8*len(e.Msg.Attrs) + 4 + len(e.Msg.Payload)
+	// dim + id + publishedAt + ttl + trace + attr count + attrs + payload
+	// length prefix.
+	return 2 + 8 + 8 + 8 + traceSize(e.Msg.Trace) + 2 + 8*len(e.Msg.Attrs) + 4 + len(e.Msg.Payload)
 }
 
 // ForwardBatchBody carries a batch of publications one hop to a matcher
@@ -135,10 +135,15 @@ func DecodeDeliverBatch(data []byte) (*DeliverBatchBody, error) {
 
 // ForwardAckBatchBody acknowledges several forwarded messages at once.
 // Traces carries back the stamped trace contexts of the (rare) sampled
-// messages in the batch; untraced batches pay four zero bytes.
+// messages in the batch; untraced batches pay four zero bytes. Busy lists
+// the batch items the matcher could NOT accept because the target stage's
+// queue was full — per-item busy accounting so the dispatcher can re-route
+// exactly the rejected publications (all-accepted batches pay four zero
+// bytes).
 type ForwardAckBatchBody struct {
 	IDs    []core.MessageID
 	Traces []AckTrace
+	Busy   []BusyEntry
 }
 
 // AppendTo serializes the body into buf and returns the extended slice.
@@ -152,6 +157,12 @@ func (b *ForwardAckBatchBody) AppendTo(buf []byte) []byte {
 	for i := range b.Traces {
 		w.u64(uint64(b.Traces[i].Msg))
 		encodeTrace(&w, &b.Traces[i].Ctx)
+	}
+	w.u32(uint32(len(b.Busy)))
+	for i := range b.Busy {
+		w.u64(uint64(b.Busy[i].ID))
+		w.u16(uint16(b.Busy[i].Dim))
+		w.u32(uint32(b.Busy[i].QueueLen))
 	}
 	return w.buf
 }
@@ -187,6 +198,20 @@ func DecodeForwardAckBatch(data []byte) (*ForwardAckBatchBody, error) {
 				r.err = fmt.Errorf("wire: ack trace entry %d missing context", i)
 			}
 			b.Traces = append(b.Traces, at)
+		}
+	}
+	u := int(r.u32())
+	if u > maxListLen {
+		return nil, fmt.Errorf("wire: implausible busy count %d", u)
+	}
+	if r.err == nil && u > 0 {
+		b.Busy = make([]BusyEntry, 0, u)
+		for i := 0; i < u && r.err == nil; i++ {
+			b.Busy = append(b.Busy, BusyEntry{
+				ID:       core.MessageID(r.u64()),
+				Dim:      int(r.u16()),
+				QueueLen: int(r.u32()),
+			})
 		}
 	}
 	return b, r.finish()

@@ -99,6 +99,8 @@ func FuzzDecodeForwardAckBatch(f *testing.F) {
 	f.Add((&ForwardAckBatchBody{IDs: []core.MessageID{1, 2, 3}}).Encode())
 	f.Add((&ForwardAckBatchBody{IDs: []core.MessageID{7},
 		Traces: []AckTrace{{Msg: 7, Ctx: *fuzzTracedMsg().Trace}}}).Encode())
+	f.Add((&ForwardAckBatchBody{IDs: []core.MessageID{7},
+		Busy: []BusyEntry{{ID: 8, Dim: 2, QueueLen: 64}}}).Encode())
 	f.Add([]byte{0xff, 0xff, 0xff, 0x7f})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, err := DecodeForwardAckBatch(data)

@@ -57,6 +57,8 @@ func (k Kind) String() string {
 		KindPollResponse: "poll-response", KindError: "error",
 		KindForwardBatch: "forward-batch", KindDeliverBatch: "deliver-batch",
 		KindForwardAckBatch: "forward-ack-batch",
+		KindBusy:            "busy", KindPublishReq: "publish-req",
+		KindPublishAck: "publish-ack",
 	}
 	if s, ok := names[k]; ok {
 		return s
@@ -80,6 +82,7 @@ type Envelope struct {
 func encodeMessage(w *writer, m *core.Message) {
 	w.u64(uint64(m.ID))
 	w.i64(m.PublishedAt)
+	w.i64(m.TTL)
 	encodeTrace(w, m.Trace)
 	w.u16(uint16(len(m.Attrs)))
 	for _, v := range m.Attrs {
@@ -92,6 +95,7 @@ func decodeMessage(r *reader) *core.Message {
 	m := &core.Message{}
 	m.ID = core.MessageID(r.u64())
 	m.PublishedAt = r.i64()
+	m.TTL = r.i64()
 	m.Trace = decodeTrace(r)
 	k := int(r.u16())
 	if k > maxDims {

@@ -1,0 +1,89 @@
+package wire
+
+import "bluedove/internal/core"
+
+// Overload-control frame kinds. A matcher whose SEDA stage queue is full
+// replies with a compact KindBusy NACK instead of dropping the forward
+// silently, so the dispatcher can immediately re-route the publication to
+// the next-best candidate. Clients that want edge admission control publish
+// with KindPublishReq (request/response) and receive either KindPublishAck
+// or KindError with OverloadedPrefix.
+const (
+	// KindBusy tells a dispatcher one forwarded publication was rejected
+	// by a full matcher stage (matcher → dispatcher).
+	KindBusy Kind = 71 + iota
+	// KindPublishReq carries a client publication that expects an explicit
+	// accept/reject response (client → dispatcher).
+	KindPublishReq
+	// KindPublishAck confirms an admitted publication (dispatcher → client).
+	KindPublishAck
+)
+
+// OverloadedPrefix starts the ErrorBody text when a dispatcher rejects a
+// publication at admission control. Clients map it to a typed error.
+const OverloadedPrefix = "overloaded: "
+
+// BusyBody is the per-message busy NACK: the rejected publication, the
+// dimension whose stage was full, and the stage's backlog at rejection time
+// (items, weighted by batch size) so the dispatcher's load view can be
+// corrected without waiting for the next load report.
+type BusyBody struct {
+	ID       core.MessageID
+	Dim      int
+	QueueLen int
+}
+
+// AppendTo serializes the body into buf (which may be a pooled scratch
+// buffer) and returns the extended slice.
+func (b *BusyBody) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
+	w.u64(uint64(b.ID))
+	w.u16(uint16(b.Dim))
+	w.u32(uint32(b.QueueLen))
+	return w.buf
+}
+
+// Encode serializes the body.
+func (b *BusyBody) Encode() []byte { return b.AppendTo(nil) }
+
+// DecodeBusy parses a BusyBody.
+func DecodeBusy(data []byte) (*BusyBody, error) {
+	r := reader{buf: data}
+	b := &BusyBody{
+		ID:       core.MessageID(r.u64()),
+		Dim:      int(r.u16()),
+		QueueLen: int(r.u32()),
+	}
+	return b, r.finish()
+}
+
+// BusyEntry is one rejected item inside a ForwardAckBatchBody: per-item
+// busy accounting for batches that straddle a full queue.
+type BusyEntry struct {
+	ID       core.MessageID
+	Dim      int
+	QueueLen int
+}
+
+// PublishAckBody confirms an admitted publication and returns the message
+// ID the dispatcher assigned to it.
+type PublishAckBody struct {
+	ID core.MessageID
+}
+
+// AppendTo serializes the body into buf and returns the extended slice.
+func (b *PublishAckBody) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
+	w.u64(uint64(b.ID))
+	return w.buf
+}
+
+// Encode serializes the body.
+func (b *PublishAckBody) Encode() []byte { return b.AppendTo(nil) }
+
+// DecodePublishAck parses a PublishAckBody.
+func DecodePublishAck(data []byte) (*PublishAckBody, error) {
+	r := reader{buf: data}
+	b := &PublishAckBody{ID: core.MessageID(r.u64())}
+	return b, r.finish()
+}

@@ -171,8 +171,8 @@ func TestTraceOverheadIsUpperBound(t *testing.T) {
 // flags other than 0/1 are corruption, not silently-untraced messages.
 func TestDecodeTraceRejectsBadFlag(t *testing.T) {
 	enc := (&ForwardBody{Dim: 1, Msg: fuzzMsg()}).Encode()
-	// The flag byte sits after dim (2) + id (8) + publishedAt (8).
-	enc[18] = 0xCC
+	// The flag byte sits after dim (2) + id (8) + publishedAt (8) + ttl (8).
+	enc[26] = 0xCC
 	if _, err := DecodeForward(enc); err == nil {
 		t.Fatal("corrupt trace flag decoded without error")
 	}
