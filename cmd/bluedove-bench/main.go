@@ -32,7 +32,10 @@ func main() {
 			"run the durability-cost comparison (journal off / fsync never / interval / always) plus the recovery-time curve on the real in-process cluster")
 		overload = flag.Bool("overload", false,
 			"run the overload-control comparison (one matcher throttled, layer off vs busy-NACK re-routing on) on the real in-process cluster")
-		out = flag.String("out", "", "with -batching/-chaos/-telemetry/-durability/-overload: write the JSON report to this file (e.g. BENCH_overload.json)")
+		match = flag.Bool("match", false,
+			"run the single-matcher match-path benchmark (covering + parallel shards across all index kinds) on the real matching stage")
+		matchDur = flag.Duration("match-duration", time.Second, "with -match: measured time per grid cell")
+		out      = flag.String("out", "", "with -batching/-chaos/-telemetry/-durability/-overload/-match: write the JSON report to this file (e.g. BENCH_match.json)")
 	)
 	flag.Parse()
 
@@ -54,6 +57,10 @@ func main() {
 	}
 	if *overload {
 		runOverload(*chaosSeed, *out)
+		return
+	}
+	if *match {
+		runMatch(*matchDur, *out)
 		return
 	}
 

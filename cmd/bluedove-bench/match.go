@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"bluedove/internal/experiment"
+	"bluedove/internal/index"
+	"bluedove/internal/matcher"
+)
+
+// matchCell is one grid cell of BENCH_match.json: an index kind × shard
+// count × workload combination measured on the real matching stage.
+type matchCell struct {
+	Kind          string  `json:"kind"`
+	Shards        int     `json:"shards"`
+	Covering      bool    `json:"covering"`
+	Workload      string  `json:"workload"` // uniform | templated
+	MatchedPerSec float64 `json:"matched_per_sec"`
+	MsgsPerSec    float64 `json:"msgs_per_sec"`
+	MatchesPerMsg float64 `json:"matches_per_msg"`
+	ScannedPerMsg float64 `json:"scanned_per_msg"`
+	StoredSubs    int     `json:"stored_subs"`
+	IndexedSubs   int     `json:"indexed_subs"`
+	CollapseRatio float64 `json:"collapse_ratio"`
+}
+
+// matchReport is the schema of BENCH_match.json.
+type matchReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+
+	// Workload parameters (the paper's: 4 dimensions, extent 1000,
+	// predicate length 250 → 0.25 per-dimension selectivity).
+	Subs      int     `json:"subs"`
+	Templates int     `json:"templates"`
+	Dims      int     `json:"dims"`
+	PredLen   float64 `json:"pred_len"`
+	Batch     int     `json:"batch"`
+
+	Cells []matchCell `json:"cells"`
+}
+
+// runMatch measures batched single-matcher match throughput across
+// scan/bucket/intervaltree × shards ∈ {1, NumCPU}, on a uniform workload
+// (covering off) and on the templated workload with covering on, and writes
+// the JSON report when out is non-empty.
+func runMatch(dur time.Duration, out string) {
+	rep := &matchReport{
+		GoVersion:   goVersion(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		NumCPU:      runtime.NumCPU(),
+		Subs:        10000,
+		Templates:   500,
+		Dims:        4,
+		PredLen:     250,
+		Batch:       64,
+	}
+	shardList := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		shardList = append(shardList, n)
+	}
+	kinds := []index.Kind{index.KindScan, index.KindBucket, index.KindIntervalTree}
+
+	t := &experiment.Table{
+		Title: fmt.Sprintf("Single-matcher match path (%d subs, batch %d, %s/cell)",
+			rep.Subs, rep.Batch, dur),
+		Header: []string{"kind", "shards", "workload", "matched/s", "msgs/s", "scanned/msg", "collapse"},
+	}
+	for _, kind := range kinds {
+		for _, shards := range shardList {
+			for _, cov := range []bool{false, true} {
+				o := matcher.MatchBenchOpts{
+					Kind: kind, Shards: shards, Covering: cov,
+					Dims: rep.Dims, PredLen: rep.PredLen,
+					Subs: rep.Subs, Batch: rep.Batch, MinDuration: dur,
+				}
+				workload := "uniform"
+				if cov {
+					// Covering is measured on the workload it is built for:
+					// many subscribers sharing a few predicate shapes.
+					o.Templates = rep.Templates
+					workload = "templated"
+				}
+				r, err := matcher.RunMatchBench(o)
+				if err != nil {
+					log.Fatalf("match bench %s/%d: %v", kind, shards, err)
+				}
+				rep.Cells = append(rep.Cells, matchCell{
+					Kind: kind.String(), Shards: shards, Covering: cov, Workload: workload,
+					MatchedPerSec: r.MatchedPerSec, MsgsPerSec: r.MsgsPerSec,
+					MatchesPerMsg: r.MatchesPerMsg, ScannedPerMsg: r.ScannedPerMsg,
+					StoredSubs: r.StoredSubs, IndexedSubs: r.IndexedSubs,
+					CollapseRatio: r.CollapseRatio,
+				})
+				t.AddRow(kind.String(), shards, workload,
+					r.MatchedPerSec, r.MsgsPerSec, r.ScannedPerMsg, r.CollapseRatio)
+			}
+		}
+	}
+	fmt.Println(t)
+
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
+}

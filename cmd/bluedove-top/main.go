@@ -146,22 +146,33 @@ func runTop(client *http.Client, addrs []string) {
 		}
 		return "-"
 	}
+	// scannedPerMsg is the matcher's live index-efficiency figure: stored
+	// subscriptions examined per matched message.
+	frac := func(v *nodeVars, names ...string) string {
+		for _, n := range names {
+			if x, ok := v.value(n); ok {
+				return fmt.Sprintf("%.1f", x)
+			}
+		}
+		return "-"
+	}
 	w := os.Stdout
-	fmt.Fprintf(w, "%-22s %-10s %-6s %10s %10s %10s %8s %10s %12s\n",
-		"NODE", "ROLE", "ID", "IN", "OUT", "QUEUE", "TRACES", "P99(ms)", "TX-BYTES")
+	fmt.Fprintf(w, "%-22s %-10s %-6s %10s %10s %10s %9s %8s %10s %12s\n",
+		"NODE", "ROLE", "ID", "IN", "OUT", "QUEUE", "SCAN/MSG", "TRACES", "P99(ms)", "TX-BYTES")
 	for _, r := range rows {
 		if r.err != nil {
 			fmt.Fprintf(w, "%-22s %s\n", r.addr, r.err)
 			continue
 		}
 		v := r.v
-		fmt.Fprintf(w, "%-22s %-10s %-6s %10s %10s %10s %8s %10s %12s\n",
+		fmt.Fprintf(w, "%-22s %-10s %-6s %10s %10s %10s %9s %8s %10s %12s\n",
 			r.addr,
 			v.Labels["role"], v.Labels["node"],
 			// IN: work accepted; OUT: work completed downstream.
 			num(v, "dispatcher.published", "matcher.processed", "client.published"),
 			num(v, "dispatcher.forwarded", "matcher.delivered", "client.delivered"),
 			num(v, "dispatcher.inflight", "matcher.stage.queue_depth"),
+			frac(v, "matcher.scanned_per_msg"),
 			num(v, "trace.completed"),
 			lat(v, "dispatcher.deliver_latency_seconds", "matcher.match_latency_seconds",
 				"client.deliver_latency_seconds"),
@@ -192,6 +203,7 @@ func requiredSeries(role string) []string {
 			"bluedove_matcher_stage_queue_depth",
 			"bluedove_matcher_stage_arrival_rate",
 			"bluedove_matcher_stage_service_capacity",
+			"bluedove_matcher_scanned_per_msg",
 			"bluedove_matcher_match_latency_seconds",
 			"bluedove_gossip_bytes",
 		)

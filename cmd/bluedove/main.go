@@ -27,6 +27,7 @@ import (
 	"bluedove/internal/core"
 	"bluedove/internal/dispatcher"
 	"bluedove/internal/gossip"
+	"bluedove/internal/index"
 	"bluedove/internal/matcher"
 	"bluedove/internal/partition"
 	"bluedove/internal/store"
@@ -50,6 +51,10 @@ func main() {
 		traceRate = flag.Float64("trace-sample", 0, "fraction of publications traced hop-by-hop (0 disables, 1 traces all)")
 		dataDir   = flag.String("data-dir", "", "journal this node's state under this directory and recover it on restart; empty keeps all state in memory")
 		fsyncPol  = flag.String("fsync", "always", "journal durability policy with -data-dir: always|interval|never")
+		indexKind = flag.String("index", "bucket", "matcher: per-dimension index kind: scan|bucket|intervaltree")
+		buckets   = flag.Int("index-buckets", 0, "matcher: bucket count for -index bucket (0 = default)")
+		covering  = flag.Bool("covering", false, "matcher: enable subscription covering/aggregation")
+		shards    = flag.Int("match-shards", 1, "matcher: per-dimension index shards matched in parallel (e.g. NumCPU)")
 	)
 	flag.Parse()
 	if *role == "" || *id == 0 {
@@ -72,9 +77,15 @@ func main() {
 	tel := nodeTelemetry(tr, core.NodeID(*id), *role, *admin, *traceRate)
 	fsync := fsyncByName(*fsyncPol)
 
+	kind, err := index.KindByName(*indexKind)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	switch *role {
 	case "matcher":
-		runMatcher(tr, space, core.NodeID(*id), *addr, seedList, *join, tel, *dataDir, fsync)
+		runMatcher(tr, space, core.NodeID(*id), *addr, seedList, *join, tel, *dataDir, fsync,
+			matchOpts{kind: kind, buckets: *buckets, covering: *covering, shards: *shards})
 	case "dispatcher":
 		runDispatcher(tr, space, core.NodeID(*id), *addr, seedList, *bootstrap, *policy, tel, *dataDir, fsync)
 	}
@@ -122,12 +133,22 @@ func nodeTelemetry(tr *transport.TCP, id core.NodeID, role, adminAddr string, sa
 	return tel
 }
 
+// matchOpts bundles the match-path tuning flags.
+type matchOpts struct {
+	kind     index.Kind
+	buckets  int
+	covering bool
+	shards   int
+}
+
 func runMatcher(tr transport.Transport, space *core.Space, id core.NodeID,
 	addr string, seeds []string, join bool, tel *telemetry.Telemetry,
-	dataDir string, fsync store.Fsync) {
+	dataDir string, fsync store.Fsync, mo matchOpts) {
 	m, err := matcher.New(matcher.Config{
 		ID: id, Addr: addr, Space: space, Transport: tr, Seeds: seeds,
 		Telemetry: tel, DataDir: dataDir, Fsync: fsync,
+		IndexKind: mo.kind, IndexBuckets: mo.buckets,
+		Covering: mo.covering, MatchShards: mo.shards,
 	})
 	if err != nil {
 		log.Fatal(err)

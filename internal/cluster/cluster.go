@@ -41,6 +41,16 @@ type Options struct {
 	Policy forward.Policy
 	// IndexKind selects matcher indexes (default bucket).
 	IndexKind index.Kind
+	// IndexBuckets overrides the bucket count of the bucket index (default
+	// index.DefaultBuckets; ignored by the other kinds).
+	IndexBuckets int
+	// Covering enables subscription covering/aggregation on every matcher
+	// (see matcher.Config.Covering).
+	Covering bool
+	// MatchShards partitions each matcher dimension set into this many
+	// hash shards matched in parallel (default 1; see
+	// matcher.Config.MatchShards).
+	MatchShards int
 	// TCP selects real TCP on loopback instead of the in-process mesh.
 	TCP bool
 	// GossipInterval, FailAfter, ReportInterval, RecoveryDelay, PruneGrace
@@ -326,6 +336,9 @@ func (c *Cluster) startMatcher(id core.NodeID) (*matcher.Matcher, error) {
 		Transport:      tr,
 		Seeds:          c.seeds,
 		IndexKind:      c.opts.IndexKind,
+		IndexBuckets:   c.opts.IndexBuckets,
+		Covering:       c.opts.Covering,
+		MatchShards:    c.opts.MatchShards,
 		WorkersPerDim:  c.opts.WorkersPerDim,
 		QueueDepth:     c.opts.MatcherQueueDepth,
 		ReportInterval: c.opts.ReportInterval,

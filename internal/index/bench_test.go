@@ -27,12 +27,12 @@ func benchIndex(b *testing.B, kind Kind, nsubs int, predLen float64) {
 		msgs[i] = core.NewMessage([]float64{rng.Float64() * 1000, rng.Float64() * 1000,
 			rng.Float64() * 1000, rng.Float64() * 1000}, nil)
 	}
-	var dst []*core.Subscription
+	var dst, cands []*core.Subscription
 	totScan := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var scanned int
-		dst, scanned = Match(idx, msgs[i%len(msgs)], dst[:0])
+		dst, cands, scanned = Match(idx, msgs[i%len(msgs)], dst[:0], cands)
 		totScan += scanned
 	}
 	b.StopTimer()

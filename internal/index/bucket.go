@@ -73,7 +73,11 @@ func (x *Bucket) span(r core.Range) (lo, hi int, wide bool) {
 	if clipped.Empty() {
 		return 0, -1, false // registers nowhere; unreachable for validated subscriptions
 	}
-	if clipped.Length() > wideThreshold*x.d.Extent() {
+	// The tolerance keeps intervals sitting exactly on the threshold out of
+	// the overflow list when float arithmetic nudges their length up by an
+	// ulp (lo + 0.25*extent - lo can exceed 0.25*extent): every such
+	// interval would otherwise be scanned by every query.
+	if clipped.Length() > wideThreshold*x.d.Extent()*(1+1e-9) {
 		return 0, -1, true
 	}
 	lo = x.bucketOf(clipped.Low)

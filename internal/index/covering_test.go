@@ -1,0 +1,216 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"bluedove/internal/core"
+)
+
+// mkBox builds a subscription with the given cuboid over testSpace.
+func mkBox(id core.SubscriptionID, preds ...core.Range) *core.Subscription {
+	s := core.NewSubscription(core.SubscriberID(id), preds)
+	s.ID = id
+	return s
+}
+
+func TestCoveringBasic(t *testing.T) {
+	for _, kind := range []Kind{KindScan, KindBucket, KindIntervalTree} {
+		x := NewCovering(New(kind, testSpace, 0))
+		cover := mkBox(1, core.Range{Low: 0, High: 100}, core.Range{Low: 0, High: 1000}, core.Range{Low: 0, High: 1000})
+		rider := mkBox(2, core.Range{Low: 10, High: 90}, core.Range{Low: 100, High: 900}, core.Range{Low: 0, High: 1000})
+		x.Add(cover)
+		x.Add(rider)
+		if x.Len() != 2 || x.IndexedLen() != 1 {
+			t.Fatalf("%s: Len=%d IndexedLen=%d, want 2/1", kind, x.Len(), x.IndexedLen())
+		}
+		if !x.Contains(1) || !x.Contains(2) {
+			t.Fatalf("%s: Contains lost a subscription", kind)
+		}
+		got, _ := x.Stab(50, nil)
+		if !sameIDs(ids(got), []core.SubscriptionID{1, 2}) {
+			t.Fatalf("%s: Stab(50) = %v, want both", kind, ids(got))
+		}
+		// A value inside the cover but outside the rider returns only the cover.
+		got, _ = x.Stab(5, nil)
+		if !sameIDs(ids(got), []core.SubscriptionID{1}) {
+			t.Fatalf("%s: Stab(5) = %v, want [1]", kind, ids(got))
+		}
+		if gotA := ids(x.All(nil)); !sameIDs(gotA, []core.SubscriptionID{1, 2}) {
+			t.Fatalf("%s: All = %v", kind, gotA)
+		}
+		// Removing the cover re-exposes the rider as its own cover.
+		if !x.Remove(1) {
+			t.Fatalf("%s: Remove(cover) = false", kind)
+		}
+		if x.Len() != 1 || x.IndexedLen() != 1 {
+			t.Fatalf("%s: after cover removal Len=%d IndexedLen=%d, want 1/1", kind, x.Len(), x.IndexedLen())
+		}
+		got, _ = x.Stab(50, nil)
+		if !sameIDs(ids(got), []core.SubscriptionID{2}) {
+			t.Fatalf("%s: rider lost after cover removal: %v", kind, ids(got))
+		}
+	}
+}
+
+func TestCoveringDemotionFlattens(t *testing.T) {
+	x := NewCovering(New(KindBucket, testSpace, 0))
+	full := core.Range{Low: 0, High: 1000}
+	inner := mkBox(1, core.Range{Low: 40, High: 60}, full, full)
+	mid := mkBox(2, core.Range{Low: 30, High: 70}, full, full)
+	outer := mkBox(3, core.Range{Low: 0, High: 100}, full, full)
+	x.Add(inner) // becomes a cover
+	x.Add(mid)   // contains inner: demotes it, inner rides on mid
+	if x.IndexedLen() != 1 {
+		t.Fatalf("after demotion IndexedLen=%d, want 1", x.IndexedLen())
+	}
+	x.Add(outer) // contains mid (and transitively inner): both ride on outer
+	if x.Len() != 3 || x.IndexedLen() != 1 {
+		t.Fatalf("Len=%d IndexedLen=%d, want 3/1", x.Len(), x.IndexedLen())
+	}
+	got, _ := x.Stab(50, nil)
+	if !sameIDs(ids(got), []core.SubscriptionID{1, 2, 3}) {
+		t.Fatalf("Stab(50) = %v, want all three", ids(got))
+	}
+	// One-level invariant: removing the outer cover re-exposes both.
+	x.Remove(3)
+	got, _ = x.Stab(50, nil)
+	if !sameIDs(ids(got), []core.SubscriptionID{1, 2}) {
+		t.Fatalf("after outer removal Stab(50) = %v, want [1 2]", ids(got))
+	}
+}
+
+func TestCoveringReplaceSameID(t *testing.T) {
+	x := NewCovering(New(KindBucket, testSpace, 0))
+	full := core.Range{Low: 0, High: 1000}
+	x.Add(mkBox(1, core.Range{Low: 0, High: 100}, full, full))
+	x.Add(mkBox(2, core.Range{Low: 10, High: 20}, full, full)) // rides on 1
+	// Replacing the rider with a cuboid outside the cover must re-home it.
+	x.Add(mkBox(2, core.Range{Low: 500, High: 600}, full, full))
+	if x.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", x.Len())
+	}
+	got, _ := x.Stab(550, nil)
+	if !sameIDs(ids(got), []core.SubscriptionID{2}) {
+		t.Fatalf("Stab(550) = %v, want [2]", ids(got))
+	}
+	if got, _ = x.Stab(15, nil); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("old rider shape still stored")
+	}
+}
+
+// Property: covering-wrapped indexes agree with brute-force scan under
+// random churn, across all base kinds, including heavily-templated input
+// that drives the cover table hard.
+func TestCoveringEquivalenceUnderChurn(t *testing.T) {
+	for _, dim := range []int{0, 1, 2} {
+		ref := NewScan(dim)
+		under := map[string]Index{
+			"cov-scan":         NewCovering(New(KindScan, testSpace, dim)),
+			"cov-bucket":       NewCovering(New(KindBucket, testSpace, dim)),
+			"cov-intervaltree": NewCovering(New(KindIntervalTree, testSpace, dim)),
+		}
+		rng := rand.New(rand.NewSource(int64(11 + dim)))
+		// A small template pool makes containment chains common.
+		templates := make([][]core.Range, 6)
+		for i := range templates {
+			templates[i] = randSub(rng, 1, 400).Predicates
+		}
+		nextID := core.SubscriptionID(1)
+		live := []*core.Subscription{}
+		for step := 0; step < 2500; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5 || len(live) == 0: // add
+				var s *core.Subscription
+				if rng.Intn(2) == 0 {
+					// Shrink a template: containment against earlier copies.
+					tpl := templates[rng.Intn(len(templates))]
+					preds := make([]core.Range, len(tpl))
+					for d, r := range tpl {
+						shrink := rng.Float64() * 0.3 * r.Length()
+						preds[d] = core.Range{Low: r.Low + shrink/2, High: r.High - shrink/2}
+					}
+					s = core.NewSubscription(core.SubscriberID(nextID), preds)
+					s.ID = nextID
+				} else {
+					s = randSub(rng, nextID, 300)
+				}
+				nextID++
+				live = append(live, s)
+				ref.Add(s)
+				for _, u := range under {
+					u.Add(s)
+				}
+			case op < 7: // remove (covers and riders alike)
+				i := rng.Intn(len(live))
+				id := live[i].ID
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				ref.Remove(id)
+				for name, u := range under {
+					if !u.Remove(id) {
+						t.Fatalf("%s: remove %v failed", name, id)
+					}
+				}
+			default: // stab + overlap
+				v := rng.Float64() * 1000
+				want, _ := ref.Stab(v, nil)
+				for name, u := range under {
+					got, scanned := u.Stab(v, nil)
+					if !sameIDs(ids(got), ids(want)) {
+						t.Fatalf("step %d dim %d %s: Stab(%g) = %v, want %v",
+							step, dim, name, v, ids(got), ids(want))
+					}
+					if scanned < len(got) {
+						t.Fatalf("%s: scanned < |answer|", name)
+					}
+				}
+				lo := rng.Float64() * 1000
+				r := core.Range{Low: lo, High: lo + rng.Float64()*300}
+				if r.Empty() {
+					continue
+				}
+				wantO := ids(ref.Overlapping(r, nil))
+				for name, u := range under {
+					if gotO := ids(u.Overlapping(r, nil)); !sameIDs(gotO, wantO) {
+						t.Fatalf("step %d %s: Overlapping = %v, want %v", step, name, gotO, wantO)
+					}
+				}
+			}
+			for name, u := range under {
+				if u.Len() != len(live) {
+					t.Fatalf("%s: Len = %d, want %d", name, u.Len(), len(live))
+				}
+				if u.(*Covering).IndexedLen() > u.Len() {
+					t.Fatalf("%s: IndexedLen exceeds Len", name)
+				}
+			}
+		}
+	}
+}
+
+// The steady-state match hot path must not allocate: stab with a reused
+// candidate buffer, verify, append into a reused destination.
+func TestMatchZeroAlloc(t *testing.T) {
+	for _, kind := range []Kind{KindScan, KindBucket, KindIntervalTree} {
+		for _, cov := range []bool{false, true} {
+			idx := New(kind, testSpace, 0)
+			if cov {
+				idx = NewCovering(idx)
+			}
+			rng := rand.New(rand.NewSource(3))
+			for i := 1; i <= 500; i++ {
+				idx.Add(randSub(rng, core.SubscriptionID(i), 300))
+			}
+			msg := core.NewMessage([]float64{500, 500, 500}, nil)
+			var dst, cands []*core.Subscription
+			dst, cands, _ = Match(idx, msg, dst[:0], cands) // warm capacities
+			allocs := testing.AllocsPerRun(100, func() {
+				dst, cands, _ = Match(idx, msg, dst[:0], cands)
+			})
+			if allocs != 0 {
+				t.Errorf("%s covering=%v: %v allocs/op on the match hot path, want 0", kind, cov, allocs)
+			}
+		}
+	}
+}

@@ -82,13 +82,38 @@ func (k Kind) String() string {
 	}
 }
 
-// New constructs an index of the given kind for dimension dim of space sp.
+// KindByName parses a kind name as printed by Kind.String.
+func KindByName(name string) (Kind, error) {
+	switch name {
+	case "scan":
+		return KindScan, nil
+	case "bucket":
+		return KindBucket, nil
+	case "intervaltree":
+		return KindIntervalTree, nil
+	default:
+		return 0, fmt.Errorf("index: unknown kind %q (want scan|bucket|intervaltree)", name)
+	}
+}
+
+// New constructs an index of the given kind for dimension dim of space sp
+// with the default sizing (DefaultBuckets for KindBucket).
 func New(k Kind, sp *core.Space, dim int) Index {
+	return NewSized(k, sp, dim, 0)
+}
+
+// NewSized constructs an index of the given kind for dimension dim of space
+// sp. buckets overrides the bucket count for KindBucket (<= 0 keeps
+// DefaultBuckets); the other kinds ignore it.
+func NewSized(k Kind, sp *core.Space, dim, buckets int) Index {
 	switch k {
 	case KindScan:
 		return NewScan(dim)
 	case KindBucket:
-		return NewBucket(sp.Dim(dim), dim, DefaultBuckets)
+		if buckets <= 0 {
+			buckets = DefaultBuckets
+		}
+		return NewBucket(sp.Dim(dim), dim, buckets)
 	case KindIntervalTree:
 		return NewIntervalTree(dim)
 	default:
@@ -98,15 +123,21 @@ func New(k Kind, sp *core.Space, dim int) Index {
 
 // Match runs a full match for message m against idx: stab on the index's
 // dimension, then verify every other dimension. It returns the matching
-// subscriptions and the number of stored subscriptions scanned.
-func Match(idx Index, m *core.Message, dst []*core.Subscription) (matched []*core.Subscription, scanned int) {
+// subscriptions appended to dst and the number of stored subscriptions
+// scanned.
+//
+// cands is the stabbing candidate buffer; the (possibly grown) buffer is
+// returned so callers on the hot path can retain its capacity across calls
+// and keep steady-state matching allocation-free. Passing nil allocates a
+// fresh buffer, which is fine off the hot path.
+func Match(idx Index, m *core.Message, dst, cands []*core.Subscription) (matched, candsOut []*core.Subscription, scanned int) {
 	dim := idx.Dim()
-	cands, scanned := idx.Stab(m.Attrs[dim], nil)
+	cands, scanned = idx.Stab(m.Attrs[dim], cands[:0])
 	matched = dst
 	for _, s := range cands {
 		if s.MatchesExcept(m, dim) {
 			matched = append(matched, s)
 		}
 	}
-	return matched, scanned
+	return matched, cands, scanned
 }

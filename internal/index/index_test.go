@@ -262,7 +262,7 @@ func TestMatchVerifiesOtherDims(t *testing.T) {
 		idx.Add(s)
 		idx.Add(s2)
 		m := core.NewMessage([]float64{50, 500, 500}, nil)
-		got, scanned := Match(idx, m, nil)
+		got, _, scanned := Match(idx, m, nil, nil)
 		if !sameIDs(ids(got), []core.SubscriptionID{2}) {
 			t.Errorf("%s: Match = %v, want [2]", name, ids(got))
 		}

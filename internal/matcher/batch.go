@@ -27,10 +27,15 @@ type addrChain struct{ head, tail int }
 
 // matchScratch holds the per-call working state of the matching hot path.
 // Pooled so steady-state matching allocates nothing: the Match destination
-// slice, the per-subscriber grouping map, the delivery list (with SubIDs
-// backing arrays), and the batch assembly buffers are all reused.
+// slice, the stabbing candidate buffer, the per-subscriber grouping map, the
+// delivery list (with SubIDs backing arrays), the per-shard parallel jobs and
+// the batch assembly buffers are all reused.
 type matchScratch struct {
 	dst       []*core.Subscription
+	cands     []*core.Subscription // stabbing candidate buffer (index.Match)
+	live      []*core.Message      // batch minus TTL-shed messages
+	jobs      []shardJob           // per-shard parallel work, one entry per shard
+	wg        sync.WaitGroup
 	perSub    map[core.SubscriberID]int // subscriber → index into dels, per message
 	dels      []delEntry
 	chains    map[string]addrChain
@@ -53,6 +58,13 @@ func getScratch() *matchScratch { return scratchPool.Get().(*matchScratch) }
 func putScratch(sc *matchScratch) {
 	clear(sc.dst)
 	sc.dst = sc.dst[:0]
+	clear(sc.cands)
+	sc.cands = sc.cands[:0]
+	clear(sc.live)
+	sc.live = sc.live[:0]
+	for i := range sc.jobs {
+		sc.jobs[i].reset()
+	}
 	clear(sc.perSub)
 	for i := range sc.dels {
 		d := &sc.dels[i]
@@ -174,24 +186,81 @@ func (m *Matcher) matchBatch(ds *dimSet, dim int, it forwardItem) {
 			break
 		}
 	}
-	ds.mu.RLock()
+	sc.live = sc.live[:0]
 	for _, msg := range it.msgs {
 		if msg.TTL > 0 && shedNow > msg.PublishedAt+msg.TTL {
 			m.Shed.Add(1)
 			continue
 		}
-		matched, _ := index.Match(ds.idx, msg, sc.dst[:0])
-		sc.dst = matched
-		for _, s := range matched {
-			i, ok := sc.perSub[s.Subscriber]
-			if !ok {
-				i = sc.addDelivery(ds.addrs[s.ID], s.Subscriber, msg)
-			}
-			sc.dels[i].body.SubIDs = append(sc.dels[i].body.SubIDs, s.ID)
-		}
-		clear(sc.perSub) // per-subscriber grouping is per message
+		sc.live = append(sc.live, msg)
 	}
-	ds.mu.RUnlock()
+	scanned := 0
+	if m.pool == nil || len(ds.shards) == 1 {
+		// Single-shard inline path: one read-lock acquisition for the batch.
+		sh := ds.shards[0]
+		sh.mu.RLock()
+		for _, msg := range sc.live {
+			var n int
+			sc.dst, sc.cands, n = index.Match(sh.idx, msg, sc.dst[:0], sc.cands)
+			scanned += n
+			for _, s := range sc.dst {
+				i, ok := sc.perSub[s.Subscriber]
+				if !ok {
+					i = sc.addDelivery(sh.addrs[s.ID], s.Subscriber, msg)
+				}
+				sc.dels[i].body.SubIDs = append(sc.dels[i].body.SubIDs, s.ID)
+			}
+			clear(sc.perSub) // per-subscriber grouping is per message
+		}
+		sh.mu.RUnlock()
+	} else {
+		// Parallel path: fan the batch's stab+verify work across the shards
+		// on the matcher's worker pool (the stage goroutine runs one shard's
+		// job inline so it always contributes a core), then merge the
+		// msg-ordered per-shard hit lists with a cursor sweep so delivery
+		// coalescing sees the exact same (message, sub) stream as the inline
+		// path. Jobs live in the pooled scratch: steady state allocates
+		// nothing.
+		for len(sc.jobs) < len(ds.shards) {
+			sc.jobs = append(sc.jobs, shardJob{})
+		}
+		jobs := sc.jobs[:len(ds.shards)]
+		sc.wg.Add(len(jobs))
+		for i := range jobs {
+			j := &jobs[i]
+			j.shard = ds.shards[i]
+			j.msgs = sc.live
+			j.wg = &sc.wg
+		}
+		for i := 1; i < len(jobs); i++ {
+			m.pool.submit(&jobs[i])
+		}
+		jobs[0].run()
+		sc.wg.Wait()
+		for i := range jobs {
+			scanned += jobs[i].scanned
+			jobs[i].cur = 0
+		}
+		for mi := range sc.live {
+			for i := range jobs {
+				j := &jobs[i]
+				for j.cur < len(j.hits) && int(j.hits[j.cur].msg) == mi {
+					h := &j.hits[j.cur]
+					j.cur++
+					di, ok := sc.perSub[h.sub.Subscriber]
+					if !ok {
+						di = sc.addDelivery(h.addr, h.sub.Subscriber, sc.live[mi])
+					}
+					sc.dels[di].body.SubIDs = append(sc.dels[di].body.SubIDs, h.sub.ID)
+				}
+			}
+			clear(sc.perSub) // per-subscriber grouping is per message
+		}
+		for i := range jobs {
+			jobs[i].reset()
+		}
+	}
+	m.Scanned.Add(int64(scanned))
 	m.Processed.Add(int64(len(it.msgs)))
 	var matchDone int64
 	if traced {

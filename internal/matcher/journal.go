@@ -106,12 +106,14 @@ func (m *Matcher) journal(kind uint8, payload []byte) {
 func (m *Matcher) snapshotJournal() {
 	var payload []byte
 	for dim, ds := range m.dims {
-		ds.mu.RLock()
-		for _, s := range ds.idx.All(nil) {
-			body := (&wire.StoreBody{Dim: dim, Sub: s, DeliverAddr: ds.addrs[s.ID]}).Encode()
-			payload = store.AppendRecord(payload, recSubStore, body)
+		for _, sh := range ds.shards {
+			sh.mu.RLock()
+			for _, s := range sh.idx.All(nil) {
+				body := (&wire.StoreBody{Dim: dim, Sub: s, DeliverAddr: sh.addrs[s.ID]}).Encode()
+				payload = store.AppendRecord(payload, recSubStore, body)
+			}
+			sh.mu.RUnlock()
 		}
-		ds.mu.RUnlock()
 	}
 	if t := m.Table(); t != nil {
 		payload = store.AppendRecord(payload, recTable, t.Encode())

@@ -41,6 +41,20 @@ type Config struct {
 	Seeds []string
 	// IndexKind selects the per-dimension index (default bucket).
 	IndexKind index.Kind
+	// IndexBuckets overrides the bucket count for the bucket index
+	// (default index.DefaultBuckets; ignored by the other kinds).
+	IndexBuckets int
+	// Covering enables subscription covering/aggregation on every dimension
+	// set: a subscription whose cuboid is contained by an already-stored one
+	// rides in a cover table instead of the stabbing index, collapsing
+	// templated multi-tenant workloads to one indexed entry per predicate
+	// shape (see index.Covering).
+	Covering bool
+	// MatchShards partitions each dimension set into this many
+	// subscription-ID-hashed shards whose stab+verify work is matched in
+	// parallel on a shared worker pool (default 1 — the single-index layout;
+	// set runtime.GOMAXPROCS(0) to saturate the node from one stage).
+	MatchShards int
 	// WorkersPerDim sizes each dimension stage's worker pool (default 1 —
 	// the paper's one-core-per-dimension layout).
 	WorkersPerDim int
@@ -86,6 +100,9 @@ func (c *Config) defaults() error {
 	if c.ID == 0 || c.Addr == "" || c.Space == nil || c.Transport == nil {
 		return errors.New("matcher: ID, Addr, Space and Transport are required")
 	}
+	if c.MatchShards <= 0 {
+		c.MatchShards = 1
+	}
 	if c.WorkersPerDim <= 0 {
 		c.WorkersPerDim = 1
 	}
@@ -113,14 +130,43 @@ func (c *Config) defaults() error {
 	return nil
 }
 
-// dimSet is one per-dimension subscription set: the index, each stored
-// subscription's delivery address, and the SEDA stage matching messages
-// forwarded along this dimension.
+// dimSet is one per-dimension subscription set — Config.MatchShards
+// subscription-ID-hashed index shards plus the SEDA stage matching messages
+// forwarded along this dimension. The stage serializes nothing about reads:
+// a batch's stab+verify work fans out across the shards on the matcher's
+// worker pool, while mutations lock only the one shard that owns the
+// subscription.
 type dimSet struct {
-	mu    sync.RWMutex
-	idx   index.Index
-	addrs map[core.SubscriptionID]string
-	stage *sedaStage
+	shards []*indexShard
+	stage  *sedaStage
+}
+
+// subsCount returns the number of stored subscriptions across all shards.
+func (ds *dimSet) subsCount() int {
+	n := 0
+	for _, sh := range ds.shards {
+		sh.mu.RLock()
+		n += sh.idx.Len()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// indexedCount returns the number of entries in the stabbing indexes across
+// all shards — with covering enabled this is the cover count, and
+// subsCount()/indexedCount() is the covering collapse ratio.
+func (ds *dimSet) indexedCount() int {
+	n := 0
+	for _, sh := range ds.shards {
+		sh.mu.RLock()
+		if cov, ok := sh.idx.(*index.Covering); ok {
+			n += cov.IndexedLen()
+		} else {
+			n += sh.idx.Len()
+		}
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Matcher is a running matching server.
@@ -129,6 +175,9 @@ type Matcher struct {
 	gsp  *gossip.Gossiper
 	addr string
 	dims []*dimSet
+	// pool fans per-shard stab+verify work across workers (nil when
+	// MatchShards is 1 — the inline path).
+	pool *matchPool
 
 	tableMu sync.Mutex
 	table   *partition.Table
@@ -169,6 +218,10 @@ type Matcher struct {
 	// Shed counts publications whose TTL expired while queued; they are
 	// acked but never matched.
 	Shed metrics.Counter
+	// Scanned counts stored subscriptions examined by stab+verify across all
+	// matched messages; Scanned/Processed is the live scanned-per-message
+	// index-efficiency figure exported as matcher.scanned_per_msg.
+	Scanned metrics.Counter
 	// ReportBytes counts load-report traffic for overhead accounting.
 	ReportBytes metrics.Counter
 
@@ -192,10 +245,21 @@ func New(cfg Config) (*Matcher, error) {
 	k := cfg.Space.K()
 	m.dims = make([]*dimSet, k)
 	for i := 0; i < k; i++ {
-		m.dims[i] = &dimSet{
-			idx:   index.New(cfg.IndexKind, cfg.Space, i),
-			addrs: make(map[core.SubscriptionID]string),
+		ds := &dimSet{shards: make([]*indexShard, cfg.MatchShards)}
+		for j := range ds.shards {
+			idx := index.NewSized(cfg.IndexKind, cfg.Space, i, cfg.IndexBuckets)
+			if cfg.Covering {
+				idx = index.NewCovering(idx)
+			}
+			ds.shards[j] = &indexShard{
+				idx:   idx,
+				addrs: make(map[core.SubscriptionID]string),
+			}
 		}
+		m.dims[i] = ds
+	}
+	if cfg.MatchShards > 1 {
+		m.pool = newMatchPool(cfg.MatchShards, cfg.MatchShards*k)
 	}
 	return m, nil
 }
@@ -273,6 +337,9 @@ func (m *Matcher) Stop() {
 		}
 	}
 	m.wg.Wait()
+	if m.pool != nil {
+		m.pool.stop()
+	}
 	m.closeJournal()
 }
 
@@ -355,33 +422,34 @@ func (m *Matcher) handle(env *wire.Envelope) *wire.Envelope {
 	}
 }
 
-// store installs one subscription copy.
+// store installs one subscription copy, locking only the shard that owns it.
 func (m *Matcher) store(dim int, s *core.Subscription, deliverAddr string) {
-	ds := m.dims[dim]
-	ds.mu.Lock()
-	ds.idx.Add(s)
-	ds.addrs[s.ID] = deliverAddr
-	ds.mu.Unlock()
+	sh := m.dims[dim].shards[shardOf(s.ID, m.cfg.MatchShards)]
+	sh.mu.Lock()
+	sh.idx.Add(s)
+	sh.addrs[s.ID] = deliverAddr
+	sh.mu.Unlock()
 }
 
 // unsubscribe removes a subscription from every dimension set.
 func (m *Matcher) unsubscribe(id core.SubscriptionID) {
+	si := shardOf(id, m.cfg.MatchShards)
 	for _, ds := range m.dims {
-		ds.mu.Lock()
-		if ds.idx.Remove(id) {
-			delete(ds.addrs, id)
+		sh := ds.shards[si]
+		sh.mu.Lock()
+		if sh.idx.Remove(id) {
+			delete(sh.addrs, id)
 		}
-		ds.mu.Unlock()
+		sh.mu.Unlock()
 	}
 }
 
 // SubsOnDim returns the subscription count of one dimension set.
-func (m *Matcher) SubsOnDim(dim int) int {
-	ds := m.dims[dim]
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
-	return ds.idx.Len()
-}
+func (m *Matcher) SubsOnDim(dim int) int { return m.dims[dim].subsCount() }
+
+// IndexedOnDim returns the stabbing-index entry count of one dimension set:
+// equal to SubsOnDim without covering, the cover count with it.
+func (m *Matcher) IndexedOnDim(dim int) int { return m.dims[dim].indexedCount() }
 
 // SetServiceThrottle adds d of synthetic service time per dequeued message
 // (0 restores full speed). Used by overload chaos scenarios to throttle one
@@ -427,17 +495,22 @@ func (m *Matcher) matchOne(ds *dimSet, dim int, it forwardItem) {
 		return
 	}
 	sc := getScratch()
-	ds.mu.RLock()
-	matched, _ := index.Match(ds.idx, msg, sc.dst[:0])
-	sc.dst = matched
-	for _, s := range matched {
-		i, ok := sc.perSub[s.Subscriber]
-		if !ok {
-			i = sc.addDelivery(ds.addrs[s.ID], s.Subscriber, msg)
+	scanned := 0
+	for _, sh := range ds.shards {
+		sh.mu.RLock()
+		var n int
+		sc.dst, sc.cands, n = index.Match(sh.idx, msg, sc.dst[:0], sc.cands)
+		scanned += n
+		for _, s := range sc.dst {
+			i, ok := sc.perSub[s.Subscriber]
+			if !ok {
+				i = sc.addDelivery(sh.addrs[s.ID], s.Subscriber, msg)
+			}
+			sc.dels[i].body.SubIDs = append(sc.dels[i].body.SubIDs, s.ID)
 		}
-		sc.dels[i].body.SubIDs = append(sc.dels[i].body.SubIDs, s.ID)
+		sh.mu.RUnlock()
 	}
-	ds.mu.RUnlock()
+	m.Scanned.Add(int64(scanned))
 	m.Processed.Add(1)
 	if msg.Trace != nil {
 		done := m.cfg.Now()
@@ -476,15 +549,24 @@ type appendBody interface {
 	Encode() []byte
 }
 
-// send encodes body and ships it, recycling the encode buffer when the
-// transport copies on Send (TCP); on retaining transports (the in-process
-// mesh) the body is encoded into a fresh allocation instead so pooled bytes
-// never escape into a delivered message.
+// envPool recycles envelope headers on the copying-transport send path. A
+// copying transport consumes the whole envelope inside Send (it writes the
+// frame before returning), so the struct can be reused like the body buffer.
+var envPool = sync.Pool{New: func() any { return new(wire.Envelope) }}
+
+// send encodes body and ships it, recycling the encode buffer and envelope
+// when the transport copies on Send (TCP); on retaining transports (the
+// in-process mesh) the body is encoded into a fresh allocation instead so
+// pooled bytes never escape into a delivered message.
 func (m *Matcher) send(addr string, kind wire.Kind, body appendBody) {
 	if m.sendCopies {
 		buf := wire.GetBuf()
 		buf.B = body.AppendTo(buf.B)
-		_ = m.cfg.Transport.Send(addr, &wire.Envelope{Kind: kind, From: m.cfg.ID, Body: buf.B})
+		env := envPool.Get().(*wire.Envelope)
+		env.Kind, env.From, env.Body = kind, m.cfg.ID, buf.B
+		_ = m.cfg.Transport.Send(addr, env)
+		env.Body = nil
+		envPool.Put(env)
 		wire.PutBuf(buf)
 		return
 	}
@@ -492,17 +574,22 @@ func (m *Matcher) send(addr string, kind wire.Kind, body appendBody) {
 }
 
 // handover ships every subscription overlapping the handed-over range to
-// the target matcher (join protocol).
+// the target matcher (join protocol). With covering enabled, Overlapping
+// enumerates covered subscriptions too, so riders move with their covers.
 func (m *Matcher) handover(b *wire.HandoverBody) {
 	ds := m.dims[b.Dim]
 	r := core.Range{Low: b.Low, High: b.High}
-	ds.mu.RLock()
-	subs := ds.idx.Overlapping(r, nil)
-	addrs := make([]string, len(subs))
-	for i, s := range subs {
-		addrs[i] = ds.addrs[s.ID]
+	var subs []*core.Subscription
+	var addrs []string
+	for _, sh := range ds.shards {
+		sh.mu.RLock()
+		start := len(subs)
+		subs = sh.idx.Overlapping(r, subs)
+		for _, s := range subs[start:] {
+			addrs = append(addrs, sh.addrs[s.ID])
+		}
+		sh.mu.RUnlock()
 	}
-	ds.mu.RUnlock()
 	body := (&wire.TransferBody{Dim: b.Dim, Subs: subs, DeliverAddrs: addrs}).Encode()
 	_ = m.cfg.Transport.Send(b.TargetAddr, &wire.Envelope{Kind: wire.KindTransfer, From: m.cfg.ID, Body: body})
 }
@@ -527,9 +614,7 @@ func (m *Matcher) LoadSnapshot() []forward.DimLoad {
 	now := m.cfg.Now()
 	out := make([]forward.DimLoad, len(m.dims))
 	for i, ds := range m.dims {
-		ds.mu.RLock()
-		subs := ds.idx.Len()
-		ds.mu.RUnlock()
+		subs := ds.subsCount()
 		if ds.stage.ServiceCapacity() == 0 {
 			m.seedStage(i)
 		}
@@ -548,13 +633,18 @@ func (m *Matcher) LoadSnapshot() []forward.DimLoad {
 // match against the stored set, so the first reports carry realistic costs.
 func (m *Matcher) seedStage(dim int) {
 	ds := m.dims[dim]
-	ds.mu.RLock()
-	all := ds.idx.All(nil)
 	var probe *core.Subscription
-	if len(all) > 0 {
-		probe = all[0]
+	for _, sh := range ds.shards {
+		sh.mu.RLock()
+		all := sh.idx.All(nil)
+		if len(all) > 0 {
+			probe = all[0]
+		}
+		sh.mu.RUnlock()
+		if probe != nil {
+			break
+		}
 	}
-	ds.mu.RUnlock()
 	if probe == nil {
 		return
 	}
@@ -564,9 +654,11 @@ func (m *Matcher) seedStage(dim int) {
 	}
 	msg := core.NewMessage(attrs, nil)
 	start := time.Now()
-	ds.mu.RLock()
-	_, _ = index.Match(ds.idx, msg, nil)
-	ds.mu.RUnlock()
+	for _, sh := range ds.shards {
+		sh.mu.RLock()
+		_, _, _ = index.Match(sh.idx, msg, nil, nil)
+		sh.mu.RUnlock()
+	}
 	ns := float64(time.Since(start))
 	if ns < 1 {
 		ns = 1
@@ -693,14 +785,16 @@ func (m *Matcher) pruneTo(t *partition.Table) {
 		if err != nil {
 			continue
 		}
-		ds.mu.Lock()
-		for _, s := range ds.idx.All(nil) {
-			if !s.Predicates[dim].Overlaps(seg) {
-				ds.idx.Remove(s.ID)
-				delete(ds.addrs, s.ID)
+		for _, sh := range ds.shards {
+			sh.mu.Lock()
+			for _, s := range sh.idx.All(nil) {
+				if !s.Predicates[dim].Overlaps(seg) {
+					sh.idx.Remove(s.ID)
+					delete(sh.addrs, s.ID)
+				}
 			}
+			sh.mu.Unlock()
 		}
-		ds.mu.Unlock()
 	}
 }
 

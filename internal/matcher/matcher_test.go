@@ -22,7 +22,11 @@ type harness struct {
 	recv []*wire.Envelope
 }
 
-func newHarness(t *testing.T) *harness {
+func newHarness(t *testing.T) *harness { return newHarnessMut(t, nil) }
+
+// newHarnessMut builds the harness with a config hook for tests exercising
+// non-default match-path layouts (covering, shards, index kinds).
+func newHarnessMut(t *testing.T, mut func(*Config)) *harness {
 	t.Helper()
 	h := &harness{mesh: transport.NewMesh(0)}
 	peer := h.mesh.Endpoint("peer")
@@ -34,7 +38,7 @@ func newHarness(t *testing.T) *harness {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(Config{
+	cfg := Config{
 		ID:             1,
 		Addr:           "m1",
 		Space:          testSpace,
@@ -43,7 +47,11 @@ func newHarness(t *testing.T) *harness {
 		ReportInterval: 50 * time.Millisecond,
 		PruneGrace:     100 * time.Millisecond,
 		Generation:     1,
-	})
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,14 @@ func (m *Matcher) registerTelemetry() {
 	r.Counter("matcher.dropped", "forwarded messages rejected by stage backpressure", &m.Dropped)
 	r.Counter("matcher.busy_nacks", "busy NACKs sent back to dispatchers", &m.BusyNacks)
 	r.Counter("matcher.shed_expired", "publications shed at dequeue because their TTL expired", &m.Shed)
+	r.Counter("matcher.scanned", "stored subscriptions examined by stab+verify", &m.Scanned)
+	r.Gauge("matcher.scanned_per_msg", "subscriptions scanned per matched message (index efficiency)", func(int64) float64 {
+		p := m.Processed.Value()
+		if p == 0 {
+			return 0
+		}
+		return float64(m.Scanned.Value()) / float64(p)
+	})
 	r.Counter("matcher.report_bytes", "load-report traffic", &m.ReportBytes)
 	r.Histogram("matcher.match_latency_seconds",
 		"stage dequeue to match done per traced publication", m.matchLatency, 1e-9)
@@ -35,9 +43,10 @@ func (m *Matcher) registerTelemetry() {
 			return set.stage.ServiceCapacity()
 		}, dim)
 		r.Gauge("matcher.stage.subs", "subscriptions stored on this dimension", func(int64) float64 {
-			set.mu.RLock()
-			defer set.mu.RUnlock()
-			return float64(set.idx.Len())
+			return float64(set.subsCount())
+		}, dim)
+		r.Gauge("matcher.stage.indexed_subs", "stabbing-index entries on this dimension (covers only under covering)", func(int64) float64 {
+			return float64(set.indexedCount())
 		}, dim)
 	}
 	if m.jnl != nil {

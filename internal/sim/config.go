@@ -27,6 +27,11 @@ type Config struct {
 	Policy forward.Policy
 	// IndexKind selects the per-dimension matcher index (default bucket).
 	IndexKind index.Kind
+	// MatchShards models the real matcher's per-core parallel match path
+	// (matcher.Config.MatchShards): each dimension stage's per-scan service
+	// time is divided by this shard count, since stab+verify work fans out
+	// across that many cores. Default 1 — the serial stage layout.
+	MatchShards int
 
 	// BaseMatchCost is the fixed per-message matching overhead
 	// (default 20µs).
@@ -156,6 +161,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 1
+	}
+	if c.MatchShards <= 0 {
+		c.MatchShards = 1
 	}
 	if c.NetDelay <= 0 {
 		c.NetDelay = 500 * time.Microsecond

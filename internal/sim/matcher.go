@@ -38,6 +38,7 @@ type simMatcher struct {
 	cl      *Cluster
 	alive   bool
 	indexes []index.Index
+	cands   []*core.Subscription // reused stabbing candidate buffer
 	queues  [][]queuedMsg
 	queued  int
 	busyDim []int // in-service message count per dimension queue
@@ -147,10 +148,15 @@ func (m *simMatcher) serveOne(dim int) {
 		qm.m.Trace.Stamp(core.HopDequeue, m.cl.eng.Now())
 	}
 
-	matchedSubs, scanned := index.Match(m.indexes[dim], qm.m, nil)
-	// Batching amortizes the fixed per-message overhead across the frame.
+	// matchedSubs escapes into the completion closure, so its destination
+	// slice is fresh; the stabbing candidate buffer is reused across serves.
+	matchedSubs, cands, scanned := index.Match(m.indexes[dim], qm.m, nil, m.cands)
+	m.cands = cands
+	// Batching amortizes the fixed per-message overhead across the frame;
+	// parallel match shards divide the scan term across that many cores
+	// (the real stack's matcher.Config.MatchShards fan-out).
 	service := int64(m.cl.cfg.BaseMatchCost)/int64(m.cl.cfg.BatchSize) +
-		int64(m.cl.cfg.PerScanCost)*int64(scanned) +
+		int64(m.cl.cfg.PerScanCost)*int64(scanned)/int64(m.cl.cfg.MatchShards) +
 		int64(m.cl.cfg.PerDeliverCost)*int64(len(matchedSubs))
 	const ewmaAlpha = 0.1
 	if m.serviceEWMA[dim] == 0 {
@@ -246,7 +252,8 @@ func (m *simMatcher) probeService(dim int) float64 {
 	if probes == 0 {
 		return base
 	}
-	return base + float64(m.cl.cfg.PerScanCost)*float64(total)/float64(probes)
+	return base + float64(m.cl.cfg.PerScanCost)*float64(total)/
+		float64(probes)/float64(m.cl.cfg.MatchShards)
 }
 
 // shouldReport applies the paper's ">10% change" push suppression.
