@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bluedove/internal/experiment"
+)
+
+// elasticityReport is the schema of BENCH_elasticity.json: the σ-skewed ramp
+// autoscale run — a virtual-clock segment (matcher-count timeline, decision
+// journal, per-phase p99s) plus the chaos-audited real-cluster segment
+// proving zero acked loss across controller-initiated handovers and splits.
+type elasticityReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+
+	Seed int64 `json:"seed"`
+
+	Sim struct {
+		StartMatchers int                `json:"start_matchers"`
+		PeakMatchers  int                `json:"peak_matchers"`
+		FinalMatchers int                `json:"final_matchers"`
+		ScaleUps      int64              `json:"scale_ups"`
+		ScaleDowns    int64              `json:"scale_downs"`
+		Splits        int64              `json:"splits"`
+		Thrash        int64              `json:"thrash"`
+		Lost          int64              `json:"lost"`
+		Decisions     []elasticDecision  `json:"decisions"`
+		MatcherSeries []elasticCountSamp `json:"matcher_series"`
+
+		BaselineP99Sec   float64 `json:"baseline_p99_sec"`
+		ScaledSurgeP99   float64 `json:"scaled_surge_p99_sec"`
+		RecoveredP99     float64 `json:"recovered_p99_sec"`
+		SurgeP99Factor   float64 `json:"surge_p99_over_baseline"`
+		P99WithinTwofold bool    `json:"p99_within_2x_of_baseline"`
+	} `json:"sim"`
+
+	Chaos struct {
+		StartMatchers int    `json:"start_matchers"`
+		FinalMatchers int    `json:"final_matchers"`
+		ScaleDowns    int64  `json:"scale_downs"`
+		Splits        int64  `json:"splits"`
+		Published     int    `json:"published"`
+		Duplicates    int    `json:"duplicate_deliveries"`
+		ZeroLoss      bool   `json:"zero_acked_loss"`
+		LossDetail    string `json:"loss_detail,omitempty"`
+	} `json:"chaos"`
+}
+
+type elasticDecision struct {
+	TSec   float64 `json:"t_sec"`
+	Action string  `json:"action"`
+	Target uint64  `json:"target,omitempty"`
+	To     uint64  `json:"to,omitempty"`
+	Dim    int     `json:"dim"`
+	Reason string  `json:"reason"`
+}
+
+type elasticCountSamp struct {
+	TSec     float64 `json:"t_sec"`
+	Matchers int     `json:"matchers"`
+}
+
+// runElasticity runs the elasticity experiment and, when out is non-empty,
+// writes the JSON report there.
+func runElasticity(seed int64, out string) {
+	start := time.Now()
+	r, err := experiment.Elasticity(seed)
+	if err != nil {
+		log.Fatalf("elasticity experiment: %v", err)
+	}
+	fmt.Println(r.Table())
+	if !r.ChaosZeroLoss {
+		fmt.Fprintf(os.Stderr, "[acked-loss detail]\n%s\n", r.ChaosLossDetail)
+	}
+	fmt.Fprintf(os.Stderr, "[elasticity run: %v]\n", time.Since(start).Round(time.Millisecond))
+
+	rep := &elasticityReport{
+		GoVersion:   goVersion(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        r.Seed,
+	}
+	rep.Sim.StartMatchers = r.SimStartMatchers
+	rep.Sim.PeakMatchers = r.SimPeakMatchers
+	rep.Sim.FinalMatchers = r.SimFinalMatchers
+	rep.Sim.ScaleUps = r.SimScaleUps
+	rep.Sim.ScaleDowns = r.SimScaleDowns
+	rep.Sim.Splits = r.SimSplits
+	rep.Sim.Thrash = r.SimThrash
+	rep.Sim.Lost = r.SimLost
+	for _, d := range r.SimDecisions {
+		rep.Sim.Decisions = append(rep.Sim.Decisions, elasticDecision{
+			TSec: d.TSec, Action: d.Action, Target: uint64(d.Target),
+			To: uint64(d.To), Dim: d.Dim, Reason: d.Reason,
+		})
+	}
+	for _, p := range r.SimMatcherSeries {
+		rep.Sim.MatcherSeries = append(rep.Sim.MatcherSeries, elasticCountSamp{TSec: p.TSec, Matchers: p.Matchers})
+	}
+	rep.Sim.BaselineP99Sec = r.BaselineP99Sec
+	rep.Sim.ScaledSurgeP99 = r.ScaledSurgeP99
+	rep.Sim.RecoveredP99 = r.RecoveredP99
+	rep.Sim.SurgeP99Factor = r.SurgeP99Factor
+	rep.Sim.P99WithinTwofold = r.P99WithinTwofold
+	rep.Chaos.StartMatchers = r.ChaosStartMatchers
+	rep.Chaos.FinalMatchers = r.ChaosFinalMatchers
+	rep.Chaos.ScaleDowns = r.ChaosScaleDowns
+	rep.Chaos.Splits = r.ChaosSplits
+	rep.Chaos.Published = r.ChaosPublished
+	rep.Chaos.Duplicates = r.ChaosDuplicates
+	rep.Chaos.ZeroLoss = r.ChaosZeroLoss
+	rep.Chaos.LossDetail = r.ChaosLossDetail
+
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
+}

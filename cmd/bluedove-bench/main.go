@@ -34,8 +34,10 @@ func main() {
 			"run the overload-control comparison (one matcher throttled, layer off vs busy-NACK re-routing on) on the real in-process cluster")
 		match = flag.Bool("match", false,
 			"run the single-matcher match-path benchmark (covering + parallel shards across all index kinds) on the real matching stage")
+		elasticity = flag.Bool("elasticity", false,
+			"run the autoscale experiment: a σ-skewed ramp on the virtual clock (2→N→2 matchers, per-phase p99) plus a chaos-audited controller drain/split on the real in-process cluster")
 		matchDur = flag.Duration("match-duration", time.Second, "with -match: measured time per grid cell")
-		out      = flag.String("out", "", "with -batching/-chaos/-telemetry/-durability/-overload/-match: write the JSON report to this file (e.g. BENCH_match.json)")
+		out      = flag.String("out", "", "with -batching/-chaos/-telemetry/-durability/-overload/-match/-elasticity: write the JSON report to this file (e.g. BENCH_match.json)")
 	)
 	flag.Parse()
 
@@ -61,6 +63,10 @@ func main() {
 	}
 	if *match {
 		runMatch(*matchDur, *out)
+		return
+	}
+	if *elasticity {
+		runElasticity(*chaosSeed, *out)
 		return
 	}
 

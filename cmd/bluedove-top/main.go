@@ -107,17 +107,19 @@ func fetchVars(client *http.Client, addr string) (*nodeVars, error) {
 	return v, nil
 }
 
+// topRow is one scraped node in the snapshot table.
+type topRow struct {
+	addr string
+	v    *nodeVars
+	err  error
+}
+
 // runTop prints the one-row-per-node snapshot table.
 func runTop(client *http.Client, addrs []string) {
-	type row struct {
-		addr string
-		v    *nodeVars
-		err  error
-	}
-	rows := make([]row, len(addrs))
+	rows := make([]topRow, len(addrs))
 	for i, a := range addrs {
 		v, err := fetchVars(client, a)
-		rows[i] = row{addr: a, v: v, err: err}
+		rows[i] = topRow{addr: a, v: v, err: err}
 	}
 	sort.SliceStable(rows, func(i, j int) bool {
 		ri, rj := "", ""
@@ -156,16 +158,28 @@ func runTop(client *http.Client, addrs []string) {
 		}
 		return "-"
 	}
+	// elastic renders the autoscaling controller's decision counters
+	// (up/down/split) for any node that exports them — the embedded
+	// controller's "elastic" node or a dispatcher running -elastic.
+	elasticCol := func(v *nodeVars) string {
+		up, ok := v.value("elastic.scale_up")
+		if !ok {
+			return "-"
+		}
+		down, _ := v.value("elastic.scale_down")
+		splits, _ := v.value("elastic.splits")
+		return fmt.Sprintf("u%.0f/d%.0f/s%.0f", up, down, splits)
+	}
 	w := os.Stdout
-	fmt.Fprintf(w, "%-22s %-10s %-6s %10s %10s %10s %9s %8s %10s %12s\n",
-		"NODE", "ROLE", "ID", "IN", "OUT", "QUEUE", "SCAN/MSG", "TRACES", "P99(ms)", "TX-BYTES")
+	fmt.Fprintf(w, "%-22s %-10s %-6s %10s %10s %10s %9s %8s %10s %12s %10s\n",
+		"NODE", "ROLE", "ID", "IN", "OUT", "QUEUE", "SCAN/MSG", "TRACES", "P99(ms)", "TX-BYTES", "ELASTIC")
 	for _, r := range rows {
 		if r.err != nil {
 			fmt.Fprintf(w, "%-22s %s\n", r.addr, r.err)
 			continue
 		}
 		v := r.v
-		fmt.Fprintf(w, "%-22s %-10s %-6s %10s %10s %10s %9s %8s %10s %12s\n",
+		fmt.Fprintf(w, "%-22s %-10s %-6s %10s %10s %10s %9s %8s %10s %12s %10s\n",
 			r.addr,
 			v.Labels["role"], v.Labels["node"],
 			// IN: work accepted; OUT: work completed downstream.
@@ -177,7 +191,37 @@ func runTop(client *http.Client, addrs []string) {
 			lat(v, "dispatcher.deliver_latency_seconds", "matcher.match_latency_seconds",
 				"client.deliver_latency_seconds"),
 			num(v, "transport.bytes_sent"),
+			elasticCol(v),
 		)
+	}
+	printMatchersRow(w, rows)
+}
+
+// printMatchersRow appends the cluster-membership summary beneath the node
+// table: live matcher count with joining/draining states plus the
+// controller's cumulative decisions, sourced from whichever scraped node
+// exports the elastic.* series. Silent when no node runs the controller.
+func printMatchersRow(w io.Writer, rows []topRow) {
+	for _, r := range rows {
+		if r.v == nil {
+			continue
+		}
+		n, ok := r.v.value("elastic.matchers")
+		if !ok {
+			continue
+		}
+		line := fmt.Sprintf("MATCHERS               %.0f active", n)
+		if j, ok := r.v.value("elastic.joining"); ok {
+			d, _ := r.v.value("elastic.draining")
+			line += fmt.Sprintf(", %.0f joining, %.0f draining", j, d)
+		}
+		up, _ := r.v.value("elastic.scale_up")
+		down, _ := r.v.value("elastic.scale_down")
+		splits, _ := r.v.value("elastic.splits")
+		thrash, _ := r.v.value("elastic.thrash")
+		fmt.Fprintf(w, "%s   decisions: up=%.0f down=%.0f split=%.0f thrash=%.0f\n",
+			line, up, down, splits, thrash)
+		return
 	}
 }
 
@@ -209,6 +253,19 @@ func requiredSeries(role string) []string {
 		)
 	case "client":
 		return append(common, "bluedove_client_published", "bluedove_client_delivered")
+	case "elastic":
+		// The elasticity controller node has no transport of its own, so the
+		// common series are not required.
+		return []string{
+			"bluedove_node_info",
+			"bluedove_elastic_scale_up",
+			"bluedove_elastic_scale_down",
+			"bluedove_elastic_splits",
+			"bluedove_elastic_thrash",
+			"bluedove_elastic_matchers",
+			"bluedove_elastic_joining",
+			"bluedove_elastic_draining",
+		}
 	default:
 		return nil // unknown role: structural check only
 	}

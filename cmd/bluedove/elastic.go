@@ -1,0 +1,102 @@
+package main
+
+import (
+	"log"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/dispatcher"
+	"bluedove/internal/elastic"
+	"bluedove/internal/telemetry"
+)
+
+// elasticAdvisor runs the shared elasticity controller over the dispatcher's
+// load-report view of the cluster. On the TCP deployment the dispatcher
+// cannot start or stop operating-system processes, so the controller runs in
+// advisory mode: each decision is logged (scale-up → start a matcher with
+// -join; scale-down → retire the named matcher; split → rebalance) and
+// exported as elastic.* telemetry so bluedove-top shows it at a glance. The
+// in-process cluster and the simulator run the same controller with the
+// actuators closed-loop.
+func elasticAdvisor(d *dispatcher.Dispatcher, space *core.Space,
+	interval time.Duration, tel *telemetry.Telemetry, stop <-chan struct{}) {
+	ctrl := elastic.NewController(elastic.Config{
+		OnDecision: func(dec elastic.Decision) {
+			switch dec.Action {
+			case elastic.ScaleUp:
+				log.Printf("elastic: scale-up advised (%s) — start a matcher with -join", dec.Reason)
+			case elastic.ScaleDown:
+				log.Printf("elastic: scale-down advised, drain matcher %v (%s)", dec.Target, dec.Reason)
+			case elastic.Split:
+				log.Printf("elastic: split advised, matcher %v dim %d → %v (%s)",
+					dec.Target, dec.Dim, dec.To, dec.Reason)
+			}
+		},
+	})
+	if tel != nil {
+		r := tel.Registry
+		r.Counter("elastic.scale_up", "controller scale-up decisions", &ctrl.ScaleUps)
+		r.Counter("elastic.scale_down", "controller scale-down decisions", &ctrl.ScaleDowns)
+		r.Counter("elastic.splits", "controller hot-segment split decisions", &ctrl.Splits)
+		r.Counter("elastic.thrash", "scale direction reversals inside the thrash window", &ctrl.Thrash)
+		r.Gauge("elastic.matchers", "matchers in the current segment table", func(int64) float64 {
+			if t := d.Table(); t != nil {
+				return float64(t.N())
+			}
+			return 0
+		})
+	}
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			s, ok := scrapeDispatcherView(d, space)
+			if !ok {
+				continue
+			}
+			ctrl.Observe(s) // OnDecision logs; advisory mode does not actuate
+		}
+	}
+}
+
+// scrapeDispatcherView assembles one controller observation from the load
+// reports the dispatcher already receives from every matcher. Matchers that
+// have not reported yet (or whose gossip entry is dead) are skipped; ok is
+// false until a table circulates.
+func scrapeDispatcherView(d *dispatcher.Dispatcher, space *core.Space) (elastic.Scrape, bool) {
+	t := d.Table()
+	if t == nil {
+		return elastic.Scrape{}, false
+	}
+	s := elastic.Scrape{At: time.Now().UnixNano()}
+	trips := d.BreakerTrips()
+	for _, id := range t.Matchers() {
+		if !d.Alive(id) {
+			continue
+		}
+		ms := elastic.MatcherSample{ID: id, BreakerTrips: trips}
+		reported := false
+		for dim := 0; dim < space.K(); dim++ {
+			l, ok := d.Load(id, dim)
+			if !ok {
+				ms.Dims = append(ms.Dims, elastic.DimSample{})
+				continue
+			}
+			reported = true
+			ms.Dims = append(ms.Dims, elastic.DimSample{
+				Subs:        l.Subs,
+				QueueLen:    l.QueueLen,
+				ArrivalRate: l.ArrivalRate,
+				MatchRate:   l.MatchRate,
+			})
+		}
+		if reported {
+			s.Matchers = append(s.Matchers, ms)
+		}
+	}
+	return s, len(s.Matchers) > 0
+}

@@ -55,6 +55,8 @@ func main() {
 		buckets   = flag.Int("index-buckets", 0, "matcher: bucket count for -index bucket (0 = default)")
 		covering  = flag.Bool("covering", false, "matcher: enable subscription covering/aggregation")
 		shards    = flag.Int("match-shards", 1, "matcher: per-dimension index shards matched in parallel (e.g. NumCPU)")
+		elasticOn = flag.Bool("elastic", false, "dispatcher: run the elasticity controller in advisory mode over matcher load reports (decisions logged and exported as elastic.* telemetry)")
+		elasticIv = flag.Duration("elastic-interval", 2*time.Second, "dispatcher: elasticity controller scrape interval with -elastic")
 	)
 	flag.Parse()
 	if *role == "" || *id == 0 {
@@ -87,7 +89,8 @@ func main() {
 		runMatcher(tr, space, core.NodeID(*id), *addr, seedList, *join, tel, *dataDir, fsync,
 			matchOpts{kind: kind, buckets: *buckets, covering: *covering, shards: *shards})
 	case "dispatcher":
-		runDispatcher(tr, space, core.NodeID(*id), *addr, seedList, *bootstrap, *policy, tel, *dataDir, fsync)
+		runDispatcher(tr, space, core.NodeID(*id), *addr, seedList, *bootstrap, *policy, tel, *dataDir, fsync,
+			elasticOpts{on: *elasticOn, interval: *elasticIv})
 	}
 }
 
@@ -195,9 +198,15 @@ func joinViaDispatcher(tr transport.Transport, g *gossip.Gossiper, id core.NodeI
 	log.Print("join: no dispatcher discovered within 60s")
 }
 
+// elasticOpts bundles the dispatcher's elasticity-advisor flags.
+type elasticOpts struct {
+	on       bool
+	interval time.Duration
+}
+
 func runDispatcher(tr transport.Transport, space *core.Space, id core.NodeID,
 	addr string, seeds []string, bootstrap int, policyName string, tel *telemetry.Telemetry,
-	dataDir string, fsync store.Fsync) {
+	dataDir string, fsync store.Fsync, eo elasticOpts) {
 	pol := policyByName(policyName, int64(id))
 	d, err := dispatcher.New(dispatcher.Config{
 		ID: id, Addr: addr, Space: space, Transport: tr, Seeds: seeds, Policy: pol,
@@ -214,6 +223,12 @@ func runDispatcher(tr transport.Transport, space *core.Space, id core.NodeID,
 
 	if bootstrap > 0 {
 		go bootstrapTable(d, space, bootstrap)
+	}
+	if eo.on {
+		stop := make(chan struct{})
+		defer close(stop)
+		go elasticAdvisor(d, space, eo.interval, tel, stop)
+		log.Printf("elasticity advisor on (every %v)", eo.interval)
 	}
 	waitForSignal()
 }

@@ -9,12 +9,14 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"bluedove/internal/chaos"
 	"bluedove/internal/client"
 	"bluedove/internal/core"
 	"bluedove/internal/dispatcher"
+	"bluedove/internal/elastic"
 	"bluedove/internal/forward"
 	"bluedove/internal/gossip"
 	"bluedove/internal/index"
@@ -123,6 +125,19 @@ type Options struct {
 	// /debug/vars, /debug/traces, pprof) on a loopback port; see
 	// Cluster.AdminAddrs.
 	Admin bool
+	// Elastic embeds the elasticity controller: a loop that scrapes every
+	// matcher's telemetry each ElasticInterval and autoscales the cluster —
+	// scale-up via the join protocol, scale-down via the leave protocol,
+	// hot-segment splits under skew (see internal/elastic).
+	Elastic bool
+	// ElasticConfig tunes the controller's watermarks and hysteresis (zero
+	// values take the elastic package defaults).
+	ElasticConfig elastic.Config
+	// ElasticInterval is the scrape/decision cadence (default 1s).
+	ElasticInterval time.Duration
+	// DrainGrace is how long a removed matcher keeps serving stale-routed
+	// traffic before stopping (default PruneGrace).
+	DrainGrace time.Duration
 }
 
 // telemetryOn reports whether nodes get a telemetry bundle.
@@ -161,6 +176,12 @@ func (o *Options) defaults() error {
 	if o.PruneGrace <= 0 {
 		o.PruneGrace = 3 * time.Second
 	}
+	if o.ElasticInterval <= 0 {
+		o.ElasticInterval = time.Second
+	}
+	if o.DrainGrace <= 0 {
+		o.DrainGrace = o.PruneGrace
+	}
 	return nil
 }
 
@@ -168,6 +189,11 @@ func (o *Options) defaults() error {
 type Cluster struct {
 	opts Options
 	mesh *transport.Mesh // nil when TCP
+
+	// mu guards the mutable node maps and lifecycle state: the elasticity
+	// controller mutates membership from its own goroutine while tests and
+	// chaos scenarios drive the cluster from theirs.
+	mu sync.Mutex
 
 	dispatchers []*dispatcher.Dispatcher
 	matchers    map[core.NodeID]*matcher.Matcher
@@ -177,6 +203,7 @@ type Cluster struct {
 	stopped     map[core.NodeID]bool // matchers crashed via CrashMatcher
 	stoppedDisp map[int]bool         // dispatchers crashed via CrashDispatcher, by index
 	generations map[core.NodeID]uint64
+	states      map[core.NodeID]MatcherState // joining/draining markers
 
 	nextNode       core.NodeID
 	nextSubscriber core.SubscriberID
@@ -184,6 +211,13 @@ type Cluster struct {
 
 	telemetries map[core.NodeID]*telemetry.Telemetry
 	admins      map[core.NodeID]*telemetry.Admin
+
+	// Elasticity controller state (nil/zero unless Options.Elastic).
+	elCtrl    *elastic.Controller
+	elJnl     *store.Store
+	elStop    chan struct{}
+	elDone    chan struct{}
+	elasticID core.NodeID
 }
 
 // Start boots a cluster and blocks until the initial segment table has been
@@ -200,6 +234,7 @@ func Start(opts Options) (*Cluster, error) {
 		stopped:     make(map[core.NodeID]bool),
 		stoppedDisp: make(map[int]bool),
 		generations: make(map[core.NodeID]uint64),
+		states:      make(map[core.NodeID]MatcherState),
 		nextNode:    1,
 		telemetries: make(map[core.NodeID]*telemetry.Telemetry),
 		admins:      make(map[core.NodeID]*telemetry.Admin),
@@ -241,6 +276,12 @@ func Start(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	c.dispatchers[0].SetTable(tab)
+	if opts.Elastic {
+		if err := c.startElastic(); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -417,13 +458,33 @@ func (c *Cluster) DispatcherAddrs() []string {
 func (c *Cluster) Dispatchers() []*dispatcher.Dispatcher { return c.dispatchers }
 
 // Matcher returns the running matcher with the given ID, or nil.
-func (c *Cluster) Matcher(id core.NodeID) *matcher.Matcher { return c.matchers[id] }
+func (c *Cluster) Matcher(id core.NodeID) *matcher.Matcher {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.matchers[id]
+}
 
 // MatcherIDs returns all started matcher IDs in start order (including any
 // later stopped ones).
 func (c *Cluster) MatcherIDs() []core.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]core.NodeID, len(c.order))
 	copy(out, c.order)
+	return out
+}
+
+// LiveMatcherIDs returns the IDs of matchers currently serving (started and
+// not crashed or removed), in start order.
+func (c *Cluster) LiveMatcherIDs() []core.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []core.NodeID
+	for _, id := range c.order {
+		if !c.stopped[id] && c.matchers[id] != nil {
+			out = append(out, id)
+		}
+	}
 	return out
 }
 
@@ -432,24 +493,39 @@ func (c *Cluster) MatcherIDs() []core.NodeID {
 // segment on every dimension and hands the halves over. Returns the new
 // matcher's ID.
 func (c *Cluster) AddMatcher() (core.NodeID, error) {
+	c.mu.Lock()
 	id := c.nextNode
 	c.nextNode++
 	m, err := c.startMatcher(id)
 	if err != nil {
+		c.mu.Unlock()
 		return 0, err
 	}
 	c.matchers[id] = m
 	c.order = append(c.order, id)
+	c.states[id] = StateJoining
+	tr := c.matcherTr[id]
+	dispAddr := c.dispatchers[0].Addr()
+	c.mu.Unlock()
+
+	clearJoining := func() {
+		c.mu.Lock()
+		delete(c.states, id)
+		c.mu.Unlock()
+	}
 	body := (&wire.JoinBody{ID: id, Addr: m.Addr()}).Encode()
-	resp, err := c.matcherTr[id].Request(c.dispatchers[0].Addr(),
+	resp, err := tr.Request(dispAddr,
 		&wire.Envelope{Kind: wire.KindJoin, From: id, Body: body}, 5*time.Second)
 	if err != nil {
+		clearJoining()
 		return id, fmt.Errorf("cluster: join request: %w", err)
 	}
 	ack, err := wire.DecodeJoinAck(resp.Body)
 	if err != nil {
+		clearJoining()
 		return id, err
 	}
+	clearJoining()
 	if ack.Err != "" {
 		return id, fmt.Errorf("cluster: join rejected: %s", ack.Err)
 	}
@@ -460,6 +536,8 @@ func (c *Cluster) AddMatcher() (core.NodeID, error) {
 // from the instant of the crash, and the cluster relies on failure
 // detection and recovery (paper Section IV-E).
 func (c *Cluster) CrashMatcher(id core.NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	m, ok := c.matchers[id]
 	if !ok {
 		return fmt.Errorf("cluster: unknown matcher %v", id)
@@ -484,6 +562,8 @@ func (c *Cluster) CrashMatcher(id core.NodeID) error {
 // on an in-memory cluster it comes back empty and relies on dispatcher
 // re-registration.
 func (c *Cluster) RestartMatcher(id core.NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	m, ok := c.matchers[id]
 	if !ok {
 		return fmt.Errorf("cluster: unknown matcher %v", id)
@@ -576,6 +656,8 @@ func (c *Cluster) RestartDispatcher(idx int) error {
 // "slow node" whose stages back up and busy-NACK, unlike a chaos link delay
 // which only stretches latency. Returns false for unknown matchers.
 func (c *Cluster) ThrottleMatcher(id core.NodeID, d time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	m, ok := c.matchers[id]
 	if !ok {
 		return false
@@ -587,6 +669,8 @@ func (c *Cluster) ThrottleMatcher(id core.NodeID, d time.Duration) bool {
 // MatcherAddr returns the transport address of a started matcher (crashed
 // ones included), for addressing chaos scenarios at cluster nodes.
 func (c *Cluster) MatcherAddr(id core.NodeID) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	m, ok := c.matchers[id]
 	if !ok {
 		return "", false
@@ -717,11 +801,15 @@ func (c *Cluster) WaitForTable(version uint64, timeout time.Duration) error {
 				ready = false
 			}
 		}
+		c.mu.Lock()
+		ms := make([]*matcher.Matcher, 0, len(c.order))
 		for _, id := range c.order {
-			m := c.matchers[id]
-			if m == nil {
-				continue
+			if m := c.matchers[id]; m != nil && !c.stopped[id] {
+				ms = append(ms, m)
 			}
+		}
+		c.mu.Unlock()
+		for _, m := range ms {
 			if t := m.Table(); t == nil || t.Version() < version {
 				ready = false
 			}
@@ -745,6 +833,7 @@ func (c *Cluster) CheckConvergence() error {
 		gsp  *gossip.Gossiper
 		tab  *partition.Table
 	}
+	c.mu.Lock()
 	var live []node
 	for i, d := range c.dispatchers {
 		if c.stoppedDisp[i] {
@@ -760,16 +849,19 @@ func (c *Cluster) CheckConvergence() error {
 		live = append(live, node{fmt.Sprintf("matcher-%d", id), m.Gossiper(), m.Table()})
 	}
 	if len(live) == 0 {
+		c.mu.Unlock()
 		return errors.New("cluster: no survivors to converge")
 	}
 	var version uint64
 	for i, n := range live {
 		if n.tab == nil {
+			c.mu.Unlock()
 			return fmt.Errorf("cluster: %s has no segment table", n.name)
 		}
 		if i == 0 {
 			version = n.tab.Version()
 		} else if v := n.tab.Version(); v != version {
+			c.mu.Unlock()
 			return fmt.Errorf("cluster: segment tables diverge: %s at v%d, %s at v%d",
 				live[0].name, version, n.name, v)
 		}
@@ -791,6 +883,7 @@ func (c *Cluster) CheckConvergence() error {
 	for id := range c.stopped {
 		deadIDs[id] = fmt.Sprintf("matcher-%d", id)
 	}
+	c.mu.Unlock()
 	for _, n := range live {
 		for id, name := range liveIDs {
 			if !n.gsp.Alive(id) {
@@ -824,6 +917,9 @@ func (c *Cluster) WaitConverged(timeout time.Duration) error {
 
 // Close stops every node.
 func (c *Cluster) Close() {
+	c.stopElastic()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, adm := range c.admins {
 		adm.Close()
 	}

@@ -1,0 +1,360 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/elastic"
+	"bluedove/internal/store"
+	"bluedove/internal/telemetry"
+	"bluedove/internal/wire"
+)
+
+// MatcherState is a matcher's lifecycle phase as tracked by the elasticity
+// controller: active (serving), joining (started, segment handover in
+// flight), draining (chosen for removal, handing its segments away).
+type MatcherState string
+
+// Matcher lifecycle states.
+const (
+	StateActive   MatcherState = "active"
+	StateJoining  MatcherState = "joining"
+	StateDraining MatcherState = "draining"
+)
+
+// recElasticDecision is the decision journal's record kind (the journal has
+// a single record type: one JSON-encoded elastic.Decision per actuation).
+const recElasticDecision uint8 = 1
+
+// startElastic boots the embedded elasticity controller: a telemetry node
+// (role "elastic") exporting the decision counters and matcher-state gauges,
+// an optional decision journal under DataDir/elastic, and the scrape loop.
+func (c *Cluster) startElastic() error {
+	cfg := c.opts.ElasticConfig
+	if c.opts.DataDir != "" {
+		jnl, err := store.Open(store.Options{
+			Dir:   c.nodeDataDir("elastic"),
+			Fsync: c.opts.Fsync,
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: elastic journal: %w", err)
+		}
+		c.elJnl = jnl
+	}
+	prev := cfg.OnDecision
+	cfg.OnDecision = func(d elastic.Decision) {
+		if c.elJnl != nil {
+			if p, err := json.Marshal(d); err == nil {
+				_ = c.elJnl.Append(recElasticDecision, p)
+			}
+		}
+		if prev != nil {
+			prev(d)
+		}
+	}
+	c.elCtrl = elastic.NewController(cfg)
+
+	if c.opts.telemetryOn() {
+		id := c.nextNode
+		c.nextNode++
+		c.elasticID = id
+		tel := telemetry.New(telemetry.Options{
+			Base: []telemetry.Label{
+				telemetry.L("node", fmt.Sprintf("%d", id)),
+				telemetry.L("role", "elastic"),
+			},
+		})
+		r := tel.Registry
+		r.Gauge("node.info", "constant 1; labels identify the node", func(int64) float64 { return 1 })
+		r.Counter("elastic.scale_up", "controller scale-up decisions", &c.elCtrl.ScaleUps)
+		r.Counter("elastic.scale_down", "controller scale-down decisions", &c.elCtrl.ScaleDowns)
+		r.Counter("elastic.splits", "controller hot-segment split decisions", &c.elCtrl.Splits)
+		r.Counter("elastic.thrash", "scale direction reversals inside the thrash window", &c.elCtrl.Thrash)
+		r.Gauge("elastic.matchers", "active matcher count", func(int64) float64 {
+			a, _, _ := c.MatcherStates()
+			return float64(a)
+		})
+		r.Gauge("elastic.joining", "matchers mid-join", func(int64) float64 {
+			_, j, _ := c.MatcherStates()
+			return float64(j)
+		})
+		r.Gauge("elastic.draining", "matchers mid-removal", func(int64) float64 {
+			_, _, d := c.MatcherStates()
+			return float64(d)
+		})
+		c.telemetries[id] = tel
+		if c.opts.Admin {
+			adm, err := telemetry.Serve("127.0.0.1:0", tel)
+			if err != nil {
+				return fmt.Errorf("cluster: elastic admin endpoint: %w", err)
+			}
+			c.admins[id] = adm
+		}
+	}
+
+	c.elStop = make(chan struct{})
+	c.elDone = make(chan struct{})
+	go c.elasticLoop()
+	return nil
+}
+
+// stopElastic halts the controller loop and closes the decision journal.
+func (c *Cluster) stopElastic() {
+	if c.elStop == nil {
+		return
+	}
+	select {
+	case <-c.elStop:
+	default:
+		close(c.elStop)
+	}
+	<-c.elDone
+	if c.elJnl != nil {
+		_ = c.elJnl.Close()
+	}
+}
+
+// elasticLoop scrapes matcher telemetry on every tick and executes at most
+// one controller decision per tick. Actuations run inline — the controller's
+// cooldown is counted in observation rounds, so a slow handover simply
+// stretches the wall-clock spacing without changing the decision sequence.
+func (c *Cluster) elasticLoop() {
+	defer close(c.elDone)
+	ticker := time.NewTicker(c.opts.ElasticInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.elStop:
+			return
+		case <-ticker.C:
+			d := c.elCtrl.Observe(c.Scrape(time.Now().UnixNano()))
+			if d == nil {
+				continue
+			}
+			c.actuate(*d)
+		}
+	}
+}
+
+// Scrape samples every live matcher's load for the controller (exported for
+// tests and tooling). Decisions depend only on the returned samples.
+func (c *Cluster) Scrape(now int64) elastic.Scrape {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var trips int64
+	for i, d := range c.dispatchers {
+		if !c.stoppedDisp[i] {
+			trips += d.BreakerTrips()
+		}
+	}
+	s := elastic.Scrape{At: now}
+	for _, id := range c.order {
+		if c.stopped[id] {
+			continue
+		}
+		m := c.matchers[id]
+		if m == nil {
+			continue
+		}
+		ms := elastic.MatcherSample{
+			ID:           id,
+			BreakerTrips: trips,
+			Draining:     c.states[id] == StateDraining,
+		}
+		for _, l := range m.LoadSnapshot() {
+			ms.Dims = append(ms.Dims, elastic.DimSample{
+				Subs:        l.Subs,
+				QueueLen:    l.QueueLen,
+				ArrivalRate: l.ArrivalRate,
+				MatchRate:   l.MatchRate,
+			})
+		}
+		if p := m.Processed.Value(); p > 0 {
+			ms.ScannedPerMsg = float64(m.Scanned.Value()) / float64(p)
+		}
+		s.Matchers = append(s.Matchers, ms)
+	}
+	return s
+}
+
+// actuate executes one controller decision against the cluster.
+func (c *Cluster) actuate(d elastic.Decision) {
+	switch d.Action {
+	case elastic.ScaleUp:
+		_, _ = c.AddMatcher()
+	case elastic.ScaleDown:
+		_ = c.RemoveMatcher(d.Target)
+	case elastic.Split:
+		_, _ = c.SplitSegment(d.Target, d.Dim, d.To)
+	}
+}
+
+// ElasticController exposes the embedded controller (nil unless
+// Options.Elastic), for tests and tooling.
+func (c *Cluster) ElasticController() *elastic.Controller { return c.elCtrl }
+
+// MatcherStates returns the live matcher counts by lifecycle state.
+func (c *Cluster) MatcherStates() (active, joining, draining int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.order {
+		if c.stopped[id] || c.matchers[id] == nil {
+			continue
+		}
+		switch c.states[id] {
+		case StateJoining:
+			joining++
+		case StateDraining:
+			draining++
+		default:
+			active++
+		}
+	}
+	return
+}
+
+// RemoveMatcher gracefully removes a matcher: its segments are absorbed by
+// adjacent owners (the paper's leave protocol), range-bounded transfers move
+// its subscriptions, the shrunk table is published, and after the drain
+// grace the node stops. The last DrainGrace of the matcher's life it keeps
+// matching messages routed by stale tables — with persistence enabled any
+// forward that still reaches the dead node is retransmitted elsewhere, so no
+// acked publication is lost.
+func (c *Cluster) RemoveMatcher(id core.NodeID) error {
+	c.mu.Lock()
+	m, ok := c.matchers[id]
+	if !ok || c.stopped[id] {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: unknown or stopped matcher %v", id)
+	}
+	if c.states[id] == StateDraining {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: matcher %v already draining", id)
+	}
+	t := c.dispatchers[0].Table()
+	if t == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no table to leave")
+	}
+	newTab, handovers, err := t.Leave(id)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.states[id] = StateDraining
+	tr := c.matcherTr[id]
+	selfAddr := m.Addr()
+	targets := make(map[core.NodeID]string, len(handovers))
+	for _, h := range handovers {
+		if tm := c.matchers[h.To]; tm != nil && !c.stopped[h.To] {
+			targets[h.To] = tm.Addr()
+		}
+	}
+	c.mu.Unlock()
+
+	// Order the leaving matcher to transfer each absorbed range. The
+	// TransferID is derived from the new table version, so a re-issued
+	// handover (crash mid-transfer, controller retry) is adopted once.
+	for _, h := range handovers {
+		ta, ok := targets[h.To]
+		if !ok {
+			continue
+		}
+		body := (&wire.HandoverBody{
+			Dim: h.Dim, Low: h.Range.Low, High: h.Range.High, TargetAddr: ta,
+			TransferID: wire.TransferRangeID(h.From, newTab.Version(), h.Dim, h.Range.Low, h.Range.High),
+		}).Encode()
+		_ = tr.Send(selfAddr, &wire.Envelope{Kind: wire.KindHandover, From: id, Body: body})
+	}
+	c.dispatchers[0].SetTable(newTab)
+
+	// Drain: keep serving stale-routed traffic until tables propagate.
+	select {
+	case <-time.After(c.opts.DrainGrace):
+	case <-c.closing():
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped[id] {
+		return nil // crashed while draining
+	}
+	if c.mesh != nil {
+		c.mesh.SetDown(m.Addr(), true)
+	}
+	if c.opts.Chaos != nil {
+		c.opts.Chaos.Kill(m.Addr())
+	}
+	m.Stop()
+	c.stopped[id] = true
+	delete(c.states, id)
+	if c.opts.TCP {
+		c.matcherTr[id].Close()
+	}
+	return nil
+}
+
+// SplitSegment cuts hot's widest dimension-dim segment at a load-weighted
+// point (the median predicate center of the stored subscriptions) and
+// re-homes the upper half onto matcher to — the controller's answer to a
+// σ-skewed workload where one segment is hot while the cluster is cold.
+// Returns the cut point.
+func (c *Cluster) SplitSegment(hot core.NodeID, dim int, to core.NodeID) (float64, error) {
+	c.mu.Lock()
+	hm, ok := c.matchers[hot]
+	if !ok || c.stopped[hot] {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: unknown or stopped matcher %v", hot)
+	}
+	tm, ok := c.matchers[to]
+	if !ok || c.stopped[to] {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: unknown or stopped split target %v", to)
+	}
+	t := c.dispatchers[0].Table()
+	if t == nil {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: no table to split")
+	}
+	segs, err := t.SegmentsOf(hot, dim)
+	if err != nil {
+		c.mu.Unlock()
+		return 0, err
+	}
+	widest := segs[0]
+	for _, s := range segs[1:] {
+		if s.High-s.Low > widest.High-widest.Low {
+			widest = s
+		}
+	}
+	cut := hm.SplitPoint(dim, widest)
+	newTab, h, err := t.Split(dim, cut, to)
+	if err != nil {
+		c.mu.Unlock()
+		return 0, err
+	}
+	tr := c.matcherTr[hot]
+	selfAddr := hm.Addr()
+	targetAddr := tm.Addr()
+	c.mu.Unlock()
+
+	body := (&wire.HandoverBody{
+		Dim: h.Dim, Low: h.Range.Low, High: h.Range.High, TargetAddr: targetAddr,
+		TransferID: wire.TransferRangeID(h.From, newTab.Version(), h.Dim, h.Range.Low, h.Range.High),
+	}).Encode()
+	_ = tr.Send(selfAddr, &wire.Envelope{Kind: wire.KindHandover, From: hot, Body: body})
+	c.dispatchers[0].SetTable(newTab)
+	return cut, nil
+}
+
+// closing returns a channel closed when the elastic loop is told to stop
+// (never closed on clusters without the controller), so drains abort on
+// shutdown instead of sleeping through it.
+func (c *Cluster) closing() <-chan struct{} {
+	if c.elStop != nil {
+		return c.elStop
+	}
+	return make(chan struct{})
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"bluedove/internal/elastic"
+	"bluedove/internal/telemetry"
+)
+
+// TestElasticTelemetryScrape: the embedded controller exposes its own admin
+// node (role "elastic") whose /metrics scrape is well-formed Prometheus text
+// carrying the decision counters and matcher-state gauges that bluedove-top's
+// MATCHERS row and -validate contract read.
+func TestElasticTelemetryScrape(t *testing.T) {
+	opts := fastOptions(2)
+	opts.Dispatchers = 1
+	opts.Admin = true
+	opts.Elastic = true
+	opts.ElasticInterval = 50 * time.Millisecond
+	// Park the controller: watermarks never sustain long enough to actuate,
+	// so the scrape is stable while we read it.
+	opts.ElasticConfig = elastic.Config{SustainRounds: 1 << 20, MinMatchers: 2}
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the controller's admin endpoint by its role label.
+	var elasticAdmin string
+	for _, addr := range c.AdminAddrs() {
+		var v struct {
+			Labels map[string]string `json:"labels"`
+		}
+		if err := json.Unmarshal(httpGet(t, addr, "/debug/vars"), &v); err != nil {
+			t.Fatalf("%s /debug/vars: %v", addr, err)
+		}
+		if v.Labels["role"] == "elastic" {
+			elasticAdmin = addr
+			break
+		}
+	}
+	if elasticAdmin == "" {
+		t.Fatalf("no admin endpoint with role=elastic among %v", c.AdminAddrs())
+	}
+
+	// Must match requiredSeries("elastic") in cmd/bluedove-top.
+	required := []string{
+		"bluedove_node_info",
+		"bluedove_elastic_scale_up",
+		"bluedove_elastic_scale_down",
+		"bluedove_elastic_splits",
+		"bluedove_elastic_thrash",
+		"bluedove_elastic_matchers",
+		"bluedove_elastic_joining",
+		"bluedove_elastic_draining",
+	}
+	scrape := httpGet(t, elasticAdmin, "/metrics")
+	if err := telemetry.CheckPrometheusText(scrape, required); err != nil {
+		t.Fatalf("elastic scrape invalid: %v\n%s", err, scrape)
+	}
+
+	// The matcher-state gauges must reflect the live cluster.
+	var vars struct {
+		Metrics []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(httpGet(t, elasticAdmin, "/debug/vars"), &vars); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, m := range vars.Metrics {
+		got[m.Name] = m.Value
+	}
+	if got["elastic.matchers"] != 2 {
+		t.Fatalf("elastic.matchers = %g, want 2", got["elastic.matchers"])
+	}
+	if got["elastic.joining"] != 0 || got["elastic.draining"] != 0 {
+		t.Fatalf("joining/draining = %g/%g, want 0/0",
+			got["elastic.joining"], got["elastic.draining"])
+	}
+}

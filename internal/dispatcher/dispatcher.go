@@ -957,7 +957,8 @@ func (d *Dispatcher) handleJoin(env *wire.Envelope) *wire.Envelope {
 		if !ok {
 			continue
 		}
-		ho := (&wire.HandoverBody{Dim: h.Dim, Low: h.Range.Low, High: h.Range.High, TargetAddr: b.Addr}).Encode()
+		ho := (&wire.HandoverBody{Dim: h.Dim, Low: h.Range.Low, High: h.Range.High, TargetAddr: b.Addr,
+			TransferID: wire.TransferRangeID(h.From, newTab.Version(), h.Dim, h.Range.Low, h.Range.High)}).Encode()
 		_ = d.cfg.Transport.Send(addr, &wire.Envelope{Kind: wire.KindHandover, From: d.cfg.ID, Body: ho})
 	}
 	d.SetTable(newTab)
@@ -996,11 +997,18 @@ func (d *Dispatcher) onLiveness(id core.NodeID, alive bool) {
 	}
 	d.mu.Lock()
 	t := d.table
+	stopping := d.stopping
+	if !stopping {
+		d.wg.Add(1) // under mu: Stop sets stopping before Wait
+	}
 	d.mu.Unlock()
-	if t == nil || !t.HasMatcher(id) {
+	if stopping {
 		return
 	}
-	d.wg.Add(1)
+	if t == nil || !t.HasMatcher(id) {
+		d.wg.Done()
+		return
+	}
 	go func() {
 		defer d.wg.Done()
 		select {

@@ -1,0 +1,391 @@
+// Package elastic implements BlueDove's elasticity controller: the embedded
+// cluster component that turns matcher telemetry into scaling decisions.
+//
+// The controller periodically receives a Scrape — every matcher's
+// per-dimension load sample — and computes per-matcher utilization (the
+// λ/μ service ratio plus the time to drain the standing queue, maxed over
+// dimensions) and the cluster mean. Three actuations follow, each behind
+// hysteresis (a watermark must hold for SustainRounds consecutive scrapes)
+// and a cooldown (no further action for CooldownRounds after any action):
+//
+//   - scale up: the cluster mean stays at or above HighWater — start a new
+//     matcher and hand it the hottest segments (the paper's join protocol,
+//     Section III-C).
+//   - scale down: the cluster mean stays at or below LowWater and more than
+//     MinMatchers remain — drain the least-loaded matcher and remove it
+//     (the leave protocol).
+//   - split: one matcher is hot (≥ SplitMinUtil) while the cluster mean is
+//     not — the σ-skew signature where adding a matcher would not help
+//     because the load sits in one segment. The hot matcher's hottest
+//     dimension segment is cut at a load-weighted point and the upper half
+//     re-homed onto the coldest matcher.
+//
+// Decision logic never reads a clock: decisions are a pure function of the
+// scrape series and the controller's own round counter, so the same series
+// produces the same decisions under the real-time runtime and the
+// virtual-clock simulator, and a journaled run replays exactly.
+package elastic
+
+import (
+	"fmt"
+	"sort"
+
+	"bluedove/internal/core"
+	"bluedove/internal/metrics"
+)
+
+// DimSample is one matcher's load along one dimension (mirrors
+// forward.DimLoad, minus the dispatcher-side fields).
+type DimSample struct {
+	Subs        int
+	QueueLen    int
+	ArrivalRate float64 // λ, messages/second
+	MatchRate   float64 // μ, messages/second
+}
+
+// MatcherSample is one matcher's scraped telemetry.
+type MatcherSample struct {
+	ID   core.NodeID
+	Dims []DimSample
+	// BreakerTrips is the cumulative dispatcher breaker-trip count charged
+	// to this matcher (0 when unavailable); a rising count marks the matcher
+	// as persistently unhealthy even when its own rates look plausible.
+	BreakerTrips int64
+	// ScannedPerMsg is the matcher's index-efficiency figure (subscriptions
+	// examined per matched message); informational, journaled with decisions.
+	ScannedPerMsg float64
+	// Draining marks a matcher mid-removal; it is excluded from utilization
+	// and never chosen as a target.
+	Draining bool
+}
+
+// Scrape is one controller observation: every matcher's sample at a common
+// logical time. At is the scrape timestamp in cluster-clock nanoseconds
+// (virtual under the simulator); it is journaled, never used in decisions.
+type Scrape struct {
+	At       int64
+	Matchers []MatcherSample
+}
+
+// Action discriminates controller decisions.
+type Action int
+
+// Controller actions.
+const (
+	// ScaleUp starts a new matcher via the join protocol.
+	ScaleUp Action = iota + 1
+	// ScaleDown drains and removes Target via the leave protocol.
+	ScaleDown
+	// Split cuts Target's hottest dimension-Dim segment and re-homes the
+	// upper half onto To.
+	Split
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ScaleUp:
+		return "scale-up"
+	case ScaleDown:
+		return "scale-down"
+	case Split:
+		return "split"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Decision is one controller actuation order.
+type Decision struct {
+	Action Action
+	// At echoes the triggering scrape's timestamp.
+	At int64
+	// Round is the controller's observation counter at decision time.
+	Round int
+	// Target is the matcher acted on: the scale-down victim or the hot
+	// matcher whose segment splits (unset for scale-up).
+	Target core.NodeID
+	// To is the split destination (the coldest matcher); unset otherwise.
+	To core.NodeID
+	// Dim is the split dimension; -1 otherwise.
+	Dim int
+	// ClusterUtil and PeakUtil record the signal that fired.
+	ClusterUtil float64
+	PeakUtil    float64
+	// Reason is a human-readable one-liner for the journal.
+	Reason string
+}
+
+// String renders the decision for journals and logs.
+func (d Decision) String() string {
+	switch d.Action {
+	case Split:
+		return fmt.Sprintf("split{m%v dim%d -> m%v, util %.2f/%.2f, round %d}",
+			d.Target, d.Dim, d.To, d.PeakUtil, d.ClusterUtil, d.Round)
+	case ScaleDown:
+		return fmt.Sprintf("scale-down{m%v, util %.2f, round %d}", d.Target, d.ClusterUtil, d.Round)
+	default:
+		return fmt.Sprintf("scale-up{util %.2f, round %d}", d.ClusterUtil, d.Round)
+	}
+}
+
+// Config parameterizes a Controller. The zero value is usable: every field
+// defaults to the documented value.
+type Config struct {
+	// HighWater is the sustained cluster utilization that triggers scale-up
+	// (default 0.8).
+	HighWater float64
+	// LowWater is the sustained cluster utilization that triggers scale-down
+	// (default 0.25).
+	LowWater float64
+	// SustainRounds is how many consecutive scrapes a watermark must hold
+	// before acting — the hysteresis that rides out spikes (default 3).
+	SustainRounds int
+	// CooldownRounds suppresses all actions for this many scrapes after any
+	// action, letting handovers settle and the signal re-form (default 4).
+	CooldownRounds int
+	// MinMatchers floors scale-down (default 2).
+	MinMatchers int
+	// MaxMatchers caps scale-up (default 0 = unlimited).
+	MaxMatchers int
+	// SplitMinUtil is the per-matcher utilization that marks a matcher hot
+	// enough to split (default 0.6).
+	SplitMinUtil float64
+	// SplitSkewRatio is the hot-matcher-to-cluster-mean ratio that marks
+	// skew rather than uniform load (default 2.0).
+	SplitSkewRatio float64
+	// QueueHorizonSec converts standing queue into utilization: a queue that
+	// takes this many seconds to drain at rate μ counts as 1.0 (default 5).
+	QueueHorizonSec float64
+	// ThrashWindowRounds: a direction reversal (scale-up after scale-down or
+	// vice versa) within this many rounds increments the thrash counter
+	// (default 10).
+	ThrashWindowRounds int
+	// OnDecision, when non-nil, observes every decision as it is made —
+	// the journaling hook (called synchronously from Observe).
+	OnDecision func(Decision)
+}
+
+func (c *Config) defaults() {
+	if c.HighWater <= 0 {
+		c.HighWater = 0.8
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = 0.25
+	}
+	if c.SustainRounds <= 0 {
+		c.SustainRounds = 3
+	}
+	if c.CooldownRounds <= 0 {
+		c.CooldownRounds = 4
+	}
+	if c.MinMatchers <= 0 {
+		c.MinMatchers = 2
+	}
+	if c.SplitMinUtil <= 0 {
+		c.SplitMinUtil = 0.6
+	}
+	if c.SplitSkewRatio <= 0 {
+		c.SplitSkewRatio = 2.0
+	}
+	if c.QueueHorizonSec <= 0 {
+		c.QueueHorizonSec = 5
+	}
+	if c.ThrashWindowRounds <= 0 {
+		c.ThrashWindowRounds = 10
+	}
+}
+
+// Controller turns scrape series into decisions. Not safe for concurrent
+// use; the owner serializes Observe calls (one per scrape tick).
+type Controller struct {
+	cfg Config
+
+	round      int
+	over       int // consecutive rounds at/above HighWater
+	under      int // consecutive rounds at/below LowWater
+	skew       int // consecutive rounds showing the split signature
+	cooldown   int // rounds remaining before the next action is allowed
+	lastAction Action
+	lastRound  int
+
+	// ScaleUps, ScaleDowns and Splits count decisions by kind; Thrash counts
+	// direction reversals inside the thrash window. All are exported as
+	// elastic.* telemetry by the embedding node.
+	ScaleUps   metrics.Counter
+	ScaleDowns metrics.Counter
+	Splits     metrics.Counter
+	Thrash     metrics.Counter
+}
+
+// NewController builds a controller.
+func NewController(cfg Config) *Controller {
+	cfg.defaults()
+	return &Controller{cfg: cfg}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Utilization computes one matcher's utilization: per dimension, the service
+// ratio λ/μ plus the queue drain debt q/(μ·horizon), maxed over dimensions.
+// A dimension with unknown capacity (μ=0) counts as saturated when work is
+// queued and idle otherwise.
+func Utilization(m MatcherSample, horizonSec float64) float64 {
+	peak := 0.0
+	for _, d := range m.Dims {
+		var u float64
+		if d.MatchRate > 0 {
+			u = d.ArrivalRate/d.MatchRate + float64(d.QueueLen)/(d.MatchRate*horizonSec)
+		} else if d.QueueLen > 0 {
+			u = 1.5 // no measured capacity but standing work: saturated
+		}
+		if u > peak {
+			peak = u
+		}
+	}
+	return peak
+}
+
+// Observe ingests one scrape and returns at most one decision. The scrape's
+// matcher order does not matter — samples are sorted by ID internally so the
+// decision is a pure function of the sample set.
+func (c *Controller) Observe(s Scrape) *Decision {
+	c.round++
+
+	active := make([]MatcherSample, 0, len(s.Matchers))
+	for _, m := range s.Matchers {
+		if !m.Draining {
+			active = append(active, m)
+		}
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].ID < active[j].ID })
+	if len(active) == 0 {
+		c.over, c.under, c.skew = 0, 0, 0
+		return nil
+	}
+
+	utils := make([]float64, len(active))
+	mean, peak, peakIdx := 0.0, 0.0, 0
+	for i, m := range active {
+		utils[i] = Utilization(m, c.cfg.QueueHorizonSec)
+		mean += utils[i]
+		if utils[i] > peak {
+			peak, peakIdx = utils[i], i
+		}
+	}
+	mean /= float64(len(active))
+
+	// Update the sustained-signal counters every round, cooldown or not, so
+	// a condition that persists through a cooldown fires immediately after.
+	if mean >= c.cfg.HighWater {
+		c.over++
+	} else {
+		c.over = 0
+	}
+	if mean <= c.cfg.LowWater {
+		c.under++
+	} else {
+		c.under = 0
+	}
+	splitSig := len(active) >= 2 &&
+		peak >= c.cfg.SplitMinUtil &&
+		mean < c.cfg.HighWater &&
+		peak >= mean*c.cfg.SplitSkewRatio
+	if splitSig {
+		c.skew++
+	} else {
+		c.skew = 0
+	}
+
+	if c.cooldown > 0 {
+		c.cooldown--
+		return nil
+	}
+
+	switch {
+	case c.over >= c.cfg.SustainRounds &&
+		(c.cfg.MaxMatchers == 0 || len(active) < c.cfg.MaxMatchers):
+		return c.decide(Decision{
+			Action: ScaleUp, At: s.At, Round: c.round, Dim: -1,
+			ClusterUtil: mean, PeakUtil: peak,
+			Reason: fmt.Sprintf("mean util %.2f >= %.2f for %d rounds", mean, c.cfg.HighWater, c.over),
+		})
+	case c.skew >= c.cfg.SustainRounds:
+		hot := active[peakIdx]
+		dim := hottestDim(hot, c.cfg.QueueHorizonSec)
+		// Coldest other matcher receives the split half.
+		coldIdx := -1
+		for i := range active {
+			if i == peakIdx {
+				continue
+			}
+			if coldIdx < 0 || utils[i] < utils[coldIdx] {
+				coldIdx = i
+			}
+		}
+		return c.decide(Decision{
+			Action: Split, At: s.At, Round: c.round,
+			Target: hot.ID, To: active[coldIdx].ID, Dim: dim,
+			ClusterUtil: mean, PeakUtil: peak,
+			Reason: fmt.Sprintf("m%v util %.2f vs mean %.2f (skew) for %d rounds", hot.ID, peak, mean, c.skew),
+		})
+	case c.under >= c.cfg.SustainRounds && len(active) > c.cfg.MinMatchers:
+		// Drain the least-loaded matcher; ties go to the highest ID so the
+		// most recently added node retires first.
+		victim := 0
+		for i := range active {
+			if utils[i] < utils[victim] ||
+				(utils[i] == utils[victim] && active[i].ID > active[victim].ID) {
+				victim = i
+			}
+		}
+		return c.decide(Decision{
+			Action: ScaleDown, At: s.At, Round: c.round, Target: active[victim].ID, Dim: -1,
+			ClusterUtil: mean, PeakUtil: peak,
+			Reason: fmt.Sprintf("mean util %.2f <= %.2f for %d rounds", mean, c.cfg.LowWater, c.under),
+		})
+	}
+	return nil
+}
+
+// hottestDim returns the index of the sample's highest-utilization dimension.
+func hottestDim(m MatcherSample, horizonSec float64) int {
+	best, bestU := 0, -1.0
+	for i, d := range m.Dims {
+		var u float64
+		if d.MatchRate > 0 {
+			u = d.ArrivalRate/d.MatchRate + float64(d.QueueLen)/(d.MatchRate*horizonSec)
+		} else if d.QueueLen > 0 {
+			u = 1.5
+		}
+		if u > bestU {
+			best, bestU = i, u
+		}
+	}
+	return best
+}
+
+// decide finalizes a decision: resets signals, arms the cooldown, counts the
+// action (and thrash on a quick reversal), and runs the journal hook.
+func (c *Controller) decide(d Decision) *Decision {
+	reversal := (d.Action == ScaleUp && c.lastAction == ScaleDown) ||
+		(d.Action == ScaleDown && c.lastAction == ScaleUp)
+	if reversal && c.round-c.lastRound <= c.cfg.ThrashWindowRounds {
+		c.Thrash.Add(1)
+	}
+	switch d.Action {
+	case ScaleUp:
+		c.ScaleUps.Add(1)
+	case ScaleDown:
+		c.ScaleDowns.Add(1)
+	case Split:
+		c.Splits.Add(1)
+	}
+	c.lastAction, c.lastRound = d.Action, c.round
+	c.over, c.under, c.skew = 0, 0, 0
+	c.cooldown = c.cfg.CooldownRounds
+	if c.cfg.OnDecision != nil {
+		c.cfg.OnDecision(d)
+	}
+	return &d
+}

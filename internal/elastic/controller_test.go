@@ -1,0 +1,271 @@
+package elastic
+
+import (
+	"testing"
+
+	"bluedove/internal/core"
+)
+
+// uniformScrape builds a scrape where every matcher runs at utilization u
+// (single dimension, μ=1000, λ=u·μ, empty queue).
+func uniformScrape(at int64, n int, u float64) Scrape {
+	s := Scrape{At: at}
+	for i := 0; i < n; i++ {
+		s.Matchers = append(s.Matchers, MatcherSample{
+			ID:   core.NodeID(i + 1),
+			Dims: []DimSample{{Subs: 100, ArrivalRate: u * 1000, MatchRate: 1000}},
+		})
+	}
+	return s
+}
+
+// feed runs a utilization series through the controller, one scrape per
+// round, and returns every decision.
+func feed(c *Controller, n int, series []float64) []Decision {
+	var out []Decision
+	for i, u := range series {
+		if d := c.Observe(uniformScrape(int64(i)*1e9, n, u)); d != nil {
+			out = append(out, *d)
+		}
+	}
+	return out
+}
+
+// TestDecisionTableRamp: a sustained ramp over the high watermark produces a
+// scale-up after exactly SustainRounds, then nothing during the cooldown,
+// then another scale-up if the signal persists.
+func TestDecisionTableRamp(t *testing.T) {
+	c := NewController(Config{SustainRounds: 3, CooldownRounds: 4})
+	// Rounds:        1    2    3    4    5    6    7    8    9   10   11   12
+	series := []float64{0.2, 0.5, 0.7, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9}
+	ds := feed(c, 3, series)
+	if len(ds) != 2 {
+		t.Fatalf("decisions = %v, want 2 scale-ups", ds)
+	}
+	// Over-counter starts at round 4 (0.9 ≥ 0.8); third consecutive round is 6.
+	if ds[0].Action != ScaleUp || ds[0].Round != 6 {
+		t.Errorf("first decision %v, want scale-up at round 6", ds[0])
+	}
+	// Cooldown 4 suppresses rounds 7-10; the signal persists, so the counter
+	// is already sustained and round 11 fires.
+	if ds[1].Action != ScaleUp || ds[1].Round != 11 {
+		t.Errorf("second decision %v, want scale-up at round 11", ds[1])
+	}
+	if c.ScaleUps.Value() != 2 || c.Thrash.Value() != 0 {
+		t.Errorf("counters: ups=%d thrash=%d", c.ScaleUps.Value(), c.Thrash.Value())
+	}
+}
+
+// TestDecisionTableSpike: a one-round spike never acts — hysteresis rides
+// it out.
+func TestDecisionTableSpike(t *testing.T) {
+	c := NewController(Config{SustainRounds: 3, CooldownRounds: 4})
+	series := []float64{0.4, 0.4, 1.5, 0.4, 0.4, 1.5, 1.5, 0.4, 0.4, 0.4}
+	if ds := feed(c, 3, series); len(ds) != 0 {
+		t.Fatalf("decisions = %v, want none for spikes", ds)
+	}
+}
+
+// TestDecisionTableFlap: utilization oscillating around the watermark
+// produces no actions and no thrash — the flap never sustains.
+func TestDecisionTableFlap(t *testing.T) {
+	c := NewController(Config{HighWater: 0.8, LowWater: 0.25, SustainRounds: 3, CooldownRounds: 4})
+	var series []float64
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			series = append(series, 0.85) // one round over
+		} else {
+			series = append(series, 0.2) // one round under
+		}
+	}
+	ds := feed(c, 3, series)
+	if len(ds) != 0 {
+		t.Fatalf("decisions = %v, want none under flap", ds)
+	}
+	if c.Thrash.Value() != 0 {
+		t.Fatalf("thrash = %d, want 0 under flap", c.Thrash.Value())
+	}
+}
+
+// TestDecisionTableScaleDown: sustained idle drains the least-loaded matcher
+// but never below MinMatchers.
+func TestDecisionTableScaleDown(t *testing.T) {
+	c := NewController(Config{SustainRounds: 3, CooldownRounds: 2, MinMatchers: 2})
+	mk := func(at int64, utils ...float64) Scrape {
+		s := Scrape{At: at}
+		for i, u := range utils {
+			s.Matchers = append(s.Matchers, MatcherSample{
+				ID:   core.NodeID(i + 1),
+				Dims: []DimSample{{ArrivalRate: u * 1000, MatchRate: 1000}},
+			})
+		}
+		return s
+	}
+	var ds []Decision
+	draining := map[core.NodeID]bool{}
+	for r := 0; r < 8; r++ {
+		s := mk(int64(r), 0.1, 0.05, 0.2)
+		// Feed the controller its own actuation back, as a real cluster
+		// would: a chosen victim drains and drops out of the sample.
+		for i := range s.Matchers {
+			if draining[s.Matchers[i].ID] {
+				s.Matchers[i].Draining = true
+			}
+		}
+		if d := c.Observe(s); d != nil {
+			ds = append(ds, *d)
+			draining[d.Target] = true
+		}
+	}
+	// One scale-down of the least-loaded matcher; afterwards two matchers
+	// remain, which is MinMatchers, so idle no longer shrinks the cluster.
+	if len(ds) != 1 || ds[0].Action != ScaleDown || ds[0].Target != 2 {
+		t.Fatalf("decisions = %v, want one scale-down of matcher 2 (least loaded)", ds)
+	}
+	// At MinMatchers, idle no longer shrinks the cluster.
+	c2 := NewController(Config{SustainRounds: 2, MinMatchers: 2})
+	for r := 0; r < 8; r++ {
+		if d := c2.Observe(mk(int64(r), 0.05, 0.05)); d != nil {
+			t.Fatalf("scale-down below MinMatchers: %v", d)
+		}
+	}
+}
+
+// TestDecisionTableSkewSplit: one hot matcher while the cluster mean is low
+// is the split signature — the hot matcher's hottest dimension goes to the
+// coldest matcher.
+func TestDecisionTableSkewSplit(t *testing.T) {
+	c := NewController(Config{SustainRounds: 3, CooldownRounds: 4, LowWater: 0.1})
+	mk := func(at int64) Scrape {
+		return Scrape{At: at, Matchers: []MatcherSample{
+			{ID: 1, Dims: []DimSample{
+				{ArrivalRate: 200, MatchRate: 1000},  // dim 0 cool
+				{ArrivalRate: 1100, MatchRate: 1000}, // dim 1 hot
+			}},
+			{ID: 2, Dims: []DimSample{
+				{ArrivalRate: 300, MatchRate: 1000},
+				{ArrivalRate: 250, MatchRate: 1000},
+			}},
+			{ID: 3, Dims: []DimSample{
+				{ArrivalRate: 150, MatchRate: 1000},
+				{ArrivalRate: 100, MatchRate: 1000},
+			}},
+		}}
+	}
+	var ds []Decision
+	for r := 0; r < 5; r++ {
+		if d := c.Observe(mk(int64(r))); d != nil {
+			ds = append(ds, *d)
+		}
+	}
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %v, want one split", ds)
+	}
+	d := ds[0]
+	if d.Action != Split || d.Target != 1 || d.Dim != 1 || d.To != 3 {
+		t.Fatalf("split = %v, want m1 dim1 -> m3", d)
+	}
+	if c.Splits.Value() != 1 {
+		t.Errorf("splits counter = %d", c.Splits.Value())
+	}
+}
+
+// TestDrainingExcluded: a draining matcher neither contributes utilization
+// nor becomes a target.
+func TestDrainingExcluded(t *testing.T) {
+	c := NewController(Config{SustainRounds: 2, CooldownRounds: 1, MinMatchers: 1})
+	mk := func(at int64) Scrape {
+		return Scrape{At: at, Matchers: []MatcherSample{
+			{ID: 1, Dims: []DimSample{{ArrivalRate: 100, MatchRate: 1000}}},
+			{ID: 2, Dims: []DimSample{{ArrivalRate: 50, MatchRate: 1000}}},
+			{ID: 3, Draining: true, Dims: []DimSample{{ArrivalRate: 2000, MatchRate: 1000}}},
+		}}
+	}
+	for r := 0; r < 4; r++ {
+		if d := c.Observe(mk(int64(r))); d != nil {
+			if d.Target == 3 {
+				t.Fatalf("draining matcher targeted: %v", d)
+			}
+			return // the idle scale-down of m2 is expected
+		}
+	}
+}
+
+// TestThrashCounter: a forced quick reversal is counted — the counter works,
+// it just must stay 0 under flap (TestDecisionTableFlap).
+func TestThrashCounter(t *testing.T) {
+	c := NewController(Config{SustainRounds: 1, CooldownRounds: 1, ThrashWindowRounds: 10, MinMatchers: 2})
+	// Round 1: hot → scale-up. Round 2: cooldown. Round 3: idle → scale-down
+	// two rounds after the scale-up — inside the thrash window.
+	if d := c.Observe(uniformScrape(0, 3, 0.95)); d == nil || d.Action != ScaleUp {
+		t.Fatalf("want scale-up, got %v", d)
+	}
+	c.Observe(uniformScrape(1, 3, 0.1))
+	if d := c.Observe(uniformScrape(2, 3, 0.1)); d == nil || d.Action != ScaleDown {
+		t.Fatalf("want scale-down, got %v", d)
+	}
+	if c.Thrash.Value() != 1 {
+		t.Fatalf("thrash = %d, want 1", c.Thrash.Value())
+	}
+}
+
+// TestDeterminism: the same scrape series drives two controllers to
+// identical decision sequences regardless of sample order.
+func TestDeterminism(t *testing.T) {
+	mkSeries := func(shuffle bool) []Decision {
+		c := NewController(Config{})
+		var out []Decision
+		for r := 0; r < 30; r++ {
+			s := uniformScrape(int64(r)*1e9, 4, 0.9)
+			if shuffle {
+				s.Matchers[0], s.Matchers[3] = s.Matchers[3], s.Matchers[0]
+				s.Matchers[1], s.Matchers[2] = s.Matchers[2], s.Matchers[1]
+			}
+			if d := c.Observe(s); d != nil {
+				out = append(out, *d)
+			}
+		}
+		return out
+	}
+	a, b := mkSeries(false), mkSeries(true)
+	if len(a) == 0 {
+		t.Fatal("no decisions from a sustained-hot series")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("decision counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestUtilizationQueueDebt: standing queues raise utilization beyond λ/μ.
+func TestUtilizationQueueDebt(t *testing.T) {
+	m := MatcherSample{ID: 1, Dims: []DimSample{
+		{ArrivalRate: 500, MatchRate: 1000, QueueLen: 2500},
+	}}
+	// λ/μ = 0.5 plus 2500/(1000·5s) = 0.5 → 1.0.
+	if u := Utilization(m, 5); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization = %g, want 1.0", u)
+	}
+	// Unknown capacity with standing work counts saturated.
+	m2 := MatcherSample{ID: 2, Dims: []DimSample{{QueueLen: 10}}}
+	if u := Utilization(m2, 5); u < 1 {
+		t.Fatalf("utilization = %g, want >= 1 for unmeasured backlog", u)
+	}
+}
+
+// TestOnDecisionJournal: every decision reaches the journal hook, in order.
+func TestOnDecisionJournal(t *testing.T) {
+	var seen []Decision
+	c := NewController(Config{SustainRounds: 1, CooldownRounds: 1,
+		OnDecision: func(d Decision) { seen = append(seen, d) }})
+	c.Observe(uniformScrape(0, 2, 0.95))
+	c.Observe(uniformScrape(1, 2, 0.95))
+	c.Observe(uniformScrape(2, 2, 0.95))
+	if len(seen) != 2 || seen[0].Action != ScaleUp {
+		t.Fatalf("journaled = %v", seen)
+	}
+}

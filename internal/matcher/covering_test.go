@@ -62,8 +62,8 @@ func TestCoveringHandoverIncludesRiders(t *testing.T) {
 		t.Fatalf("IndexedOnDim = %d, want 2", got)
 	}
 	h.send(t, wire.KindHandover, (&wire.HandoverBody{Dim: 0, Low: 50, High: 100, TargetAddr: "peer"}).Encode())
-	waitFor(t, func() bool { return len(h.received(wire.KindTransfer)) == 1 })
-	tr, err := wire.DecodeTransfer(h.received(wire.KindTransfer)[0].Body)
+	waitFor(t, func() bool { return len(h.received(wire.KindTransferRange)) == 1 })
+	tr, err := wire.DecodeTransferRange(h.received(wire.KindTransferRange)[0].Body)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package matcher
 
 import (
 	"fmt"
+	"sort"
 
 	"bluedove/internal/partition"
 	"bluedove/internal/store"
@@ -19,6 +20,12 @@ const (
 	recSubRemove uint8 = 2 // wire.UnsubscribeBody: remove from every dimension
 	recTransfer  uint8 = 3 // wire.TransferBody: handover bulk install
 	recTable     uint8 = 4 // partition table encoding: adopted segment table
+	// recTransferRange is a wire.TransferRangeBody: a range-bounded handover
+	// install. Replay re-arms the adoption guard with the TransferID, so a
+	// transfer retried across a crash of the receiving matcher is still
+	// adopted at most once. Snapshots persist the guard as sub-less
+	// TransferRangeBody records.
+	recTransferRange uint8 = 5
 )
 
 // openJournal opens (and recovers) the durable subscription journal when
@@ -73,6 +80,23 @@ func (m *Matcher) applyRecord(kind uint8, payload []byte) error {
 				m.store(b.Dim, s, addr)
 			}
 		}
+	case recTransferRange:
+		if b, err := wire.DecodeTransferRange(payload); err == nil && b.Dim >= 0 && b.Dim < len(m.dims) {
+			// Replay unconditionally marks the ID adopted; the subscriptions
+			// were stored pre-crash, so re-install them too (idempotent adds).
+			m.adoptedMu.Lock()
+			if b.TransferID != 0 {
+				m.adopted[b.TransferID] = true
+			}
+			m.adoptedMu.Unlock()
+			for i, s := range b.Subs {
+				addr := ""
+				if i < len(b.DeliverAddrs) {
+					addr = b.DeliverAddrs[i]
+				}
+				m.store(b.Dim, s, addr)
+			}
+		}
 	case recTable:
 		if t, err := partition.Decode(payload); err == nil {
 			m.tableMu.Lock()
@@ -117,6 +141,19 @@ func (m *Matcher) snapshotJournal() {
 	}
 	if t := m.Table(); t != nil {
 		payload = store.AppendRecord(payload, recTable, t.Encode())
+	}
+	// Persist the adoption guard: one sub-less transfer-range record per
+	// adopted ID, replayed through the same applyRecord path.
+	m.adoptedMu.Lock()
+	ids := make([]uint64, 0, len(m.adopted))
+	for id := range m.adopted {
+		ids = append(ids, id)
+	}
+	m.adoptedMu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		body := (&wire.TransferRangeBody{TransferID: id, High: 1}).Encode()
+		payload = store.AppendRecord(payload, recTransferRange, body)
 	}
 	_ = m.jnl.Snapshot(payload)
 }

@@ -10,6 +10,7 @@ package matcher
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -182,6 +183,12 @@ type Matcher struct {
 	tableMu sync.Mutex
 	table   *partition.Table
 
+	// adopted guards against double adoption of range transfers: a transfer
+	// re-sent after a mid-handover crash carries the same TransferID and is
+	// acknowledged without storing its subscriptions twice.
+	adoptedMu sync.Mutex
+	adopted   map[uint64]bool
+
 	// jnl is the durable subscription journal (nil on in-memory nodes).
 	jnl *store.Store
 
@@ -241,6 +248,7 @@ func New(cfg Config) (*Matcher, error) {
 	}
 	m := &Matcher{cfg: cfg, stop: make(chan struct{}), ready: make(chan struct{}),
 		sendCopies:   transport.SendCopies(cfg.Transport),
+		adopted:      make(map[uint64]bool),
 		matchLatency: metrics.NewHistogram()}
 	k := cfg.Space.K()
 	m.dims = make([]*dimSet, k)
@@ -401,6 +409,23 @@ func (m *Matcher) handle(env *wire.Envelope) *wire.Envelope {
 			m.store(b.Dim, s, addr)
 		}
 		m.journal(recTransfer, env.Body)
+		return nil
+	case wire.KindTransferRange:
+		b, err := wire.DecodeTransferRange(env.Body)
+		if err != nil || b.Dim < 0 || b.Dim >= len(m.dims) {
+			return nil
+		}
+		if !m.adopt(b.TransferID) {
+			return nil // duplicate of an already-adopted transfer
+		}
+		for i, s := range b.Subs {
+			addr := ""
+			if i < len(b.DeliverAddrs) {
+				addr = b.DeliverAddrs[i]
+			}
+			m.store(b.Dim, s, addr)
+		}
+		m.journal(recTransferRange, env.Body)
 		return nil
 	case wire.KindHandover:
 		if b, err := wire.DecodeHandover(env.Body); err == nil {
@@ -573,9 +598,28 @@ func (m *Matcher) send(addr string, kind wire.Kind, body appendBody) {
 	_ = m.cfg.Transport.Send(addr, &wire.Envelope{Kind: kind, From: m.cfg.ID, Body: body.Encode()})
 }
 
-// handover ships every subscription overlapping the handed-over range to
-// the target matcher (join protocol). With covering enabled, Overlapping
-// enumerates covered subscriptions too, so riders move with their covers.
+// adopt records a range-transfer idempotency key, returning false when the
+// transfer was already adopted (the double-adoption guard).
+func (m *Matcher) adopt(id uint64) bool {
+	if id == 0 {
+		return true // untagged transfer: no guard requested
+	}
+	m.adoptedMu.Lock()
+	defer m.adoptedMu.Unlock()
+	if m.adopted[id] {
+		return false
+	}
+	m.adopted[id] = true
+	return true
+}
+
+// handover ships every subscription overlapping the handed-over range to the
+// target matcher as one range-bounded transfer frame (join, leave and split
+// protocols). The frame carries the originator's idempotency key, so a
+// handover re-issued after a crash mid-transfer produces a byte-identical
+// TransferID and the target's adoption guard drops the duplicate. With
+// covering enabled, Overlapping enumerates covered subscriptions too, so
+// riders move with their covers.
 func (m *Matcher) handover(b *wire.HandoverBody) {
 	ds := m.dims[b.Dim]
 	r := core.Range{Low: b.Low, High: b.High}
@@ -590,8 +634,47 @@ func (m *Matcher) handover(b *wire.HandoverBody) {
 		}
 		sh.mu.RUnlock()
 	}
-	body := (&wire.TransferBody{Dim: b.Dim, Subs: subs, DeliverAddrs: addrs}).Encode()
-	_ = m.cfg.Transport.Send(b.TargetAddr, &wire.Envelope{Kind: wire.KindTransfer, From: m.cfg.ID, Body: body})
+	tid := b.TransferID
+	if tid == 0 {
+		tid = wire.TransferRangeID(m.cfg.ID, 0, b.Dim, b.Low, b.High)
+	}
+	body := (&wire.TransferRangeBody{TransferID: tid, Dim: b.Dim,
+		Low: b.Low, High: b.High, Subs: subs, DeliverAddrs: addrs}).Encode()
+	_ = m.cfg.Transport.Send(b.TargetAddr, &wire.Envelope{Kind: wire.KindTransferRange, From: m.cfg.ID, Body: body})
+}
+
+// SplitPoint returns the load-weighted cut point for this matcher's
+// dimension-dim subscriptions within r: the median predicate center, so a
+// split at this point moves roughly half the stored load. It falls back to
+// the range midpoint when fewer than two subscriptions overlap. Deterministic
+// given the same stored set — the elasticity controller's split decisions
+// replay identically.
+func (m *Matcher) SplitPoint(dim int, r core.Range) float64 {
+	if dim < 0 || dim >= len(m.dims) {
+		return r.Low + (r.High-r.Low)/2
+	}
+	var centers []float64
+	for _, sh := range m.dims[dim].shards {
+		sh.mu.RLock()
+		for _, s := range sh.idx.Overlapping(r, nil) {
+			p := s.Predicates[dim]
+			c := p.Low + (p.High-p.Low)/2
+			if c > r.Low && c < r.High {
+				centers = append(centers, c)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	mid := r.Low + (r.High-r.Low)/2
+	if len(centers) < 2 {
+		return mid
+	}
+	sort.Float64s(centers)
+	cut := centers[len(centers)/2]
+	if cut <= r.Low || cut >= r.High {
+		return mid
+	}
+	return cut
 }
 
 // reportLoop pushes per-dimension load reports to every dispatcher.
@@ -781,14 +864,24 @@ func (m *Matcher) pruneTo(t *partition.Table) {
 		return // removed from the table: keep serving until shut down
 	}
 	for dim, ds := range m.dims {
-		seg, err := t.SegmentOf(m.cfg.ID, dim)
+		// After a split a matcher may own several disjoint ranges on one
+		// dimension; a subscription stays if it overlaps any of them.
+		segs, err := t.SegmentsOf(m.cfg.ID, dim)
 		if err != nil {
 			continue
+		}
+		overlapsAny := func(r core.Range) bool {
+			for _, seg := range segs {
+				if r.Overlaps(seg) {
+					return true
+				}
+			}
+			return false
 		}
 		for _, sh := range ds.shards {
 			sh.mu.Lock()
 			for _, s := range sh.idx.All(nil) {
-				if !s.Predicates[dim].Overlaps(seg) {
+				if !overlapsAny(s.Predicates[dim]) {
 					sh.idx.Remove(s.ID)
 					delete(sh.addrs, s.ID)
 				}

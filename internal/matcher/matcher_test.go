@@ -192,15 +192,50 @@ func TestHandoverTransfersOverlapping(t *testing.T) {
 	h.send(t, wire.KindStore, (&wire.StoreBody{Dim: 0, Sub: mkSub(1, 0, 30), DeliverAddr: "a1"}).Encode())
 	h.send(t, wire.KindStore, (&wire.StoreBody{Dim: 0, Sub: mkSub(2, 60, 90), DeliverAddr: "a2"}).Encode())
 	waitFor(t, func() bool { return h.m.SubsOnDim(0) == 2 })
-	// Hand over [50,100): only sub 2 overlaps.
-	h.send(t, wire.KindHandover, (&wire.HandoverBody{Dim: 0, Low: 50, High: 100, TargetAddr: "peer"}).Encode())
-	waitFor(t, func() bool { return len(h.received(wire.KindTransfer)) == 1 })
-	tr, err := wire.DecodeTransfer(h.received(wire.KindTransfer)[0].Body)
+	// Hand over [50,100): only sub 2 overlaps. The outgoing frame is
+	// range-bounded and carries the requested idempotency key.
+	h.send(t, wire.KindHandover, (&wire.HandoverBody{Dim: 0, Low: 50, High: 100, TargetAddr: "peer",
+		TransferID: 77}).Encode())
+	waitFor(t, func() bool { return len(h.received(wire.KindTransferRange)) == 1 })
+	tr, err := wire.DecodeTransferRange(h.received(wire.KindTransferRange)[0].Body)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if tr.TransferID != 77 || tr.Dim != 0 || tr.Low != 50 || tr.High != 100 {
+		t.Fatalf("transfer header: %+v", tr)
+	}
 	if len(tr.Subs) != 1 || tr.Subs[0].ID != 2 || tr.DeliverAddrs[0] != "a2" {
 		t.Fatalf("transfer: %+v", tr)
+	}
+}
+
+func TestTransferRangeAdoptedOnce(t *testing.T) {
+	h := newHarness(t)
+	body := (&wire.TransferRangeBody{
+		TransferID:   42,
+		Dim:          0,
+		Low:          0,
+		High:         100,
+		Subs:         []*core.Subscription{mkSub(1, 10, 20)},
+		DeliverAddrs: []string{"a1"},
+	}).Encode()
+	h.send(t, wire.KindTransferRange, body)
+	waitFor(t, func() bool { return h.m.SubsOnDim(0) == 1 })
+	// The same transfer retried (sender crashed mid-handover, controller
+	// re-issued it) must not double-install.
+	h.send(t, wire.KindTransferRange, body)
+	// A distinct transfer still lands, proving the guard is per-ID.
+	h.send(t, wire.KindTransferRange, (&wire.TransferRangeBody{
+		TransferID:   43,
+		Dim:          0,
+		Low:          0,
+		High:         100,
+		Subs:         []*core.Subscription{mkSub(2, 30, 40)},
+		DeliverAddrs: []string{"a2"},
+	}).Encode())
+	waitFor(t, func() bool { return h.m.SubsOnDim(0) == 2 })
+	if h.m.SubsOnDim(0) != 2 {
+		t.Fatalf("subs = %d, want 2 (duplicate transfer adopted?)", h.m.SubsOnDim(0))
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 // matcher on that dimension.
 func (t *Table) Assignments(s *core.Subscription) []Assignment {
 	out := make([]Assignment, 0, t.K()+2)
+	var seen map[core.NodeID]bool
 	for i, dp := range t.dims {
 		d := t.space.Dim(i)
 		pred := s.Predicates[i].Intersect(core.Range{Low: d.Min, High: d.Max})
@@ -19,11 +20,20 @@ func (t *Table) Assignments(s *core.Subscription) []Assignment {
 			continue // unsatisfiable predicate; Validate rejects these upstream
 		}
 		lo := dp.segmentOf(pred.Low)
+		seen = nil // owners may repeat after splits; one copy per (node, dim)
 		for j := lo; j < len(dp.Owners); j++ {
 			if !dp.segRange(j).Overlaps(pred) {
 				break
 			}
-			out = append(out, Assignment{Node: dp.Owners[j], Dim: i})
+			o := dp.Owners[j]
+			if seen[o] {
+				continue
+			}
+			if seen == nil {
+				seen = make(map[core.NodeID]bool, 2)
+			}
+			seen[o] = true
+			out = append(out, Assignment{Node: o, Dim: i})
 		}
 	}
 	return out
@@ -58,8 +68,15 @@ func (t *Table) AssignmentsReplicated(s *core.Subscription) []Assignment {
 		if j < 0 {
 			continue
 		}
-		next := (j + 1) % len(dp.Owners)
-		base = append(base, Assignment{Node: dp.Owners[next], Dim: i})
+		// Clockwise neighbor: the next segment owned by a different matcher
+		// (post-split tables may have adjacent segments with one owner).
+		for step := 1; step < len(dp.Owners); step++ {
+			next := (j + step) % len(dp.Owners)
+			if dp.Owners[next] != only {
+				base = append(base, Assignment{Node: dp.Owners[next], Dim: i})
+				break
+			}
+		}
 	}
 	return base
 }

@@ -41,7 +41,9 @@ func (t *Table) Join(newNode core.NodeID, victims []core.NodeID) (*Table, []Hand
 	handovers := make([]Handover, 0, t.K())
 	for i := range c.dims {
 		dp := &c.dims[i]
-		j := dp.ownerSegment(victims[i])
+		// A victim that owns several sub-segment ranges (post-split) gives up
+		// half of its widest one.
+		j := dp.widestSegment(victims[i])
 		if j < 0 {
 			return nil, nil, fmt.Errorf("partition: victim %v on dim %d: %w", victims[i], i, ErrUnknownNode)
 		}
@@ -67,10 +69,10 @@ func (t *Table) Join(newNode core.NodeID, victims []core.NodeID) (*Table, []Hand
 }
 
 // Leave produces a new table in which matcher node has left; on each
-// dimension its segment is absorbed by the adjacent (preceding, else
-// following) segment's owner — the reverse of the joining process. It
-// returns the table and the implied handovers. Leaving the last matcher is
-// an error.
+// dimension every segment it owns is absorbed by the adjacent (preceding,
+// else following) segment's owner — the reverse of the joining process. It
+// returns the table and the implied handovers (one per absorbed segment).
+// Leaving the last matcher is an error.
 func (t *Table) Leave(node core.NodeID) (*Table, []Handover, error) {
 	if !t.HasMatcher(node) {
 		return nil, nil, ErrUnknownNode
@@ -82,21 +84,60 @@ func (t *Table) Leave(node core.NodeID) (*Table, []Handover, error) {
 	handovers := make([]Handover, 0, t.K())
 	for i := range c.dims {
 		dp := &c.dims[i]
-		j := dp.ownerSegment(node)
-		seg := dp.segRange(j)
-		var to core.NodeID
-		if j > 0 {
-			to = dp.Owners[j-1] // left neighbor extends its upper boundary
-			// remove boundary j and owner j
-			dp.Boundaries = append(dp.Boundaries[:j], dp.Boundaries[j+1:]...)
-			dp.Owners = append(dp.Owners[:j], dp.Owners[j+1:]...)
-		} else {
-			to = dp.Owners[1] // right neighbor extends its lower boundary
-			dp.Boundaries = append(dp.Boundaries[:1], dp.Boundaries[2:]...)
-			dp.Owners = dp.Owners[1:]
+		for {
+			j := dp.ownerSegment(node)
+			if j < 0 {
+				break
+			}
+			seg := dp.segRange(j)
+			var to core.NodeID
+			if j > 0 {
+				to = dp.Owners[j-1] // left neighbor extends its upper boundary
+				// remove boundary j and owner j
+				dp.Boundaries = append(dp.Boundaries[:j], dp.Boundaries[j+1:]...)
+				dp.Owners = append(dp.Owners[:j], dp.Owners[j+1:]...)
+			} else {
+				to = dp.Owners[1] // right neighbor extends its lower boundary
+				dp.Boundaries = append(dp.Boundaries[:1], dp.Boundaries[2:]...)
+				dp.Owners = dp.Owners[1:]
+			}
+			handovers = append(handovers, Handover{Dim: i, From: node, To: to, Range: seg})
 		}
-		handovers = append(handovers, Handover{Dim: i, From: node, To: to, Range: seg})
 	}
 	c.version = t.version + 1
 	return c, handovers, nil
+}
+
+// Split cuts the dimension-dim segment containing cut at the cut point and
+// re-homes the upper half [cut, high) onto matcher to, which must already be
+// in the table — the hot-segment rebalancing operation driven by the
+// elasticity controller when one segment is hot from a skewed subscription
+// range. The cut must fall strictly inside a segment not already owned by
+// to. Returns the new table and the implied handover.
+func (t *Table) Split(dim int, cut float64, to core.NodeID) (*Table, Handover, error) {
+	if dim < 0 || dim >= t.K() {
+		return nil, Handover{}, fmt.Errorf("partition: split dim %d out of range", dim)
+	}
+	if !t.HasMatcher(to) {
+		return nil, Handover{}, fmt.Errorf("partition: split target %v: %w", to, ErrUnknownNode)
+	}
+	c := t.clone()
+	dp := &c.dims[dim]
+	j := dp.segmentOf(cut)
+	lo, hi := dp.Boundaries[j], dp.Boundaries[j+1]
+	if !(lo < cut && cut < hi) {
+		return nil, Handover{}, fmt.Errorf("partition: cut %g not strictly inside segment [%g,%g)", cut, lo, hi)
+	}
+	from := dp.Owners[j]
+	if from == to {
+		return nil, Handover{}, fmt.Errorf("partition: segment [%g,%g) already owned by %v", lo, hi, to)
+	}
+	dp.Boundaries = append(dp.Boundaries, 0)
+	copy(dp.Boundaries[j+2:], dp.Boundaries[j+1:])
+	dp.Boundaries[j+1] = cut
+	dp.Owners = append(dp.Owners, 0)
+	copy(dp.Owners[j+2:], dp.Owners[j+1:])
+	dp.Owners[j+1] = to
+	c.version = t.version + 1
+	return c, Handover{Dim: dim, From: from, To: to, Range: core.Range{Low: cut, High: hi}}, nil
 }

@@ -15,16 +15,18 @@ import (
 //	uint64  version
 //	uint16  k (dimension count)
 //	k ×   { uint16 nameLen, name bytes, float64 min, float64 max }
-//	uint32  n (matcher count)
-//	k ×   { (n+1) × float64 boundary, n × uint64 owner }
+//	k ×   { uint32 n_i, (n_i+1) × float64 boundary, n_i × uint64 owner }
 //
-// The table is small — 8 bytes per boundary and owner — matching the paper's
-// measured ~60·N bytes per dispatcher pull.
+// Segment counts are carried per dimension because hot-segment splits give
+// dimensions independent segment counts. The table is small — 8 bytes per
+// boundary and owner — matching the paper's measured ~60·N bytes per
+// dispatcher pull.
 
 // maxWireDims bounds decoded dimension counts to reject corrupt input.
 const maxWireDims = 1 << 12
 
-// maxWireMatchers bounds decoded matcher counts to reject corrupt input.
+// maxWireMatchers bounds decoded per-dimension segment counts to reject
+// corrupt input.
 const maxWireMatchers = 1 << 20
 
 // Encode serializes the table.
@@ -54,8 +56,8 @@ func (t *Table) Encode() []byte {
 		putF(d.Min)
 		putF(d.Max)
 	}
-	put32(uint32(t.N()))
 	for _, dp := range t.dims {
+		put32(uint32(len(dp.Owners)))
 		for _, bd := range dp.Boundaries {
 			putF(bd)
 		}
@@ -138,15 +140,15 @@ func Decode(data []byte) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("partition: decode space: %w", err)
 	}
-	n, err := get32()
-	if err != nil {
-		return nil, err
-	}
-	if n == 0 || n > maxWireMatchers {
-		return nil, fmt.Errorf("partition: implausible matcher count %d", n)
-	}
 	t := &Table{version: version, space: space, dims: make([]DimPartition, k)}
 	for i := range t.dims {
+		n, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 || n > maxWireMatchers {
+			return nil, fmt.Errorf("partition: implausible segment count %d", n)
+		}
 		bounds := make([]float64, n+1)
 		for j := range bounds {
 			if bounds[j], err = getF(); err != nil {

@@ -446,7 +446,7 @@ func TestDecodeCorrupt(t *testing.T) {
 
 func TestTableString(t *testing.T) {
 	tab := mustUniform(t, core.UniformSpace(2, 10), 3)
-	if got := tab.String(); got != "table{v1, k=2, n=3}" {
+	if got := tab.String(); got != "table{v1, k=2, n=3, segs=6}" {
 		t.Errorf("String() = %q", got)
 	}
 	h := Handover{Dim: 1, From: 2, To: 3, Range: core.Range{Low: 0, High: 5}}

@@ -2,18 +2,22 @@
 // subscription-space partitioning (paper Section III-A).
 //
 // For each of the k searchable dimensions, the dimension's value set V^i is
-// split into N contiguous, non-overlapping segments — one per matcher — so
-// every matcher owns exactly one segment per dimension. A subscription is
-// assigned k times, once along each dimension, to every matcher whose segment
-// overlaps the subscription's predicate range on that dimension. A message
-// therefore has (at least) k candidate matchers — the owner of the segment
-// its value falls into, per dimension — and any single candidate can find
-// all matching subscriptions alone.
+// split into contiguous, non-overlapping segments so every matcher owns at
+// least one segment per dimension. A subscription is assigned k times, once
+// along each dimension, to every matcher whose segments overlap the
+// subscription's predicate range on that dimension. A message therefore has
+// (at least) k candidate matchers — the owner of the segment its value falls
+// into, per dimension — and any single candidate can find all matching
+// subscriptions alone.
 //
-// The Table also implements the elasticity operations of Section III-C:
-// a joining matcher takes half of a loaded matcher's segment on each
-// dimension, and a leaving matcher's segments are merged into an adjacent
-// matcher's.
+// The Table also implements the elasticity operations of Section III-C plus
+// the hot-segment split extension: a joining matcher takes half of a loaded
+// matcher's segment on each dimension, a leaving matcher's segments are
+// merged into adjacent matchers', and Split cuts one hot segment at a
+// load-weighted point and re-homes the upper half onto another matcher that
+// is already in the table — so a matcher may own several disjoint
+// sub-segment ranges on one dimension, and dimensions may have different
+// segment counts.
 package partition
 
 import (
@@ -40,14 +44,14 @@ type Assignment struct {
 	Dim  int
 }
 
-// DimPartition is the segmentation of a single dimension: N segments where
+// DimPartition is the segmentation of a single dimension: n segments where
 // segment j spans [Boundaries[j], Boundaries[j+1]) and is owned by Owners[j].
 type DimPartition struct {
-	// Boundaries has length N+1, strictly ascending, spanning the full
-	// dimension: Boundaries[0] == Dim.Min and Boundaries[N] == Dim.Max.
+	// Boundaries has length n+1, strictly ascending, spanning the full
+	// dimension: Boundaries[0] == Dim.Min and Boundaries[n] == Dim.Max.
 	Boundaries []float64
-	// Owners has length N; Owners[j] owns segment j. Each matcher appears
-	// exactly once.
+	// Owners has length n; Owners[j] owns segment j. Each matcher appears at
+	// least once; after a Split a matcher may own several segments.
 	Owners []core.NodeID
 }
 
@@ -87,7 +91,7 @@ func (dp DimPartition) segRange(j int) core.Range {
 	return core.Range{Low: dp.Boundaries[j], High: dp.Boundaries[j+1]}
 }
 
-// ownerSegment returns the segment index owned by node, or -1.
+// ownerSegment returns the first segment index owned by node, or -1.
 func (dp DimPartition) ownerSegment(node core.NodeID) int {
 	for j, o := range dp.Owners {
 		if o == node {
@@ -95,6 +99,32 @@ func (dp DimPartition) ownerSegment(node core.NodeID) int {
 		}
 	}
 	return -1
+}
+
+// ownerSegments returns every segment index owned by node.
+func (dp DimPartition) ownerSegments(node core.NodeID) []int {
+	var out []int
+	for j, o := range dp.Owners {
+		if o == node {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// widestSegment returns node's widest segment index, or -1 — the segment a
+// join split or plain handover targets when a matcher owns several.
+func (dp DimPartition) widestSegment(node core.NodeID) int {
+	best, bestW := -1, 0.0
+	for j, o := range dp.Owners {
+		if o != node {
+			continue
+		}
+		if w := dp.Boundaries[j+1] - dp.Boundaries[j]; best < 0 || w > bestW {
+			best, bestW = j, w
+		}
+	}
+	return best
 }
 
 // Table is the global segment-assignment view that every dispatcher
@@ -155,17 +185,34 @@ func (t *Table) Space() *core.Space { return t.space }
 // K returns the number of searchable dimensions.
 func (t *Table) K() int { return len(t.dims) }
 
-// N returns the number of matchers (segments per dimension).
-func (t *Table) N() int { return len(t.dims[0].Owners) }
+// N returns the number of distinct matchers in the table. Before any Split
+// this equals the per-dimension segment count; after splits dimensions may
+// carry more segments than matchers (see Segments).
+func (t *Table) N() int {
+	seen := make(map[core.NodeID]bool, len(t.dims[0].Owners))
+	for _, o := range t.dims[0].Owners {
+		seen[o] = true
+	}
+	return len(seen)
+}
+
+// Segments returns the segment count of dimension dim.
+func (t *Table) Segments(dim int) int { return len(t.dims[dim].Owners) }
 
 // Dim returns the partition of dimension i (shared storage; treat as
 // read-only).
 func (t *Table) Dim(i int) DimPartition { return t.dims[i] }
 
-// Matchers returns the set of matcher IDs in the table, sorted.
+// Matchers returns the set of distinct matcher IDs in the table, sorted.
 func (t *Table) Matchers() []core.NodeID {
-	out := make([]core.NodeID, len(t.dims[0].Owners))
-	copy(out, t.dims[0].Owners)
+	seen := make(map[core.NodeID]bool, len(t.dims[0].Owners))
+	out := make([]core.NodeID, 0, len(t.dims[0].Owners))
+	for _, o := range t.dims[0].Owners {
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -175,13 +222,30 @@ func (t *Table) HasMatcher(node core.NodeID) bool {
 	return t.dims[0].ownerSegment(node) >= 0
 }
 
-// SegmentOf returns the segment range owned by node on dimension dim.
+// SegmentOf returns the first segment range owned by node on dimension dim.
+// Before any Split a matcher owns exactly one segment per dimension, so this
+// is the matcher's whole holding; code that must see every sub-segment range
+// after splits uses SegmentsOf.
 func (t *Table) SegmentOf(node core.NodeID, dim int) (core.Range, error) {
 	j := t.dims[dim].ownerSegment(node)
 	if j < 0 {
 		return core.Range{}, ErrUnknownNode
 	}
 	return t.dims[dim].segRange(j), nil
+}
+
+// SegmentsOf returns every segment range owned by node on dimension dim, in
+// ascending order, or ErrUnknownNode.
+func (t *Table) SegmentsOf(node core.NodeID, dim int) ([]core.Range, error) {
+	js := t.dims[dim].ownerSegments(node)
+	if len(js) == 0 {
+		return nil, ErrUnknownNode
+	}
+	out := make([]core.Range, len(js))
+	for i, j := range js {
+		out[i] = t.dims[dim].segRange(j)
+	}
+	return out, nil
 }
 
 // clone returns a deep copy with the same version (callers bump it).
@@ -193,15 +257,20 @@ func (t *Table) clone() *Table {
 	return c
 }
 
-// validate checks structural invariants; used by tests and decoding.
+// validate checks structural invariants; used by tests and decoding. Owners
+// may repeat within a dimension (sub-segment ranges after a Split) and
+// dimensions may have different segment counts, but every dimension must
+// span the space with strictly ascending boundaries and carry exactly the
+// same matcher set, each matcher owning at least one segment per dimension.
 func (t *Table) validate() error {
 	if t.space == nil || len(t.dims) != t.space.K() {
 		return errors.New("partition: dimension count mismatch")
 	}
-	n := len(t.dims[0].Owners)
+	var set0 map[core.NodeID]bool
 	for i, dp := range t.dims {
-		if len(dp.Owners) != n {
-			return fmt.Errorf("partition: dim %d has %d owners, dim 0 has %d", i, len(dp.Owners), n)
+		n := len(dp.Owners)
+		if n == 0 {
+			return fmt.Errorf("partition: dim %d has no segments", i)
 		}
 		if len(dp.Boundaries) != n+1 {
 			return fmt.Errorf("partition: dim %d has %d boundaries, want %d", i, len(dp.Boundaries), n+1)
@@ -215,10 +284,19 @@ func (t *Table) validate() error {
 			if dp.Boundaries[j] >= dp.Boundaries[j+1] {
 				return fmt.Errorf("partition: dim %d segment %d empty or inverted", i, j)
 			}
-			if seen[dp.Owners[j]] {
-				return fmt.Errorf("partition: dim %d owner %v appears twice", i, dp.Owners[j])
-			}
 			seen[dp.Owners[j]] = true
+		}
+		if i == 0 {
+			set0 = seen
+			continue
+		}
+		if len(seen) != len(set0) {
+			return fmt.Errorf("partition: dim %d has %d matchers, dim 0 has %d", i, len(seen), len(set0))
+		}
+		for id := range seen {
+			if !set0[id] {
+				return fmt.Errorf("partition: matcher %v on dim %d missing from dim 0", id, i)
+			}
 		}
 	}
 	return nil
@@ -226,5 +304,9 @@ func (t *Table) validate() error {
 
 // String renders a compact description.
 func (t *Table) String() string {
-	return fmt.Sprintf("table{v%d, k=%d, n=%d}", t.version, t.K(), t.N())
+	segs := 0
+	for _, dp := range t.dims {
+		segs += len(dp.Owners)
+	}
+	return fmt.Sprintf("table{v%d, k=%d, n=%d, segs=%d}", t.version, t.K(), t.N(), segs)
 }

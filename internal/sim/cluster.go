@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"bluedove/internal/core"
+	"bluedove/internal/elastic"
 	"bluedove/internal/forward"
+	"bluedove/internal/index"
 	"bluedove/internal/metrics"
 	"bluedove/internal/partition"
 	"bluedove/internal/telemetry"
@@ -34,12 +36,13 @@ type Cluster struct {
 	nextSub  core.SubscriptionID
 	rrDisp   int
 
-	stats      *Stats
-	lastJoinAt int64
-	prevBack   int
-	arrMeter   *metrics.RateMeter
-	joinTimes  []int64
-	failTimes  []int64
+	stats     *Stats
+	arrMeter  *metrics.RateMeter
+	joinTimes []int64
+	failTimes []int64
+
+	elCtrl   *elastic.Controller  // nil unless Config.Elastic
+	draining map[core.NodeID]bool // matchers mid-removal
 
 	tel        *telemetry.Telemetry // nil unless TraceSampleRate > 0
 	e2eLatency *metrics.Histogram   // publish → deliver, virtual ns, traced only
@@ -99,6 +102,7 @@ func NewCluster(cfg Config) *Cluster {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		matchers: make(map[core.NodeID]*simMatcher),
 		registry: make(map[core.SubscriptionID]*core.Subscription),
+		draining: make(map[core.NodeID]bool),
 		nextNode: 1,
 		nextMsg:  1,
 		nextSub:  1,
@@ -117,6 +121,15 @@ func NewCluster(cfg Config) *Cluster {
 		panic(err) // unreachable: ids are unique and non-empty
 	}
 	cl.table = tab
+	if cfg.Elastic {
+		ec := cfg.ElasticConfig
+		if ec.CooldownRounds == 0 && cfg.ElasticCooldown > 0 {
+			// The legacy knob is wall-clock; the controller counts rounds.
+			ec.CooldownRounds = int((cfg.ElasticCooldown + cfg.ElasticCheckInterval - 1) /
+				cfg.ElasticCheckInterval)
+		}
+		cl.elCtrl = elastic.NewController(ec)
+	}
 	if cfg.TraceSampleRate > 0 {
 		cl.initTelemetry()
 	}
@@ -158,6 +171,15 @@ func (cl *Cluster) initTelemetry() {
 	})
 	r.Histogram("sim.deliver_latency_seconds",
 		"publish to delivery per traced publication (virtual time)", cl.e2eLatency, 1e-9)
+	if cl.elCtrl != nil {
+		r.Counter("elastic.scale_up", "controller scale-up decisions", &cl.elCtrl.ScaleUps)
+		r.Counter("elastic.scale_down", "controller scale-down decisions", &cl.elCtrl.ScaleDowns)
+		r.Counter("elastic.splits", "controller hot-segment split decisions", &cl.elCtrl.Splits)
+		r.Counter("elastic.thrash", "scale direction reversals inside the thrash window", &cl.elCtrl.Thrash)
+		r.Gauge("elastic.matchers", "live matcher count", func(int64) float64 {
+			return float64(len(cl.Matchers()))
+		})
+	}
 }
 
 // Telemetry returns the simulated cluster's telemetry bundle (nil unless
@@ -242,28 +264,61 @@ func (cl *Cluster) startControlLoops() {
 	})
 	if cfg.Elastic {
 		cl.eng.Every(int64(cfg.ElasticCheckInterval), cfg.ElasticCheckInterval, func() bool {
-			cl.elasticCheck()
+			cl.elasticTick()
 			return true
 		})
 	}
 }
 
-// elasticCheck implements the auto-scaling controller: add a matcher when
-// the aggregate backlog exceeds ElasticBacklogSecs of the current arrival
-// rate and is still growing.
-func (cl *Cluster) elasticCheck() {
-	now := cl.eng.Now()
-	back := cl.TotalBacklog()
-	rate := cl.arrMeter.Rate(now)
-	saturated := rate > 0 &&
-		float64(back) > rate*cl.cfg.ElasticBacklogSecs &&
-		back > cl.prevBack
-	cl.prevBack = back
-	if saturated && now-cl.lastJoinAt >= int64(cl.cfg.ElasticCooldown) {
-		cl.lastJoinAt = now
+// elasticTick runs one controller round: scrape every live matcher at the
+// current virtual time, feed the shared elastic.Controller — the same
+// decision logic the real cluster embeds — and execute at most one decision.
+func (cl *Cluster) elasticTick() {
+	d := cl.elCtrl.Observe(cl.Scrape(cl.eng.Now()))
+	if d == nil {
+		return
+	}
+	switch d.Action {
+	case elastic.ScaleUp:
 		cl.AddMatcher()
+	case elastic.ScaleDown:
+		_ = cl.RemoveMatcher(d.Target)
+	case elastic.Split:
+		_, _ = cl.SplitSegment(d.Target, d.Dim, d.To)
 	}
 }
+
+// Scrape samples every live matcher's load for the elasticity controller,
+// mirroring the real cluster's scrape: the same loadSnapshot that feeds the
+// dispatchers' forwarding policy feeds the scaling decisions.
+func (cl *Cluster) Scrape(now int64) elastic.Scrape {
+	s := elastic.Scrape{At: now}
+	for _, id := range cl.order {
+		m := cl.matchers[id]
+		if !m.alive {
+			continue
+		}
+		ms := elastic.MatcherSample{ID: id, Draining: cl.draining[id]}
+		if m.processed > 0 {
+			ms.ScannedPerMsg = float64(m.busyNs) / float64(m.processed) /
+				float64(cl.cfg.PerScanCost) // service-time proxy for scan depth
+		}
+		for _, l := range m.loadSnapshot(now) {
+			ms.Dims = append(ms.Dims, elastic.DimSample{
+				Subs:        l.Subs,
+				QueueLen:    l.QueueLen,
+				ArrivalRate: l.ArrivalRate,
+				MatchRate:   l.MatchRate,
+			})
+		}
+		s.Matchers = append(s.Matchers, ms)
+	}
+	return s
+}
+
+// ElasticController exposes the embedded controller (nil unless
+// Config.Elastic), for tests and experiments.
+func (cl *Cluster) ElasticController() *elastic.Controller { return cl.elCtrl }
 
 // TotalBacklog returns the number of messages queued across all matchers.
 func (cl *Cluster) TotalBacklog() int {
@@ -590,6 +645,124 @@ func (cl *Cluster) AddMatcher() core.NodeID {
 	grace := cl.cfg.TablePropagateDelay + cl.cfg.NetDelay
 	cl.eng.After(grace, func() { cl.pruneToTable() })
 	return id
+}
+
+// RemoveMatcher gracefully drains and removes a live matcher — the
+// controller's scale-down actuator, the simulated counterpart of the real
+// cluster's leave protocol. Its segments are absorbed by adjacent owners and
+// the overlapping subscriptions transfer immediately, so routing on the new
+// table never misses a match; the leaver keeps serving stale-routed traffic
+// through the propagation grace and retires only once its queues and workers
+// are empty — no message is dropped by a scale-down.
+func (cl *Cluster) RemoveMatcher(id core.NodeID) error {
+	m, ok := cl.matchers[id]
+	if !ok || !m.alive {
+		return fmt.Errorf("sim: matcher %v not alive", id)
+	}
+	if cl.draining[id] {
+		return fmt.Errorf("sim: matcher %v already draining", id)
+	}
+	newTab, handovers, err := cl.table.Leave(id)
+	if err != nil {
+		return err
+	}
+	cl.draining[id] = true
+	for _, h := range handovers {
+		tm, ok := cl.matchers[h.To]
+		if !ok || !tm.alive {
+			continue
+		}
+		for _, s := range m.indexes[h.Dim].Overlapping(h.Range, nil) {
+			tm.store(h.Dim, s)
+		}
+	}
+	cl.table = newTab
+	cl.stats.Leaves.Add(1)
+	cl.propagateTable()
+	grace := cl.cfg.TablePropagateDelay + cl.cfg.NetDelay
+	var retire func()
+	retire = func() {
+		busy := 0
+		for _, b := range m.busyDim {
+			busy += b
+		}
+		if m.queued > 0 || busy > 0 {
+			cl.eng.After(10*time.Millisecond, retire)
+			return
+		}
+		m.alive = false
+		delete(cl.draining, id)
+	}
+	cl.eng.After(grace, retire)
+	return nil
+}
+
+// SplitSegment cuts hot's widest dimension-dim segment at the median stored
+// predicate center and re-homes the upper half onto matcher to — the
+// controller's split actuator for σ-skewed load. The receiving matcher gets
+// the overlapping subscriptions before the table changes hands; the hot
+// matcher prunes its half after the propagation grace. Returns the cut point.
+func (cl *Cluster) SplitSegment(hot core.NodeID, dim int, to core.NodeID) (float64, error) {
+	hm, ok := cl.matchers[hot]
+	if !ok || !hm.alive {
+		return 0, fmt.Errorf("sim: matcher %v not alive", hot)
+	}
+	tm, ok := cl.matchers[to]
+	if !ok || !tm.alive {
+		return 0, fmt.Errorf("sim: split target %v not alive", to)
+	}
+	if dim < 0 || dim >= len(hm.indexes) {
+		return 0, fmt.Errorf("sim: split dim %d out of range", dim)
+	}
+	segs, err := cl.table.SegmentsOf(hot, dim)
+	if err != nil {
+		return 0, err
+	}
+	widest := segs[0]
+	for _, s := range segs[1:] {
+		if s.High-s.Low > widest.High-widest.Low {
+			widest = s
+		}
+	}
+	cut := splitPoint(hm.indexes[dim], dim, widest)
+	newTab, h, err := cl.table.Split(dim, cut, to)
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range hm.indexes[h.Dim].Overlapping(h.Range, nil) {
+		tm.store(h.Dim, s)
+	}
+	cl.table = newTab
+	cl.stats.Splits.Add(1)
+	cl.propagateTable()
+	grace := cl.cfg.TablePropagateDelay + cl.cfg.NetDelay
+	cl.eng.After(grace, func() { cl.pruneToTable() })
+	return cut, nil
+}
+
+// splitPoint picks the load-weighted cut for a segment: the median center of
+// the stored predicates overlapping it (the same policy as the real
+// matcher's SplitPoint), falling back to the midpoint when too few
+// subscriptions vote.
+func splitPoint(idx index.Index, dim int, r core.Range) float64 {
+	var centers []float64
+	for _, s := range idx.Overlapping(r, nil) {
+		p := s.Predicates[dim]
+		c := p.Low + (p.High-p.Low)/2
+		if c > r.Low && c < r.High {
+			centers = append(centers, c)
+		}
+	}
+	mid := r.Low + (r.High-r.Low)/2
+	if len(centers) < 2 {
+		return mid
+	}
+	sort.Float64s(centers)
+	cut := centers[len(centers)/2]
+	if cut <= r.Low || cut >= r.High {
+		return mid
+	}
+	return cut
 }
 
 // propagateTable delivers the authoritative table to every dispatcher after

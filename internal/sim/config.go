@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"bluedove/internal/core"
+	"bluedove/internal/elastic"
 	"bluedove/internal/forward"
 	"bluedove/internal/index"
 	"bluedove/internal/placement"
@@ -77,18 +78,26 @@ type Config struct {
 	// subscriptions are re-installed onto surviving matchers (default 5s).
 	RecoveryDelay time.Duration
 
-	// Elastic enables the auto-scaling controller: when saturation is
-	// detected a new matcher joins, as in the Figure 9 experiment.
+	// Elastic enables the elasticity controller — the same elastic.Controller
+	// the real cluster embeds, driven by the virtual clock: sustained high
+	// utilization joins a matcher, sustained idle drains one, and a σ-skew
+	// signature splits the hot matcher's segment (Figure 9's experiment and
+	// beyond).
 	Elastic bool
-	// ElasticCheckInterval is the controller's saturation check cadence
-	// (default 5s).
+	// ElasticCheckInterval is the controller's scrape cadence (default 5s).
 	ElasticCheckInterval time.Duration
-	// ElasticCooldown is the minimum time between matcher additions
-	// (default 20s).
+	// ElasticCooldown is the minimum time between controller actions; it is
+	// translated into the controller's CooldownRounds at the scrape cadence
+	// unless ElasticConfig.CooldownRounds is set (default 20s).
 	ElasticCooldown time.Duration
-	// ElasticBacklogSecs: the controller treats the system as saturated
-	// when the aggregate backlog exceeds this many seconds of the current
-	// arrival rate and is still growing (default 0.15).
+	// ElasticConfig tunes the embedded controller (watermarks, hysteresis,
+	// matcher floor/ceiling). Zero fields take elastic.Config defaults, except
+	// CooldownRounds which derives from ElasticCooldown.
+	ElasticConfig elastic.Config
+	// ElasticBacklogSecs is retained for configuration compatibility with the
+	// superseded backlog-growth controller; the elastic.Controller's
+	// QueueHorizonSec now governs how standing queues count against
+	// utilization.
 	ElasticBacklogSecs float64
 
 	// Persistent enables the message-persistence extension (paper Section

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/elastic"
+	"bluedove/internal/workload"
+)
+
+// autoscaleRun drives one deterministic autoscale scenario on the virtual
+// clock: a 2-matcher cluster under a load step far above its capacity, then
+// back to near idle. Returns the decision sequence and the peak live matcher
+// count.
+func autoscaleRun(t *testing.T, seed int64) ([]elastic.Decision, int, *Cluster) {
+	t.Helper()
+	cfg := testConfig(2)
+	cfg.Seed = seed
+	cfg.Elastic = true
+	cfg.ElasticCheckInterval = 2 * time.Second
+	var decisions []elastic.Decision
+	cfg.ElasticConfig = elastic.Config{
+		SustainRounds:  2,
+		CooldownRounds: 5,
+		MinMatchers:    2,
+		MaxMatchers:    6,
+		OnDecision:     func(d elastic.Decision) { decisions = append(decisions, d) },
+	}
+	cl := NewCluster(cfg)
+	gen := workload.New(workload.Default(cfg.Space))
+	cl.SubscribeAll(gen.Subscriptions(2000))
+
+	// Baseline → surge (≈2× two matchers' capacity) → near idle.
+	sched := workload.Steps{
+		{From: 0, Rate: 300},
+		{From: int64(20 * time.Second), Rate: 2500},
+		{From: int64(80 * time.Second), Rate: 150},
+	}
+	cl.Drive(gen, sched, int64(260*time.Second))
+
+	peak := 0
+	cl.Engine().Every(int64(time.Second), time.Second, func() bool {
+		if n := len(cl.Matchers()); n > peak {
+			peak = n
+		}
+		return true
+	})
+	cl.RunUntil(int64(300 * time.Second))
+	return decisions, peak, cl
+}
+
+// TestElasticAutoscaleSim: the embedded controller on the virtual clock
+// scales 2→N under a surge and drains back to the floor when it passes,
+// losing nothing, with no thrash.
+func TestElasticAutoscaleSim(t *testing.T) {
+	const seed = 42
+	t.Logf("sim seed %d (decisions are a pure function of the seed)", seed)
+	decisions, peak, cl := autoscaleRun(t, seed)
+
+	if peak <= 2 {
+		t.Fatalf("peak matchers = %d, want growth beyond the initial 2", peak)
+	}
+	if final := len(cl.Matchers()); final != 2 {
+		t.Fatalf("final matchers = %d, want back at the floor of 2\ndecisions: %v", final, decisions)
+	}
+	ctrl := cl.ElasticController()
+	if ctrl.ScaleUps.Value() == 0 || ctrl.ScaleDowns.Value() == 0 {
+		t.Fatalf("ups=%d downs=%d, want both nonzero; decisions: %v",
+			ctrl.ScaleUps.Value(), ctrl.ScaleDowns.Value(), decisions)
+	}
+	if ctrl.Thrash.Value() != 0 {
+		t.Fatalf("thrash = %d, want 0 (hysteresis must separate the surge from the drain)",
+			ctrl.Thrash.Value())
+	}
+	if lost := cl.Stats().Lost.Value(); lost != 0 {
+		t.Fatalf("lost = %d, want 0 — scale-downs must drain, not drop", lost)
+	}
+	if cl.Stats().Joins.Value() != ctrl.ScaleUps.Value() {
+		t.Fatalf("joins %d != scale-up decisions %d", cl.Stats().Joins.Value(), ctrl.ScaleUps.Value())
+	}
+	if cl.Stats().Leaves.Value() != ctrl.ScaleDowns.Value() {
+		t.Fatalf("leaves %d != scale-down decisions %d", cl.Stats().Leaves.Value(), ctrl.ScaleDowns.Value())
+	}
+}
+
+// TestElasticAutoscaleSimDeterministic: the same seed replays the exact
+// decision sequence — round, action, target and all.
+func TestElasticAutoscaleSimDeterministic(t *testing.T) {
+	a, _, _ := autoscaleRun(t, 42)
+	b, _, _ := autoscaleRun(t, 42)
+	if len(a) == 0 {
+		t.Fatal("no decisions from the autoscale scenario")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("decision counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across replays:\n  %v\n  %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSimRemoveMatcherDrainsWithoutLoss: a graceful scale-down in mid-flight
+// traffic loses nothing and leaves a complete cluster — every message
+// published after the drain still matches exactly what the oracle says.
+func TestSimRemoveMatcherDrainsWithoutLoss(t *testing.T) {
+	cfg := testConfig(4)
+	got := make(map[core.MessageID][]core.SubscriptionID)
+	cfg.OnDeliver = func(m *core.Message, subs []*core.Subscription) {
+		ids := make([]core.SubscriptionID, len(subs))
+		for i, s := range subs {
+			ids[i] = s.ID
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		got[m.ID] = ids
+	}
+	cl := NewCluster(cfg)
+	gen := workload.New(workload.Default(cfg.Space))
+	subs := gen.Subscriptions(800)
+	cl.SubscribeAll(subs)
+
+	victim := cl.Matchers()[1]
+	cl.Drive(gen, workload.ConstantRate(400), int64(20*time.Second))
+	cl.Engine().After(5*time.Second, func() {
+		if err := cl.RemoveMatcher(victim); err != nil {
+			t.Errorf("RemoveMatcher: %v", err)
+		}
+	})
+	cl.RunUntil(int64(10 * time.Second))
+
+	// Mid-drain traffic, then fully settled.
+	var published []*core.Message
+	for i := 0; i < 200; i++ {
+		m := gen.Message()
+		published = append(published, m)
+		cl.Publish(m)
+		cl.RunFor(5 * time.Millisecond)
+	}
+	cl.RunUntil(int64(60 * time.Second))
+
+	if cl.Table().HasMatcher(victim) {
+		t.Fatal("victim still owns segments after removal")
+	}
+	if n := len(cl.Matchers()); n != 3 {
+		t.Fatalf("live matchers = %d, want 3", n)
+	}
+	if lost := cl.Stats().Lost.Value(); lost != 0 {
+		t.Fatalf("lost = %d, want 0 across a graceful drain", lost)
+	}
+	for _, m := range published {
+		want := []core.SubscriptionID{}
+		for _, s := range subs {
+			if s.Matches(m) {
+				want = append(want, s.ID)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		gotIDs := got[m.ID]
+		if len(gotIDs) != len(want) {
+			t.Fatalf("message %v matched %v, oracle says %v", m.ID, gotIDs, want)
+		}
+		for i := range want {
+			if gotIDs[i] != want[i] {
+				t.Fatalf("message %v matched %v, oracle says %v", m.ID, gotIDs, want)
+			}
+		}
+	}
+}
+
+// TestSimSplitSegmentRehomes: a hot-segment split adds a segment on the cut
+// dimension, hands the upper half's subscriptions over before the table
+// flips, and stays oracle-exact for traffic published right through it.
+func TestSimSplitSegmentRehomes(t *testing.T) {
+	cfg := testConfig(3)
+	got := make(map[core.MessageID][]core.SubscriptionID)
+	cfg.OnDeliver = func(m *core.Message, subs []*core.Subscription) {
+		ids := make([]core.SubscriptionID, len(subs))
+		for i, s := range subs {
+			ids[i] = s.ID
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		got[m.ID] = ids
+	}
+	cl := NewCluster(cfg)
+	gen := workload.New(workload.Default(cfg.Space))
+	subs := gen.Subscriptions(800)
+	cl.SubscribeAll(subs)
+	cl.RunUntil(int64(time.Second))
+
+	ids := cl.Matchers()
+	before := cl.Table().Segments(0)
+	segs, err := cl.Table().SegmentsOf(ids[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := cl.SplitSegment(ids[0], 0, ids[2])
+	if err != nil {
+		t.Fatalf("SplitSegment: %v", err)
+	}
+	if cl.Table().Segments(0) != before+1 {
+		t.Fatalf("segments on dim 0 = %d, want %d", cl.Table().Segments(0), before+1)
+	}
+	inSome := false
+	for _, s := range segs {
+		if cut > s.Low && cut < s.High {
+			inSome = true
+		}
+	}
+	if !inSome {
+		t.Fatalf("cut %g falls outside the hot matcher's previous segments %v", cut, segs)
+	}
+
+	var published []*core.Message
+	for i := 0; i < 200; i++ {
+		m := gen.Message()
+		published = append(published, m)
+		cl.Publish(m)
+		cl.RunFor(5 * time.Millisecond)
+	}
+	cl.RunUntil(int64(30 * time.Second))
+
+	if lost := cl.Stats().Lost.Value(); lost != 0 {
+		t.Fatalf("lost = %d, want 0 across a split", lost)
+	}
+	for _, m := range published {
+		want := 0
+		for _, s := range subs {
+			if s.Matches(m) {
+				want++
+			}
+		}
+		if len(got[m.ID]) != want {
+			t.Fatalf("message %v matched %d subs, oracle says %d", m.ID, len(got[m.ID]), want)
+		}
+	}
+}

@@ -31,6 +31,10 @@ type Stats struct {
 	Failures metrics.Counter
 	// Joins counts matchers added.
 	Joins metrics.Counter
+	// Leaves counts matchers gracefully drained and removed (scale-down).
+	Leaves metrics.Counter
+	// Splits counts hot-segment splits.
+	Splits metrics.Counter
 	// PersistRetries counts re-forwards by the persistence extension.
 	PersistRetries metrics.Counter
 	// BusyNacks counts forwards rejected by a full matcher stage.

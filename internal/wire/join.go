@@ -64,11 +64,16 @@ func DecodeJoinAck(data []byte) (*JoinAckBody, error) {
 }
 
 // HandoverBody instructs the receiving matcher to send every subscription
-// in its dimension-Dim set overlapping [Low, High) to TargetAddr.
+// in its dimension-Dim set overlapping [Low, High) to TargetAddr. TransferID,
+// when non-zero, is the idempotency key the receiver must stamp on the
+// outgoing range transfer (see TransferRangeID); the originator derives it
+// from the table version that caused the handover, so re-issued handovers
+// produce identical transfer frames and the target adopts them at most once.
 type HandoverBody struct {
 	Dim        int
 	Low, High  float64
 	TargetAddr string
+	TransferID uint64
 }
 
 // Encode serializes the body.
@@ -78,6 +83,7 @@ func (b *HandoverBody) Encode() []byte {
 	w.f64(b.Low)
 	w.f64(b.High)
 	w.str(b.TargetAddr)
+	w.u64(b.TransferID)
 	return w.buf
 }
 
@@ -85,6 +91,7 @@ func (b *HandoverBody) Encode() []byte {
 func DecodeHandover(data []byte) (*HandoverBody, error) {
 	r := reader{buf: data}
 	b := &HandoverBody{Dim: int(r.u16()), Low: r.f64(), High: r.f64(), TargetAddr: r.str()}
+	b.TransferID = r.u64()
 	if b.Dim < 0 || b.Dim > maxDims {
 		return nil, fmt.Errorf("wire: implausible dimension %d", b.Dim)
 	}

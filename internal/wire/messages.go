@@ -58,7 +58,7 @@ func (k Kind) String() string {
 		KindForwardBatch: "forward-batch", KindDeliverBatch: "deliver-batch",
 		KindForwardAckBatch: "forward-ack-batch",
 		KindBusy:            "busy", KindPublishReq: "publish-req",
-		KindPublishAck: "publish-ack",
+		KindPublishAck: "publish-ack", KindTransferRange: "transfer-range",
 	}
 	if s, ok := names[k]; ok {
 		return s

@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"bluedove/internal/core"
+)
+
+// KindTransferRange moves subscription copies for one explicit value range of
+// one dimension (matcher → matcher). It supersedes the bare KindTransfer for
+// controller-initiated handovers and splits: the receiver learns exactly
+// which range the batch covers and an idempotency key, so a retried or
+// duplicated transfer (e.g. after the sender crashes mid-handover and the
+// controller re-issues it) is adopted at most once.
+const KindTransferRange Kind = 74
+
+// TransferRangeID derives the deterministic idempotency key for a range
+// transfer: the same (source, table version, dimension, range) always hashes
+// to the same ID, so a re-sent transfer carries the same key and the
+// receiver's adoption guard drops the duplicate.
+func TransferRangeID(from core.NodeID, tableVersion uint64, dim int, low, high float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(uint64(from))
+	put(tableVersion)
+	put(uint64(dim))
+	put(math.Float64bits(low))
+	put(math.Float64bits(high))
+	return h.Sum64()
+}
+
+// TransferRangeBody carries the subscriptions whose dimension-Dim predicate
+// overlaps [Low, High), moving ownership of that range from the sender to
+// the receiver. TransferID is the idempotency key (TransferRangeID); a
+// receiver that has already adopted it must acknowledge and discard the
+// batch rather than store the subscriptions twice.
+type TransferRangeBody struct {
+	TransferID uint64
+	Dim        int
+	Low, High  float64
+	Subs       []*core.Subscription
+	// DeliverAddrs aligns with Subs: each subscription's delivery address.
+	DeliverAddrs []string
+}
+
+// Encode serializes the body.
+func (b *TransferRangeBody) Encode() []byte {
+	var w writer
+	w.u64(b.TransferID)
+	w.u16(uint16(b.Dim))
+	w.f64(b.Low)
+	w.f64(b.High)
+	w.u32(uint32(len(b.Subs)))
+	for i, s := range b.Subs {
+		encodeSubscription(&w, s)
+		addr := ""
+		if i < len(b.DeliverAddrs) {
+			addr = b.DeliverAddrs[i]
+		}
+		w.str(addr)
+	}
+	return w.buf
+}
+
+// DecodeTransferRange parses a TransferRangeBody.
+func DecodeTransferRange(data []byte) (*TransferRangeBody, error) {
+	r := reader{buf: data}
+	b := &TransferRangeBody{TransferID: r.u64(), Dim: int(r.u16())}
+	b.Low = r.f64()
+	b.High = r.f64()
+	if b.Dim < 0 || b.Dim > maxDims {
+		return nil, fmt.Errorf("wire: implausible dimension %d", b.Dim)
+	}
+	n := int(r.u32())
+	if n > maxListLen {
+		return nil, fmt.Errorf("wire: implausible transfer length %d", n)
+	}
+	if r.err == nil {
+		for i := 0; i < n; i++ {
+			b.Subs = append(b.Subs, decodeSubscription(&r))
+			b.DeliverAddrs = append(b.DeliverAddrs, r.str())
+			if r.err != nil {
+				break
+			}
+		}
+	}
+	return b, r.finish()
+}

@@ -249,7 +249,10 @@ func TestDecodersRejectTruncation(t *testing.T) {
 		"deliver":   (&DeliverBody{Msg: sampleMsg(), SubIDs: []core.SubscriptionID{1}}).Encode(),
 		"load":      (&LoadReportBody{Loads: []forward.DimLoad{{Subs: 1}}}).Encode(),
 		"transfer":  (&TransferBody{Dim: 0, Subs: []*core.Subscription{sampleSub()}}).Encode(),
-		"pollresp":  (&PollResponseBody{Deliveries: []DeliverBody{{Msg: sampleMsg()}}}).Encode(),
+		"transfer-range": (&TransferRangeBody{TransferID: 9, Dim: 0, Low: 1, High: 2,
+			Subs: []*core.Subscription{sampleSub()}}).Encode(),
+		"handover": (&HandoverBody{Dim: 1, Low: 3, High: 4, TargetAddr: "x", TransferID: 9}).Encode(),
+		"pollresp": (&PollResponseBody{Deliveries: []DeliverBody{{Msg: sampleMsg()}}}).Encode(),
 	}
 	decoders := map[string]func([]byte) error{
 		"subscribe": func(b []byte) error { _, err := DecodeSubscribe(b); return err },
@@ -258,8 +261,10 @@ func TestDecodersRejectTruncation(t *testing.T) {
 		"forward":   func(b []byte) error { _, err := DecodeForward(b); return err },
 		"deliver":   func(b []byte) error { _, err := DecodeDeliver(b); return err },
 		"load":      func(b []byte) error { _, err := DecodeLoadReport(b); return err },
-		"transfer":  func(b []byte) error { _, err := DecodeTransfer(b); return err },
-		"pollresp":  func(b []byte) error { _, err := DecodePollResponse(b); return err },
+		"transfer":       func(b []byte) error { _, err := DecodeTransfer(b); return err },
+		"transfer-range": func(b []byte) error { _, err := DecodeTransferRange(b); return err },
+		"handover":       func(b []byte) error { _, err := DecodeHandover(b); return err },
+		"pollresp":       func(b []byte) error { _, err := DecodePollResponse(b); return err },
 	}
 	for name, body := range bodies {
 		dec := decoders[name]
@@ -289,6 +294,8 @@ func TestDecodersSurviveGarbage(t *testing.T) {
 		func(b []byte) error { _, err := DecodeDeliver(b); return err },
 		func(b []byte) error { _, err := DecodeLoadReport(b); return err },
 		func(b []byte) error { _, err := DecodeTransfer(b); return err },
+		func(b []byte) error { _, err := DecodeTransferRange(b); return err },
+		func(b []byte) error { _, err := DecodeHandover(b); return err },
 		func(b []byte) error { _, err := DecodePollResponse(b); return err },
 		func(b []byte) error { _, err := DecodePoll(b); return err },
 		func(b []byte) error { _, err := DecodeError(b); return err },
