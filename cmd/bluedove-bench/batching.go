@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"testing"
 	"time"
 
@@ -14,14 +13,11 @@ import (
 	"bluedove/internal/wire"
 )
 
-func goVersion() string { return runtime.Version() }
-
 // batchingReport is the schema of BENCH_batching.json: the end-to-end
 // cluster throughput comparison plus the wire-level allocation comparison
 // for the forward hop.
 type batchingReport struct {
-	GeneratedAt string `json:"generated_at"`
-	GoVersion   string `json:"go_version"`
+	benchHeader
 
 	// In-process cluster, batched (ForwardLinger=1ms) vs unbatched.
 	Cluster struct {
@@ -56,8 +52,7 @@ func runBatching(out string) {
 	fmt.Println(r.Table())
 	fmt.Fprintf(os.Stderr, "[batching cluster runs: %v]\n", time.Since(start).Round(time.Millisecond))
 
-	rep := &batchingReport{GoVersion: goVersion()}
-	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep := &batchingReport{benchHeader: newBenchHeader()}
 	rep.Cluster.Messages = r.Messages
 	rep.Cluster.Subscribers = r.Subscribers
 	rep.Cluster.UnbatchedMsgsPerSec = r.UnbatchedMsgsPerSec

@@ -14,8 +14,7 @@ import (
 // a steady publication load with a matcher killed mid-run — reported as a
 // delivery-rate timeline plus the dip/recovery/zero-loss summary.
 type chaosReport struct {
-	GeneratedAt string `json:"generated_at"`
-	GoVersion   string `json:"go_version"`
+	benchHeader
 
 	Seed        int64 `json:"seed"`
 	Matchers    int   `json:"matchers"`
@@ -56,8 +55,7 @@ func runChaos(seed int64, out string) {
 	fmt.Fprintf(os.Stderr, "[chaos run: %v]\n", time.Since(start).Round(time.Millisecond))
 
 	rep := &chaosReport{
-		GoVersion:   goVersion(),
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		benchHeader: newBenchHeader(),
 		Seed:        r.Seed,
 		Matchers:    r.Matchers,
 		Dispatchers: r.Dispatchers,

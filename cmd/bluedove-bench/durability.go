@@ -14,8 +14,7 @@ import (
 // throughput and delivery latency per fsync policy against the no-journal
 // baseline, plus the recovery-time-vs-journal-size curve.
 type durabilityReport struct {
-	GeneratedAt string `json:"generated_at"`
-	GoVersion   string `json:"go_version"`
+	benchHeader
 
 	Messages    int `json:"messages"`
 	Subscribers int `json:"subscribers"`
@@ -48,8 +47,7 @@ func runDurability(out string) {
 	fmt.Println(r.RecoveryTable())
 	fmt.Fprintf(os.Stderr, "[durability cluster runs: %v]\n", time.Since(start).Round(time.Millisecond))
 
-	rep := &durabilityReport{GoVersion: goVersion()}
-	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep := &durabilityReport{benchHeader: newBenchHeader()}
 	rep.Messages = r.Messages
 	rep.Subscribers = r.Subscribers
 	for _, c := range r.Configs {

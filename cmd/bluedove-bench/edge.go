@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bluedove/internal/experiment"
+)
+
+// edgeReport is the schema of BENCH_edge.json: the three-policy edge-tier
+// benchmark — 100k in-process sessions on one edge under backpressure with a
+// reconnect storm, plus the drop-oldest staleness and disconnect
+// loss-accounting phases.
+type edgeReport struct {
+	benchHeader
+
+	Seed         int64 `json:"seed"`
+	BufferBytes  int   `json:"buffer_bytes"`
+	ResumeWindow int   `json:"resume_window"`
+
+	Backpressure edgePolicySection `json:"backpressure"`
+	DropOldest   edgePolicySection `json:"drop_oldest"`
+	Disconnect   edgePolicySection `json:"disconnect"`
+}
+
+type edgePolicySection struct {
+	Sessions             int     `json:"sessions"`
+	WideSessions         int     `json:"wide_sessions"`
+	Publications         int     `json:"publications"`
+	ExpectedDeliveries   int64   `json:"expected_deliveries"`
+	Delivered            int64   `json:"delivered"`
+	SuppressedDuplicates int64   `json:"suppressed_duplicates"`
+	AttachPerSec         float64 `json:"attach_per_sec"`
+	DeliveriesPerSec     float64 `json:"deliveries_per_sec"`
+	RunSecs              float64 `json:"run_secs"`
+	BackpressureWaits    int64   `json:"backpressure_waits"`
+	DroppedOldest        int64   `json:"dropped_oldest"`
+	SlowDisconnects      int64   `json:"slow_disconnects"`
+	StormDetaches        int64   `json:"storm_detaches"`
+	Resumes              int64   `json:"resumes"`
+	Replayed             int64   `json:"replayed"`
+	ResumeLost           int64   `json:"resume_lost"`
+	ZeroAckedLoss        bool    `json:"zero_acked_loss"`
+	LossDetail           string  `json:"loss_detail,omitempty"`
+	AuditDuplicates      int     `json:"audit_duplicates"`
+	AuditErr             string  `json:"audit_err,omitempty"`
+	MaxStalenessGap      int64   `json:"max_staleness_gap"`
+	SlowTailCaughtUp     bool    `json:"slow_tail_caught_up"`
+	LossAccounted        bool    `json:"loss_accounted"`
+}
+
+func edgeSection(p experiment.EdgePolicyResult) edgePolicySection {
+	return edgePolicySection{
+		Sessions:             p.Sessions,
+		WideSessions:         p.WideSessions,
+		Publications:         p.Publications,
+		ExpectedDeliveries:   p.ExpectedDeliveries,
+		Delivered:            p.Delivered,
+		SuppressedDuplicates: p.SuppressedDuplicates,
+		AttachPerSec:         p.AttachPerSec,
+		DeliveriesPerSec:     p.DeliveriesPerSec,
+		RunSecs:              p.RunSecs,
+		BackpressureWaits:    p.BackpressureWaits,
+		DroppedOldest:        p.DroppedOldest,
+		SlowDisconnects:      p.SlowDisconnects,
+		StormDetaches:        p.StormDetaches,
+		Resumes:              p.Resumes,
+		Replayed:             p.Replayed,
+		ResumeLost:           p.ResumeLost,
+		ZeroAckedLoss:        p.ZeroAckedLoss,
+		LossDetail:           p.LossDetail,
+		AuditDuplicates:      p.AuditDuplicates,
+		AuditErr:             p.AuditErr,
+		MaxStalenessGap:      p.MaxStalenessGap,
+		SlowTailCaughtUp:     p.SlowTailCaughtUp,
+		LossAccounted:        p.LossAccounted,
+	}
+}
+
+// runEdge runs the edge-tier benchmark (seed printed for replay) and writes
+// the JSON report when out is non-empty.
+func runEdge(seed int64, out string) {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "[edge benchmark: seed %d (re-run with -chaos-seed %d)]\n", seed, seed)
+	r, err := experiment.EdgeTier(experiment.EdgeOpts{Seed: seed})
+	if err != nil {
+		log.Fatalf("edge benchmark: %v", err)
+	}
+	fmt.Println(r.Table())
+	fmt.Fprintf(os.Stderr, "[edge benchmark: %v]\n", time.Since(start).Round(time.Millisecond))
+
+	if !r.Backpressure.ZeroAckedLoss {
+		log.Fatalf("edge benchmark: acked loss under backpressure (seed %d): %s %s",
+			seed, r.Backpressure.LossDetail, r.Backpressure.AuditErr)
+	}
+
+	rep := &edgeReport{
+		benchHeader:  newBenchHeader(),
+		Seed:         r.Seed,
+		BufferBytes:  r.BufferBytes,
+		ResumeWindow: r.ResumeWindow,
+		Backpressure: edgeSection(r.Backpressure),
+		DropOldest:   edgeSection(r.DropOldest),
+		Disconnect:   edgeSection(r.Disconnect),
+	}
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
+}

@@ -15,8 +15,7 @@ import (
 // journal, per-phase p99s) plus the chaos-audited real-cluster segment
 // proving zero acked loss across controller-initiated handovers and splits.
 type elasticityReport struct {
-	GeneratedAt string `json:"generated_at"`
-	GoVersion   string `json:"go_version"`
+	benchHeader
 
 	Seed int64 `json:"seed"`
 
@@ -80,8 +79,7 @@ func runElasticity(seed int64, out string) {
 	fmt.Fprintf(os.Stderr, "[elasticity run: %v]\n", time.Since(start).Round(time.Millisecond))
 
 	rep := &elasticityReport{
-		GoVersion:   goVersion(),
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		benchHeader: newBenchHeader(),
 		Seed:        r.Seed,
 	}
 	rep.Sim.StartMatchers = r.SimStartMatchers

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"runtime"
+	"time"
+)
+
+func goVersion() string { return runtime.Version() }
+
+// benchHeader stamps every BENCH_*.json with when and where it ran, so
+// numbers from different machines or parallelism settings are never compared
+// blind.
+type benchHeader struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+}
+
+func newBenchHeader() benchHeader {
+	return benchHeader{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   goVersion(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+	}
+}

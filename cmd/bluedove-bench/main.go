@@ -36,8 +36,10 @@ func main() {
 			"run the single-matcher match-path benchmark (covering + parallel shards across all index kinds) on the real matching stage")
 		elasticity = flag.Bool("elasticity", false,
 			"run the autoscale experiment: a σ-skewed ramp on the virtual clock (2→N→2 matchers, per-phase p99) plus a chaos-audited controller drain/split on the real in-process cluster")
+		edgeRun = flag.Bool("edge", false,
+			"run the edge-tier benchmark (100k multiplexed sessions on one edge: backpressure + reconnect storm, drop-oldest staleness, disconnect loss accounting) on the real edge server")
 		matchDur = flag.Duration("match-duration", time.Second, "with -match: measured time per grid cell")
-		out      = flag.String("out", "", "with -batching/-chaos/-telemetry/-durability/-overload/-match/-elasticity: write the JSON report to this file (e.g. BENCH_match.json)")
+		out      = flag.String("out", "", "with -batching/-chaos/-telemetry/-durability/-overload/-match/-elasticity/-edge: write the JSON report to this file (e.g. BENCH_match.json)")
 	)
 	flag.Parse()
 
@@ -67,6 +69,10 @@ func main() {
 	}
 	if *elasticity {
 		runElasticity(*chaosSeed, *out)
+		return
+	}
+	if *edgeRun {
+		runEdge(*chaosSeed, *out)
 		return
 	}
 

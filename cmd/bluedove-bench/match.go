@@ -31,9 +31,7 @@ type matchCell struct {
 
 // matchReport is the schema of BENCH_match.json.
 type matchReport struct {
-	GeneratedAt string `json:"generated_at"`
-	GoVersion   string `json:"go_version"`
-	NumCPU      int    `json:"num_cpu"`
+	benchHeader
 
 	// Workload parameters (the paper's: 4 dimensions, extent 1000,
 	// predicate length 250 → 0.25 per-dimension selectivity).
@@ -52,9 +50,7 @@ type matchReport struct {
 // the JSON report when out is non-empty.
 func runMatch(dur time.Duration, out string) {
 	rep := &matchReport{
-		GoVersion:   goVersion(),
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		NumCPU:      runtime.NumCPU(),
+		benchHeader: newBenchHeader(),
 		Subs:        10000,
 		Templates:   500,
 		Dims:        4,

@@ -15,8 +15,7 @@ import (
 // forwards lost) and on (busy-NACK re-routing + circuit breaking) — compared
 // on delivery rate and publish→deliver latency.
 type overloadReport struct {
-	GeneratedAt string `json:"generated_at"`
-	GoVersion   string `json:"go_version"`
+	benchHeader
 
 	Seed       int64 `json:"seed"`
 	Matchers   int   `json:"matchers"`
@@ -67,8 +66,7 @@ func runOverload(seed int64, out string) {
 	fmt.Fprintf(os.Stderr, "[overload run: %v]\n", time.Since(start).Round(time.Millisecond))
 
 	rep := &overloadReport{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   goVersion(),
+		benchHeader: newBenchHeader(),
 		Seed:        r.Seed,
 		Matchers:    r.Matchers,
 		QueueDepth:  r.QueueDepth,

@@ -18,8 +18,7 @@ import (
 // the batched forward path, from the cluster level (delivered throughput at
 // increasing sample rates) down to the wire encode and the sampler check.
 type telemetryReport struct {
-	GeneratedAt string `json:"generated_at"`
-	GoVersion   string `json:"go_version"`
+	benchHeader
 
 	// In-process cluster, ForwardLinger=1ms, telemetry off vs on at
 	// sampling 0 / 0.01 / 1.0.
@@ -61,8 +60,7 @@ func runTelemetry(out string) {
 	fmt.Println(r.Table())
 	fmt.Fprintf(os.Stderr, "[telemetry cluster runs: %v]\n", time.Since(start).Round(time.Millisecond))
 
-	rep := &telemetryReport{GoVersion: goVersion()}
-	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep := &telemetryReport{benchHeader: newBenchHeader()}
 	rep.Cluster.Messages = r.Messages
 	rep.Cluster.Subscribers = r.Subscribers
 	rep.Cluster.Trials = r.Trials

@@ -183,9 +183,9 @@ func runTop(client *http.Client, addrs []string) {
 			r.addr,
 			v.Labels["role"], v.Labels["node"],
 			// IN: work accepted; OUT: work completed downstream.
-			num(v, "dispatcher.published", "matcher.processed", "client.published"),
-			num(v, "dispatcher.forwarded", "matcher.delivered", "client.delivered"),
-			num(v, "dispatcher.inflight", "matcher.stage.queue_depth"),
+			num(v, "dispatcher.published", "matcher.processed", "client.published", "edge.fanout_in"),
+			num(v, "dispatcher.forwarded", "matcher.delivered", "client.delivered", "edge.fanout_deliveries"),
+			num(v, "dispatcher.inflight", "matcher.stage.queue_depth", "edge.buffered_bytes"),
 			frac(v, "matcher.scanned_per_msg"),
 			num(v, "trace.completed"),
 			lat(v, "dispatcher.deliver_latency_seconds", "matcher.match_latency_seconds",
@@ -195,6 +195,30 @@ func runTop(client *http.Client, addrs []string) {
 		)
 	}
 	printMatchersRow(w, rows)
+	printEdgeRows(w, rows)
+}
+
+// printEdgeRows appends one summary line per edge node beneath the table:
+// attached sessions, fan-out arrival/service rates, buffered bytes, drops
+// (all policies summed; the per-policy split lives in the bluedove_edge_drops
+// labels on /metrics) and resumes.
+func printEdgeRows(w io.Writer, rows []topRow) {
+	for _, r := range rows {
+		if r.v == nil {
+			continue
+		}
+		sessions, ok := r.v.value("edge.sessions")
+		if !ok {
+			continue
+		}
+		lambda, _ := r.v.value("edge.fanout_arrival_rate")
+		mu, _ := r.v.value("edge.fanout_service_rate")
+		buffered, _ := r.v.value("edge.buffered_bytes")
+		drops, _ := r.v.value("edge.drops")
+		resumes, _ := r.v.value("edge.resumes")
+		fmt.Fprintf(w, "EDGE %-6s             %.0f sessions   fanout λ=%.0f/s μ=%.0f/s   buffered=%.0fB   drops=%.0f   resumes=%.0f\n",
+			r.v.Labels["node"], sessions, lambda, mu, buffered, drops, resumes)
+	}
 }
 
 // printMatchersRow appends the cluster-membership summary beneath the node
@@ -253,6 +277,18 @@ func requiredSeries(role string) []string {
 		)
 	case "client":
 		return append(common, "bluedove_client_published", "bluedove_client_delivered")
+	case "edge":
+		return append(common,
+			"bluedove_node_info",
+			"bluedove_edge_sessions",
+			"bluedove_edge_fanout_in",
+			"bluedove_edge_fanout_deliveries",
+			"bluedove_edge_fanout_arrival_rate",
+			"bluedove_edge_fanout_service_rate",
+			"bluedove_edge_buffered_bytes",
+			"bluedove_edge_drops",
+			"bluedove_edge_resumes",
+		)
 	case "elastic":
 		// The elasticity controller node has no transport of its own, so the
 		// common series are not required.

@@ -12,6 +12,11 @@
 // the initial segment table. Additional matchers join elastically:
 //
 //	bluedove -role matcher -addr 127.0.0.1:7003 -id 3 -seeds 127.0.0.1:7001 -join
+//
+// An edge server fronts many lightweight subscriber sessions behind one
+// aggregated subscription registered with a dispatcher:
+//
+//	bluedove -role edge -addr 127.0.0.1:7100 -id 200 -dispatcher 127.0.0.1:7000
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 
 	"bluedove/internal/core"
 	"bluedove/internal/dispatcher"
+	"bluedove/internal/edge"
 	"bluedove/internal/gossip"
 	"bluedove/internal/index"
 	"bluedove/internal/matcher"
@@ -38,7 +44,7 @@ import (
 
 func main() {
 	var (
-		role      = flag.String("role", "", "node role: matcher or dispatcher (required)")
+		role      = flag.String("role", "", "node role: matcher, dispatcher or edge (required)")
 		id        = flag.Uint64("id", 0, "unique node ID (required)")
 		addr      = flag.String("addr", "127.0.0.1:0", "listen address")
 		seeds     = flag.String("seeds", "", "comma-separated gossip seed addresses")
@@ -57,6 +63,10 @@ func main() {
 		shards    = flag.Int("match-shards", 1, "matcher: per-dimension index shards matched in parallel (e.g. NumCPU)")
 		elasticOn = flag.Bool("elastic", false, "dispatcher: run the elasticity controller in advisory mode over matcher load reports (decisions logged and exported as elastic.* telemetry)")
 		elasticIv = flag.Duration("elastic-interval", 2*time.Second, "dispatcher: elasticity controller scrape interval with -elastic")
+		dispAddr  = flag.String("dispatcher", "", "edge: dispatcher address the aggregated subscriber registers with (required for -role edge)")
+		edgePol   = flag.String("edge-policy", "backpressure", "edge: slow-consumer policy: backpressure|drop-oldest|disconnect")
+		edgeBuf   = flag.Int("edge-buffer", 0, "edge: per-session send buffer and unacked flight window in bytes (0 = 256 KiB)")
+		resumeWin = flag.Int("resume-window", 0, "edge: per-session resume replay ring in deliveries (0 = 1024)")
 	)
 	flag.Parse()
 	if *role == "" || *id == 0 {
@@ -72,7 +82,7 @@ func main() {
 	defer tr.Close()
 
 	switch *role {
-	case "matcher", "dispatcher":
+	case "matcher", "dispatcher", "edge":
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}
@@ -91,6 +101,10 @@ func main() {
 	case "dispatcher":
 		runDispatcher(tr, space, core.NodeID(*id), *addr, seedList, *bootstrap, *policy, tel, *dataDir, fsync,
 			elasticOpts{on: *elasticOn, interval: *elasticIv})
+	case "edge":
+		runEdge(tr, space, core.NodeID(*id), *addr, *dispAddr, tel,
+			edgeFlags{policy: *edgePol, bufferBytes: *edgeBuf, resumeWindow: *resumeWin,
+				kind: kind, buckets: *buckets, covering: *covering})
 	}
 }
 
@@ -196,6 +210,43 @@ func joinViaDispatcher(tr transport.Transport, g *gossip.Gossiper, id core.NodeI
 		time.Sleep(time.Second)
 	}
 	log.Print("join: no dispatcher discovered within 60s")
+}
+
+// edgeFlags bundles the edge role's tuning flags.
+type edgeFlags struct {
+	policy       string
+	bufferBytes  int
+	resumeWindow int
+	kind         index.Kind
+	buckets      int
+	covering     bool
+}
+
+func runEdge(tr transport.Transport, space *core.Space, id core.NodeID,
+	addr, dispAddr string, tel *telemetry.Telemetry, ef edgeFlags) {
+	if dispAddr == "" {
+		log.Fatal("edge role requires -dispatcher <addr>")
+	}
+	pol, err := edge.PolicyByName(ef.policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := edge.New(edge.Config{
+		ID: id, Addr: addr, Space: space, Transport: tr,
+		DispatcherAddr: dispAddr, Policy: pol,
+		BufferBytes: ef.bufferBytes, ResumeWindow: ef.resumeWindow,
+		IndexKind: ef.kind, IndexBuckets: ef.buckets, NoCovering: !ef.covering,
+		Telemetry: tel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer e.Stop()
+	log.Printf("edge %v listening on %s (policy %s, upstream %s)", id, e.Addr(), pol, dispAddr)
+	waitForSignal()
 }
 
 // elasticOpts bundles the dispatcher's elasticity-advisor flags.

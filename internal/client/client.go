@@ -83,13 +83,51 @@ type Client struct {
 	delivered  metrics.Counter
 	suppressed metrics.Counter
 
-	// seen/ring implement the bounded duplicate-suppression window: ring is
-	// a FIFO of the last DedupWindow distinct message IDs, seen its lookup
-	// set. Guarded by dedupMu (deliveries arrive from transport goroutines).
-	dedupMu sync.Mutex
-	seen    map[core.MessageID]struct{}
-	ring    []core.MessageID
-	ringPos int
+	// dedup is the bounded duplicate-suppression window (nil when
+	// DedupWindow is zero).
+	dedup *dedupRing
+}
+
+// dedupRing is a bounded FIFO of the last N distinct message IDs with a
+// lookup set — the duplicate-suppression window shared by direct-mode
+// clients and edge sessions. Safe for concurrent use (deliveries arrive from
+// transport goroutines).
+type dedupRing struct {
+	mu   sync.Mutex
+	seen map[core.MessageID]struct{}
+	ring []core.MessageID
+	pos  int
+}
+
+func newDedupRing(window int) *dedupRing {
+	if window <= 0 {
+		return nil
+	}
+	return &dedupRing{
+		seen: make(map[core.MessageID]struct{}, window),
+		ring: make([]core.MessageID, window),
+	}
+}
+
+// duplicate reports (and records) whether id was already seen within the
+// window. A nil ring and the zero ID (nothing safe to key on) never
+// suppress.
+func (d *dedupRing) duplicate(id core.MessageID) bool {
+	if d == nil || id == 0 {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.seen[id]; dup {
+		return true
+	}
+	if old := d.ring[d.pos]; old != 0 {
+		delete(d.seen, old)
+	}
+	d.ring[d.pos] = id
+	d.pos = (d.pos + 1) % len(d.ring)
+	d.seen[id] = struct{}{}
+	return false
 }
 
 // New builds a client; in direct mode (ListenAddr + OnDeliver set) it binds
@@ -104,11 +142,8 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Now == nil {
 		cfg.Now = func() int64 { return time.Now().UnixNano() }
 	}
-	c := &Client{cfg: cfg, e2eLatency: metrics.NewHistogram()}
-	if cfg.DedupWindow > 0 {
-		c.seen = make(map[core.MessageID]struct{}, cfg.DedupWindow)
-		c.ring = make([]core.MessageID, cfg.DedupWindow)
-	}
+	c := &Client{cfg: cfg, e2eLatency: metrics.NewHistogram(),
+		dedup: newDedupRing(cfg.DedupWindow)}
 	if tel := cfg.Telemetry; tel != nil {
 		r := tel.Registry
 		r.Counter("client.published", "publications sent by this client", &c.published)
@@ -158,25 +193,13 @@ func (c *Client) handle(env *wire.Envelope) *wire.Envelope {
 }
 
 // duplicate reports (and records) whether msg was already delivered within
-// the suppression window. Messages without an ID are never suppressed —
-// there is nothing safe to key on.
+// the suppression window.
 func (c *Client) duplicate(msg *core.Message) bool {
-	if c.seen == nil || msg == nil || msg.ID == 0 {
+	if msg == nil || !c.dedup.duplicate(msg.ID) {
 		return false
 	}
-	c.dedupMu.Lock()
-	defer c.dedupMu.Unlock()
-	if _, dup := c.seen[msg.ID]; dup {
-		c.suppressed.Add(1)
-		return true
-	}
-	if old := c.ring[c.ringPos]; old != 0 {
-		delete(c.seen, old)
-	}
-	c.ring[c.ringPos] = msg.ID
-	c.ringPos = (c.ringPos + 1) % len(c.ring)
-	c.seen[msg.ID] = struct{}{}
-	return false
+	c.suppressed.Add(1)
+	return true
 }
 
 // SuppressedDuplicates returns the number of deliveries dropped by the

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bluedove/internal/core"
+	"bluedove/internal/edge"
 	"bluedove/internal/transport"
 	"bluedove/internal/wire"
 )
@@ -105,6 +106,136 @@ func TestDedupWindowEviction(t *testing.T) {
 	}
 	if n := c.SuppressedDuplicates(); n != 0 {
 		t.Fatalf("SuppressedDuplicates = %d, want 0", n)
+	}
+}
+
+// TestDedupAbsorbsResumeReplay (DedupWindow x resume): an edge session dies
+// with deliveries sent but unacked; resuming from the persisted ack state
+// replays them, and the carried-over suppression window must hand the
+// application each publication exactly once.
+func TestDedupAbsorbsResumeReplay(t *testing.T) {
+	mesh := transport.NewMesh(0)
+	defer mesh.Close()
+
+	// Minimal upstream dispatcher: acks the edge's aggregated subscribe.
+	var subID uint64
+	if _, err := mesh.Endpoint("disp").Listen("disp", func(env *wire.Envelope) *wire.Envelope {
+		if env.Kind != wire.KindSubscribe {
+			return nil
+		}
+		subID++
+		return &wire.Envelope{Kind: wire.KindSubscribeAck,
+			Body: (&wire.SubscribeAckBody{ID: core.SubscriptionID(subID)}).Encode()}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := edge.New(edge.Config{
+		ID:             3,
+		Addr:           "edge",
+		Space:          core.UniformSpace(1, 100),
+		Transport:      mesh.Endpoint("edge"),
+		DispatcherAddr: "disp",
+		ResumeWindow:   64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+
+	var mu sync.Mutex
+	var got []core.MessageID
+	onDeliver := func(msg *core.Message, _ []core.SubscriptionID) {
+		mu.Lock()
+		got = append(got, msg.ID)
+		mu.Unlock()
+	}
+	fetch := func() []core.MessageID {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]core.MessageID(nil), got...)
+	}
+	s1, err := DialEdge(EdgeConfig{
+		Transport:   mesh.Endpoint("es1"),
+		EdgeAddr:    "edge",
+		Subscriber:  1,
+		ListenAddr:  "es1-deliver",
+		OnDeliver:   onDeliver,
+		DedupWindow: 8,
+		AckEvery:    1000, // acks in this test are explicit
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Subscribe([]core.Range{{Low: 0, High: 100}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Six publications from a fake matcher; the client acks only the first
+	// three before the connection "dies".
+	push := func(id core.MessageID) {
+		msg := &core.Message{ID: id, Attrs: []float64{50}, Payload: []byte("x")}
+		body := (&wire.DeliverBody{Msg: msg}).Encode()
+		if err := mesh.Endpoint("m1").Send("edge",
+			&wire.Envelope{Kind: wire.KindDeliver, Body: body}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := core.MessageID(1); id <= 6; id++ {
+		push(id)
+	}
+	waitDeliveries(t, fetch, 6)
+	if err := mesh.Endpoint("es1").Send("edge", &wire.Envelope{Kind: wire.KindSessionAck,
+		Body: (&wire.SessionAckBody{Token: s1.Token(), Seq: 3}).Encode()}); err != nil {
+		t.Fatal(err)
+	}
+	// Connection loss: the edge detaches the session; 4..6 sit unacked in
+	// its resume ring.
+	deadline := time.Now().Add(2 * time.Second)
+	for !e.Detach(s1.Token()) {
+		if time.Now().After(deadline) {
+			t.Fatal("detach never succeeded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Resume from the acked sequence (what a restarted client would have
+	// persisted), understating what the application actually saw: the edge
+	// replays 4..6, all already delivered.
+	s2, err := s1.Resume(EdgeConfig{
+		Transport:  mesh.Endpoint("es1"),
+		EdgeAddr:   "edge",
+		Subscriber: 1,
+		ListenAddr: "es1-deliver-b",
+		OnDeliver:  onDeliver,
+		LastSeq:    3,
+		AckEvery:   1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.ReplayLost() != 0 {
+		t.Fatalf("replay lost = %d, want 0 within the resume window", s2.ReplayLost())
+	}
+	waitSuppressed := time.Now().Add(2 * time.Second)
+	for s2.SuppressedDuplicates() < 3 {
+		if time.Now().After(waitSuppressed) {
+			t.Fatalf("suppressed %d replayed duplicates, want 3", s2.SuppressedDuplicates())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let any wrong extra callback land
+	if ids := fetch(); len(ids) != 6 {
+		t.Fatalf("application saw %v (%d deliveries), want each of 1..6 exactly once", ids, len(ids))
+	}
+	// The resumed session is live: a fresh publication still arrives.
+	push(7)
+	waitDeliveries(t, fetch, 7)
+	if ids := fetch(); ids[6] != 7 {
+		t.Fatalf("post-resume delivery %v, want 7", ids[6])
 	}
 }
 

@@ -1,0 +1,251 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/metrics"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// EdgeConfig parameterizes an EdgeSession.
+type EdgeConfig struct {
+	// Transport carries session traffic; required.
+	Transport transport.Transport
+	// EdgeAddr is the edge server to attach to; required.
+	EdgeAddr string
+	// Subscriber identifies this client.
+	Subscriber core.SubscriberID
+	// ListenAddr is where the edge pushes EdgeDeliver frames; required.
+	ListenAddr string
+	// OnDeliver receives notifications; called from transport goroutines.
+	// Required.
+	OnDeliver func(msg *core.Message, subIDs []core.SubscriptionID)
+	// RequestTimeout bounds hello/subscribe round-trips (default 5s).
+	RequestTimeout time.Duration
+	// DedupWindow, when positive, suppresses duplicate deliveries by
+	// publication ID — exactly the Client window. A resume replays
+	// everything after the last ACKED sequence, which may overlap
+	// publications the application already saw (delivered but not yet
+	// acked when the connection died); the window absorbs that overlap.
+	DedupWindow int
+	// ResumeToken, when non-zero, resumes the edge session with that token
+	// instead of opening a new one; LastSeq tells the edge the newest
+	// sequence this client has seen, bounding the replay.
+	ResumeToken uint64
+	// LastSeq accompanies ResumeToken (ignored for new sessions).
+	LastSeq uint64
+	// AckEvery acks cumulatively after this many deliveries (default 64).
+	// Close always sends a final ack. Smaller values shrink the replay
+	// overlap after a crash; larger ones cost less ack traffic.
+	AckEvery int
+}
+
+// EdgeSession is a client attachment to an edge server: subscriptions are
+// session-scoped, deliveries arrive as sequence-stamped EdgeDeliver frames,
+// and the session can be resumed after a disconnect with Token/LastSeq.
+type EdgeSession struct {
+	cfg        EdgeConfig
+	listenAddr string
+	token      uint64
+	lost       uint64 // deliveries the edge reported as aged out on resume
+	dedup      *dedupRing
+
+	mu      sync.Mutex
+	lastSeq uint64
+	unacked int
+	closed  bool
+
+	delivered  metrics.Counter
+	suppressed metrics.Counter
+}
+
+// DialEdge opens (or, with ResumeToken set, resumes) a session on an edge
+// server. The listener is bound before the hello so no pushed frame can
+// arrive unhandled.
+func DialEdge(cfg EdgeConfig) (*EdgeSession, error) {
+	return dialEdge(cfg, nil)
+}
+
+// Resume re-dials a dropped session in the same process: the resume token
+// and the duplicate-suppression window carry over from s, so a replay that
+// overlaps deliveries the application already saw (sent but unacked when the
+// connection died) is fully suppressed. cfg.LastSeq zero means "everything
+// this session saw"; pass an explicit (older) sequence to model resuming
+// from persisted ack state instead.
+func (s *EdgeSession) Resume(cfg EdgeConfig) (*EdgeSession, error) {
+	cfg.ResumeToken = s.token
+	if cfg.LastSeq == 0 {
+		cfg.LastSeq = s.LastSeq()
+	}
+	return dialEdge(cfg, s.dedup)
+}
+
+func dialEdge(cfg EdgeConfig, dedup *dedupRing) (*EdgeSession, error) {
+	if cfg.Transport == nil || cfg.EdgeAddr == "" {
+		return nil, errors.New("client: Transport and EdgeAddr are required")
+	}
+	if cfg.OnDeliver == nil || cfg.ListenAddr == "" {
+		return nil, errors.New("client: edge sessions require OnDeliver and ListenAddr")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.AckEvery <= 0 {
+		cfg.AckEvery = 64
+	}
+	if dedup == nil {
+		dedup = newDedupRing(cfg.DedupWindow)
+	}
+	s := &EdgeSession{cfg: cfg, dedup: dedup, lastSeq: cfg.LastSeq}
+	addr, err := cfg.Transport.Listen(cfg.ListenAddr, s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.listenAddr = addr
+	hello := &wire.SessionHelloBody{
+		Token:       cfg.ResumeToken,
+		LastSeq:     cfg.LastSeq,
+		Subscriber:  cfg.Subscriber,
+		DeliverAddr: addr,
+	}
+	resp, err := cfg.Transport.Request(cfg.EdgeAddr,
+		&wire.Envelope{Kind: wire.KindSessionHello, Body: hello.Encode()}, cfg.RequestTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind != wire.KindSessionWelcome {
+		return nil, fmt.Errorf("client: unexpected hello response %v", resp.Kind)
+	}
+	w, err := wire.DecodeSessionWelcome(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if w.Err != "" {
+		return nil, fmt.Errorf("client: edge rejected session: %s", w.Err)
+	}
+	s.token = w.Token
+	s.lost = w.Lost
+	return s, nil
+}
+
+// handle receives pushed EdgeDeliver frames: dedup, deliver, track the
+// newest sequence, and ack every AckEvery deliveries.
+func (s *EdgeSession) handle(env *wire.Envelope) *wire.Envelope {
+	if env.Kind != wire.KindEdgeDeliver {
+		return nil
+	}
+	b, err := wire.DecodeEdgeDeliver(env.Body)
+	if err != nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	if b.Seq > s.lastSeq {
+		s.lastSeq = b.Seq
+	}
+	s.unacked++
+	ack := s.unacked >= s.cfg.AckEvery
+	if ack {
+		s.unacked = 0
+	}
+	seq := s.lastSeq
+	s.mu.Unlock()
+	if ack {
+		s.sendAck(seq)
+	}
+	if b.Msg != nil && s.dedup.duplicate(b.Msg.ID) {
+		s.suppressed.Add(1)
+		return nil
+	}
+	s.delivered.Add(1)
+	s.cfg.OnDeliver(b.Msg, b.SubIDs)
+	return nil
+}
+
+func (s *EdgeSession) sendAck(seq uint64) {
+	body := (&wire.SessionAckBody{Token: s.token, Seq: seq}).Encode()
+	_ = s.cfg.Transport.Send(s.cfg.EdgeAddr,
+		&wire.Envelope{Kind: wire.KindSessionAck, Body: body})
+}
+
+// Ack immediately acknowledges everything delivered so far.
+func (s *EdgeSession) Ack() {
+	s.mu.Lock()
+	s.unacked = 0
+	seq := s.lastSeq
+	s.mu.Unlock()
+	s.sendAck(seq)
+}
+
+// Subscribe registers a session-scoped subscription on the edge.
+func (s *EdgeSession) Subscribe(preds []core.Range) (core.SubscriptionID, error) {
+	sub := core.NewSubscription(s.cfg.Subscriber, preds)
+	body := (&wire.SessionSubBody{Token: s.token, Sub: sub}).Encode()
+	resp, err := s.cfg.Transport.Request(s.cfg.EdgeAddr,
+		&wire.Envelope{Kind: wire.KindSessionSub, Body: body}, s.cfg.RequestTimeout)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Kind != wire.KindSessionSubAck {
+		return 0, fmt.Errorf("client: unexpected subscribe response %v", resp.Kind)
+	}
+	ack, err := wire.DecodeSessionSubAck(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if ack.Err != "" {
+		return 0, fmt.Errorf("client: edge rejected subscription: %s", ack.Err)
+	}
+	return ack.ID, nil
+}
+
+// Unsubscribe removes a session-scoped subscription.
+func (s *EdgeSession) Unsubscribe(id core.SubscriptionID) error {
+	body := (&wire.SessionUnsubBody{Token: s.token, ID: id}).Encode()
+	return s.cfg.Transport.Send(s.cfg.EdgeAddr,
+		&wire.Envelope{Kind: wire.KindSessionUnsub, Body: body})
+}
+
+// Token returns the session's resume token; give it (with LastSeq) to
+// DialEdge after a disconnect to resume.
+func (s *EdgeSession) Token() uint64 { return s.token }
+
+// LastSeq returns the newest delivered sequence.
+func (s *EdgeSession) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// ReplayLost returns how many deliveries the edge reported as aged out of
+// the resume window when this session resumed (0 for new sessions).
+func (s *EdgeSession) ReplayLost() uint64 { return s.lost }
+
+// Delivered returns the number of notifications passed to OnDeliver.
+func (s *EdgeSession) Delivered() int64 { return s.delivered.Value() }
+
+// SuppressedDuplicates returns the number of deliveries dropped by the
+// duplicate-suppression window.
+func (s *EdgeSession) SuppressedDuplicates() int64 { return s.suppressed.Value() }
+
+// Close sends the final cumulative ack and stops delivering. The transport
+// (owned by the caller) stays open.
+func (s *EdgeSession) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	seq := s.lastSeq
+	s.mu.Unlock()
+	s.sendAck(seq)
+}

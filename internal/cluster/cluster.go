@@ -16,6 +16,7 @@ import (
 	"bluedove/internal/client"
 	"bluedove/internal/core"
 	"bluedove/internal/dispatcher"
+	"bluedove/internal/edge"
 	"bluedove/internal/elastic"
 	"bluedove/internal/forward"
 	"bluedove/internal/gossip"
@@ -138,6 +139,20 @@ type Options struct {
 	// DrainGrace is how long a removed matcher keeps serving stale-routed
 	// traffic before stopping (default PruneGrace).
 	DrainGrace time.Duration
+	// Edges is the number of edge servers to start (default 0). Each edge
+	// multiplexes many lightweight subscriber sessions behind one
+	// aggregated upstream subscriber registered with dispatcher 0 (see
+	// internal/edge); connect sessions with NewEdgeSession.
+	Edges int
+	// EdgePolicy is every edge's slow-consumer policy (default
+	// backpressure).
+	EdgePolicy edge.Policy
+	// EdgeBufferBytes bounds each session's send buffer and unacked flight
+	// window (0 = edge default, 256 KiB).
+	EdgeBufferBytes int
+	// ResumeWindow bounds each session's resume replay ring, in deliveries
+	// (0 = edge default, 1024).
+	ResumeWindow int
 }
 
 // telemetryOn reports whether nodes get a telemetry bundle.
@@ -196,6 +211,8 @@ type Cluster struct {
 	mu sync.Mutex
 
 	dispatchers []*dispatcher.Dispatcher
+	edges       []*edge.Edge
+	edgeTr      []transport.Transport
 	matchers    map[core.NodeID]*matcher.Matcher
 	matcherTr   map[core.NodeID]transport.Transport
 	dispTr      map[core.NodeID]transport.Transport
@@ -276,6 +293,14 @@ func Start(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	c.dispatchers[0].SetTable(tab)
+	for i := 0; i < opts.Edges; i++ {
+		id := c.nextNode
+		c.nextNode++
+		if err := c.startEdge(id); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	if opts.Elastic {
 		if err := c.startElastic(); err != nil {
 			c.Close()
@@ -443,6 +468,92 @@ func (c *Cluster) startDispatcher(id core.NodeID) (*dispatcher.Dispatcher, error
 	}
 	c.dispTr[id] = tr
 	return d, nil
+}
+
+func (c *Cluster) startEdge(id core.NodeID) error {
+	label := fmt.Sprintf("edge-%d", id)
+	tr, tcp := c.newTransport(label)
+	tel, err := c.nodeTelemetry(id, "edge", tcp)
+	if err != nil {
+		return err
+	}
+	e, err := edge.New(edge.Config{
+		ID:             id,
+		Addr:           c.nodeAddr(label),
+		Space:          c.opts.Space,
+		Transport:      tr,
+		DispatcherAddr: c.dispatchers[0].Addr(),
+		Policy:         c.opts.EdgePolicy,
+		BufferBytes:    c.opts.EdgeBufferBytes,
+		ResumeWindow:   c.opts.ResumeWindow,
+		IndexKind:      c.opts.IndexKind,
+		IndexBuckets:   c.opts.IndexBuckets,
+		NoCovering:     !c.opts.Covering,
+		Telemetry:      tel,
+	})
+	if err != nil {
+		return err
+	}
+	if err := e.Start(); err != nil {
+		return err
+	}
+	c.edges = append(c.edges, e)
+	c.edgeTr = append(c.edgeTr, tr)
+	return nil
+}
+
+// Edges returns the running edge servers.
+func (c *Cluster) Edges() []*edge.Edge { return c.edges }
+
+// EdgeAddrs returns the session-facing addresses of every edge server.
+func (c *Cluster) EdgeAddrs() []string {
+	out := make([]string, len(c.edges))
+	for i, e := range c.edges {
+		out[i] = e.Addr()
+	}
+	return out
+}
+
+// NewEdgeSession attaches a subscriber session to edge edgeIdx. Sessions get
+// the same duplicate-suppression window persistent clusters give direct
+// clients, so resume replay overlap never reaches the application twice.
+func (c *Cluster) NewEdgeSession(edgeIdx int, onDeliver func(*core.Message, []core.SubscriptionID)) (*client.EdgeSession, error) {
+	if edgeIdx < 0 || edgeIdx >= len(c.edges) {
+		return nil, fmt.Errorf("cluster: edge index %d out of range", edgeIdx)
+	}
+	sub := c.NewSubscriberID()
+	label := fmt.Sprintf("edge-client-%d", sub)
+	tr, _ := c.newTransport(label)
+	return client.DialEdge(client.EdgeConfig{
+		Transport:   tr,
+		EdgeAddr:    c.edges[edgeIdx].Addr(),
+		Subscriber:  sub,
+		ListenAddr:  c.nodeAddr(label),
+		OnDeliver:   onDeliver,
+		DedupWindow: 4096,
+	})
+}
+
+// ResumeEdgeSession re-dials a dropped edge session on edge edgeIdx with a
+// fresh transport endpoint, carrying over prev's resume token and
+// duplicate-suppression window. lastSeq 0 resumes from everything prev saw;
+// an older explicit sequence forces a wider replay.
+func (c *Cluster) ResumeEdgeSession(prev *client.EdgeSession, edgeIdx int, lastSeq uint64,
+	onDeliver func(*core.Message, []core.SubscriptionID)) (*client.EdgeSession, error) {
+	if edgeIdx < 0 || edgeIdx >= len(c.edges) {
+		return nil, fmt.Errorf("cluster: edge index %d out of range", edgeIdx)
+	}
+	sub := c.NewSubscriberID()
+	label := fmt.Sprintf("edge-client-%d", sub)
+	tr, _ := c.newTransport(label)
+	return prev.Resume(client.EdgeConfig{
+		Transport:  tr,
+		EdgeAddr:   c.edges[edgeIdx].Addr(),
+		Subscriber: sub,
+		ListenAddr: c.nodeAddr(label),
+		OnDeliver:  onDeliver,
+		LastSeq:    lastSeq,
+	})
 }
 
 // DispatcherAddrs returns the front-end addresses clients connect to.
@@ -923,6 +1034,9 @@ func (c *Cluster) Close() {
 	for _, adm := range c.admins {
 		adm.Close()
 	}
+	for _, e := range c.edges {
+		e.Stop()
+	}
 	for _, d := range c.dispatchers {
 		d.Stop()
 	}
@@ -937,6 +1051,9 @@ func (c *Cluster) Close() {
 			tr.Close()
 		}
 		for _, tr := range c.dispTr {
+			tr.Close()
+		}
+		for _, tr := range c.edgeTr {
 			tr.Close()
 		}
 	}

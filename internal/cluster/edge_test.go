@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"bluedove/internal/chaos"
+	"bluedove/internal/client"
+	"bluedove/internal/core"
+)
+
+// edgeOptions is fastOptions plus one edge server.
+func edgeOptions(matchers int) Options {
+	opts := fastOptions(matchers)
+	opts.Edges = 1
+	return opts
+}
+
+// TestEdgeEquivalence: a session behind the edge tier and a direct
+// dispatcher client with the same predicate must see exactly the same
+// publications — the edge's aggregated subscription plus local re-matching
+// is transparent.
+func TestEdgeEquivalence(t *testing.T) {
+	c, err := Start(edgeOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	preds := []core.Range{
+		{Low: 100, High: 400}, {Low: 0, High: 1000}, {Low: 0, High: 1000}, {Low: 0, High: 1000},
+	}
+	var mu sync.Mutex
+	direct := make(map[core.MessageID]bool)
+	viaEdge := make(map[core.MessageID]bool)
+
+	directCl, err := c.NewClient(0, func(m *core.Message, _ []core.SubscriptionID) {
+		mu.Lock()
+		direct[m.ID] = true
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := directCl.Subscribe(preds); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.NewEdgeSession(0, func(m *core.Message, _ []core.SubscriptionID) {
+		mu.Lock()
+		viaEdge[m.ID] = true
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Subscribe(preds); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let stores land
+
+	pubCl, err := c.NewClient(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pubs = 40
+	for i := 0; i < pubs; i++ {
+		attrs := []float64{float64((i * 53) % 1000), float64((i * 71) % 1000),
+			float64((i * 97) % 1000), float64((i * 13) % 1000)}
+		if err := pubCl.Publish(attrs, []byte(fmt.Sprintf("eq-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both views must converge to the same non-empty set.
+	waitFor(t, 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(direct) == 0 || len(direct) != len(viaEdge) {
+			return false
+		}
+		for id := range direct {
+			if !viaEdge[id] {
+				return false
+			}
+		}
+		return true
+	})
+	time.Sleep(200 * time.Millisecond) // catch a straggling divergence
+	mu.Lock()
+	defer mu.Unlock()
+	if len(direct) == 0 {
+		t.Fatal("no matching publications delivered")
+	}
+	if len(direct) != len(viaEdge) {
+		t.Fatalf("direct saw %d publications, edge session saw %d", len(direct), len(viaEdge))
+	}
+	for id := range direct {
+		if !viaEdge[id] {
+			t.Fatalf("publication %d reached the direct client but not the edge session", id)
+		}
+	}
+	for id := range viaEdge {
+		if !direct[id] {
+			t.Fatalf("publication %d reached the edge session but not the direct client", id)
+		}
+	}
+}
+
+// TestEdgeResumeWithinWindow: kill a session mid-stream, keep publishing
+// less than ResumeWindow, resume with the token — the application misses
+// nothing and sees nothing twice.
+func TestEdgeResumeWithinWindow(t *testing.T) {
+	opts := edgeOptions(3)
+	opts.ResumeWindow = 256
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	onDeliver := func(m *core.Message, _ []core.SubscriptionID) {
+		mu.Lock()
+		seen[string(m.Payload)]++
+		mu.Unlock()
+	}
+	count := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seen)
+	}
+	sess, err := c.NewEdgeSession(0, onDeliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Subscribe(fullSpace()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	pubCl, err := c.NewClient(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publish := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			attrs := []float64{float64((i * 37) % 1000), float64((i * 59) % 1000),
+				float64((i * 83) % 1000), float64((i * 101) % 1000)}
+			if err := pubCl.Publish(attrs, []byte(fmt.Sprintf("res-%03d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	publish(0, 30)
+	waitFor(t, 10*time.Second, func() bool { return count() == 30 })
+	sess.Ack()
+
+	// Mid-stream kill: the edge detaches the session; publications keep
+	// flowing into its resume ring.
+	edge := c.Edges()[0]
+	waitFor(t, 5*time.Second, func() bool { return edge.Detach(sess.Token()) })
+	publish(30, 80) // 50 missed — well within the 256-entry window
+	waitFor(t, 10*time.Second, func() bool { return edge.FanIn() >= 80 })
+
+	resumed, err := c.ResumeEdgeSession(sess, 0, 0, onDeliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.ReplayLost() != 0 {
+		t.Fatalf("resume reported %d lost, want 0 within the window", resumed.ReplayLost())
+	}
+	waitFor(t, 10*time.Second, func() bool { return count() == 80 })
+	time.Sleep(200 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < 80; i++ {
+		token := fmt.Sprintf("res-%03d", i)
+		if n := seen[token]; n != 1 {
+			t.Fatalf("publication %s delivered %d times across the resume, want exactly 1", token, n)
+		}
+	}
+}
+
+// TestEdgeReconnectStormZeroAckedLoss is the chaos-audited reconnect storm
+// the CI edge-soak job replays: many sessions detach and resume repeatedly
+// while a publication burst flows, under the backpressure policy. Every
+// session must end with every matching publication delivered at least once
+// and the application seeing no duplicates (the carried dedup window absorbs
+// replay overlap). The seed is printed; set CHAOS_SEED to replay a failure.
+func TestEdgeReconnectStormZeroAckedLoss(t *testing.T) {
+	seed := time.Now().UnixNano()
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("chaos seed %d (re-run with CHAOS_SEED=%d)", seed, seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	opts := edgeOptions(3)
+	opts.EdgePolicy = 0 // backpressure
+	opts.ResumeWindow = 4096
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	const sessions = 8
+	aud := chaos.NewAuditor()
+	current := make([]*client.EdgeSession, sessions)
+	for i := 0; i < sessions; i++ {
+		i := i
+		aud.Subscribed(i, fullSpace())
+		s, err := c.NewEdgeSession(0, func(m *core.Message, _ []core.SubscriptionID) {
+			aud.Delivered(i, m)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Subscribe(fullSpace()); err != nil {
+			t.Fatal(err)
+		}
+		current[i] = s
+	}
+	// resume re-dials a stormed session, carrying its token and dedup
+	// window into the replacement (driven only from this goroutine).
+	resume := func(i int) error {
+		next, err := c.ResumeEdgeSession(current[i], 0, 0, func(m *core.Message, _ []core.SubscriptionID) {
+			aud.Delivered(i, m)
+		})
+		if err != nil {
+			return err
+		}
+		current[i] = next
+		return nil
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	pubCl, err := c.NewClient(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := c.Edges()[0]
+	const burst = 120
+	for i := 0; i < burst; i++ {
+		token := fmt.Sprintf("storm-%03d", i)
+		attrs := []float64{float64((i * 37) % 1000), float64((i * 59) % 1000),
+			float64((i * 83) % 1000), float64((i * 101) % 1000)}
+		if err := pubCl.Publish(attrs, []byte(token)); err != nil {
+			t.Fatalf("publish %d rejected: %v", i, err)
+		}
+		aud.Published(token, attrs)
+		// Reconnect storm: every few publications a random session's
+		// connection dies and resumes shortly after.
+		if i%4 == 1 {
+			victim := rng.Intn(sessions)
+			edge.Detach(current[victim].Token())
+			if err := resume(victim); err != nil {
+				t.Fatalf("seed %d: resume session %d: %v", seed, victim, err)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := aud.WaitComplete(30 * time.Second); err != nil {
+		t.Fatalf("seed %d: acked loss through reconnect storm: %v", seed, err)
+	}
+	if aud.Duplicates() != 0 {
+		t.Fatalf("seed %d: %d duplicate application deliveries — dedup window failed to absorb replay",
+			seed, aud.Duplicates())
+	}
+	if edge.Resumes() == 0 {
+		t.Fatalf("seed %d: storm resumed no sessions", seed)
+	}
+	var suppressed int64
+	for i := 0; i < sessions; i++ {
+		suppressed += current[i].SuppressedDuplicates()
+	}
+	t.Logf("seed %d: %d publications x %d sessions, %d resumes, %d replay duplicates suppressed",
+		seed, burst, sessions, edge.Resumes(), suppressed)
+}

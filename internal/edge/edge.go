@@ -1,0 +1,916 @@
+// Package edge implements BlueDove's edge connection tier: a server that
+// multiplexes many lightweight subscriber sessions behind one aggregated
+// upstream subscriber, making delivery fan-out a first-class, separately
+// scalable stage (in the spirit of MigratoryData's edge servers fronting
+// ~100k connections per node).
+//
+// An edge registers ONE subscription per (edge, dimension-range) with a
+// dispatcher — the bounding cuboid of every local session predicate,
+// widened (never shrunk) as sessions subscribe — and re-matches each
+// incoming DeliverBatch against a per-edge subscription table built on
+// internal/index (covering included). Matched publications are
+// sequence-stamped per session and pushed as KindEdgeDeliver frames.
+//
+// The hot path is an epoll-style readiness loop, not a goroutine pair per
+// session: fan-in appends to per-session bounded buffers and marks the
+// session ready; a small fixed pool of flush workers drains ready sessions.
+// The per-connection read goroutines belong to the transport layer — the
+// edge itself adds no per-session goroutines.
+//
+// Each session's send buffer is bounded (Config.BufferBytes) with a
+// configurable slow-consumer policy:
+//
+//   - backpressure: fan-in blocks until the consumer acks — nothing is
+//     dropped while the session is attached, and the stall propagates
+//     upstream exactly like TCP backpressure would.
+//   - drop-oldest: the oldest unsent delivery is evicted to make room; the
+//     consumer sees only newer traffic (bounded staleness).
+//   - disconnect: the session is detached on overflow; it may resume later.
+//
+// Flow control is ack-driven: a session may have at most BufferBytes of
+// sent-but-unacked deliveries in flight, so a consumer that stops acking
+// stops being sent to — slowness is modeled at the edge, independent of the
+// transport's own buffering. Sessions carry a resumable token: a
+// reconnecting subscriber replays everything newer than its last seen
+// sequence from a bounded per-session ring (Config.ResumeWindow entries);
+// deliveries that aged out of the ring are reported as lost in the welcome.
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/index"
+	"bluedove/internal/metrics"
+	"bluedove/internal/telemetry"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// Policy selects what happens to a session whose send buffer is full.
+type Policy uint8
+
+// Slow-consumer policies.
+const (
+	// PolicyBackpressure blocks fan-in until the consumer acks (default).
+	PolicyBackpressure Policy = iota
+	// PolicyDropOldest evicts the oldest unsent delivery to make room.
+	PolicyDropOldest
+	// PolicyDisconnect detaches the session on overflow.
+	PolicyDisconnect
+)
+
+// String names the policy as it appears in flags and telemetry labels.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBackpressure:
+		return "backpressure"
+	case PolicyDropOldest:
+		return "drop-oldest"
+	case PolicyDisconnect:
+		return "disconnect"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// PolicyByName parses a policy name.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", "backpressure":
+		return PolicyBackpressure, nil
+	case "drop-oldest":
+		return PolicyDropOldest, nil
+	case "disconnect":
+		return PolicyDisconnect, nil
+	}
+	return 0, fmt.Errorf("edge: unknown slow-consumer policy %q", name)
+}
+
+// subscriberBit tags the edge's aggregated upstream subscriber ID so it can
+// never collide with a real client's SubscriberID (matchers group deliveries
+// per subscriber; a collision would misroute a direct client's traffic).
+const subscriberBit uint64 = 0xE << 56
+
+// Config parameterizes an Edge.
+type Config struct {
+	// ID is the edge's node identity; required.
+	ID core.NodeID
+	// Addr is the listen address for session traffic and upstream
+	// deliveries; required.
+	Addr string
+	// Space is the attribute space; required.
+	Space *core.Space
+	// Transport carries all edge traffic; required.
+	Transport transport.Transport
+	// DispatcherAddr is the upstream front end the aggregated subscriber
+	// registers with; required.
+	DispatcherAddr string
+	// Policy is the slow-consumer policy (default backpressure).
+	Policy Policy
+	// BufferBytes bounds each session's unsent backlog and its
+	// sent-but-unacked flight window (default 256 KiB).
+	BufferBytes int
+	// ResumeWindow bounds the per-session resume ring, in deliveries
+	// (default 1024).
+	ResumeWindow int
+	// FlushWorkers sizes the readiness-loop worker pool (default 4).
+	FlushWorkers int
+	// IndexKind selects the per-edge subscription index (default bucket).
+	IndexKind index.Kind
+	// IndexBuckets overrides the bucket index's bucket count (0 = default).
+	IndexBuckets int
+	// Covering wraps the table with subscription covering/aggregation, so
+	// templated session predicates collapse to one indexed entry per shape
+	// (default on; set NoCovering to disable).
+	NoCovering bool
+	// RequestTimeout bounds the upstream subscribe round-trip (default 5s).
+	RequestTimeout time.Duration
+	// Telemetry, when non-nil, registers the edge.* metric family.
+	Telemetry *telemetry.Telemetry
+	// Now supplies the clock for rate meters (default time.Now).
+	Now func() int64
+}
+
+// entry is one buffered delivery: an encoded EdgeDeliverBody and its
+// sequence, retained from fan-in until acked (or aged out of the ring).
+type entry struct {
+	seq  uint64
+	size int
+	body []byte
+}
+
+// session is one subscriber session. All mutable state is guarded by mu;
+// cond (tied to mu) wakes backpressure waiters when space frees or the
+// session detaches.
+type session struct {
+	token      uint64
+	subscriber core.SubscriberID
+	addr       string               // deliver address (transport sessions)
+	sink       func(*wire.Envelope) // local in-process sessions
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// pending is the unsent backlog (policy-bounded by BufferBytes).
+	pending      []entry
+	pendingBytes int
+	// ring holds sent-but-unacked deliveries: the ack flight window
+	// (bounded by BufferBytes) and the resume replay source (bounded by
+	// ResumeWindow entries).
+	ring      []entry
+	ringBytes int
+	acked     uint64
+	nextSeq   uint64 // next sequence to assign (starts at 1)
+	detached  bool
+	closed    bool
+	queued    bool // in the ready queue
+	subs      map[core.SubscriptionID]struct{}
+}
+
+// Edge is a running edge server.
+type Edge struct {
+	cfg        Config
+	listenAddr string
+
+	// mu guards the subscription table, the session map and token/ID
+	// assignment. Per-session buffers use the session's own lock so a slow
+	// consumer never blocks matching.
+	mu       sync.Mutex
+	idx      index.Index
+	sessions map[uint64]*session
+	nextTok  uint64
+	nextSub  uint64
+	closed   bool
+
+	// aggMu serializes upstream (re-)registration of the aggregated
+	// subscriber; agg is the current bounding cuboid (nil before the first
+	// subscription).
+	aggMu      sync.Mutex
+	agg        []core.Range
+	upstreamID core.SubscriptionID
+
+	ready readyQueue
+	wg    sync.WaitGroup
+
+	bufferedBytes atomic.Int64
+	attached      atomic.Int64
+
+	fanIn             metrics.Counter // publications received from matchers
+	fanOut            metrics.Counter // per-session deliveries enqueued
+	sent              metrics.Counter // frames handed to the transport/sink
+	droppedOldest     metrics.Counter
+	slowDisconnects   metrics.Counter
+	backpressureWaits metrics.Counter
+	resumes           metrics.Counter
+	replayed          metrics.Counter
+	resumeLost        metrics.Counter
+	ringEvicted       metrics.Counter // sent entries aged out of the resume ring
+	sendFailures      metrics.Counter
+	arrival           *metrics.RateMeter // fan-out λ
+	service           *metrics.RateMeter // fan-out μ
+}
+
+// readyQueue is the readiness FIFO the flush workers drain — the epoll-style
+// core of the session loop. Unbounded so fan-in never blocks on it.
+type readyQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*session
+	closed bool
+}
+
+func (rq *readyQueue) push(s *session) {
+	rq.mu.Lock()
+	rq.q = append(rq.q, s)
+	rq.mu.Unlock()
+	rq.cond.Signal()
+}
+
+func (rq *readyQueue) pop() (*session, bool) {
+	rq.mu.Lock()
+	defer rq.mu.Unlock()
+	for len(rq.q) == 0 && !rq.closed {
+		rq.cond.Wait()
+	}
+	if len(rq.q) == 0 {
+		return nil, false
+	}
+	s := rq.q[0]
+	rq.q = rq.q[1:]
+	return s, true
+}
+
+func (rq *readyQueue) close() {
+	rq.mu.Lock()
+	rq.closed = true
+	rq.mu.Unlock()
+	rq.cond.Broadcast()
+}
+
+// New builds an edge server.
+func New(cfg Config) (*Edge, error) {
+	if cfg.Space == nil || cfg.Transport == nil || cfg.DispatcherAddr == "" {
+		return nil, errors.New("edge: Space, Transport and DispatcherAddr are required")
+	}
+	if cfg.ID == 0 {
+		return nil, errors.New("edge: ID is required")
+	}
+	if cfg.BufferBytes <= 0 {
+		cfg.BufferBytes = 256 << 10
+	}
+	if cfg.ResumeWindow <= 0 {
+		cfg.ResumeWindow = 1024
+	}
+	if cfg.FlushWorkers <= 0 {
+		cfg.FlushWorkers = 4
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	base := index.NewSized(cfg.IndexKind, cfg.Space, 0, cfg.IndexBuckets)
+	var idx index.Index = base
+	if !cfg.NoCovering {
+		idx = index.NewCovering(base)
+	}
+	e := &Edge{
+		cfg:      cfg,
+		idx:      idx,
+		sessions: make(map[uint64]*session),
+		arrival:  metrics.NewRateMeter(2*time.Second, 20),
+		service:  metrics.NewRateMeter(2*time.Second, 20),
+	}
+	e.ready.cond = sync.NewCond(&e.ready.mu)
+	if cfg.Telemetry != nil {
+		e.registerTelemetry()
+	}
+	return e, nil
+}
+
+func (e *Edge) registerTelemetry() {
+	r := e.cfg.Telemetry.Registry
+	r.Gauge("node.info", "constant 1; labels identify the node", func(int64) float64 { return 1 })
+	r.Gauge("edge.sessions", "attached subscriber sessions",
+		func(int64) float64 { return float64(e.attached.Load()) })
+	r.Counter("edge.fanout_in", "publications received from matchers", &e.fanIn)
+	r.Counter("edge.fanout_deliveries", "per-session deliveries enqueued by local re-matching", &e.fanOut)
+	r.Gauge("edge.fanout_arrival_rate", "deliveries enqueued per second (λ)",
+		func(now int64) float64 { return e.arrival.Rate(now) })
+	r.Gauge("edge.fanout_service_rate", "deliveries flushed per second (μ)",
+		func(now int64) float64 { return e.service.Rate(now) })
+	r.Gauge("edge.buffered_bytes", "bytes held in session send buffers and resume rings",
+		func(int64) float64 { return float64(e.bufferedBytes.Load()) })
+	r.Counter("edge.drops", "slow-consumer policy actions",
+		&e.droppedOldest, telemetry.L("policy", "drop-oldest"))
+	r.Counter("edge.drops", "slow-consumer policy actions",
+		&e.slowDisconnects, telemetry.L("policy", "disconnect"))
+	r.Counter("edge.drops", "slow-consumer policy actions",
+		&e.backpressureWaits, telemetry.L("policy", "backpressure"))
+	r.Counter("edge.resumes", "sessions resumed from a token", &e.resumes)
+	r.Counter("edge.replayed", "deliveries replayed to resumed sessions", &e.replayed)
+	r.Counter("edge.resume_lost", "deliveries aged out of resume rings before reconnect", &e.resumeLost)
+	r.Counter("edge.send_failures", "delivery frames the transport could not send", &e.sendFailures)
+}
+
+// Start binds the edge's listener and launches the flush workers.
+func (e *Edge) Start() error {
+	addr, err := e.cfg.Transport.Listen(e.cfg.Addr, e.handle)
+	if err != nil {
+		return err
+	}
+	e.listenAddr = addr
+	for i := 0; i < e.cfg.FlushWorkers; i++ {
+		e.wg.Add(1)
+		go e.flushWorker()
+	}
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (e *Edge) Addr() string { return e.listenAddr }
+
+// ID returns the edge's node identity.
+func (e *Edge) ID() core.NodeID { return e.cfg.ID }
+
+// Stop detaches every session and stops the workers. The transport is owned
+// by the caller and is not closed.
+func (e *Edge) Stop() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	sess := make([]*session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sess = append(sess, s)
+	}
+	e.mu.Unlock()
+	for _, s := range sess {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}
+	e.ready.close()
+	e.wg.Wait()
+}
+
+// Sessions returns the number of attached sessions.
+func (e *Edge) Sessions() int { return int(e.attached.Load()) }
+
+// BufferedBytes returns the bytes currently held across all session buffers.
+func (e *Edge) BufferedBytes() int64 { return e.bufferedBytes.Load() }
+
+// Counter accessors for tests and benchmarks.
+func (e *Edge) FanIn() int64             { return e.fanIn.Value() }
+func (e *Edge) FanOut() int64            { return e.fanOut.Value() }
+func (e *Edge) DroppedOldest() int64     { return e.droppedOldest.Value() }
+func (e *Edge) SlowDisconnects() int64   { return e.slowDisconnects.Value() }
+func (e *Edge) BackpressureWaits() int64 { return e.backpressureWaits.Value() }
+func (e *Edge) Resumes() int64           { return e.resumes.Value() }
+func (e *Edge) Replayed() int64          { return e.replayed.Value() }
+func (e *Edge) ResumeLost() int64        { return e.resumeLost.Value() }
+
+// handle is the edge's transport handler: session control frames, session
+// acks, and upstream deliveries.
+func (e *Edge) handle(env *wire.Envelope) *wire.Envelope {
+	switch env.Kind {
+	case wire.KindSessionHello:
+		b, err := wire.DecodeSessionHello(env.Body)
+		if err != nil {
+			return errEnv(err)
+		}
+		w, err := e.hello(b, nil)
+		if err != nil {
+			w = &wire.SessionWelcomeBody{Err: err.Error()}
+		}
+		return &wire.Envelope{Kind: wire.KindSessionWelcome, From: e.cfg.ID, Body: w.Encode()}
+	case wire.KindSessionSub:
+		b, err := wire.DecodeSessionSub(env.Body)
+		if err != nil {
+			return errEnv(err)
+		}
+		ack := &wire.SessionSubAckBody{}
+		id, err := e.subscribe(b.Token, b.Sub)
+		if err != nil {
+			ack.Err = err.Error()
+		} else {
+			ack.ID = id
+		}
+		return &wire.Envelope{Kind: wire.KindSessionSubAck, From: e.cfg.ID, Body: ack.Encode()}
+	case wire.KindSessionUnsub:
+		if b, err := wire.DecodeSessionUnsub(env.Body); err == nil {
+			e.unsubscribe(b.Token, b.ID)
+		}
+	case wire.KindSessionAck:
+		if b, err := wire.DecodeSessionAck(env.Body); err == nil {
+			e.ack(b.Token, b.Seq)
+		}
+	case wire.KindDeliver:
+		if b, err := wire.DecodeDeliver(env.Body); err == nil {
+			e.fanOutMsg(b.Msg)
+		}
+	case wire.KindDeliverBatch:
+		if b, err := wire.DecodeDeliverBatch(env.Body); err == nil {
+			for i := range b.Deliveries {
+				e.fanOutMsg(b.Deliveries[i].Msg)
+			}
+		}
+	}
+	return nil
+}
+
+func errEnv(err error) *wire.Envelope {
+	return &wire.Envelope{Kind: wire.KindError, Body: (&wire.ErrorBody{Text: err.Error()}).Encode()}
+}
+
+// AttachLocal opens or resumes an in-process session delivering frames
+// through sink instead of the transport — how benchmarks host 100k sessions
+// on one edge without 100k transport endpoints. The handshake, buffers,
+// policies and resume machinery are identical to transport sessions (frames
+// are still wire-encoded); only the final write is a function call. The sink
+// must be fast and non-blocking: model slow consumers by withholding acks.
+func (e *Edge) AttachLocal(hello *wire.SessionHelloBody, sink func(*wire.Envelope)) (*wire.SessionWelcomeBody, error) {
+	if sink == nil {
+		return nil, errors.New("edge: AttachLocal requires a sink")
+	}
+	return e.hello(hello, sink)
+}
+
+// Deliver injects one upstream publication exactly as a KindDeliver frame
+// would (bench/chaos hook: drives fan-in without a transport endpoint, so
+// backpressure stalls the caller directly).
+func (e *Edge) Deliver(msg *core.Message) { e.fanOutMsg(msg) }
+
+// Subscribe registers one session subscription (the KindSessionSub path).
+func (e *Edge) Subscribe(token uint64, sub *core.Subscription) (core.SubscriptionID, error) {
+	return e.subscribe(token, sub)
+}
+
+// Ack advances a session's cumulative ack (the KindSessionAck path).
+func (e *Edge) Ack(token, seq uint64) { e.ack(token, seq) }
+
+// hello opens (Token == 0) or resumes a session.
+func (e *Edge) hello(b *wire.SessionHelloBody, sink func(*wire.Envelope)) (*wire.SessionWelcomeBody, error) {
+	if b.Token == 0 {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return nil, errors.New("edge: stopped")
+		}
+		e.nextTok++
+		s := &session{
+			token:      e.nextTok,
+			subscriber: b.Subscriber,
+			addr:       b.DeliverAddr,
+			sink:       sink,
+			nextSeq:    1,
+			subs:       make(map[core.SubscriptionID]struct{}),
+		}
+		s.cond = sync.NewCond(&s.mu)
+		e.sessions[s.token] = s
+		e.mu.Unlock()
+		e.attached.Add(1)
+		return &wire.SessionWelcomeBody{Token: s.token, NextSeq: 1}, nil
+	}
+
+	e.mu.Lock()
+	s, ok := e.sessions[b.Token]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("edge: unknown session token %d", b.Token)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("edge: session closed")
+	}
+	wasDetached := s.detached
+	s.addr = b.DeliverAddr
+	s.sink = sink
+	s.detached = false
+	if b.LastSeq > s.acked {
+		s.acked = b.LastSeq
+	}
+	// Everything the subscriber confirms leaves the ring; what remains
+	// (newer than LastSeq) is replayed by moving it back to the front of
+	// the unsent backlog. Sequences between LastSeq and the oldest retained
+	// entry aged out of the ring — they are gone, and the welcome says so.
+	e.trimAckedLocked(s)
+	var lost uint64
+	firstRetained := s.nextSeq
+	if len(s.ring) > 0 {
+		firstRetained = s.ring[0].seq
+	} else if len(s.pending) > 0 && s.pending[0].seq < firstRetained {
+		firstRetained = s.pending[0].seq
+	}
+	if firstRetained > b.LastSeq+1 {
+		lost = firstRetained - b.LastSeq - 1
+	}
+	replayed := len(s.ring)
+	if replayed > 0 {
+		merged := make([]entry, 0, len(s.ring)+len(s.pending))
+		merged = append(merged, s.ring...)
+		merged = append(merged, s.pending...)
+		s.pending = merged
+		s.pendingBytes += s.ringBytes
+		s.ring = nil
+		s.ringBytes = 0
+	}
+	welcome := &wire.SessionWelcomeBody{
+		Token:   s.token,
+		Resumed: true,
+		NextSeq: s.nextSeq,
+		Lost:    lost,
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if wasDetached {
+		e.attached.Add(1)
+	}
+	e.resumes.Add(1)
+	e.replayed.Add(int64(replayed))
+	e.resumeLost.Add(int64(lost))
+	e.enqueueReady(s)
+	return welcome, nil
+}
+
+// subscribe registers one session subscription: it enters the per-edge
+// table and widens the aggregated upstream subscriber when it falls outside
+// the current bounding cuboid.
+func (e *Edge) subscribe(token uint64, sub *core.Subscription) (core.SubscriptionID, error) {
+	if sub == nil {
+		return 0, errors.New("edge: nil subscription")
+	}
+	if err := sub.Validate(e.cfg.Space); err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	s, ok := e.sessions[token]
+	if !ok || e.closed {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("edge: unknown session token %d", token)
+	}
+	e.mu.Unlock()
+
+	// Widen the upstream aggregate BEFORE exposing the subscription: once
+	// the sub-ack returns, matching publications are guaranteed to reach
+	// this edge.
+	if err := e.widen(sub.Predicates); err != nil {
+		return 0, err
+	}
+
+	e.mu.Lock()
+	e.nextSub++
+	id := core.SubscriptionID(uint64(e.cfg.ID)<<40 | e.nextSub)
+	stored := core.NewSubscription(core.SubscriberID(token), sub.Predicates)
+	stored.ID = id
+	e.idx.Add(stored)
+	e.mu.Unlock()
+	s.mu.Lock()
+	s.subs[id] = struct{}{}
+	s.mu.Unlock()
+	return id, nil
+}
+
+// unsubscribe removes one session subscription from the table. The upstream
+// aggregate is widening-only: it is not narrowed here, so the edge may keep
+// receiving (and discarding) traffic no local session wants until it
+// re-registers — the same trade SIENA-style aggregation makes.
+func (e *Edge) unsubscribe(token uint64, id core.SubscriptionID) {
+	e.mu.Lock()
+	s, ok := e.sessions[token]
+	if ok {
+		e.idx.Remove(id)
+	}
+	e.mu.Unlock()
+	if ok {
+		s.mu.Lock()
+		delete(s.subs, id)
+		s.mu.Unlock()
+	}
+}
+
+// widen grows the aggregated upstream subscription to cover preds,
+// registering the new bounding cuboid before dropping the old one so there
+// is no coverage gap.
+func (e *Edge) widen(preds []core.Range) error {
+	e.aggMu.Lock()
+	defer e.aggMu.Unlock()
+	if e.agg != nil {
+		covered := true
+		for i, p := range preds {
+			if p.Low < e.agg[i].Low || p.High > e.agg[i].High {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return nil
+		}
+	}
+	next := make([]core.Range, len(preds))
+	copy(next, preds)
+	if e.agg != nil {
+		for i := range next {
+			if e.agg[i].Low < next[i].Low {
+				next[i].Low = e.agg[i].Low
+			}
+			if e.agg[i].High > next[i].High {
+				next[i].High = e.agg[i].High
+			}
+		}
+	}
+	agg := core.NewSubscription(core.SubscriberID(subscriberBit|uint64(e.cfg.ID)), next)
+	body := (&wire.SubscribeBody{Sub: agg, DeliverAddr: e.listenAddr}).Encode()
+	resp, err := e.cfg.Transport.Request(e.cfg.DispatcherAddr,
+		&wire.Envelope{Kind: wire.KindSubscribe, From: e.cfg.ID, Body: body}, e.cfg.RequestTimeout)
+	if err != nil {
+		return fmt.Errorf("edge: upstream subscribe: %w", err)
+	}
+	if resp.Kind != wire.KindSubscribeAck {
+		if eb, derr := wire.DecodeError(resp.Body); derr == nil {
+			return fmt.Errorf("edge: upstream subscribe rejected: %s", eb.Text)
+		}
+		return fmt.Errorf("edge: unexpected upstream response %v", resp.Kind)
+	}
+	ack, err := wire.DecodeSubscribeAck(resp.Body)
+	if err != nil {
+		return err
+	}
+	old := e.upstreamID
+	e.upstreamID, e.agg = ack.ID, next
+	if old != 0 {
+		// Replaced cuboid: drop the narrower registration. Best-effort —
+		// a stale extra registration only costs duplicate deliveries,
+		// which local re-matching and client dedup absorb.
+		ub := (&wire.UnsubscribeBody{ID: old}).Encode()
+		_ = e.cfg.Transport.Send(e.cfg.DispatcherAddr,
+			&wire.Envelope{Kind: wire.KindUnsubscribe, From: e.cfg.ID, Body: ub})
+	}
+	return nil
+}
+
+// ack advances a session's cumulative ack, freeing ring space (and with it
+// the flight window that gates flushing).
+func (e *Edge) ack(token uint64, seq uint64) {
+	e.mu.Lock()
+	s, ok := e.sessions[token]
+	e.mu.Unlock()
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	if seq > s.acked {
+		s.acked = seq
+		e.trimAckedLocked(s)
+	}
+	flushable := e.flushableLocked(s)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if flushable {
+		e.enqueueReady(s)
+	}
+}
+
+// trimAckedLocked drops acked entries from the front of the ring. Caller
+// holds s.mu.
+func (e *Edge) trimAckedLocked(s *session) {
+	i := 0
+	for i < len(s.ring) && s.ring[i].seq <= s.acked {
+		s.ringBytes -= s.ring[i].size
+		e.bufferedBytes.Add(-int64(s.ring[i].size))
+		i++
+	}
+	if i > 0 {
+		s.ring = s.ring[i:]
+	}
+}
+
+// Detach simulates a connection loss for the session with the given token
+// (chaos/bench hook): buffered deliveries move to the resume ring and the
+// session stops being flushed until it resumes.
+func (e *Edge) Detach(token uint64) bool {
+	e.mu.Lock()
+	s, ok := e.sessions[token]
+	e.mu.Unlock()
+	if !ok {
+		return false
+	}
+	e.detach(s)
+	return true
+}
+
+func (e *Edge) detach(s *session) {
+	s.mu.Lock()
+	if s.detached || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.detached = true
+	// Unsent backlog joins the resume ring: it is exactly the "missed while
+	// away" set a resume replays.
+	s.ring = append(s.ring, s.pending...)
+	s.ringBytes += s.pendingBytes
+	s.pending = nil
+	s.pendingBytes = 0
+	e.trimRingLocked(s)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	e.attached.Add(-1)
+}
+
+// trimRingLocked enforces the ResumeWindow bound. Caller holds s.mu.
+func (e *Edge) trimRingLocked(s *session) {
+	for len(s.ring) > e.cfg.ResumeWindow {
+		e.bufferedBytes.Add(-int64(s.ring[0].size))
+		s.ringBytes -= s.ring[0].size
+		s.ring = s.ring[1:]
+		e.ringEvicted.Add(1)
+	}
+}
+
+// fanOutMsg re-matches one upstream publication against the per-edge table
+// and appends the encoded delivery to every matching session's buffer.
+func (e *Edge) fanOutMsg(msg *core.Message) {
+	if msg == nil {
+		return
+	}
+	e.fanIn.Add(1)
+	type target struct {
+		s   *session
+		ids []core.SubscriptionID
+	}
+	var targets []target
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	matched, _, _ := index.Match(e.idx, msg, nil, nil)
+	if len(matched) > 0 {
+		perSess := make(map[uint64]int, 8)
+		for _, sub := range matched {
+			tok := uint64(sub.Subscriber)
+			i, ok := perSess[tok]
+			if !ok {
+				s := e.sessions[tok]
+				if s == nil {
+					continue
+				}
+				perSess[tok] = len(targets)
+				targets = append(targets, target{s: s})
+				i = len(targets) - 1
+			}
+			targets[i].ids = append(targets[i].ids, sub.ID)
+		}
+	}
+	e.mu.Unlock()
+	now := e.cfg.Now()
+	for _, t := range targets {
+		e.append(t.s, msg, t.ids, now)
+	}
+}
+
+// append applies the slow-consumer policy and enqueues one delivery on a
+// session, stamping its sequence. Under PolicyBackpressure a full buffer
+// blocks the caller (the fan-in path) until the consumer acks — that stall
+// is the backpressure, propagating upstream like a full TCP window.
+func (e *Edge) append(s *session, msg *core.Message, ids []core.SubscriptionID, now int64) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	// The encoded size is known only after encoding, and the sequence must
+	// be assigned under the lock; encode first with the next sequence.
+	body := (&wire.EdgeDeliverBody{Seq: s.nextSeq, Msg: msg, SubIDs: ids}).Encode()
+	size := len(body)
+	if !s.detached {
+		switch e.cfg.Policy {
+		case PolicyBackpressure:
+			for !s.detached && !s.closed && s.pendingBytes+size > e.cfg.BufferBytes && s.pendingBytes > 0 {
+				e.backpressureWaits.Add(1)
+				s.cond.Wait()
+			}
+		case PolicyDropOldest:
+			for s.pendingBytes+size > e.cfg.BufferBytes && len(s.pending) > 0 {
+				old := s.pending[0]
+				s.pending = s.pending[1:]
+				s.pendingBytes -= old.size
+				e.bufferedBytes.Add(-int64(old.size))
+				e.droppedOldest.Add(1)
+			}
+		case PolicyDisconnect:
+			if s.pendingBytes+size > e.cfg.BufferBytes && s.pendingBytes > 0 {
+				s.mu.Unlock()
+				e.slowDisconnects.Add(1)
+				e.detach(s)
+				s.mu.Lock()
+				if s.closed {
+					s.mu.Unlock()
+					return
+				}
+			}
+		}
+	}
+	ent := entry{seq: s.nextSeq, size: size, body: body}
+	s.nextSeq++
+	if s.detached {
+		// No consumer: straight to the resume ring.
+		s.ring = append(s.ring, ent)
+		s.ringBytes += size
+		e.bufferedBytes.Add(int64(size))
+		e.trimRingLocked(s)
+		s.mu.Unlock()
+	} else {
+		s.pending = append(s.pending, ent)
+		s.pendingBytes += size
+		e.bufferedBytes.Add(int64(size))
+		s.mu.Unlock()
+		e.enqueueReady(s)
+	}
+	e.fanOut.Add(1)
+	e.arrival.Mark(now, 1)
+}
+
+// flushableLocked reports whether a flush worker has work for s: attached,
+// backlog present, flight window open. Caller holds s.mu.
+func (e *Edge) flushableLocked(s *session) bool {
+	return !s.detached && !s.closed && len(s.pending) > 0 && s.ringBytes < e.cfg.BufferBytes
+}
+
+// enqueueReady marks a session ready for the worker pool (at most one
+// pending readiness entry per session).
+func (e *Edge) enqueueReady(s *session) {
+	s.mu.Lock()
+	if s.queued || !e.flushableLocked(s) {
+		s.mu.Unlock()
+		return
+	}
+	s.queued = true
+	s.mu.Unlock()
+	e.ready.push(s)
+}
+
+func (e *Edge) flushWorker() {
+	defer e.wg.Done()
+	for {
+		s, ok := e.ready.pop()
+		if !ok {
+			return
+		}
+		e.flush(s)
+	}
+}
+
+// flush drains one ready session: pending entries move to the ring (sent,
+// awaiting ack) and their frames go out. On a send failure the session
+// detaches — its buffered traffic waits in the resume ring.
+func (e *Edge) flush(s *session) {
+	for {
+		s.mu.Lock()
+		if !e.flushableLocked(s) {
+			s.queued = false
+			// Re-check: an append may have raced the gate while queued was
+			// still set and skipped its enqueue.
+			if e.flushableLocked(s) {
+				s.queued = true
+				s.mu.Unlock()
+				e.ready.push(s)
+				return
+			}
+			s.mu.Unlock()
+			return
+		}
+		ent := s.pending[0]
+		s.pending = s.pending[1:]
+		s.pendingBytes -= ent.size
+		s.ring = append(s.ring, ent)
+		s.ringBytes += ent.size
+		e.trimRingLocked(s)
+		addr, sink := s.addr, s.sink
+		s.mu.Unlock()
+		s.cond.Broadcast() // pending shrank: wake backpressure waiters
+
+		env := &wire.Envelope{Kind: wire.KindEdgeDeliver, From: e.cfg.ID, Body: ent.body}
+		if sink != nil {
+			sink(env)
+		} else if err := e.cfg.Transport.Send(addr, env); err != nil {
+			e.sendFailures.Add(1)
+			s.mu.Lock()
+			s.queued = false
+			s.mu.Unlock()
+			e.detach(s)
+			return
+		}
+		e.sent.Add(1)
+		e.service.Mark(e.cfg.Now(), 1)
+	}
+}

@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEdgeTierBench runs the edge benchmark at a tiny scale: the invariants
+// (zero acked loss under backpressure, bounded staleness under drop-oldest,
+// full loss accounting under disconnect) must hold at any size.
+func TestEdgeTierBench(t *testing.T) {
+	r, err := EdgeTier(EdgeOpts{
+		Sessions:      3000,
+		SmallSessions: 1000,
+		Publications:  400,
+		Audited:       64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bp := r.Backpressure
+	if !bp.ZeroAckedLoss {
+		t.Fatalf("backpressure acked loss: %s (audit: %s)", bp.LossDetail, bp.AuditErr)
+	}
+	if bp.Delivered != bp.ExpectedDeliveries {
+		t.Fatalf("backpressure delivered %d, expected %d", bp.Delivered, bp.ExpectedDeliveries)
+	}
+	if bp.StormDetaches == 0 || bp.Resumes < bp.StormDetaches {
+		t.Fatalf("reconnect storm: %d detaches, %d resumes", bp.StormDetaches, bp.Resumes)
+	}
+	if bp.AuditErr != "" {
+		t.Fatalf("backpressure audit: %s", bp.AuditErr)
+	}
+
+	do := r.DropOldest
+	if do.DroppedOldest == 0 {
+		t.Fatal("drop-oldest phase evicted nothing; slow consumers not exercised")
+	}
+	if !do.SlowTailCaughtUp {
+		t.Fatal("drop-oldest slow consumers did not end at the head sequence")
+	}
+	if do.MaxStalenessGap <= 0 {
+		t.Fatal("drop-oldest recorded no stale gap despite evictions")
+	}
+	if !do.ZeroAckedLoss {
+		t.Fatalf("drop-oldest lost deliveries on fast sessions: %s", do.LossDetail)
+	}
+
+	dc := r.Disconnect
+	if dc.SlowDisconnects == 0 {
+		t.Fatal("disconnect phase detached nothing")
+	}
+	if !dc.LossAccounted {
+		t.Fatalf("disconnect loss unaccounted: %s", dc.LossDetail)
+	}
+	if !dc.ZeroAckedLoss {
+		t.Fatalf("disconnect lost deliveries on fast sessions: %s", dc.LossDetail)
+	}
+
+	if !strings.Contains(r.Table().String(), "Edge tier") {
+		t.Error("table title")
+	}
+}

@@ -57,6 +57,15 @@ type Config struct {
 	// as added latency without queueing — the paper measured dispatching to
 	// be two orders of magnitude cheaper than matching (default 5µs).
 	DispatchCost time.Duration
+	// Edges models an edge connection tier between matchers and subscriber
+	// sessions (the real stack's internal/edge): each delivery rides one
+	// extra NetDelay hop to its edge plus a per-matched-session re-match and
+	// enqueue service term, amortized across Edges servers. 0 = sessions
+	// connect directly to dispatchers, today's model.
+	Edges int
+	// EdgeFanoutCost is the edge tier's service time per matched session
+	// fanned out (default 2µs; meaningful only with Edges > 0).
+	EdgeFanoutCost time.Duration
 
 	// ReportInterval is the matcher load-report cadence (default 1s).
 	ReportInterval time.Duration
@@ -179,6 +188,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DispatchCost <= 0 {
 		c.DispatchCost = 5 * time.Microsecond
+	}
+	if c.EdgeFanoutCost <= 0 {
+		c.EdgeFanoutCost = 2 * time.Microsecond
 	}
 	if c.ReportInterval <= 0 {
 		c.ReportInterval = time.Second

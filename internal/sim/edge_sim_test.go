@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"bluedove/internal/workload"
+)
+
+// TestEdgeTierAddsHopAndCounts: enabling the simulated edge tier must not
+// change what completes — only add the extra hop plus fan-out service time
+// to every delivery's response, and account each fanned-out delivery.
+func TestEdgeTierAddsHopAndCounts(t *testing.T) {
+	run := func(edges int) (completed, edgeDeliveries int64, mean float64) {
+		cfg := testConfig(6)
+		cfg.Edges = edges
+		cl := NewCluster(cfg)
+		gen := workload.New(workload.Default(cfg.Space))
+		cl.SubscribeAll(gen.Subscriptions(1000))
+		cl.Drive(gen, workload.ConstantRate(300), int64(10*time.Second))
+		cl.RunUntil(int64(15 * time.Second))
+		st := cl.Stats()
+		return st.Completed.Value(), st.EdgeDeliveries.Value(), st.RespHist.Mean()
+	}
+	dc, dEdge, dMean := run(0)
+	ec, eEdge, eMean := run(2)
+	if dc == 0 {
+		t.Fatal("baseline run completed no messages")
+	}
+	if ec != dc {
+		t.Fatalf("edge tier changed completions: %d direct vs %d via edges", dc, ec)
+	}
+	if dEdge != 0 {
+		t.Fatalf("EdgeDeliveries = %d with no edge tier, want 0", dEdge)
+	}
+	if eEdge == 0 {
+		t.Fatal("EdgeDeliveries = 0 with the edge tier enabled")
+	}
+	// Every delivery rides exactly one extra NetDelay hop plus a small
+	// fan-out term, so the mean shifts up by at least NetDelay.
+	netDelay := float64(500 * time.Microsecond)
+	if eMean < dMean+netDelay {
+		t.Fatalf("edge-tier mean response %.0fns vs direct %.0fns: extra hop (%.0fns) missing",
+			eMean, dMean, netDelay)
+	}
+}

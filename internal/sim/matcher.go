@@ -185,7 +185,16 @@ func (m *simMatcher) complete(qm queuedMsg, dim int, matchedSubs []*core.Subscri
 	m.processed++
 	m.deliveries += int64(len(matchedSubs))
 	m.matchedTotal += int64(len(matchedSubs))
-	m.cl.recordResponse(m.cl.eng.Now()+int64(m.cl.cfg.NetDelay), qm.m)
+	respAt := m.cl.eng.Now() + int64(m.cl.cfg.NetDelay)
+	if m.cl.cfg.Edges > 0 {
+		// Deliveries ride an extra hop through the edge tier, which spends
+		// EdgeFanoutCost per matched session re-matching and enqueueing;
+		// that work is spread across the Edges servers.
+		fanout := int64(m.cl.cfg.EdgeFanoutCost) * int64(len(matchedSubs)) / int64(m.cl.cfg.Edges)
+		respAt += int64(m.cl.cfg.NetDelay) + fanout
+		m.cl.stats.EdgeDeliveries.Add(int64(len(matchedSubs)))
+	}
+	m.cl.recordResponse(respAt, qm.m)
 	if t := qm.m.Trace; t != nil {
 		t.Stamp(core.HopMatch, now)
 		// The delivery and the ack both ride one network hop; the trace is

@@ -43,6 +43,9 @@ type Stats struct {
 	Rerouted metrics.Counter
 	// ShedExpired counts publications shed at dequeue with an expired TTL.
 	ShedExpired metrics.Counter
+	// EdgeDeliveries counts session deliveries fanned out through the edge
+	// tier (Config.Edges > 0; one per matched subscription).
+	EdgeDeliveries metrics.Counter
 
 	// GossipBytes counts matcher↔matcher gossip traffic.
 	GossipBytes metrics.Counter

@@ -27,6 +27,16 @@ type TCP struct {
 	// one destination costs one syscall instead of one per frame. Zero (the
 	// default) flushes every frame immediately. Set before the first Send.
 	FlushInterval time.Duration
+	// IdleTimeout, when positive, closes accepted server-side connections
+	// that deliver no frame for this long — without it a dead peer pins its
+	// read goroutine and buffers forever, which matters once an edge holds
+	// many thousands of sessions. A peer finding its connection gone sees
+	// the usual ErrUnreachable on its next send (and redials); deadline
+	// errors never leak into Request's timeout classification, which applies
+	// only to the short-lived request connections this setting does not
+	// touch. Zero (the default) keeps accepted connections open until the
+	// peer closes them. Set before the first Listen.
+	IdleTimeout time.Duration
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -46,6 +56,8 @@ type TCP struct {
 	BytesSent      metrics.Counter
 	FramesReceived metrics.Counter
 	BytesReceived  metrics.Counter
+	// IdleClosed counts accepted connections dropped by IdleTimeout.
+	IdleClosed metrics.Counter
 }
 
 type sendConn struct {
@@ -122,9 +134,17 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
+		if t.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(t.IdleTimeout)); err != nil {
+				return
+			}
+		}
 		env, err := wire.ReadFrame(br)
 		if err != nil {
-			return // EOF or protocol error: drop the connection
+			if isTimeout(err) {
+				t.IdleClosed.Add(1)
+			}
+			return // EOF, idle timeout or protocol error: drop the connection
 		}
 		t.FramesReceived.Add(1)
 		t.BytesReceived.Add(int64(len(env.Body)))

@@ -306,6 +306,67 @@ func TestTCPSendReconnects(t *testing.T) {
 	waitFor(t, func() bool { return got.Load() >= 2 })
 }
 
+// TestTCPIdleTimeoutClosesDeadPeer: an accepted connection that stops
+// delivering frames must be dropped after IdleTimeout — a dead peer must not
+// pin its read goroutine and buffers forever — while a connection with
+// frames flowing (each frame re-arms the deadline) stays open, and a sender
+// that lost its pooled connection to the reaper just redials on the next
+// Send instead of surfacing an error.
+func TestTCPIdleTimeoutClosesDeadPeer(t *testing.T) {
+	server := NewTCP()
+	server.IdleTimeout = 150 * time.Millisecond
+	defer server.Close()
+	var got atomic.Int64
+	addr, err := server.Listen("127.0.0.1:0", func(env *wire.Envelope) *wire.Envelope {
+		got.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An active connection survives several idle windows: keep frames
+	// flowing for 3x the timeout on one pooled connection.
+	client := NewTCP()
+	defer client.Close()
+	for i := 0; i < 9; i++ {
+		if err := client.Send(addr, &wire.Envelope{Kind: wire.KindForward}); err != nil {
+			t.Fatalf("send %d on active connection: %v", i, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	waitFor(t, func() bool { return got.Load() == 9 })
+	if n := server.IdleClosed.Value(); n != 0 {
+		t.Fatalf("active connection reaped %d times, want 0", n)
+	}
+
+	// A raw connection that never writes is reaped: the server closes it and
+	// our read unblocks with EOF (not a local deadline — we set none).
+	dead, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dead.Close()
+	if err := dead.SetReadDeadline(time.Now().Add(4 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dead.Read(make([]byte, 1)); err == nil {
+		t.Fatal("idle connection still open after IdleTimeout")
+	} else if ne := net.Error(nil); errors.As(err, &ne) && ne.Timeout() {
+		t.Fatal("server never closed the idle connection")
+	}
+	waitFor(t, func() bool { return server.IdleClosed.Value() >= 1 })
+
+	// The idle client's pooled connection was reaped too; a later Send must
+	// transparently redial (stale-connection retry), not fail.
+	deadline := time.Now().Add(4 * time.Second)
+	for time.Now().Before(deadline) && got.Load() < 10 {
+		_ = client.Send(addr, &wire.Envelope{Kind: wire.KindForward})
+		time.Sleep(20 * time.Millisecond)
+	}
+	waitFor(t, func() bool { return got.Load() >= 10 })
+}
+
 func TestTCPRequestTimeout(t *testing.T) {
 	server := NewTCP()
 	defer server.Close()

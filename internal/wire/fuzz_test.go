@@ -112,6 +112,70 @@ func FuzzDecodeForwardAckBatch(f *testing.F) {
 	})
 }
 
+func FuzzDecodeSessionHello(f *testing.F) {
+	f.Add((&SessionHelloBody{Token: 7, LastSeq: 3, Subscriber: 9, DeliverAddr: "edge-client-9"}).Encode())
+	f.Add((&SessionHelloBody{Subscriber: 1}).Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeSessionHello(data)
+		if err == nil && b == nil {
+			t.Fatal("nil body without error")
+		}
+	})
+}
+
+func FuzzDecodeSessionWelcome(f *testing.F) {
+	f.Add((&SessionWelcomeBody{Token: 7, Resumed: true, NextSeq: 10, Lost: 2}).Encode())
+	f.Add((&SessionWelcomeBody{Err: "edge: unknown session token"}).Encode())
+	f.Add([]byte{0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeSessionWelcome(data)
+		if err == nil && b == nil {
+			t.Fatal("nil body without error")
+		}
+	})
+}
+
+func FuzzDecodeSessionSub(f *testing.F) {
+	sub := core.NewSubscription(9, []core.Range{{Low: 1, High: 2}, {Low: 3, High: 4}})
+	sub.ID = 5
+	f.Add((&SessionSubBody{Token: 7, Sub: sub}).Encode())
+	f.Add((&SessionSubBody{Sub: core.NewSubscription(1, nil)}).Encode())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeSessionSub(data)
+		if err == nil && b.Sub == nil {
+			t.Fatal("nil subscription without error")
+		}
+	})
+}
+
+func FuzzDecodeEdgeDeliver(f *testing.F) {
+	f.Add((&EdgeDeliverBody{Seq: 3, Msg: fuzzMsg(),
+		SubIDs: []core.SubscriptionID{1, 2, 3}}).Encode())
+	f.Add((&EdgeDeliverBody{Seq: 4, Msg: fuzzTracedMsg(),
+		SubIDs: []core.SubscriptionID{1}}).Encode())
+	f.Add((&EdgeDeliverBody{Msg: core.NewMessage(nil, nil)}).Encode())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeEdgeDeliver(data)
+		if err == nil && b.Msg == nil {
+			t.Fatal("nil message without error")
+		}
+	})
+}
+
+func FuzzDecodeSessionAck(f *testing.F) {
+	f.Add((&SessionAckBody{Token: 7, Seq: 3}).Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeSessionAck(data)
+		if err == nil && b == nil {
+			t.Fatal("nil body without error")
+		}
+	})
+}
+
 func FuzzReadFrame(f *testing.F) {
 	var buf bytes.Buffer
 	if err := WriteFrame(&buf, &Envelope{Kind: KindForward, From: 3,

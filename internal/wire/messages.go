@@ -59,6 +59,10 @@ func (k Kind) String() string {
 		KindForwardAckBatch: "forward-ack-batch",
 		KindBusy:            "busy", KindPublishReq: "publish-req",
 		KindPublishAck: "publish-ack", KindTransferRange: "transfer-range",
+		KindSessionHello: "session-hello", KindSessionWelcome: "session-welcome",
+		KindSessionSub: "session-sub", KindSessionSubAck: "session-sub-ack",
+		KindSessionUnsub: "session-unsub", KindEdgeDeliver: "edge-deliver",
+		KindSessionAck: "session-ack",
 	}
 	if s, ok := names[k]; ok {
 		return s
