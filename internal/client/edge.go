@@ -134,7 +134,10 @@ func dialEdge(cfg EdgeConfig, dedup *dedupRing) (*EdgeSession, error) {
 }
 
 // handle receives pushed EdgeDeliver frames: dedup, deliver, track the
-// newest sequence, and ack every AckEvery deliveries.
+// newest sequence, and ack every AckEvery deliveries. The ack goes out only
+// AFTER OnDeliver returns: an ack tells the edge it may forget the delivery,
+// so acked must always imply delivered-to-application — acking first would
+// weaken the zero-acked-loss contract to at-most-once around the callback.
 func (s *EdgeSession) handle(env *wire.Envelope) *wire.Envelope {
 	if env.Kind != wire.KindEdgeDeliver {
 		return nil
@@ -158,15 +161,16 @@ func (s *EdgeSession) handle(env *wire.Envelope) *wire.Envelope {
 	}
 	seq := s.lastSeq
 	s.mu.Unlock()
+	if b.Msg != nil && s.dedup.duplicate(b.Msg.ID) {
+		// A replay overlap the application already saw: safe to ack.
+		s.suppressed.Add(1)
+	} else {
+		s.delivered.Add(1)
+		s.cfg.OnDeliver(b.Msg, b.SubIDs)
+	}
 	if ack {
 		s.sendAck(seq)
 	}
-	if b.Msg != nil && s.dedup.duplicate(b.Msg.ID) {
-		s.suppressed.Add(1)
-		return nil
-	}
-	s.delivered.Add(1)
-	s.cfg.OnDeliver(b.Msg, b.SubIDs)
 	return nil
 }
 
@@ -236,8 +240,11 @@ func (s *EdgeSession) Delivered() int64 { return s.delivered.Value() }
 // duplicate-suppression window.
 func (s *EdgeSession) SuppressedDuplicates() int64 { return s.suppressed.Value() }
 
-// Close sends the final cumulative ack and stops delivering. The transport
-// (owned by the caller) stays open.
+// Close sends the final cumulative ack, tells the edge to end the session
+// for good (freeing its buffers, resume ring and subscriptions — the token
+// cannot be resumed afterwards), and stops delivering. A session that may
+// come back later should just drop the connection and Resume instead. The
+// transport (owned by the caller) stays open.
 func (s *EdgeSession) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -248,4 +255,7 @@ func (s *EdgeSession) Close() {
 	seq := s.lastSeq
 	s.mu.Unlock()
 	s.sendAck(seq)
+	body := (&wire.SessionCloseBody{Token: s.token}).Encode()
+	_ = s.cfg.Transport.Send(s.cfg.EdgeAddr,
+		&wire.Envelope{Kind: wire.KindSessionClose, Body: body})
 }

@@ -1,0 +1,127 @@
+package client
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/edge"
+	"bluedove/internal/transport"
+	"bluedove/internal/wire"
+)
+
+// edgeRig boots a mesh with a minimal upstream dispatcher stub and one edge
+// server for client-session tests.
+func edgeRig(t *testing.T) (*transport.Mesh, *edge.Edge) {
+	t.Helper()
+	mesh := transport.NewMesh(0)
+	var subID uint64
+	if _, err := mesh.Endpoint("disp").Listen("disp", func(env *wire.Envelope) *wire.Envelope {
+		if env.Kind != wire.KindSubscribe {
+			return nil
+		}
+		subID++
+		return &wire.Envelope{Kind: wire.KindSubscribeAck,
+			Body: (&wire.SubscribeAckBody{ID: core.SubscriptionID(subID)}).Encode()}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := edge.New(edge.Config{
+		ID:             3,
+		Addr:           "edge",
+		Space:          core.UniformSpace(1, 100),
+		Transport:      mesh.Endpoint("edge"),
+		DispatcherAddr: "disp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Stop(); mesh.Close() })
+	return mesh, e
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestEdgeAckSentAfterDeliver: the cumulative ack covering a delivery must
+// not leave the client until OnDeliver has returned — an acked delivery the
+// application never saw would be silent loss ("acked implies delivered").
+func TestEdgeAckSentAfterDeliver(t *testing.T) {
+	mesh, e := edgeRig(t)
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s, err := DialEdge(EdgeConfig{
+		Transport:  mesh.Endpoint("es1"),
+		EdgeAddr:   "edge",
+		Subscriber: 1,
+		ListenAddr: "es1-deliver",
+		AckEvery:   1, // ack every delivery
+		OnDeliver: func(msg *core.Message, _ []core.SubscriptionID) {
+			entered <- struct{}{}
+			<-release
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Subscribe([]core.Range{{Low: 0, High: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	e.Deliver(core.NewMessage([]float64{50}, []byte("p")))
+	<-entered
+	// The delivery sits in OnDeliver; the edge must still hold it unacked.
+	time.Sleep(30 * time.Millisecond)
+	if e.BufferedBytes() == 0 {
+		t.Fatal("delivery acked before OnDeliver returned")
+	}
+	close(release)
+	waitCond(t, "ack after OnDeliver returns", func() bool { return e.BufferedBytes() == 0 })
+}
+
+// TestEdgeCloseFreesServerSession: Close ends the session on the edge — the
+// server forgets it and the token cannot be resumed.
+func TestEdgeCloseFreesServerSession(t *testing.T) {
+	mesh, e := edgeRig(t)
+	var mu sync.Mutex
+	var got []core.MessageID
+	cfg := EdgeConfig{
+		Transport:  mesh.Endpoint("es1"),
+		EdgeAddr:   "edge",
+		Subscriber: 1,
+		ListenAddr: "es1-deliver",
+		AckEvery:   1,
+		OnDeliver: func(msg *core.Message, _ []core.SubscriptionID) {
+			mu.Lock()
+			got = append(got, msg.ID)
+			mu.Unlock()
+		},
+	}
+	s, err := DialEdge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Subscribe([]core.Range{{Low: 0, High: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	e.Deliver(core.NewMessage([]float64{50}, []byte("p")))
+	waitCond(t, "delivery", func() bool { mu.Lock(); defer mu.Unlock(); return len(got) == 1 })
+
+	s.Close()
+	waitCond(t, "edge forgets the session", func() bool { return e.Sessions() == 0 })
+	cfg.ListenAddr = "es1-deliver-2"
+	if _, err := s.Resume(cfg); err == nil {
+		t.Fatal("closed session resumed")
+	}
+}

@@ -17,6 +17,14 @@
 // The per-connection read goroutines belong to the transport layer — the
 // edge itself adds no per-session goroutines.
 //
+// Upstream deliveries are staged on a fan-in queue drained by a dedicated
+// goroutine rather than fanned out on the transport's inbound goroutine:
+// transports deliver one-way frames per address in order, so a fan-in stall
+// (a backpressured session) must never block the handler, or the very ack
+// frames that would relieve the stall would be starved behind it. Control
+// frames (acks, unsubs, closes) are always handled inline; the staging
+// queue's depth is observable as edge.fanin_staged.
+//
 // Each session's send buffer is bounded (Config.BufferBytes) with a
 // configurable slow-consumer policy:
 //
@@ -28,12 +36,18 @@
 //   - disconnect: the session is detached on overflow; it may resume later.
 //
 // Flow control is ack-driven: a session may have at most BufferBytes of
-// sent-but-unacked deliveries in flight, so a consumer that stops acking
-// stops being sent to — slowness is modeled at the edge, independent of the
-// transport's own buffering. Sessions carry a resumable token: a
-// reconnecting subscriber replays everything newer than its last seen
-// sequence from a bounded per-session ring (Config.ResumeWindow entries);
-// deliveries that aged out of the ring are reported as lost in the welcome.
+// sent-but-unacked deliveries — and at most ResumeWindow of them, so the
+// window closes even when frames are tiny — in flight, so a consumer that
+// stops acking stops being sent to; slowness is modeled at the edge,
+// independent of the transport's own buffering. Sessions carry a resumable
+// token: a reconnecting subscriber replays everything newer than its last
+// seen sequence from a bounded per-session ring (Config.ResumeWindow
+// entries; while a session is attached nothing unacked is ever evicted from
+// it — the ring is only trimmed to the window while the session is away).
+// Deliveries that aged out of the ring are reported as lost in the welcome.
+// A session ends for good on a KindSessionClose frame or, if it stays
+// detached longer than Config.SessionRetention, by expiry — either way its
+// buffers, ring and subscriptions are freed and the token is gone.
 package edge
 
 import (
@@ -115,8 +129,14 @@ type Config struct {
 	// sent-but-unacked flight window (default 256 KiB).
 	BufferBytes int
 	// ResumeWindow bounds the per-session resume ring, in deliveries
-	// (default 1024).
+	// (default 1024). It also caps the sent-but-unacked flight window in
+	// entries, so unacked deliveries never age out of an attached session's
+	// ring.
 	ResumeWindow int
+	// SessionRetention is how long a detached session is kept resumable
+	// before it expires and its ring, buffers and subscriptions are freed
+	// (default 10m; negative keeps sessions forever).
+	SessionRetention time.Duration
 	// FlushWorkers sizes the readiness-loop worker pool (default 4).
 	FlushWorkers int
 	// IndexKind selects the per-edge subscription index (default bucket).
@@ -162,12 +182,13 @@ type session struct {
 	// ResumeWindow entries).
 	ring      []entry
 	ringBytes int
-	acked     uint64
-	nextSeq   uint64 // next sequence to assign (starts at 1)
-	detached  bool
-	closed    bool
-	queued    bool // in the ready queue
-	subs      map[core.SubscriptionID]struct{}
+	acked      uint64
+	nextSeq    uint64 // next sequence to assign (starts at 1)
+	detached   bool
+	detachedAt int64 // Config.Now timestamp of the detach (0 while attached)
+	closed     bool
+	queued     bool // in the ready queue
+	subs       map[core.SubscriptionID]struct{}
 }
 
 // Edge is a running edge server.
@@ -193,10 +214,13 @@ type Edge struct {
 	upstreamID core.SubscriptionID
 
 	ready readyQueue
+	fanin faninQueue
+	stop  chan struct{}
 	wg    sync.WaitGroup
 
 	bufferedBytes atomic.Int64
 	attached      atomic.Int64
+	staged        atomic.Int64
 
 	fanIn             metrics.Counter // publications received from matchers
 	fanOut            metrics.Counter // per-session deliveries enqueued
@@ -207,7 +231,8 @@ type Edge struct {
 	resumes           metrics.Counter
 	replayed          metrics.Counter
 	resumeLost        metrics.Counter
-	ringEvicted       metrics.Counter // sent entries aged out of the resume ring
+	ringEvicted       metrics.Counter // entries aged out of detached sessions' rings
+	sessionsExpired   metrics.Counter // detached sessions reaped after SessionRetention
 	sendFailures      metrics.Counter
 	arrival           *metrics.RateMeter // fan-out λ
 	service           *metrics.RateMeter // fan-out μ
@@ -250,6 +275,46 @@ func (rq *readyQueue) close() {
 	rq.cond.Broadcast()
 }
 
+// faninQueue stages upstream publications between the transport handler and
+// the fan-in worker. It is deliberately unbounded: the transport delivers
+// one-way frames per address in order, so blocking here (a backpressured
+// session) would starve the ack frames queued behind the delivery — the very
+// frames that relieve the stall. Depth is exported as edge.fanin_staged.
+type faninQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*core.Message
+	closed bool
+}
+
+func (fq *faninQueue) push(msg *core.Message) {
+	fq.mu.Lock()
+	fq.q = append(fq.q, msg)
+	fq.mu.Unlock()
+	fq.cond.Signal()
+}
+
+func (fq *faninQueue) pop() (*core.Message, bool) {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	for len(fq.q) == 0 && !fq.closed {
+		fq.cond.Wait()
+	}
+	if len(fq.q) == 0 {
+		return nil, false
+	}
+	msg := fq.q[0]
+	fq.q = fq.q[1:]
+	return msg, true
+}
+
+func (fq *faninQueue) close() {
+	fq.mu.Lock()
+	fq.closed = true
+	fq.mu.Unlock()
+	fq.cond.Broadcast()
+}
+
 // New builds an edge server.
 func New(cfg Config) (*Edge, error) {
 	if cfg.Space == nil || cfg.Transport == nil || cfg.DispatcherAddr == "" {
@@ -270,6 +335,9 @@ func New(cfg Config) (*Edge, error) {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 5 * time.Second
 	}
+	if cfg.SessionRetention == 0 {
+		cfg.SessionRetention = 10 * time.Minute
+	}
 	if cfg.Now == nil {
 		cfg.Now = func() int64 { return time.Now().UnixNano() }
 	}
@@ -282,10 +350,12 @@ func New(cfg Config) (*Edge, error) {
 		cfg:      cfg,
 		idx:      idx,
 		sessions: make(map[uint64]*session),
+		stop:     make(chan struct{}),
 		arrival:  metrics.NewRateMeter(2*time.Second, 20),
 		service:  metrics.NewRateMeter(2*time.Second, 20),
 	}
 	e.ready.cond = sync.NewCond(&e.ready.mu)
+	e.fanin.cond = sync.NewCond(&e.fanin.mu)
 	if cfg.Telemetry != nil {
 		e.registerTelemetry()
 	}
@@ -314,6 +384,10 @@ func (e *Edge) registerTelemetry() {
 	r.Counter("edge.resumes", "sessions resumed from a token", &e.resumes)
 	r.Counter("edge.replayed", "deliveries replayed to resumed sessions", &e.replayed)
 	r.Counter("edge.resume_lost", "deliveries aged out of resume rings before reconnect", &e.resumeLost)
+	r.Counter("edge.ring_evicted", "deliveries evicted from detached sessions' resume rings", &e.ringEvicted)
+	r.Counter("edge.sessions_expired", "detached sessions expired after SessionRetention", &e.sessionsExpired)
+	r.Gauge("edge.fanin_staged", "upstream publications staged for fan-in",
+		func(int64) float64 { return float64(e.staged.Load()) })
 	r.Counter("edge.send_failures", "delivery frames the transport could not send", &e.sendFailures)
 }
 
@@ -327,6 +401,12 @@ func (e *Edge) Start() error {
 	for i := 0; i < e.cfg.FlushWorkers; i++ {
 		e.wg.Add(1)
 		go e.flushWorker()
+	}
+	e.wg.Add(1)
+	go e.faninWorker()
+	if e.cfg.SessionRetention > 0 {
+		e.wg.Add(1)
+		go e.janitor()
 	}
 	return nil
 }
@@ -357,6 +437,8 @@ func (e *Edge) Stop() {
 		s.mu.Unlock()
 		s.cond.Broadcast()
 	}
+	close(e.stop)
+	e.fanin.close()
 	e.ready.close()
 	e.wg.Wait()
 }
@@ -376,6 +458,8 @@ func (e *Edge) BackpressureWaits() int64 { return e.backpressureWaits.Value() }
 func (e *Edge) Resumes() int64           { return e.resumes.Value() }
 func (e *Edge) Replayed() int64          { return e.replayed.Value() }
 func (e *Edge) ResumeLost() int64        { return e.resumeLost.Value() }
+func (e *Edge) RingEvicted() int64       { return e.ringEvicted.Value() }
+func (e *Edge) SessionsExpired() int64   { return e.sessionsExpired.Value() }
 
 // handle is the edge's transport handler: session control frames, session
 // acks, and upstream deliveries.
@@ -412,18 +496,49 @@ func (e *Edge) handle(env *wire.Envelope) *wire.Envelope {
 		if b, err := wire.DecodeSessionAck(env.Body); err == nil {
 			e.ack(b.Token, b.Seq)
 		}
+	case wire.KindSessionClose:
+		if b, err := wire.DecodeSessionClose(env.Body); err == nil {
+			e.closeSession(b.Token, false, 0)
+		}
+	// Deliveries are staged, never fanned out on the transport's inbound
+	// goroutine: under PolicyBackpressure fan-in can stall on a slow
+	// session, and the acks that relieve the stall arrive on this very
+	// goroutine — blocking here would deadlock the whole edge.
 	case wire.KindDeliver:
 		if b, err := wire.DecodeDeliver(env.Body); err == nil {
-			e.fanOutMsg(b.Msg)
+			e.stage(b.Msg)
 		}
 	case wire.KindDeliverBatch:
 		if b, err := wire.DecodeDeliverBatch(env.Body); err == nil {
 			for i := range b.Deliveries {
-				e.fanOutMsg(b.Deliveries[i].Msg)
+				e.stage(b.Deliveries[i].Msg)
 			}
 		}
 	}
 	return nil
+}
+
+// stage enqueues one upstream publication for the fan-in worker.
+func (e *Edge) stage(msg *core.Message) {
+	if msg == nil {
+		return
+	}
+	e.staged.Add(1)
+	e.fanin.push(msg)
+}
+
+// faninWorker drains the staging queue in order. It is the one goroutine a
+// backpressured session may stall — control frames keep flowing regardless.
+func (e *Edge) faninWorker() {
+	defer e.wg.Done()
+	for {
+		msg, ok := e.fanin.pop()
+		if !ok {
+			return
+		}
+		e.staged.Add(-1)
+		e.fanOutMsg(msg)
+	}
 }
 
 func errEnv(err error) *wire.Envelope {
@@ -495,6 +610,7 @@ func (e *Edge) hello(b *wire.SessionHelloBody, sink func(*wire.Envelope)) (*wire
 	s.addr = b.DeliverAddr
 	s.sink = sink
 	s.detached = false
+	s.detachedAt = 0
 	if b.LastSeq > s.acked {
 		s.acked = b.LastSeq
 	}
@@ -574,6 +690,16 @@ func (e *Edge) subscribe(token uint64, sub *core.Subscription) (core.Subscriptio
 	e.idx.Add(stored)
 	e.mu.Unlock()
 	s.mu.Lock()
+	if s.closed {
+		// The session closed (or expired) while registering: its
+		// subscriptions were already torn down, so this one must not
+		// survive it in the table.
+		s.mu.Unlock()
+		e.mu.Lock()
+		e.idx.Remove(id)
+		e.mu.Unlock()
+		return 0, fmt.Errorf("edge: unknown session token %d", token)
+	}
 	s.subs[id] = struct{}{}
 	s.mu.Unlock()
 	return id, nil
@@ -714,6 +840,7 @@ func (e *Edge) detach(s *session) {
 		return
 	}
 	s.detached = true
+	s.detachedAt = e.cfg.Now()
 	// Unsent backlog joins the resume ring: it is exactly the "missed while
 	// away" set a resume replays.
 	s.ring = append(s.ring, s.pending...)
@@ -726,7 +853,10 @@ func (e *Edge) detach(s *session) {
 	e.attached.Add(-1)
 }
 
-// trimRingLocked enforces the ResumeWindow bound. Caller holds s.mu.
+// trimRingLocked enforces the ResumeWindow bound. Only called while the
+// session is detached (on detach and on detached fan-in): while attached the
+// flight window stops flushing at ResumeWindow entries instead, so nothing
+// sent-but-unacked is ever evicted. Caller holds s.mu.
 func (e *Edge) trimRingLocked(s *session) {
 	for len(s.ring) > e.cfg.ResumeWindow {
 		e.bufferedBytes.Add(-int64(s.ring[0].size))
@@ -734,6 +864,96 @@ func (e *Edge) trimRingLocked(s *session) {
 		s.ring = s.ring[1:]
 		e.ringEvicted.Add(1)
 	}
+}
+
+// CloseSession ends a session for good (the KindSessionClose path): its
+// buffers, resume ring and subscriptions are freed and the token can no
+// longer be resumed. Reports whether a live session was closed.
+func (e *Edge) CloseSession(token uint64) bool { return e.closeSession(token, false, 0) }
+
+// closeSession tears one session down. With expireOnly set the close only
+// proceeds if the session is detached and has been since expireBefore or
+// earlier — the expiry path, re-checked under the session lock so a
+// concurrent resume wins the race.
+func (e *Edge) closeSession(token uint64, expireOnly bool, expireBefore int64) bool {
+	e.mu.Lock()
+	s, ok := e.sessions[token]
+	e.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.mu.Lock()
+	if s.closed || (expireOnly && (!s.detached || s.detachedAt > expireBefore)) {
+		s.mu.Unlock()
+		return false
+	}
+	s.closed = true
+	wasAttached := !s.detached
+	freed := s.pendingBytes + s.ringBytes
+	ids := make([]core.SubscriptionID, 0, len(s.subs))
+	for id := range s.subs {
+		ids = append(ids, id)
+	}
+	s.pending, s.pendingBytes = nil, 0
+	s.ring, s.ringBytes = nil, 0
+	s.mu.Unlock()
+	s.cond.Broadcast() // free any backpressure waiter
+	e.mu.Lock()
+	delete(e.sessions, token)
+	for _, id := range ids {
+		e.idx.Remove(id)
+	}
+	e.mu.Unlock()
+	e.bufferedBytes.Add(-int64(freed))
+	if wasAttached {
+		e.attached.Add(-1)
+	}
+	return true
+}
+
+// janitor periodically expires sessions that stayed detached longer than
+// SessionRetention, so abandoned tokens do not pin their rings and
+// subscriptions forever.
+func (e *Edge) janitor() {
+	defer e.wg.Done()
+	interval := e.cfg.SessionRetention / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+			e.sweepExpired(e.cfg.Now())
+		}
+	}
+}
+
+// sweepExpired closes every session detached since before now-SessionRetention
+// and returns how many it reaped.
+func (e *Edge) sweepExpired(now int64) int {
+	cutoff := now - int64(e.cfg.SessionRetention)
+	e.mu.Lock()
+	var expired []uint64
+	for tok, s := range e.sessions {
+		s.mu.Lock()
+		if s.detached && !s.closed && s.detachedAt <= cutoff {
+			expired = append(expired, tok)
+		}
+		s.mu.Unlock()
+	}
+	e.mu.Unlock()
+	n := 0
+	for _, tok := range expired {
+		if e.closeSession(tok, true, cutoff) {
+			e.sessionsExpired.Add(1)
+			n++
+		}
+	}
+	return n
 }
 
 // fanOutMsg re-matches one upstream publication against the per-edge table
@@ -813,12 +1033,15 @@ func (e *Edge) append(s *session, msg *core.Message, ids []core.SubscriptionID, 
 				e.slowDisconnects.Add(1)
 				e.detach(s)
 				s.mu.Lock()
-				if s.closed {
-					s.mu.Unlock()
-					return
-				}
 			}
 		}
+	}
+	// The session may have closed while this goroutine waited above (edge
+	// stop, a session-close frame, retention expiry): its buffers are gone,
+	// so the delivery must not be accounted against them.
+	if s.closed {
+		s.mu.Unlock()
+		return
 	}
 	ent := entry{seq: s.nextSeq, size: size, body: body}
 	s.nextSeq++
@@ -841,9 +1064,14 @@ func (e *Edge) append(s *session, msg *core.Message, ids []core.SubscriptionID, 
 }
 
 // flushableLocked reports whether a flush worker has work for s: attached,
-// backlog present, flight window open. Caller holds s.mu.
+// backlog present, flight window open. The window is bounded both in bytes
+// (BufferBytes) and in entries (ResumeWindow) — without the entry bound,
+// deliveries smaller than BufferBytes/ResumeWindow would never close it and
+// a consumer that stopped acking would keep being sent to forever. Caller
+// holds s.mu.
 func (e *Edge) flushableLocked(s *session) bool {
-	return !s.detached && !s.closed && len(s.pending) > 0 && s.ringBytes < e.cfg.BufferBytes
+	return !s.detached && !s.closed && len(s.pending) > 0 &&
+		s.ringBytes < e.cfg.BufferBytes && len(s.ring) < e.cfg.ResumeWindow
 }
 
 // enqueueReady marks a session ready for the worker pool (at most one
@@ -871,21 +1099,14 @@ func (e *Edge) flushWorker() {
 }
 
 // flush drains one ready session: pending entries move to the ring (sent,
-// awaiting ack) and their frames go out. On a send failure the session
-// detaches — its buffered traffic waits in the resume ring.
+// awaiting ack) and their frames go out, until the flight window closes. On
+// a send failure the session detaches — its buffered traffic waits in the
+// resume ring.
 func (e *Edge) flush(s *session) {
 	for {
 		s.mu.Lock()
 		if !e.flushableLocked(s) {
 			s.queued = false
-			// Re-check: an append may have raced the gate while queued was
-			// still set and skipped its enqueue.
-			if e.flushableLocked(s) {
-				s.queued = true
-				s.mu.Unlock()
-				e.ready.push(s)
-				return
-			}
 			s.mu.Unlock()
 			return
 		}
@@ -894,7 +1115,6 @@ func (e *Edge) flush(s *session) {
 		s.pendingBytes -= ent.size
 		s.ring = append(s.ring, ent)
 		s.ringBytes += ent.size
-		e.trimRingLocked(s)
 		addr, sink := s.addr, s.sink
 		s.mu.Unlock()
 		s.cond.Broadcast() // pending shrank: wake backpressure waiters

@@ -3,6 +3,7 @@ package edge
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -565,6 +566,205 @@ func TestEdgeManySessions(t *testing.T) {
 	if got := r.edge.FanOut(); got != sessions*msgs {
 		t.Fatalf("fan-out = %d, want %d", got, sessions*msgs)
 	}
+}
+
+// TestEdgeBackpressureAcksNotStarvedOnTransport is the full-wire regression
+// for the fan-in staging queue: on a transport that drains one-way frames
+// per address with a single goroutine, a backpressured session must not
+// block that goroutine, or the SessionAck frames queued behind the stalled
+// delivery would never be processed and the whole edge would deadlock.
+func TestEdgeBackpressureAcksNotStarvedOnTransport(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.Policy = PolicyBackpressure
+		c.BufferBytes = 256 // a few frames per window
+		c.ResumeWindow = 1 << 20
+	})
+	var mu sync.Mutex
+	var got []*wire.EdgeDeliverBody
+	cl := r.mesh.Endpoint("client")
+	if _, err := cl.Listen("client", func(env *wire.Envelope) *wire.Envelope {
+		if env.Kind == wire.KindEdgeDeliver {
+			if b, err := wire.DecodeEdgeDeliver(env.Body); err == nil {
+				mu.Lock()
+				got = append(got, b)
+				mu.Unlock()
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hello := &wire.SessionHelloBody{Subscriber: 7, DeliverAddr: "client"}
+	resp, err := cl.Request("edge", &wire.Envelope{Kind: wire.KindSessionHello, Body: hello.Encode()}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wire.DecodeSessionWelcome(resp.Body)
+	if err != nil || w.Err != "" {
+		t.Fatalf("welcome %+v err %v", w, err)
+	}
+	sub := core.NewSubscription(0, []core.Range{{Low: 0, High: 100}, {Low: 0, High: 100}})
+	if _, err := cl.Request("edge", &wire.Envelope{Kind: wire.KindSessionSub,
+		Body: (&wire.SessionSubBody{Token: w.Token, Sub: sub}).Encode()}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Push far more than buffer + flight window of upstream deliveries as
+	// one-way frames — they all land on the edge's single inbound queue.
+	const total = 120
+	up := r.mesh.Endpoint("up")
+	for i := 1; i <= total; i++ {
+		m := core.NewMessage([]float64{50, 50}, []byte("p"))
+		m.ID = core.MessageID(i)
+		if err := up.Send("edge", &wire.Envelope{Kind: wire.KindDeliver,
+			Body: (&wire.DeliverBody{Msg: m}).Encode()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := func() uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(got) == 0 {
+			return 0
+		}
+		return got[len(got)-1].Seq
+	}
+	count := func() int { mu.Lock(); defer mu.Unlock(); return len(got) }
+	// Acks arrive on the SAME transport queue, behind the deliveries.
+	// Before the staging queue this deadlocked: fan-in blocked the serve
+	// goroutine, so the acks were never handled.
+	waitFor(t, "all deliveries through ack-driven window", func() bool {
+		if err := cl.Send("edge", &wire.Envelope{Kind: wire.KindSessionAck,
+			Body: (&wire.SessionAckBody{Token: w.Token, Seq: last()}).Encode()}); err != nil {
+			t.Fatal(err)
+		}
+		return count() == total
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, b := range got {
+		if b.Msg.ID != core.MessageID(i+1) {
+			t.Fatalf("frame %d carries msg %d: loss or reorder", i, b.Msg.ID)
+		}
+	}
+}
+
+// TestEdgeFlightWindowClosesOnEntries: with deliveries much smaller than
+// BufferBytes/ResumeWindow, the flight window must still close after
+// ResumeWindow sent-but-unacked entries instead of evicting them — a
+// consumer that stops acking stops being sent to, and nothing unacked ages
+// out of an attached session's ring.
+func TestEdgeFlightWindowClosesOnEntries(t *testing.T) {
+	const window = 8
+	r := newRig(t, func(c *Config) {
+		c.Policy = PolicyBackpressure
+		c.BufferBytes = 1 << 20 // bytes never bind; entries must
+		c.ResumeWindow = window
+	})
+	c := &sinkSession{}
+	tok := attach(t, r.edge, c)
+	subscribe(t, r.edge, tok, 0, 100)
+
+	const total = 50
+	for i := 1; i <= total; i++ {
+		pub(r.edge, core.MessageID(i), 50, 50)
+	}
+	waitFor(t, "flight window filled", func() bool { return c.count() == window })
+	time.Sleep(30 * time.Millisecond)
+	if n := c.count(); n != window {
+		t.Fatalf("%d deliveries without an ack, want the window to close at %d", n, window)
+	}
+	if ev := r.edge.RingEvicted(); ev != 0 {
+		t.Fatalf("%d unacked entries evicted from an attached session's ring", ev)
+	}
+	// Acking reopens the window; everything arrives with nothing lost.
+	waitFor(t, "all frames after acks", func() bool {
+		r.edge.ack(tok, c.lastSeq())
+		return c.count() == total
+	})
+	for i, id := range c.msgIDs() {
+		if id != core.MessageID(i+1) {
+			t.Fatalf("frame %d carries msg %d: loss or reorder", i, id)
+		}
+	}
+}
+
+// TestEdgeSessionCloseFreesState: a SessionClose frame removes the session,
+// its subscriptions and its buffered bytes; the token cannot be resumed.
+func TestEdgeSessionCloseFreesState(t *testing.T) {
+	r := newRig(t, nil)
+	c := &sinkSession{}
+	tok := attach(t, r.edge, c)
+	subscribe(t, r.edge, tok, 0, 100)
+	pub(r.edge, 1, 50, 50)
+	pub(r.edge, 2, 50, 50)
+	waitFor(t, "deliveries", func() bool { return c.count() == 2 })
+	if r.edge.BufferedBytes() == 0 {
+		t.Fatal("no bytes in flight before close")
+	}
+	// Close through the wire path, as a client would.
+	r.edge.handle(&wire.Envelope{Kind: wire.KindSessionClose,
+		Body: (&wire.SessionCloseBody{Token: tok}).Encode()})
+	if r.edge.Sessions() != 0 {
+		t.Fatalf("sessions = %d after close, want 0", r.edge.Sessions())
+	}
+	if b := r.edge.BufferedBytes(); b != 0 {
+		t.Fatalf("buffered bytes = %d after close, want 0", b)
+	}
+	r.edge.mu.Lock()
+	idxLen := r.edge.idx.Len()
+	r.edge.mu.Unlock()
+	if idxLen != 0 {
+		t.Fatalf("index holds %d subscriptions after close, want 0", idxLen)
+	}
+	if _, err := r.edge.AttachLocal(&wire.SessionHelloBody{Token: tok}, c.sink); err == nil {
+		t.Fatal("closed token resumed")
+	}
+	if r.edge.CloseSession(tok) {
+		t.Fatal("double close reported a live session")
+	}
+}
+
+// TestEdgeSessionRetentionExpiry: a session detached longer than
+// SessionRetention is reaped — ring bytes freed, subscriptions gone, token
+// dead — while attached and recently-detached sessions are untouched.
+func TestEdgeSessionRetentionExpiry(t *testing.T) {
+	var now atomic.Int64
+	now.Store(1)
+	r := newRig(t, func(c *Config) {
+		c.SessionRetention = time.Second
+		c.Now = func() int64 { return now.Load() }
+	})
+	old, fresh, live := &sinkSession{}, &sinkSession{}, &sinkSession{}
+	tokOld := attach(t, r.edge, old)
+	subscribe(t, r.edge, tokOld, 0, 100)
+	tokLive := attach(t, r.edge, live)
+	subscribe(t, r.edge, tokLive, 0, 100)
+
+	pub(r.edge, 1, 50, 50)
+	waitFor(t, "deliveries", func() bool { return old.count() == 1 && live.count() == 1 })
+	r.edge.Detach(tokOld)
+
+	now.Add(int64(900 * time.Millisecond))
+	tokFresh := attach(t, r.edge, fresh)
+	r.edge.Detach(tokFresh)
+
+	now.Add(int64(300 * time.Millisecond)) // old is 1.2s stale, fresh only 0.3s
+	if n := r.edge.sweepExpired(now.Load()); n != 1 {
+		t.Fatalf("sweep reaped %d sessions, want 1", n)
+	}
+	if r.edge.SessionsExpired() != 1 {
+		t.Fatalf("expired counter = %d, want 1", r.edge.SessionsExpired())
+	}
+	if _, err := r.edge.AttachLocal(&wire.SessionHelloBody{Token: tokOld}, old.sink); err == nil {
+		t.Fatal("expired token resumed")
+	}
+	// The fresh detached session and the attached one survive.
+	if _, err := r.edge.AttachLocal(&wire.SessionHelloBody{Token: tokFresh}, fresh.sink); err != nil {
+		t.Fatalf("in-retention token refused: %v", err)
+	}
+	pub(r.edge, 2, 50, 50)
+	waitFor(t, "live session still served", func() bool { return live.count() == 2 })
 }
 
 func TestPolicyByName(t *testing.T) {

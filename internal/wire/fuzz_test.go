@@ -176,6 +176,17 @@ func FuzzDecodeSessionAck(f *testing.F) {
 	})
 }
 
+func FuzzDecodeSessionClose(f *testing.F) {
+	f.Add((&SessionCloseBody{Token: 7}).Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeSessionClose(data)
+		if err == nil && b == nil {
+			t.Fatal("nil body without error")
+		}
+	})
+}
+
 func FuzzReadFrame(f *testing.F) {
 	var buf bytes.Buffer
 	if err := WriteFrame(&buf, &Envelope{Kind: KindForward, From: 3,

@@ -62,7 +62,7 @@ func (k Kind) String() string {
 		KindSessionHello: "session-hello", KindSessionWelcome: "session-welcome",
 		KindSessionSub: "session-sub", KindSessionSubAck: "session-sub-ack",
 		KindSessionUnsub: "session-unsub", KindEdgeDeliver: "edge-deliver",
-		KindSessionAck: "session-ack",
+		KindSessionAck: "session-ack", KindSessionClose: "session-close",
 	}
 	if s, ok := names[k]; ok {
 		return s

@@ -30,6 +30,10 @@ const (
 	// KindSessionAck acknowledges deliveries cumulatively up to a sequence
 	// (client → edge, one-way); acked entries leave the session's buffers.
 	KindSessionAck
+	// KindSessionClose ends a session for good (client → edge, one-way):
+	// the edge frees its buffers, resume ring and subscriptions, and the
+	// token can no longer be resumed.
+	KindSessionClose
 )
 
 // SessionHelloBody opens or resumes an edge session. Token 0 asks for a new
@@ -238,5 +242,26 @@ func (b *SessionAckBody) Encode() []byte {
 func DecodeSessionAck(data []byte) (*SessionAckBody, error) {
 	r := reader{buf: data}
 	b := &SessionAckBody{Token: r.u64(), Seq: r.u64()}
+	return b, r.finish()
+}
+
+// SessionCloseBody ends a session permanently: the edge drops the session's
+// buffers, resume ring and subscriptions. Unlike a disconnect (which keeps
+// the session resumable), a closed token is gone.
+type SessionCloseBody struct {
+	Token uint64
+}
+
+// Encode serializes the body.
+func (b *SessionCloseBody) Encode() []byte {
+	var w writer
+	w.u64(b.Token)
+	return w.buf
+}
+
+// DecodeSessionClose parses a SessionCloseBody.
+func DecodeSessionClose(data []byte) (*SessionCloseBody, error) {
+	r := reader{buf: data}
+	b := &SessionCloseBody{Token: r.u64()}
 	return b, r.finish()
 }

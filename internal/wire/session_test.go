@@ -102,6 +102,17 @@ func TestSessionAckRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSessionCloseRoundTrip(t *testing.T) {
+	in := &SessionCloseBody{Token: 91}
+	out, err := DecodeSessionClose(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
 // TestSessionDecodeRejectsTruncation: every session decoder must reject a
 // truncated body rather than return a partial struct silently.
 func TestSessionDecodeRejectsTruncation(t *testing.T) {
@@ -115,6 +126,7 @@ func TestSessionDecodeRejectsTruncation(t *testing.T) {
 		"unsub":   (&SessionUnsubBody{Token: 1, ID: 2}).Encode(),
 		"deliver": (&EdgeDeliverBody{Seq: 1, Msg: msg, SubIDs: []core.SubscriptionID{1}}).Encode(),
 		"ack":     (&SessionAckBody{Token: 1, Seq: 2}).Encode(),
+		"close":   (&SessionCloseBody{Token: 1}).Encode(),
 	}
 	decode := func(name string, data []byte) error {
 		var err error
@@ -133,6 +145,8 @@ func TestSessionDecodeRejectsTruncation(t *testing.T) {
 			_, err = DecodeEdgeDeliver(data)
 		case "ack":
 			_, err = DecodeSessionAck(data)
+		case "close":
+			_, err = DecodeSessionClose(data)
 		}
 		return err
 	}
@@ -207,7 +221,8 @@ func TestEdgeDeliverEncodeZeroAlloc(t *testing.T) {
 // and must all be named.
 func TestSessionKindStrings(t *testing.T) {
 	kinds := []Kind{KindSessionHello, KindSessionWelcome, KindSessionSub,
-		KindSessionSubAck, KindSessionUnsub, KindEdgeDeliver, KindSessionAck}
+		KindSessionSubAck, KindSessionUnsub, KindEdgeDeliver, KindSessionAck,
+		KindSessionClose}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()
@@ -221,8 +236,8 @@ func TestSessionKindStrings(t *testing.T) {
 	}
 	// No overlap with the established kind ranges.
 	for _, k := range kinds {
-		if k < 80 || k > 86 {
-			t.Fatalf("session kind %d outside the reserved 80..86 range", k)
+		if k < 80 || k > 87 {
+			t.Fatalf("session kind %d outside the reserved 80..87 range", k)
 		}
 	}
 }
