@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bluedove/internal/experiment"
+)
+
+// federationReport is the schema of BENCH_federation.json: the two-cluster
+// border-tier benchmark — summary suppression on disjoint interest,
+// intra- vs cross-cluster delivery percentiles, and zero acked loss across
+// a partitioned-and-healed inter-cluster link.
+type federationReport struct {
+	benchHeader
+
+	Seed int64 `json:"seed"`
+
+	DisjointPubs     int     `json:"disjoint_pubs"`
+	CrossedDisjoint  int64   `json:"crossed_disjoint"`
+	SuppressionRatio float64 `json:"suppression_ratio"`
+	RemoteLeaks      int     `json:"remote_leaks"`
+	InBandPubs       int     `json:"in_band_pubs"`
+	CrossedInBand    int64   `json:"crossed_in_band"`
+	InBandDelivered  int     `json:"in_band_delivered"`
+
+	LatencyPubs int     `json:"latency_pubs"`
+	IntraP50Ms  float64 `json:"intra_p50_ms"`
+	IntraP99Ms  float64 `json:"intra_p99_ms"`
+	CrossP50Ms  float64 `json:"cross_p50_ms"`
+	CrossP99Ms  float64 `json:"cross_p99_ms"`
+
+	FlapPubs      int    `json:"flap_pubs"`
+	FlapAcked     int    `json:"flap_acked"`
+	FlapRetries   int64  `json:"flap_retries"`
+	ZeroAckedLoss bool   `json:"zero_acked_loss"`
+	LossDetail    string `json:"loss_detail,omitempty"`
+}
+
+// runFederation runs the federation benchmark (seed printed for replay) and
+// writes the JSON report when out is non-empty.
+func runFederation(seed int64, out string) {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "[federation benchmark: seed %d (re-run with -chaos-seed %d)]\n", seed, seed)
+	r, err := experiment.FederationTier(experiment.FederationOpts{Seed: seed})
+	if err != nil {
+		log.Fatalf("federation benchmark: %v", err)
+	}
+	fmt.Println(r.Table())
+	fmt.Fprintf(os.Stderr, "[federation benchmark: %v]\n", time.Since(start).Round(time.Millisecond))
+
+	if !r.ZeroAckedLoss {
+		log.Fatalf("federation benchmark: acked loss across the link flap (seed %d): %s",
+			seed, r.LossDetail)
+	}
+	if r.RemoteLeaks > 0 {
+		log.Fatalf("federation benchmark: %d disjoint publications leaked across the link (seed %d)",
+			r.RemoteLeaks, seed)
+	}
+
+	rep := &federationReport{
+		benchHeader:      newBenchHeader(),
+		Seed:             r.Seed,
+		DisjointPubs:     r.DisjointPubs,
+		CrossedDisjoint:  r.CrossedDisjoint,
+		SuppressionRatio: r.SuppressionRatio,
+		RemoteLeaks:      r.RemoteLeaks,
+		InBandPubs:       r.InBandPubs,
+		CrossedInBand:    r.CrossedInBand,
+		InBandDelivered:  r.InBandDelivered,
+		LatencyPubs:      r.LatencyPubs,
+		IntraP50Ms:       r.IntraP50,
+		IntraP99Ms:       r.IntraP99,
+		CrossP50Ms:       r.CrossP50,
+		CrossP99Ms:       r.CrossP99,
+		FlapPubs:         r.FlapPubs,
+		FlapAcked:        r.FlapAcked,
+		FlapRetries:      r.FlapRetries,
+		ZeroAckedLoss:    r.ZeroAckedLoss,
+		LossDetail:       r.LossDetail,
+	}
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
+}

@@ -38,8 +38,10 @@ func main() {
 			"run the autoscale experiment: a σ-skewed ramp on the virtual clock (2→N→2 matchers, per-phase p99) plus a chaos-audited controller drain/split on the real in-process cluster")
 		edgeRun = flag.Bool("edge", false,
 			"run the edge-tier benchmark (100k multiplexed sessions on one edge: backpressure + reconnect storm, drop-oldest staleness, disconnect loss accounting) on the real edge server")
+		fedRun = flag.Bool("federation", false,
+			"run the federation benchmark (two real clusters joined by border dispatchers: summary suppression, intra- vs cross-cluster latency, zero acked loss across an inter-cluster link flap)")
 		matchDur = flag.Duration("match-duration", time.Second, "with -match: measured time per grid cell")
-		out      = flag.String("out", "", "with -batching/-chaos/-telemetry/-durability/-overload/-match/-elasticity/-edge: write the JSON report to this file (e.g. BENCH_match.json)")
+		out      = flag.String("out", "", "with -batching/-chaos/-telemetry/-durability/-overload/-match/-elasticity/-edge/-federation: write the JSON report to this file (e.g. BENCH_match.json)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,10 @@ func main() {
 	}
 	if *edgeRun {
 		runEdge(*chaosSeed, *out)
+		return
+	}
+	if *fedRun {
+		runFederation(*chaosSeed, *out)
 		return
 	}
 

@@ -196,6 +196,7 @@ func runTop(client *http.Client, addrs []string) {
 	}
 	printMatchersRow(w, rows)
 	printEdgeRows(w, rows)
+	printBorderRows(w, rows)
 }
 
 // printEdgeRows appends one summary line per edge node beneath the table:
@@ -218,6 +219,30 @@ func printEdgeRows(w io.Writer, rows []topRow) {
 		resumes, _ := r.v.value("edge.resumes")
 		fmt.Fprintf(w, "EDGE %-6s             %.0f sessions   fanout λ=%.0f/s μ=%.0f/s   buffered=%.0fB   drops=%.0f   resumes=%.0f\n",
 			r.v.Labels["node"], sessions, lambda, mu, buffered, drops, resumes)
+	}
+}
+
+// printBorderRows appends one summary line per border node beneath the
+// table: the local summary's size and version, pending cross-cluster
+// forwards, live peer links, and the forwarded/suppressed split that shows
+// how much traffic the interest summaries keep off the WAN.
+func printBorderRows(w io.Writer, rows []topRow) {
+	for _, r := range rows {
+		if r.v == nil {
+			continue
+		}
+		size, ok := r.v.value("federation.summary_size")
+		if !ok {
+			continue
+		}
+		version, _ := r.v.value("federation.summary_version")
+		pending, _ := r.v.value("federation.pending")
+		peers, _ := r.v.value("federation.peers")
+		fwd, _ := r.v.value("federation.fed_forwarded")
+		sup, _ := r.v.value("federation.fed_suppressed")
+		inj, _ := r.v.value("federation.fed_injected")
+		fmt.Fprintf(w, "BORDER %-6s           summary=%.0f ranges v%.0f   peers=%.0f   pending=%.0f   fwd=%.0f sup=%.0f inj=%.0f\n",
+			r.v.Labels["node"], size, version, peers, pending, fwd, sup, inj)
 	}
 }
 
@@ -288,6 +313,20 @@ func requiredSeries(role string) []string {
 			"bluedove_edge_buffered_bytes",
 			"bluedove_edge_drops",
 			"bluedove_edge_resumes",
+		)
+	case "border":
+		return append(common,
+			"bluedove_node_info",
+			"bluedove_federation_fed_published",
+			"bluedove_federation_fed_forwarded",
+			"bluedove_federation_fed_suppressed",
+			"bluedove_federation_fed_received",
+			"bluedove_federation_fed_injected",
+			"bluedove_federation_summary_size",
+			"bluedove_federation_summary_version",
+			"bluedove_federation_pending",
+			"bluedove_federation_peers",
+			"bluedove_gossip_bytes",
 		)
 	case "elastic":
 		// The elasticity controller node has no transport of its own, so the

@@ -17,6 +17,13 @@
 // aggregated subscription registered with a dispatcher:
 //
 //	bluedove -role edge -addr 127.0.0.1:7100 -id 200 -dispatcher 127.0.0.1:7000
+//
+// A border dispatcher federates this cluster with peer clusters: it gossips
+// with the local overlay, summarizes local interest, and exchanges
+// summaries and matching publications with the peer clusters' borders:
+//
+//	bluedove -role border -addr 127.0.0.1:7200 -id 300 -seeds 127.0.0.1:7001 \
+//	    -cluster-id 1 -peers 10.0.2.1:7200,10.0.3.1:7200
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"bluedove/internal/core"
 	"bluedove/internal/dispatcher"
 	"bluedove/internal/edge"
+	"bluedove/internal/federation"
 	"bluedove/internal/gossip"
 	"bluedove/internal/index"
 	"bluedove/internal/matcher"
@@ -44,7 +52,7 @@ import (
 
 func main() {
 	var (
-		role      = flag.String("role", "", "node role: matcher, dispatcher or edge (required)")
+		role      = flag.String("role", "", "node role: matcher, dispatcher, edge or border (required)")
 		id        = flag.Uint64("id", 0, "unique node ID (required)")
 		addr      = flag.String("addr", "127.0.0.1:0", "listen address")
 		seeds     = flag.String("seeds", "", "comma-separated gossip seed addresses")
@@ -67,6 +75,10 @@ func main() {
 		edgePol   = flag.String("edge-policy", "backpressure", "edge: slow-consumer policy: backpressure|drop-oldest|disconnect")
 		edgeBuf   = flag.Int("edge-buffer", 0, "edge: per-session send buffer and unacked flight window in bytes (0 = 256 KiB)")
 		resumeWin = flag.Int("resume-window", 0, "edge: per-session resume replay ring in deliveries (0 = 1024)")
+		clusterID = flag.Uint64("cluster-id", 0, "border: this cluster's federation ID (required for -role border)")
+		peers     = flag.String("peers", "", "border: comma-separated peer-cluster border addresses")
+		sumIv     = flag.Duration("summary-interval", time.Second, "border: interest summary refresh/exchange cadence")
+		maxHops   = flag.Int("max-hops", 1, "border: inter-cluster hop budget per publication")
 	)
 	flag.Parse()
 	if *role == "" || *id == 0 {
@@ -82,7 +94,7 @@ func main() {
 	defer tr.Close()
 
 	switch *role {
-	case "matcher", "dispatcher", "edge":
+	case "matcher", "dispatcher", "edge", "border":
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}
@@ -105,7 +117,43 @@ func main() {
 		runEdge(tr, space, core.NodeID(*id), *addr, *dispAddr, tel,
 			edgeFlags{policy: *edgePol, bufferBytes: *edgeBuf, resumeWindow: *resumeWin,
 				kind: kind, buckets: *buckets, covering: *covering})
+	case "border":
+		runBorder(tr, space, core.NodeID(*id), *addr, seedList, tel,
+			borderFlags{cluster: *clusterID, peers: *peers,
+				summaryInterval: *sumIv, maxHops: *maxHops})
 	}
+}
+
+// borderFlags bundles the border role's federation flags.
+type borderFlags struct {
+	cluster         uint64
+	peers           string
+	summaryInterval time.Duration
+	maxHops         int
+}
+
+func runBorder(tr transport.Transport, space *core.Space, id core.NodeID,
+	addr string, seeds []string, tel *telemetry.Telemetry, bf borderFlags) {
+	if bf.cluster == 0 {
+		log.Fatal("border role requires -cluster-id")
+	}
+	var peerList []string
+	if bf.peers != "" {
+		peerList = strings.Split(bf.peers, ",")
+	}
+	b, err := federation.Start(federation.Config{
+		ID: id, Addr: addr, Space: space, Transport: tr, Seeds: seeds,
+		Cluster: bf.cluster, Peers: peerList,
+		SummaryInterval: bf.summaryInterval, MaxHops: bf.maxHops,
+		Telemetry: tel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Stop()
+	log.Printf("border %v listening on %s (cluster %d, %d peers)",
+		id, b.Addr(), bf.cluster, len(peerList))
+	waitForSignal()
 }
 
 // fsyncByName maps the -fsync flag to a journal policy.

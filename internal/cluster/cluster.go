@@ -18,6 +18,7 @@ import (
 	"bluedove/internal/dispatcher"
 	"bluedove/internal/edge"
 	"bluedove/internal/elastic"
+	"bluedove/internal/federation"
 	"bluedove/internal/forward"
 	"bluedove/internal/gossip"
 	"bluedove/internal/index"
@@ -153,6 +154,32 @@ type Options struct {
 	// ResumeWindow bounds each session's resume replay ring, in deliveries
 	// (0 = edge default, 1024).
 	ResumeWindow int
+	// Federation starts the border tier: Borders border nodes that join the
+	// local overlay as core.RoleBorder, summarize the cluster's interest and
+	// route publications to/from the peer clusters in FedPeers (see
+	// internal/federation).
+	Federation bool
+	// ClusterID is this cluster's federation identity; required nonzero when
+	// Federation is set and unique across the federation (default 1).
+	ClusterID uint64
+	// FedPeers lists peer-cluster border addresses. Multi-cluster test
+	// topologies usually leave this empty and wire the full mesh after start
+	// with Border.SetPeers (see StartFederated).
+	FedPeers []string
+	// Borders is the border node count (default 1 when Federation is set).
+	Borders int
+	// FedSummaryInterval is the border summary pull/exchange cadence
+	// (default 1s; tests shrink it).
+	FedSummaryInterval time.Duration
+	// FedMaxHops bounds inter-cluster forwarding hops (default 1).
+	FedMaxHops int
+	// LabelPrefix namespaces every node label (mesh address) of this
+	// cluster, so several clusters can share one in-process mesh — the
+	// inter-cluster topology StartFederated builds.
+	LabelPrefix string
+	// Mesh, when set on a non-TCP cluster, uses the given shared mesh
+	// instead of creating one; the caller owns its lifecycle.
+	Mesh *transport.Mesh
 }
 
 // telemetryOn reports whether nodes get a telemetry bundle.
@@ -197,13 +224,28 @@ func (o *Options) defaults() error {
 	if o.DrainGrace <= 0 {
 		o.DrainGrace = o.PruneGrace
 	}
+	if o.Federation {
+		if o.Borders <= 0 {
+			o.Borders = 1
+		}
+		if o.ClusterID == 0 {
+			o.ClusterID = 1
+		}
+	}
 	return nil
+}
+
+// label namespaces a node label with the cluster's prefix (shared-mesh
+// multi-cluster topologies; empty prefix keeps the historical labels).
+func (c *Cluster) label(format string, args ...any) string {
+	return c.opts.LabelPrefix + fmt.Sprintf(format, args...)
 }
 
 // Cluster is a running deployment.
 type Cluster struct {
-	opts Options
-	mesh *transport.Mesh // nil when TCP
+	opts      Options
+	mesh      *transport.Mesh // nil when TCP
+	meshOwned bool            // false when Options.Mesh was supplied
 
 	// mu guards the mutable node maps and lifecycle state: the elasticity
 	// controller mutates membership from its own goroutine while tests and
@@ -213,6 +255,8 @@ type Cluster struct {
 	dispatchers []*dispatcher.Dispatcher
 	edges       []*edge.Edge
 	edgeTr      []transport.Transport
+	borders     []*federation.Border
+	borderTr    []transport.Transport
 	matchers    map[core.NodeID]*matcher.Matcher
 	matcherTr   map[core.NodeID]transport.Transport
 	dispTr      map[core.NodeID]transport.Transport
@@ -257,7 +301,12 @@ func Start(opts Options) (*Cluster, error) {
 		admins:      make(map[core.NodeID]*telemetry.Admin),
 	}
 	if !opts.TCP {
-		c.mesh = transport.NewMesh(0)
+		if opts.Mesh != nil {
+			c.mesh = opts.Mesh
+		} else {
+			c.mesh = transport.NewMesh(0)
+			c.meshOwned = true
+		}
 	}
 
 	// Matchers first: their addresses seed the gossip overlay.
@@ -299,6 +348,16 @@ func Start(opts Options) (*Cluster, error) {
 		if err := c.startEdge(id); err != nil {
 			c.Close()
 			return nil, err
+		}
+	}
+	if opts.Federation {
+		for i := 0; i < opts.Borders; i++ {
+			id := c.nextNode
+			c.nextNode++
+			if err := c.startBorder(id); err != nil {
+				c.Close()
+				return nil, err
+			}
 		}
 	}
 	if opts.Elastic {
@@ -389,7 +448,7 @@ func (c *Cluster) generation(id core.NodeID) uint64 {
 }
 
 func (c *Cluster) startMatcher(id core.NodeID) (*matcher.Matcher, error) {
-	label := fmt.Sprintf("matcher-%d", id)
+	label := c.label("matcher-%d", id)
 	tr, tcp := c.newTransport(label)
 	tel, err := c.nodeTelemetry(id, "matcher", tcp)
 	if err != nil {
@@ -427,7 +486,7 @@ func (c *Cluster) startMatcher(id core.NodeID) (*matcher.Matcher, error) {
 }
 
 func (c *Cluster) startDispatcher(id core.NodeID) (*dispatcher.Dispatcher, error) {
-	label := fmt.Sprintf("dispatcher-%d", id)
+	label := c.label("dispatcher-%d", id)
 	tr, tcp := c.newTransport(label)
 	tel, err := c.nodeTelemetry(id, "dispatcher", tcp)
 	if err != nil {
@@ -471,7 +530,7 @@ func (c *Cluster) startDispatcher(id core.NodeID) (*dispatcher.Dispatcher, error
 }
 
 func (c *Cluster) startEdge(id core.NodeID) error {
-	label := fmt.Sprintf("edge-%d", id)
+	label := c.label("edge-%d", id)
 	tr, tcp := c.newTransport(label)
 	tel, err := c.nodeTelemetry(id, "edge", tcp)
 	if err != nil {
@@ -502,6 +561,50 @@ func (c *Cluster) startEdge(id core.NodeID) error {
 	return nil
 }
 
+func (c *Cluster) startBorder(id core.NodeID) error {
+	label := c.label("border-%d", id)
+	tr, tcp := c.newTransport(label)
+	tel, err := c.nodeTelemetry(id, "border", tcp)
+	if err != nil {
+		return err
+	}
+	b, err := federation.Start(federation.Config{
+		ID:              id,
+		Addr:            c.nodeAddr(label),
+		Space:           c.opts.Space,
+		Transport:       tr,
+		Seeds:           c.seeds,
+		Cluster:         c.opts.ClusterID,
+		Peers:           c.opts.FedPeers,
+		SummaryInterval: c.opts.FedSummaryInterval,
+		MaxHops:         c.opts.FedMaxHops,
+		GossipInterval:  c.opts.GossipInterval,
+		FailAfter:       c.opts.FailAfter,
+		Generation:      c.generation(id),
+		Seed:            int64(c.opts.ClusterID)<<16 | int64(id),
+		Telemetry:       tel,
+	})
+	if err != nil {
+		return err
+	}
+	c.borders = append(c.borders, b)
+	c.borderTr = append(c.borderTr, tr)
+	return nil
+}
+
+// Borders returns the running border nodes (empty unless
+// Options.Federation).
+func (c *Cluster) Borders() []*federation.Border { return c.borders }
+
+// BorderAddrs returns the peer-facing addresses of every border node.
+func (c *Cluster) BorderAddrs() []string {
+	out := make([]string, len(c.borders))
+	for i, b := range c.borders {
+		out[i] = b.Addr()
+	}
+	return out
+}
+
 // Edges returns the running edge servers.
 func (c *Cluster) Edges() []*edge.Edge { return c.edges }
 
@@ -522,7 +625,7 @@ func (c *Cluster) NewEdgeSession(edgeIdx int, onDeliver func(*core.Message, []co
 		return nil, fmt.Errorf("cluster: edge index %d out of range", edgeIdx)
 	}
 	sub := c.NewSubscriberID()
-	label := fmt.Sprintf("edge-client-%d", sub)
+	label := c.label("edge-client-%d", sub)
 	tr, _ := c.newTransport(label)
 	return client.DialEdge(client.EdgeConfig{
 		Transport:   tr,
@@ -544,7 +647,7 @@ func (c *Cluster) ResumeEdgeSession(prev *client.EdgeSession, edgeIdx int, lastS
 		return nil, fmt.Errorf("cluster: edge index %d out of range", edgeIdx)
 	}
 	sub := c.NewSubscriberID()
-	label := fmt.Sprintf("edge-client-%d", sub)
+	label := c.label("edge-client-%d", sub)
 	tr, _ := c.newTransport(label)
 	return prev.Resume(client.EdgeConfig{
 		Transport:  tr,
@@ -835,7 +938,7 @@ func (c *Cluster) NewClient(dispIdx int, onDeliver func(*core.Message, []core.Su
 		return nil, fmt.Errorf("cluster: dispatcher index %d out of range", dispIdx)
 	}
 	sub := c.NewSubscriberID()
-	label := fmt.Sprintf("client-%d", sub)
+	label := c.label("client-%d", sub)
 	tr, _ := c.newTransport(label)
 	cfg := client.Config{
 		Transport:      tr,
@@ -864,7 +967,7 @@ func (c *Cluster) NewAckClient(dispIdx int) (*client.Client, error) {
 		return nil, fmt.Errorf("cluster: dispatcher index %d out of range", dispIdx)
 	}
 	sub := c.NewSubscriberID()
-	tr, _ := c.newTransport(fmt.Sprintf("client-%d", sub))
+	tr, _ := c.newTransport(c.label("client-%d", sub))
 	return client.New(client.Config{
 		Transport:      tr,
 		DispatcherAddr: c.dispatchers[dispIdx].Addr(),
@@ -1034,6 +1137,9 @@ func (c *Cluster) Close() {
 	for _, adm := range c.admins {
 		adm.Close()
 	}
+	for _, b := range c.borders {
+		b.Stop()
+	}
 	for _, e := range c.edges {
 		e.Stop()
 	}
@@ -1043,7 +1149,7 @@ func (c *Cluster) Close() {
 	for _, m := range c.matchers {
 		m.Stop()
 	}
-	if c.mesh != nil {
+	if c.mesh != nil && c.meshOwned {
 		c.mesh.Close()
 	}
 	if c.opts.TCP {
@@ -1054,6 +1160,9 @@ func (c *Cluster) Close() {
 			tr.Close()
 		}
 		for _, tr := range c.edgeTr {
+			tr.Close()
+		}
+		for _, tr := range c.borderTr {
 			tr.Close()
 		}
 	}

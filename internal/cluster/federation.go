@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"bluedove/internal/transport"
+)
+
+// Federation is a multi-cluster topology: n complete clusters sharing one
+// in-process mesh (or plain TCP), with every cluster's border nodes fully
+// meshed against every other cluster's. Tests and experiments use it to
+// drive cross-cluster scenarios without real networks.
+type Federation struct {
+	Clusters []*Cluster
+	mesh     *transport.Mesh // nil on TCP federations
+}
+
+// StartFederated boots n clusters from the same base options. Each cluster
+// gets ClusterID i+1 and (on the mesh) label prefix "c<i+1>-" so node labels
+// stay unique on the shared mesh; DataDir, when set, is subdivided per
+// cluster. The border mesh is wired full-duplex after every cluster is up.
+func StartFederated(n int, base Options) (*Federation, error) {
+	if n < 2 {
+		return nil, errors.New("cluster: a federation needs at least 2 clusters")
+	}
+	f := &Federation{}
+	if !base.TCP {
+		f.mesh = transport.NewMesh(0)
+	}
+	for i := 0; i < n; i++ {
+		o := base
+		o.Federation = true
+		o.ClusterID = uint64(i + 1)
+		o.LabelPrefix = fmt.Sprintf("c%d-", i+1)
+		o.Mesh = f.mesh
+		o.FedPeers = nil
+		if base.DataDir != "" {
+			o.DataDir = filepath.Join(base.DataDir, fmt.Sprintf("c%d", i+1))
+		}
+		c, err := Start(o)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Clusters = append(f.Clusters, c)
+	}
+	for i, c := range f.Clusters {
+		var peers []string
+		for j, o := range f.Clusters {
+			if j == i {
+				continue
+			}
+			peers = append(peers, o.BorderAddrs()...)
+		}
+		for _, b := range c.Borders() {
+			b.SetPeers(peers)
+		}
+	}
+	return f, nil
+}
+
+// WaitForTables blocks until every cluster's dispatchers hold a partition
+// table of at least the given version — the point at which subscriptions
+// and publications route. Call it before driving traffic.
+func (f *Federation) WaitForTables(version uint64, timeout time.Duration) error {
+	for i, c := range f.Clusters {
+		if err := c.WaitForTable(version, timeout); err != nil {
+			return fmt.Errorf("cluster %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// PartitionBorderLinks cuts (or heals) every directed mesh link between
+// cluster i's borders and cluster j's borders — the inter-cluster link flap
+// chaos scenarios inject. Mesh federations only.
+func (f *Federation) PartitionBorderLinks(i, j int, cut bool) error {
+	if f.mesh == nil {
+		return errors.New("cluster: border partitions require the in-process mesh")
+	}
+	if i < 0 || i >= len(f.Clusters) || j < 0 || j >= len(f.Clusters) {
+		return fmt.Errorf("cluster: federation index out of range (%d, %d)", i, j)
+	}
+	for _, a := range f.Clusters[i].BorderAddrs() {
+		for _, b := range f.Clusters[j].BorderAddrs() {
+			f.mesh.Partition(a, b, cut)
+			f.mesh.Partition(b, a, cut)
+		}
+	}
+	return nil
+}
+
+// Close stops every cluster, then the shared mesh.
+func (f *Federation) Close() {
+	for _, c := range f.Clusters {
+		c.Close()
+	}
+	if f.mesh != nil {
+		f.mesh.Close()
+	}
+}

@@ -1,0 +1,20 @@
+package core
+
+// federationSubscriberBit tags subscriber IDs owned by federation border
+// nodes: a border registers one aggregated subscription per peer cluster
+// with its local dispatcher, and matchers must exclude those subscribers
+// when computing the cluster's own interest summary — otherwise remote
+// interest would leak back into the summary and echo between clusters
+// forever. The 0xF tag is disjoint from the edge tier's 0xE session tag.
+const federationSubscriberBit SubscriberID = 0xF << 56
+
+// FederationSubscriber tags id as border-owned.
+func FederationSubscriber(id SubscriberID) SubscriberID {
+	return id | federationSubscriberBit
+}
+
+// IsFederationSubscriber reports whether id is a border-owned aggregated
+// subscriber (and must be excluded from interest summaries).
+func IsFederationSubscriber(id SubscriberID) bool {
+	return id&federationSubscriberBit == federationSubscriberBit
+}

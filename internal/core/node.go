@@ -22,15 +22,21 @@ const (
 	// RoleMatcher marks a back-end server that stores subscriptions and
 	// performs matching.
 	RoleMatcher
+	// RoleBorder marks a federation border node: it computes this cluster's
+	// interest summary, exchanges summaries with peer clusters, and routes
+	// publications across the inter-cluster mesh (see internal/federation).
+	RoleBorder
 )
 
-// String returns "dispatcher", "matcher", or "unknown".
+// String returns "dispatcher", "matcher", "border", or "unknown".
 func (r NodeRole) String() string {
 	switch r {
 	case RoleDispatcher:
 		return "dispatcher"
 	case RoleMatcher:
 		return "matcher"
+	case RoleBorder:
+		return "border"
 	default:
 		return "unknown"
 	}

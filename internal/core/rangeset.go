@@ -1,0 +1,70 @@
+package core
+
+import "sort"
+
+// Range-set helpers shared by the matcher's interest-summary computation and
+// the federation border tier. A range set is a sorted list of disjoint,
+// non-touching half-open intervals over one dimension; MergeRanges is the
+// only constructor, and it is deterministic — the same input multiset always
+// produces the same output — so two nodes summarizing the same subscription
+// set emit byte-identical summaries (the same-seed determinism contract).
+
+// MergeRanges sorts rs, unions overlapping or touching intervals, and then
+// lossily widens the result down to at most max intervals by repeatedly
+// closing the smallest gap between neighbors (ties broken toward the lowest
+// interval). Widening can only ADD covered volume, never remove it, so a
+// capped summary may cause false-positive forwarding but never a false
+// negative. rs is modified in place; max <= 0 means no cap.
+func MergeRanges(rs []Range, max int) []Range {
+	if len(rs) == 0 {
+		return rs[:0]
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Low != rs[j].Low {
+			return rs[i].Low < rs[j].Low
+		}
+		return rs[i].High < rs[j].High
+	})
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Low <= last.High {
+			if r.High > last.High {
+				last.High = r.High
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	for max > 0 && len(out) > max {
+		best, gap := 0, out[1].Low-out[0].High
+		for i := 1; i < len(out)-1; i++ {
+			if g := out[i+1].Low - out[i].High; g < gap {
+				best, gap = i, g
+			}
+		}
+		out[best].High = out[best+1].High
+		out = append(out[:best+1], out[best+2:]...)
+	}
+	return out
+}
+
+// RangesContain reports whether v falls inside any interval of the sorted
+// disjoint set rs.
+func RangesContain(rs []Range, v float64) bool {
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].High > v })
+	return i < len(rs) && rs[i].Low <= v
+}
+
+// RangesEqual reports element-wise equality of two range sets.
+func RangesEqual(a, b []Range) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,6 +43,12 @@ const (
 	HopDeliver
 	// HopAck is when the dispatcher processed the matcher's forward ack.
 	HopAck
+	// HopFederate is when a border node shipped the publication to a peer
+	// cluster (stamped on the cross-cluster leg's trace clone). It sits
+	// after HopAck — not in path position — so Complete() keeps covering
+	// exactly the intra-cluster publish…deliver path; String() orders hops
+	// by timestamp, which puts federate where it belongs on the timeline.
+	HopFederate
 	// HopCount is the number of hops in a trace.
 	HopCount
 )
@@ -49,6 +56,7 @@ const (
 // hopNames aligns with the Hop constants.
 var hopNames = [HopCount]string{
 	"publish", "ingest", "forward", "dequeue", "match", "deliver", "ack",
+	"federate",
 }
 
 // String names the hop.
@@ -125,21 +133,28 @@ func (t *TraceCtx) Complete() bool {
 }
 
 // String renders the trace as "trace-id hop=+Δ …" with deltas from the
-// first stamped hop, for logs and the admin surface.
+// earliest stamped hop, for logs and the admin surface. Hops print in
+// timestamp order, not constant order, so a cross-cluster trace reads as
+// the actual timeline (… forward → federate → dequeue …) even though
+// HopFederate's constant sits after HopAck.
 func (t *TraceCtx) String() string {
 	var sb strings.Builder
 	sb.WriteString(t.ID.String())
+	stamped := make([]Hop, 0, HopCount)
 	base := int64(0)
-	for h := Hop(0); h < HopCount; h++ {
-		if t.Hops[h] != 0 {
-			base = t.Hops[h]
-			break
-		}
-	}
 	for h := Hop(0); h < HopCount; h++ {
 		if t.Hops[h] == 0 {
 			continue
 		}
+		if base == 0 || t.Hops[h] < base {
+			base = t.Hops[h]
+		}
+		stamped = append(stamped, h)
+	}
+	sort.SliceStable(stamped, func(i, j int) bool {
+		return t.Hops[stamped[i]] < t.Hops[stamped[j]]
+	})
+	for _, h := range stamped {
 		fmt.Fprintf(&sb, " %s=+%dus", h, (t.Hops[h]-base)/1000)
 	}
 	return sb.String()

@@ -1,0 +1,190 @@
+// Package federation implements BlueDove's border-dispatcher tier: one or
+// more border nodes per cluster that compute a compact interest summary of
+// the local subscription set, exchange summaries with peer clusters over
+// versioned announce/delta frames, and route publications across the
+// inter-cluster mesh only toward clusters whose summary matches.
+//
+// The design follows subscription subgrouping over structured overlays and
+// aggregated-cuboid summaries (see PAPERS.md): a summary is a per-dimension
+// union of disjoint intervals, lossily widened to a small cap, so it can
+// only over-approximate interest — false positives are filtered by the
+// remote cluster's real match path, false negatives are impossible. Borders
+// ride the existing machinery end to end: the local cluster delivers
+// remotely-interesting publications to the border through the normal
+// subscribe/match/deliver path (one aggregated, federation-tagged
+// subscription per peer), pending FedPublish frames are retained and
+// retried across link faults until the peer acks them, per-peer circuit
+// breakers bound retry pressure, and the cross-cluster leg stamps
+// core.HopFederate into sampled trace contexts.
+package federation
+
+import (
+	"bluedove/internal/core"
+	"bluedove/internal/wire"
+)
+
+// Summary is one cluster's versioned interest summary: per space dimension,
+// a sorted list of disjoint intervals covering every live subscription's
+// predicate on that dimension. A publication can match the cluster only if
+// every dimension's attribute falls inside that dimension's list.
+type Summary struct {
+	// Version counts content changes at the owning border. Deltas apply
+	// only on the exact base version; announces carry the full state.
+	Version uint64
+	// Dims holds one interval list per space dimension. An empty list on
+	// any dimension means the cluster currently matches nothing (every
+	// subscription constrains every dimension, if only by the space
+	// extent).
+	Dims [][]core.Range
+}
+
+// Matches reports whether a publication with the given attributes can match
+// any subscription covered by the summary: every dimension must contain its
+// attribute. Empty summaries (or empty dimensions) match nothing.
+func (s *Summary) Matches(attrs []float64) bool {
+	if s == nil || len(s.Dims) == 0 || len(attrs) < len(s.Dims) {
+		return false
+	}
+	for j, rs := range s.Dims {
+		if !core.RangesContain(rs, attrs[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the total interval count across dimensions (the
+// federation.summary_size telemetry gauge).
+func (s *Summary) Size() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, rs := range s.Dims {
+		n += len(rs)
+	}
+	return n
+}
+
+// Empty reports whether the summary covers nothing.
+func (s *Summary) Empty() bool {
+	if s == nil {
+		return true
+	}
+	for _, rs := range s.Dims {
+		if len(rs) == 0 {
+			return true
+		}
+	}
+	return len(s.Dims) == 0
+}
+
+// Equal compares summary content (Version excluded).
+func (s *Summary) Equal(o *Summary) bool {
+	if s == nil || o == nil {
+		return s.Empty() == o.Empty()
+	}
+	if len(s.Dims) != len(o.Dims) {
+		return false
+	}
+	for j := range s.Dims {
+		if !core.RangesEqual(s.Dims[j], o.Dims[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the summary.
+func (s *Summary) Clone() *Summary {
+	if s == nil {
+		return nil
+	}
+	c := &Summary{Version: s.Version, Dims: make([][]core.Range, len(s.Dims))}
+	for j, rs := range s.Dims {
+		c.Dims[j] = append([]core.Range(nil), rs...)
+	}
+	return c
+}
+
+// BoundingCuboid collapses the summary to one cuboid — per dimension the
+// [lowest low, highest high) hull — suitable as the predicate set of the
+// single aggregated subscription a border registers with its local
+// dispatcher per peer cluster. Returns nil when the summary covers nothing.
+func (s *Summary) BoundingCuboid() []core.Range {
+	if s.Empty() {
+		return nil
+	}
+	out := make([]core.Range, len(s.Dims))
+	for j, rs := range s.Dims {
+		out[j] = core.Range{Low: rs[0].Low, High: rs[len(rs)-1].High}
+	}
+	return out
+}
+
+// MergeInto unions per-matcher interval tables into one cluster summary,
+// capping every dimension at maxRanges. Deterministic: inputs are
+// concatenated and re-merged through core.MergeRanges, so the result
+// depends only on the interval multiset, not on matcher order.
+func MergeInto(k int, tables [][][]core.Range, maxRanges int) *Summary {
+	s := &Summary{Dims: make([][]core.Range, k)}
+	for j := 0; j < k; j++ {
+		var all []core.Range
+		for _, t := range tables {
+			if j < len(t) {
+				all = append(all, t[j]...)
+			}
+		}
+		s.Dims[j] = core.MergeRanges(all, maxRanges)
+	}
+	return s
+}
+
+// DeltaFrom builds the wire delta carrying every dimension that differs
+// between base and s (nil when nothing changed). cluster stamps the
+// announcing cluster ID.
+func (s *Summary) DeltaFrom(base *Summary, cluster uint64) *wire.SummaryDeltaBody {
+	if base == nil {
+		base = &Summary{}
+	}
+	d := &wire.SummaryDeltaBody{Cluster: cluster, FromVersion: base.Version, ToVersion: s.Version}
+	for j := range s.Dims {
+		var old []core.Range
+		if j < len(base.Dims) {
+			old = base.Dims[j]
+		}
+		if !core.RangesEqual(old, s.Dims[j]) {
+			d.DimIdx = append(d.DimIdx, uint16(j))
+			d.Dims = append(d.Dims, s.Dims[j])
+		}
+	}
+	if len(d.DimIdx) == 0 {
+		return nil
+	}
+	return d
+}
+
+// ApplyDelta applies d on s (which must hold d.FromVersion) and returns the
+// updated clone, or nil when the base version does not match or an index is
+// out of range — the caller then waits for the next full announce.
+func (s *Summary) ApplyDelta(d *wire.SummaryDeltaBody) *Summary {
+	base := s
+	if base == nil {
+		base = &Summary{}
+	}
+	if base.Version != d.FromVersion {
+		return nil
+	}
+	out := base.Clone()
+	if out == nil {
+		out = &Summary{}
+	}
+	for i, j := range d.DimIdx {
+		if int(j) >= len(out.Dims) {
+			return nil
+		}
+		out.Dims[int(j)] = append([]core.Range(nil), d.Dims[i]...)
+	}
+	out.Version = d.ToVersion
+	return out
+}

@@ -1,0 +1,210 @@
+package federation
+
+import (
+	"math/rand"
+	"testing"
+
+	"bluedove/internal/core"
+)
+
+// randomTables builds per-matcher per-dimension interval tables from a
+// seeded source, mimicking what SummaryRequest responses carry.
+func randomTables(rng *rand.Rand, matchers, dims int) [][][]core.Range {
+	tables := make([][][]core.Range, matchers)
+	for m := range tables {
+		t := make([][]core.Range, dims)
+		for j := range t {
+			n := rng.Intn(6)
+			for i := 0; i < n; i++ {
+				lo := rng.Float64() * 900
+				t[j] = append(t[j], core.Range{Low: lo, High: lo + 1 + rng.Float64()*100})
+			}
+		}
+		tables[m] = t
+	}
+	return tables
+}
+
+// TestMergeNoFalseNegatives is the core safety property: for any point
+// inside any input interval on every dimension, the merged-and-capped
+// summary must match — the cap may widen, never narrow.
+func TestMergeNoFalseNegatives(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		dims := 1 + rng.Intn(4)
+		tables := randomTables(rng, 1+rng.Intn(4), dims)
+		cap := 1 + rng.Intn(4) // aggressively small to force widening
+		s := MergeInto(dims, tables, cap)
+		for j := 0; j < dims; j++ {
+			if len(s.Dims[j]) > cap {
+				t.Fatalf("seed %d dim %d: %d intervals past cap %d", seed, j, len(s.Dims[j]), cap)
+			}
+		}
+		// Sample points inside input intervals; every one must be covered
+		// on its dimension.
+		for _, tab := range tables {
+			for j, rs := range tab {
+				for _, r := range rs {
+					for _, p := range []float64{r.Low, (r.Low + r.High) / 2} {
+						if !core.RangesContain(s.Dims[j], p) {
+							t.Fatalf("seed %d: point %g in input [%g,%g) dim %d not covered by %v",
+								seed, p, r.Low, r.High, j, s.Dims[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergeDeterministic: the merge must not depend on matcher order —
+// borders on different nodes must converge to identical summaries.
+func TestMergeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tables := randomTables(rng, 4, 3)
+	a := MergeInto(3, tables, 8)
+	rev := make([][][]core.Range, len(tables))
+	for i := range tables {
+		rev[i] = tables[len(tables)-1-i]
+	}
+	b := MergeInto(3, rev, 8)
+	if !a.Equal(b) {
+		t.Fatalf("merge depends on table order:\n%v\n%v", a.Dims, b.Dims)
+	}
+}
+
+// TestDeltaExchange drives a seeded sequence of summary mutations through
+// DeltaFrom/ApplyDelta and checks the receiver tracks the sender exactly;
+// run twice with the same seed, the delta streams must be identical
+// (same-seed determinism for the summary exchange).
+func TestDeltaExchange(t *testing.T) {
+	run := func(seed int64) (final *Summary, stream []string) {
+		rng := rand.New(rand.NewSource(seed))
+		var sender, receiver *Summary
+		for step := 0; step < 40; step++ {
+			next := MergeInto(3, randomTables(rng, 2, 3), 8)
+			next.Version = uint64(step + 1)
+			d := next.DeltaFrom(sender, 1)
+			if d != nil {
+				stream = append(stream, string(d.Encode()))
+				if got := receiver.ApplyDelta(d); got != nil {
+					receiver = got
+				} else {
+					// Base mismatch — anti-entropy announce repairs.
+					receiver = next.Clone()
+				}
+			}
+			sender = next
+		}
+		return receiver, stream
+	}
+	a, sa := run(99)
+	b, sb := run(99)
+	if len(sa) == 0 {
+		t.Fatal("no deltas produced")
+	}
+	if len(sa) != len(sb) {
+		t.Fatalf("delta stream lengths differ: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("delta %d differs between same-seed runs", i)
+		}
+	}
+	if !a.Equal(b) {
+		t.Fatal("same-seed runs diverged")
+	}
+}
+
+// TestApplyDeltaRejectsStaleBase: a delta on the wrong base must be
+// refused, leaving the receiver to wait for the next announce.
+func TestApplyDeltaRejectsStaleBase(t *testing.T) {
+	s := &Summary{Version: 3, Dims: [][]core.Range{{{Low: 0, High: 1}}}}
+	newer := &Summary{Version: 5, Dims: [][]core.Range{{{Low: 0, High: 2}}}}
+	d := newer.DeltaFrom(&Summary{Version: 4, Dims: [][]core.Range{{{Low: 0, High: 1}}}}, 1)
+	if d == nil {
+		t.Fatal("expected a delta")
+	}
+	if got := s.ApplyDelta(d); got != nil {
+		t.Fatalf("stale-base delta applied: %+v", got)
+	}
+	// Out-of-range dimension index must also be refused.
+	d.FromVersion = 3
+	d.DimIdx = []uint16{9}
+	if got := s.ApplyDelta(d); got != nil {
+		t.Fatal("out-of-range dim index applied")
+	}
+}
+
+func TestBoundingCuboid(t *testing.T) {
+	s := &Summary{Dims: [][]core.Range{
+		{{Low: 10, High: 20}, {Low: 50, High: 60}},
+		{{Low: 0, High: 5}},
+	}}
+	got := s.BoundingCuboid()
+	want := []core.Range{{Low: 10, High: 60}, {Low: 0, High: 5}}
+	if !core.RangesEqual(got, want) {
+		t.Fatalf("cuboid = %v, want %v", got, want)
+	}
+	empty := &Summary{Dims: [][]core.Range{{}, {{Low: 0, High: 1}}}}
+	if empty.BoundingCuboid() != nil {
+		t.Fatal("empty summary produced a cuboid")
+	}
+}
+
+func TestSummaryMatches(t *testing.T) {
+	s := &Summary{Dims: [][]core.Range{
+		{{Low: 0, High: 10}, {Low: 20, High: 30}},
+		{{Low: 100, High: 200}},
+	}}
+	cases := []struct {
+		attrs []float64
+		want  bool
+	}{
+		{[]float64{5, 150}, true},
+		{[]float64{25, 150}, true},
+		{[]float64{15, 150}, false}, // gap on dim 0
+		{[]float64{5, 50}, false},   // outside dim 1
+		{[]float64{5}, false},       // too few attributes
+		{[]float64{5, 150, 7}, true},
+	}
+	for _, c := range cases {
+		if got := s.Matches(c.attrs); got != c.want {
+			t.Fatalf("Matches(%v) = %v, want %v", c.attrs, got, c.want)
+		}
+	}
+	var nilSum *Summary
+	if nilSum.Matches([]float64{1}) {
+		t.Fatal("nil summary matched")
+	}
+}
+
+func TestDedupRing(t *testing.T) {
+	// add reports true when the key is new.
+	r := newDedupRing(4)
+	for i := 0; i < 4; i++ {
+		if !r.add(fedKey{origin: 1, id: core.MessageID(i)}) {
+			t.Fatalf("fresh key %d reported duplicate", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if r.add(fedKey{origin: 1, id: core.MessageID(i)}) {
+			t.Fatalf("repeat key %d not caught", i)
+		}
+	}
+	// Overflow evicts the oldest entries only.
+	for i := 4; i < 8; i++ {
+		r.add(fedKey{origin: 1, id: core.MessageID(i)})
+	}
+	if !r.add(fedKey{origin: 1, id: core.MessageID(0)}) {
+		t.Fatal("evicted key still reported seen")
+	}
+	// 7 was just inserted, then 0 re-inserted (evicting 5) — 7 must remain.
+	if r.add(fedKey{origin: 1, id: core.MessageID(7)}) {
+		t.Fatal("recent key lost")
+	}
+	// Same ID, different origin, is a distinct identity.
+	if !r.add(fedKey{origin: 2, id: core.MessageID(7)}) {
+		t.Fatal("origin not part of the dedup identity")
+	}
+}

@@ -237,6 +237,12 @@ type Matcher struct {
 	// matcher's service rate (not its links) to drive stages into overload.
 	throttleNs atomic.Int64
 
+	// mutations counts subscription-set changes (stores, removals, prunes)
+	// and versions the interest summary: a border whose cached version
+	// still matches gets a cheap "unchanged" instead of a re-enumeration
+	// (see summary.go).
+	mutations atomic.Uint64
+
 	// matchLatency observes dequeue→match-done per traced publication (ns).
 	matchLatency *metrics.Histogram
 }
@@ -432,6 +438,11 @@ func (m *Matcher) handle(env *wire.Envelope) *wire.Envelope {
 			m.handover(b)
 		}
 		return nil
+	case wire.KindSummaryRequest:
+		if b, err := wire.DecodeSummaryRequest(env.Body); err == nil {
+			return m.handleSummaryRequest(b)
+		}
+		return nil
 	case wire.KindTableRequest:
 		m.tableMu.Lock()
 		t := m.table
@@ -454,18 +465,24 @@ func (m *Matcher) store(dim int, s *core.Subscription, deliverAddr string) {
 	sh.idx.Add(s)
 	sh.addrs[s.ID] = deliverAddr
 	sh.mu.Unlock()
+	m.mutations.Add(1)
 }
 
 // unsubscribe removes a subscription from every dimension set.
 func (m *Matcher) unsubscribe(id core.SubscriptionID) {
 	si := shardOf(id, m.cfg.MatchShards)
+	removed := false
 	for _, ds := range m.dims {
 		sh := ds.shards[si]
 		sh.mu.Lock()
 		if sh.idx.Remove(id) {
 			delete(sh.addrs, id)
+			removed = true
 		}
 		sh.mu.Unlock()
+	}
+	if removed {
+		m.mutations.Add(1)
 	}
 }
 
@@ -884,6 +901,7 @@ func (m *Matcher) pruneTo(t *partition.Table) {
 				if !overlapsAny(s.Predicates[dim]) {
 					sh.idx.Remove(s.ID)
 					delete(sh.addrs, s.ID)
+					m.mutations.Add(1)
 				}
 			}
 			sh.mu.Unlock()

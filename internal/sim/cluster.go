@@ -95,10 +95,16 @@ func (d *simDispatcher) Alive(node core.NodeID) bool { return !d.dead[node] }
 // NewCluster builds a simulated cluster and starts its periodic control
 // events. The virtual clock starts at 0; nothing runs until RunUntil.
 func NewCluster(cfg Config) *Cluster {
-	cfg = cfg.withDefaults()
+	return newClusterWithEngine(cfg.withDefaults(), NewEngine())
+}
+
+// newClusterWithEngine builds a cluster over an existing event engine, so a
+// multi-cluster federation can share one virtual clock. cfg must already
+// have defaults applied.
+func newClusterWithEngine(cfg Config, eng *Engine) *Cluster {
 	cl := &Cluster{
 		cfg:      cfg,
-		eng:      NewEngine(),
+		eng:      eng,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		matchers: make(map[core.NodeID]*simMatcher),
 		registry: make(map[core.SubscriptionID]*core.Subscription),

@@ -145,6 +145,22 @@ type Config struct {
 	// real stack puts on the wire), and the cluster exposes a telemetry
 	// bundle whose registry and tracer read the virtual clock.
 	TraceSampleRate float64
+	// Clusters, when > 1, models a federated deployment: NewFederation
+	// builds this many complete clusters over one shared virtual clock,
+	// each with a border that summarizes local interest, and routes
+	// publications across the inter-cluster mesh only toward clusters
+	// whose summary matches (the real stack's internal/federation tier).
+	Clusters int
+	// InterClusterLatency is the one-way border-to-border WAN latency
+	// (default 50ms; meaningful only with Clusters > 1).
+	InterClusterLatency time.Duration
+	// FedSummaryInterval is the border summary refresh cadence
+	// (default 1s; meaningful only with Clusters > 1).
+	FedSummaryInterval time.Duration
+	// FedMaxRangesPerDim caps each summary dimension's interval count,
+	// widening lossily past it (default 64).
+	FedMaxRangesPerDim int
+
 	// Seed drives all randomized decisions (default 1).
 	Seed int64
 	// OnDeliver, when set, is invoked at each message completion with the
@@ -230,6 +246,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SampleEvery <= 0 {
 		c.SampleEvery = 20
+	}
+	if c.InterClusterLatency <= 0 {
+		c.InterClusterLatency = 50 * time.Millisecond
+	}
+	if c.FedSummaryInterval <= 0 {
+		c.FedSummaryInterval = time.Second
+	}
+	if c.FedMaxRangesPerDim <= 0 {
+		c.FedMaxRangesPerDim = 64
 	}
 	if c.Seed == 0 {
 		c.Seed = 1

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"time"
+
+	"bluedove/internal/core"
+	"bluedove/internal/federation"
+	"bluedove/internal/metrics"
+)
+
+// Federation is a simulated multi-cluster deployment: Config.Clusters
+// complete clusters sharing one virtual clock, each fronted by a modeled
+// border that summarizes local interest (the same federation.Summary merge
+// the real border computes from its matchers) and forwards publications
+// across the inter-cluster link only toward clusters whose summary matches.
+// Summaries refresh on the FedSummaryInterval cadence, so — exactly like
+// the real tier — a just-registered remote subscription is invisible until
+// the next refresh, and a just-removed one yields harmless false positives
+// filtered by the remote cluster's real match path.
+type Federation struct {
+	cfg       Config
+	eng       *Engine
+	Clusters  []*Cluster
+	summaries []*federation.Summary
+
+	// FedPublished counts publications entering the federation;
+	// FedForwarded/FedSuppressed count the per-peer routing decisions.
+	FedPublished  metrics.Counter
+	FedForwarded  metrics.Counter
+	FedSuppressed metrics.Counter
+}
+
+// NewFederation builds cfg.Clusters simulated clusters over one shared
+// engine. Each cluster draws a distinct seed stream from cfg.Seed.
+func NewFederation(cfg Config) *Federation {
+	cfg = cfg.withDefaults()
+	if cfg.Clusters < 2 {
+		panic("sim: Config.Clusters must be >= 2 for a federation")
+	}
+	f := &Federation{cfg: cfg, eng: NewEngine()}
+	for i := 0; i < cfg.Clusters; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*1000003
+		f.Clusters = append(f.Clusters, newClusterWithEngine(c, f.eng))
+	}
+	f.summaries = make([]*federation.Summary, cfg.Clusters)
+	// Border summary refresh, first round at time zero so early traffic is
+	// not all suppressed by empty summaries.
+	f.eng.Every(0, cfg.FedSummaryInterval, func() bool {
+		f.refreshSummaries()
+		return true
+	})
+	return f
+}
+
+// refreshSummaries recomputes every cluster's interest summary from its
+// live matchers' indexes — the simulated counterpart of the border's
+// SummaryRequest sweep plus MergeInto.
+func (f *Federation) refreshSummaries() {
+	k := f.cfg.Space.K()
+	for i, cl := range f.Clusters {
+		var tables [][][]core.Range
+		for _, id := range cl.order {
+			m := cl.matchers[id]
+			if !m.alive {
+				continue
+			}
+			t := make([][]core.Range, k)
+			for dim, idx := range m.indexes {
+				for _, s := range idx.All(nil) {
+					if dim < len(s.Predicates) {
+						t[dim] = append(t[dim], s.Predicates[dim])
+					}
+				}
+			}
+			tables = append(tables, t)
+		}
+		f.summaries[i] = federation.MergeInto(k, tables, f.cfg.FedMaxRangesPerDim)
+	}
+}
+
+// Summary returns cluster i's current interest summary (nil before the
+// first refresh).
+func (f *Federation) Summary(i int) *federation.Summary { return f.summaries[i] }
+
+// Publish injects m into cluster origin at the current virtual time and
+// routes a copy toward every other cluster whose summary matches, arriving
+// after the border hop (one intra-cluster leg to the border, the WAN leg,
+// one leg into the remote dispatcher). Non-matching clusters are suppressed
+// — the bandwidth the summary tier saves.
+func (f *Federation) Publish(origin int, m *core.Message) {
+	f.FedPublished.Add(1)
+	f.Clusters[origin].Publish(m)
+	for j := range f.Clusters {
+		if j == origin {
+			continue
+		}
+		if !f.summaries[j].Matches(m.Attrs) {
+			f.FedSuppressed.Add(1)
+			continue
+		}
+		f.FedForwarded.Add(1)
+		clone := m.Clone()
+		clone.Trace = nil // the remote cluster samples its own trace
+		target := f.Clusters[j]
+		f.eng.After(2*f.cfg.NetDelay+f.cfg.InterClusterLatency, func() {
+			target.Publish(clone)
+		})
+	}
+}
+
+// Now returns the shared virtual time.
+func (f *Federation) Now() int64 { return f.eng.Now() }
+
+// RunUntil advances the whole federation to virtual time t.
+func (f *Federation) RunUntil(t int64) { f.eng.RunUntil(t) }
+
+// RunFor advances the whole federation by d.
+func (f *Federation) RunFor(d time.Duration) { f.eng.RunUntil(f.eng.Now() + int64(d)) }

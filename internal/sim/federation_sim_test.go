@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bluedove/internal/core"
+)
+
+func fedSimConfig(k int) Config {
+	return Config{
+		Space:    core.UniformSpace(k, 1000),
+		Matchers: 2,
+		Clusters: 2,
+	}
+}
+
+// fedSimRecorder counts deliveries per subscription ID across the whole
+// federation (the OnDeliver hook is shared by every cluster's config).
+type fedSimRecorder struct {
+	mu   sync.Mutex
+	seen map[core.SubscriptionID]int
+}
+
+func (r *fedSimRecorder) hook(_ *core.Message, matched []*core.Subscription) {
+	r.mu.Lock()
+	for _, s := range matched {
+		r.seen[s.ID]++
+	}
+	r.mu.Unlock()
+}
+
+func (r *fedSimRecorder) count(id core.SubscriptionID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen[id]
+}
+
+func sub(id core.SubscriptionID, preds ...core.Range) *core.Subscription {
+	return &core.Subscription{ID: id, Subscriber: core.SubscriberID(id), Predicates: preds}
+}
+
+// TestSimFederationRouting: interest in cluster 2 pulls matching traffic
+// across the link; disjoint traffic is suppressed at the origin border.
+func TestSimFederationRouting(t *testing.T) {
+	rec := &fedSimRecorder{seen: map[core.SubscriptionID]int{}}
+	cfg := fedSimConfig(2)
+	cfg.OnDeliver = rec.hook
+	f := NewFederation(cfg)
+
+	// Cluster 2 wants dim0 in [100, 200).
+	remote := sub(1001, core.Range{Low: 100, High: 200}, core.Range{Low: 0, High: 1000})
+	f.Clusters[1].Subscribe(remote)
+	f.RunFor(2 * time.Second) // let the summary refresh see it
+
+	if s := f.Summary(1); s == nil || !s.Matches([]float64{150, 500}) {
+		t.Fatalf("cluster 2 summary does not cover its subscription: %+v", s)
+	}
+
+	// A matching publication in cluster 1 must cross and deliver.
+	f.Publish(0, core.NewMessage([]float64{150, 500}, []byte("hit")))
+	f.RunFor(5 * time.Second)
+	if got := rec.count(1001); got != 1 {
+		t.Fatalf("cross-cluster deliveries = %d, want 1", got)
+	}
+	if f.FedForwarded.Value() != 1 {
+		t.Fatalf("FedForwarded = %d, want 1", f.FedForwarded.Value())
+	}
+
+	// Disjoint publications must be suppressed, not shipped.
+	for i := 0; i < 20; i++ {
+		f.Publish(0, core.NewMessage([]float64{700, 500}, nil))
+	}
+	f.RunFor(5 * time.Second)
+	if f.FedForwarded.Value() != 1 {
+		t.Fatalf("disjoint traffic crossed the link: FedForwarded = %d", f.FedForwarded.Value())
+	}
+	if f.FedSuppressed.Value() != 20 {
+		t.Fatalf("FedSuppressed = %d, want 20", f.FedSuppressed.Value())
+	}
+	if got := rec.count(1001); got != 1 {
+		t.Fatalf("unwanted deliveries: %d", got)
+	}
+}
+
+// TestSimFederationEquivalence: a two-cluster federation must produce the
+// same delivery multiset as one flat cluster holding all subscriptions.
+func TestSimFederationEquivalence(t *testing.T) {
+	subs := []*core.Subscription{
+		sub(1, core.Range{Low: 0, High: 300}, core.Range{Low: 0, High: 1000}),
+		sub(2, core.Range{Low: 200, High: 600}, core.Range{Low: 100, High: 900}),
+		sub(3, core.Range{Low: 500, High: 1000}, core.Range{Low: 0, High: 500}),
+		sub(4, core.Range{Low: 0, High: 1000}, core.Range{Low: 800, High: 1000}),
+	}
+	pubs := [][]float64{
+		{150, 500}, {250, 500}, {550, 250}, {900, 900}, {50, 850}, {700, 700},
+	}
+
+	runFed := func() map[core.SubscriptionID]int {
+		rec := &fedSimRecorder{seen: map[core.SubscriptionID]int{}}
+		cfg := fedSimConfig(2)
+		cfg.OnDeliver = rec.hook
+		f := NewFederation(cfg)
+		for i, s := range subs {
+			f.Clusters[i%2].Subscribe(cloneSub(s))
+		}
+		f.RunFor(2 * time.Second)
+		for i, attrs := range pubs {
+			f.Publish(i%2, core.NewMessage(attrs, nil))
+		}
+		f.RunFor(10 * time.Second)
+		return rec.seen
+	}
+	runFlat := func() map[core.SubscriptionID]int {
+		rec := &fedSimRecorder{seen: map[core.SubscriptionID]int{}}
+		cfg := fedSimConfig(2)
+		cfg.Clusters = 0
+		cfg.OnDeliver = rec.hook
+		cl := NewCluster(cfg)
+		for _, s := range subs {
+			cl.Subscribe(cloneSub(s))
+		}
+		cl.RunFor(2 * time.Second)
+		for _, attrs := range pubs {
+			cl.Publish(core.NewMessage(attrs, nil))
+		}
+		cl.RunFor(10 * time.Second)
+		return rec.seen
+	}
+
+	fed, flat := runFed(), runFlat()
+	for _, s := range subs {
+		if fed[s.ID] != flat[s.ID] {
+			t.Fatalf("sub %d: federated %d deliveries, flat %d\nfed: %v\nflat: %v",
+				s.ID, fed[s.ID], flat[s.ID], fed, flat)
+		}
+	}
+}
+
+func cloneSub(s *core.Subscription) *core.Subscription {
+	c := *s
+	c.Predicates = append([]core.Range(nil), s.Predicates...)
+	return &c
+}
+
+// TestSimFederationLatency: the cross-cluster leg adds at least the
+// configured WAN latency over the intra-cluster path.
+func TestSimFederationLatency(t *testing.T) {
+	type stampRec struct {
+		mu sync.Mutex
+		at map[core.SubscriptionID]int64
+	}
+	rec := &stampRec{at: map[core.SubscriptionID]int64{}}
+	cfg := fedSimConfig(2)
+	cfg.InterClusterLatency = 200 * time.Millisecond
+	f := NewFederation(cfg)
+	hook := func(m *core.Message, matched []*core.Subscription) {
+		now := f.Now()
+		rec.mu.Lock()
+		for _, s := range matched {
+			if _, ok := rec.at[s.ID]; !ok {
+				rec.at[s.ID] = now
+			}
+		}
+		rec.mu.Unlock()
+	}
+	for i := range f.Clusters {
+		f.Clusters[i].cfg.OnDeliver = hook
+	}
+	f.Clusters[0].Subscribe(sub(1, core.Range{Low: 0, High: 1000}, core.Range{Low: 0, High: 1000}))
+	f.Clusters[1].Subscribe(sub(2, core.Range{Low: 0, High: 1000}, core.Range{Low: 0, High: 1000}))
+	f.RunFor(2 * time.Second)
+	start := f.Now()
+	f.Publish(0, core.NewMessage([]float64{500, 500}, nil))
+	f.RunFor(5 * time.Second)
+	rec.mu.Lock()
+	local, remote := rec.at[1]-start, rec.at[2]-start
+	rec.mu.Unlock()
+	if local <= 0 || remote <= 0 {
+		t.Fatalf("missing deliveries: local=%d remote=%d", local, remote)
+	}
+	if remote-local < int64(cfg.InterClusterLatency) {
+		t.Fatalf("cross-cluster delivery only %v behind local, want >= %v",
+			time.Duration(remote-local), cfg.InterClusterLatency)
+	}
+}

@@ -1,0 +1,318 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"bluedove/internal/core"
+)
+
+// Federation frames: the border tier's protocol (see internal/federation).
+// Borders pull per-matcher interest summaries with SummaryRequest/Response,
+// gossip the merged cluster summary to peer clusters with SummaryAnnounce
+// (full state, periodic anti-entropy) and SummaryDelta (changed dimensions
+// only), and ship matching publications across the inter-cluster mesh with
+// FedPublish, acknowledged per message by FedAck.
+const (
+	// KindSummaryRequest asks a matcher for its interest summary
+	// (border → matcher request; carries the last seen version so an
+	// unchanged matcher answers with a cheap "unchanged").
+	KindSummaryRequest Kind = 90 + iota
+	// KindSummaryResponse returns a matcher's per-dimension interest
+	// summary and its version.
+	KindSummaryResponse
+	// KindSummaryAnnounce carries a cluster's full interest summary to a
+	// peer cluster's border (one-way, periodic anti-entropy).
+	KindSummaryAnnounce
+	// KindSummaryDelta carries only the changed dimensions between two
+	// summary versions (one-way; applied only if the receiver holds the
+	// base version, else it waits for the next announce).
+	KindSummaryDelta
+	// KindFedPublish ships one publication across the inter-cluster mesh
+	// (border → border request), tagged with the origin cluster and a hop
+	// count for loop suppression.
+	KindFedPublish
+	// KindFedAck acknowledges a FedPublish: the receiving border has
+	// accepted responsibility for injecting the publication locally.
+	KindFedAck
+)
+
+// MaxSummaryRanges bounds the decoded interval count per dimension. The
+// border caps its own summaries far below this (federation.Config
+// MaxRangesPerDim, default 64); the decode-side bound exists so a
+// misbehaving or hostile peer cluster cannot make a border allocate
+// unbounded state from one frame.
+const MaxSummaryRanges = 4096
+
+// ErrSummaryTooLarge reports a summary frame whose dimension or interval
+// counts exceed the decode-side bounds, or whose intervals carry NaN
+// endpoints — a malformed or hostile peer. Callers drop the frame (and
+// typically count it) instead of applying it.
+var ErrSummaryTooLarge = errors.New("wire: summary exceeds decode bounds")
+
+// encodeRangeSet writes one dimension's sorted interval list.
+func encodeRangeSet(w *writer, rs []core.Range) {
+	w.u16(uint16(len(rs)))
+	for _, r := range rs {
+		w.f64(r.Low)
+		w.f64(r.High)
+	}
+}
+
+// decodeRangeSet reads one dimension's interval list, enforcing the count
+// bound and rejecting NaN endpoints (a NaN poisons every later comparison,
+// silently turning the summary into "matches nothing").
+func decodeRangeSet(r *reader) []core.Range {
+	n := int(r.u16())
+	if n > MaxSummaryRanges {
+		r.err = fmt.Errorf("%w: %d intervals in one dimension", ErrSummaryTooLarge, n)
+		return nil
+	}
+	if r.err != nil {
+		return nil
+	}
+	rs := make([]core.Range, 0, n)
+	for i := 0; i < n; i++ {
+		rng := core.Range{Low: r.f64(), High: r.f64()}
+		if math.IsNaN(rng.Low) || math.IsNaN(rng.High) {
+			r.err = fmt.Errorf("%w: NaN interval endpoint", ErrSummaryTooLarge)
+			return nil
+		}
+		rs = append(rs, rng)
+	}
+	return rs
+}
+
+// encodeSummaryDims writes a per-dimension interval-list table.
+func encodeSummaryDims(w *writer, dims [][]core.Range) {
+	w.u16(uint16(len(dims)))
+	for _, rs := range dims {
+		encodeRangeSet(w, rs)
+	}
+}
+
+// decodeSummaryDims reads a per-dimension interval-list table.
+func decodeSummaryDims(r *reader) [][]core.Range {
+	n := int(r.u16())
+	if n > maxDims {
+		r.err = fmt.Errorf("%w: %d dimensions", ErrSummaryTooLarge, n)
+		return nil
+	}
+	if r.err != nil {
+		return nil
+	}
+	dims := make([][]core.Range, 0, n)
+	for i := 0; i < n; i++ {
+		dims = append(dims, decodeRangeSet(r))
+		if r.err != nil {
+			return nil
+		}
+	}
+	return dims
+}
+
+// SummaryRequestBody asks a matcher for its interest summary.
+type SummaryRequestBody struct {
+	// IfVersion is the requester's last seen summary version for this
+	// matcher; when it still matches, the matcher answers Unchanged
+	// without enumerating its indexes. 0 always fetches.
+	IfVersion uint64
+}
+
+// Encode serializes the body.
+func (b *SummaryRequestBody) Encode() []byte {
+	var w writer
+	w.u64(b.IfVersion)
+	return w.buf
+}
+
+// DecodeSummaryRequest parses a SummaryRequestBody.
+func DecodeSummaryRequest(data []byte) (*SummaryRequestBody, error) {
+	r := reader{buf: data}
+	b := &SummaryRequestBody{IfVersion: r.u64()}
+	return b, r.finish()
+}
+
+// SummaryResponseBody returns a matcher's interest summary.
+type SummaryResponseBody struct {
+	// Version is the matcher's mutation counter at enumeration time.
+	Version uint64
+	// Unchanged short-circuits the transfer: the requester's IfVersion is
+	// still current and Dims is empty.
+	Unchanged bool
+	// Dims is the per-dimension merged interval union over every stored
+	// subscription (federation-tagged subscribers excluded).
+	Dims [][]core.Range
+}
+
+// Encode serializes the body.
+func (b *SummaryResponseBody) Encode() []byte {
+	var w writer
+	w.u64(b.Version)
+	if b.Unchanged {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	encodeSummaryDims(&w, b.Dims)
+	return w.buf
+}
+
+// DecodeSummaryResponse parses a SummaryResponseBody.
+func DecodeSummaryResponse(data []byte) (*SummaryResponseBody, error) {
+	r := reader{buf: data}
+	b := &SummaryResponseBody{Version: r.u64(), Unchanged: r.u8() == 1}
+	b.Dims = decodeSummaryDims(&r)
+	return b, r.finish()
+}
+
+// SummaryAnnounceBody carries a cluster's full interest summary.
+type SummaryAnnounceBody struct {
+	// Cluster is the announcing cluster's ID.
+	Cluster uint64
+	// Version is the announcing border's summary version.
+	Version uint64
+	// Addr is the announcing border's listen address; the receiver matches
+	// it against its configured peer list to bind the summary to a link.
+	Addr string
+	// Dims is the full per-dimension interval table.
+	Dims [][]core.Range
+}
+
+// Encode serializes the body.
+func (b *SummaryAnnounceBody) Encode() []byte {
+	var w writer
+	w.u64(b.Cluster)
+	w.u64(b.Version)
+	w.str(b.Addr)
+	encodeSummaryDims(&w, b.Dims)
+	return w.buf
+}
+
+// DecodeSummaryAnnounce parses a SummaryAnnounceBody.
+func DecodeSummaryAnnounce(data []byte) (*SummaryAnnounceBody, error) {
+	r := reader{buf: data}
+	b := &SummaryAnnounceBody{Cluster: r.u64(), Version: r.u64(), Addr: r.str()}
+	b.Dims = decodeSummaryDims(&r)
+	return b, r.finish()
+}
+
+// SummaryDeltaBody carries only the dimensions that changed between two
+// summary versions.
+type SummaryDeltaBody struct {
+	// Cluster is the announcing cluster's ID.
+	Cluster uint64
+	// FromVersion is the base the delta applies on; a receiver holding a
+	// different version ignores the delta and waits for an announce.
+	FromVersion uint64
+	// ToVersion is the version after applying the delta.
+	ToVersion uint64
+	// Addr is the announcing border's listen address (see
+	// SummaryAnnounceBody.Addr).
+	Addr string
+	// DimIdx lists the changed dimension indexes, aligned with Dims.
+	DimIdx []uint16
+	// Dims holds the replacement interval list per changed dimension.
+	Dims [][]core.Range
+}
+
+// Encode serializes the body.
+func (b *SummaryDeltaBody) Encode() []byte {
+	var w writer
+	w.u64(b.Cluster)
+	w.u64(b.FromVersion)
+	w.u64(b.ToVersion)
+	w.str(b.Addr)
+	w.u16(uint16(len(b.DimIdx)))
+	for i, d := range b.DimIdx {
+		w.u16(d)
+		var rs []core.Range
+		if i < len(b.Dims) {
+			rs = b.Dims[i]
+		}
+		encodeRangeSet(&w, rs)
+	}
+	return w.buf
+}
+
+// DecodeSummaryDelta parses a SummaryDeltaBody.
+func DecodeSummaryDelta(data []byte) (*SummaryDeltaBody, error) {
+	r := reader{buf: data}
+	b := &SummaryDeltaBody{Cluster: r.u64(), FromVersion: r.u64(), ToVersion: r.u64(), Addr: r.str()}
+	n := int(r.u16())
+	if n > maxDims {
+		return nil, fmt.Errorf("%w: %d changed dimensions", ErrSummaryTooLarge, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		b.DimIdx = append(b.DimIdx, r.u16())
+		b.Dims = append(b.Dims, decodeRangeSet(&r))
+	}
+	return b, r.finish()
+}
+
+// FedPublishBody ships one publication to a peer cluster.
+type FedPublishBody struct {
+	// Origin is the cluster the publication was first published in; a
+	// border receiving its own cluster's ID back drops the frame (loop
+	// guard).
+	Origin uint64
+	// Sender is the cluster that shipped this frame (differs from Origin
+	// on relayed frames when MaxHops > 1).
+	Sender uint64
+	// Hops counts inter-cluster hops already taken; receivers drop frames
+	// at their MaxHops bound.
+	Hops uint8
+	// Msg is the publication, carrying the origin cluster's message ID —
+	// (Origin, Msg.ID) is the cross-cluster identity receivers dedup on.
+	// The receiving border assigns a fresh local ID before injection.
+	Msg *core.Message
+}
+
+// Encode serializes the body.
+func (b *FedPublishBody) Encode() []byte {
+	var w writer
+	w.u64(b.Origin)
+	w.u64(b.Sender)
+	w.u8(b.Hops)
+	encodeMessage(&w, b.Msg)
+	return w.buf
+}
+
+// DecodeFedPublish parses a FedPublishBody.
+func DecodeFedPublish(data []byte) (*FedPublishBody, error) {
+	r := reader{buf: data}
+	b := &FedPublishBody{Origin: r.u64(), Sender: r.u64(), Hops: r.u8()}
+	b.Msg = decodeMessage(&r)
+	return b, r.finish()
+}
+
+// FedAckBody acknowledges one FedPublish by its cross-cluster identity.
+type FedAckBody struct {
+	// Origin and ID echo the acknowledged frame's identity.
+	Origin uint64
+	ID     core.MessageID
+	// Dup reports the receiver had already accepted this publication
+	// (the ack still settles the sender's pending entry).
+	Dup bool
+}
+
+// Encode serializes the body.
+func (b *FedAckBody) Encode() []byte {
+	var w writer
+	w.u64(b.Origin)
+	w.u64(uint64(b.ID))
+	if b.Dup {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	return w.buf
+}
+
+// DecodeFedAck parses a FedAckBody.
+func DecodeFedAck(data []byte) (*FedAckBody, error) {
+	r := reader{buf: data}
+	b := &FedAckBody{Origin: r.u64(), ID: core.MessageID(r.u64()), Dup: r.u8() == 1}
+	return b, r.finish()
+}

@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"bluedove/internal/core"
+)
+
+func sampleDims() [][]core.Range {
+	return [][]core.Range{
+		{{Low: 0, High: 10}, {Low: 50, High: 60}},
+		{},
+		{{Low: -5, High: 5}},
+		{{Low: math.Inf(-1), High: math.Inf(1)}},
+	}
+}
+
+func TestSummaryRequestRoundTrip(t *testing.T) {
+	in := &SummaryRequestBody{IfVersion: 42}
+	out, err := DecodeSummaryRequest(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.IfVersion != 42 {
+		t.Fatalf("IfVersion = %d, want 42", out.IfVersion)
+	}
+}
+
+func TestSummaryResponseRoundTrip(t *testing.T) {
+	in := &SummaryResponseBody{Version: 7, Unchanged: false, Dims: sampleDims()}
+	out, err := DecodeSummaryResponse(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != in.Version || out.Unchanged != in.Unchanged {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	if !reflect.DeepEqual(out.Dims, in.Dims) {
+		t.Fatalf("dims mismatch: got %v want %v", out.Dims, in.Dims)
+	}
+
+	unchanged := &SummaryResponseBody{Version: 8, Unchanged: true}
+	out, err = DecodeSummaryResponse(unchanged.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Unchanged || len(out.Dims) != 0 {
+		t.Fatalf("unchanged round-trip: %+v", out)
+	}
+}
+
+func TestSummaryAnnounceRoundTrip(t *testing.T) {
+	in := &SummaryAnnounceBody{Cluster: 3, Version: 9, Addr: "border-1", Dims: sampleDims()}
+	out, err := DecodeSummaryAnnounce(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cluster != 3 || out.Version != 9 || out.Addr != "border-1" {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	if !reflect.DeepEqual(out.Dims, in.Dims) {
+		t.Fatalf("dims mismatch: got %v want %v", out.Dims, in.Dims)
+	}
+}
+
+func TestSummaryDeltaRoundTrip(t *testing.T) {
+	in := &SummaryDeltaBody{
+		Cluster: 2, FromVersion: 4, ToVersion: 5, Addr: "border-2",
+		DimIdx: []uint16{1, 3},
+		Dims:   [][]core.Range{{{Low: 1, High: 2}}, {}},
+	}
+	out, err := DecodeSummaryDelta(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cluster != 2 || out.FromVersion != 4 || out.ToVersion != 5 || out.Addr != "border-2" {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	if !reflect.DeepEqual(out.DimIdx, in.DimIdx) {
+		t.Fatalf("dim indexes mismatch: %v", out.DimIdx)
+	}
+	if !reflect.DeepEqual(out.Dims, in.Dims) {
+		t.Fatalf("dims mismatch: got %v want %v", out.Dims, in.Dims)
+	}
+}
+
+func TestFedPublishRoundTrip(t *testing.T) {
+	in := &FedPublishBody{Origin: 1, Sender: 2, Hops: 1, Msg: fuzzTracedMsg()}
+	out, err := DecodeFedPublish(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Origin != 1 || out.Sender != 2 || out.Hops != 1 {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	if out.Msg.ID != in.Msg.ID || !bytes.Equal(out.Msg.Payload, in.Msg.Payload) {
+		t.Fatalf("message mismatch: %+v", out.Msg)
+	}
+	if out.Msg.Trace == nil {
+		t.Fatal("trace context dropped")
+	}
+}
+
+func TestFedAckRoundTrip(t *testing.T) {
+	in := &FedAckBody{Origin: 4, ID: 0x123456789, Dup: true}
+	out, err := DecodeFedAck(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Origin != 4 || out.ID != 0x123456789 || !out.Dup {
+		t.Fatalf("round-trip mismatch: %+v", out)
+	}
+}
+
+// TestSummaryDecodeBounds feeds hostile frames: interval counts past
+// MaxSummaryRanges, dimension counts past maxDims, and NaN endpoints must
+// all come back as ErrSummaryTooLarge, never as a huge allocation.
+func TestSummaryDecodeBounds(t *testing.T) {
+	// One dimension claiming 65535 intervals (> MaxSummaryRanges), with no
+	// interval data behind it — the count bound must fire before any
+	// allocation sized by the claim.
+	var w writer
+	w.u64(1) // cluster
+	w.u64(1) // version
+	w.str("x")
+	w.u16(1)      // 1 dimension
+	w.u16(0xffff) // hostile interval count
+	if _, err := DecodeSummaryAnnounce(w.buf); !errors.Is(err, ErrSummaryTooLarge) {
+		t.Fatalf("hostile interval count: err = %v, want ErrSummaryTooLarge", err)
+	}
+
+	// Dimension count past maxDims.
+	var w2 writer
+	w2.u64(1)
+	w2.u64(1)
+	w2.str("x")
+	w2.u16(uint16(maxDims + 1))
+	if _, err := DecodeSummaryAnnounce(w2.buf); !errors.Is(err, ErrSummaryTooLarge) {
+		t.Fatalf("hostile dim count: err = %v, want ErrSummaryTooLarge", err)
+	}
+
+	// NaN endpoint.
+	nan := &SummaryAnnounceBody{Cluster: 1, Version: 1, Addr: "x",
+		Dims: [][]core.Range{{{Low: math.NaN(), High: 1}}}}
+	if _, err := DecodeSummaryAnnounce(nan.Encode()); !errors.Is(err, ErrSummaryTooLarge) {
+		t.Fatalf("NaN endpoint: err = %v, want ErrSummaryTooLarge", err)
+	}
+
+	// Same bounds on the delta decoder.
+	var w3 writer
+	w3.u64(1)
+	w3.u64(1)
+	w3.u64(2)
+	w3.str("x")
+	w3.u16(1)      // one changed dim
+	w3.u16(0)      // dim index
+	w3.u16(0xffff) // hostile interval count
+	if _, err := DecodeSummaryDelta(w3.buf); !errors.Is(err, ErrSummaryTooLarge) {
+		t.Fatalf("hostile delta interval count: err = %v, want ErrSummaryTooLarge", err)
+	}
+	var w4 writer
+	w4.u64(1)
+	w4.u64(1)
+	w4.u64(2)
+	w4.str("x")
+	w4.u16(uint16(maxDims + 1))
+	if _, err := DecodeSummaryDelta(w4.buf); !errors.Is(err, ErrSummaryTooLarge) {
+		t.Fatalf("hostile delta dim count: err = %v, want ErrSummaryTooLarge", err)
+	}
+
+	// And on the response decoder (a compromised matcher peer).
+	var w5 writer
+	w5.u64(1)
+	w5.u8(0)
+	w5.u16(1)
+	w5.u16(0xffff)
+	if _, err := DecodeSummaryResponse(w5.buf); !errors.Is(err, ErrSummaryTooLarge) {
+		t.Fatalf("hostile response interval count: err = %v, want ErrSummaryTooLarge", err)
+	}
+}
+
+// TestSummaryDecodeTruncation truncates a valid announce at every byte
+// offset; each prefix must decode to an error, never panic.
+func TestSummaryDecodeTruncation(t *testing.T) {
+	full := (&SummaryAnnounceBody{Cluster: 3, Version: 9, Addr: "b", Dims: sampleDims()}).Encode()
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeSummaryAnnounce(full[:i]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", i)
+		}
+	}
+	fp := (&FedPublishBody{Origin: 1, Sender: 1, Hops: 0, Msg: fuzzMsg()}).Encode()
+	for i := 0; i < len(fp); i++ {
+		if _, err := DecodeFedPublish(fp[:i]); err == nil {
+			t.Fatalf("fed publish truncation at %d decoded without error", i)
+		}
+	}
+}
+
+func FuzzDecodeSummaryAnnounce(f *testing.F) {
+	f.Add((&SummaryAnnounceBody{Cluster: 1, Version: 1, Addr: "b", Dims: sampleDims()}).Encode())
+	f.Add((&SummaryAnnounceBody{Cluster: 2, Version: 9, Addr: ""}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeSummaryAnnounce(data)
+		if err != nil {
+			return
+		}
+		if len(b.Dims) > maxDims {
+			t.Fatalf("decoded %d dims past bound", len(b.Dims))
+		}
+		for _, rs := range b.Dims {
+			if len(rs) > MaxSummaryRanges {
+				t.Fatalf("decoded %d intervals past bound", len(rs))
+			}
+			for _, r := range rs {
+				if math.IsNaN(r.Low) || math.IsNaN(r.High) {
+					t.Fatal("NaN endpoint survived decode")
+				}
+			}
+		}
+	})
+}
+
+func FuzzDecodeSummaryDelta(f *testing.F) {
+	f.Add((&SummaryDeltaBody{Cluster: 1, FromVersion: 1, ToVersion: 2, Addr: "b",
+		DimIdx: []uint16{0, 2}, Dims: [][]core.Range{{{Low: 1, High: 2}}, {}}}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeSummaryDelta(data)
+		if err != nil {
+			return
+		}
+		if len(b.DimIdx) != len(b.Dims) {
+			t.Fatalf("dim index / table length skew: %d vs %d", len(b.DimIdx), len(b.Dims))
+		}
+		for _, rs := range b.Dims {
+			if len(rs) > MaxSummaryRanges {
+				t.Fatalf("decoded %d intervals past bound", len(rs))
+			}
+		}
+	})
+}
+
+func FuzzDecodeFedPublish(f *testing.F) {
+	f.Add((&FedPublishBody{Origin: 1, Sender: 2, Hops: 1, Msg: fuzzMsg()}).Encode())
+	f.Add((&FedPublishBody{Origin: 1, Sender: 1, Hops: 0, Msg: fuzzTracedMsg()}).Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeFedPublish(data)
+		if err == nil && b.Msg == nil {
+			t.Fatal("nil message without error")
+		}
+	})
+}

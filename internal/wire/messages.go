@@ -63,6 +63,9 @@ func (k Kind) String() string {
 		KindSessionSub: "session-sub", KindSessionSubAck: "session-sub-ack",
 		KindSessionUnsub: "session-unsub", KindEdgeDeliver: "edge-deliver",
 		KindSessionAck: "session-ack", KindSessionClose: "session-close",
+		KindSummaryRequest: "summary-request", KindSummaryResponse: "summary-response",
+		KindSummaryAnnounce: "summary-announce", KindSummaryDelta: "summary-delta",
+		KindFedPublish: "fed-publish", KindFedAck: "fed-ack",
 	}
 	if s, ok := names[k]; ok {
 		return s
