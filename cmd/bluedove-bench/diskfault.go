@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bluedove/internal/experiment"
+)
+
+// diskFaultReport is the schema of BENCH_diskfault.json: the full-stack
+// disk-fault certification — journaled nodes behind an edge tier with the
+// elasticity controller and the federation border tier running, disk and
+// network faults injected concurrently. FailStop must show zero acked loss;
+// DegradeToMemory must show exact (reported, not silent) accounting of the
+// weakened durability guarantee.
+type diskFaultReport struct {
+	benchHeader
+
+	Seed        int64 `json:"seed"`
+	Matchers    int   `json:"matchers"`
+	Dispatchers int   `json:"dispatchers"`
+	Burst       int   `json:"burst_per_phase"`
+
+	FailStopPublished  int64   `json:"failstop_published"`
+	FailStopExpected   int     `json:"failstop_expected_deliveries"`
+	FailStopZeroLoss   bool    `json:"failstop_zero_acked_loss"`
+	FailStopDuplicates int64   `json:"failstop_duplicates"`
+	FailStopEdge       int64   `json:"failstop_edge_delivered"`
+	FailStopCrashMs    float64 `json:"failstop_fault_to_crash_ms"`
+	FailStopDiskFaults int     `json:"failstop_disk_ops_faulted"`
+	FailStopElastic    int64   `json:"failstop_elastic_moves"`
+
+	DegradePublished  int64  `json:"degrade_published"`
+	DegradeZeroLoss   bool   `json:"degrade_zero_acked_loss"`
+	DegradeDuplicates int64  `json:"degrade_duplicates"`
+	DegradeHealthy    bool   `json:"degrade_store_degraded"`
+	DegradeDurable    int64  `json:"degrade_durable_appends"`
+	DegradeDropped    int64  `json:"degrade_reported_drops"`
+	DegradeExact      bool   `json:"degrade_accounting_exact"`
+	LossDetail        string `json:"loss_detail,omitempty"`
+}
+
+// runDiskFault runs the disk-fault certification (seed printed for replay)
+// and writes the JSON report when out is non-empty. Any acked loss or
+// accounting hole is a hard failure.
+func runDiskFault(seed int64, out string) {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "[diskfault certification: seed %d (re-run with -chaos-seed %d)]\n", seed, seed)
+	r, err := experiment.DiskFault(experiment.DiskFaultOpts{Seed: seed})
+	if err != nil {
+		log.Fatalf("diskfault certification: %v", err)
+	}
+	fmt.Println(r.Table())
+	fmt.Fprintf(os.Stderr, "[diskfault certification: %v]\n", time.Since(start).Round(time.Millisecond))
+
+	if !r.FailStop.ZeroAckedLoss {
+		log.Fatalf("diskfault certification: acked loss under FailStop (seed %d): %s",
+			seed, r.FailStop.LossDetail)
+	}
+	if !r.Degrade.ZeroAckedLoss {
+		log.Fatalf("diskfault certification: delivery loss under DegradeToMemory (seed %d): %s",
+			seed, r.Degrade.LossDetail)
+	}
+	if !r.Degrade.HealthDegraded {
+		log.Fatalf("diskfault certification: ENOSPC injected but store never degraded (seed %d)", seed)
+	}
+	if !r.Degrade.AccountingExact {
+		log.Fatalf("diskfault certification: accounting hole: %d durable + %d dropped < %d accepted (seed %d)",
+			r.Degrade.Durable, r.Degrade.Dropped, r.Degrade.Published, seed)
+	}
+
+	rep := &diskFaultReport{
+		benchHeader: newBenchHeader(),
+		Seed:        r.Seed,
+		Matchers:    r.Matchers,
+		Dispatchers: r.Dispatchers,
+		Burst:       r.Burst,
+
+		FailStopPublished:  r.FailStop.Published,
+		FailStopExpected:   r.FailStop.Expected,
+		FailStopZeroLoss:   r.FailStop.ZeroAckedLoss,
+		FailStopDuplicates: r.FailStop.Duplicates,
+		FailStopEdge:       r.FailStop.EdgeDelivered,
+		FailStopCrashMs:    r.FailStop.CrashMs,
+		FailStopDiskFaults: r.FailStop.DiskFaults,
+		FailStopElastic:    r.FailStop.ElasticMoves,
+
+		DegradePublished:  r.Degrade.Published,
+		DegradeZeroLoss:   r.Degrade.ZeroAckedLoss,
+		DegradeDuplicates: r.Degrade.Duplicates,
+		DegradeHealthy:    r.Degrade.HealthDegraded,
+		DegradeDurable:    r.Degrade.Durable,
+		DegradeDropped:    r.Degrade.Dropped,
+		DegradeExact:      r.Degrade.AccountingExact,
+	}
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
+}

@@ -40,8 +40,10 @@ func main() {
 			"run the edge-tier benchmark (100k multiplexed sessions on one edge: backpressure + reconnect storm, drop-oldest staleness, disconnect loss accounting) on the real edge server")
 		fedRun = flag.Bool("federation", false,
 			"run the federation benchmark (two real clusters joined by border dispatchers: summary suppression, intra- vs cross-cluster latency, zero acked loss across an inter-cluster link flap)")
+		diskFault = flag.Bool("diskfault", false,
+			"run the disk-fault certification (journaled full stack — edge, elastic, federation — under combined disk+network chaos: zero acked loss with FailStop, exact drop accounting with DegradeToMemory)")
 		matchDur = flag.Duration("match-duration", time.Second, "with -match: measured time per grid cell")
-		out      = flag.String("out", "", "with -batching/-chaos/-telemetry/-durability/-overload/-match/-elasticity/-edge/-federation: write the JSON report to this file (e.g. BENCH_match.json)")
+		out      = flag.String("out", "", "with -batching/-chaos/-telemetry/-durability/-overload/-match/-elasticity/-edge/-federation/-diskfault: write the JSON report to this file (e.g. BENCH_match.json)")
 	)
 	flag.Parse()
 
@@ -79,6 +81,10 @@ func main() {
 	}
 	if *fedRun {
 		runFederation(*chaosSeed, *out)
+		return
+	}
+	if *diskFault {
+		runDiskFault(*chaosSeed, *out)
 		return
 	}
 

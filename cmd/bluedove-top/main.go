@@ -170,16 +170,37 @@ func runTop(client *http.Client, addrs []string) {
 		splits, _ := v.value("elastic.splits")
 		return fmt.Sprintf("u%.0f/d%.0f/s%.0f", up, down, splits)
 	}
+	// dura renders a durable node's journal state: the store.health gauge
+	// (0 healthy, 1 degraded, 2 failed) plus the cumulative journal-error
+	// count. In-memory nodes have no store.health series and show "-".
+	duraCol := func(v *nodeVars) string {
+		h, ok := v.value("store.health")
+		if !ok {
+			return "-"
+		}
+		errs, ok := v.value("dispatcher.journal_errors")
+		if !ok {
+			errs, _ = v.value("matcher.journal_errors")
+		}
+		state := "ok"
+		switch h {
+		case 1:
+			state = "DEGRADED"
+		case 2:
+			state = "FAILED"
+		}
+		return fmt.Sprintf("%s/e%.0f", state, errs)
+	}
 	w := os.Stdout
-	fmt.Fprintf(w, "%-22s %-10s %-6s %10s %10s %10s %9s %8s %10s %12s %10s\n",
-		"NODE", "ROLE", "ID", "IN", "OUT", "QUEUE", "SCAN/MSG", "TRACES", "P99(ms)", "TX-BYTES", "ELASTIC")
+	fmt.Fprintf(w, "%-22s %-10s %-6s %10s %10s %10s %9s %8s %10s %12s %10s %11s\n",
+		"NODE", "ROLE", "ID", "IN", "OUT", "QUEUE", "SCAN/MSG", "TRACES", "P99(ms)", "TX-BYTES", "ELASTIC", "DURABILITY")
 	for _, r := range rows {
 		if r.err != nil {
 			fmt.Fprintf(w, "%-22s %s\n", r.addr, r.err)
 			continue
 		}
 		v := r.v
-		fmt.Fprintf(w, "%-22s %-10s %-6s %10s %10s %10s %9s %8s %10s %12s %10s\n",
+		fmt.Fprintf(w, "%-22s %-10s %-6s %10s %10s %10s %9s %8s %10s %12s %10s %11s\n",
 			r.addr,
 			v.Labels["role"], v.Labels["node"],
 			// IN: work accepted; OUT: work completed downstream.
@@ -192,6 +213,7 @@ func runTop(client *http.Client, addrs []string) {
 				"client.deliver_latency_seconds"),
 			num(v, "transport.bytes_sent"),
 			elasticCol(v),
+			duraCol(v),
 		)
 	}
 	printMatchersRow(w, rows)
@@ -286,6 +308,7 @@ func requiredSeries(role string) []string {
 			"bluedove_dispatcher_forwarded",
 			"bluedove_dispatcher_forward_latency_seconds",
 			"bluedove_dispatcher_deliver_latency_seconds",
+			"bluedove_dispatcher_journal_errors",
 			"bluedove_gossip_bytes",
 		)
 	case "matcher":
@@ -298,6 +321,7 @@ func requiredSeries(role string) []string {
 			"bluedove_matcher_stage_service_capacity",
 			"bluedove_matcher_scanned_per_msg",
 			"bluedove_matcher_match_latency_seconds",
+			"bluedove_matcher_journal_errors",
 			"bluedove_gossip_bytes",
 		)
 	case "client":
@@ -336,7 +360,9 @@ func requiredSeries(role string) []string {
 			"bluedove_elastic_scale_up",
 			"bluedove_elastic_scale_down",
 			"bluedove_elastic_splits",
+			"bluedove_elastic_replaces",
 			"bluedove_elastic_thrash",
+			"bluedove_elastic_journal_errors",
 			"bluedove_elastic_matchers",
 			"bluedove_elastic_joining",
 			"bluedove_elastic_draining",

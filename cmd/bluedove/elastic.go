@@ -38,6 +38,7 @@ func elasticAdvisor(d *dispatcher.Dispatcher, space *core.Space,
 		r.Counter("elastic.scale_up", "controller scale-up decisions", &ctrl.ScaleUps)
 		r.Counter("elastic.scale_down", "controller scale-down decisions", &ctrl.ScaleDowns)
 		r.Counter("elastic.splits", "controller hot-segment split decisions", &ctrl.Splits)
+		r.Counter("elastic.replaces", "scale-ups fired to replace a durability-failed matcher", &ctrl.Replaces)
 		r.Counter("elastic.thrash", "scale direction reversals inside the thrash window", &ctrl.Thrash)
 		r.Gauge("elastic.matchers", "matchers in the current segment table", func(int64) float64 {
 			if t := d.Table(); t != nil {

@@ -98,6 +98,7 @@ type Controller struct {
 	killed map[string]bool
 	slow   map[string]time.Duration
 	links  map[linkKey]*linkState
+	disks  map[string]*diskState
 	events []string
 	closed bool
 	wg     sync.WaitGroup // deferred (delayed/duplicated) deliveries in flight

@@ -1,0 +1,270 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"time"
+
+	"bluedove/internal/store"
+)
+
+// ErrDiskFault marks every error injected by a fault-injecting FS;
+// errors.Is-match it to distinguish injected faults from real ones.
+var ErrDiskFault = errors.New("chaos: injected disk fault")
+
+// ErrNoSpace is the injected ENOSPC analogue, returned once a labeled disk's
+// cumulative written bytes pass DiskFaults.ENOSPCAfter.
+var ErrNoSpace = fmt.Errorf("%w: no space left on device", ErrDiskFault)
+
+// DiskFaults are the probabilistic storage-fault rules of one labeled disk
+// (typically one node's data directory).
+type DiskFaults struct {
+	// WriteErr is the probability a file write fails mid-way: the first
+	// half of the buffer lands, then an injected EIO — a torn write.
+	WriteErr float64
+	// SyncErr is the probability an fsync (file or directory) fails. The
+	// data's durability is then undefined, exactly like a real fsync error.
+	SyncErr float64
+	// ENOSPCAfter fails every write once the disk's cumulative written
+	// bytes exceed it (0 = unlimited space).
+	ENOSPCAfter int64
+	// OpDelay is added latency per filesystem operation (a slow device).
+	OpDelay time.Duration
+	// TornRename is the probability a rename fails after leaking a
+	// half-written destination file — the crash-mid-rename signature
+	// recovery must tolerate.
+	TornRename float64
+}
+
+func (f DiskFaults) active() bool {
+	return f.WriteErr > 0 || f.SyncErr > 0 || f.ENOSPCAfter > 0 || f.OpDelay > 0 || f.TornRename > 0
+}
+
+// diskOp names one fault-relevant filesystem operation.
+type diskOp uint8
+
+const (
+	opWrite diskOp = iota
+	opSync
+	opRename
+)
+
+func (o diskOp) String() string {
+	switch o {
+	case opWrite:
+		return "write"
+	case opSync:
+		return "sync"
+	default:
+		return "rename"
+	}
+}
+
+// diskState is the per-label disk fault stream: one RNG per path, so the
+// verdict for the nth operation on a file is a pure function of
+// (seed, label, path, n) — independent of interleaving across files.
+type diskState struct {
+	faults  DiskFaults
+	written int64 // cumulative bytes for the ENOSPC budget
+	paths   map[string]*rand.Rand
+	trace   []string
+}
+
+// SetDiskFaults installs (or, with a zero DiskFaults, clears) the storage
+// fault rules of the labeled disk. Wrap a store.FS with DiskFS to subject
+// it to these rules.
+func (c *Controller) SetDiskFaults(label string, f DiskFaults) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.disks == nil {
+		c.disks = make(map[string]*diskState)
+	}
+	ds := c.disks[label]
+	if ds == nil {
+		ds = &diskState{paths: make(map[string]*rand.Rand)}
+		c.disks[label] = ds
+	}
+	ds.faults = f
+	if f.active() {
+		c.eventLocked(fmt.Sprintf("disk %s werr=%.2f serr=%.2f enospc=%d delay=%v torn=%.2f",
+			label, f.WriteErr, f.SyncErr, f.ENOSPCAfter, f.OpDelay, f.TornRename))
+	} else {
+		c.eventLocked("disk-clear " + label)
+	}
+}
+
+// diskSeed derives the per-path RNG seed from the controller seed, the disk
+// label and the file path.
+func (c *Controller) diskSeed(label, path string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	h.Write([]byte{0})
+	h.Write([]byte(path))
+	return c.seed ^ int64(h.Sum64())
+}
+
+// diskPlan computes the fault verdict for one operation on a labeled disk:
+// added latency and the injected error (nil to proceed). n is the write
+// size (for the ENOSPC budget; 0 otherwise).
+func (c *Controller) diskPlan(label, path string, op diskOp, n int) (time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.disks == nil {
+		return 0, nil
+	}
+	ds := c.disks[label]
+	if ds == nil || !ds.faults.active() {
+		return 0, nil
+	}
+	f := ds.faults
+	rng := ds.paths[path]
+	if rng == nil {
+		rng = rand.New(rand.NewSource(c.diskSeed(label, path)))
+		ds.paths[path] = rng
+	}
+	// Fixed draw order (write, sync, rename) keeps each path's stream
+	// stable across rule changes that only tweak probabilities.
+	pWrite := rng.Float64()
+	pSync := rng.Float64()
+	pRename := rng.Float64()
+	var err error
+	switch op {
+	case opWrite:
+		if f.ENOSPCAfter > 0 && ds.written+int64(n) > f.ENOSPCAfter {
+			err = ErrNoSpace
+		} else if pWrite < f.WriteErr {
+			err = fmt.Errorf("%w: write %s", ErrDiskFault, path)
+		} else {
+			ds.written += int64(n)
+		}
+	case opSync:
+		if pSync < f.SyncErr {
+			err = fmt.Errorf("%w: sync %s", ErrDiskFault, path)
+		}
+	case opRename:
+		if pRename < f.TornRename {
+			err = fmt.Errorf("%w: torn rename %s", ErrDiskFault, path)
+		}
+	}
+	if err != nil {
+		ds.trace = append(ds.trace, fmt.Sprintf("%s %s %s", op, path, err))
+	}
+	return f.OpDelay, err
+}
+
+// DiskTrace returns the ordered log of faults injected on the labeled disk.
+func (c *Controller) DiskTrace(label string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.disks == nil || c.disks[label] == nil {
+		return nil
+	}
+	out := make([]string, len(c.disks[label].trace))
+	copy(out, c.disks[label].trace)
+	return out
+}
+
+// DiskFS wraps a store.FS (nil: the OS passthrough) so every operation is
+// subject to the labeled disk's fault rules. Verdicts are deterministic per
+// (seed, label, path, op-sequence); a closed controller injects nothing.
+func (c *Controller) DiskFS(label string, inner store.FS) store.FS {
+	if inner == nil {
+		inner = store.OS{}
+	}
+	return &faultFS{ctrl: c, label: label, inner: inner}
+}
+
+type faultFS struct {
+	ctrl  *Controller
+	label string
+	inner store.FS
+}
+
+// pause applies a plan's injected latency (outside the controller lock).
+func pause(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (fs *faultFS) OpenFile(name string, flag int, perm os.FileMode) (store.File, error) {
+	f, err := fs.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: fs, path: name, f: f}, nil
+}
+
+func (fs *faultFS) Rename(oldpath, newpath string) error {
+	d, err := fs.ctrl.diskPlan(fs.label, newpath, opRename, 0)
+	pause(d)
+	if err != nil {
+		// Torn rename: the destination appears with only a prefix of the
+		// source — the on-disk state a crash between the data blocks and
+		// the metadata commit leaves behind. The source survives, and the
+		// caller sees a failure.
+		if data, rerr := fs.inner.ReadFile(oldpath); rerr == nil {
+			if f, oerr := fs.inner.OpenFile(newpath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644); oerr == nil {
+				_, _ = f.Write(data[:len(data)/2])
+				_ = f.Close()
+			}
+		}
+		return err
+	}
+	return fs.inner.Rename(oldpath, newpath)
+}
+
+func (fs *faultFS) Remove(name string) error { return fs.inner.Remove(name) }
+
+func (fs *faultFS) ReadDir(name string) ([]os.DirEntry, error) { return fs.inner.ReadDir(name) }
+
+func (fs *faultFS) ReadFile(name string) ([]byte, error) { return fs.inner.ReadFile(name) }
+
+func (fs *faultFS) MkdirAll(path string, perm os.FileMode) error {
+	return fs.inner.MkdirAll(path, perm)
+}
+
+func (fs *faultFS) Truncate(name string, size int64) error { return fs.inner.Truncate(name, size) }
+
+func (fs *faultFS) SyncDir(path string) error {
+	d, err := fs.ctrl.diskPlan(fs.label, path, opSync, 0)
+	pause(d)
+	if err != nil {
+		return err
+	}
+	return fs.inner.SyncDir(path)
+}
+
+// faultFile subjects one open file's writes and fsyncs to the disk's fault
+// rules.
+type faultFile struct {
+	fs   *faultFS
+	path string
+	f    store.File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	d, err := f.fs.ctrl.diskPlan(f.fs.label, f.path, opWrite, len(p))
+	pause(d)
+	if err != nil {
+		// Torn write: half the buffer lands before the fault, so repair
+		// paths must cope with trailing garbage past the last good byte.
+		n, _ := f.f.Write(p[:len(p)/2])
+		return n, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	d, err := f.fs.ctrl.diskPlan(f.fs.label, f.path, opSync, 0)
+	pause(d)
+	if err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *faultFile) Close() error { return f.f.Close() }

@@ -1,0 +1,174 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"bluedove/internal/store"
+)
+
+// Two controllers with the same seed inject the identical fault schedule on
+// the same operation sequence — the disk verdict stream is a pure function
+// of (seed, label, path, op sequence).
+func TestDiskFaultDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	// The verdict stream is keyed by path, so both runs must touch the same
+	// file (as a restarted node reopening its data dir would).
+	run := func(seed int64) []string {
+		c := NewController(seed)
+		defer c.Close()
+		c.SetDiskFaults("node", DiskFaults{WriteErr: 0.3, SyncErr: 0.3, TornRename: 0.3})
+		fs := c.DiskFS("node", store.OS{})
+		f, err := fs.OpenFile(filepath.Join(dir, "a.wal"), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for i := 0; i < 50; i++ {
+			_, werr := f.Write([]byte("0123456789"))
+			serr := f.Sync()
+			got = append(got, fmt.Sprintf("w=%v s=%v", errors.Is(werr, ErrDiskFault), errors.Is(serr, ErrDiskFault)))
+		}
+		_ = f.Close()
+		return got
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different disk fault schedules")
+	}
+	if reflect.DeepEqual(a, run(43)) {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+	var faults int
+	for _, v := range a {
+		if v != "w=false s=false" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("0.3/0.3 probabilities injected nothing over 50 ops")
+	}
+}
+
+// A torn rename leaves a half-written snapshot that recovery must skip in
+// favor of the WAL chain — no records lost, no corruption surfaced.
+func TestTornRenameSkippedByRecovery(t *testing.T) {
+	c := NewController(7)
+	defer c.Close()
+	dir := t.TempDir()
+	s, err := store.Open(store.Options{Dir: dir, FS: c.DiskFS("node", nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.Append(1, []byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SetDiskFaults("node", DiskFaults{TornRename: 1})
+	if err := s.Snapshot([]byte("full-state")); err == nil {
+		t.Fatal("snapshot with TornRename=1 unexpectedly succeeded")
+	} else if !errors.Is(err, ErrDiskFault) {
+		t.Fatalf("snapshot error = %v, want injected fault", err)
+	}
+	c.SetDiskFaults("node", DiskFaults{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var records int
+	var snap []byte
+	rec, err := store.Recover(dir,
+		func(p []byte) error { snap = append([]byte(nil), p...); return nil },
+		func(uint8, []byte) error { records++; return nil })
+	if err != nil {
+		t.Fatalf("recovery after torn rename: %v", err)
+	}
+	if rec.SnapshotLoaded {
+		t.Fatalf("recovery trusted the torn snapshot %q", snap)
+	}
+	if records != 8 {
+		t.Fatalf("recovered %d records, want all 8 from the WAL", records)
+	}
+}
+
+// ENOSPC kicks in once cumulative writes pass the budget; with
+// DegradeToMemory the store degrades and accounts instead of erroring.
+func TestENOSPCDegradesStore(t *testing.T) {
+	c := NewController(11)
+	defer c.Close()
+	c.SetDiskFaults("node", DiskFaults{ENOSPCAfter: 256})
+	dir := t.TempDir()
+	s, err := store.Open(store.Options{
+		Dir:    dir,
+		Fsync:  store.FsyncAlways,
+		FS:     c.DiskFS("node", nil),
+		Policy: store.DegradeToMemory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		if err := s.Append(1, make([]byte, 32)); err != nil {
+			t.Fatalf("append %d under DegradeToMemory: %v", i, err)
+		}
+	}
+	if got := s.Health(); got != store.Degraded {
+		t.Fatalf("health = %v, want degraded after disk filled", got)
+	}
+	if s.DroppedAppends.Value() == 0 {
+		t.Fatal("no dropped-append accounting after ENOSPC degrade")
+	}
+	if trace := c.DiskTrace("node"); len(trace) == 0 {
+		t.Fatal("no injected faults recorded in the disk trace")
+	}
+}
+
+// The Scenario DSL applies DiskFaults steps at their offsets.
+func TestScenarioDiskFaultsStep(t *testing.T) {
+	c := NewController(3)
+	defer c.Close()
+	run := NewScenario().
+		At(0).DiskFaults("node", DiskFaults{SyncErr: 1}).
+		At(10*time.Millisecond).DiskFaults("node", DiskFaults{}).
+		Run(c)
+	run.Wait()
+	events := c.Events()
+	var saw, cleared bool
+	for _, e := range events {
+		if e == "disk-clear node" {
+			cleared = true
+		} else if len(e) > 5 && e[:5] == "disk " {
+			saw = true
+		}
+	}
+	if !saw || !cleared {
+		t.Fatalf("events %v missing disk install/clear", events)
+	}
+}
+
+// A closed controller injects nothing: the wrapped FS becomes a passthrough.
+func TestClosedControllerInjectsNothing(t *testing.T) {
+	c := NewController(5)
+	c.SetDiskFaults("node", DiskFaults{WriteErr: 1, SyncErr: 1})
+	fs := c.DiskFS("node", nil)
+	c.Close()
+	dir := t.TempDir()
+	f, err := fs.OpenFile(filepath.Join(dir, "x.wal"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("write after Close: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after Close: %v", err)
+	}
+	_ = f.Close()
+}

@@ -95,6 +95,12 @@ func (st *Step) Faults(from, to string, f LinkFaults) *Step {
 	return st.add(func(c *Controller) { c.SetFaults(from, to, f) })
 }
 
+// DiskFaults installs storage fault rules on the labeled disk (see
+// Controller.SetDiskFaults and DiskFS).
+func (st *Step) DiskFaults(label string, f DiskFaults) *Step {
+	return st.add(func(c *Controller) { c.SetDiskFaults(label, f) })
+}
+
 // Do runs an arbitrary callback (e.g. a real process kill through the
 // cluster API) at the step's offset.
 func (st *Step) Do(fn func()) *Step {

@@ -23,6 +23,7 @@ import (
 	"bluedove/internal/gossip"
 	"bluedove/internal/index"
 	"bluedove/internal/matcher"
+	"bluedove/internal/metrics"
 	"bluedove/internal/partition"
 	"bluedove/internal/placement"
 	"bluedove/internal/store"
@@ -82,6 +83,13 @@ type Options struct {
 	// Fsync is the journal durability policy when DataDir is set (default
 	// store.FsyncAlways: every append reaches the disk before it is acked).
 	Fsync store.Fsync
+	// FailPolicy is every durable node's response to an unrecoverable
+	// journal fault (default store.FailStop: the store fails, the cluster
+	// crashes the node, and the existing crash-recovery path takes over).
+	// store.DegradeToMemory keeps nodes serving non-durably with exact loss
+	// accounting; store.Shed makes dispatchers refuse new persistent work
+	// with an overloaded-style rejection. Ignored when DataDir is empty.
+	FailPolicy store.FailPolicy
 	// RetryInterval is the persistence retransmit timeout (default 2s).
 	RetryInterval time.Duration
 	// ForwardLinger, when positive, enables publication batching on every
@@ -187,9 +195,63 @@ func (o *Options) telemetryOn() bool {
 	return o.Telemetry || o.TraceSampleRate > 0 || o.Admin
 }
 
-func (o *Options) defaults() error {
+// clampInterval normalizes one control-loop cadence: negative values mean
+// "unset" (the default applies), and positive values below a millisecond are
+// raised to one — a sub-millisecond ticker busy-spins the control loop (and
+// a value rounded to zero panics time.NewTicker outright).
+func clampInterval(d *time.Duration) {
+	if *d < 0 {
+		*d = 0
+	} else if *d > 0 && *d < time.Millisecond {
+		*d = time.Millisecond
+	}
+}
+
+// Validate checks required fields and clamps pathological knob values in
+// place so they cannot reach a node constructor: negative counts, sizes and
+// durations fall back to their documented defaults, and sub-millisecond
+// control intervals are raised to 1ms. defaults() runs it on every Start;
+// callers may invoke it directly to pre-flight a configuration.
+func (o *Options) Validate() error {
 	if o.Space == nil {
 		return errors.New("cluster: Space is required")
+	}
+	for _, d := range []*time.Duration{
+		&o.GossipInterval, &o.FailAfter, &o.ReportInterval, &o.RecoveryDelay,
+		&o.PruneGrace, &o.RetryInterval, &o.ElasticInterval, &o.DrainGrace,
+		&o.FedSummaryInterval,
+	} {
+		clampInterval(d)
+	}
+	// Optional durations where zero means "default/disabled": a negative
+	// value must not arm a negative timer downstream.
+	for _, d := range []*time.Duration{
+		&o.RerouteBackoff, &o.BreakerCooldown, &o.MessageTTL,
+		&o.ForwardLinger, &o.TCPFlushInterval,
+	} {
+		if *d < 0 {
+			*d = 0
+		}
+	}
+	// Counts and buffer sizes where zero selects the node default. Knobs
+	// with meaningful negative values (RetryBudget, BreakerThreshold:
+	// negative disables the feature) are deliberately left alone.
+	for _, n := range []*int{
+		&o.IndexBuckets, &o.MatchShards, &o.WorkersPerDim,
+		&o.MatcherQueueDepth, &o.ForwardBatchCount, &o.ForwardBatchBytes,
+		&o.AdmissionLimit, &o.EdgeBufferBytes, &o.ResumeWindow,
+		&o.Edges, &o.Borders, &o.FedMaxHops,
+	} {
+		if *n < 0 {
+			*n = 0
+		}
+	}
+	return nil
+}
+
+func (o *Options) defaults() error {
+	if err := o.Validate(); err != nil {
+		return err
 	}
 	if o.Matchers <= 0 {
 		o.Matchers = 4
@@ -274,11 +336,12 @@ type Cluster struct {
 	admins      map[core.NodeID]*telemetry.Admin
 
 	// Elasticity controller state (nil/zero unless Options.Elastic).
-	elCtrl    *elastic.Controller
-	elJnl     *store.Store
-	elStop    chan struct{}
-	elDone    chan struct{}
-	elasticID core.NodeID
+	elCtrl      *elastic.Controller
+	elJnl       *store.Store
+	elJnlErrors metrics.Counter
+	elStop      chan struct{}
+	elDone      chan struct{}
+	elasticID   core.NodeID
 }
 
 // Start boots a cluster and blocks until the initial segment table has been
@@ -438,6 +501,40 @@ func (c *Cluster) nodeDataDir(label string) string {
 	return filepath.Join(c.opts.DataDir, label)
 }
 
+// diskFS returns the filesystem a durable node's journal should use: the
+// chaos controller's fault-injecting wrapper when chaos is configured (keyed
+// by the node label, so scenarios target disks the way they target links),
+// nil otherwise (the store uses the real filesystem).
+func (c *Cluster) diskFS(label string) store.FS {
+	if c.opts.Chaos == nil || c.opts.DataDir == "" {
+		return nil
+	}
+	return c.opts.Chaos.DiskFS(label, nil)
+}
+
+// onMatcherStoreFailure is the FailStop actuation: a matcher whose journal
+// failed is crashed (from a fresh goroutine — the health callback must not
+// re-enter the node), handing the incident to the existing failure-detection
+// and recovery path.
+func (c *Cluster) onMatcherStoreFailure(id core.NodeID) func(error) {
+	return func(error) { go func() { _ = c.CrashMatcher(id) }() }
+}
+
+// onDispatcherStoreFailure crashes a failed-journal dispatcher by locating
+// its current index (restarts keep the ID but may be re-slotted).
+func (c *Cluster) onDispatcherStoreFailure(id core.NodeID) func(error) {
+	return func(error) {
+		go func() {
+			for i, d := range c.dispatchers {
+				if d.ID() == id && !c.stoppedDisp[i] {
+					_ = c.CrashDispatcher(i)
+					return
+				}
+			}
+		}()
+	}
+}
+
 // generation returns a node's current incarnation number (bumped on every
 // restart so peers prefer the newest gossip about it).
 func (c *Cluster) generation(id core.NodeID) uint64 {
@@ -473,6 +570,9 @@ func (c *Cluster) startMatcher(id core.NodeID) (*matcher.Matcher, error) {
 		Generation:     c.generation(id),
 		DataDir:        c.nodeDataDir(label),
 		Fsync:          c.opts.Fsync,
+		FS:             c.diskFS(label),
+		FailPolicy:     c.opts.FailPolicy,
+		OnStoreFailure: c.onMatcherStoreFailure(id),
 		Telemetry:      tel,
 	})
 	if err != nil {
@@ -517,6 +617,9 @@ func (c *Cluster) startDispatcher(id core.NodeID) (*dispatcher.Dispatcher, error
 		Generation:        c.generation(id),
 		DataDir:           c.nodeDataDir(label),
 		Fsync:             c.opts.Fsync,
+		FS:                c.diskFS(label),
+		FailPolicy:        c.opts.FailPolicy,
+		OnStoreFailure:    c.onDispatcherStoreFailure(id),
 		Telemetry:         tel,
 	})
 	if err != nil {

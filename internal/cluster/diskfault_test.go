@@ -1,0 +1,407 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bluedove/internal/chaos"
+	"bluedove/internal/client"
+	"bluedove/internal/core"
+	"bluedove/internal/store"
+	"bluedove/internal/telemetry"
+)
+
+// scrapeValue extracts the first sample of a metric family from Prometheus
+// text exposition (any label set).
+func scrapeValue(scrape []byte, name string) (float64, bool) {
+	for _, line := range strings.Split(string(scrape), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if len(rest) == 0 || (rest[0] != ' ' && rest[0] != '{') {
+			continue // longer name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			continue
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// TestDiskFaultFailStopZeroAckedLoss is the FailStop half of the disk-fault
+// certification: a durable persistent cluster runs under network chaos
+// (drops, duplicates, delays on the dispatcher↔matcher fabric) while one
+// matcher's disk starts failing every fsync mid-burst. Under the default
+// FailStop policy the victim's store fails, the cluster crashes the node
+// (the OnStoreFailure actuation), and the persistence layer reroutes its
+// unacked forwards — every acked publication must still be delivered.
+func TestDiskFaultFailStopZeroAckedLoss(t *testing.T) {
+	seed := chaosSeed(t)
+	ctrl := chaos.NewController(seed)
+	defer ctrl.Close()
+
+	opts := fastOptions(4)
+	opts.Chaos = ctrl
+	opts.Persistent = true
+	opts.RetryInterval = 100 * time.Millisecond
+	opts.DataDir = t.TempDir()
+	opts.Fsync = store.FsyncAlways
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	aud := chaos.NewAuditor()
+	aud.Subscribed(1, fullSpace())
+	subCl, err := c.NewClient(0, func(m *core.Message, _ []core.SubscriptionID) {
+		aud.Delivered(1, m)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := subCl.Subscribe(fullSpace()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let the stores land everywhere
+
+	// Network chaos on the whole dispatcher↔matcher fabric for the entire
+	// burst; the disk fault arrives mid-burst on one matcher.
+	linkFaults := chaos.LinkFaults{Drop: 0.1, Duplicate: 0.05,
+		DelayMin: time.Millisecond, DelayMax: 3 * time.Millisecond}
+	for _, id := range c.MatcherIDs() {
+		maddr, _ := c.MatcherAddr(id)
+		for _, daddr := range c.DispatcherAddrs() {
+			ctrl.SetFaults(daddr, maddr, linkFaults)
+			ctrl.SetFaults(maddr, daddr, linkFaults)
+		}
+	}
+
+	victim := c.MatcherIDs()[0]
+	pubCl, err := c.NewClient(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const burst = 200
+	for i := 0; i < burst; i++ {
+		if i == burst/2 {
+			// The victim's disk starts failing every fsync. The next journal
+			// append (triggered below by a fresh subscription install, which
+			// every matcher journals) poisons its segment; repair fails too,
+			// and FailStop crashes the node mid-burst.
+			ctrl.SetDiskFaults(fmt.Sprintf("matcher-%d", victim), chaos.DiskFaults{SyncErr: 1.0})
+			trig, err := c.NewClient(0, func(*core.Message, []core.SubscriptionID) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _ = trig.Subscribe(fullSpace()) // may race the crash; best-effort
+		}
+		token := fmt.Sprintf("dfk-%03d", i)
+		attrs := []float64{float64((i * 37) % 1000), float64((i * 59) % 1000),
+			float64((i * 83) % 1000), float64((i * 101) % 1000)}
+		if err := pubCl.Publish(attrs, []byte(token)); err != nil {
+			t.Fatalf("publish %d rejected: %v", i, err)
+		}
+		aud.Published(token, attrs)
+		time.Sleep(time.Millisecond)
+	}
+
+	// FailStop actuation: the store failed and the cluster crashed the node.
+	waitFor(t, 10*time.Second, func() bool {
+		for _, id := range c.LiveMatcherIDs() {
+			if id == victim {
+				return false
+			}
+		}
+		return true
+	})
+	if h := c.Matcher(victim).StoreHealth(); h != store.Failed {
+		t.Fatalf("victim store health = %v, want failed", h)
+	}
+
+	if err := aud.WaitComplete(30 * time.Second); err != nil {
+		t.Fatalf("seed %d: acked loss under FailStop: %v", seed, err)
+	}
+	if got := aud.Expected(); got != burst {
+		t.Fatalf("auditor expected %d deliveries, want %d", got, burst)
+	}
+	if tr := ctrl.DiskTrace(fmt.Sprintf("matcher-%d", victim)); len(tr) == 0 {
+		t.Fatalf("seed %d: no disk faults were injected — test lost its teeth", seed)
+	}
+	t.Logf("seed %d: %d/%d acked publications delivered through combined disk+network chaos (%d duplicates)",
+		seed, burst, burst, aud.Duplicates())
+}
+
+// TestDiskFaultDegradeToMemoryExactAccounting is the DegradeToMemory half of
+// the certification: a dispatcher's disk runs out of space mid-burst under
+// network chaos. The node must keep serving — every publication is still
+// accepted and delivered — while the weakened guarantee is reported exactly:
+// store.health flips to degraded and dropped_appends counts every append
+// accepted non-durably, with nothing lost silently.
+func TestDiskFaultDegradeToMemoryExactAccounting(t *testing.T) {
+	seed := chaosSeed(t)
+	ctrl := chaos.NewController(seed)
+	defer ctrl.Close()
+
+	opts := fastOptions(3)
+	opts.Chaos = ctrl
+	opts.Persistent = true
+	opts.RetryInterval = 100 * time.Millisecond
+	opts.DataDir = t.TempDir()
+	opts.Fsync = store.FsyncAlways
+	opts.FailPolicy = store.DegradeToMemory
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	aud := chaos.NewAuditor()
+	aud.Subscribed(1, fullSpace())
+	subCl, err := c.NewClient(1, func(m *core.Message, _ []core.SubscriptionID) {
+		aud.Delivered(1, m)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := subCl.Subscribe(fullSpace()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	linkFaults := chaos.LinkFaults{Drop: 0.1, Duplicate: 0.05}
+	for _, id := range c.MatcherIDs() {
+		maddr, _ := c.MatcherAddr(id)
+		for _, daddr := range c.DispatcherAddrs() {
+			ctrl.SetFaults(daddr, maddr, linkFaults)
+			ctrl.SetFaults(maddr, daddr, linkFaults)
+		}
+	}
+	// Dispatcher 0 journals every accepted publication (persistent mode);
+	// its disk admits ~4KiB more, then every write fails with ENOSPC.
+	d0 := c.Dispatchers()[0]
+	ctrl.SetDiskFaults(fmt.Sprintf("dispatcher-%d", d0.ID()), chaos.DiskFaults{ENOSPCAfter: 4096})
+
+	pubCl, err := c.NewClient(0, nil) // publishes through dispatcher 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	const burst = 200
+	for i := 0; i < burst; i++ {
+		token := fmt.Sprintf("deg-%03d", i)
+		attrs := []float64{float64((i * 41) % 1000), float64((i * 67) % 1000),
+			float64((i * 89) % 1000), float64((i * 103) % 1000)}
+		if err := pubCl.Publish(attrs, []byte(token)); err != nil {
+			t.Fatalf("publish %d rejected — DegradeToMemory must keep serving: %v", i, err)
+		}
+		aud.Published(token, attrs)
+		time.Sleep(time.Millisecond)
+	}
+
+	// Service preserved: every acked publication delivered despite the
+	// degraded journal and the lossy fabric.
+	if err := aud.WaitComplete(30 * time.Second); err != nil {
+		t.Fatalf("seed %d: delivery loss under DegradeToMemory: %v", seed, err)
+	}
+
+	// The weakened guarantee is reported exactly, not silently: the store is
+	// degraded, every non-durable accept is counted, and the durable prefix
+	// plus the reported drops covers every journal append the node accepted.
+	jnl := d0.Journal()
+	if jnl == nil {
+		t.Fatal("dispatcher 0 has no journal")
+	}
+	if h := jnl.Health(); h != store.Degraded {
+		t.Fatalf("seed %d: dispatcher 0 store health = %v, want degraded", seed, h)
+	}
+	dropped := jnl.DroppedAppends.Value()
+	durable := jnl.Appends.Value()
+	if dropped == 0 {
+		t.Fatalf("seed %d: ENOSPC injected but no appends reported dropped", seed)
+	}
+	// Persistent mode journals at least one record per accepted publication
+	// (pending) plus one per matcher ack; each landed either durably or in
+	// the reported drop count.
+	if durable+dropped < burst {
+		t.Fatalf("seed %d: accounting hole: %d durable + %d dropped < %d accepted publications",
+			seed, durable, dropped, burst)
+	}
+	t.Logf("seed %d: %d/%d delivered; journal accounting: %d durable, %d reported dropped (health=%v)",
+		seed, burst, burst, durable, dropped, jnl.Health())
+}
+
+// TestDiskFaultShedRejectsAndDeprioritizes covers the third policy and the
+// health-propagation chain: with Shed, a dispatcher whose journal degrades
+// refuses new persistent work with the overloaded-style rejection (visible
+// to AckPublish clients as client.ErrOverloaded), and a matcher whose
+// journal degrades is deprioritized by dispatchers once its load report
+// carries the degraded health bit.
+func TestDiskFaultShedRejectsAndDeprioritizes(t *testing.T) {
+	ctrl := chaos.NewController(7)
+	defer ctrl.Close()
+
+	opts := fastOptions(3)
+	opts.Chaos = ctrl
+	opts.Persistent = true
+	opts.DataDir = t.TempDir()
+	opts.Fsync = store.FsyncAlways
+	opts.FailPolicy = store.Shed
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	subCl, err := c.NewClient(1, func(*core.Message, []core.SubscriptionID) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := subCl.Subscribe(fullSpace()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	// Degrade dispatcher 0's journal: the next publish's pending-record
+	// append fails, sheds the store, and every subsequent publish must be
+	// rejected at admission.
+	d0 := c.Dispatchers()[0]
+	ctrl.SetDiskFaults(fmt.Sprintf("dispatcher-%d", d0.ID()), chaos.DiskFaults{WriteErr: 1.0})
+	ackCl, err := c.NewAckClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOverloaded := false
+	for i := 0; i < 20 && !sawOverloaded; i++ {
+		err := ackCl.Publish([]float64{500, 500, 500, 500}, []byte("shed-probe"))
+		if errors.Is(err, client.ErrOverloaded) {
+			sawOverloaded = true
+		} else if err != nil {
+			t.Fatalf("publish %d: unexpected error %v", i, err)
+		}
+	}
+	if !sawOverloaded {
+		t.Fatal("shedding dispatcher never rejected a publish with ErrOverloaded")
+	}
+	if h := d0.StoreHealth(); h != store.Degraded {
+		t.Fatalf("dispatcher 0 store health = %v, want degraded", h)
+	}
+	if d0.JournalErrors.Value() == 0 {
+		t.Fatal("dispatcher.journal_errors did not count the failed append")
+	}
+
+	// Degrade one matcher and force a journal append (subscription install);
+	// its next load report carries the degraded bit and the healthy
+	// dispatcher must deprioritize it while keeping it routable.
+	victim := c.MatcherIDs()[0]
+	ctrl.SetDiskFaults(fmt.Sprintf("matcher-%d", victim), chaos.DiskFaults{WriteErr: 1.0})
+	if _, err := subCl.Subscribe(fullSpace()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return c.Matcher(victim).StoreHealth() == store.Degraded
+	})
+	if c.Matcher(victim).JournalErrors.Value() == 0 {
+		t.Fatal("matcher.journal_errors did not count the failed append")
+	}
+	d1 := c.Dispatchers()[1]
+	waitFor(t, 5*time.Second, func() bool { return d1.Deprioritized(victim) })
+	if !d1.Routable(victim) {
+		t.Fatal("degraded matcher must stay routable (soft demotion, not a veto)")
+	}
+}
+
+// TestDiskFaultScrapeContract pins the journal-error observability chain
+// end to end: injected disk faults must surface in a /metrics scrape as
+// bluedove_{matcher,dispatcher}_journal_errors > 0 and bluedove_store_health
+// = 1 — the series the bluedove-top -validate contract requires.
+func TestDiskFaultScrapeContract(t *testing.T) {
+	ctrl := chaos.NewController(11)
+	defer ctrl.Close()
+
+	opts := fastOptions(2)
+	opts.Chaos = ctrl
+	opts.Persistent = true
+	opts.DataDir = t.TempDir()
+	opts.Fsync = store.FsyncAlways
+	opts.FailPolicy = store.Shed
+	opts.Admin = true
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitForTable(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	subCl, err := c.NewClient(1, func(*core.Message, []core.SubscriptionID) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := subCl.Subscribe(fullSpace()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	victim := c.MatcherIDs()[0]
+	d0 := c.Dispatchers()[0]
+	ctrl.SetDiskFaults(fmt.Sprintf("matcher-%d", victim), chaos.DiskFaults{WriteErr: 1.0})
+	ctrl.SetDiskFaults(fmt.Sprintf("dispatcher-%d", d0.ID()), chaos.DiskFaults{WriteErr: 1.0})
+
+	// Trigger journal appends on both: an install for the matcher, a
+	// pending record for the dispatcher.
+	if _, err := subCl.Subscribe(fullSpace()); err != nil {
+		t.Fatal(err)
+	}
+	pubCl, err := c.NewClient(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = pubCl.Publish([]float64{500, 500, 500, 500}, []byte("scrape-probe"))
+	waitFor(t, 5*time.Second, func() bool {
+		return c.Matcher(victim).JournalErrors.Value() > 0 && d0.JournalErrors.Value() > 0
+	})
+
+	checks := []struct {
+		id      core.NodeID
+		counter string
+	}{
+		{victim, "bluedove_matcher_journal_errors"},
+		{d0.ID(), "bluedove_dispatcher_journal_errors"},
+	}
+	for _, chk := range checks {
+		addr, ok := c.AdminAddr(chk.id)
+		if !ok {
+			t.Fatalf("no admin endpoint for node %d", chk.id)
+		}
+		scrape := httpGet(t, addr, "/metrics")
+		if err := telemetry.CheckPrometheusText(scrape, []string{chk.counter, "bluedove_store_health"}); err != nil {
+			t.Fatalf("node %d scrape missing durability series: %v", chk.id, err)
+		}
+		if v, ok := scrapeValue(scrape, chk.counter); !ok || v <= 0 {
+			t.Fatalf("node %d: %s = %v (present=%v), want > 0\n%s", chk.id, chk.counter, v, ok, scrape)
+		}
+		if v, ok := scrapeValue(scrape, "bluedove_store_health"); !ok || v != 1 {
+			t.Fatalf("node %d: bluedove_store_health = %v (present=%v), want 1 (degraded)", chk.id, v, ok)
+		}
+	}
+}

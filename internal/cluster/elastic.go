@@ -47,7 +47,9 @@ func (c *Cluster) startElastic() error {
 	cfg.OnDecision = func(d elastic.Decision) {
 		if c.elJnl != nil {
 			if p, err := json.Marshal(d); err == nil {
-				_ = c.elJnl.Append(recElasticDecision, p)
+				if err := c.elJnl.Append(recElasticDecision, p); err != nil {
+					c.elJnlErrors.Add(1)
+				}
 			}
 		}
 		if prev != nil {
@@ -71,7 +73,9 @@ func (c *Cluster) startElastic() error {
 		r.Counter("elastic.scale_up", "controller scale-up decisions", &c.elCtrl.ScaleUps)
 		r.Counter("elastic.scale_down", "controller scale-down decisions", &c.elCtrl.ScaleDowns)
 		r.Counter("elastic.splits", "controller hot-segment split decisions", &c.elCtrl.Splits)
+		r.Counter("elastic.replaces", "scale-ups fired to replace a durability-failed matcher", &c.elCtrl.Replaces)
 		r.Counter("elastic.thrash", "scale direction reversals inside the thrash window", &c.elCtrl.Thrash)
+		r.Counter("elastic.journal_errors", "decision-journal appends that failed", &c.elJnlErrors)
 		r.Gauge("elastic.matchers", "active matcher count", func(int64) float64 {
 			a, _, _ := c.MatcherStates()
 			return float64(a)
@@ -162,6 +166,7 @@ func (c *Cluster) Scrape(now int64) elastic.Scrape {
 			ID:           id,
 			BreakerTrips: trips,
 			Draining:     c.states[id] == StateDraining,
+			Failed:       m.StoreHealth() == store.Failed,
 		}
 		for _, l := range m.LoadSnapshot() {
 			ms.Dims = append(ms.Dims, elastic.DimSample{

@@ -55,7 +55,9 @@ func TestElasticTelemetryScrape(t *testing.T) {
 		"bluedove_elastic_scale_up",
 		"bluedove_elastic_scale_down",
 		"bluedove_elastic_splits",
+		"bluedove_elastic_replaces",
 		"bluedove_elastic_thrash",
+		"bluedove_elastic_journal_errors",
 		"bluedove_elastic_matchers",
 		"bluedove_elastic_joining",
 		"bluedove_elastic_draining",

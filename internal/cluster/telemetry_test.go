@@ -141,6 +141,7 @@ func TestTelemetryEndToEndTCP(t *testing.T) {
 		"bluedove_dispatcher_forwarded",
 		"bluedove_dispatcher_forward_latency_seconds",
 		"bluedove_dispatcher_deliver_latency_seconds",
+		"bluedove_dispatcher_journal_errors",
 		"bluedove_transport_frames_sent",
 		"bluedove_gossip_bytes",
 	}
@@ -152,6 +153,7 @@ func TestTelemetryEndToEndTCP(t *testing.T) {
 		"bluedove_matcher_stage_service_capacity", // μ
 		"bluedove_matcher_stage_queue_depth",
 		"bluedove_matcher_match_latency_seconds",
+		"bluedove_matcher_journal_errors",
 		"bluedove_transport_frames_sent",
 		"bluedove_gossip_bytes",
 	}

@@ -145,6 +145,19 @@ type Config struct {
 	// SnapshotEvery folds the journal into a snapshot after this many
 	// appends (default: the store package default).
 	SnapshotEvery int
+	// FS is the journal's filesystem seam (default: the OS passthrough);
+	// internal/chaos injects disk faults through it. Only meaningful with
+	// DataDir set.
+	FS store.FS
+	// FailPolicy decides what an unrepairable journal disk fault does to
+	// this node: FailStop (default), DegradeToMemory, or Shed. Under Shed
+	// the dispatcher also refuses new persistent work at admission with a
+	// wire.OverloadedPrefix-typed rejection once the journal degrades.
+	FailPolicy store.FailPolicy
+	// OnStoreFailure, when non-nil, is invoked once (on its own goroutine)
+	// when the journal transitions to store.Failed — the cluster wires it
+	// to the node's crash path so FailStop actually stops.
+	OnStoreFailure func(error)
 }
 
 func (c *Config) defaults() error {
@@ -214,10 +227,14 @@ type Dispatcher struct {
 	gsp  *gossip.Gossiper
 	addr string
 
-	mu       sync.Mutex
-	table    *partition.Table
-	loads    map[core.NodeID][]forward.DimLoad
-	pending  map[core.NodeID][]int
+	mu      sync.Mutex
+	table   *partition.Table
+	loads   map[core.NodeID][]forward.DimLoad
+	pending map[core.NodeID][]int
+	// health tracks each matcher's reported durability state (absent:
+	// healthy). Failed matchers are vetoed by Routable; Degraded ones are
+	// deprioritized at rank time.
+	health   map[core.NodeID]store.Health
 	registry map[core.SubscriptionID]regEntry
 	nextSub  uint64
 	nextMsg  uint64
@@ -274,6 +291,9 @@ type Dispatcher struct {
 	Rerouted metrics.Counter
 	// Overloaded counts publications rejected at admission control.
 	Overloaded metrics.Counter
+	// JournalErrors counts journal appends and snapshots that failed (the
+	// durability guarantee weakened or lost; see store.health for state).
+	JournalErrors metrics.Counter
 
 	// fwdLatency observes ingest→ack per traced publication (ns).
 	fwdLatency *metrics.Histogram
@@ -309,6 +329,7 @@ func New(cfg Config) (*Dispatcher, error) {
 		cfg:        cfg,
 		loads:      make(map[core.NodeID][]forward.DimLoad),
 		pending:    make(map[core.NodeID][]int),
+		health:     make(map[core.NodeID]store.Health),
 		registry:   make(map[core.SubscriptionID]regEntry),
 		inflight:   make(map[core.MessageID]*inflightMsg),
 		routes:     make(map[core.MessageID]*routeState),
@@ -453,9 +474,24 @@ func (d *Dispatcher) Load(node core.NodeID, dim int) (forward.DimLoad, bool) {
 func (d *Dispatcher) Alive(node core.NodeID) bool { return d.gsp.Alive(node) }
 
 // Routable implements forward.RouteFilter: a destination whose circuit
-// breaker is open is skipped by every policy during rank selection. With
-// circuit breaking disabled this always reports true.
-func (d *Dispatcher) Routable(node core.NodeID) bool { return d.breaker.Routable(node) }
+// breaker is open — or whose journal reported store.Failed — is skipped by
+// every policy during rank selection. With circuit breaking disabled only
+// the health veto applies.
+func (d *Dispatcher) Routable(node core.NodeID) bool {
+	d.mu.Lock()
+	failed := d.health[node] == store.Failed
+	d.mu.Unlock()
+	return !failed && d.breaker.Routable(node)
+}
+
+// Deprioritized implements forward.Deprioritizer: a matcher whose journal
+// reported a degraded (non-durable) state ranks after every healthy
+// candidate, so it only receives forwards when nothing healthier is alive.
+func (d *Dispatcher) Deprioritized(node core.NodeID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.health[node] == store.Degraded
+}
 
 // plainView is d's LoadView without the RouteFilter: the ranking fallback
 // when every candidate's breaker is open (sending somewhere beats dropping).
@@ -513,6 +549,11 @@ func (d *Dispatcher) handle(env *wire.Envelope) *wire.Envelope {
 			d.mu.Lock()
 			d.loads[env.From] = b.Loads
 			d.pending[env.From] = make([]int, len(b.Loads))
+			if h := store.Health(b.Health); h == store.Healthy {
+				delete(d.health, env.From)
+			} else {
+				d.health[env.From] = h
+			}
 			d.mu.Unlock()
 		}
 		return nil
@@ -674,6 +715,17 @@ func (d *Dispatcher) handleUnsubscribe(id core.SubscriptionID) {
 // wire.OverloadedPrefix when admission control rejects the publication;
 // fire-and-forget publishes (wantAck false) always return nil.
 func (d *Dispatcher) handlePublish(msg *core.Message, wantAck bool) *wire.Envelope {
+	// Durability shedding: a journal degraded under the Shed policy refuses
+	// new persistent work with a typed overload-style rejection instead of
+	// acking publications whose durability guarantee it can no longer honor.
+	if d.jnl != nil && d.cfg.FailPolicy == store.Shed && d.jnl.Health() != store.Healthy {
+		d.Overloaded.Add(1)
+		if wantAck {
+			return errEnv(d.cfg.ID, fmt.Errorf("%sdispatcher %v is shedding persistent work (journal degraded)",
+				wire.OverloadedPrefix, d.cfg.ID))
+		}
+		return nil
+	}
 	// Edge admission control: reject before accepting any state when the
 	// unacked-publication tables are at their bound, instead of growing
 	// them without limit under sustained overload.

@@ -38,6 +38,13 @@ func (d *Dispatcher) openJournal() error {
 		SnapshotEvery: d.cfg.SnapshotEvery,
 		Restore:       func(p []byte) error { return store.WalkRecords(p, d.applyRecord) },
 		Apply:         d.applyRecord,
+		FS:            d.cfg.FS,
+		Policy:        d.cfg.FailPolicy,
+		OnHealth: func(h store.Health, cause error) {
+			if h == store.Failed && d.cfg.OnStoreFailure != nil {
+				d.cfg.OnStoreFailure(cause)
+			}
+		},
 	})
 	if err != nil {
 		return fmt.Errorf("dispatcher: journal: %w", err)
@@ -93,13 +100,18 @@ func (d *Dispatcher) applyRecord(kind uint8, payload []byte) error {
 }
 
 // journal appends one mutation and folds the journal into a snapshot when
-// due. Nil journal: no-op. Append errors degrade durability, not service.
-// Must not be called with d.mu held (the snapshot pass takes it).
+// due. Nil journal: no-op. Append errors degrade durability, not service —
+// but never silently: every failure counts into dispatcher.journal_errors
+// and flips the store.health gauge, and the health machine handles the
+// segment itself (repair, degrade, or fail). Must not be called with d.mu
+// held (the snapshot pass takes it).
 func (d *Dispatcher) journal(kind uint8, payload []byte) {
 	if d.jnl == nil {
 		return
 	}
-	_ = d.jnl.Append(kind, payload)
+	if err := d.jnl.Append(kind, payload); err != nil {
+		d.JournalErrors.Add(1)
+	}
 	if d.jnl.SnapshotDue() {
 		d.snapshotJournal()
 	}
@@ -133,7 +145,18 @@ func (d *Dispatcher) snapshotJournal() {
 		payload = store.AppendRecord(payload, recPending, body)
 	}
 	d.mu.Unlock()
-	_ = d.jnl.Snapshot(payload)
+	if err := d.jnl.Snapshot(payload); err != nil {
+		d.JournalErrors.Add(1)
+	}
+}
+
+// StoreHealth is the journal's durability state (Healthy on in-memory
+// nodes: there is no durability guarantee to lose).
+func (d *Dispatcher) StoreHealth() store.Health {
+	if d.jnl == nil {
+		return store.Healthy
+	}
+	return d.jnl.Health()
 }
 
 // closeJournal syncs and closes the journal at Stop.

@@ -20,6 +20,9 @@ func (d *Dispatcher) registerTelemetry() {
 	r.Counter("dispatcher.busy_received", "busy NACKs received from matchers", &d.BusyReceived)
 	r.Counter("forward.rerouted", "publications re-routed to an alternate candidate after a busy NACK", &d.Rerouted)
 	r.Counter("dispatcher.overloaded", "publications rejected at admission control", &d.Overloaded)
+	// Registered even without a journal (always zero then) so the scrape
+	// contract can require the series on every dispatcher.
+	r.Counter("dispatcher.journal_errors", "journal appends/snapshots that failed", &d.JournalErrors)
 	r.Gauge("dispatcher.inflight", "retained unacked publications", func(int64) float64 {
 		return float64(d.InflightLen())
 	})

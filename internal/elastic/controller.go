@@ -57,6 +57,12 @@ type MatcherSample struct {
 	// Draining marks a matcher mid-removal; it is excluded from utilization
 	// and never chosen as a target.
 	Draining bool
+	// Failed marks a matcher whose durable store has failed (store.Failed):
+	// it no longer honours the durability guarantee and dispatchers have
+	// stopped routing to it. A sustained Failed sample is a replace signal —
+	// the controller scales up regardless of utilization so the join protocol
+	// can re-home the failed matcher's segments onto a healthy node.
+	Failed bool
 }
 
 // Scrape is one controller observation: every matcher's sample at a common
@@ -101,8 +107,9 @@ type Decision struct {
 	At int64
 	// Round is the controller's observation counter at decision time.
 	Round int
-	// Target is the matcher acted on: the scale-down victim or the hot
-	// matcher whose segment splits (unset for scale-up).
+	// Target is the matcher acted on: the scale-down victim, the hot
+	// matcher whose segment splits, or the failed matcher a replacement
+	// scale-up covers (unset for a utilization-driven scale-up).
 	Target core.NodeID
 	// To is the split destination (the coldest matcher); unset otherwise.
 	To core.NodeID
@@ -204,16 +211,20 @@ type Controller struct {
 	over       int // consecutive rounds at/above HighWater
 	under      int // consecutive rounds at/below LowWater
 	skew       int // consecutive rounds showing the split signature
+	failedFor  int // consecutive rounds with a durability-failed matcher
 	cooldown   int // rounds remaining before the next action is allowed
 	lastAction Action
 	lastRound  int
 
-	// ScaleUps, ScaleDowns and Splits count decisions by kind; Thrash counts
-	// direction reversals inside the thrash window. All are exported as
-	// elastic.* telemetry by the embedding node.
+	// ScaleUps, ScaleDowns and Splits count decisions by kind; Replaces
+	// counts the subset of scale-ups fired by a durability-failed matcher
+	// rather than utilization; Thrash counts direction reversals inside the
+	// thrash window. All are exported as elastic.* telemetry by the
+	// embedding node.
 	ScaleUps   metrics.Counter
 	ScaleDowns metrics.Counter
 	Splits     metrics.Counter
+	Replaces   metrics.Counter
 	Thrash     metrics.Counter
 }
 
@@ -260,7 +271,7 @@ func (c *Controller) Observe(s Scrape) *Decision {
 	}
 	sort.Slice(active, func(i, j int) bool { return active[i].ID < active[j].ID })
 	if len(active) == 0 {
-		c.over, c.under, c.skew = 0, 0, 0
+		c.over, c.under, c.skew, c.failedFor = 0, 0, 0, 0
 		return nil
 	}
 
@@ -287,6 +298,21 @@ func (c *Controller) Observe(s Scrape) *Decision {
 	} else {
 		c.under = 0
 	}
+	// A durability-failed matcher is a standing replace signal. The lowest
+	// failed ID is the deterministic target (active is sorted by ID).
+	var failedID core.NodeID
+	hasFailed := false
+	for _, m := range active {
+		if m.Failed {
+			failedID, hasFailed = m.ID, true
+			break
+		}
+	}
+	if hasFailed {
+		c.failedFor++
+	} else {
+		c.failedFor = 0
+	}
 	splitSig := len(active) >= 2 &&
 		peak >= c.cfg.SplitMinUtil &&
 		mean < c.cfg.HighWater &&
@@ -303,6 +329,16 @@ func (c *Controller) Observe(s Scrape) *Decision {
 	}
 
 	switch {
+	case c.failedFor >= c.cfg.SustainRounds:
+		// Replace: scale up to re-home the failed matcher's segments. The
+		// MaxMatchers cap does not apply — the failed node is on its way out,
+		// so steady-state capacity does not grow.
+		c.Replaces.Add(1)
+		return c.decide(Decision{
+			Action: ScaleUp, At: s.At, Round: c.round, Target: failedID, Dim: -1,
+			ClusterUtil: mean, PeakUtil: peak,
+			Reason: fmt.Sprintf("m%v durability failed for %d rounds (replace)", failedID, c.failedFor),
+		})
 	case c.over >= c.cfg.SustainRounds &&
 		(c.cfg.MaxMatchers == 0 || len(active) < c.cfg.MaxMatchers):
 		return c.decide(Decision{
@@ -382,7 +418,7 @@ func (c *Controller) decide(d Decision) *Decision {
 		c.Splits.Add(1)
 	}
 	c.lastAction, c.lastRound = d.Action, c.round
-	c.over, c.under, c.skew = 0, 0, 0
+	c.over, c.under, c.skew, c.failedFor = 0, 0, 0, 0
 	c.cooldown = c.cfg.CooldownRounds
 	if c.cfg.OnDecision != nil {
 		c.cfg.OnDecision(d)

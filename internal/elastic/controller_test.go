@@ -269,3 +269,68 @@ func TestOnDecisionJournal(t *testing.T) {
 		t.Fatalf("journaled = %v", seen)
 	}
 }
+
+// TestFailedMatcherReplace: a matcher reporting a failed durable store fires
+// a replace scale-up after SustainRounds, targeting the failed node and
+// bypassing utilization entirely (the cluster is idle).
+func TestFailedMatcherReplace(t *testing.T) {
+	c := NewController(Config{SustainRounds: 3, CooldownRounds: 4})
+	mk := func(at int64) Scrape {
+		s := uniformScrape(at, 3, 0.3) // mid-band: neither watermark fires
+		s.Matchers[1].Failed = true
+		return s
+	}
+	var ds []Decision
+	for i := 0; i < 6; i++ {
+		if d := c.Observe(mk(int64(i) * 1e9)); d != nil {
+			ds = append(ds, *d)
+		}
+	}
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %v, want exactly one replace scale-up", ds)
+	}
+	d := ds[0]
+	if d.Action != ScaleUp || d.Round != 3 || d.Target != core.NodeID(2) {
+		t.Fatalf("decision %+v, want scale-up at round 3 targeting m2", d)
+	}
+	if c.Replaces.Value() != 1 || c.ScaleUps.Value() != 1 {
+		t.Fatalf("counters: replaces=%d ups=%d, want 1/1", c.Replaces.Value(), c.ScaleUps.Value())
+	}
+}
+
+// TestFailedMatcherSpikeIgnored: a transient Failed sample (fewer than
+// SustainRounds consecutive scrapes) never fires — same hysteresis as the
+// watermarks.
+func TestFailedMatcherSpikeIgnored(t *testing.T) {
+	c := NewController(Config{SustainRounds: 3, CooldownRounds: 4})
+	for i := 0; i < 10; i++ {
+		s := uniformScrape(int64(i)*1e9, 3, 0.3)
+		if i%3 == 0 { // never three in a row
+			s.Matchers[0].Failed = true
+		}
+		if d := c.Observe(s); d != nil {
+			t.Fatalf("round %d: unexpected decision %v", i+1, *d)
+		}
+	}
+	if c.Replaces.Value() != 0 {
+		t.Fatalf("replaces = %d, want 0", c.Replaces.Value())
+	}
+}
+
+// TestFailedReplaceBypassesMaxMatchers: replacement is allowed even at the
+// MaxMatchers cap — the failed node is leaving, so capacity stays level.
+func TestFailedReplaceBypassesMaxMatchers(t *testing.T) {
+	c := NewController(Config{SustainRounds: 2, CooldownRounds: 4, MaxMatchers: 3})
+	mk := func(at int64) Scrape {
+		s := uniformScrape(at, 3, 0.9) // over HighWater AND failed
+		s.Matchers[2].Failed = true
+		return s
+	}
+	var got *Decision
+	for i := 0; i < 4 && got == nil; i++ {
+		got = c.Observe(mk(int64(i) * 1e9))
+	}
+	if got == nil || got.Action != ScaleUp || got.Target != core.NodeID(3) {
+		t.Fatalf("decision %+v, want replace scale-up for m3 despite MaxMatchers", got)
+	}
+}

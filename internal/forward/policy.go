@@ -96,17 +96,29 @@ type RouteFilter interface {
 	Routable(node core.NodeID) bool
 }
 
-// scored pairs a candidate with its policy cost (lower is better).
+// Deprioritizer optionally augments a LoadView with a soft demotion: a
+// deprioritized node (e.g. a durability-degraded matcher) stays routable
+// but ranks after every non-deprioritized candidate under all policies, so
+// it only receives forwards when nothing healthier is available.
+type Deprioritizer interface {
+	// Deprioritized reports whether the node should rank last.
+	Deprioritized(node core.NodeID) bool
+}
+
+// scored pairs a candidate with its rank tier (0 normal, 1 deprioritized)
+// and policy cost (lower is better).
 type scored struct {
 	c    partition.Candidate
+	tier int
 	cost float64
 }
 
 // rankByCost filters dead and unroutable candidates, computes costs, and
-// sorts ascending with deterministic tie-breaking by (cost, node, dim).
+// sorts ascending with deterministic tie-breaking by (tier, cost, node, dim).
 func rankByCost(cands []partition.Candidate, view LoadView,
 	cost func(partition.Candidate) float64) []partition.Candidate {
 	filter, _ := view.(RouteFilter)
+	depri, _ := view.(Deprioritizer)
 	ss := make([]scored, 0, len(cands))
 	for _, c := range cands {
 		if !view.Alive(c.Node) {
@@ -115,9 +127,16 @@ func rankByCost(cands []partition.Candidate, view LoadView,
 		if filter != nil && !filter.Routable(c.Node) {
 			continue
 		}
-		ss = append(ss, scored{c: c, cost: cost(c)})
+		s := scored{c: c, cost: cost(c)}
+		if depri != nil && depri.Deprioritized(c.Node) {
+			s.tier = 1
+		}
+		ss = append(ss, s)
 	}
 	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].tier != ss[j].tier {
+			return ss[i].tier < ss[j].tier
+		}
 		if ss[i].cost != ss[j].cost {
 			return ss[i].cost < ss[j].cost
 		}
@@ -216,9 +235,11 @@ func NewRandom(seed int64) *Random {
 // Name returns "random".
 func (*Random) Name() string { return "random" }
 
-// Rank returns the alive candidates in uniformly random order.
+// Rank returns the alive candidates in uniformly random order, with
+// deprioritized candidates after all normal ones (random within each tier).
 func (p *Random) Rank(now int64, cands []partition.Candidate, view LoadView) []partition.Candidate {
 	filter, _ := view.(RouteFilter)
+	depri, _ := view.(Deprioritizer)
 	alive := make([]partition.Candidate, 0, len(cands))
 	for _, c := range cands {
 		if !view.Alive(c.Node) {
@@ -232,6 +253,11 @@ func (p *Random) Rank(now int64, cands []partition.Candidate, view LoadView) []p
 	p.mu.Lock()
 	p.rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
 	p.mu.Unlock()
+	if depri != nil {
+		sort.SliceStable(alive, func(i, j int) bool {
+			return !depri.Deprioritized(alive[i].Node) && depri.Deprioritized(alive[j].Node)
+		})
+	}
 	return alive
 }
 

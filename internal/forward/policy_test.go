@@ -167,3 +167,49 @@ func TestByName(t *testing.T) {
 		t.Error("unknown name should return nil")
 	}
 }
+
+// depriView is a fakeView that also implements Deprioritizer.
+type depriView struct {
+	*fakeView
+	demoted map[core.NodeID]bool
+}
+
+func (v *depriView) Deprioritized(node core.NodeID) bool { return v.demoted[node] }
+
+// A deprioritized (durability-degraded) candidate ranks after every normal
+// one under all cost policies, even with a better load figure — but it is
+// still returned, so it serves when nothing healthier exists.
+func TestDeprioritizedRanksLast(t *testing.T) {
+	v := &depriView{fakeView: newFakeView(), demoted: map[core.NodeID]bool{1: true}}
+	// Node 1 is otherwise the clear winner: empty queue, high capacity.
+	v.set(1, 0, DimLoad{QueueLen: 0, MatchRate: 100, ReportedAt: 0})
+	v.set(2, 0, DimLoad{QueueLen: 50, MatchRate: 10, ReportedAt: 0})
+	for _, p := range []Policy{Adaptive{}, ResponseTime{}, SubscriptionAmount{}} {
+		got := p.Rank(0, cands(1, 0, 2, 0), v)
+		if len(got) != 2 {
+			t.Fatalf("%s: ranked %d candidates, want 2", p.Name(), len(got))
+		}
+		if got[0].Node != 2 || got[1].Node != 1 {
+			t.Errorf("%s: order %v,%v; want healthy node 2 first", p.Name(), got[0].Node, got[1].Node)
+		}
+	}
+	r := NewRandom(1)
+	for i := 0; i < 20; i++ {
+		got := r.Rank(0, cands(1, 0, 2, 0), v)
+		if len(got) != 2 || got[0].Node != 2 {
+			t.Fatalf("random: degraded node ranked first in %v", got)
+		}
+	}
+}
+
+// A view without the Deprioritizer interface ranks purely by cost — the
+// demotion is strictly opt-in.
+func TestNoDeprioritizerNoDemotion(t *testing.T) {
+	v := newFakeView()
+	v.set(1, 0, DimLoad{QueueLen: 0, MatchRate: 100, ReportedAt: 0})
+	v.set(2, 0, DimLoad{QueueLen: 50, MatchRate: 10, ReportedAt: 0})
+	got := Adaptive{}.Rank(0, cands(1, 0, 2, 0), v)
+	if got[0].Node != 1 {
+		t.Fatalf("best-cost node not first: %v", got)
+	}
+}

@@ -1,0 +1,98 @@
+// Package lint holds repo-wide static checks that run as ordinary tests.
+//
+// TestNoSwallowedDurabilityErrors is the errcheck-style guard this PR's
+// history demanded: both journals used to silently swallow append errors
+// (`_ = d.jnl.Append(...)`), so a node could lose its durability guarantee
+// with zero operator signal. Durability-relevant error returns must be
+// handled (counted, logged, or propagated) — never discarded with `_ =`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// swallowMethods are the durability-relevant methods whose error returns
+// must never be discarded with `_ =` in non-test code. Sync covers both
+// store fsyncs and file fsyncs (a swallowed fsync error is exactly the bug
+// class the health machine exists for); Append and Snapshot are the two
+// journal mutation paths.
+var swallowMethods = map[string]bool{
+	"Append":   true,
+	"Snapshot": true,
+	"Sync":     true,
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate lint package source")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file))) // internal/lint/ -> repo root
+}
+
+func TestNoSwallowedDurabilityErrors(t *testing.T) {
+	root := repoRoot(t)
+	fset := token.NewFileSet()
+	var violations []string
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return perr
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			asn, ok := n.(*ast.AssignStmt)
+			if !ok || len(asn.Lhs) != 1 || len(asn.Rhs) != 1 {
+				return true
+			}
+			if id, ok := asn.Lhs[0].(*ast.Ident); !ok || id.Name != "_" {
+				return true
+			}
+			call, ok := asn.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !swallowMethods[sel.Sel.Name] {
+				return true
+			}
+			rel, _ := filepath.Rel(root, path)
+			violations = append(violations, fmt.Sprintf(
+				"%s:%d: `_ = x.%s(...)` swallows a durability-relevant error",
+				rel, fset.Position(asn.Pos()).Line, sel.Sel.Name))
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+	if len(violations) > 0 {
+		t.Fatal("durability error returns must be counted, logged, or propagated — not discarded with `_ =`")
+	}
+}

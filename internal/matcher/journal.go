@@ -43,6 +43,13 @@ func (m *Matcher) openJournal() error {
 		SnapshotEvery: m.cfg.SnapshotEvery,
 		Restore:       func(p []byte) error { return store.WalkRecords(p, m.applyRecord) },
 		Apply:         m.applyRecord,
+		FS:            m.cfg.FS,
+		Policy:        m.cfg.FailPolicy,
+		OnHealth: func(h store.Health, cause error) {
+			if h == store.Failed && m.cfg.OnStoreFailure != nil {
+				m.cfg.OnStoreFailure(cause)
+			}
+		},
 	})
 	if err != nil {
 		return fmt.Errorf("matcher: journal: %w", err)
@@ -112,13 +119,17 @@ func (m *Matcher) applyRecord(kind uint8, payload []byte) error {
 // journal appends one already-encoded mutation to the WAL and folds the
 // journal into a snapshot when due. A nil journal (in-memory node) is a
 // no-op; append errors degrade durability, not service — in-memory state is
-// already mutated, and the failure shows up in the store metrics. Must not
+// already mutated — but they are never silent: every failure counts into
+// matcher.journal_errors and flips the store.health gauge, and the health
+// machine handles the segment itself (repair, degrade, or fail). Must not
 // be called with any dimension lock held (the snapshot pass takes them all).
 func (m *Matcher) journal(kind uint8, payload []byte) {
 	if m.jnl == nil {
 		return
 	}
-	_ = m.jnl.Append(kind, payload)
+	if err := m.jnl.Append(kind, payload); err != nil {
+		m.JournalErrors.Add(1)
+	}
 	if m.jnl.SnapshotDue() {
 		m.snapshotJournal()
 	}
@@ -155,7 +166,18 @@ func (m *Matcher) snapshotJournal() {
 		body := (&wire.TransferRangeBody{TransferID: id, High: 1}).Encode()
 		payload = store.AppendRecord(payload, recTransferRange, body)
 	}
-	_ = m.jnl.Snapshot(payload)
+	if err := m.jnl.Snapshot(payload); err != nil {
+		m.JournalErrors.Add(1)
+	}
+}
+
+// StoreHealth is the journal's durability state (Healthy on in-memory
+// nodes: there is no durability guarantee to lose).
+func (m *Matcher) StoreHealth() store.Health {
+	if m.jnl == nil {
+		return store.Healthy
+	}
+	return m.jnl.Health()
 }
 
 // closeJournal syncs and closes the journal at Stop.

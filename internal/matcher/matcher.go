@@ -95,6 +95,17 @@ type Config struct {
 	// SnapshotEvery folds the journal into a snapshot after this many
 	// appends (default: the store package default).
 	SnapshotEvery int
+	// FS is the journal's filesystem seam (default: the OS passthrough);
+	// internal/chaos injects disk faults through it. Only meaningful with
+	// DataDir set.
+	FS store.FS
+	// FailPolicy decides what an unrepairable journal disk fault does to
+	// this node: FailStop (default), DegradeToMemory, or Shed.
+	FailPolicy store.FailPolicy
+	// OnStoreFailure, when non-nil, is invoked once (on its own goroutine)
+	// when the journal transitions to store.Failed — the cluster wires it
+	// to the node's crash path so FailStop actually stops.
+	OnStoreFailure func(error)
 }
 
 func (c *Config) defaults() error {
@@ -225,6 +236,9 @@ type Matcher struct {
 	// Shed counts publications whose TTL expired while queued; they are
 	// acked but never matched.
 	Shed metrics.Counter
+	// JournalErrors counts journal appends and snapshots that failed (the
+	// durability guarantee weakened or lost; see store.health for state).
+	JournalErrors metrics.Counter
 	// Scanned counts stored subscriptions examined by stab+verify across all
 	// matched messages; Scanned/Processed is the live scanned-per-message
 	// index-efficiency figure exported as matcher.scanned_per_msg.
@@ -776,7 +790,7 @@ func (m *Matcher) report() {
 	}
 	m.lastReport = snap
 	m.reported = true
-	body := (&wire.LoadReportBody{Loads: snap}).Encode()
+	body := (&wire.LoadReportBody{Loads: snap, Health: uint8(m.StoreHealth())}).Encode()
 	env := &wire.Envelope{Kind: wire.KindLoadReport, From: m.cfg.ID, Body: body}
 	for _, p := range m.gsp.Peers() {
 		if p.Role == core.RoleDispatcher && p.Alive {

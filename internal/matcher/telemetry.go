@@ -28,6 +28,9 @@ func (m *Matcher) registerTelemetry() {
 		return float64(m.Scanned.Value()) / float64(p)
 	})
 	r.Counter("matcher.report_bytes", "load-report traffic", &m.ReportBytes)
+	// Registered even without a journal (always zero then) so the scrape
+	// contract can require the series on every matcher.
+	r.Counter("matcher.journal_errors", "journal appends/snapshots that failed", &m.JournalErrors)
 	r.Histogram("matcher.match_latency_seconds",
 		"stage dequeue to match done per traced publication", m.matchLatency, 1e-9)
 	for i, ds := range m.dims {

@@ -181,6 +181,7 @@ func (cl *Cluster) initTelemetry() {
 		r.Counter("elastic.scale_up", "controller scale-up decisions", &cl.elCtrl.ScaleUps)
 		r.Counter("elastic.scale_down", "controller scale-down decisions", &cl.elCtrl.ScaleDowns)
 		r.Counter("elastic.splits", "controller hot-segment split decisions", &cl.elCtrl.Splits)
+		r.Counter("elastic.replaces", "scale-ups fired to replace a durability-failed matcher", &cl.elCtrl.Replaces)
 		r.Counter("elastic.thrash", "scale direction reversals inside the thrash window", &cl.elCtrl.Thrash)
 		r.Gauge("elastic.matchers", "live matcher count", func(int64) float64 {
 			return float64(len(cl.Matchers()))

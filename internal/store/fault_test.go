@@ -1,0 +1,470 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// hookFS is a scriptable FS: each hook, when non-nil, may veto the matching
+// operation before it reaches the real filesystem.
+type hookFS struct {
+	OS
+	mu        sync.Mutex
+	onWrite   func(path string) error
+	onSync    func(path string) error
+	onSyncDir func(path string) error
+	onOpen    func(path string, flag int) error
+	syncDirs  []string // every SyncDir call, in order
+	opens     int
+}
+
+func (h *hookFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	h.mu.Lock()
+	h.opens++
+	hook := h.onOpen
+	h.mu.Unlock()
+	if hook != nil {
+		if err := hook(name, flag); err != nil {
+			return nil, err
+		}
+	}
+	f, err := h.OS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &hookFile{fs: h, path: name, f: f}, nil
+}
+
+func (h *hookFS) SyncDir(path string) error {
+	h.mu.Lock()
+	h.syncDirs = append(h.syncDirs, path)
+	hook := h.onSyncDir
+	h.mu.Unlock()
+	if hook != nil {
+		if err := hook(path); err != nil {
+			return err
+		}
+	}
+	return h.OS.SyncDir(path)
+}
+
+func (h *hookFS) dirSyncs() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.syncDirs)
+}
+
+type hookFile struct {
+	fs   *hookFS
+	path string
+	f    File
+}
+
+func (f *hookFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	hook := f.fs.onWrite
+	f.fs.mu.Unlock()
+	if hook != nil {
+		if err := hook(f.path); err != nil {
+			// Torn write: half the buffer lands before the fault.
+			_, _ = f.f.Write(p[:len(p)/2])
+			return len(p) / 2, err
+		}
+	}
+	return f.f.Write(p)
+}
+
+func (f *hookFile) Sync() error {
+	f.fs.mu.Lock()
+	hook := f.fs.onSync
+	f.fs.mu.Unlock()
+	if hook != nil {
+		if err := hook(f.path); err != nil {
+			return err
+		}
+	}
+	return f.f.Sync()
+}
+
+func (f *hookFile) Close() error { return f.f.Close() }
+
+var errInjected = errors.New("injected fault")
+
+// failSegmentsOnce fails the first n matching operations on .wal files.
+func failSegmentsOnce(n int) func(string) error {
+	var mu sync.Mutex
+	return func(path string) error {
+		if !strings.HasSuffix(path, ".wal") {
+			return nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if n > 0 {
+			n--
+			return errInjected
+		}
+		return nil
+	}
+}
+
+// A single failed fsync is repaired by reopening the segment and rewriting
+// the staged frames — the acked record survives recovery, the fd is never
+// re-synced, and the store stays Healthy.
+func TestFsyncFailureRepaired(t *testing.T) {
+	dir := t.TempDir()
+	fs := &hookFS{onSync: failSegmentsOnce(1)}
+	s := openFor(t, dir, nil, func(o *Options) {
+		o.Fsync = FsyncAlways
+		o.FS = fs
+	})
+	if err := s.Append(1, []byte("acked")); err != nil {
+		t.Fatalf("append with repairable fsync fault: %v", err)
+	}
+	if got := s.Health(); got != Healthy {
+		t.Fatalf("health = %v, want healthy after repair", got)
+	}
+	if got := s.Repairs.Value(); got != 1 {
+		t.Fatalf("repairs = %d, want 1", got)
+	}
+	if got := s.SyncErrors.Value(); got != 1 {
+		t.Fatalf("sync_errors = %d, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var r replayed
+	if _, err := Recover(dir, r.restore, r.apply); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.records) != 1 || r.records[0] != "1:acked" {
+		t.Fatalf("recovered %v, want the acked record", r.records)
+	}
+}
+
+// A torn write (half the frame lands, then EIO) is repaired by truncating
+// back to the last durable byte and rewriting; recovery sees no garbage.
+func TestTornWriteRepaired(t *testing.T) {
+	dir := t.TempDir()
+	fs := &hookFS{onWrite: failSegmentsOnce(1)}
+	s := openFor(t, dir, nil, func(o *Options) {
+		o.Fsync = FsyncAlways
+		o.FS = fs
+	})
+	if err := s.Append(1, []byte("first")); err == nil || !errors.Is(err, errInjected) {
+		// The very first write is the injected one; repair rewrites it.
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := s.Append(2, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var r replayed
+	rec, err := Recover(dir, r.restore, r.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TornTail {
+		t.Fatal("torn tail survived a repaired torn write")
+	}
+	if len(r.records) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(r.records))
+	}
+}
+
+// When repair fails too, FailStop (the default) fails the store: the
+// faulting append and every later operation return ErrFailed, and the
+// poisoned fd is never re-synced (observable as a reopen attempt).
+func TestFailStopPoisonsStore(t *testing.T) {
+	dir := t.TempDir()
+	fs := &hookFS{}
+	s := openFor(t, dir, nil, func(o *Options) {
+		o.Fsync = FsyncAlways
+		o.FS = fs
+	})
+	opensBefore := fs.opens
+	// Every fsync on every segment fails: the repair's fresh fd fails too.
+	fs.mu.Lock()
+	fs.onSync = func(path string) error {
+		if strings.HasSuffix(path, ".wal") {
+			return errInjected
+		}
+		return nil
+	}
+	fs.mu.Unlock()
+	if err := s.Append(1, []byte("x")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append = %v, want ErrFailed", err)
+	}
+	if got := s.Health(); got != Failed {
+		t.Fatalf("health = %v, want failed", got)
+	}
+	if fs.opens <= opensBefore {
+		t.Fatal("no reopen attempted: the poisoned fd must not be re-synced")
+	}
+	if err := s.Append(2, []byte("y")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append after failure = %v, want ErrFailed", err)
+	}
+	if err := s.Sync(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("sync after failure = %v, want ErrFailed", err)
+	}
+	if err := s.Snapshot(nil); !errors.Is(err, ErrFailed) {
+		t.Fatalf("snapshot after failure = %v, want ErrFailed", err)
+	}
+	_ = s.Close()
+}
+
+// DegradeToMemory keeps accepting appends after an unrepairable fault, and
+// DroppedAppends counts every record accepted without durability — the
+// exact size of the weakened guarantee.
+func TestDegradeToMemoryAccounting(t *testing.T) {
+	dir := t.TempDir()
+	fs := &hookFS{}
+	s := openFor(t, dir, nil, func(o *Options) {
+		o.Fsync = FsyncAlways
+		o.FS = fs
+		o.Policy = DegradeToMemory
+	})
+	if err := s.Append(1, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	fs.mu.Lock()
+	fs.onSync = func(path string) error {
+		if strings.HasSuffix(path, ".wal") {
+			return errInjected
+		}
+		return nil
+	}
+	fs.mu.Unlock()
+	for i := 0; i < 5; i++ {
+		if err := s.Append(2, []byte("lost")); err != nil {
+			t.Fatalf("degraded append %d: %v", i, err)
+		}
+	}
+	if got := s.Health(); got != Degraded {
+		t.Fatalf("health = %v, want degraded", got)
+	}
+	if got := s.DroppedAppends.Value(); got != 5 {
+		t.Fatalf("dropped = %d, want exactly the 5 non-durable accepts", got)
+	}
+	if s.SnapshotDue() {
+		t.Fatal("degraded store must not ask for snapshots")
+	}
+	if err := s.Snapshot(nil); !errors.Is(err, ErrShed) {
+		t.Fatalf("degraded snapshot = %v, want ErrShed", err)
+	}
+	_ = s.Close()
+
+	// Only the durable record survives; the dropped counter said so.
+	var r replayed
+	if _, err := Recover(dir, r.restore, r.apply); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.records) != 1 || r.records[0] != "1:durable" {
+		t.Fatalf("recovered %v, want exactly the durable record", r.records)
+	}
+}
+
+// Shed refuses new persistent work with ErrShed once degraded.
+func TestShedRefusesAppends(t *testing.T) {
+	dir := t.TempDir()
+	fs := &hookFS{}
+	s := openFor(t, dir, nil, func(o *Options) {
+		o.Fsync = FsyncAlways
+		o.FS = fs
+		o.Policy = Shed
+	})
+	fs.mu.Lock()
+	fs.onSync = func(path string) error {
+		if strings.HasSuffix(path, ".wal") {
+			return errInjected
+		}
+		return nil
+	}
+	fs.mu.Unlock()
+	if err := s.Append(1, []byte("x")); !errors.Is(err, ErrShed) {
+		t.Fatalf("faulting append = %v, want ErrShed", err)
+	}
+	if err := s.Append(1, []byte("y")); !errors.Is(err, ErrShed) {
+		t.Fatalf("degraded append = %v, want ErrShed", err)
+	}
+	if got := s.Health(); got != Degraded {
+		t.Fatalf("health = %v, want degraded", got)
+	}
+	_ = s.Close()
+}
+
+// Satellite: if openSegmentLocked fails during rotation (old segment
+// already closed), the store transitions to Failed deterministically —
+// appends must never hit a closed fd.
+func TestRotateOpenFailureFailsStore(t *testing.T) {
+	dir := t.TempDir()
+	fs := &hookFS{}
+	s := openFor(t, dir, nil, func(o *Options) {
+		o.SegmentBytes = 64 // rotate almost immediately
+		o.FS = fs
+	})
+	fs.mu.Lock()
+	fs.onOpen = func(path string, flag int) error {
+		if strings.HasSuffix(path, ".wal") && flag&os.O_EXCL != 0 {
+			return errInjected // every new segment create fails
+		}
+		return nil
+	}
+	fs.mu.Unlock()
+	var err error
+	for i := 0; i < 10 && err == nil; i++ {
+		err = s.Append(1, make([]byte, 48))
+	}
+	if !errors.Is(err, ErrFailed) {
+		t.Fatalf("append across failed rotation = %v, want ErrFailed", err)
+	}
+	if got := s.Health(); got != Failed {
+		t.Fatalf("health = %v, want failed", got)
+	}
+	// Deterministically failed, not a closed-fd error on a later append.
+	if err := s.Append(1, []byte("z")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append after failed rotation = %v, want ErrFailed", err)
+	}
+	_ = s.Close()
+}
+
+// Satellite: the parent directory is fsynced after segment create, after
+// rotation's new segment, and after the snapshot rename — a freshly
+// created entry can't vanish across a crash.
+func TestDirectoryFsyncPoints(t *testing.T) {
+	dir := t.TempDir()
+	fs := &hookFS{}
+	s := openFor(t, dir, nil, func(o *Options) {
+		o.SegmentBytes = 64
+		o.FS = fs
+	})
+	if fs.dirSyncs() < 1 {
+		t.Fatal("no directory fsync after initial segment create")
+	}
+	after := fs.dirSyncs()
+	if err := s.Append(1, make([]byte, 80)); err != nil { // forces rotation
+		t.Fatal(err)
+	}
+	if fs.dirSyncs() <= after {
+		t.Fatal("no directory fsync after rotation's segment create")
+	}
+	after = fs.dirSyncs()
+	if err := s.Snapshot([]byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	if fs.dirSyncs() <= after {
+		t.Fatal("no directory fsync after snapshot rename")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A SyncDir failure at segment create is a hard error: the segment entry
+// is not durable, so the store must not pretend it is.
+func TestDirSyncFailureFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	fs := &hookFS{onSyncDir: func(string) error { return errInjected }}
+	_, err := Open(Options{Dir: dir, FS: fs})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("open with failing SyncDir = %v, want the injected fault", err)
+	}
+}
+
+// A snapshot I/O fault leaves health untouched (the WAL chain is intact)
+// and discards the temp file.
+func TestSnapshotFaultKeepsHealth(t *testing.T) {
+	dir := t.TempDir()
+	fs := &hookFS{}
+	s := openFor(t, dir, nil, func(o *Options) { o.FS = fs })
+	if err := s.Append(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	fs.mu.Lock()
+	fs.onWrite = func(path string) error {
+		if strings.HasSuffix(path, "snapshot.tmp") {
+			return errInjected
+		}
+		return nil
+	}
+	fs.mu.Unlock()
+	if err := s.Snapshot([]byte("state")); !errors.Is(err, errInjected) {
+		t.Fatalf("snapshot = %v, want injected fault", err)
+	}
+	if got := s.Health(); got != Healthy {
+		t.Fatalf("health = %v, want healthy after snapshot-only fault", got)
+	}
+	if _, err := os.Stat(dir + "/snapshot.tmp"); !os.IsNotExist(err) {
+		t.Fatal("failed snapshot left its temp file behind")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// OnHealth fires once per transition with the causing fault.
+func TestOnHealthCallback(t *testing.T) {
+	dir := t.TempDir()
+	fs := &hookFS{}
+	got := make(chan Health, 2)
+	s := openFor(t, dir, nil, func(o *Options) {
+		o.Fsync = FsyncAlways
+		o.FS = fs
+		o.OnHealth = func(h Health, cause error) {
+			if !errors.Is(cause, errInjected) {
+				t.Errorf("cause = %v, want the injected fault", cause)
+			}
+			got <- h
+		}
+	})
+	fs.mu.Lock()
+	fs.onSync = func(path string) error {
+		if strings.HasSuffix(path, ".wal") {
+			return errInjected
+		}
+		return nil
+	}
+	fs.mu.Unlock()
+	if err := s.Append(1, []byte("x")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append = %v, want ErrFailed", err)
+	}
+	if h := <-got; h != Failed {
+		t.Fatalf("callback health = %v, want failed", h)
+	}
+	if !errors.Is(s.Cause(), errInjected) {
+		t.Fatalf("cause = %v, want the injected fault", s.Cause())
+	}
+	_ = s.Close()
+}
+
+func TestParseFailPolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want FailPolicy
+		ok   bool
+	}{
+		{"failstop", FailStop, true},
+		{"", FailStop, true},
+		{"degrade", DegradeToMemory, true},
+		{"shed", Shed, true},
+		{"explode", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseFailPolicy(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParseFailPolicy(%q) = %v, %v; want %v ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	for _, p := range []FailPolicy{FailStop, DegradeToMemory, Shed} {
+		rt, err := ParseFailPolicy(p.String())
+		if err != nil || rt != p {
+			t.Errorf("round-trip %v: got %v, %v", p, rt, err)
+		}
+	}
+}

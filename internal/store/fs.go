@@ -1,0 +1,70 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the store needs from an open segment,
+// snapshot, or temp file.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the store's filesystem seam. Every disk touch — segment and
+// snapshot I/O, directory scans, recovery reads — goes through one of these
+// methods, so a fault-injecting implementation (internal/chaos) can exercise
+// partial storage failures deterministically. The zero-configuration default
+// is OS, a direct passthrough to package os.
+type FS interface {
+	// OpenFile opens name with the given flag and permissions.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// MkdirAll creates a directory chain.
+	MkdirAll(path string, perm os.FileMode) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory, making created/renamed/removed entries
+	// durable. POSIX requires this for the entry itself to survive a crash:
+	// fsyncing the file alone does not persist its directory entry.
+	SyncDir(path string) error
+}
+
+// OS is the passthrough FS used when Options.FS is nil.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (OS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+func (OS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

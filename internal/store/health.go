@@ -1,0 +1,89 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Health is the store's durability state. It only ever moves forward
+// (Healthy → Degraded or Failed); recovery back to Healthy is a process
+// restart through the normal Open path.
+type Health uint8
+
+const (
+	// Healthy: appends reach the WAL and the configured fsync policy holds.
+	Healthy Health = iota
+	// Degraded: the disk failed and the configured policy elected to keep
+	// the node alive without durability (DegradeToMemory accepts appends
+	// non-durably and counts them in DroppedAppends; Shed refuses them with
+	// ErrShed). The advertised guarantee is weakened and must be alarmed.
+	Degraded
+	// Failed: the store refuses all work (FailStop, or an unrecoverable
+	// rotation fault). Every operation returns ErrFailed wrapping the first
+	// cause; the owning node should crash into its recovery path.
+	Failed
+)
+
+// String names the state (the store.health gauge renders these as 0/1/2).
+func (h Health) String() string {
+	switch h {
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	default:
+		return "healthy"
+	}
+}
+
+// FailPolicy selects what a store does when a disk fault cannot be repaired
+// by reopening the segment.
+type FailPolicy uint8
+
+const (
+	// FailStop (the default) transitions to Failed: all operations error and
+	// the node is expected to crash and rejoin through recovery. Acked work
+	// is never silently non-durable.
+	FailStop FailPolicy = iota
+	// DegradeToMemory transitions to Degraded and keeps accepting appends
+	// without persistence. Every such append — plus any append staged but
+	// not yet fsynced when the fault hit — is counted in DroppedAppends, so
+	// the weakened guarantee is exactly accounted, never silent.
+	DegradeToMemory
+	// Shed transitions to Degraded and refuses new persistent work with
+	// ErrShed, letting the caller surface a typed overload-style rejection.
+	Shed
+)
+
+// String names the policy (the -fail-policy flag values).
+func (p FailPolicy) String() string {
+	switch p {
+	case DegradeToMemory:
+		return "degrade"
+	case Shed:
+		return "shed"
+	default:
+		return "failstop"
+	}
+}
+
+// ParseFailPolicy parses a -fail-policy flag value.
+func ParseFailPolicy(s string) (FailPolicy, error) {
+	switch s {
+	case "failstop", "":
+		return FailStop, nil
+	case "degrade":
+		return DegradeToMemory, nil
+	case "shed":
+		return Shed, nil
+	}
+	return 0, fmt.Errorf("store: unknown fail policy %q (want failstop|degrade|shed)", s)
+}
+
+// ErrFailed marks every operation on a store that has transitioned to
+// Failed; errors.Is-match it and inspect Cause for the original disk fault.
+var ErrFailed = errors.New("store: failed")
+
+// ErrShed rejects persistent work on a store degraded under the Shed
+// policy. Callers translate it into their overload-style typed rejection.
+var ErrShed = errors.New("store: shedding persistent work")

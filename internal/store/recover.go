@@ -2,7 +2,6 @@ package store
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"time"
 )
@@ -26,7 +25,7 @@ type recoverResult struct {
 // then truncates the torn tail before appending.
 func Recover(dir string, restore func(snapshot []byte) error, apply func(kind uint8, payload []byte) error) (RecoveryStats, error) {
 	start := time.Now()
-	rec, err := recoverDir(dir, restore, apply, false)
+	rec, err := recoverDir(OS{}, dir, restore, apply, false)
 	if err != nil {
 		return RecoveryStats{}, err
 	}
@@ -37,20 +36,20 @@ func Recover(dir string, restore func(snapshot []byte) error, apply func(kind ui
 // recoverDir is the shared recovery pass. With truncate set (Open), the
 // torn tail of the final segment is cut off so appends resume exactly after
 // the last whole record, and leftover snapshot temp files are removed.
-func recoverDir(dir string, restore func([]byte) error, apply func(uint8, []byte) error, truncate bool) (recoverResult, error) {
+func recoverDir(fs FS, dir string, restore func([]byte) error, apply func(uint8, []byte) error, truncate bool) (recoverResult, error) {
 	var rec recoverResult
-	snaps, segs, err := scanDir(dir)
+	snaps, segs, err := scanDir(fs, dir)
 	if err != nil {
 		return rec, err
 	}
 	if truncate {
-		_ = os.Remove(filepath.Join(dir, "snapshot.tmp"))
+		_ = fs.Remove(filepath.Join(dir, "snapshot.tmp"))
 	}
 
 	// Newest readable snapshot wins; an unreadable one is skipped in favor
 	// of an older snapshot plus a longer replay.
 	for i := len(snaps) - 1; i >= 0; i-- {
-		payload, ok := readSnapshot(snapshotName(dir, snaps[i]))
+		payload, ok := readSnapshot(fs, snapshotName(dir, snaps[i]))
 		if !ok {
 			continue
 		}
@@ -74,7 +73,7 @@ func recoverDir(dir string, restore func([]byte) error, apply func(uint8, []byte
 			return rec, fmt.Errorf("%w: segment gap, have %016x want %016x", ErrCorrupt, base, seq)
 		}
 		path := segmentName(dir, base)
-		data, err := os.ReadFile(path)
+		data, err := fs.ReadFile(path)
 		if err != nil {
 			return rec, err
 		}
@@ -104,7 +103,7 @@ func recoverDir(dir string, restore func([]byte) error, apply func(uint8, []byte
 			}
 			rec.TornTail = true
 			if truncate {
-				if err := os.Truncate(path, int64(off)); err != nil {
+				if err := fs.Truncate(path, int64(off)); err != nil {
 					return rec, err
 				}
 			}
@@ -117,8 +116,8 @@ func recoverDir(dir string, restore func([]byte) error, apply func(uint8, []byte
 
 // readSnapshot loads one snapshot file, returning its payload and whether
 // the file holds exactly one checksum-valid record.
-func readSnapshot(path string) ([]byte, bool) {
-	data, err := os.ReadFile(path)
+func readSnapshot(fs FS, path string) ([]byte, bool) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}

@@ -16,41 +16,69 @@ const kindSnapshot uint8 = 0
 
 // Snapshot folds the caller's serialized state into a new snapshot and
 // compacts every WAL segment it covers. The write is atomic (temp file,
-// sync, rename): a crash at any point leaves either the previous snapshot
-// chain or the new one, never a half-written snapshot that recovery would
-// trust. payload is typically a record stream built with AppendRecord and
-// restored through WalkRecords with the same apply function as the WAL.
+// sync, rename, directory sync): a crash at any point leaves either the
+// previous snapshot chain or the new one, never a half-written snapshot
+// that recovery would trust. payload is typically a record stream built
+// with AppendRecord and restored through WalkRecords with the same apply
+// function as the WAL. On a Degraded store Snapshot refuses with ErrShed
+// (there is no non-durable snapshot); on a Failed store it returns
+// ErrFailed. A snapshot I/O fault does not change health — the WAL chain
+// is untouched and the temp file is discarded.
 func (s *Store) Snapshot(payload []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("store: snapshot on closed store")
 	}
+	switch s.health {
+	case Failed:
+		return s.failedErrLocked()
+	case Degraded:
+		return ErrShed
+	}
 	// Rotate first so the snapshot boundary lands exactly on a segment
 	// boundary: everything before the fresh segment is covered.
 	if err := s.rotateLocked(); err != nil {
 		return err
 	}
+	if s.health != Healthy {
+		return ErrShed // rotation fault degraded the store
+	}
 	base := s.seq
 
 	tmp := filepath.Join(s.opts.Dir, "snapshot.tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := s.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
+		s.WriteErrors.Add(1)
 		return err
 	}
 	framed := AppendRecord(nil, kindSnapshot, payload)
 	if _, err := f.Write(framed); err != nil {
-		f.Close()
+		s.WriteErrors.Add(1)
+		_ = f.Close()
+		_ = s.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		s.SyncErrors.Add(1)
+		_ = f.Close()
+		_ = s.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
+		_ = s.fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, snapshotName(s.opts.Dir, base)); err != nil {
+	if err := s.fs.Rename(tmp, snapshotName(s.opts.Dir, base)); err != nil {
+		s.WriteErrors.Add(1)
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	// Persist the directory entry: without this, a crash can make the
+	// rename vanish and recovery would silently fall back to an older
+	// snapshot plus segments that compaction may be about to delete.
+	if err := s.fs.SyncDir(s.opts.Dir); err != nil {
+		s.SyncErrors.Add(1)
 		return err
 	}
 	s.snapSeq = base
@@ -64,23 +92,23 @@ func (s *Store) Snapshot(payload []byte) error {
 // snapshot. Removal failures are ignored: stale files are re-candidates on
 // the next snapshot, and recovery skips anything a newer snapshot covers.
 func (s *Store) compactLocked() {
-	snaps, segs, _ := scanDir(s.opts.Dir)
+	snaps, segs, _ := scanDir(s.fs, s.opts.Dir)
 	for _, b := range snaps {
 		if b < s.snapSeq {
-			_ = os.Remove(snapshotName(s.opts.Dir, b))
+			_ = s.fs.Remove(snapshotName(s.opts.Dir, b))
 		}
 	}
 	for _, b := range segs {
 		if b < s.snapSeq {
-			_ = os.Remove(segmentName(s.opts.Dir, b))
+			_ = s.fs.Remove(segmentName(s.opts.Dir, b))
 		}
 	}
 }
 
 // scanDir lists snapshot and segment base sequences in dir, each sorted
 // ascending.
-func scanDir(dir string) (snaps, segs []uint64, err error) {
-	entries, err := os.ReadDir(dir)
+func scanDir(fs FS, dir string) (snaps, segs []uint64, err error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}

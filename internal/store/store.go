@@ -18,6 +18,17 @@
 // replays every segment with base >= the snapshot's, stopping cleanly at a
 // torn tail (a crash mid-append leaves a partial record; the checksum
 // rejects it and Open truncates it away before appending again).
+//
+// Disk faults are first-class: every filesystem touch goes through the FS
+// seam (fault-injectable from internal/chaos), and the store runs an
+// explicit Healthy → Degraded/Failed health machine. A failed write or
+// fsync poisons the active segment — the kernel clears the dirty-page error
+// state on the failing fsync, so re-Syncing the same fd would silently
+// report success for data that never reached the platter. The store instead
+// closes the poisoned fd, reopens the segment, truncates back to the last
+// known-durable size, rewrites the staged unsynced frames, and fsyncs the
+// fresh fd. If that repair fails too, Options.Policy decides: FailStop,
+// DegradeToMemory, or Shed (see FailPolicy).
 package store
 
 import (
@@ -92,6 +103,16 @@ type Options struct {
 	// Apply, when non-nil, receives every replayed WAL record during Open,
 	// in append order.
 	Apply func(kind uint8, payload []byte) error
+	// FS is the filesystem seam (default OS passthrough). internal/chaos
+	// provides a deterministic fault-injecting implementation.
+	FS FS
+	// Policy decides what an unrepairable disk fault does to the store
+	// (default FailStop).
+	Policy FailPolicy
+	// OnHealth, when non-nil, is invoked (on its own goroutine, store
+	// unlocked) after every health transition with the new state and the
+	// fault that caused it.
+	OnHealth func(Health, error)
 }
 
 func (o *Options) defaults() error {
@@ -106,6 +127,9 @@ func (o *Options) defaults() error {
 	}
 	if o.SnapshotEvery <= 0 {
 		o.SnapshotEvery = 8192
+	}
+	if o.FS == nil {
+		o.FS = OS{}
 	}
 	return nil
 }
@@ -133,15 +157,23 @@ type Store struct {
 	opts Options
 
 	mu        sync.Mutex
-	f         *os.File // active segment
-	segBase   uint64   // sequence of the active segment's first record
+	fs        FS
+	f         File   // active segment (nil once Degraded/Failed)
+	segBase   uint64 // sequence of the active segment's first record
 	segSize   int64
+	goodSize  int64  // segment bytes known durable (repair truncates here)
 	seq       uint64 // next record sequence
 	snapSeq   uint64 // base covered by the newest snapshot
 	dirty     bool
 	sinceSnap int
 	buf       []byte // reusable frame scratch
 	closed    bool
+
+	health        Health
+	cause         error  // first fault behind a non-Healthy state
+	pending       []byte // frames written to the segment but not yet fsynced
+	pendingFrames int
+	pendingLost   bool // pending overflowed its cap; repair is impossible
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -157,6 +189,17 @@ type Store struct {
 	Fsyncs metrics.Counter
 	// Snapshots counts snapshots written.
 	Snapshots metrics.Counter
+	// WriteErrors counts failed segment/snapshot writes.
+	WriteErrors metrics.Counter
+	// SyncErrors counts failed fsyncs.
+	SyncErrors metrics.Counter
+	// Repairs counts successful poisoned-segment reopen-and-rewrite passes.
+	Repairs metrics.Counter
+	// DroppedAppends counts records accepted without durability: appends
+	// taken while Degraded under DegradeToMemory, plus frames that were
+	// staged but unsynced at the moment the store left Healthy. This is the
+	// exact size of the weakened guarantee.
+	DroppedAppends metrics.Counter
 }
 
 // Open recovers the journal in opts.Dir (restoring the newest snapshot into
@@ -166,13 +209,13 @@ func Open(opts Options) (*Store, error) {
 	if err := opts.defaults(); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{opts: opts, stop: make(chan struct{})}
+	s := &Store{opts: opts, fs: opts.FS, stop: make(chan struct{})}
 
 	start := time.Now()
-	rec, err := recoverDir(opts.Dir, opts.Restore, opts.Apply, true)
+	rec, err := recoverDir(opts.FS, opts.Dir, opts.Restore, opts.Apply, true)
 	if err != nil {
 		return nil, err
 	}
@@ -184,11 +227,12 @@ func Open(opts Options) (*Store, error) {
 	// Continue the last segment when one survived recovery; otherwise start
 	// a fresh one at the current sequence.
 	if rec.lastSegment != "" {
-		f, err := os.OpenFile(rec.lastSegment, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := s.fs.OpenFile(rec.lastSegment, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, err
 		}
 		s.f, s.segBase, s.segSize = f, rec.lastBase, rec.lastSize
+		s.goodSize = s.segSize // recovery validated everything up to here
 	} else if err := s.openSegmentLocked(); err != nil {
 		return nil, err
 	}
@@ -210,6 +254,44 @@ func (s *Store) Seq() uint64 {
 	return s.seq
 }
 
+// Health returns the store's durability state.
+func (s *Store) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.health
+}
+
+// Cause returns the first disk fault behind a non-Healthy state (nil while
+// Healthy).
+func (s *Store) Cause() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cause
+}
+
+// setHealthLocked transitions the health machine forward and schedules the
+// OnHealth callback. Transitions are one-way: a Degraded store never
+// reports Healthy again, and Failed is terminal.
+func (s *Store) setHealthLocked(h Health, cause error) {
+	if h <= s.health {
+		return
+	}
+	s.health = h
+	if s.cause == nil {
+		s.cause = cause
+	}
+	s.dirty = false
+	if cb := s.opts.OnHealth; cb != nil {
+		c := s.cause
+		go cb(h, c)
+	}
+}
+
+// failedErrLocked is the uniform error for operations on a Failed store.
+func (s *Store) failedErrLocked() error {
+	return fmt.Errorf("%w: %v", ErrFailed, s.cause)
+}
+
 // segmentName returns the path of the segment starting at base.
 func segmentName(dir string, base uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%016x.wal", base))
@@ -220,35 +302,170 @@ func snapshotName(dir string, base uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%016x.snap", base))
 }
 
-// openSegmentLocked creates the segment whose base is the current sequence.
+// openSegmentLocked creates the segment whose base is the current sequence
+// and fsyncs the directory so the new entry survives a crash.
 func (s *Store) openSegmentLocked() error {
-	f, err := os.OpenFile(segmentName(s.opts.Dir, s.seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := s.fs.OpenFile(segmentName(s.opts.Dir, s.seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
-	s.f, s.segBase, s.segSize = f, s.seq, 0
+	if err := s.fs.SyncDir(s.opts.Dir); err != nil {
+		_ = f.Close()
+		return err
+	}
+	s.f, s.segBase, s.segSize, s.goodSize = f, s.seq, 0, 0
+	s.pending, s.pendingFrames, s.pendingLost = s.pending[:0], 0, false
 	return nil
+}
+
+// stagePendingLocked keeps a copy of a written-but-unsynced frame so a
+// poisoned segment can be rebuilt. The buffer is capped at SegmentBytes;
+// past that, repair is declared impossible and a later fault goes straight
+// to the policy.
+func (s *Store) stagePendingLocked(frame []byte) {
+	if s.pendingLost {
+		return
+	}
+	if len(s.pending)+len(frame) > s.opts.SegmentBytes {
+		s.pendingLost = true
+		return
+	}
+	s.pending = append(s.pending, frame...)
+	s.pendingFrames++
+}
+
+// repairLocked rebuilds the active segment after a poisoned write or fsync:
+// close the bad fd, truncate the file back to the last known-durable size,
+// reopen, rewrite the staged unsynced frames plus the not-yet-written frame
+// (nil on a sync fault), and fsync the fresh fd. On success the segment is
+// fully durable again.
+func (s *Store) repairLocked(frame []byte) error {
+	if s.f != nil {
+		_ = s.f.Close() // poisoned; its error state is meaningless now
+		s.f = nil
+	}
+	if s.pendingLost {
+		return fmt.Errorf("store: unsynced frames exceed repair buffer")
+	}
+	path := segmentName(s.opts.Dir, s.segBase)
+	if err := s.fs.Truncate(path, s.goodSize); err != nil {
+		return err
+	}
+	f, err := s.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	size := s.goodSize
+	for _, b := range [][]byte{s.pending, frame} {
+		if len(b) == 0 {
+			continue
+		}
+		if _, err := f.Write(b); err != nil {
+			_ = f.Close()
+			return err
+		}
+		size += int64(len(b))
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	s.f = f
+	s.segSize, s.goodSize = size, size
+	s.pending, s.pendingFrames = s.pending[:0], 0
+	s.dirty = false
+	s.Fsyncs.Add(1)
+	return nil
+}
+
+// faultLocked handles a failed write or fsync on the active segment. frame
+// is the frame that had not yet been written when the fault hit (nil when
+// the fault was an fsync of already-written bytes). First a repair is
+// attempted; if that fails, Options.Policy decides the store's fate. The
+// poisoned fd is never re-Synced. A nil return means the record (if any)
+// was accepted — durably after a repair, non-durably and counted under
+// DegradeToMemory.
+func (s *Store) faultLocked(cause error, frame []byte) error {
+	if err := s.repairLocked(frame); err == nil {
+		s.Repairs.Add(1)
+		return nil
+	}
+	return s.policyLocked(cause, frame != nil)
+}
+
+// policyLocked applies Options.Policy after an unrepairable fault.
+// currentDropped marks a record that never reached the segment (a failed
+// write) so DegradeToMemory can count it alongside the staged frames.
+func (s *Store) policyLocked(cause error, currentDropped bool) error {
+	if s.f != nil {
+		_ = s.f.Close()
+		s.f = nil
+	}
+	// Best-effort scrub of unsynced bytes: everything past goodSize is
+	// about to be counted in DroppedAppends, so it must not resurface in a
+	// later recovery and be delivered twice over.
+	_ = s.fs.Truncate(segmentName(s.opts.Dir, s.segBase), s.goodSize)
+	dropped := int64(s.pendingFrames)
+	s.pending, s.pendingFrames = nil, 0
+	switch s.opts.Policy {
+	case DegradeToMemory:
+		s.setHealthLocked(Degraded, cause)
+		if currentDropped {
+			dropped++ // the current record is accepted without durability
+		}
+		s.DroppedAppends.Add(dropped)
+		return nil
+	case Shed:
+		s.setHealthLocked(Degraded, cause)
+		s.DroppedAppends.Add(dropped) // staged frames lost their durability
+		return ErrShed
+	default: // FailStop
+		s.setHealthLocked(Failed, cause)
+		return s.failedErrLocked()
+	}
 }
 
 // rotateLocked syncs and closes the active segment and opens a fresh one at
 // the current sequence. A still-empty segment is already aligned and kept.
 func (s *Store) rotateLocked() error {
-	if s.segSize == 0 {
+	if s.segSize == 0 || s.health != Healthy {
 		return nil
 	}
 	if err := s.f.Sync(); err != nil {
-		return err
+		s.SyncErrors.Add(1)
+		if ferr := s.faultLocked(err, nil); ferr != nil {
+			return ferr
+		}
+		if s.health != Healthy {
+			return nil // degraded: nothing further to rotate
+		}
+	} else {
+		s.Fsyncs.Add(1)
+		s.goodSize = s.segSize
+		s.pending, s.pendingFrames = s.pending[:0], 0
 	}
-	s.Fsyncs.Add(1)
 	s.dirty = false
-	if err := s.f.Close(); err != nil {
-		return err
+	// A Close error after a successful sync cannot lose data; at worst the
+	// fd leaks. Continuing is safe, stopping is not (we'd strand the store
+	// between segments).
+	_ = s.f.Close()
+	s.f = nil
+	if err := s.openSegmentLocked(); err != nil {
+		// The old segment is closed: any further append would hit a closed
+		// fd, and "repairing" by reopening the old segment would silently
+		// undo the rotation. Apply the policy directly — deterministically
+		// Failed under FailStop — instead of failing later with a confusing
+		// os.ErrClosed. Pending is empty: the old segment was fully synced.
+		return s.policyLocked(fmt.Errorf("store: rotate: %w", err), false)
 	}
-	return s.openSegmentLocked()
+	return nil
 }
 
 // Append journals one record. Under FsyncAlways it returns only after the
-// record is on stable storage.
+// record is on stable storage. On a Degraded store the record is either
+// accepted non-durably and counted in DroppedAppends (DegradeToMemory) or
+// refused with ErrShed (Shed); on a Failed store every call returns
+// ErrFailed.
 func (s *Store) Append(kind uint8, payload []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -258,57 +475,101 @@ func (s *Store) Append(kind uint8, payload []byte) error {
 	if recHeader+1+len(payload) > MaxRecord {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}
-	s.buf = AppendRecord(s.buf[:0], kind, payload)
-	if _, err := s.f.Write(s.buf); err != nil {
-		return err
+	switch s.health {
+	case Failed:
+		return s.failedErrLocked()
+	case Degraded:
+		if s.opts.Policy == Shed {
+			return ErrShed
+		}
+		s.seq++
+		s.sinceSnap++
+		s.DroppedAppends.Add(1)
+		return nil
 	}
-	s.segSize += int64(len(s.buf))
+	s.buf = AppendRecord(s.buf[:0], kind, payload)
+	durable := false
+	if _, err := s.f.Write(s.buf); err != nil {
+		s.WriteErrors.Add(1)
+		if ferr := s.faultLocked(err, s.buf); ferr != nil {
+			return ferr
+		}
+		if s.health != Healthy {
+			// Accepted non-durably (DegradeToMemory); already counted.
+			s.seq++
+			s.sinceSnap++
+			return nil
+		}
+		durable = true // repaired, which ends in a successful fsync
+	} else {
+		s.segSize += int64(len(s.buf))
+		if s.opts.Fsync == FsyncNever {
+			s.goodSize = s.segSize // never synced; written is as good as it gets
+		} else {
+			s.stagePendingLocked(s.buf)
+		}
+		s.dirty = true
+	}
 	s.seq++
 	s.sinceSnap++
-	s.dirty = true
 	s.Appends.Add(1)
 	s.AppendBytes.Add(int64(len(s.buf)))
-	if s.opts.Fsync == FsyncAlways {
+	if s.opts.Fsync == FsyncAlways && !durable {
 		if err := s.f.Sync(); err != nil {
-			return err
+			s.SyncErrors.Add(1)
+			if ferr := s.faultLocked(err, nil); ferr != nil {
+				return ferr
+			}
+		} else {
+			s.Fsyncs.Add(1)
+			s.dirty = false
+			s.goodSize = s.segSize
+			s.pending, s.pendingFrames = s.pending[:0], 0
 		}
-		s.Fsyncs.Add(1)
-		s.dirty = false
 	}
-	if s.segSize >= int64(s.opts.SegmentBytes) {
+	if s.health == Healthy && s.segSize >= int64(s.opts.SegmentBytes) {
 		return s.rotateLocked()
 	}
 	return nil
 }
 
 // SnapshotDue reports whether enough appends have accumulated since the
-// last snapshot that the caller should fold its state into a new one.
+// last snapshot that the caller should fold its state into a new one. A
+// non-Healthy store never asks for snapshots.
 func (s *Store) SnapshotDue() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sinceSnap >= s.opts.SnapshotEvery
+	return s.health == Healthy && s.sinceSnap >= s.opts.SnapshotEvery
 }
 
 // Sync forces dirty appends to stable storage regardless of policy.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.health == Failed {
+		return s.failedErrLocked()
+	}
 	return s.syncLocked()
 }
 
 func (s *Store) syncLocked() error {
-	if s.closed || !s.dirty {
+	if s.closed || !s.dirty || s.health != Healthy {
 		return nil
 	}
 	if err := s.f.Sync(); err != nil {
-		return err
+		s.SyncErrors.Add(1)
+		return s.faultLocked(err, nil)
 	}
 	s.Fsyncs.Add(1)
 	s.dirty = false
+	s.goodSize = s.segSize
+	s.pending, s.pendingFrames = s.pending[:0], 0
 	return nil
 }
 
-// syncLoop is the FsyncInterval background syncer.
+// syncLoop is the FsyncInterval background syncer. Faults are handled
+// inside syncLocked (repair or policy transition), so there is nothing
+// further to do with its error here.
 func (s *Store) syncLoop() {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.opts.Interval)
@@ -339,8 +600,11 @@ func (s *Store) Close() error {
 	defer s.mu.Unlock()
 	err := s.syncLocked()
 	s.closed = true
-	if cerr := s.f.Close(); err == nil {
-		err = cerr
+	if s.f != nil {
+		if cerr := s.f.Close(); err == nil {
+			err = cerr
+		}
+		s.f = nil
 	}
 	return err
 }

@@ -105,7 +105,7 @@ func TestSnapshotCompactsAndRestores(t *testing.T) {
 
 	// Compaction must have removed the pre-snapshot segments (several, at
 	// 256-byte rotation) leaving only the post-snapshot tail.
-	snaps, segs, err := scanDir(dir)
+	snaps, segs, err := scanDir(OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestSegmentRotation(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	_, segs, err := scanDir(dir)
+	_, segs, err := scanDir(OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestCorruptMidChainRejected(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	_, segs, err := scanDir(dir)
+	_, segs, err := scanDir(OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

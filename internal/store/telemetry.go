@@ -9,6 +9,12 @@ func (s *Store) Register(r *telemetry.Registry) {
 	r.Counter("store.wal_bytes", "framed WAL bytes written", &s.AppendBytes)
 	r.Counter("store.fsyncs", "explicit segment fsyncs", &s.Fsyncs)
 	r.Counter("store.snapshots", "snapshots written", &s.Snapshots)
+	r.Counter("store.write_errors", "failed segment/snapshot writes", &s.WriteErrors)
+	r.Counter("store.sync_errors", "failed fsyncs", &s.SyncErrors)
+	r.Counter("store.repairs", "poisoned segments repaired by reopen-and-rewrite", &s.Repairs)
+	r.Counter("store.dropped_appends", "records accepted without durability while degraded", &s.DroppedAppends)
+	r.Gauge("store.health", "durability health (0 healthy, 1 degraded, 2 failed)",
+		func(int64) float64 { return float64(s.Health()) })
 	r.Gauge("store.recovery_seconds", "wall time of the open-time recovery pass",
 		func(int64) float64 { return s.recovery.Duration.Seconds() })
 	r.Gauge("store.recovery_records", "WAL records replayed at open",

@@ -332,9 +332,14 @@ func DecodeDeliver(data []byte) (*DeliverBody, error) {
 }
 
 // LoadReportBody carries a matcher's per-dimension load state (matcher →
-// dispatcher), the 64-byte push of paper Section IV-C.
+// dispatcher), the 64-byte push of paper Section IV-C, plus the node's
+// durability health so dispatchers can deprioritize degraded matchers.
 type LoadReportBody struct {
 	Loads []forward.DimLoad
+	// Health is the reporter's store.Health (0 healthy, 1 degraded,
+	// 2 failed). It rides as a trailing byte so frames from older nodes
+	// (which omit it) still decode — absent means healthy.
+	Health uint8
 }
 
 // Encode serializes the body.
@@ -348,6 +353,7 @@ func (b *LoadReportBody) Encode() []byte {
 		w.f64(l.MatchRate)
 		w.i64(l.ReportedAt)
 	}
+	w.u8(b.Health)
 	return w.buf
 }
 
@@ -370,6 +376,9 @@ func DecodeLoadReport(data []byte) (*LoadReportBody, error) {
 				ReportedAt:  r.i64(),
 			})
 		}
+	}
+	if r.err == nil && r.off < len(r.buf) {
+		b.Health = r.u8() // trailing health byte (absent on older frames)
 	}
 	return b, r.finish()
 }

@@ -114,6 +114,30 @@ func TestLoadReportRoundtrip(t *testing.T) {
 	}
 }
 
+// The trailing health byte round-trips, and a frame without it (an older
+// node's encoding) decodes as healthy.
+func TestLoadReportHealthByte(t *testing.T) {
+	b := &LoadReportBody{
+		Loads:  []forward.DimLoad{{Subs: 1, QueueLen: 2, ArrivalRate: 3, MatchRate: 4, ReportedAt: 5}},
+		Health: 2,
+	}
+	enc := b.Encode()
+	got, err := DecodeLoadReport(enc)
+	if err != nil || got.Health != 2 {
+		t.Fatalf("health round-trip: %+v, %v", got, err)
+	}
+	old, err := DecodeLoadReport(enc[:len(enc)-1]) // pre-health frame
+	if err != nil {
+		t.Fatalf("health-less frame rejected: %v", err)
+	}
+	if old.Health != 0 {
+		t.Fatalf("absent health byte decoded as %d, want 0 (healthy)", old.Health)
+	}
+	if !reflect.DeepEqual(old.Loads, b.Loads) {
+		t.Fatalf("loads corrupted by health-less decode: %+v", old.Loads)
+	}
+}
+
 func TestTableResponseRoundtrip(t *testing.T) {
 	b := &TableResponseBody{Table: []byte{1, 2, 3, 4}}
 	got, err := DecodeTableResponse(b.Encode())
@@ -255,12 +279,12 @@ func TestDecodersRejectTruncation(t *testing.T) {
 		"pollresp": (&PollResponseBody{Deliveries: []DeliverBody{{Msg: sampleMsg()}}}).Encode(),
 	}
 	decoders := map[string]func([]byte) error{
-		"subscribe": func(b []byte) error { _, err := DecodeSubscribe(b); return err },
-		"store":     func(b []byte) error { _, err := DecodeStore(b); return err },
-		"publish":   func(b []byte) error { _, err := DecodePublish(b); return err },
-		"forward":   func(b []byte) error { _, err := DecodeForward(b); return err },
-		"deliver":   func(b []byte) error { _, err := DecodeDeliver(b); return err },
-		"load":      func(b []byte) error { _, err := DecodeLoadReport(b); return err },
+		"subscribe":      func(b []byte) error { _, err := DecodeSubscribe(b); return err },
+		"store":          func(b []byte) error { _, err := DecodeStore(b); return err },
+		"publish":        func(b []byte) error { _, err := DecodePublish(b); return err },
+		"forward":        func(b []byte) error { _, err := DecodeForward(b); return err },
+		"deliver":        func(b []byte) error { _, err := DecodeDeliver(b); return err },
+		"load":           func(b []byte) error { _, err := DecodeLoadReport(b); return err },
 		"transfer":       func(b []byte) error { _, err := DecodeTransfer(b); return err },
 		"transfer-range": func(b []byte) error { _, err := DecodeTransferRange(b); return err },
 		"handover":       func(b []byte) error { _, err := DecodeHandover(b); return err },
@@ -272,6 +296,15 @@ func TestDecodersRejectTruncation(t *testing.T) {
 			t.Fatalf("%s: valid body rejected: %v", name, err)
 		}
 		for cut := 0; cut < len(body); cut++ {
+			// The load report's final byte is the optional health field:
+			// frames from older nodes legally omit it, so cutting exactly
+			// that byte must still decode.
+			if name == "load" && cut == len(body)-1 {
+				if err := dec(body[:cut]); err != nil {
+					t.Errorf("load: health-less frame rejected: %v", err)
+				}
+				continue
+			}
 			if err := dec(body[:cut]); err == nil {
 				t.Errorf("%s: truncation at %d accepted", name, cut)
 			}
